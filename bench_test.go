@@ -1,0 +1,270 @@
+// Benchmarks: one testing.B benchmark per table/figure of the paper's
+// evaluation, each running the corresponding harness end to end, plus
+// numeric kernel benchmarks for the real (CPU) SGMV implementations.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// cmd/punica-bench prints the full paper-scale tables; these benchmarks
+// exercise the same code paths at a size suitable for iteration.
+package punica_test
+
+import (
+	"testing"
+	"time"
+
+	"punica"
+	"punica/internal/experiments"
+	"punica/internal/hw"
+	"punica/internal/models"
+	"punica/internal/sim"
+	"punica/internal/tensor"
+)
+
+// BenchmarkFig1BatchingEffects regenerates Fig. 1 (prefill and decode
+// latency vs batch size, 7B).
+func BenchmarkFig1BatchingEffects(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points := experiments.Fig1(hw.A100(), models.Llama2_7B())
+		if len(points) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+// BenchmarkFig6KvCacheWaste regenerates Fig. 6 (wasted decode steps under
+// inseparable KvCache).
+func BenchmarkFig6KvCacheWaste(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(32, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7SGMVRoofline regenerates Fig. 7 (SGMV roofline).
+func BenchmarkFig7SGMVRoofline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Fig7()) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+// BenchmarkFig8LoraOperator regenerates Fig. 8 (Loop vs Gather-BMM vs
+// SGMV).
+func BenchmarkFig8LoraOperator(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Fig8()) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+// BenchmarkFig9LoraRanks regenerates Fig. 9 (rank sweep).
+func BenchmarkFig9LoraRanks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Fig9()) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+// BenchmarkFig10TransformerLayer regenerates Fig. 10 (layer latency).
+func BenchmarkFig10TransformerLayer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Fig10()) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+// BenchmarkFig11TextGeneration runs the single-GPU serving comparison
+// (all five systems, all four workloads) at a reduced request count.
+func BenchmarkFig11TextGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig11(models.Llama2_7B(),
+			experiments.TextGenOptions{NumRequests: 40, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 20 {
+			b.Fatalf("%d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkFig12TensorParallel70B runs the 70B TP-8 comparison at a
+// reduced request count.
+func BenchmarkFig12TensorParallel70B(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig12(experiments.TextGenOptions{NumRequests: 40, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 8 {
+			b.Fatalf("%d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkFig13ClusterDeployment runs a scaled-down cluster deployment
+// (4 GPUs, 5 simulated minutes).
+func BenchmarkFig13ClusterDeployment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Fig13(experiments.Fig13Options{
+			NumGPUs:  4,
+			Peak:     3,
+			RampUp:   2 * time.Minute,
+			Hold:     time.Minute,
+			RampDown: 2 * time.Minute,
+			BinWidth: 30 * time.Second,
+			Seed:     1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeadlineClaims derives the 12x / +2ms headline from a reduced
+// Fig. 11 run.
+func BenchmarkHeadlineClaims(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig11(models.Llama2_7B(),
+			experiments.TextGenOptions{NumRequests: 40, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		h := experiments.Headline(rows)
+		if h.MultiLoRASpeedup <= 1 {
+			b.Fatal("speedup should exceed 1")
+		}
+	}
+}
+
+// BenchmarkLoadingMicrobench runs the §5.2 on-demand loading analysis.
+func BenchmarkLoadingMicrobench(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Loading().PerModel <= 0 {
+			b.Fatal("bad loading result")
+		}
+	}
+}
+
+// --- numeric kernel benchmarks (real CPU work, meaningful -benchmem) ---
+
+func benchPairs(rng *sim.RNG, n, h, r int) []punica.LoRAPair {
+	pairs := make([]punica.LoRAPair, n)
+	for i := range pairs {
+		pairs[i] = punica.LoRAPair{
+			A: tensor.Random(rng, h, r, 0.1),
+			B: tensor.Random(rng, r, h, 0.1),
+		}
+	}
+	return pairs
+}
+
+// BenchmarkSGMVNumeric measures the real segmented matmul on a
+// 32-request Distinct batch (h=256, r=16 — scaled dims; the full 4096
+// would measure memcpy, not structure).
+func BenchmarkSGMVNumeric(b *testing.B) {
+	rng := sim.NewRNG(1)
+	const h, r, batch = 256, 16, 32
+	seg := distinctSegments(batch)
+	pairs := benchPairs(rng, batch, h, r)
+	x := tensor.Random(rng, batch, h, 1)
+	y := tensor.New(batch, h)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		y.Zero()
+		punica.SGMVApply(y, x, pairs, seg)
+	}
+}
+
+// BenchmarkLoopNumeric measures the per-model loop baseline on the same
+// batch.
+func BenchmarkLoopNumeric(b *testing.B) {
+	rng := sim.NewRNG(2)
+	const h, r, batch = 256, 16, 32
+	seg := distinctSegments(batch)
+	pairs := benchPairs(rng, batch, h, r)
+	x := tensor.Random(rng, batch, h, 1)
+	y := tensor.New(batch, h)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		y.Zero()
+		punica.LoopApply(y, x, pairs, seg)
+	}
+}
+
+// BenchmarkGatherBMMNumeric measures the gather-then-bmm baseline,
+// including its per-row weight materialisation (the extra I/O the paper
+// charges it for shows up as allocations here).
+func BenchmarkGatherBMMNumeric(b *testing.B) {
+	rng := sim.NewRNG(3)
+	const h, r, batch = 256, 16, 32
+	seg := distinctSegments(batch)
+	pairs := benchPairs(rng, batch, h, r)
+	x := tensor.Random(rng, batch, h, 1)
+	y := tensor.New(batch, h)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		y.Zero()
+		punica.GatherBMMApply(y, x, pairs, seg)
+	}
+}
+
+// BenchmarkEngineDecodeStep measures the serving engine's host-side cost
+// per batched invocation (32 decodes, distinct adapters), reseeding the
+// batch whenever a generation wave completes so every iteration steps a
+// full batch.
+func BenchmarkEngineDecodeStep(b *testing.B) {
+	eng := punica.NewEngine(punica.EngineConfig{
+		System: punica.PunicaSystem(),
+		GPU:    punica.A100(),
+		Model:  punica.Llama2_7B(),
+		Rank:   punica.DefaultLoRARank,
+	})
+	nextID := int64(0)
+	now := time.Duration(0)
+	reseed := func() {
+		for i := 0; i < 32; i++ {
+			nextID++
+			if err := eng.Enqueue(&punica.Request{
+				ID:        nextID,
+				Model:     punica.LoRAModelID(nextID % 32),
+				PromptLen: 64,
+				OutputLen: 2048,
+				Arrival:   now,
+			}, now); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	reseed()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !eng.Busy() {
+			reseed()
+		}
+		res := eng.Step(now)
+		if res.Idle {
+			if at, ok := eng.EarliestPendingReady(); ok {
+				now = at
+				continue
+			}
+			b.Fatal("engine stuck")
+		}
+		now = res.EndsAt
+	}
+}
+
+func distinctSegments(n int) punica.Segments {
+	sizes := make([]int, n)
+	for i := range sizes {
+		sizes[i] = 1
+	}
+	return punica.NewSegments(sizes...)
+}

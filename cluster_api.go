@@ -1,0 +1,38 @@
+package punica
+
+import (
+	"punica/internal/cluster"
+	"punica/internal/sched"
+)
+
+// Cluster is the multi-GPU discrete-event serving simulator: arrivals
+// dispatch through the Punica scheduler, GPUs run invocations
+// back-to-back, and periodic consolidation migrates requests off
+// lightly-loaded GPUs (§5.1, §5.3, §7.3).
+type Cluster = cluster.Cluster
+
+// ClusterConfig describes a simulated deployment.
+type ClusterConfig = cluster.Config
+
+// ClusterResult aggregates a run: throughput, latency distributions, and
+// the Fig. 13 time series.
+type ClusterResult = cluster.Result
+
+// NewCluster builds a cluster of engines with deterministic GPU UUIDs.
+func NewCluster(cfg ClusterConfig) *Cluster { return cluster.New(cfg) }
+
+// AutoscaleConfig enables §5.1 elastic GPU provisioning in a cluster.
+type AutoscaleConfig = cluster.AutoscaleConfig
+
+// AutoscaleStats summarises elastic provisioning after a run.
+type AutoscaleStats = cluster.AutoscaleStats
+
+// Scheduler is Punica's cluster scheduler (§5.1): largest-working-set
+// routing with FCFS queueing, migration and scale hints.
+type Scheduler = sched.Scheduler
+
+// SchedGPU pairs an engine with the UUID the scheduler tie-breaks on.
+type SchedGPU = sched.GPU
+
+// NewScheduler builds a scheduler over the given GPUs.
+func NewScheduler(gpus []*SchedGPU) *Scheduler { return sched.New(gpus) }

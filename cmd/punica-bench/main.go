@@ -1,0 +1,252 @@
+// Command punica-bench regenerates every table and figure of the Punica
+// paper's evaluation on the simulated substrate and prints them as text.
+//
+// Usage:
+//
+//	punica-bench [flags] <experiment>
+//
+// Experiments: fig1 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 headline
+// loading ablation-norm ablation-maxbatch ablation-pagesize
+// ablation-prefill ablation-migration all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"punica/internal/experiments"
+	"punica/internal/hw"
+	"punica/internal/models"
+)
+
+var (
+	modelFlag = flag.String("model", "7b", "model for fig11: 7b or 13b")
+	nFlag     = flag.Int("n", 1000, "requests for text-generation experiments")
+	seedFlag  = flag.Int64("seed", 42, "workload seed")
+	gpusFlag  = flag.Int("gpus", 16, "GPUs for fig13")
+	peakFlag  = flag.Float64("peak", 11, "peak request rate (req/s) for fig13")
+	hourFlag  = flag.Bool("full-hour", false, "run fig13 at the paper's full one-hour horizon")
+	csvFlag   = flag.String("csv", "", "also write the figure's data as CSV to this file (fig1,7,8,9,10,11,12,13)")
+)
+
+// writeCSV writes one figure's CSV when -csv is set.
+func writeCSV(write func(io.Writer) error) error {
+	if *csvFlag == "" {
+		return nil
+	}
+	f, err := os.Create(*csvFlag)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "wrote", *csvFlag)
+	return nil
+}
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	name := flag.Arg(0)
+	if name == "all" {
+		for _, exp := range allExperiments {
+			if err := run(exp); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+	if err := run(name); err != nil {
+		fatal(err)
+	}
+}
+
+var allExperiments = []string{
+	"fig1", "fig6", "fig7", "fig8", "fig9", "fig10",
+	"fig11", "fig12", "fig13", "headline", "loading",
+	"ablation-norm", "ablation-maxbatch", "ablation-pagesize",
+	"ablation-prefill", "ablation-migration", "ablation-quant",
+	"autoscale",
+}
+
+func run(name string) error {
+	opts := experiments.TextGenOptions{NumRequests: *nFlag, Seed: *seedFlag}
+	switch name {
+	case "fig1":
+		model, err := models.ByName(*modelFlag)
+		if err != nil {
+			return err
+		}
+		points := experiments.Fig1(a100(), model)
+		fmt.Println(experiments.FormatFig1(points))
+		if err := writeCSV(func(w io.Writer) error { return experiments.Fig1CSV(w, points) }); err != nil {
+			return err
+		}
+	case "fig6":
+		res, err := experiments.Fig6(min(*nFlag, 256), *seedFlag)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFig6(res))
+	case "fig7":
+		points := experiments.Fig7()
+		fmt.Println(experiments.FormatFig7(points))
+		if err := writeCSV(func(w io.Writer) error { return experiments.Fig7CSV(w, points) }); err != nil {
+			return err
+		}
+	case "fig8":
+		points := experiments.Fig8()
+		fmt.Println(experiments.FormatFig8(points))
+		if err := writeCSV(func(w io.Writer) error { return experiments.Fig8CSV(w, points) }); err != nil {
+			return err
+		}
+	case "fig9":
+		points := experiments.Fig9()
+		fmt.Println(experiments.FormatFig9(points))
+		if err := writeCSV(func(w io.Writer) error { return experiments.Fig9CSV(w, points) }); err != nil {
+			return err
+		}
+	case "fig10":
+		points := experiments.Fig10()
+		fmt.Println(experiments.FormatFig10(points))
+		if err := writeCSV(func(w io.Writer) error { return experiments.Fig10CSV(w, points) }); err != nil {
+			return err
+		}
+	case "fig11":
+		model, err := models.ByName(*modelFlag)
+		if err != nil {
+			return err
+		}
+		rows, err := experiments.Fig11(model, opts)
+		if err != nil {
+			return err
+		}
+		title := fmt.Sprintf("Figure 11 — single-GPU text generation (%s, %d requests):",
+			model.Name, opts.NumRequests)
+		fmt.Println(experiments.FormatFig11(title, rows))
+		if err := writeCSV(func(w io.Writer) error { return experiments.Fig11CSV(w, rows) }); err != nil {
+			return err
+		}
+	case "fig12":
+		rows, err := experiments.Fig12(opts)
+		if err != nil {
+			return err
+		}
+		title := fmt.Sprintf("Figure 12 — 70B tensor parallel on 8xA100-40G (%d requests):",
+			opts.NumRequests)
+		fmt.Println(experiments.FormatFig11(title, rows))
+		if err := writeCSV(func(w io.Writer) error { return experiments.Fig11CSV(w, rows) }); err != nil {
+			return err
+		}
+	case "fig13":
+		o := fig13Options()
+		res, err := experiments.Fig13(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFig13(res))
+		if err := writeCSV(func(w io.Writer) error { return experiments.Fig13CSV(w, res) }); err != nil {
+			return err
+		}
+	case "headline":
+		model, err := models.ByName(*modelFlag)
+		if err != nil {
+			return err
+		}
+		rows, err := experiments.Fig11(model, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatHeadline(experiments.Headline(rows)))
+	case "loading":
+		fmt.Println(experiments.FormatLoading(experiments.Loading()))
+	case "ablation-norm":
+		fmt.Println(experiments.FormatAblationNorm(experiments.AblationNorm()))
+	case "ablation-maxbatch":
+		points, err := experiments.AblationMaxBatch(min(*nFlag, 400), *seedFlag, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatAblationMaxBatch(points))
+	case "ablation-pagesize":
+		points, err := experiments.AblationPageSize(min(*nFlag, 300), *seedFlag, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatAblationPageSize(points))
+	case "ablation-prefill":
+		points, err := experiments.AblationPrefillLimit(min(*nFlag, 400), *seedFlag, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatAblationPrefillLimit(points))
+	case "ablation-quant":
+		points, err := experiments.AblationQuantization(min(*nFlag, 300), *seedFlag)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatAblationQuantization(points))
+	case "autoscale":
+		o := fig13Options()
+		if !*hourFlag {
+			o.NumGPUs = 8
+			o.Peak = 6
+			o.RampUp, o.Hold, o.RampDown = 8*time.Minute, 4*time.Minute, 8*time.Minute
+		}
+		res, err := experiments.Autoscale(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatAutoscale(res))
+	case "ablation-migration":
+		o := fig13Options()
+		if !*hourFlag {
+			o.NumGPUs = 8
+			o.Peak = 6
+			o.RampUp, o.Hold, o.RampDown = 6*time.Minute, 3*time.Minute, 6*time.Minute
+		}
+		res, err := experiments.AblationMigration(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatAblationMigration(res))
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}
+
+func fig13Options() experiments.Fig13Options {
+	o := experiments.DefaultFig13Options()
+	o.NumGPUs = *gpusFlag
+	o.Peak = *peakFlag
+	o.Seed = *seedFlag
+	if !*hourFlag {
+		// Scaled horizon for interactive runs; -full-hour reproduces
+		// the paper's 60 minutes.
+		o.RampUp, o.Hold, o.RampDown = 10*time.Minute, 5*time.Minute, 10*time.Minute
+	}
+	return o
+}
+
+func a100() hw.GPUSpec { return hw.A100() }
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: punica-bench [flags] <experiment>\nexperiments: %v\n",
+		allExperiments)
+	flag.PrintDefaults()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "punica-bench:", err)
+	os.Exit(1)
+}

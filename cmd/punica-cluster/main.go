@@ -1,0 +1,53 @@
+// Command punica-cluster runs the §7.3 cluster deployment experiment
+// (Fig. 13): a 16-GPU Punica cluster under an hour of Poisson load whose
+// rate ramps up and back down, with Zipf-1.5 LoRA popularity. It prints
+// the figure's three panels (req/s, tok/s, per-GPU batch occupancy) as a
+// text table plus summary statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"punica/internal/experiments"
+)
+
+func main() {
+	gpus := flag.Int("gpus", 16, "number of GPUs")
+	peak := flag.Float64("peak", 11, "peak request rate (req/s)")
+	rampUp := flag.Duration("ramp-up", 25*time.Minute, "ramp-up duration")
+	hold := flag.Duration("hold", 10*time.Minute, "plateau duration")
+	rampDown := flag.Duration("ramp-down", 25*time.Minute, "ramp-down duration")
+	bin := flag.Duration("bin", time.Minute, "series bin width")
+	seed := flag.Int64("seed", 42, "workload seed")
+	autoscale := flag.Bool("autoscale", false, "compare fixed vs elastic (§5.1) provisioning instead")
+	flag.Parse()
+
+	start := time.Now()
+	opts := experiments.Fig13Options{
+		NumGPUs:  *gpus,
+		Peak:     *peak,
+		RampUp:   *rampUp,
+		Hold:     *hold,
+		RampDown: *rampDown,
+		BinWidth: *bin,
+		Seed:     *seed,
+	}
+	if *autoscale {
+		res, err := experiments.Autoscale(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.FormatAutoscale(res))
+		return
+	}
+	res, err := experiments.Fig13(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.FormatFig13(res))
+	fmt.Printf("(simulated %v of cluster time in %v of wall time)\n",
+		res.Horizon.Round(time.Second), time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,46 @@
+// Command punica-runner hosts one simulated GPU behind the runner HTTP
+// API (Fig. 2: "Each GPU server starts a runner, which communicates with
+// the scheduler"). Point one or more of these at punica-serve's
+// -runners flag to form a distributed deployment:
+//
+//	punica-runner -addr :9001 -uuid gpu-a &
+//	punica-runner -addr :9002 -uuid gpu-b &
+//	punica-serve -runners http://localhost:9001,http://localhost:9002
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"punica/internal/core"
+	"punica/internal/hw"
+	"punica/internal/models"
+	"punica/internal/remote"
+)
+
+func main() {
+	addr := flag.String("addr", ":9001", "listen address")
+	uuid := flag.String("uuid", "gpu-00", "runner identity (scheduler tie-break key)")
+	modelName := flag.String("model", "7b", "backbone model: 7b, 13b or 70b")
+	speedup := flag.Float64("speedup", 1, "simulated-time speedup")
+	rank := flag.Int("rank", models.DefaultLoRARank, "LoRA rank")
+	flag.Parse()
+
+	model, err := models.ByName(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := remote.NewRunner(*uuid, core.Config{
+		System: core.PunicaSystem(),
+		GPU:    hw.A100(),
+		Model:  model,
+		Rank:   *rank,
+	}, *speedup)
+	defer r.Close()
+
+	fmt.Printf("punica-runner %s: %s on one simulated A100, listening on %s\n",
+		*uuid, model.Name, *addr)
+	log.Fatal(http.ListenAndServe(*addr, r.Handler()))
+}

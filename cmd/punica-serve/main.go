@@ -1,0 +1,66 @@
+// Command punica-serve runs the multi-tenant LoRA serving stack over
+// HTTP: frontends accept generation requests, the Punica scheduler
+// consolidates them onto simulated GPU runners, and tokens stream back
+// as NDJSON (Fig. 2's architecture; see internal/serve for the
+// substitution notes).
+//
+//	punica-serve -addr :8080 -gpus 2 -model 7b -speedup 1
+//
+//	curl -N localhost:8080/v1/generate \
+//	  -d '{"model": 7, "prompt": "hello world", "max_tokens": 16}'
+//	curl localhost:8080/v1/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"punica/internal/core"
+	"punica/internal/hw"
+	"punica/internal/models"
+	"punica/internal/remote"
+	"punica/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	gpus := flag.Int("gpus", 2, "number of simulated GPUs (in-process mode)")
+	modelName := flag.String("model", "7b", "backbone model: 7b, 13b or 70b")
+	speedup := flag.Float64("speedup", 1, "simulated-time speedup (1 = realistic pacing)")
+	rank := flag.Int("rank", models.DefaultLoRARank, "LoRA rank")
+	runners := flag.String("runners", "",
+		"comma-separated punica-runner base URLs; enables distributed frontend mode")
+	flag.Parse()
+
+	if *runners != "" {
+		urls := strings.Split(*runners, ",")
+		f := remote.NewFrontend(urls, 0)
+		defer f.Close()
+		fmt.Printf("punica-serve (frontend): scheduling across %d remote runners, listening on %s\n",
+			len(urls), *addr)
+		log.Fatal(http.ListenAndServe(*addr, f.Handler()))
+	}
+
+	model, err := models.ByName(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := serve.New(serve.Config{
+		NumGPUs: *gpus,
+		Engine: core.Config{
+			System: core.PunicaSystem(),
+			GPU:    hw.A100(),
+			Model:  model,
+			Rank:   *rank,
+		},
+		Speedup: *speedup,
+	})
+	defer srv.Close()
+
+	fmt.Printf("punica-serve: %s on %d simulated A100s, %gx speedup, listening on %s\n",
+		model.Name, *gpus, *speedup, *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

@@ -1,0 +1,72 @@
+// Quickstart: serve three tenants' LoRA adapters on one simulated A100
+// with Punica's cross-adapter batching, streaming tokens as they are
+// generated.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"punica"
+)
+
+func main() {
+	// Token stream: every generated token arrives here with its
+	// simulated timestamp.
+	perRequest := map[int64]int{}
+	eng := punica.NewEngine(punica.EngineConfig{
+		System: punica.PunicaSystem(), // SGMV batching, paged KvCache
+		GPU:    punica.A100(),
+		Model:  punica.Llama2_7B(),
+		Rank:   punica.DefaultLoRARank,
+		OnToken: func(tok punica.Token) {
+			perRequest[tok.RequestID]++
+			if tok.EOS {
+				fmt.Printf("  request %d finished (%d tokens) at t=%v\n",
+					tok.RequestID, tok.Index+1, tok.At.Round(time.Millisecond))
+			}
+		},
+	})
+
+	// Three tenants, three different LoRA adapters — one batch.
+	requests := []*punica.Request{
+		{ID: 1, Model: 101, PromptLen: 128, OutputLen: 24},
+		{ID: 2, Model: 202, PromptLen: 64, OutputLen: 32},
+		{ID: 3, Model: 303, PromptLen: 256, OutputLen: 16},
+	}
+	for _, r := range requests {
+		if err := eng.Enqueue(r, 0); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Println("serving 3 tenants (adapters 101, 202, 303) on one GPU:")
+
+	// Drive the engine: each Step is one batched model invocation; the
+	// returned latency is the simulated GPU time.
+	now := time.Duration(0)
+	steps := 0
+	for eng.Busy() {
+		res := eng.Step(now)
+		if res.Idle {
+			// Adapters still loading over PCIe (~2ms, §5.2).
+			if at, ok := eng.EarliestPendingReady(); ok {
+				now = at
+				continue
+			}
+			break
+		}
+		steps++
+		now = res.EndsAt
+	}
+
+	st := eng.Stats()
+	fmt.Printf("\n%d invocations, %d tokens generated in %v of simulated GPU time\n",
+		steps, st.TokensGenerated, st.BusyTime.Round(time.Millisecond))
+	fmt.Printf("throughput: %.0f tok/s (cross-adapter batching kept all three tenants in one batch)\n",
+		float64(st.TokensGenerated)/st.BusyTime.Seconds())
+	if len(perRequest) != 3 {
+		panic("expected tokens from all three tenants")
+	}
+}

@@ -1,0 +1,102 @@
+// Serving: end-to-end HTTP demo. Starts the Punica serving stack
+// (frontend + scheduler + simulated GPU runners) on a local port, then
+// acts as three tenants issuing concurrent streaming requests against it
+// and prints the interleaved token stream and final cluster stats.
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+
+	"punica"
+	"punica/internal/core"
+	"punica/internal/serve"
+)
+
+func main() {
+	// Server side: 2 simulated A100s behind the Punica scheduler.
+	// Speedup 200 → a ~30ms decode step takes ~0.15ms of wall time.
+	server := serve.New(serve.Config{
+		NumGPUs: 2,
+		Engine: core.Config{
+			System: core.PunicaSystem(),
+			GPU:    punica.A100(),
+			Model:  punica.Llama2_7B(),
+			Rank:   punica.DefaultLoRARank,
+		},
+		Speedup: 200,
+	})
+	defer server.Close()
+	ts := httptest.NewServer(server.Handler())
+	defer ts.Close()
+	fmt.Println("punica serving stack listening at", ts.URL)
+
+	// Client side: three tenants, each with its own adapter, streaming
+	// concurrently.
+	prompts := []struct {
+		model  int64
+		prompt string
+		tokens int
+	}{
+		{101, "summarize the quarterly finance report for the board", 12},
+		{202, "write a haiku about segmented gather matrix vector multiplication", 8},
+		{303, "translate the following sentence into german please", 10},
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for _, p := range prompts {
+		wg.Add(1)
+		go func(model int64, prompt string, maxTokens int) {
+			defer wg.Done()
+			body, _ := json.Marshal(serve.GenerateRequest{
+				Model: model, Prompt: prompt, MaxTokens: maxTokens,
+			})
+			resp, err := http.Post(ts.URL+"/v1/generate", "application/json",
+				bytes.NewReader(body))
+			if err != nil {
+				panic(err)
+			}
+			defer resp.Body.Close()
+			sc := bufio.NewScanner(resp.Body)
+			count := 0
+			for sc.Scan() {
+				var ev serve.TokenEvent
+				if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+					panic(err)
+				}
+				count++
+				if ev.EOS {
+					mu.Lock()
+					fmt.Printf("tenant %d: %d tokens streamed (request %d done at sim t=%.2fs)\n",
+						model, count, ev.RequestID, ev.SimTime)
+					mu.Unlock()
+				}
+			}
+		}(p.model, p.prompt, p.tokens)
+	}
+	wg.Wait()
+
+	// Cluster state after serving.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		panic(err)
+	}
+	fmt.Printf("\ncluster stats: queue=%d open_streams=%d releasable_gpus=%d\n",
+		st.QueueLen, st.Streams, st.Releasable)
+	for _, g := range st.GPUs {
+		fmt.Printf("  %s: steps=%d tokens=%d adapters=%d\n",
+			g.UUID, g.Steps, g.Tokens, g.Adapters)
+	}
+}

@@ -1,0 +1,171 @@
+package punica_test
+
+import (
+	"testing"
+	"time"
+
+	"punica"
+)
+
+func TestHardwareFacade(t *testing.T) {
+	if punica.A100().PeakFP16 != 312e12 {
+		t.Error("A100 spec wrong through facade")
+	}
+	if punica.A100_40G().MemBytes != 40<<30 {
+		t.Error("A100-40G spec wrong through facade")
+	}
+	if punica.PCIeGen4x16().Bandwidth != 25e9 {
+		t.Error("PCIe link wrong through facade")
+	}
+	if punica.NvSwitch().Bandwidth != 600e9 {
+		t.Error("NvSwitch link wrong through facade")
+	}
+	if punica.FP16.BytesPerParam() != 2 || punica.INT8.BytesPerParam() != 1 ||
+		punica.NF4.BytesPerParam() != 0.5 {
+		t.Error("precision facade wrong")
+	}
+}
+
+func TestModelFacade(t *testing.T) {
+	for _, name := range []string{"7b", "13b", "70b"} {
+		if _, err := punica.ModelByName(name); err != nil {
+			t.Errorf("ModelByName(%q): %v", name, err)
+		}
+	}
+	if _, err := punica.ModelByName("nope"); err == nil {
+		t.Error("ModelByName should reject unknown names")
+	}
+	if punica.Llama2_7B().Layers != 32 || punica.Llama2_13B().Layers != 40 ||
+		punica.Llama2_70B().Layers != 80 {
+		t.Error("model configs wrong through facade")
+	}
+	if punica.DefaultLoRARank != 16 || punica.DefaultMaxBatch != 32 {
+		t.Error("paper constants wrong through facade")
+	}
+}
+
+func TestSystemFacades(t *testing.T) {
+	if punica.PunicaSystem().LoRA != punica.LoRASGMV {
+		t.Error("Punica must use SGMV")
+	}
+	if punica.VLLMSystem().LoRA != punica.LoRANone {
+		t.Error("vLLM baseline is backbone-only")
+	}
+	if punica.FasterTransformerSystem().ContinuousBatching {
+		t.Error("FasterTransformer is static-batching")
+	}
+	if hf := punica.HuggingFaceSystem(); hf.FlashAttention || !hf.KVConcat {
+		t.Error("HuggingFace flags wrong")
+	}
+	if ds := punica.DeepSpeedSystem(); ds.LoRA != punica.LoRALoop {
+		t.Error("DeepSpeed should apply LoRA via the eager loop")
+	}
+}
+
+func TestWorkloadFacade(t *testing.T) {
+	gen := punica.NewGenerator(punica.Distinct, punica.ShareGPTLengths(), 1)
+	reqs := gen.Batch(10)
+	if len(reqs) != 10 {
+		t.Fatal("generator facade broken")
+	}
+	tr := punica.Trapezoid{Peak: 4, RampUp: time.Minute, Hold: time.Minute, RampDown: time.Minute}
+	if tr.Horizon() != 3*time.Minute || tr.Rate(90*time.Second) != 4 {
+		t.Error("trapezoid facade broken")
+	}
+	cl := punica.ClusterLengths()
+	if cl.OutMax != 2048 {
+		t.Error("cluster lengths facade broken")
+	}
+	if len(punica.Distributions) != 4 {
+		t.Error("distribution list broken")
+	}
+}
+
+func TestSGMVCostFacade(t *testing.T) {
+	cm := punica.NewSGMVCostModel(punica.A100())
+	seg := punica.NewSegments(4)
+	lat := cm.OperatorTime(4096, 16, 4096, seg)
+	if lat <= 0 {
+		t.Error("cost model facade broken")
+	}
+	op := punica.SGMVOp{HIn: 16, HOut: 4096, Seg: seg}
+	if op.FLOP() != 4*16*4096*2 {
+		t.Error("op facade broken")
+	}
+}
+
+func TestSchedulerFacade(t *testing.T) {
+	eng := punica.NewEngine(punica.EngineConfig{
+		System: punica.PunicaSystem(),
+		GPU:    punica.A100(),
+		Model:  punica.Llama2_7B(),
+		Rank:   punica.DefaultLoRARank,
+	})
+	s := punica.NewScheduler([]*punica.SchedGPU{{UUID: "g0", Engine: eng}})
+	r := &punica.Request{ID: 1, Model: 1, PromptLen: 16, OutputLen: 4}
+	g, err := s.Dispatch(r, 0)
+	if err != nil || g == nil {
+		t.Fatalf("dispatch through facade: %v %v", g, err)
+	}
+	if s.QueueLen() != 0 {
+		t.Error("queue should be empty")
+	}
+}
+
+func TestAutoscaleFacade(t *testing.T) {
+	gen := punica.NewGenerator(punica.Uniform, punica.ConstantLengths(32, 8), 2)
+	c := punica.NewCluster(punica.ClusterConfig{
+		NumGPUs: 2,
+		Engine: punica.EngineConfig{
+			System: punica.PunicaSystem(),
+			GPU:    punica.A100(),
+			Model:  punica.Llama2_7B(),
+			Rank:   punica.DefaultLoRARank,
+		},
+		Autoscale: &punica.AutoscaleConfig{
+			MinGPUs: 1, MaxGPUs: 2,
+			ProvisionDelay: 100 * time.Millisecond,
+			CheckInterval:  50 * time.Millisecond,
+		},
+	})
+	res, err := c.Run(gen.Batch(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finished != 6 {
+		t.Fatalf("finished %d/6", res.Finished)
+	}
+	if c.AutoscaleStats().GPUSeconds <= 0 {
+		t.Error("autoscale stats missing through facade")
+	}
+}
+
+func TestQuantizedEngineFacade(t *testing.T) {
+	eng := punica.NewEngine(punica.EngineConfig{
+		System:          punica.PunicaSystem(),
+		GPU:             punica.A100(),
+		Model:           punica.Llama2_7B(),
+		Rank:            punica.DefaultLoRARank,
+		WeightPrecision: punica.INT8,
+		KVPrecision:     punica.INT8,
+	})
+	if err := eng.Enqueue(&punica.Request{ID: 1, Model: 1, PromptLen: 32, OutputLen: 4}, 0); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Duration(0)
+	for eng.Busy() {
+		res := eng.Step(now)
+		if res.Idle {
+			at, ok := eng.EarliestPendingReady()
+			if !ok {
+				t.Fatal("stuck")
+			}
+			now = at
+			continue
+		}
+		now = res.EndsAt
+	}
+	if eng.Stats().TokensGenerated != 4 {
+		t.Fatal("quantized engine did not generate")
+	}
+}

@@ -1,0 +1,91 @@
+// Package baselines catalogues the serving systems §7 compares Punica
+// against, expressed as core.SystemConfig capability sets. The paper
+// grants the baselines several relaxations (backbone-only for systems
+// without LoRA support, no model-switching cost); those relaxations are
+// reproduced here.
+package baselines
+
+import "punica/internal/core"
+
+// HuggingFace models the HuggingFace Transformers + PEFT stack: static
+// batching with an inseparable KvCache laid out [L,2,B,N,S,D] (§5.4),
+// per-step cache concatenation, no FlashAttention, unfused LayerNorm, and
+// an eager per-model LoRA loop. "HuggingFace Transformer's low
+// performance is due to its lack of critical CUDA kernel optimizations"
+// (§7.2).
+func HuggingFace() core.SystemConfig {
+	return core.SystemConfig{
+		Name:               "HuggingFace Transformers",
+		ContinuousBatching: false,
+		CrossLoRABatching:  false,
+		LoRA:               core.LoRALoop,
+		FlashAttention:     false,
+		FusedNorm:          false,
+		KVConcat:           true,
+		PagedKV:            false,
+		MaxBatch:           core.DefaultMaxBatch,
+		MaxPrefillPerStep:  core.DefaultMaxBatch,
+	}
+}
+
+// DeepSpeed models DeepSpeed-Inference: optimised fused kernels, but a
+// batch-inseparable KvCache (static batching, §5.4: "FasterTransformer
+// and DeepSpeed also suffer from similar problems") and PEFT-style LoRA.
+func DeepSpeed() core.SystemConfig {
+	return core.SystemConfig{
+		Name:               "DeepSpeed",
+		ContinuousBatching: false,
+		CrossLoRABatching:  false,
+		LoRA:               core.LoRALoop,
+		FlashAttention:     true,
+		FusedNorm:          true,
+		PagedKV:            false,
+		MaxBatch:           core.DefaultMaxBatch,
+		MaxPrefillPerStep:  core.DefaultMaxBatch,
+	}
+}
+
+// FasterTransformer models NVIDIA FasterTransformer run backbone-only
+// (it does not support LoRA): fused kernels, static batching.
+func FasterTransformer() core.SystemConfig {
+	return core.SystemConfig{
+		Name:               "FasterTransformer (backbone-only)",
+		ContinuousBatching: false,
+		CrossLoRABatching:  false,
+		LoRA:               core.LoRANone,
+		FlashAttention:     true,
+		FusedNorm:          true,
+		PagedKV:            false,
+		MaxBatch:           core.DefaultMaxBatch,
+		MaxPrefillPerStep:  core.DefaultMaxBatch,
+	}
+}
+
+// VLLM models vLLM run backbone-only: paged KvCache with continuous
+// batching (its throughput ties Punica in the Identical workload, §7.2),
+// but no cross-LoRA batching — each adapter is a separate model.
+func VLLM() core.SystemConfig {
+	return core.SystemConfig{
+		Name:               "vLLM (backbone-only)",
+		ContinuousBatching: true,
+		CrossLoRABatching:  false,
+		LoRA:               core.LoRANone,
+		FlashAttention:     true,
+		FusedNorm:          true,
+		PagedKV:            true,
+		MaxBatch:           core.DefaultMaxBatch,
+		MaxPrefillPerStep:  core.DefaultMaxBatch,
+	}
+}
+
+// All returns the §7.2 single-GPU comparison set in the paper's plotting
+// order, ending with Punica.
+func All() []core.SystemConfig {
+	return []core.SystemConfig{
+		HuggingFace(),
+		DeepSpeed(),
+		FasterTransformer(),
+		VLLM(),
+		core.PunicaSystem(),
+	}
+}

@@ -1,0 +1,74 @@
+package baselines
+
+import (
+	"testing"
+
+	"punica/internal/core"
+)
+
+func TestCapabilityMatrix(t *testing.T) {
+	// The §7 comparison is causal because each baseline differs from
+	// Punica only in documented capabilities. Pin the matrix.
+	cases := []struct {
+		sys        core.SystemConfig
+		continuous bool
+		crossLoRA  bool
+		lora       core.LoRAMode
+		flash      bool
+		paged      bool
+	}{
+		{HuggingFace(), false, false, core.LoRALoop, false, false},
+		{DeepSpeed(), false, false, core.LoRALoop, true, false},
+		{FasterTransformer(), false, false, core.LoRANone, true, false},
+		{VLLM(), true, false, core.LoRANone, true, true},
+		{core.PunicaSystem(), true, true, core.LoRASGMV, true, true},
+	}
+	for _, c := range cases {
+		if c.sys.ContinuousBatching != c.continuous {
+			t.Errorf("%s: continuous batching = %v", c.sys.Name, c.sys.ContinuousBatching)
+		}
+		if c.sys.CrossLoRABatching != c.crossLoRA {
+			t.Errorf("%s: cross-LoRA batching = %v", c.sys.Name, c.sys.CrossLoRABatching)
+		}
+		if c.sys.LoRA != c.lora {
+			t.Errorf("%s: LoRA mode = %v", c.sys.Name, c.sys.LoRA)
+		}
+		if c.sys.FlashAttention != c.flash {
+			t.Errorf("%s: flash attention = %v", c.sys.Name, c.sys.FlashAttention)
+		}
+		if c.sys.PagedKV != c.paged {
+			t.Errorf("%s: paged KV = %v", c.sys.Name, c.sys.PagedKV)
+		}
+	}
+	// Only HuggingFace pays the KvCache concatenation cost (§5.4).
+	if !HuggingFace().KVConcat {
+		t.Error("HuggingFace must concat KvCache")
+	}
+	for _, sys := range []core.SystemConfig{DeepSpeed(), FasterTransformer(), VLLM()} {
+		if sys.KVConcat {
+			t.Errorf("%s should not pay concat cost", sys.Name)
+		}
+	}
+	// Only Punica restricts prefill to one per step (§5).
+	if core.PunicaSystem().MaxPrefillPerStep != 1 {
+		t.Error("Punica prefill limit must be 1")
+	}
+	for _, sys := range All()[:4] {
+		if sys.MaxPrefillPerStep != sys.MaxBatch {
+			t.Errorf("%s should prefill whole batches", sys.Name)
+		}
+	}
+}
+
+func TestAllOrderEndsWithPunica(t *testing.T) {
+	all := All()
+	if len(all) != 5 || all[4].Name != "Punica" {
+		t.Fatalf("All() = %d systems ending with %q", len(all), all[len(all)-1].Name)
+	}
+	// Every system gets the paper's shared batch cap.
+	for _, sys := range all {
+		if sys.MaxBatch != core.DefaultMaxBatch {
+			t.Errorf("%s max batch = %d, want %d", sys.Name, sys.MaxBatch, core.DefaultMaxBatch)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+// AutoscaleConfig enables elastic GPU provisioning per §5.1: the cluster
+// starts with MinGPUs, requests another GPU (after ProvisionDelay)
+// whenever no lightly-loaded GPU exists, and returns idle GPUs to the
+// provider down to MinGPUs.
+type AutoscaleConfig struct {
+	MinGPUs int
+	MaxGPUs int
+	// ProvisionDelay models cloud GPU attach time (VM boot + backbone
+	// weight load).
+	ProvisionDelay time.Duration
+	// CheckInterval is the autoscaler's evaluation period.
+	CheckInterval time.Duration
+}
+
+func (a AutoscaleConfig) validate() AutoscaleConfig {
+	if a.MinGPUs < 1 {
+		a.MinGPUs = 1
+	}
+	if a.MaxGPUs < a.MinGPUs {
+		a.MaxGPUs = a.MinGPUs
+	}
+	if a.CheckInterval <= 0 {
+		a.CheckInterval = 10 * time.Second
+	}
+	return a
+}
+
+// autoscaler tracks elastic state inside a Cluster run.
+type autoscaler struct {
+	cfg     AutoscaleConfig
+	c       *Cluster
+	standby []*runner // provisioned-capacity pool, offline
+	online  map[*runner]time.Duration
+	inBoot  int
+
+	provisions  int64
+	releases    int64
+	gpuSecs     float64
+	lastFinal   time.Duration
+	finalOnline int
+}
+
+// setupAutoscale moves all but MinGPUs runners into the standby pool.
+// The scheduler starts with only the online set.
+func (c *Cluster) setupAutoscale(cfg AutoscaleConfig) {
+	cfg = cfg.validate()
+	if cfg.MaxGPUs > len(c.gpus) {
+		panic(fmt.Sprintf("cluster: autoscale MaxGPUs %d exceeds provisioned %d",
+			cfg.MaxGPUs, len(c.gpus)))
+	}
+	a := &autoscaler{cfg: cfg, c: c, online: make(map[*runner]time.Duration)}
+	for i, r := range c.gpus {
+		if i < cfg.MinGPUs {
+			a.online[r] = 0
+			continue
+		}
+		a.standby = append(a.standby, r)
+		// Take offline: remove from the scheduler.
+		if _, ok := c.sched.RemoveGPU(r.gpu.UUID); !ok {
+			panic("cluster: could not take fresh GPU offline")
+		}
+	}
+	c.scale = a
+}
+
+// tick evaluates the §5.1 conditions.
+func (a *autoscaler) tick() {
+	now := a.c.clock.Now()
+	// Scale up: every online GPU is loaded and capacity is waiting.
+	if a.c.sched.NeedMoreGPUs() &&
+		len(a.online)+a.inBoot < a.cfg.MaxGPUs && len(a.standby) > 0 {
+		r := a.standby[len(a.standby)-1]
+		a.standby = a.standby[:len(a.standby)-1]
+		a.inBoot++
+		a.provisions++
+		a.c.clock.Schedule(now+a.cfg.ProvisionDelay, func() {
+			a.inBoot--
+			a.online[r] = a.c.clock.Now()
+			a.c.sched.AddGPU(r.gpu)
+			// Newly attached capacity drains the queue.
+			placed, err := a.c.sched.DrainQueue(a.c.clock.Now())
+			if err != nil {
+				panic("cluster: autoscale drain: " + err.Error())
+			}
+			for _, p := range placed {
+				a.c.runnerOf(p.GPU).kick()
+			}
+		})
+	}
+	// Scale down: release idle GPUs beyond the floor.
+	for len(a.online) > a.cfg.MinGPUs {
+		released := false
+		for _, g := range a.c.sched.ReleasableGPUs() {
+			if len(a.online) <= a.cfg.MinGPUs {
+				break
+			}
+			if _, ok := a.c.sched.RemoveGPU(g.UUID); ok {
+				r := a.c.runnerOf(g)
+				a.gpuSecs += (now - a.online[r]).Seconds()
+				delete(a.online, r)
+				a.standby = append(a.standby, r)
+				a.releases++
+				a.c.res.BatchSeries[r.index].Add(now, 0)
+				released = true
+			}
+		}
+		if !released {
+			break
+		}
+	}
+	if a.c.arrivalsLeft > 0 || a.c.anyBusy() || a.c.sched.QueueLen() > 0 {
+		a.c.clock.ScheduleAfter(a.cfg.CheckInterval, a.tick)
+	} else {
+		a.finish(now)
+	}
+}
+
+// finish charges the remaining online time.
+func (a *autoscaler) finish(now time.Duration) {
+	if a.lastFinal != 0 {
+		return
+	}
+	a.lastFinal = now
+	a.finalOnline = len(a.online)
+	for r, since := range a.online {
+		a.gpuSecs += (now - since).Seconds()
+		_ = r
+	}
+}
+
+// AutoscaleStats summarises elastic behaviour after a run.
+type AutoscaleStats struct {
+	Provisions  int64
+	Releases    int64
+	GPUSeconds  float64
+	FinalOnline int
+}
+
+// AutoscaleStats returns the elastic summary (zero value when autoscale
+// was not enabled).
+func (c *Cluster) AutoscaleStats() AutoscaleStats {
+	if c.scale == nil {
+		return AutoscaleStats{}
+	}
+	c.scale.finish(c.clock.Now())
+	return AutoscaleStats{
+		Provisions:  c.scale.provisions,
+		Releases:    c.scale.releases,
+		GPUSeconds:  c.scale.gpuSecs,
+		FinalOnline: c.scale.finalOnline,
+	}
+}
+
+// Online reports whether a GPU index is currently schedulable.
+func (c *Cluster) Online(index int) bool {
+	if index < 0 || index >= len(c.gpus) {
+		return false
+	}
+	for _, g := range c.sched.GPUs() {
+		if g == c.gpus[index].gpu {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"punica/internal/dist"
+	"punica/internal/workload"
+)
+
+func TestAutoscaleStartsAtFloor(t *testing.T) {
+	c := New(Config{
+		NumGPUs: 4,
+		Engine:  punicaEngineConfig(),
+		Autoscale: &AutoscaleConfig{
+			MinGPUs: 2, MaxGPUs: 4,
+			ProvisionDelay: time.Second, CheckInterval: time.Second,
+		},
+	})
+	online := 0
+	for i := 0; i < 4; i++ {
+		if c.Online(i) {
+			online++
+		}
+	}
+	if online != 2 {
+		t.Fatalf("%d GPUs online at start, want MinGPUs=2", online)
+	}
+}
+
+func TestAutoscaleProvisionsUnderLoad(t *testing.T) {
+	ec := punicaEngineConfig()
+	ec.System.MaxBatch = 4
+	c := New(Config{
+		NumGPUs: 3,
+		Engine:  ec,
+		Autoscale: &AutoscaleConfig{
+			MinGPUs: 1, MaxGPUs: 3,
+			ProvisionDelay: 500 * time.Millisecond,
+			CheckInterval:  200 * time.Millisecond,
+		},
+	})
+	// Sustained load well beyond one GPU's batch capacity.
+	g := workload.NewGenerator(dist.Uniform, workload.Lengths{
+		PromptMu: 4.5, PromptSigma: 0.4, PromptMin: 32, PromptMax: 128,
+		OutMu: 4.5, OutSigma: 0.4, OutMin: 32, OutMax: 256,
+	}, 3)
+	reqs := g.Poisson(func(time.Duration) float64 { return 8 }, 8, 20*time.Second, 8)
+	res, err := c.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finished != int64(len(reqs)) {
+		t.Fatalf("finished %d/%d", res.Finished, len(reqs))
+	}
+	as := c.AutoscaleStats()
+	if as.Provisions == 0 {
+		t.Fatal("saturated floor GPU should trigger provisioning")
+	}
+	if as.GPUSeconds <= 0 {
+		t.Fatal("GPU-seconds accounting missing")
+	}
+	// Elastic GPU time must be at most the fixed-cluster equivalent.
+	fixedEquivalent := 3 * res.Makespan.Seconds()
+	if as.GPUSeconds >= fixedEquivalent {
+		t.Fatalf("elastic %.1f GPU-s should undercut fixed %.1f", as.GPUSeconds, fixedEquivalent)
+	}
+}
+
+func TestAutoscaleReleasesAfterLoad(t *testing.T) {
+	ec := punicaEngineConfig()
+	ec.System.MaxBatch = 2
+	c := New(Config{
+		NumGPUs: 3,
+		Engine:  ec,
+		Autoscale: &AutoscaleConfig{
+			MinGPUs: 1, MaxGPUs: 3,
+			ProvisionDelay: 200 * time.Millisecond,
+			CheckInterval:  100 * time.Millisecond,
+		},
+	})
+	res, err := c.Run(shortTrace(dist.Uniform, 20, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finished != 20 {
+		t.Fatalf("finished %d/20", res.Finished)
+	}
+	as := c.AutoscaleStats()
+	if as.Releases == 0 && as.Provisions > 0 {
+		t.Fatal("scaled-up GPUs should be released after the burst")
+	}
+	if as.FinalOnline > 1 {
+		t.Fatalf("%d GPUs online at end, want the floor (1)", as.FinalOnline)
+	}
+}
+
+func TestAutoscaleDisabledStats(t *testing.T) {
+	c := New(Config{NumGPUs: 1, Engine: punicaEngineConfig()})
+	if st := c.AutoscaleStats(); st != (AutoscaleStats{}) {
+		t.Fatalf("autoscale stats without autoscale: %+v", st)
+	}
+}
+
+func TestAutoscaleValidatesCeiling(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MaxGPUs beyond provisioned capacity should panic")
+		}
+	}()
+	New(Config{
+		NumGPUs:   2,
+		Engine:    punicaEngineConfig(),
+		Autoscale: &AutoscaleConfig{MinGPUs: 1, MaxGPUs: 8},
+	})
+}

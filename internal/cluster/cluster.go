@@ -1,0 +1,308 @@
+// Package cluster is the discrete-event simulator that drives one or more
+// serving engines under a request trace: arrivals dispatch through the
+// Punica scheduler, each GPU runs invocations back-to-back, evictions are
+// re-scheduled, and periodic consolidation migrates requests off
+// lightly-loaded GPUs (§5, §7.3).
+//
+// An hour-long 16-GPU run executes in seconds of wall time while
+// preserving the ordering semantics of the real system.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"punica/internal/core"
+	"punica/internal/lora"
+	"punica/internal/metrics"
+	"punica/internal/sched"
+	"punica/internal/sim"
+	"punica/internal/workload"
+)
+
+// Config describes a simulated deployment.
+type Config struct {
+	// NumGPUs is the number of engines (each may itself be a TP group).
+	NumGPUs int
+	// Engine is the per-GPU engine template (System, GPU, Model, Rank,
+	// TP, overrides). Token/finish callbacks are owned by the cluster.
+	Engine core.Config
+	// MigrationInterval enables periodic consolidation when > 0.
+	MigrationInterval time.Duration
+	// Autoscale enables §5.1 elastic provisioning: NumGPUs becomes the
+	// provisioned capacity ceiling, and the run starts with
+	// Autoscale.MinGPUs online.
+	Autoscale *AutoscaleConfig
+}
+
+// Result aggregates a run.
+type Result struct {
+	// Makespan is the completion time of the last request.
+	Makespan time.Duration
+	// DecodeTokens counts generated tokens; PrefillTokens counts prompt
+	// tokens processed (including recomputation after migration).
+	DecodeTokens  int64
+	PrefillTokens int64
+	// Throughput is generated tokens per second over the makespan — the
+	// Fig. 11/12 metric.
+	Throughput float64
+	Finished   int64
+	Migrations int64
+	Evictions  int64
+	// WastedDecodes counts static-batch slots burned for finished
+	// requests (Fig. 6).
+	WastedDecodes int64
+
+	// Latency distributions over finished requests (seconds).
+	TimeToFirstToken metrics.Histogram
+	EndToEnd         metrics.Histogram
+	PerTokenLatency  metrics.Histogram
+
+	// Series for the Fig. 13 panels.
+	ArrivalSeries   metrics.TimeSeries   // weight 1 per arrival
+	ProcessedSeries metrics.TimeSeries   // prefill+decode tokens at step end
+	BatchSeries     []metrics.TimeSeries // per-GPU invocation batch size
+
+	// GPUBusyFraction is each engine's busy time over the makespan.
+	GPUBusyFraction []float64
+	QueuePeak       int
+}
+
+// Cluster wires engines, scheduler and virtual clock together.
+type Cluster struct {
+	cfg   Config
+	clock *sim.VirtualClock
+	sched *sched.Scheduler
+	gpus  []*runner
+
+	res          Result
+	arrivalsLeft int
+	scale        *autoscaler
+}
+
+type runner struct {
+	gpu           *sched.GPU
+	eng           *core.Engine
+	index         int
+	stepInFlight  bool
+	wakeScheduled bool
+	cluster       *Cluster
+}
+
+// New builds a cluster of cfg.NumGPUs engines. UUIDs are "gpu-00",
+// "gpu-01", ... so the §5.1 tie-break (highest UUID) is deterministic.
+func New(cfg Config) *Cluster {
+	if cfg.NumGPUs <= 0 {
+		panic("cluster: need at least one GPU")
+	}
+	c := &Cluster{cfg: cfg, clock: sim.NewVirtualClock()}
+	var gpus []*sched.GPU
+	for i := 0; i < cfg.NumGPUs; i++ {
+		ec := cfg.Engine
+		ec.OnToken = nil
+		ec.OnFinish = nil
+		eng := core.NewEngine(ec)
+		g := &sched.GPU{UUID: fmt.Sprintf("gpu-%02d", i), Engine: eng}
+		gpus = append(gpus, g)
+		c.gpus = append(c.gpus, &runner{gpu: g, eng: eng, index: i, cluster: c})
+	}
+	c.sched = sched.New(gpus)
+	c.res.BatchSeries = make([]metrics.TimeSeries, cfg.NumGPUs)
+	if cfg.Autoscale != nil {
+		c.setupAutoscale(*cfg.Autoscale)
+	}
+	return c
+}
+
+// Scheduler exposes the scheduler (for tests and scale-hint inspection).
+func (c *Cluster) Scheduler() *sched.Scheduler { return c.sched }
+
+// Clock exposes the virtual clock.
+func (c *Cluster) Clock() *sim.VirtualClock { return c.clock }
+
+// Run executes the trace to completion and returns the aggregated result.
+func (c *Cluster) Run(reqs []workload.Request) (*Result, error) {
+	c.arrivalsLeft = len(reqs)
+	var runErr error
+	fail := func(err error) {
+		if runErr == nil {
+			runErr = err
+		}
+	}
+	for i := range reqs {
+		wr := reqs[i]
+		c.clock.Schedule(wr.Arrival, func() {
+			c.arrivalsLeft--
+			c.res.ArrivalSeries.Add(c.clock.Now(), 1)
+			r := &core.Request{
+				ID:        wr.ID,
+				Model:     lora.ModelID(wr.Model),
+				PromptLen: wr.PromptLen,
+				OutputLen: wr.OutputLen,
+				Arrival:   wr.Arrival,
+			}
+			g, err := c.sched.Dispatch(r, c.clock.Now())
+			if err != nil {
+				fail(err)
+				return
+			}
+			if g != nil {
+				c.runnerOf(g).kick()
+			}
+			if c.sched.QueueLen() > c.res.QueuePeak {
+				c.res.QueuePeak = c.sched.QueueLen()
+			}
+		})
+	}
+	if c.cfg.MigrationInterval > 0 {
+		c.clock.Schedule(c.cfg.MigrationInterval, c.migrationTick)
+	}
+	if c.scale != nil {
+		c.clock.Schedule(c.scale.cfg.CheckInterval, c.scale.tick)
+	}
+	c.clock.RunAll()
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	for _, r := range c.gpus {
+		st := r.eng.Stats()
+		c.res.DecodeTokens += st.TokensGenerated
+		c.res.PrefillTokens += st.PrefillTokens
+		c.res.WastedDecodes += st.WastedDecodes
+		c.res.Evictions += st.Evictions
+		c.res.Finished += st.Finished
+		if c.res.Makespan > 0 {
+			c.res.GPUBusyFraction = append(c.res.GPUBusyFraction,
+				st.BusyTime.Seconds()/c.res.Makespan.Seconds())
+		} else {
+			c.res.GPUBusyFraction = append(c.res.GPUBusyFraction, 0)
+		}
+	}
+	c.res.Migrations = c.sched.Stats().Migrations
+	if c.res.Makespan > 0 {
+		c.res.Throughput = float64(c.res.DecodeTokens) / c.res.Makespan.Seconds()
+	}
+	if c.sched.QueueLen() > 0 || c.anyBusy() {
+		return nil, fmt.Errorf("cluster: run ended with unfinished work (queue=%d)", c.sched.QueueLen())
+	}
+	return &c.res, nil
+}
+
+func (c *Cluster) runnerOf(g *sched.GPU) *runner {
+	for _, r := range c.gpus {
+		if r.gpu == g {
+			return r
+		}
+	}
+	panic("cluster: unknown GPU")
+}
+
+func (c *Cluster) anyBusy() bool {
+	for _, r := range c.gpus {
+		if r.eng.Busy() || r.stepInFlight {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Cluster) migrationTick() {
+	moved := c.sched.Consolidate(c.clock.Now())
+	if moved > 0 {
+		for _, r := range c.gpus {
+			// A drained GPU goes idle: record the zero so the batch
+			// series reflects the consolidation.
+			if !r.eng.Busy() && !r.stepInFlight {
+				c.res.BatchSeries[r.index].Add(c.clock.Now(), 0)
+			}
+			r.kick()
+		}
+	}
+	if c.arrivalsLeft > 0 || c.anyBusy() || c.sched.QueueLen() > 0 {
+		c.clock.ScheduleAfter(c.cfg.MigrationInterval, c.migrationTick)
+	}
+}
+
+// kick starts a step on the runner's engine if one is not already in
+// flight. GPUs run "batches on a GPU back-to-back" (§8).
+func (r *runner) kick() {
+	if r.stepInFlight {
+		return
+	}
+	e := r.eng
+	if !e.Busy() {
+		return
+	}
+	now := r.cluster.clock.Now()
+	res := e.Step(now)
+	r.handleEvicted(res.Evicted)
+	if res.Idle {
+		if wake, ok := e.EarliestPendingReady(); ok && wake > now {
+			if !r.wakeScheduled {
+				r.wakeScheduled = true
+				r.cluster.clock.Schedule(wake, func() {
+					r.wakeScheduled = false
+					r.kick()
+				})
+			}
+			return
+		}
+		if e.Busy() {
+			panic("cluster: engine idle with work but no wake-up time")
+		}
+		return
+	}
+	r.stepInFlight = true
+	r.cluster.res.BatchSeries[r.index].Add(now, float64(res.BatchSize))
+	r.cluster.clock.Schedule(res.EndsAt, func() { r.complete(res) })
+}
+
+// complete finishes a step: records metrics, re-schedules evictions,
+// drains the global queue into freed capacity, and immediately starts the
+// next step.
+func (r *runner) complete(res core.StepResult) {
+	c := r.cluster
+	now := c.clock.Now()
+	r.stepInFlight = false
+
+	c.res.ProcessedSeries.Add(now, float64(res.TokensGenerated+res.PrefillTokens))
+	for _, f := range res.Finished {
+		if f.FinishedAt > c.res.Makespan {
+			c.res.Makespan = f.FinishedAt
+		}
+		c.res.TimeToFirstToken.AddDuration(f.FirstTokenAt - f.Arrival)
+		c.res.EndToEnd.AddDuration(f.FinishedAt - f.Arrival)
+		if f.OutputLen > 1 {
+			per := (f.FinishedAt - f.FirstTokenAt) / time.Duration(f.OutputLen-1)
+			c.res.PerTokenLatency.AddDuration(per)
+		}
+	}
+	if len(res.Finished) > 0 || len(res.Evicted) > 0 {
+		placed, err := c.sched.DrainQueue(now)
+		if err != nil {
+			panic("cluster: drain queue: " + err.Error())
+		}
+		for _, p := range placed {
+			c.runnerOf(p.GPU).kick()
+		}
+	}
+	if !r.eng.Busy() {
+		c.res.BatchSeries[r.index].Add(now, 0)
+	}
+	r.kick()
+}
+
+func (r *runner) handleEvicted(evicted []*core.Request) {
+	c := r.cluster
+	now := c.clock.Now()
+	for _, ev := range evicted {
+		g, err := c.sched.Reschedule(ev, r.gpu, now)
+		if err != nil {
+			panic("cluster: reschedule evicted: " + err.Error())
+		}
+		if g != nil {
+			c.runnerOf(g).kick()
+		}
+	}
+}

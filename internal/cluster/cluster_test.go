@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"punica/internal/baselines"
+	"punica/internal/core"
+	"punica/internal/dist"
+	"punica/internal/hw"
+	"punica/internal/models"
+	"punica/internal/workload"
+)
+
+func punicaEngineConfig() core.Config {
+	return core.Config{
+		System: core.PunicaSystem(),
+		GPU:    hw.A100(),
+		Model:  models.Llama2_7B(),
+		Rank:   models.DefaultLoRARank,
+	}
+}
+
+func shortTrace(kind dist.Kind, n int, seed int64) []workload.Request {
+	g := workload.NewGenerator(kind, workload.Lengths{
+		PromptMu: 4.5, PromptSigma: 0.5, PromptMin: 16, PromptMax: 256,
+		OutMu: 3.0, OutSigma: 0.5, OutMin: 4, OutMax: 64,
+	}, seed)
+	return g.Batch(n)
+}
+
+func TestSingleGPURunCompletes(t *testing.T) {
+	c := New(Config{NumGPUs: 1, Engine: punicaEngineConfig()})
+	reqs := shortTrace(dist.Uniform, 40, 1)
+	res, err := c.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finished != 40 {
+		t.Fatalf("finished %d/40", res.Finished)
+	}
+	var wantTokens int64
+	for _, r := range reqs {
+		wantTokens += int64(r.OutputLen)
+	}
+	if res.DecodeTokens != wantTokens {
+		t.Fatalf("decode tokens %d, want %d", res.DecodeTokens, wantTokens)
+	}
+	if res.Throughput <= 0 || res.Makespan <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	if res.EndToEnd.Count() != 40 || res.TimeToFirstToken.Count() != 40 {
+		t.Fatal("latency histograms incomplete")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() *Result {
+		c := New(Config{NumGPUs: 2, Engine: punicaEngineConfig()})
+		res, err := c.Run(shortTrace(dist.Skewed, 60, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Makespan != b.Makespan || a.DecodeTokens != b.DecodeTokens ||
+		a.Throughput != b.Throughput || a.Migrations != b.Migrations {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestPoissonArrivalsRespectsArrivalTimes(t *testing.T) {
+	g := workload.NewGenerator(dist.Uniform, workload.Lengths{
+		PromptMu: 4, PromptSigma: 0.3, PromptMin: 16, PromptMax: 128,
+		OutMu: 2.5, OutSigma: 0.3, OutMin: 4, OutMax: 32,
+	}, 3)
+	reqs := g.Poisson(func(time.Duration) float64 { return 2 }, 2, 30*time.Second, 8)
+	if len(reqs) < 20 {
+		t.Fatalf("trace too small: %d", len(reqs))
+	}
+	c := New(Config{NumGPUs: 1, Engine: punicaEngineConfig()})
+	res, err := c.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finished != int64(len(reqs)) {
+		t.Fatalf("finished %d/%d", res.Finished, len(reqs))
+	}
+	// Makespan must extend past the last arrival.
+	last := reqs[len(reqs)-1].Arrival
+	if res.Makespan < last {
+		t.Fatalf("makespan %v before last arrival %v", res.Makespan, last)
+	}
+}
+
+func TestMultiGPUSpreadsOnlyWhenNeeded(t *testing.T) {
+	// 4 requests into a 4-GPU cluster with room: the routing rule
+	// ("largest working set first") should pile them on one GPU, not
+	// spread them.
+	c := New(Config{NumGPUs: 4, Engine: punicaEngineConfig()})
+	res, err := c.Run(shortTrace(dist.Uniform, 4, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := 0
+	for _, f := range res.GPUBusyFraction {
+		if f > 0 {
+			busy++
+		}
+	}
+	if busy != 1 {
+		t.Fatalf("%d GPUs did work, want 1 (consolidation)", busy)
+	}
+}
+
+func TestOverloadSpillsToMoreGPUs(t *testing.T) {
+	cfg := punicaEngineConfig()
+	cfg.System.MaxBatch = 4
+	c := New(Config{NumGPUs: 3, Engine: cfg})
+	res, err := c.Run(shortTrace(dist.Uniform, 30, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := 0
+	for _, f := range res.GPUBusyFraction {
+		if f > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Fatalf("overload used %d GPUs, want several", busy)
+	}
+	if res.Finished != 30 {
+		t.Fatalf("finished %d/30", res.Finished)
+	}
+}
+
+func TestQueueingWhenSaturated(t *testing.T) {
+	cfg := punicaEngineConfig()
+	cfg.System.MaxBatch = 2
+	c := New(Config{NumGPUs: 1, Engine: cfg})
+	res, err := c.Run(shortTrace(dist.Identical, 12, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueuePeak == 0 {
+		t.Fatal("tiny GPU under burst load should have queued")
+	}
+	if res.Finished != 12 {
+		t.Fatalf("finished %d/12", res.Finished)
+	}
+}
+
+func TestMigrationConsolidates(t *testing.T) {
+	// Two waves: the first fills two GPUs; as requests finish, periodic
+	// consolidation should drain a lightly-loaded GPU onto the busier
+	// one.
+	cfg := punicaEngineConfig()
+	cfg.System.MaxBatch = 8
+	c := New(Config{
+		NumGPUs:           2,
+		Engine:            cfg,
+		MigrationInterval: 50 * time.Millisecond,
+	})
+	g := workload.NewGenerator(dist.Uniform, workload.Lengths{
+		PromptMu: 4.5, PromptSigma: 0.4, PromptMin: 32, PromptMax: 128,
+		OutMu: 4.0, OutSigma: 0.6, OutMin: 16, OutMax: 256,
+	}, 11)
+	reqs := g.Batch(16)
+	res, err := c.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finished != 16 {
+		t.Fatalf("finished %d/16", res.Finished)
+	}
+	if res.Migrations == 0 {
+		t.Fatal("expected periodic consolidation to migrate at least once")
+	}
+}
+
+func TestStaticBaselineProducesWaste(t *testing.T) {
+	cfg := punicaEngineConfig()
+	cfg.System = baselines.HuggingFace()
+	c := New(Config{NumGPUs: 1, Engine: cfg})
+	res, err := c.Run(shortTrace(dist.Identical, 8, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WastedDecodes == 0 {
+		t.Fatal("static batching with varied lengths must waste decode slots")
+	}
+	if res.Finished != 8 {
+		t.Fatalf("finished %d/8", res.Finished)
+	}
+}
+
+func TestPunicaBeatsVLLMOnDistinct(t *testing.T) {
+	// The headline shape, in miniature: on the Distinct workload Punica
+	// batches across adapters while vLLM serializes models.
+	trace := shortTrace(dist.Distinct, 24, 17)
+	punica := New(Config{NumGPUs: 1, Engine: punicaEngineConfig()})
+	resP, err := punica.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vcfg := punicaEngineConfig()
+	vcfg.System = baselines.VLLM()
+	vllm := New(Config{NumGPUs: 1, Engine: vcfg})
+	resV, err := vllm.Run(shortTrace(dist.Distinct, 24, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resP.Throughput <= 2*resV.Throughput {
+		t.Fatalf("Punica %.0f tok/s should be >2x vLLM %.0f tok/s on Distinct",
+			resP.Throughput, resV.Throughput)
+	}
+}
+
+func TestBatchSeriesRecorded(t *testing.T) {
+	c := New(Config{NumGPUs: 1, Engine: punicaEngineConfig()})
+	res, err := c.Run(shortTrace(dist.Uniform, 10, 19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BatchSeries) != 1 || res.BatchSeries[0].Len() == 0 {
+		t.Fatal("batch-size series not recorded")
+	}
+	if res.ArrivalSeries.Len() != 10 {
+		t.Fatalf("arrival series has %d points, want 10", res.ArrivalSeries.Len())
+	}
+	if res.ProcessedSeries.Len() == 0 {
+		t.Fatal("processed-token series empty")
+	}
+}

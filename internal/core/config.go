@@ -1,0 +1,194 @@
+package core
+
+import (
+	"time"
+
+	"punica/internal/hw"
+	"punica/internal/kvcache"
+	"punica/internal/layer"
+	"punica/internal/models"
+)
+
+// LoRAMode selects how a system computes the LoRA addon.
+type LoRAMode int
+
+const (
+	// LoRANone serves the backbone only (FasterTransformer and vLLM in
+	// §7: "we run backbone-only ... since these two systems do not
+	// support LoRA models").
+	LoRANone LoRAMode = iota
+	// LoRASGMV is Punica's batched kernel.
+	LoRASGMV
+	// LoRALoop is the eager PEFT-style per-model loop.
+	LoRALoop
+)
+
+// SystemConfig encodes the capabilities that distinguish the serving
+// systems the paper compares. Each §7 baseline is a point in this space;
+// the comparison is causal because only these flags differ.
+type SystemConfig struct {
+	Name string
+
+	// ContinuousBatching lets requests join and leave the batch at step
+	// granularity (Punica, vLLM). Without it the batch is static:
+	// "requests that enter the batch together need to remain together
+	// during all decode steps until all requests meet their own
+	// stopping condition" (§5.4, Fig. 6).
+	ContinuousBatching bool
+
+	// CrossLoRABatching batches requests for different LoRA models in
+	// one invocation — the SGMV capability. Baselines "can only batch
+	// requests for the same LoRA models" (§7.2).
+	CrossLoRABatching bool
+
+	LoRA LoRAMode
+
+	// Layer-cost feature flags (see layer.Costs).
+	FlashAttention bool
+	FusedNorm      bool
+	KVConcat       bool
+
+	// PagedKV allocates KvCache page-by-page as sequences grow; without
+	// it the engine reserves prompt+output contiguously up front.
+	PagedKV bool
+
+	// MaxBatch caps the LLM invocation batch size. The paper profiles
+	// A100s and sets 32 (§5.1).
+	MaxBatch int
+
+	// MaxPrefillPerStep limits how many prefill requests one invocation
+	// carries. Punica uses 1 "to minimize latency penalty" (§5).
+	MaxPrefillPerStep int
+}
+
+// DefaultMaxBatch is the §5.1 A100 sweet spot.
+const DefaultMaxBatch = 32
+
+// PunicaSystem returns Punica's capability set.
+func PunicaSystem() SystemConfig {
+	return SystemConfig{
+		Name:               "Punica",
+		ContinuousBatching: true,
+		CrossLoRABatching:  true,
+		LoRA:               LoRASGMV,
+		FlashAttention:     true,
+		FusedNorm:          true,
+		PagedKV:            true,
+		MaxBatch:           DefaultMaxBatch,
+		MaxPrefillPerStep:  1,
+	}
+}
+
+// Config assembles one engine instance: the system's capabilities, the
+// hardware, and the model being served.
+type Config struct {
+	System SystemConfig
+	GPU    hw.GPUSpec
+	Model  models.Config
+	Rank   int
+
+	// TP is the tensor-parallel group size; the engine then represents
+	// the whole group (weights, KvCache and LoRA weights sharded TP
+	// ways, two all-reduces per layer).
+	TP int
+
+	// WeightPrecision quantizes the backbone (§8 extension): smaller
+	// weights stream faster and leave more HBM for KvCache. FP16 (the
+	// zero value) reproduces the paper's setup.
+	WeightPrecision hw.Precision
+	// KVPrecision quantizes the KvCache: more resident tokens and less
+	// attention traffic.
+	KVPrecision hw.Precision
+
+	// KVCapacityBytes overrides the derived KvCache budget when > 0.
+	KVCapacityBytes int64
+	// PageSize overrides the KvCache page size when > 0.
+	PageSize int
+	// LoRAStoreBytes overrides the adapter cache size when > 0.
+	LoRAStoreBytes int64
+	// HostOverhead overrides the per-invocation host cost when > 0.
+	HostOverhead time.Duration
+
+	// OnToken, if set, receives every generated token (streaming).
+	OnToken func(Token)
+	// OnFinish, if set, receives every completed request.
+	OnFinish func(*Request)
+}
+
+// reservePerGPU is the activation/workspace memory held out per GPU
+// before sizing the KvCache pool ("a large fraction of GPU memory is
+// reserved for KvCache", §3 — large, not all).
+const reservePerGPU = 4 << 30
+
+// defaultLoRAStoreBytes is the per-GPU adapter cache budget. It must hold
+// at least MaxBatch distinct resident adapters (the Distinct workload pins
+// one per running request): 32 × ~125 MB for a 13B rank-16 adapter needs
+// ~4 GiB; 6 GiB leaves warm headroom.
+const defaultLoRAStoreBytes = 6 << 30
+
+func (c Config) tp() int {
+	if c.TP < 1 {
+		return 1
+	}
+	return c.TP
+}
+
+// kvCapacity derives the KvCache budget: group memory minus backbone
+// weights minus per-GPU reserves (and the adapter cache when serving
+// LoRA).
+func (c Config) kvCapacity() int64 {
+	if c.KVCapacityBytes > 0 {
+		return c.KVCapacityBytes
+	}
+	tp := int64(c.tp())
+	weights := int64(float64(c.Model.Params()) * c.WeightPrecision.BytesPerParam())
+	capacity := tp*c.GPU.MemBytes - weights - tp*reservePerGPU
+	if c.System.LoRA != LoRANone {
+		capacity -= tp * c.loraStoreBytes()
+	}
+	if capacity < 0 {
+		capacity = 0
+	}
+	return capacity
+}
+
+// kvBytesPerToken is the pool accounting granularity at the configured
+// cache precision.
+func (c Config) kvBytesPerToken() int64 {
+	b := int64(float64(c.Model.KVBytesPerToken()) * c.KVPrecision.BytesPerParam() / hw.FP16Bytes)
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+func (c Config) pageSize() int {
+	if c.PageSize > 0 {
+		return c.PageSize
+	}
+	return kvcache.DefaultPageSize
+}
+
+func (c Config) loraStoreBytes() int64 {
+	if c.LoRAStoreBytes > 0 {
+		return c.LoRAStoreBytes
+	}
+	return defaultLoRAStoreBytes
+}
+
+// costs assembles the layer cost model matching the system flags.
+func (c Config) costs() layer.Costs {
+	costs := layer.New(c.GPU, c.Model).WithTP(c.tp())
+	costs.FlashAttention = c.System.FlashAttention
+	costs.FusedNorm = c.System.FusedNorm
+	costs.KVConcat = c.System.KVConcat
+	if c.System.LoRA == LoRALoop {
+		costs.LoRAImpl = layer.LoRALoop
+	}
+	costs.WeightPrecision = c.WeightPrecision
+	costs.KVPrecision = c.KVPrecision
+	if c.HostOverhead > 0 {
+		costs.HostOverhead = c.HostOverhead
+	}
+	return costs
+}

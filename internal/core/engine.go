@@ -1,0 +1,521 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"punica/internal/hw"
+	"punica/internal/kvcache"
+	"punica/internal/layer"
+	"punica/internal/lora"
+	"punica/internal/sgmv"
+)
+
+// Engine is one serving instance: a GPU (or tensor-parallel GPU group)
+// running continuous batches of an LLM with LoRA adapters. It owns the
+// device's KvCache pool, adapter store, and FCFS request queue; a driver
+// (the cluster simulator, the HTTP runner, or a benchmark harness) calls
+// Step repeatedly, advancing simulated time by each returned latency —
+// "GPU runs the Prefill steps and Decode steps continuously" (§5).
+type Engine struct {
+	cfg   Config
+	costs layer.Costs
+	kv    *kvcache.Pool
+	store *lora.Store
+	reg   *lora.Registry
+
+	pending []*Request // FCFS queue (sorted by arrival, then id)
+	active  []*Request // the working set: the LLM invocation batch
+
+	reservedPages int // pages promised to pending requests
+
+	stats Stats
+}
+
+// Stats aggregates engine activity since creation.
+type Stats struct {
+	Steps           int64
+	TokensGenerated int64
+	PrefillTokens   int64
+	WastedDecodes   int64 // Fig. 6: decode slots burned for finished requests
+	Evictions       int64
+	Cancellations   int64
+	Finished        int64
+	BusyTime        time.Duration
+}
+
+// StepResult reports one model invocation.
+type StepResult struct {
+	// Idle is set when there was nothing to run; all other fields are
+	// zero.
+	Idle bool
+
+	Latency time.Duration
+	EndsAt  time.Duration
+
+	BatchSize       int // requests in the invocation
+	PrefillRequests int
+	PrefillTokens   int
+	TokensGenerated int // tokens emitted this step
+	WastedDecodes   int
+
+	Finished []*Request
+	// Evicted requests were pushed out mid-generation to free KvCache
+	// (§5.3); the caller re-schedules them (possibly on another GPU).
+	Evicted []*Request
+}
+
+// NewEngine builds an engine from the config. The KvCache pool and
+// adapter store are sized from the GPU spec unless overridden.
+func NewEngine(cfg Config) *Engine {
+	if cfg.Rank <= 0 {
+		cfg.Rank = 16
+	}
+	if cfg.System.MaxBatch <= 0 {
+		cfg.System.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.System.MaxPrefillPerStep <= 0 {
+		cfg.System.MaxPrefillPerStep = 1
+	}
+	e := &Engine{
+		cfg:   cfg,
+		costs: cfg.costs(),
+		kv:    kvcache.NewPool(cfg.kvCapacity(), cfg.kvBytesPerToken(), cfg.pageSize()),
+	}
+	if cfg.System.LoRA != LoRANone {
+		e.reg = lora.NewRegistry(cfg.Model, cfg.Rank)
+		e.store = lora.NewStore(e.reg, hw.PCIeGen4x16(), int64(cfg.tp())*cfg.loraStoreBytes())
+	}
+	return e
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// KV exposes the KvCache pool (read-only use by schedulers and tests).
+func (e *Engine) KV() *kvcache.Pool { return e.kv }
+
+// Store exposes the adapter store (nil for backbone-only systems).
+func (e *Engine) Store() *lora.Store { return e.store }
+
+// Stats returns a snapshot of accumulated counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// WorkingSet returns the number of requests assigned to this engine
+// (running or queued locally) — the scheduler's routing signal (§5.1).
+func (e *Engine) WorkingSet() int { return len(e.active) + len(e.pending) }
+
+// ActiveBatch returns the current invocation batch size.
+func (e *Engine) ActiveBatch() int { return len(e.active) }
+
+// MaxBatch returns the invocation batch cap (the §5.1 limit).
+func (e *Engine) MaxBatch() int { return e.cfg.System.MaxBatch }
+
+// Busy reports whether the engine has any work.
+func (e *Engine) Busy() bool { return len(e.active) > 0 || len(e.pending) > 0 }
+
+// EarliestPendingReady returns the soonest time a queued request's
+// adapter finishes loading, for drivers that saw an Idle step and need to
+// know when to try again. ok is false when nothing is pending on a load.
+func (e *Engine) EarliestPendingReady() (at time.Duration, ok bool) {
+	for _, r := range e.pending {
+		if !ok || r.loraReady < at {
+			at, ok = r.loraReady, true
+		}
+	}
+	return at, ok
+}
+
+// kvNeed returns the token reservation a request requires on this system:
+// paged systems reserve the current context (growing page by page);
+// non-paged systems reserve the whole worst case up front.
+func (e *Engine) kvNeed(r *Request) int {
+	if e.cfg.System.PagedKV {
+		return r.ContextLen()
+	}
+	return r.PromptLen + r.OutputLen
+}
+
+// CanAdmit reports whether the engine could take this request now:
+// below the max batch size and with enough uncommitted KvCache (§5.1's
+// two scheduling constraints).
+func (e *Engine) CanAdmit(r *Request) bool {
+	if e.WorkingSet() >= e.cfg.System.MaxBatch {
+		return false
+	}
+	need := e.kv.PagesFor(e.kvNeed(r))
+	return e.kv.FreePages()-e.reservedPages >= need
+}
+
+// Enqueue assigns a request to this engine. Adapter loading starts
+// immediately ("issue an asynchronous memory copy ... let the GPU
+// continue running other inputs", §5.2); the request joins the batch at
+// the first step boundary where its weights are resident and capacity
+// allows.
+func (e *Engine) Enqueue(r *Request, now time.Duration) error {
+	if e.kv.PagesFor(e.kvNeed(r)) > e.kv.TotalPages() {
+		return fmt.Errorf("core: request %d needs %d tokens of KvCache, exceeding pool capacity",
+			r.ID, e.kvNeed(r))
+	}
+	if r.AdmittedAt == 0 {
+		r.AdmittedAt = now
+	}
+	if e.cfg.System.LoRA != LoRANone && !r.hasLoRA {
+		ready, err := e.store.Acquire(r.Model, now)
+		if err != nil {
+			return fmt.Errorf("core: adapter %d: %w", r.Model, err)
+		}
+		r.loraReady = ready
+		r.hasLoRA = true
+	}
+	r.prefilled = false
+	r.done = false
+	e.reservedPages += e.kv.PagesFor(e.kvNeed(r))
+	e.insertPending(r)
+	return nil
+}
+
+func (e *Engine) insertPending(r *Request) {
+	i := sort.Search(len(e.pending), func(i int) bool {
+		p := e.pending[i]
+		if p.Arrival != r.Arrival {
+			return p.Arrival > r.Arrival
+		}
+		return p.ID > r.ID
+	})
+	e.pending = append(e.pending, nil)
+	copy(e.pending[i+1:], e.pending[i:])
+	e.pending[i] = r
+}
+
+// Cancel removes a request wherever it is (queue or batch), releasing
+// its KvCache and adapter pin, and returns it for re-scheduling. It
+// returns nil if the request is not resident. Cancellation is the
+// migration primitive (§5.3).
+func (e *Engine) Cancel(id int64, now time.Duration) *Request {
+	for i, r := range e.pending {
+		if r.ID == id {
+			e.pending = append(e.pending[:i], e.pending[i+1:]...)
+			e.reservedPages -= e.kv.PagesFor(e.kvNeed(r))
+			e.releaseRequest(r)
+			e.stats.Cancellations++
+			return r
+		}
+	}
+	for i, r := range e.active {
+		if r.ID == id {
+			e.active = append(e.active[:i], e.active[i+1:]...)
+			e.kv.Release(kvcache.SeqID(r.ID))
+			e.releaseRequest(r)
+			e.stats.Cancellations++
+			return r
+		}
+	}
+	return nil
+}
+
+func (e *Engine) releaseRequest(r *Request) {
+	if r.hasLoRA && e.store != nil {
+		e.store.Release(r.Model)
+		r.hasLoRA = false
+	}
+	r.prefilled = false
+	r.done = false
+}
+
+// EvictNewest removes the most recently arrived request (active or
+// pending) to free memory: "The scheduler evicts the newest request from
+// the GPU. This preserves the FCFS semantics" (§5.3). Returns nil when
+// empty.
+func (e *Engine) EvictNewest(now time.Duration) *Request {
+	victim := e.newestRequest()
+	if victim == nil {
+		return nil
+	}
+	r := e.Cancel(victim.ID, now)
+	e.stats.Evictions++
+	e.stats.Cancellations-- // bookkeeping: eviction, not user cancel
+	return r
+}
+
+func (e *Engine) newestRequest() *Request {
+	var newest *Request
+	consider := func(r *Request) {
+		if newest == nil || r.Arrival > newest.Arrival ||
+			(r.Arrival == newest.Arrival && r.ID > newest.ID) {
+			newest = r
+		}
+	}
+	for _, r := range e.active {
+		if !r.done { // finished static-batch rows hold no useful memory
+			consider(r)
+		}
+	}
+	for _, r := range e.pending {
+		consider(r)
+	}
+	return newest
+}
+
+// admit moves eligible pending requests into the active batch.
+func (e *Engine) admit(now time.Duration) {
+	sys := e.cfg.System
+	if !sys.ContinuousBatching && len(e.active) > 0 {
+		return // static batch runs to completion
+	}
+	kept := e.pending[:0]
+	blocked := false
+	for _, r := range e.pending {
+		if blocked {
+			kept = append(kept, r)
+			continue
+		}
+		if len(e.active) >= sys.MaxBatch {
+			blocked = true
+			kept = append(kept, r)
+			continue
+		}
+		if !sys.CrossLoRABatching && len(e.active) > 0 && r.Model != e.active[0].Model {
+			// Same-model-only systems batch the consecutive FCFS run
+			// at the queue head; a different model blocks admission.
+			blocked = true
+			kept = append(kept, r)
+			continue
+		}
+		if r.loraReady > now {
+			// Adapter still in flight over PCIe; it "joins the batch
+			// naturally" next step (§5.2). Others may pass.
+			kept = append(kept, r)
+			continue
+		}
+		need := e.kvNeed(r)
+		if err := e.kv.Allocate(kvcache.SeqID(r.ID), need); err != nil {
+			blocked = true // FCFS: wait for memory, don't skip ahead
+			kept = append(kept, r)
+			continue
+		}
+		e.reservedPages -= e.kv.PagesFor(need)
+		e.active = append(e.active, r)
+	}
+	e.pending = kept
+}
+
+// ensureDecodeCapacity evicts newest requests until every row of the
+// upcoming invocation can append its new token to the KvCache: decode
+// rows and the prefill rows selected this step each grow by one slot,
+// which takes a fresh page at page boundaries. Returns the evicted
+// requests.
+func (e *Engine) ensureDecodeCapacity(now time.Duration) []*Request {
+	if !e.cfg.System.PagedKV {
+		return nil // contiguous systems reserved the worst case up front
+	}
+	var evicted []*Request
+	for {
+		need := 0
+		prefills := 0
+		for _, r := range e.active {
+			if !r.prefilled {
+				if prefills < e.cfg.System.MaxPrefillPerStep {
+					prefills++
+					ctx := r.ContextLen()
+					need += e.kv.PagesFor(ctx+1) - e.kv.PagesFor(ctx)
+				}
+				continue
+			}
+			if r.done {
+				continue
+			}
+			ctx := r.ContextLen()
+			need += e.kv.PagesFor(ctx+1) - e.kv.PagesFor(ctx)
+		}
+		if need <= e.kv.FreePages() {
+			return evicted
+		}
+		v := e.EvictNewest(now)
+		if v == nil {
+			return evicted
+		}
+		evicted = append(evicted, v)
+	}
+}
+
+// Step runs one batched model invocation starting at simulated time now.
+// It admits eligible queued requests, assembles the mixed prefill/decode
+// batch with SGMV segment grouping, charges the invocation latency, and
+// applies all effects (token emission, KvCache growth, completion).
+func (e *Engine) Step(now time.Duration) StepResult {
+	e.admit(now)
+	evicted := e.ensureDecodeCapacity(now)
+
+	var prefills, decodes []*Request
+	for _, r := range e.active {
+		switch {
+		case !r.prefilled:
+			if len(prefills) < e.cfg.System.MaxPrefillPerStep {
+				prefills = append(prefills, r)
+			}
+		case !r.done:
+			decodes = append(decodes, r)
+		default:
+			decodes = append(decodes, r) // wasted slot in a static batch
+		}
+	}
+	if len(prefills) == 0 && len(decodes) == 0 {
+		return StepResult{Idle: true, Evicted: evicted}
+	}
+
+	inv := e.buildInvocation(prefills, decodes)
+	latency := e.costs.InvokeTime(inv)
+	end := now + latency
+
+	res := StepResult{
+		Latency:         latency,
+		EndsAt:          end,
+		BatchSize:       len(prefills) + len(decodes),
+		PrefillRequests: len(prefills),
+		Evicted:         evicted,
+	}
+
+	for _, r := range prefills {
+		res.PrefillTokens += r.ContextLen()
+		r.prefilled = true
+		e.produceToken(r, end, &res)
+	}
+	for _, r := range decodes {
+		if r.done {
+			res.WastedDecodes++
+			continue
+		}
+		e.produceToken(r, end, &res)
+	}
+	e.finishStep(end, &res)
+
+	e.stats.Steps++
+	e.stats.BusyTime += latency
+	e.stats.TokensGenerated += int64(res.TokensGenerated)
+	e.stats.PrefillTokens += int64(res.PrefillTokens)
+	e.stats.WastedDecodes += int64(res.WastedDecodes)
+	return res
+}
+
+// buildInvocation assembles the layer-model view of the batch: prefill
+// requests first, then decodes, with tokens grouped by LoRA model into
+// SGMV segments ("The tail of Prefill requests and the head of Decode
+// requests can share a LoRA model if possible", §6).
+func (e *Engine) buildInvocation(prefills, decodes []*Request) layer.Invocation {
+	inv := layer.Invocation{LoRARank: e.cfg.Rank}
+	for _, r := range prefills {
+		inv.PrefillLens = append(inv.PrefillLens, r.ContextLen())
+	}
+	for _, r := range decodes {
+		inv.DecodeContexts = append(inv.DecodeContexts, r.ContextLen())
+	}
+	if e.cfg.System.LoRA == LoRANone {
+		return inv
+	}
+	type seg struct {
+		model lora.ModelID
+		count int
+	}
+	var segs []seg
+	index := make(map[lora.ModelID]int)
+	addTokens := func(m lora.ModelID, n int) {
+		if i, ok := index[m]; ok {
+			segs[i].count += n
+			return
+		}
+		index[m] = len(segs)
+		segs = append(segs, seg{model: m, count: n})
+	}
+	for _, r := range prefills {
+		addTokens(r.Model, r.ContextLen())
+	}
+	for _, r := range decodes {
+		addTokens(r.Model, 1)
+	}
+	sizes := make([]int, len(segs))
+	for i, s := range segs {
+		sizes[i] = s.count
+	}
+	inv.LoRASegments = sgmv.NewSegments(sizes...)
+	return inv
+}
+
+func (e *Engine) produceToken(r *Request, at time.Duration, res *StepResult) {
+	// Grow the paged cache by the token just generated. Non-paged
+	// systems reserved everything up front.
+	if e.cfg.System.PagedKV {
+		if err := e.kv.Extend(kvcache.SeqID(r.ID), 1); err != nil {
+			// ensureDecodeCapacity ran before the step; prefill rows
+			// were allocated their full context at admission, so a
+			// failure here is an engine invariant violation.
+			panic(fmt.Sprintf("core: KvCache extend failed after capacity check: %v", err))
+		}
+	}
+	r.Generated++
+	if r.FirstTokenAt == 0 {
+		r.FirstTokenAt = at
+	}
+	res.TokensGenerated++
+	if e.cfg.OnToken != nil {
+		e.cfg.OnToken(Token{
+			RequestID: r.ID,
+			Index:     r.Generated - 1,
+			TokenID:   tokenID(r.ID, r.Generated-1, e.cfg.Model.VocabSize),
+			At:        at,
+			EOS:       r.Finished(),
+		})
+	}
+}
+
+// finishStep retires completed requests. Continuous systems release them
+// immediately; static systems keep slots occupied until the whole batch
+// completes (the Fig. 6 waste).
+func (e *Engine) finishStep(end time.Duration, res *StepResult) {
+	if e.cfg.System.ContinuousBatching {
+		remaining := e.active[:0]
+		for _, r := range e.active {
+			if r.prefilled && r.Finished() {
+				e.retire(r, end, res)
+			} else {
+				remaining = append(remaining, r)
+			}
+		}
+		e.active = remaining
+		return
+	}
+	allDone := true
+	for _, r := range e.active {
+		if r.prefilled && r.Finished() && !r.done {
+			r.done = true
+			r.FinishedAt = end
+			e.stats.Finished++
+			res.Finished = append(res.Finished, r)
+			if e.cfg.OnFinish != nil {
+				e.cfg.OnFinish(r)
+			}
+		}
+		if !r.done {
+			allDone = false
+		}
+	}
+	if allDone {
+		for _, r := range e.active {
+			e.kv.Release(kvcache.SeqID(r.ID))
+			e.releaseRequest(r)
+		}
+		e.active = e.active[:0]
+	}
+}
+
+func (e *Engine) retire(r *Request, end time.Duration, res *StepResult) {
+	r.FinishedAt = end
+	e.kv.Release(kvcache.SeqID(r.ID))
+	e.releaseRequest(r)
+	e.stats.Finished++
+	res.Finished = append(res.Finished, r)
+	if e.cfg.OnFinish != nil {
+		e.cfg.OnFinish(r)
+	}
+}

@@ -1,0 +1,535 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"punica/internal/hw"
+	"punica/internal/lora"
+	"punica/internal/models"
+)
+
+func punicaConfig() Config {
+	return Config{
+		System: PunicaSystem(),
+		GPU:    hw.A100(),
+		Model:  models.Llama2_7B(),
+		Rank:   models.DefaultLoRARank,
+	}
+}
+
+func req(id int64, model int64, prompt, out int, arrival time.Duration) *Request {
+	return &Request{ID: id, Model: lmID(model), PromptLen: prompt, OutputLen: out, Arrival: arrival}
+}
+
+// drain steps the engine until all work completes, advancing simulated
+// time; evicted requests are re-enqueued (single-GPU §5.3 behaviour).
+// It returns the completion time and the executed steps.
+func drain(t *testing.T, e *Engine, now time.Duration) (time.Duration, []StepResult) {
+	t.Helper()
+	var steps []StepResult
+	for e.Busy() {
+		res := e.Step(now)
+		for _, ev := range res.Evicted {
+			if err := e.Enqueue(ev, now); err != nil {
+				t.Fatalf("re-enqueue evicted: %v", err)
+			}
+		}
+		if res.Idle {
+			at, ok := e.EarliestPendingReady()
+			if !ok || at <= now {
+				t.Fatalf("engine idle but busy with no wake-up (pending=%d active=%d)",
+					len(e.pending), len(e.active))
+			}
+			now = at
+			continue
+		}
+		steps = append(steps, res)
+		now = res.EndsAt
+		if len(steps) > 100000 {
+			t.Fatal("drain did not terminate")
+		}
+	}
+	return now, steps
+}
+
+func TestSingleRequestLifecycle(t *testing.T) {
+	cfg := punicaConfig()
+	var tokens []Token
+	cfg.OnToken = func(tok Token) { tokens = append(tokens, tok) }
+	e := NewEngine(cfg)
+
+	r := req(1, 5, 100, 10, 0)
+	if err := e.Enqueue(r, 0); err != nil {
+		t.Fatal(err)
+	}
+	end, steps := drain(t, e, 0)
+
+	if !r.Finished() || r.Generated != 10 {
+		t.Fatalf("generated %d, want 10", r.Generated)
+	}
+	if len(tokens) != 10 {
+		t.Fatalf("streamed %d tokens, want 10", len(tokens))
+	}
+	for i, tok := range tokens {
+		if tok.Index != i || tok.RequestID != 1 {
+			t.Fatalf("token %d malformed: %+v", i, tok)
+		}
+		if tok.EOS != (i == 9) {
+			t.Fatalf("EOS on token %d wrong", i)
+		}
+	}
+	// 1 prefill step + 9 decode steps.
+	if len(steps) != 10 {
+		t.Fatalf("%d steps, want 10", len(steps))
+	}
+	if steps[0].PrefillRequests != 1 || steps[0].PrefillTokens != 100 {
+		t.Fatalf("first step should prefill 100 tokens: %+v", steps[0])
+	}
+	if r.FirstTokenAt <= 0 || r.FinishedAt != end || r.FirstTokenAt > r.FinishedAt {
+		t.Fatalf("timing wrong: first=%v finished=%v end=%v", r.FirstTokenAt, r.FinishedAt, end)
+	}
+	if e.KV().UsedPages() != 0 {
+		t.Fatal("KvCache leaked after completion")
+	}
+	if e.Stats().Finished != 1 {
+		t.Fatalf("stats.Finished = %d", e.Stats().Finished)
+	}
+}
+
+func TestTokenIDsDeterministic(t *testing.T) {
+	a := tokenID(42, 3, 32000)
+	b := tokenID(42, 3, 32000)
+	c := tokenID(42, 4, 32000)
+	if a != b {
+		t.Fatal("tokenID not deterministic")
+	}
+	if a == c {
+		t.Fatal("tokenID should vary by index")
+	}
+	if a < 0 || a >= 32000 {
+		t.Fatalf("tokenID %d out of vocab", a)
+	}
+}
+
+func TestOnePrefillPerStep(t *testing.T) {
+	// §5: "we limit the prefill batch size to 1 for each batch."
+	e := NewEngine(punicaConfig())
+	for i := int64(1); i <= 4; i++ {
+		if err := e.Enqueue(req(i, i, 50, 5, 0), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Adapters load first; jump past the load latency.
+	at, _ := e.EarliestPendingReady()
+	res := e.Step(at)
+	if res.PrefillRequests != 1 {
+		t.Fatalf("step carried %d prefills, want 1", res.PrefillRequests)
+	}
+	res = e.Step(res.EndsAt)
+	if res.PrefillRequests != 1 {
+		t.Fatalf("second step carried %d prefills, want 1", res.PrefillRequests)
+	}
+	// The already-prefilled request decodes alongside.
+	if res.BatchSize != 2 {
+		t.Fatalf("second step batch = %d, want 2 (1 prefill + 1 decode)", res.BatchSize)
+	}
+}
+
+func TestCrossLoRABatchingDistinctModels(t *testing.T) {
+	// Punica batches 8 different adapters in one invocation.
+	e := NewEngine(punicaConfig())
+	for i := int64(1); i <= 8; i++ {
+		if err := e.Enqueue(req(i, 100+i, 20, 20, 0), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, steps := drain(t, e, 0)
+	max := 0
+	for _, s := range steps {
+		if s.BatchSize > max {
+			max = s.BatchSize
+		}
+	}
+	if max != 8 {
+		t.Fatalf("max batch = %d, want 8 (cross-LoRA batching)", max)
+	}
+}
+
+func TestSameLoRAOnlyBlocksAtModelBoundary(t *testing.T) {
+	// A same-model-only system (vLLM-style flags) with queue A,A,B,A
+	// must run the leading A,A together, then B alone, then the final A:
+	// strict FCFS consecutive runs (§7.2: batch sizes 1-3).
+	cfg := punicaConfig()
+	cfg.System.CrossLoRABatching = false
+	cfg.System.LoRA = LoRANone
+	cfg.System.MaxPrefillPerStep = cfg.System.MaxBatch
+	e := NewEngine(cfg)
+	order := []int64{7, 7, 8, 7}
+	for i, m := range order {
+		r := req(int64(i+1), m, 20, 3, time.Duration(i)*time.Microsecond)
+		if err := e.Enqueue(r, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, steps := drain(t, e, 0)
+	var batchSizes []int
+	for _, s := range steps {
+		if s.PrefillRequests > 0 {
+			batchSizes = append(batchSizes, s.PrefillRequests)
+		}
+	}
+	want := []int{2, 1, 1}
+	if len(batchSizes) != len(want) {
+		t.Fatalf("prefill groups = %v, want %v", batchSizes, want)
+	}
+	for i := range want {
+		if batchSizes[i] != want[i] {
+			t.Fatalf("prefill groups = %v, want %v", batchSizes, want)
+		}
+	}
+}
+
+func TestContinuousBatchingJoinAndLeave(t *testing.T) {
+	// A short request finishes and leaves while a long one continues;
+	// a late request joins mid-flight.
+	e := NewEngine(punicaConfig())
+	long := req(1, 1, 20, 30, 0)
+	short := req(2, 2, 20, 3, 0)
+	if err := e.Enqueue(long, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Enqueue(short, 0); err != nil {
+		t.Fatal(err)
+	}
+	now, _ := e.EarliestPendingReady()
+	sawShortLeave := false
+	var late *Request
+	for e.Busy() {
+		res := e.Step(now)
+		if res.Idle {
+			at, ok := e.EarliestPendingReady()
+			if !ok {
+				t.Fatal("stuck")
+			}
+			now = at
+			continue
+		}
+		now = res.EndsAt
+		for _, f := range res.Finished {
+			if f.ID == 2 {
+				sawShortLeave = true
+				if !long.Finished() {
+					// Inject a late request after the short one left.
+					late = req(3, 3, 20, 2, now)
+					if err := e.Enqueue(late, now); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+	if !sawShortLeave {
+		t.Fatal("short request never finished")
+	}
+	if late == nil || !late.Finished() {
+		t.Fatal("late request did not complete")
+	}
+	if !long.Finished() {
+		t.Fatal("long request did not complete")
+	}
+}
+
+func TestStaticBatchingWaste(t *testing.T) {
+	// Fig. 6: in a static batch, the short request's finished slot burns
+	// decode steps until the longest request completes, and no new
+	// request is admitted meanwhile.
+	cfg := punicaConfig()
+	cfg.System = SystemConfig{
+		Name:               "static",
+		ContinuousBatching: false,
+		CrossLoRABatching:  true,
+		LoRA:               LoRASGMV,
+		FlashAttention:     true,
+		FusedNorm:          true,
+		PagedKV:            false,
+		MaxBatch:           4,
+		MaxPrefillPerStep:  4,
+	}
+	e := NewEngine(cfg)
+	short := req(1, 1, 20, 2, 0)
+	long := req(2, 1, 20, 10, 0)
+	if err := e.Enqueue(short, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Enqueue(long, 0); err != nil {
+		t.Fatal(err)
+	}
+	now, _ := e.EarliestPendingReady()
+	late := req(3, 1, 20, 2, now)
+
+	injected := false
+	for e.Busy() {
+		res := e.Step(now)
+		if res.Idle {
+			at, ok := e.EarliestPendingReady()
+			if !ok {
+				t.Fatal("stuck")
+			}
+			now = at
+			continue
+		}
+		now = res.EndsAt
+		if short.Finished() && !injected {
+			if err := e.Enqueue(late, now); err != nil {
+				t.Fatal(err)
+			}
+			injected = true
+		}
+		if injected && !long.Finished() && late.Generated > 0 {
+			t.Fatal("static batch admitted a request mid-flight")
+		}
+	}
+	// short finished after 2 tokens; long needed 10 → 8 wasted slots.
+	if e.Stats().WastedDecodes != 8 {
+		t.Fatalf("wasted decodes = %d, want 8", e.Stats().WastedDecodes)
+	}
+	if !late.Finished() {
+		t.Fatal("late request never completed")
+	}
+}
+
+func TestLoRALoadDelaysJoin(t *testing.T) {
+	// A request whose adapter is cold cannot enter the batch at t=0; it
+	// joins after the ~2-4ms PCIe load (§5.2).
+	e := NewEngine(punicaConfig())
+	if err := e.Enqueue(req(1, 1, 20, 5, 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	res := e.Step(0)
+	if !res.Idle {
+		t.Fatal("step at t=0 should be idle: adapter still loading")
+	}
+	at, ok := e.EarliestPendingReady()
+	if !ok || at < 2*time.Millisecond || at > 5*time.Millisecond {
+		t.Fatalf("adapter ready at %v, want ~2-4ms", at)
+	}
+	res = e.Step(at)
+	if res.Idle || res.PrefillRequests != 1 {
+		t.Fatalf("step after load should prefill: %+v", res)
+	}
+	// A second request for the same (warm) adapter joins immediately.
+	if err := e.Enqueue(req(2, 1, 20, 5, res.EndsAt), res.EndsAt); err != nil {
+		t.Fatal(err)
+	}
+	res2 := e.Step(res.EndsAt)
+	if res2.PrefillRequests != 1 {
+		t.Fatal("warm-adapter request should join without delay")
+	}
+}
+
+func TestKVExhaustionEvictsNewest(t *testing.T) {
+	cfg := punicaConfig()
+	// Tiny pool: 16 pages of 16 tokens = 256 tokens.
+	cfg.KVCapacityBytes = 16 * 16 * cfg.Model.KVBytesPerToken()
+	e := NewEngine(cfg)
+	// Two requests whose contexts will grow past the pool together.
+	a := req(1, 1, 100, 100, 0)
+	b := req(2, 2, 100, 100, time.Millisecond)
+	if err := e.Enqueue(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Enqueue(b, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	now, _ := e.EarliestPendingReady()
+	var evicted *Request
+	for i := 0; i < 1000 && evicted == nil; i++ {
+		res := e.Step(now)
+		if res.Idle {
+			at, ok := e.EarliestPendingReady()
+			if !ok {
+				t.Fatal("stuck without eviction")
+			}
+			now = at
+			continue
+		}
+		now = res.EndsAt
+		if len(res.Evicted) > 0 {
+			evicted = res.Evicted[0]
+		}
+	}
+	if evicted == nil {
+		t.Fatal("pool exhaustion never evicted")
+	}
+	if evicted.ID != b.ID {
+		t.Fatalf("evicted request %d, want newest (%d)", evicted.ID, b.ID)
+	}
+	if evicted.Generated == 0 {
+		t.Fatal("victim should have generated some tokens before eviction")
+	}
+	if e.Stats().Evictions != 1 {
+		t.Fatalf("stats.Evictions = %d", e.Stats().Evictions)
+	}
+}
+
+func TestEvictedRequestResumesWithRecomputation(t *testing.T) {
+	// §5.3: the destination re-prefills prompt + generated tokens; the
+	// request finishes with exactly OutputLen tokens in total.
+	cfg := punicaConfig()
+	cfg.KVCapacityBytes = 16 * 16 * cfg.Model.KVBytesPerToken()
+	var tokens int
+	cfg.OnToken = func(Token) { tokens++ }
+	e := NewEngine(cfg)
+	a := req(1, 1, 100, 60, 0)
+	b := req(2, 2, 100, 60, time.Millisecond)
+	if err := e.Enqueue(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Enqueue(b, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	_, steps := drain(t, e, 0)
+	if !a.Finished() || !b.Finished() {
+		t.Fatal("requests did not finish")
+	}
+	// The evicted request re-prefilled: some step must carry a prefill
+	// of more than its original 100-token prompt.
+	sawRePrefill := false
+	for _, s := range steps {
+		if s.PrefillRequests > 0 && s.PrefillTokens > 100 {
+			sawRePrefill = true
+		}
+	}
+	if !sawRePrefill {
+		t.Fatal("no re-prefill of prompt+generated observed")
+	}
+	if tokens < 120 {
+		t.Fatalf("token stream lost tokens: %d < 120", tokens)
+	}
+}
+
+func TestCancelReleasesEverything(t *testing.T) {
+	e := NewEngine(punicaConfig())
+	r := req(1, 1, 50, 50, 0)
+	if err := e.Enqueue(r, 0); err != nil {
+		t.Fatal(err)
+	}
+	now, _ := e.EarliestPendingReady()
+	res := e.Step(now)
+	res = e.Step(res.EndsAt)
+	if r.Generated != 2 {
+		t.Fatalf("generated = %d, want 2", r.Generated)
+	}
+	got := e.Cancel(1, res.EndsAt)
+	if got != r {
+		t.Fatal("Cancel should return the request")
+	}
+	if e.KV().UsedPages() != 0 {
+		t.Fatal("cancel leaked KvCache")
+	}
+	if e.Busy() {
+		t.Fatal("engine should be empty after cancel")
+	}
+	if got.Generated != 2 {
+		t.Fatal("cancel must preserve generation progress for migration")
+	}
+	if e.Cancel(1, res.EndsAt) != nil {
+		t.Fatal("double cancel should return nil")
+	}
+}
+
+func TestCanAdmitConstraints(t *testing.T) {
+	cfg := punicaConfig()
+	cfg.System.MaxBatch = 2
+	e := NewEngine(cfg)
+	if !e.CanAdmit(req(1, 1, 10, 10, 0)) {
+		t.Fatal("empty engine should admit")
+	}
+	if err := e.Enqueue(req(1, 1, 10, 10, 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Enqueue(req(2, 2, 10, 10, 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	if e.CanAdmit(req(3, 3, 10, 10, 0)) {
+		t.Fatal("max batch reached; must refuse")
+	}
+	// Memory constraint: a tiny pool refuses big prompts even with free
+	// batch slots.
+	cfg2 := punicaConfig()
+	cfg2.KVCapacityBytes = 4 * 16 * cfg2.Model.KVBytesPerToken() // 64 tokens
+	e2 := NewEngine(cfg2)
+	if e2.CanAdmit(req(1, 1, 1000, 10, 0)) {
+		t.Fatal("must refuse request larger than free KvCache")
+	}
+	if !e2.CanAdmit(req(1, 1, 30, 10, 0)) {
+		t.Fatal("small request should fit")
+	}
+}
+
+func TestEnqueueRejectsImpossibleRequest(t *testing.T) {
+	cfg := punicaConfig()
+	cfg.KVCapacityBytes = 4 * 16 * cfg.Model.KVBytesPerToken()
+	e := NewEngine(cfg)
+	if err := e.Enqueue(req(1, 1, 10000, 10, 0), 0); err == nil {
+		t.Fatal("request larger than the whole pool must be rejected")
+	}
+}
+
+func TestFCFSOrderPreserved(t *testing.T) {
+	// With a batch cap of 1, completion order must equal arrival order.
+	cfg := punicaConfig()
+	cfg.System.MaxBatch = 1
+	var finished []int64
+	cfg.OnFinish = func(r *Request) { finished = append(finished, r.ID) }
+	e := NewEngine(cfg)
+	for i := int64(1); i <= 4; i++ {
+		r := req(i, 1, 10, 2, time.Duration(i)*time.Millisecond)
+		if err := e.Enqueue(r, r.Arrival); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drain(t, e, 0)
+	for i, id := range finished {
+		if id != int64(i+1) {
+			t.Fatalf("completion order %v violates FCFS", finished)
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	e := NewEngine(punicaConfig())
+	if err := e.Enqueue(req(1, 1, 40, 5, 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	end, steps := drain(t, e, 0)
+	st := e.Stats()
+	if st.Steps != int64(len(steps)) {
+		t.Fatalf("steps = %d, want %d", st.Steps, len(steps))
+	}
+	if st.TokensGenerated != 5 || st.PrefillTokens != 40 {
+		t.Fatalf("tokens=%d prefill=%d", st.TokensGenerated, st.PrefillTokens)
+	}
+	if st.BusyTime <= 0 || st.BusyTime > end {
+		t.Fatalf("busy time %v out of range (end %v)", st.BusyTime, end)
+	}
+}
+
+func TestBackboneOnlySkipsAdapterStore(t *testing.T) {
+	cfg := punicaConfig()
+	cfg.System.LoRA = LoRANone
+	e := NewEngine(cfg)
+	if e.Store() != nil {
+		t.Fatal("backbone-only engine should not build a store")
+	}
+	if err := e.Enqueue(req(1, 1, 10, 2, 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	res := e.Step(0)
+	if res.Idle {
+		t.Fatal("backbone-only request needs no adapter load")
+	}
+}
+
+func lmID(m int64) lora.ModelID { return lora.ModelID(m) }

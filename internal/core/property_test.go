@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"punica/internal/hw"
+	"punica/internal/kvcache"
+	"punica/internal/models"
+)
+
+// TestEngineInvariantsUnderRandomOps drives the engine with arbitrary
+// interleavings of enqueue / step / cancel / evict and checks the
+// structural invariants after every operation:
+//
+//   - KvCache pages in use equal exactly the pages needed by resident
+//     (admitted) requests.
+//   - No request is lost: enqueued = resident + finished + removed.
+//   - Generated token counts never exceed OutputLen.
+func TestEngineInvariantsUnderRandomOps(t *testing.T) {
+	type op struct {
+		Kind   uint8
+		Prompt uint8
+		Out    uint8
+		Target uint8
+	}
+	f := func(ops []op) bool {
+		cfg := Config{
+			System: PunicaSystem(),
+			GPU:    hw.A100(),
+			Model:  models.Llama2_7B(),
+			Rank:   16,
+			// Small pool so evictions actually occur.
+			KVCapacityBytes: 64 * 16 * models.Llama2_7B().KVBytesPerToken(),
+		}
+		cfg.System.MaxBatch = 8
+		e := NewEngine(cfg)
+
+		now := time.Duration(0)
+		nextID := int64(0)
+		resident := map[int64]*Request{}
+		finished := map[int64]bool{}
+		removed := map[int64]bool{}
+
+		check := func() bool {
+			// Page accounting: every resident admitted request holds
+			// pages for its current context; pending ones hold none
+			// until admission, so used <= sum(needs) and never negative.
+			if e.kv.FreePages() < 0 {
+				return false
+			}
+			total := 0
+			for _, r := range e.active {
+				total += e.kv.PagesFor(e.kv.Tokens(kvcache.SeqID(r.ID)))
+			}
+			if total != e.kv.UsedPages() {
+				return false
+			}
+			for _, r := range resident {
+				if r.Generated > r.OutputLen {
+					return false
+				}
+			}
+			return true
+		}
+
+		for _, o := range ops {
+			switch o.Kind % 4 {
+			case 0: // enqueue
+				nextID++
+				r := &Request{
+					ID:        nextID,
+					Model:     lmID(nextID % 5),
+					PromptLen: int(o.Prompt%64) + 1,
+					OutputLen: int(o.Out%16) + 1,
+					Arrival:   now,
+				}
+				if err := e.Enqueue(r, now); err == nil {
+					resident[r.ID] = r
+				}
+			case 1: // step
+				res := e.Step(now)
+				if !res.Idle {
+					now = res.EndsAt
+				} else if at, ok := e.EarliestPendingReady(); ok && at > now {
+					now = at
+				}
+				for _, fr := range res.Finished {
+					finished[fr.ID] = true
+					delete(resident, fr.ID)
+				}
+				for _, ev := range res.Evicted {
+					// Re-enqueue (single-GPU §5.3 behaviour).
+					if err := e.Enqueue(ev, now); err != nil {
+						delete(resident, ev.ID)
+						removed[ev.ID] = true
+					}
+				}
+			case 2: // cancel a random resident request
+				if nextID == 0 {
+					continue
+				}
+				id := int64(o.Target)%nextID + 1
+				if r := e.Cancel(id, now); r != nil {
+					delete(resident, r.ID)
+					removed[r.ID] = true
+				}
+			case 3: // evict newest
+				if r := e.EvictNewest(now); r != nil {
+					delete(resident, r.ID)
+					removed[r.ID] = true
+				}
+			}
+			if !check() {
+				return false
+			}
+		}
+		// Conservation: every id is accounted for exactly once.
+		accounted := len(resident) + len(finished) + len(removed)
+		return int64(accounted) == nextID
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineDrainsAnyWorkload: for arbitrary request mixes, the engine
+// always terminates with all tokens generated and no leaked KvCache.
+func TestEngineDrainsAnyWorkload(t *testing.T) {
+	f := func(prompts []uint8) bool {
+		if len(prompts) > 24 {
+			prompts = prompts[:24]
+		}
+		e := NewEngine(Config{
+			System: PunicaSystem(),
+			GPU:    hw.A100(),
+			Model:  models.Llama2_7B(),
+			Rank:   16,
+		})
+		var want int64
+		for i, p := range prompts {
+			r := &Request{
+				ID:        int64(i + 1),
+				Model:     lmID(int64(p % 6)),
+				PromptLen: int(p)%128 + 1,
+				OutputLen: int(p)%20 + 1,
+			}
+			want += int64(r.OutputLen)
+			if err := e.Enqueue(r, 0); err != nil {
+				return false
+			}
+		}
+		now := time.Duration(0)
+		for i := 0; e.Busy(); i++ {
+			if i > 50000 {
+				return false
+			}
+			res := e.Step(now)
+			if res.Idle {
+				at, ok := e.EarliestPendingReady()
+				if !ok {
+					return false
+				}
+				now = at
+				continue
+			}
+			now = res.EndsAt
+		}
+		return e.Stats().TokensGenerated == want && e.kv.UsedPages() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

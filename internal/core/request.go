@@ -1,0 +1,77 @@
+// Package core implements Punica's single-GPU serving engine (§5, §6):
+// continuous batching of prefill and decode requests across different
+// LoRA models, SGMV segment construction, paged KvCache admission and
+// eviction, on-demand adapter loading, cancellation, and token streaming.
+//
+// The same engine, parameterised by SystemConfig feature flags, also
+// models the paper's baseline systems (HuggingFace Transformers,
+// DeepSpeed, FasterTransformer, vLLM) — see internal/baselines.
+package core
+
+import (
+	"time"
+
+	"punica/internal/lora"
+)
+
+// Request is one text-generation request resident on (or queued for) a
+// GPU. OutputLen predetermines the stopping condition, standing in for
+// the end-of-sequence token exactly as the paper's length-replay does.
+type Request struct {
+	ID        int64
+	Model     lora.ModelID
+	PromptLen int
+	OutputLen int
+	Arrival   time.Duration
+
+	// Generated counts tokens produced so far (survives migration; the
+	// destination GPU re-prefills prompt + generated, §5.3).
+	Generated int
+
+	// Timing observed by the engine.
+	AdmittedAt   time.Duration
+	FirstTokenAt time.Duration
+	FinishedAt   time.Duration
+
+	prefilled bool
+	done      bool // finished but still occupying a static batch slot
+	loraReady time.Duration
+	hasLoRA   bool // adapter acquired from the store (needs release)
+}
+
+// ContextLen returns the tokens this request currently needs in KvCache:
+// the original prompt plus everything generated.
+func (r *Request) ContextLen() int { return r.PromptLen + r.Generated }
+
+// Remaining returns how many tokens are still to be generated.
+func (r *Request) Remaining() int {
+	rem := r.OutputLen - r.Generated
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// Finished reports whether the request has produced all its tokens.
+func (r *Request) Finished() bool { return r.Generated >= r.OutputLen }
+
+// Token is one streamed generation event.
+type Token struct {
+	RequestID int64
+	Index     int // 0-based position in the response
+	TokenID   int // deterministic pseudo-token
+	At        time.Duration
+	EOS       bool
+}
+
+// tokenID derives a deterministic pseudo-token: the simulation does not
+// model language, only serving behaviour ("we use random weights for LoRA
+// models as the weight does not affect latency performance", §7).
+func tokenID(reqID int64, index, vocab int) int {
+	h := uint64(reqID)*0x9E3779B97F4A7C15 + uint64(index)*0xBF58476D1CE4E5B9
+	h ^= h >> 31
+	if vocab <= 0 {
+		vocab = 32000
+	}
+	return int(h % uint64(vocab))
+}

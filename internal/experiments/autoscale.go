@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"punica/internal/cluster"
+	"punica/internal/core"
+	"punica/internal/dist"
+	"punica/internal/hw"
+	"punica/internal/models"
+	"punica/internal/workload"
+)
+
+// AutoscaleResult compares a fixed-size deployment against §5.1 elastic
+// provisioning on the same trapezoidal load.
+type AutoscaleResult struct {
+	FixedGPUSeconds   float64
+	ElasticGPUSeconds float64
+	Savings           float64 // fraction of GPU-time saved
+	Provisions        int64
+	Releases          int64
+	FixedP99TTFT      float64 // seconds
+	ElasticP99TTFT    float64
+	FixedThroughput   float64
+	ElasticThroughput float64
+}
+
+// Autoscale runs the Fig. 13 workload twice: once on a fixed cluster of
+// opts.NumGPUs, once with elastic provisioning between 1 and
+// opts.NumGPUs GPUs (40 s provision delay). The §5.1 design intent —
+// "easier decisions to scale up/down the GPU cluster" — becomes
+// measurable as GPU-seconds saved at bounded latency cost.
+func Autoscale(opts Fig13Options) (*AutoscaleResult, error) {
+	trace := func() []workload.Request {
+		profile := workload.Trapezoid{
+			Peak: opts.Peak, RampUp: opts.RampUp, Hold: opts.Hold, RampDown: opts.RampDown,
+		}
+		gen := workload.NewGenerator(dist.Skewed, workload.ClusterLengths(), opts.Seed)
+		numModels := dist.NumModels(dist.Skewed, int(opts.Peak*profile.Horizon().Seconds()/2))
+		return gen.Poisson(profile.Rate, opts.Peak, profile.Horizon(), numModels)
+	}
+	engine := core.Config{
+		System: core.PunicaSystem(),
+		GPU:    hw.A100(),
+		Model:  models.Llama2_7B(),
+		Rank:   models.DefaultLoRARank,
+	}
+
+	fixed := cluster.New(cluster.Config{
+		NumGPUs:           opts.NumGPUs,
+		Engine:            engine,
+		MigrationInterval: 10 * time.Second,
+	})
+	fixedRes, err := fixed.Run(trace())
+	if err != nil {
+		return nil, fmt.Errorf("fixed run: %w", err)
+	}
+
+	elastic := cluster.New(cluster.Config{
+		NumGPUs:           opts.NumGPUs,
+		Engine:            engine,
+		MigrationInterval: 10 * time.Second,
+		Autoscale: &cluster.AutoscaleConfig{
+			MinGPUs:        1,
+			MaxGPUs:        opts.NumGPUs,
+			ProvisionDelay: 40 * time.Second,
+			CheckInterval:  10 * time.Second,
+		},
+	})
+	elasticRes, err := elastic.Run(trace())
+	if err != nil {
+		return nil, fmt.Errorf("elastic run: %w", err)
+	}
+	as := elastic.AutoscaleStats()
+
+	fixedSecs := float64(opts.NumGPUs) * fixedRes.Makespan.Seconds()
+	out := &AutoscaleResult{
+		FixedGPUSeconds:   fixedSecs,
+		ElasticGPUSeconds: as.GPUSeconds,
+		Provisions:        as.Provisions,
+		Releases:          as.Releases,
+		FixedP99TTFT:      fixedRes.TimeToFirstToken.Percentile(99),
+		ElasticP99TTFT:    elasticRes.TimeToFirstToken.Percentile(99),
+		FixedThroughput:   fixedRes.Throughput,
+		ElasticThroughput: elasticRes.Throughput,
+	}
+	if fixedSecs > 0 {
+		out.Savings = 1 - out.ElasticGPUSeconds/fixedSecs
+	}
+	return out, nil
+}
+
+// FormatAutoscale renders the comparison.
+func FormatAutoscale(r *AutoscaleResult) string {
+	return fmt.Sprintf(
+		"Extension — §5.1 cloud autoscaling (trapezoidal load):\n"+
+			"  fixed   : %.0f GPU-seconds, p99 TTFT %.2fs, %.0f tok/s\n"+
+			"  elastic : %.0f GPU-seconds (%.0f%% saved), p99 TTFT %.2fs, %.0f tok/s\n"+
+			"  scaling : %d provisions, %d releases\n",
+		r.FixedGPUSeconds, r.FixedP99TTFT, r.FixedThroughput,
+		r.ElasticGPUSeconds, 100*r.Savings, r.ElasticP99TTFT, r.ElasticThroughput,
+		r.Provisions, r.Releases)
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// CSV writers: machine-readable forms of each figure's data for plot
+// regeneration. Columns mirror the paper's axes.
+
+func writeAll(w *csv.Writer, rows [][]string) error {
+	for _, row := range rows {
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func usCell(d time.Duration) string {
+	return strconv.FormatFloat(float64(d.Nanoseconds())/1e3, 'f', 3, 64)
+}
+
+// Fig1CSV writes seq_len,batch,prefill_us,decode_us.
+func Fig1CSV(out io.Writer, points []Fig1Point) error {
+	w := csv.NewWriter(out)
+	rows := [][]string{{"seq_len", "batch", "prefill_us", "decode_us"}}
+	for _, p := range points {
+		rows = append(rows, []string{
+			strconv.Itoa(p.SeqLen), strconv.Itoa(p.Batch),
+			usCell(p.Prefill), usCell(p.Decode),
+		})
+	}
+	return writeAll(w, rows)
+}
+
+// Fig7CSV writes dist,batch,intensity,achieved_flops,latency_us.
+func Fig7CSV(out io.Writer, points []Fig7Point) error {
+	w := csv.NewWriter(out)
+	rows := [][]string{{"dist", "batch", "intensity", "achieved_flops", "latency_us"}}
+	for _, p := range points {
+		rows = append(rows, []string{
+			p.Dist.String(), strconv.Itoa(p.Batch),
+			strconv.FormatFloat(p.Intensity, 'f', 6, 64),
+			strconv.FormatFloat(p.AchievedFLOPS, 'g', 6, 64),
+			usCell(p.Latency),
+		})
+	}
+	return writeAll(w, rows)
+}
+
+// Fig8CSV writes dist,batch,loop_us,gather_bmm_us,gather_us,bmm_us,sgmv_us.
+func Fig8CSV(out io.Writer, points []Fig8Point) error {
+	w := csv.NewWriter(out)
+	rows := [][]string{{"dist", "batch", "loop_us", "gather_bmm_us", "gather_us", "bmm_us", "sgmv_us"}}
+	for _, p := range points {
+		rows = append(rows, []string{
+			p.Dist.String(), strconv.Itoa(p.Batch),
+			usCell(p.Loop), usCell(p.GatherBMM), usCell(p.Gather),
+			usCell(p.BMM), usCell(p.SGMV),
+		})
+	}
+	return writeAll(w, rows)
+}
+
+// Fig9CSV writes rank,dist,batch,latency_us.
+func Fig9CSV(out io.Writer, points []Fig9Point) error {
+	w := csv.NewWriter(out)
+	rows := [][]string{{"rank", "dist", "batch", "latency_us"}}
+	for _, p := range points {
+		rows = append(rows, []string{
+			strconv.Itoa(p.Rank), p.Dist.String(), strconv.Itoa(p.Batch),
+			usCell(p.Latency),
+		})
+	}
+	return writeAll(w, rows)
+}
+
+// Fig10CSV writes model,seq_len,dist,batch,latency_us.
+func Fig10CSV(out io.Writer, points []Fig10Point) error {
+	w := csv.NewWriter(out)
+	rows := [][]string{{"model", "seq_len", "dist", "batch", "latency_us"}}
+	for _, p := range points {
+		rows = append(rows, []string{
+			p.Model, strconv.Itoa(p.SeqLen), p.Dist.String(),
+			strconv.Itoa(p.Batch), usCell(p.Latency),
+		})
+	}
+	return writeAll(w, rows)
+}
+
+// Fig11CSV writes model,dist,system,throughput_tok_s.
+func Fig11CSV(out io.Writer, rows11 []Fig11Row) error {
+	w := csv.NewWriter(out)
+	rows := [][]string{{"model", "dist", "system", "throughput_tok_s"}}
+	for _, r := range rows11 {
+		rows = append(rows, []string{
+			r.Model, r.Dist.String(), r.System,
+			strconv.FormatFloat(r.Throughput, 'f', 1, 64),
+		})
+	}
+	return writeAll(w, rows)
+}
+
+// Fig13CSV writes minute,req_per_s,tok_per_s,busy_gpus,then one batch
+// column per GPU.
+func Fig13CSV(out io.Writer, r *Fig13Result) error {
+	w := csv.NewWriter(out)
+	header := []string{"minute", "req_per_s", "tok_per_s", "busy_gpus"}
+	for i := range r.BatchPerGPU {
+		header = append(header, fmt.Sprintf("gpu%02d_batch", i))
+	}
+	rows := [][]string{header}
+	for i := range r.ReqRate {
+		busy := 0
+		for _, g := range r.BatchPerGPU {
+			if i < len(g) && g[i] > 0 {
+				busy++
+			}
+		}
+		row := []string{
+			strconv.FormatFloat((time.Duration(i) * r.Opts.BinWidth).Minutes(), 'f', 2, 64),
+			strconv.FormatFloat(r.ReqRate[i], 'f', 3, 64),
+			strconv.FormatFloat(r.TokRate[i], 'f', 1, 64),
+			strconv.Itoa(busy),
+		}
+		for _, g := range r.BatchPerGPU {
+			v := 0.0
+			if i < len(g) {
+				v = g[i]
+			}
+			row = append(row, strconv.FormatFloat(v, 'f', 2, 64))
+		}
+		rows = append(rows, row)
+	}
+	return writeAll(w, rows)
+}

@@ -1,0 +1,380 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"punica/internal/cluster"
+	"punica/internal/core"
+	"punica/internal/dist"
+	"punica/internal/hw"
+	"punica/internal/layer"
+	"punica/internal/models"
+	"punica/internal/workload"
+)
+
+// Fig6Result quantifies the wasted decode steps of an inseparable
+// (static-batch) KvCache versus Punica's separable layout on the same
+// trace (§5.4, Fig. 6).
+type Fig6Result struct {
+	Requests     int
+	UsefulTokens int64
+	StaticWasted int64
+	PagedWasted  int64
+	WasteFrac    float64 // wasted / (useful+wasted) for the static system
+}
+
+// Fig6 runs the same Identical-popularity trace through a static-batch
+// system and through Punica and reports the waste.
+func Fig6(numRequests int, seed int64) (*Fig6Result, error) {
+	if numRequests <= 0 {
+		numRequests = 64
+	}
+	trace := func() []workload.Request {
+		return workload.NewGenerator(dist.Identical, workload.ShareGPTLengths(), seed).Batch(numRequests)
+	}
+	static := core.PunicaSystem()
+	static.Name = "static-batching"
+	static.ContinuousBatching = false
+	static.PagedKV = false
+	static.MaxPrefillPerStep = static.MaxBatch
+
+	staticRes, err := run1GPU(static, trace())
+	if err != nil {
+		return nil, err
+	}
+	punicaRes, err := run1GPU(core.PunicaSystem(), trace())
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig6Result{
+		Requests:     numRequests,
+		UsefulTokens: staticRes.DecodeTokens,
+		StaticWasted: staticRes.WastedDecodes,
+		PagedWasted:  punicaRes.WastedDecodes,
+	}
+	if total := out.UsefulTokens + out.StaticWasted; total > 0 {
+		out.WasteFrac = float64(out.StaticWasted) / float64(total)
+	}
+	return out, nil
+}
+
+func run1GPU(sys core.SystemConfig, reqs []workload.Request) (*cluster.Result, error) {
+	c := cluster.New(cluster.Config{
+		NumGPUs: 1,
+		Engine: core.Config{
+			System: sys,
+			GPU:    hw.A100(),
+			Model:  models.Llama2_7B(),
+			Rank:   models.DefaultLoRARank,
+		},
+	})
+	return c.Run(reqs)
+}
+
+// FormatFig6 renders the waste comparison.
+func FormatFig6(r *Fig6Result) string {
+	return fmt.Sprintf(
+		"Figure 6 — wasted decode steps (%d requests, Identical):\n"+
+			"  static batching : %d wasted / %d useful (%.1f%% waste)\n"+
+			"  Punica (paged)  : %d wasted\n",
+		r.Requests, r.StaticWasted, r.UsefulTokens, 100*r.WasteFrac, r.PagedWasted)
+}
+
+// LoadingResult is the §5.2 on-demand model loading microbenchmark.
+type LoadingResult struct {
+	LayerBytes int64
+	ModelBytes int64
+	PerLayer   time.Duration
+	PerModel   time.Duration
+	DecodeStep time.Duration // for comparison: one batch-32 decode step
+}
+
+// Loading measures LoRA weight loading over PCIe Gen4 x16 for the 7B
+// rank-16 adapters ("around 50µs to load a layer and 2ms to load the
+// entire model", §5.2).
+func Loading() LoadingResult {
+	cfg := models.Llama2_7B()
+	link := hw.PCIeGen4x16()
+	layerBytes := cfg.LoRALayerParams(models.DefaultLoRARank) * hw.FP16Bytes
+	modelBytes := cfg.LoRABytes(models.DefaultLoRARank)
+	costs := layer.New(hw.A100(), cfg)
+	contexts := make([]int, 32)
+	for i := range contexts {
+		contexts[i] = 512
+	}
+	return LoadingResult{
+		LayerBytes: layerBytes,
+		ModelBytes: modelBytes,
+		PerLayer:   link.TransferTime(layerBytes),
+		PerModel:   link.TransferTime(modelBytes),
+		DecodeStep: costs.InvokeTime(layer.Invocation{DecodeContexts: contexts}),
+	}
+}
+
+// FormatLoading renders the loading microbenchmark.
+func FormatLoading(r LoadingResult) string {
+	return fmt.Sprintf(
+		"§5.2 — On-demand LoRA loading over %s:\n"+
+			"  per layer : %d bytes in %v\n"+
+			"  per model : %d bytes in %v\n"+
+			"  (one batch-32 decode step: %v — loading hides behind one step)\n",
+		hw.PCIeGen4x16().Name, r.LayerBytes, r.PerLayer, r.ModelBytes, r.PerModel, r.DecodeStep)
+}
+
+// NormAblation is the §6 fused-LayerNorm ablation.
+type NormAblation struct {
+	Fused, Unfused   time.Duration // per-invocation (batch 32, 7B)
+	PerNorm          time.Duration
+	PerNormUnfused   time.Duration
+	StepSavingsTotal time.Duration
+}
+
+// AblationNorm quantifies what LayerNorm fusion saves per step.
+func AblationNorm() NormAblation {
+	cfg := models.Llama2_7B()
+	fused := layer.New(hw.A100(), cfg)
+	unfused := fused
+	unfused.FusedNorm = false
+	contexts := make([]int, 32)
+	for i := range contexts {
+		contexts[i] = 512
+	}
+	inv := layer.Invocation{DecodeContexts: contexts}
+	f, u := fused.InvokeTime(inv), unfused.InvokeTime(inv)
+	return NormAblation{
+		Fused:            f,
+		Unfused:          u,
+		PerNorm:          hw.LayerNormFused,
+		PerNormUnfused:   hw.LayerNormUnfused,
+		StepSavingsTotal: u - f,
+	}
+}
+
+// FormatAblationNorm renders the norm ablation.
+func FormatAblationNorm(r NormAblation) string {
+	return fmt.Sprintf(
+		"§6 — LayerNorm fusion (7B, batch 32): %v → %v per norm; step %v → %v (saves %v)\n",
+		r.PerNormUnfused, r.PerNorm, r.Unfused, r.Fused, r.StepSavingsTotal)
+}
+
+// MaxBatchPoint is one row of the max-batch-size ablation behind §5.1's
+// "oversized batches greatly slow down latency while providing marginal
+// throughput gains".
+type MaxBatchPoint struct {
+	MaxBatch   int
+	Throughput float64
+	P50TokenMs float64
+	P99TokenMs float64
+}
+
+// AblationMaxBatch sweeps the engine's batch cap on a Uniform trace.
+func AblationMaxBatch(numRequests int, seed int64, caps []int) ([]MaxBatchPoint, error) {
+	if numRequests <= 0 {
+		numRequests = 200
+	}
+	if len(caps) == 0 {
+		caps = []int{1, 4, 8, 16, 32, 64, 128}
+	}
+	var points []MaxBatchPoint
+	for _, cap := range caps {
+		sys := core.PunicaSystem()
+		sys.MaxBatch = cap
+		reqs := workload.NewGenerator(dist.Uniform, workload.ShareGPTLengths(), seed).Batch(numRequests)
+		res, err := run1GPU(sys, reqs)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, MaxBatchPoint{
+			MaxBatch:   cap,
+			Throughput: res.Throughput,
+			P50TokenMs: res.PerTokenLatency.Percentile(50) * 1000,
+			P99TokenMs: res.PerTokenLatency.Percentile(99) * 1000,
+		})
+	}
+	return points, nil
+}
+
+// FormatAblationMaxBatch renders the sweep.
+func FormatAblationMaxBatch(points []MaxBatchPoint) string {
+	t := newTable("max batch", "throughput", "p50 ms/token", "p99 ms/token")
+	for _, p := range points {
+		t.add(fmt.Sprint(p.MaxBatch),
+			fmt.Sprintf("%.0f tok/s", p.Throughput),
+			fmt.Sprintf("%.1f", p.P50TokenMs),
+			fmt.Sprintf("%.1f", p.P99TokenMs))
+	}
+	return "Ablation — max batch size (§5.1 sweet spot):\n" + t.String()
+}
+
+// PageSizePoint is one row of the KvCache page-size ablation.
+type PageSizePoint struct {
+	PageSize   int
+	Throughput float64
+	Evictions  int64
+}
+
+// AblationPageSize sweeps the paged-KvCache page size under memory
+// pressure (small pool, long chat-style responses), trading internal
+// fragmentation against allocator granularity: oversized pages waste
+// slots and force evictions/recomputation.
+func AblationPageSize(numRequests int, seed int64, sizes []int) ([]PageSizePoint, error) {
+	if numRequests <= 0 {
+		numRequests = 150
+	}
+	if len(sizes) == 0 {
+		sizes = []int{8, 16, 32, 64, 128, 256, 512}
+	}
+	model := models.Llama2_7B()
+	var points []PageSizePoint
+	for _, ps := range sizes {
+		reqs := workload.NewGenerator(dist.Uniform, workload.ClusterLengths(), seed).Batch(numRequests)
+		c := cluster.New(cluster.Config{
+			NumGPUs: 1,
+			Engine: core.Config{
+				System:          core.PunicaSystem(),
+				GPU:             hw.A100(),
+				Model:           model,
+				Rank:            models.DefaultLoRARank,
+				PageSize:        ps,
+				KVCapacityBytes: 10 << 30, // heavy pressure vs ~19 GB of demand
+			},
+		})
+		res, err := c.Run(reqs)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, PageSizePoint{
+			PageSize:   ps,
+			Throughput: res.Throughput,
+			Evictions:  res.Evictions,
+		})
+	}
+	return points, nil
+}
+
+// FormatAblationPageSize renders the sweep.
+func FormatAblationPageSize(points []PageSizePoint) string {
+	t := newTable("page size", "throughput", "evictions")
+	for _, p := range points {
+		t.add(fmt.Sprint(p.PageSize),
+			fmt.Sprintf("%.0f tok/s", p.Throughput),
+			fmt.Sprint(p.Evictions))
+	}
+	return "Ablation — KvCache page size under memory pressure:\n" + t.String()
+}
+
+// PrefillLimitPoint is one row of the prefill-batch-limit ablation
+// (§5: "we limit the prefill batch size to 1 ... to minimize latency
+// penalty").
+type PrefillLimitPoint struct {
+	Limit      int
+	Throughput float64
+	P99TokenMs float64
+}
+
+// AblationPrefillLimit sweeps MaxPrefillPerStep.
+func AblationPrefillLimit(numRequests int, seed int64, limits []int) ([]PrefillLimitPoint, error) {
+	if numRequests <= 0 {
+		numRequests = 200
+	}
+	if len(limits) == 0 {
+		limits = []int{1, 2, 4, 8, 32}
+	}
+	var points []PrefillLimitPoint
+	for _, lim := range limits {
+		sys := core.PunicaSystem()
+		sys.MaxPrefillPerStep = lim
+		reqs := workload.NewGenerator(dist.Uniform, workload.ShareGPTLengths(), seed).Batch(numRequests)
+		res, err := run1GPU(sys, reqs)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, PrefillLimitPoint{
+			Limit:      lim,
+			Throughput: res.Throughput,
+			P99TokenMs: res.PerTokenLatency.Percentile(99) * 1000,
+		})
+	}
+	return points, nil
+}
+
+// FormatAblationPrefillLimit renders the sweep.
+func FormatAblationPrefillLimit(points []PrefillLimitPoint) string {
+	t := newTable("prefill/step", "throughput", "p99 ms/token")
+	for _, p := range points {
+		t.add(fmt.Sprint(p.Limit),
+			fmt.Sprintf("%.0f tok/s", p.Throughput),
+			fmt.Sprintf("%.1f", p.P99TokenMs))
+	}
+	return "Ablation — prefill batch limit (§5):\n" + t.String()
+}
+
+// MigrationAblation compares the cluster experiment with and without
+// periodic consolidation.
+type MigrationAblation struct {
+	WithMigrations    int64
+	WithTailIdle      int
+	WithoutTailIdle   int
+	WithThroughput    float64
+	WithoutThroughput float64
+}
+
+// AblationMigration runs a scaled-down Fig. 13 with and without
+// consolidation and compares how many GPUs are idle (releasable) at the
+// end of the ramp-down.
+func AblationMigration(opts Fig13Options) (*MigrationAblation, error) {
+	withRes, err := Fig13(opts)
+	if err != nil {
+		return nil, err
+	}
+	// Re-run without migration by driving the cluster directly.
+	profile := workload.Trapezoid{
+		Peak: opts.Peak, RampUp: opts.RampUp, Hold: opts.Hold, RampDown: opts.RampDown,
+	}
+	gen := workload.NewGenerator(dist.Skewed, workload.ClusterLengths(), opts.Seed)
+	numModels := dist.NumModels(dist.Skewed, int(opts.Peak*profile.Horizon().Seconds()/2))
+	reqs := gen.Poisson(profile.Rate, opts.Peak, profile.Horizon(), numModels)
+	c := cluster.New(cluster.Config{
+		NumGPUs: opts.NumGPUs,
+		Engine: core.Config{
+			System: core.PunicaSystem(),
+			GPU:    hw.A100(),
+			Model:  models.Llama2_7B(),
+			Rank:   models.DefaultLoRARank,
+		},
+	})
+	res, err := c.Run(reqs)
+	if err != nil {
+		return nil, err
+	}
+	span := res.Makespan
+	if profile.Horizon() > span {
+		span = profile.Horizon()
+	}
+	withoutIdle := 0
+	lastBin := int(span/opts.BinWidth) - 1
+	for i := range res.BatchSeries {
+		bins := res.BatchSeries[i].Bin(span, opts.BinWidth)
+		if lastBin >= 0 && lastBin < len(bins) && bins[lastBin] == 0 {
+			withoutIdle++
+		}
+	}
+	return &MigrationAblation{
+		WithMigrations:    withRes.Migrations,
+		WithTailIdle:      withRes.TailIdleGPUs,
+		WithoutTailIdle:   withoutIdle,
+		WithThroughput:    withRes.Throughput,
+		WithoutThroughput: res.Throughput,
+	}, nil
+}
+
+// FormatAblationMigration renders the comparison.
+func FormatAblationMigration(r *MigrationAblation) string {
+	return fmt.Sprintf(
+		"Ablation — migration/consolidation:\n"+
+			"  with    : %d migrations, %d idle GPUs at tail, %.0f tok/s\n"+
+			"  without : %d idle GPUs at tail, %.0f tok/s\n",
+		r.WithMigrations, r.WithTailIdle, r.WithThroughput,
+		r.WithoutTailIdle, r.WithoutThroughput)
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"punica/internal/cluster"
+	"punica/internal/core"
+	"punica/internal/dist"
+	"punica/internal/hw"
+	"punica/internal/models"
+	"punica/internal/workload"
+)
+
+// Fig13Options parameterises the cluster-deployment experiment. The
+// defaults reproduce §7.3: 16 GPUs, one hour, Zipf-1.5 popularity, 7B
+// model, Poisson arrivals whose rate ramps up and back down.
+type Fig13Options struct {
+	NumGPUs  int
+	Peak     float64 // req/s at the plateau
+	RampUp   time.Duration
+	Hold     time.Duration
+	RampDown time.Duration
+	BinWidth time.Duration
+	Seed     int64
+}
+
+// DefaultFig13Options returns the paper-scale configuration.
+func DefaultFig13Options() Fig13Options {
+	return Fig13Options{
+		NumGPUs:  16,
+		Peak:     11,
+		RampUp:   25 * time.Minute,
+		Hold:     10 * time.Minute,
+		RampDown: 25 * time.Minute,
+		BinWidth: time.Minute,
+		Seed:     42,
+	}
+}
+
+// Fig13Result carries the three panels of the figure plus summary
+// statistics.
+type Fig13Result struct {
+	Opts    Fig13Options
+	Horizon time.Duration
+
+	// ReqRate, TokRate and BatchPerGPU are binned series: requests/s,
+	// processed tokens/s, and per-GPU mean invocation batch size.
+	ReqRate     []float64
+	TokRate     []float64
+	BatchPerGPU [][]float64
+
+	Requests   int
+	Finished   int64
+	Migrations int64
+	Evictions  int64
+	Throughput float64
+	// PeakIdleGPUs counts GPUs that stayed idle during the plateau bin
+	// with the highest load, and TailIdleGPUs during the final bin —
+	// consolidation should free GPUs as load recedes.
+	TailIdleGPUs int
+}
+
+// Fig13 runs the cluster deployment experiment.
+func Fig13(opts Fig13Options) (*Fig13Result, error) {
+	profile := workload.Trapezoid{
+		Peak: opts.Peak, RampUp: opts.RampUp, Hold: opts.Hold, RampDown: opts.RampDown,
+	}
+	horizon := profile.Horizon()
+	gen := workload.NewGenerator(dist.Skewed, workload.ClusterLengths(), opts.Seed)
+	numModels := dist.NumModels(dist.Skewed, int(opts.Peak*horizon.Seconds()/2))
+	reqs := gen.Poisson(profile.Rate, opts.Peak, horizon, numModels)
+
+	c := cluster.New(cluster.Config{
+		NumGPUs: opts.NumGPUs,
+		Engine: core.Config{
+			System: core.PunicaSystem(),
+			GPU:    hw.A100(),
+			Model:  models.Llama2_7B(),
+			Rank:   models.DefaultLoRARank,
+		},
+		MigrationInterval: 10 * time.Second,
+	})
+	res, err := c.Run(reqs)
+	if err != nil {
+		return nil, err
+	}
+
+	span := res.Makespan
+	if horizon > span {
+		span = horizon
+	}
+	out := &Fig13Result{
+		Opts:       opts,
+		Horizon:    span,
+		ReqRate:    res.ArrivalSeries.RateBin(span, opts.BinWidth),
+		TokRate:    res.ProcessedSeries.RateBin(span, opts.BinWidth),
+		Requests:   len(reqs),
+		Finished:   res.Finished,
+		Migrations: res.Migrations,
+		Evictions:  res.Evictions,
+		Throughput: res.Throughput,
+	}
+	for i := range res.BatchSeries {
+		out.BatchPerGPU = append(out.BatchPerGPU, res.BatchSeries[i].Bin(span, opts.BinWidth))
+	}
+	// Idle GPUs in the final bin: batch size 0.
+	lastBin := len(out.ReqRate) - 1
+	for _, series := range out.BatchPerGPU {
+		if lastBin < len(series) && series[lastBin] == 0 {
+			out.TailIdleGPUs++
+		}
+	}
+	return out, nil
+}
+
+// FormatFig13 renders the three panels as aligned text columns, one row
+// per bin.
+func FormatFig13(r *Fig13Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 13 — Cluster deployment: %d GPUs, %v horizon, Zipf-1.5, 7B\n",
+		r.Opts.NumGPUs, r.Horizon.Round(time.Second))
+	fmt.Fprintf(&b, "requests=%d finished=%d migrations=%d evictions=%d throughput=%.0f tok/s\n\n",
+		r.Requests, r.Finished, r.Migrations, r.Evictions, r.Throughput)
+	t := newTable("t(min)", "req/s", "tok/s", "busy GPUs", "mean batch (busy)")
+	for i := range r.ReqRate {
+		busy := 0
+		sum := 0.0
+		for _, g := range r.BatchPerGPU {
+			if i < len(g) && g[i] > 0 {
+				busy++
+				sum += g[i]
+			}
+		}
+		mean := 0.0
+		if busy > 0 {
+			mean = sum / float64(busy)
+		}
+		t.add(
+			fmt.Sprintf("%.0f", (time.Duration(i)*r.Opts.BinWidth).Minutes()),
+			fmt.Sprintf("%.1f", r.ReqRate[i]),
+			fmt.Sprintf("%.0f", r.TokRate[i]),
+			fmt.Sprint(busy),
+			fmt.Sprintf("%.1f", mean),
+		)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,67 @@
+package hw
+
+import "time"
+
+// Calibrated efficiency derates. A roofline with raw peaks predicts the
+// asymptotes of Fig. 7 but not the measured points; real kernels achieve a
+// fraction of peak that depends on access pattern. These constants were
+// fitted once against the latencies the paper reports (Fig. 1, 8, 9, 10 and
+// the §5.2/§6 microbenchmarks) and are referenced from the cost models in
+// internal/sgmv and internal/layer. DESIGN.md §4 records the fit targets.
+const (
+	// EffGEMMMem: streaming large dense weight matrices during decode
+	// GEMMs is the friendliest HBM pattern.
+	EffGEMMMem = 0.88
+
+	// EffGEMMCompute: sustained Tensor-Core utilisation of prefill-sized
+	// GEMMs (cuBLAS on non-huge shapes).
+	EffGEMMCompute = 0.62
+
+	// EffAttention: paged BatchPrefill/BatchDecode attention bandwidth
+	// (FlashInfer-style kernels chase KvCache pages, slightly worse
+	// than pure streaming).
+	EffAttention = 0.80
+
+	// EffSGMVGather: SGMV streaming per-model LoRA weight segments.
+	// Fitted to the Fig. 9 rank sweep: solving the Distinct batch-64
+	// latencies for rank 8 and rank 64 simultaneously gives an
+	// effective gather bandwidth of ~1.27 TB/s (0.66 of peak) plus a
+	// fixed per-segment scheduling cost (SGMVSegmentOverhead below).
+	EffSGMVGather = 0.66
+
+	// EffSGMVCompute: Tensor-Core utilisation of SGMV's skinny
+	// matmuls (rank-sized K or N dimensions can't fill the MMA tiles).
+	EffSGMVCompute = 0.35
+
+	// EffTorchGather: effective bandwidth of PyTorch's gather op used by
+	// the Gather-BMM baseline in Fig. 8 (uncoalesced indexed copies).
+	EffTorchGather = 0.25
+
+	// EffTorchBMM: effective bandwidth of torch.bmm on the LoRA shapes.
+	EffTorchBMM = 0.55
+)
+
+// SGMVSegmentOverhead is the per-segment, per-kernel scheduling cost of
+// SGMV (threadblock dispatch for one LoRA index). Fitted alongside
+// EffSGMVGather; it is what separates the Distinct line from the Identical
+// line at equal byte counts in Fig. 8/9.
+const SGMVSegmentOverhead = 180 * time.Nanosecond
+
+// TorchOpOverhead is the per-operator dispatch overhead of eager PyTorch
+// (kernel launch + framework bookkeeping). The Loop baseline pays this per
+// LoRA model per matmul, which is why it "behaves terribly" (Fig. 8a).
+const TorchOpOverhead = 12 * time.Microsecond
+
+// HostInvokeOverhead is the host-side cost of one batched model invocation
+// (Python driver, batch assembly, sampling, detokenisation). Fig. 1's
+// decode latencies include it; it is why batch-1 decode is ~11 ms when the
+// pure weight-streaming time is ~8 ms.
+const HostInvokeOverhead = 2500 * time.Microsecond
+
+// LayerNorm latencies from §6: "We also fuse LayerNorm, which reduces
+// latency from 110µs to 4µs." Punica and the optimised baselines use the
+// fused kernel; HuggingFace Transformers pays the unfused cost.
+const (
+	LayerNormFused   = 4 * time.Microsecond
+	LayerNormUnfused = 110 * time.Microsecond
+)

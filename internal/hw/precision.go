@@ -1,0 +1,67 @@
+package hw
+
+import "fmt"
+
+// Precision is a storage data type for weights or KvCache. The paper's
+// evaluation is entirely FP16; §8 discusses quantization as an orthogonal
+// optimisation ("Model quantization saves more headroom for KvCache,
+// hence enabling Punica to serve requests of longer sequences without
+// migration" and "KvCache quantization ... further reduces the memory I/O
+// of the KvCache"). The zero value is FP16, so existing configurations
+// are unchanged.
+type Precision int
+
+const (
+	// FP16 is the paper's baseline 16-bit floating point.
+	FP16 Precision = iota
+	// INT8 halves weight/cache bytes (SmoothQuant/GPTQ-class).
+	INT8
+	// NF4 packs ~4 bits per parameter (QLoRA-class storage).
+	NF4
+)
+
+// BytesPerParam returns the storage cost of one parameter or cache
+// element.
+func (p Precision) BytesPerParam() float64 {
+	switch p {
+	case FP16:
+		return 2
+	case INT8:
+		return 1
+	case NF4:
+		return 0.5
+	default:
+		panic(fmt.Sprintf("hw: unknown precision %d", int(p)))
+	}
+}
+
+// String names the precision.
+func (p Precision) String() string {
+	switch p {
+	case FP16:
+		return "fp16"
+	case INT8:
+		return "int8"
+	case NF4:
+		return "nf4"
+	default:
+		return fmt.Sprintf("Precision(%d)", int(p))
+	}
+}
+
+// DequantOverhead is the compute-efficiency penalty of fused
+// dequantisation inside quantized GEMM kernels: the memory-bound decode
+// path keeps its full bandwidth win, but Tensor-Core efficiency drops a
+// little. Applied as a multiplier on compute efficiency.
+func (p Precision) DequantOverhead() float64 {
+	switch p {
+	case FP16:
+		return 1
+	case INT8:
+		return 0.92
+	case NF4:
+		return 0.85
+	default:
+		panic("hw: unknown precision")
+	}
+}

@@ -1,0 +1,53 @@
+package hw
+
+import "testing"
+
+func TestPrecisionBytes(t *testing.T) {
+	cases := []struct {
+		p    Precision
+		want float64
+	}{
+		{FP16, 2},
+		{INT8, 1},
+		{NF4, 0.5},
+	}
+	for _, c := range cases {
+		if got := c.p.BytesPerParam(); got != c.want {
+			t.Errorf("%v bytes = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPrecisionZeroValueIsFP16(t *testing.T) {
+	var p Precision
+	if p != FP16 || p.BytesPerParam() != 2 {
+		t.Fatal("zero-value precision must be FP16 (paper's setup)")
+	}
+}
+
+func TestPrecisionStrings(t *testing.T) {
+	if FP16.String() != "fp16" || INT8.String() != "int8" || NF4.String() != "nf4" {
+		t.Fatal("precision names wrong")
+	}
+}
+
+func TestDequantOverheadOrdering(t *testing.T) {
+	// More aggressive quantization costs more compute efficiency, and
+	// FP16 costs nothing.
+	if FP16.DequantOverhead() != 1 {
+		t.Fatal("fp16 must have no dequant overhead")
+	}
+	if !(NF4.DequantOverhead() < INT8.DequantOverhead() &&
+		INT8.DequantOverhead() < FP16.DequantOverhead()) {
+		t.Fatal("dequant overhead must grow with quantization aggressiveness")
+	}
+}
+
+func TestPrecisionPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown precision should panic")
+		}
+	}()
+	Precision(99).BytesPerParam()
+}

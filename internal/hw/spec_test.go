@@ -1,0 +1,100 @@
+package hw
+
+import (
+	"testing"
+	"time"
+)
+
+func TestA100Specs(t *testing.T) {
+	g := A100()
+	if g.PeakFP16 != 312e12 {
+		t.Errorf("A100 peak = %g, want 312 TFLOP/s", g.PeakFP16)
+	}
+	if g.MemBandwidth != 1.935e12 {
+		t.Errorf("A100 bandwidth = %g, want 1.935 TB/s", g.MemBandwidth)
+	}
+	if g.MemBytes != 80<<30 {
+		t.Errorf("A100 memory = %d, want 80 GiB", g.MemBytes)
+	}
+	g40 := A100_40G()
+	if g40.MemBandwidth != 1.555e12 || g40.MemBytes != 40<<30 {
+		t.Errorf("A100-40G spec wrong: %+v", g40)
+	}
+}
+
+func TestStepTimeRoofline(t *testing.T) {
+	g := A100()
+	// Compute-bound: huge FLOPs, tiny bytes.
+	tc := g.StepTime(312e12, 1, 1, 1) // one second of peak compute
+	if d := tc - g.KernelLaunch; d < 990*time.Millisecond || d > 1010*time.Millisecond {
+		t.Errorf("compute-bound time = %v, want ~1s", d)
+	}
+	// Memory-bound: tiny FLOPs, a full second of bytes.
+	tm := g.StepTime(1, 1.935e12, 1, 1)
+	if d := tm - g.KernelLaunch; d < 990*time.Millisecond || d > 1010*time.Millisecond {
+		t.Errorf("memory-bound time = %v, want ~1s", d)
+	}
+	// Roofline takes the max, not the sum.
+	both := g.StepTime(312e12, 1.935e12, 1, 1)
+	if both > tc+tm {
+		t.Errorf("roofline exceeded sum: %v > %v", both, tc+tm)
+	}
+	if both < tc-g.KernelLaunch {
+		t.Errorf("roofline below max term")
+	}
+}
+
+func TestStepTimeEfficiencyPanics(t *testing.T) {
+	g := A100()
+	for _, eff := range [][2]float64{{0, 1}, {1, 0}, {1.5, 1}, {1, -0.2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("StepTime(eff=%v) should panic", eff)
+				}
+			}()
+			g.StepTime(1, 1, eff[0], eff[1])
+		}()
+	}
+}
+
+func TestPCIeLoadLatencyMatchesPaper(t *testing.T) {
+	// §5.2: "it takes around 50µs to load a layer and 2ms to load the
+	// entire model" for a 7B rank-16 LoRA over PCIe Gen4 x16.
+	link := PCIeGen4x16()
+	layerBytes := int64(2_400_000) // ~2.4 MB of A/B pairs per layer
+	perLayer := link.TransferTime(layerBytes)
+	if perLayer < 40*time.Microsecond || perLayer > 150*time.Microsecond {
+		t.Errorf("per-layer load = %v, want ~50-110µs", perLayer)
+	}
+	model := link.TransferTime(32 * layerBytes)
+	if model < 2*time.Millisecond || model > 4*time.Millisecond {
+		t.Errorf("full model load = %v, want ~2-4ms", model)
+	}
+}
+
+func TestAllReduce(t *testing.T) {
+	l := NvSwitch()
+	if AllReduceTime(l, 1<<20, 1) != 0 {
+		t.Error("world=1 all-reduce should be free")
+	}
+	t2 := AllReduceTime(l, 1<<20, 2)
+	t8 := AllReduceTime(l, 1<<20, 8)
+	if t8 <= t2 {
+		t.Errorf("8-way all-reduce (%v) should exceed 2-way (%v)", t8, t2)
+	}
+	// Small messages are latency-dominated.
+	small := AllReduceTime(l, 1024, 8)
+	if small < l.Latency {
+		t.Errorf("all-reduce %v below link latency %v", small, l.Latency)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	if Seconds(1.5) != 1500*time.Millisecond {
+		t.Errorf("Seconds(1.5) = %v", Seconds(1.5))
+	}
+	if Seconds(0) != 0 {
+		t.Errorf("Seconds(0) = %v", Seconds(0))
+	}
+}

@@ -1,0 +1,184 @@
+// Package kvcache implements Punica's paged KvCache layout (§5.4). The
+// paper stores the cache as [Σᵢ ⌈Sᵢ/P⌉, L, 2, N, P, D]: the batch
+// dimension is outermost and each sequence owns whole pages of P token
+// slots, so requests can enter and leave a batch independently
+// (continuous batching) and fragmentation is bounded by one partial page
+// per sequence.
+//
+// The Pool tracks pages, bytes and per-sequence occupancy; the serving
+// engine consults it for admission ("has enough memory for the new
+// request's KvCache") and eviction decisions.
+package kvcache
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultPageSize is the number of token slots per KvCache page. vLLM and
+// FlashInfer both default to 16.
+const DefaultPageSize = 16
+
+// SeqID identifies one sequence (request) in the pool.
+type SeqID int64
+
+// Pool is a paged KvCache allocator. It is not safe for concurrent use;
+// the engine serialises access per GPU.
+type Pool struct {
+	pageSize      int
+	bytesPerToken int64
+	totalPages    int
+	freePages     int
+	seqs          map[SeqID]*seqState
+}
+
+type seqState struct {
+	tokens int // token slots in use
+	pages  int // pages allocated (= ceil(tokens/pageSize))
+}
+
+// NewPool builds a pool over capacityBytes of GPU memory for a model
+// whose KvCache costs bytesPerToken per token. The page count is
+// ⌊capacity / (pageSize × bytesPerToken)⌋.
+func NewPool(capacityBytes, bytesPerToken int64, pageSize int) *Pool {
+	if pageSize <= 0 {
+		panic("kvcache: page size must be positive")
+	}
+	if bytesPerToken <= 0 {
+		panic("kvcache: bytes per token must be positive")
+	}
+	pageBytes := int64(pageSize) * bytesPerToken
+	total := int(capacityBytes / pageBytes)
+	if total < 0 {
+		total = 0
+	}
+	return &Pool{
+		pageSize:      pageSize,
+		bytesPerToken: bytesPerToken,
+		totalPages:    total,
+		freePages:     total,
+		seqs:          make(map[SeqID]*seqState),
+	}
+}
+
+// PageSize returns the token slots per page.
+func (p *Pool) PageSize() int { return p.pageSize }
+
+// TotalPages returns the pool capacity in pages.
+func (p *Pool) TotalPages() int { return p.totalPages }
+
+// FreePages returns the currently unallocated pages.
+func (p *Pool) FreePages() int { return p.freePages }
+
+// UsedPages returns the allocated pages.
+func (p *Pool) UsedPages() int { return p.totalPages - p.freePages }
+
+// UsedBytes returns the bytes held by allocated pages.
+func (p *Pool) UsedBytes() int64 {
+	return int64(p.UsedPages()) * int64(p.pageSize) * p.bytesPerToken
+}
+
+// Sequences returns the number of resident sequences.
+func (p *Pool) Sequences() int { return len(p.seqs) }
+
+// PagesFor returns how many pages a sequence of n tokens needs.
+func (p *Pool) PagesFor(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + p.pageSize - 1) / p.pageSize
+}
+
+// CanFit reports whether a new sequence of n tokens would fit right now.
+func (p *Pool) CanFit(n int) bool { return p.PagesFor(n) <= p.freePages }
+
+// Allocate reserves pages for a new sequence holding n tokens (the
+// prefill allocation). It fails if the id exists or memory is exhausted.
+func (p *Pool) Allocate(id SeqID, n int) error {
+	if _, ok := p.seqs[id]; ok {
+		return fmt.Errorf("kvcache: sequence %d already allocated", id)
+	}
+	if n < 0 {
+		return fmt.Errorf("kvcache: negative token count %d", n)
+	}
+	need := p.PagesFor(n)
+	if need > p.freePages {
+		return ErrOutOfMemory
+	}
+	p.freePages -= need
+	p.seqs[id] = &seqState{tokens: n, pages: need}
+	return nil
+}
+
+// Extend grows sequence id by n token slots (each decode step appends
+// one). A new page is taken only when the partial page fills. It fails
+// with ErrOutOfMemory if a required page is unavailable; the sequence is
+// left unchanged in that case.
+func (p *Pool) Extend(id SeqID, n int) error {
+	s, ok := p.seqs[id]
+	if !ok {
+		return fmt.Errorf("kvcache: unknown sequence %d", id)
+	}
+	if n < 0 {
+		return fmt.Errorf("kvcache: negative extension %d", n)
+	}
+	newPages := p.PagesFor(s.tokens + n)
+	delta := newPages - s.pages
+	if delta > p.freePages {
+		return ErrOutOfMemory
+	}
+	p.freePages -= delta
+	s.pages = newPages
+	s.tokens += n
+	return nil
+}
+
+// Release frees all pages of sequence id. Releasing an unknown sequence
+// is a no-op so that cancellation races are harmless.
+func (p *Pool) Release(id SeqID) {
+	s, ok := p.seqs[id]
+	if !ok {
+		return
+	}
+	p.freePages += s.pages
+	delete(p.seqs, id)
+}
+
+// Tokens returns the token count held by sequence id (0 if unknown).
+func (p *Pool) Tokens(id SeqID) int {
+	if s, ok := p.seqs[id]; ok {
+		return s.tokens
+	}
+	return 0
+}
+
+// Has reports whether sequence id is resident.
+func (p *Pool) Has(id SeqID) bool {
+	_, ok := p.seqs[id]
+	return ok
+}
+
+// WastedSlots returns the internal fragmentation: allocated token slots
+// not holding a token. Paging bounds this at (pageSize-1) per sequence,
+// which is the property §5.4 is after.
+func (p *Pool) WastedSlots() int {
+	waste := 0
+	for _, s := range p.seqs {
+		waste += s.pages*p.pageSize - s.tokens
+	}
+	return waste
+}
+
+// IDs returns the resident sequence ids in ascending order.
+func (p *Pool) IDs() []SeqID {
+	ids := make([]SeqID, 0, len(p.seqs))
+	for id := range p.seqs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// ErrOutOfMemory reports that the pool cannot satisfy an allocation; the
+// scheduler reacts by queueing new requests or migrating old ones (§5.3).
+var ErrOutOfMemory = fmt.Errorf("kvcache: out of memory")

@@ -1,0 +1,219 @@
+package kvcache
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func newTestPool(pages int) *Pool {
+	// 1 byte per token, page size 16 → capacity = pages*16 bytes.
+	return NewPool(int64(pages)*16, 1, 16)
+}
+
+func TestAllocateReleaseRoundtrip(t *testing.T) {
+	p := newTestPool(10)
+	if err := p.Allocate(1, 33); err != nil { // 3 pages
+		t.Fatal(err)
+	}
+	if p.UsedPages() != 3 || p.FreePages() != 7 {
+		t.Fatalf("used=%d free=%d, want 3/7", p.UsedPages(), p.FreePages())
+	}
+	if p.Tokens(1) != 33 {
+		t.Fatalf("tokens = %d", p.Tokens(1))
+	}
+	p.Release(1)
+	if p.UsedPages() != 0 || p.Sequences() != 0 {
+		t.Fatal("release did not return pages")
+	}
+}
+
+func TestAllocateDuplicateFails(t *testing.T) {
+	p := newTestPool(10)
+	if err := p.Allocate(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Allocate(1, 5); err == nil {
+		t.Fatal("duplicate allocation should fail")
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	p := newTestPool(2)
+	if err := p.Allocate(1, 40); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("want ErrOutOfMemory, got %v", err)
+	}
+	if p.UsedPages() != 0 {
+		t.Fatal("failed allocation must not leak pages")
+	}
+}
+
+func TestExtendTakesPageOnlyAtBoundary(t *testing.T) {
+	p := newTestPool(10)
+	if err := p.Allocate(1, 16); err != nil { // exactly 1 page
+		t.Fatal(err)
+	}
+	used := p.UsedPages()
+	if err := p.Extend(1, 1); err != nil { // crosses into page 2
+		t.Fatal(err)
+	}
+	if p.UsedPages() != used+1 {
+		t.Fatal("boundary extension should take one page")
+	}
+	for i := 0; i < 15; i++ { // fill page 2, no new pages
+		if err := p.Extend(1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.UsedPages() != used+1 {
+		t.Fatal("mid-page extensions must not take pages")
+	}
+}
+
+func TestExtendOOMLeavesStateUnchanged(t *testing.T) {
+	p := newTestPool(1)
+	if err := p.Allocate(1, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Extend(1, 1); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("want OOM, got %v", err)
+	}
+	if p.Tokens(1) != 16 || p.UsedPages() != 1 {
+		t.Fatal("failed extend must not change state")
+	}
+}
+
+func TestExtendUnknownSequence(t *testing.T) {
+	p := newTestPool(4)
+	if err := p.Extend(9, 1); err == nil {
+		t.Fatal("extending unknown sequence should fail")
+	}
+}
+
+func TestReleaseUnknownIsNoop(t *testing.T) {
+	p := newTestPool(4)
+	p.Release(42) // must not panic
+	if p.FreePages() != 4 {
+		t.Fatal("no-op release changed free pages")
+	}
+}
+
+func TestWastedSlotsBoundedByPageSize(t *testing.T) {
+	p := newTestPool(100)
+	sizes := []int{1, 15, 16, 17, 31, 33}
+	for i, n := range sizes {
+		if err := p.Allocate(SeqID(i), n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waste := p.WastedSlots()
+	max := len(sizes) * (p.PageSize() - 1)
+	if waste > max {
+		t.Fatalf("waste %d exceeds bound %d", waste, max)
+	}
+	// Exact: 15+1+0+15+1+15 = 47.
+	if waste != 47 {
+		t.Fatalf("waste = %d, want 47", waste)
+	}
+}
+
+func TestCanFit(t *testing.T) {
+	p := newTestPool(2)
+	if !p.CanFit(32) || p.CanFit(33) {
+		t.Fatal("CanFit boundary wrong")
+	}
+}
+
+func TestIDsSorted(t *testing.T) {
+	p := newTestPool(10)
+	for _, id := range []SeqID{5, 1, 3} {
+		if err := p.Allocate(id, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := p.IDs()
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 3 || ids[2] != 5 {
+		t.Fatalf("IDs = %v", ids)
+	}
+}
+
+func TestZeroTokenAllocate(t *testing.T) {
+	p := newTestPool(2)
+	if err := p.Allocate(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if p.UsedPages() != 0 {
+		t.Fatal("zero tokens should take zero pages")
+	}
+	if err := p.Extend(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if p.UsedPages() != 1 {
+		t.Fatal("extension from zero should take a page")
+	}
+}
+
+// TestPageConservation is the core safety property: under any sequence of
+// operations, used + free == total, per-sequence pages == ceil(tokens/P),
+// and no free-page count ever goes negative.
+func TestPageConservation(t *testing.T) {
+	type op struct {
+		Kind   uint8
+		ID     uint8
+		Tokens uint8
+	}
+	f := func(ops []op) bool {
+		p := newTestPool(64)
+		for _, o := range ops {
+			id := SeqID(o.ID % 8)
+			switch o.Kind % 3 {
+			case 0:
+				_ = p.Allocate(id, int(o.Tokens))
+			case 1:
+				_ = p.Extend(id, int(o.Tokens%24))
+			case 2:
+				p.Release(id)
+			}
+			if p.FreePages() < 0 || p.UsedPages() < 0 {
+				return false
+			}
+			sum := 0
+			for _, id := range p.IDs() {
+				sum += p.PagesFor(p.Tokens(id))
+			}
+			if sum != p.UsedPages() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewPool(100, 1, 0) },
+		func() { NewPool(100, 0, 16) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid pool config should panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestUsedBytes(t *testing.T) {
+	p := NewPool(1<<20, 256, 16)              // page = 4096 bytes, 256 pages
+	if err := p.Allocate(1, 20); err != nil { // 2 pages
+		t.Fatal(err)
+	}
+	if got := p.UsedBytes(); got != 2*16*256 {
+		t.Fatalf("UsedBytes = %d", got)
+	}
+}

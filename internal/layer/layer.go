@@ -1,0 +1,344 @@
+// Package layer models the latency of transformer model invocations on
+// the simulated GPU: dense projections, self-attention in prefill and
+// decode form, LayerNorms, the LoRA addon via SGMV, Megatron-style tensor
+// parallelism, and the host-side driver overhead.
+//
+// It reproduces the measured behaviours the paper builds on:
+//
+//   - Decode is memory-bound on weight streaming, so batching is nearly
+//     free until the KvCache traffic catches up (Fig. 1 right).
+//   - Prefill is compute-bound, so latency is proportional to batch size
+//     (Fig. 1 left).
+//   - The LoRA addon is small relative to the backbone, so layer latency
+//     is LoRA-popularity-agnostic (Fig. 10).
+package layer
+
+import (
+	"time"
+
+	"punica/internal/hw"
+	"punica/internal/models"
+	"punica/internal/sgmv"
+)
+
+// Invocation describes one batched model invocation: Punica runs "batch
+// requests of prefill and decode stages in a single model invocation"
+// (§5). PrefillLens are the prompt lengths entering prefill;
+// DecodeContexts are the current context lengths of decode requests (each
+// contributes one new token).
+type Invocation struct {
+	PrefillLens    []int
+	DecodeContexts []int
+
+	// LoRASegments groups the invocation's tokens by LoRA model for the
+	// SGMV addon; a zero value means backbone-only (no LoRA).
+	LoRASegments sgmv.Segments
+	// LoRARank is the adapter rank (ignored when LoRASegments is empty).
+	LoRARank int
+}
+
+// TotalTokens returns the number of token positions the dense projections
+// process: all prefill tokens plus one per decode request.
+func (inv Invocation) TotalTokens() int {
+	n := len(inv.DecodeContexts)
+	for _, l := range inv.PrefillLens {
+		n += l
+	}
+	return n
+}
+
+// BatchSize returns the number of requests in the invocation.
+func (inv Invocation) BatchSize() int {
+	return len(inv.PrefillLens) + len(inv.DecodeContexts)
+}
+
+// HasLoRA reports whether the invocation carries a LoRA addon.
+func (inv Invocation) HasLoRA() bool { return inv.LoRASegments.N() > 0 }
+
+// Costs converts invocations into simulated latencies for one model on
+// one GPU (or a tensor-parallel group). The feature flags encode what
+// distinguishes the baseline systems in §7:
+//
+//   - FlashAttention: fused attention (Punica via FlashInfer, DeepSpeed,
+//     FasterTransformer, vLLM). Off for HuggingFace Transformers, which
+//     materialises attention scores.
+//   - FusedNorm: the §6 fused LayerNorm (110 µs → 4 µs).
+//   - KVConcat: HuggingFace's layout concatenates the whole KvCache every
+//     decode step (reads it all and writes a new copy, §5.4).
+type Costs struct {
+	GPU   hw.GPUSpec
+	Model models.Config
+
+	// TP is the tensor-parallel world size (1 = single GPU). Weights,
+	// attention heads and LoRA weights are sharded TP ways; each layer
+	// pays two all-reduces over Interconnect (Megatron scheme, §7.2).
+	TP           int
+	Interconnect hw.Link
+
+	FlashAttention bool
+	FusedNorm      bool
+	KVConcat       bool
+
+	// LoRAImpl selects how the LoRA addon is computed when an
+	// invocation carries segments: Punica's SGMV kernel or the eager
+	// per-model loop that PEFT-style stacks use.
+	LoRAImpl LoRAImpl
+
+	// WeightPrecision quantizes the backbone weights (§8: orthogonal
+	// optimisation; smaller weights stream faster and free HBM for
+	// KvCache). LoRA adapter weights stay FP16, following QLoRA's
+	// design of high-precision adapters over a quantized backbone.
+	WeightPrecision hw.Precision
+	// KVPrecision quantizes the KvCache, reducing the attention
+	// memory traffic that bounds decode (§8).
+	KVPrecision hw.Precision
+
+	// HostOverhead is the per-invocation host cost (batch assembly,
+	// sampling, detokenisation). hw.HostInvokeOverhead by default.
+	HostOverhead time.Duration
+
+	lora sgmv.CostModel
+}
+
+// LoRAImpl selects the LoRA addon implementation for cost purposes.
+type LoRAImpl int
+
+const (
+	// LoRASGMV is Punica's batched kernel (default).
+	LoRASGMV LoRAImpl = iota
+	// LoRALoop is the eager per-model loop (HuggingFace PEFT layered on
+	// Transformers or DeepSpeed, §7: baselines add LoRA via PEFT).
+	LoRALoop
+)
+
+// New returns Punica-style costs for the model on the GPU: flash
+// attention, fused norms, paged KvCache, single GPU.
+func New(gpu hw.GPUSpec, model models.Config) Costs {
+	return Costs{
+		GPU:            gpu,
+		Model:          model,
+		TP:             1,
+		Interconnect:   hw.NvSwitch(),
+		FlashAttention: true,
+		FusedNorm:      true,
+		HostOverhead:   hw.HostInvokeOverhead,
+		lora:           sgmv.NewCostModel(gpu),
+	}
+}
+
+// WithTP returns a copy of c sharded over world GPUs.
+func (c Costs) WithTP(world int) Costs {
+	if world < 1 {
+		panic("layer: TP world must be >= 1")
+	}
+	c.TP = world
+	return c
+}
+
+func (c Costs) tp() float64 {
+	if c.TP < 1 {
+		return 1
+	}
+	return float64(c.TP)
+}
+
+func (c Costs) loraModel() sgmv.CostModel {
+	if c.lora.GPU.PeakFP16 == 0 {
+		return sgmv.NewCostModel(c.GPU)
+	}
+	return c.lora
+}
+
+// denseTime is the latency of the seven dense projections of one layer:
+// one weight-streaming pass plus activation traffic, roofed against
+// Tensor-Core compute.
+func (c Costs) denseTime(tokens int) time.Duration {
+	params := float64(c.Model.LayerParams()) / c.tp()
+	flop := 2 * float64(tokens) * params
+	actElems := 0.0
+	for _, p := range models.Projections {
+		in, out := c.Model.Dims(p)
+		actElems += float64(tokens) * float64(in+out) / c.tp()
+	}
+	bytes := params*c.WeightPrecision.BytesPerParam() + actElems*hw.FP16Bytes
+	t := c.GPU.StepTime(flop, bytes,
+		hw.EffGEMMCompute*c.WeightPrecision.DequantOverhead(), hw.EffGEMMMem)
+	// Seven kernel launches; StepTime already charged one.
+	return t + 6*c.GPU.KernelLaunch
+}
+
+// kvBytesPerTokenLayer is the per-layer, per-token KvCache footprint on
+// one shard.
+func (c Costs) kvBytesPerTokenLayer() float64 {
+	return 2 * float64(c.Model.KVDim()) * c.KVPrecision.BytesPerParam() / c.tp()
+}
+
+// attentionPrefillTime is one BatchPrefill launch over the prefill
+// sequences: compute is the quadratic score/value matmuls, memory is the
+// KvCache written and read.
+func (c Costs) attentionPrefillTime(lens []int) time.Duration {
+	if len(lens) == 0 {
+		return 0
+	}
+	var flop, bytes float64
+	h := float64(c.Model.HiddenSize) / c.tp()
+	for _, s := range lens {
+		fs := float64(s)
+		flop += 4 * fs * fs * h // QK^T and PV across all local heads
+		bytes += fs * c.kvBytesPerTokenLayer()
+		bytes += fs * 2 * h * hw.FP16Bytes // Q in, O out
+		if !c.FlashAttention {
+			// Materialised scores: write + read s×s per local head.
+			heads := float64(c.Model.Heads) / c.tp()
+			bytes += 2 * heads * fs * fs * hw.FP16Bytes
+		}
+	}
+	t := c.GPU.StepTime(flop, bytes, hw.EffGEMMCompute, hw.EffAttention)
+	if !c.FlashAttention {
+		t += 3 * c.GPU.KernelLaunch // separate QK^T, softmax, PV kernels
+	}
+	return t
+}
+
+// attentionDecodeTime is one BatchDecode launch over the decode requests:
+// IO-bound on reading each sequence's KvCache (§2.1: the decode stage has
+// low utilisation; §8: self-attention is bounded by memory bandwidth).
+func (c Costs) attentionDecodeTime(contexts []int) time.Duration {
+	if len(contexts) == 0 {
+		return 0
+	}
+	var kvBytes float64
+	for _, s := range contexts {
+		kvBytes += float64(s+1) * c.kvBytesPerTokenLayer()
+	}
+	h := float64(c.Model.HiddenSize) / c.tp()
+	actBytes := float64(len(contexts)) * 2 * h * hw.FP16Bytes
+	flop := 0.0
+	for _, s := range contexts {
+		flop += 4 * float64(s+1) * h
+	}
+	bytes := kvBytes + actBytes
+	if !c.FlashAttention {
+		bytes += kvBytes * 0.5 // extra passes over scores
+	}
+	t := c.GPU.StepTime(flop, bytes, hw.EffGEMMCompute, hw.EffAttention)
+	if !c.FlashAttention {
+		t += 3 * c.GPU.KernelLaunch
+	}
+	return t
+}
+
+// kvConcatTime is HuggingFace's per-layer KvCache concatenation: "it
+// needs to read the whole KvCache and write a new copy" every step
+// (§5.4).
+func (c Costs) kvConcatTime(contexts []int) time.Duration {
+	if !c.KVConcat || len(contexts) == 0 {
+		return 0
+	}
+	var kvBytes float64
+	for _, s := range contexts {
+		kvBytes += float64(s+1) * c.kvBytesPerTokenLayer()
+	}
+	return c.GPU.StepTime(0, 2*kvBytes, 1, hw.EffGEMMMem)
+}
+
+// loraTime is the per-layer LoRA addon: seven SGMV operator invocations,
+// one per dense projection (§6: segment indices are used 7L times).
+func (c Costs) loraTime(inv Invocation) time.Duration {
+	if !inv.HasLoRA() {
+		return 0
+	}
+	cm := c.loraModel()
+	var t time.Duration
+	for _, p := range models.Projections {
+		in, out := c.Model.Dims(p)
+		// Column-parallel shards split the output dim; row-parallel
+		// (o_proj, down_proj) split the input dim. Either way the
+		// per-shard weight volume is 1/TP.
+		switch p {
+		case models.ProjO, models.ProjDown:
+			in = shard(in, c.TP)
+		default:
+			out = shard(out, c.TP)
+		}
+		if c.LoRAImpl == LoRALoop {
+			t += cm.LoopTime(in, inv.LoRARank, out, inv.LoRASegments)
+		} else {
+			t += cm.OperatorTime(in, inv.LoRARank, out, inv.LoRASegments)
+		}
+	}
+	return t
+}
+
+func shard(dim, tp int) int {
+	if tp <= 1 {
+		return dim
+	}
+	d := dim / tp
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// normTime is the two RMSNorm/LayerNorm applications per layer.
+func (c Costs) normTime() time.Duration {
+	if c.FusedNorm {
+		return 2 * hw.LayerNormFused
+	}
+	return 2 * hw.LayerNormUnfused
+}
+
+// allReduceTime is the Megatron cost: two all-reduces per layer over the
+// activations of every token.
+func (c Costs) allReduceTime(tokens int) time.Duration {
+	if c.TP <= 1 {
+		return 0
+	}
+	payload := int64(tokens) * int64(c.Model.HiddenSize) * hw.FP16Bytes
+	return 2 * hw.AllReduceTime(c.Interconnect, payload, c.TP)
+}
+
+// LayerTime returns the latency of one transformer block for the
+// invocation. This is what Fig. 10 plots.
+func (c Costs) LayerTime(inv Invocation) time.Duration {
+	tokens := inv.TotalTokens()
+	if tokens == 0 {
+		return 0
+	}
+	return c.denseTime(tokens) +
+		c.attentionPrefillTime(inv.PrefillLens) +
+		c.attentionDecodeTime(inv.DecodeContexts) +
+		c.kvConcatTime(inv.DecodeContexts) +
+		c.loraTime(inv) +
+		c.normTime() +
+		c.allReduceTime(tokens)
+}
+
+// lmHeadTime is the output projection over one sampled position per
+// request plus the embedding lookups.
+func (c Costs) lmHeadTime(inv Invocation) time.Duration {
+	batch := inv.BatchSize()
+	if batch == 0 {
+		return 0
+	}
+	vocab := float64(c.Model.VocabSize)
+	h := float64(c.Model.HiddenSize)
+	weightBytes := vocab * h * c.WeightPrecision.BytesPerParam() / c.tp()
+	flop := 2 * float64(batch) * vocab * h / c.tp()
+	embedBytes := float64(inv.TotalTokens()) * h * hw.FP16Bytes
+	return c.GPU.StepTime(flop, weightBytes+embedBytes,
+		hw.EffGEMMCompute*c.WeightPrecision.DequantOverhead(), hw.EffGEMMMem)
+}
+
+// InvokeTime returns the latency of one full model invocation: all layers
+// plus the LM head and the host driver overhead. This is the decode-step
+// (or mixed-batch) latency the serving engine advances time by.
+func (c Costs) InvokeTime(inv Invocation) time.Duration {
+	if inv.TotalTokens() == 0 {
+		return 0
+	}
+	return time.Duration(c.Model.Layers)*c.LayerTime(inv) +
+		c.lmHeadTime(inv) +
+		c.HostOverhead
+}

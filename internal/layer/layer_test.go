@@ -1,0 +1,265 @@
+package layer
+
+import (
+	"testing"
+	"time"
+
+	"punica/internal/dist"
+	"punica/internal/hw"
+	"punica/internal/models"
+	"punica/internal/sgmv"
+)
+
+func punica7B() Costs { return New(hw.A100(), models.Llama2_7B()) }
+
+func decodeInv(batch, ctx int) Invocation {
+	contexts := make([]int, batch)
+	for i := range contexts {
+		contexts[i] = ctx
+	}
+	return Invocation{DecodeContexts: contexts}
+}
+
+func loraDecodeInv(batch, ctx int, kind dist.Kind) Invocation {
+	inv := decodeInv(batch, ctx)
+	inv.LoRASegments = sgmv.NewSegments(dist.SegmentSizes(kind, batch)...)
+	inv.LoRARank = models.DefaultLoRARank
+	return inv
+}
+
+func TestInvocationAccounting(t *testing.T) {
+	inv := Invocation{PrefillLens: []int{100}, DecodeContexts: []int{5, 7}}
+	if inv.TotalTokens() != 102 {
+		t.Fatalf("TotalTokens = %d, want 102", inv.TotalTokens())
+	}
+	if inv.BatchSize() != 3 {
+		t.Fatalf("BatchSize = %d, want 3", inv.BatchSize())
+	}
+	if inv.HasLoRA() {
+		t.Fatal("no segments should mean no LoRA")
+	}
+}
+
+func TestDecodeStepMatchesFig1(t *testing.T) {
+	// Fig. 1 (right): batch 1 → 32 moves decode latency from ~11ms to
+	// ~13ms for short sequences and ~17ms to ~34ms for long ones (7B).
+	c := punica7B()
+	short1 := c.InvokeTime(decodeInv(1, 128))
+	short32 := c.InvokeTime(decodeInv(32, 128))
+	long32 := c.InvokeTime(decodeInv(32, 2048))
+
+	if short1 < 8*time.Millisecond || short1 > 14*time.Millisecond {
+		t.Errorf("batch-1 short decode = %v, want ~11ms", short1)
+	}
+	if short32 < 10*time.Millisecond || short32 > 17*time.Millisecond {
+		t.Errorf("batch-32 short decode = %v, want ~13ms", short32)
+	}
+	if long32 < 25*time.Millisecond || long32 > 45*time.Millisecond {
+		t.Errorf("batch-32 long decode = %v, want ~34ms", long32)
+	}
+	// Batching must be strongly sublinear: 32x the work for <2x the time
+	// (short sequences).
+	if ratio := float64(short32) / float64(short1); ratio > 2.0 {
+		t.Errorf("short decode batch ratio = %.2f, want < 2", ratio)
+	}
+}
+
+func TestPrefillProportionalToBatch(t *testing.T) {
+	// Fig. 1 (left): prefill latency is proportional to batch size.
+	c := punica7B()
+	b1 := c.InvokeTime(Invocation{PrefillLens: []int{512}})
+	b8 := c.InvokeTime(Invocation{PrefillLens: []int{512, 512, 512, 512, 512, 512, 512, 512}})
+	ratio := float64(b8) / float64(b1)
+	if ratio < 5 || ratio > 9 {
+		t.Errorf("prefill batch-8/batch-1 = %.2f, want ~8 (proportional)", ratio)
+	}
+	// Prefill at len 2048 batch 32 is seconds-scale (Fig. 1 y-axis).
+	lens := make([]int, 32)
+	for i := range lens {
+		lens[i] = 2048
+	}
+	big := c.InvokeTime(Invocation{PrefillLens: lens})
+	if big < 2*time.Second || big > 8*time.Second {
+		t.Errorf("batch-32 len-2048 prefill = %v, want seconds-scale", big)
+	}
+}
+
+func TestLayerBatchingEffectMatchesFig10(t *testing.T) {
+	// Fig. 10: "The latency only increases by 72% when batch size
+	// increases from 1 to 32 when the sequence length is 512."
+	c := punica7B()
+	l1 := c.LayerTime(loraDecodeInv(1, 512, dist.Distinct))
+	l32 := c.LayerTime(loraDecodeInv(32, 512, dist.Distinct))
+	ratio := float64(l32) / float64(l1)
+	if ratio < 1.3 || ratio > 2.3 {
+		t.Errorf("layer batch-32/batch-1 at len 512 = %.2f, want ~1.72", ratio)
+	}
+	// Longer sequences weaken the batching effect.
+	l1l := c.LayerTime(loraDecodeInv(1, 2048, dist.Distinct))
+	l32l := c.LayerTime(loraDecodeInv(32, 2048, dist.Distinct))
+	if float64(l32l)/float64(l1l) <= ratio {
+		t.Error("batching effect should weaken at longer sequence length")
+	}
+}
+
+func TestLayerLatencyLoRAAgnostic(t *testing.T) {
+	// Fig. 10: "the layer latency is roughly the same across different
+	// workloads" — the LoRA addon is small next to dense+attention. The
+	// worst spread (Distinct vs Identical) must stay within ~35%.
+	c := punica7B()
+	for _, ctx := range []int{512, 2048} {
+		base := c.LayerTime(loraDecodeInv(32, ctx, dist.Identical))
+		worst := c.LayerTime(loraDecodeInv(32, ctx, dist.Distinct))
+		if spread := float64(worst)/float64(base) - 1; spread > 0.35 {
+			t.Errorf("ctx %d: Distinct/Identical layer spread = %.2f, want small", ctx, spread)
+		}
+	}
+}
+
+func TestLoRAAddonSmallVsBackbone(t *testing.T) {
+	// The headline: the addon costs ~2ms per token at the model level.
+	c := punica7B()
+	withLoRA := c.InvokeTime(loraDecodeInv(32, 512, dist.Distinct))
+	backbone := c.InvokeTime(decodeInv(32, 512))
+	addon := withLoRA - backbone
+	if addon < 500*time.Microsecond || addon > 8*time.Millisecond {
+		t.Errorf("LoRA addon per step = %v, want milliseconds-scale (~2ms)", addon)
+	}
+	if float64(addon)/float64(backbone) > 0.6 {
+		t.Errorf("addon %v too large vs backbone %v", addon, backbone)
+	}
+}
+
+func Test13BSlowerThan7B(t *testing.T) {
+	c7 := punica7B()
+	c13 := New(hw.A100(), models.Llama2_13B())
+	t7 := c7.InvokeTime(decodeInv(32, 512))
+	t13 := c13.InvokeTime(decodeInv(32, 512))
+	ratio := float64(t13) / float64(t7)
+	// 13B/7B params ≈ 1.9, but fixed overheads dilute it.
+	if ratio < 1.25 || ratio > 2.2 {
+		t.Errorf("13B/7B step ratio = %.2f, want ~1.5-1.9", ratio)
+	}
+}
+
+func TestUnfusedNormCost(t *testing.T) {
+	// §6: fusing LayerNorm saves (110-4)µs × 2 per layer.
+	c := punica7B()
+	unfused := c
+	unfused.FusedNorm = false
+	diff := unfused.LayerTime(decodeInv(8, 128)) - c.LayerTime(decodeInv(8, 128))
+	want := 2 * (hw.LayerNormUnfused - hw.LayerNormFused)
+	if diff != want {
+		t.Errorf("norm fusion delta = %v, want %v", diff, want)
+	}
+}
+
+func TestKVConcatCost(t *testing.T) {
+	// §5.4: HuggingFace re-copies the whole KvCache each step; the cost
+	// grows with context length.
+	c := punica7B()
+	hf := c
+	hf.KVConcat = true
+	short := hf.LayerTime(decodeInv(8, 128)) - c.LayerTime(decodeInv(8, 128))
+	long := hf.LayerTime(decodeInv(8, 2048)) - c.LayerTime(decodeInv(8, 2048))
+	if short <= 0 || long <= short {
+		t.Errorf("concat cost should grow with context: short=%v long=%v", short, long)
+	}
+}
+
+func TestNoFlashAttentionSlower(t *testing.T) {
+	c := punica7B()
+	hf := c
+	hf.FlashAttention = false
+	fast := c.InvokeTime(Invocation{PrefillLens: []int{1024}})
+	slow := hf.InvokeTime(Invocation{PrefillLens: []int{1024}})
+	if slow <= fast {
+		t.Error("disabling flash attention must cost time")
+	}
+}
+
+func TestTensorParallelShardsWeights(t *testing.T) {
+	// TP-8 on a 70B: per-step time must be far below single-GPU, but
+	// all-reduce latency keeps it well above weights/8.
+	c := New(hw.A100_40G(), models.Llama2_70B())
+	single := c.InvokeTime(decodeInv(32, 512))
+	tp8 := c.WithTP(8).InvokeTime(decodeInv(32, 512))
+	if tp8 >= single {
+		t.Fatalf("TP-8 (%v) not faster than TP-1 (%v)", tp8, single)
+	}
+	if float64(single)/float64(tp8) > 8 {
+		t.Fatalf("TP-8 speedup super-linear: %v vs %v", single, tp8)
+	}
+	// Fig. 12 calibration: vLLM 70B TP-8 backbone at batch 32 delivers
+	// ~457 tok/s → ~70ms per step. Allow a broad band.
+	if tp8 < 40*time.Millisecond || tp8 > 110*time.Millisecond {
+		t.Errorf("70B TP-8 batch-32 step = %v, want ~70ms", tp8)
+	}
+}
+
+func TestEmptyInvocationFree(t *testing.T) {
+	c := punica7B()
+	if c.InvokeTime(Invocation{}) != 0 || c.LayerTime(Invocation{}) != 0 {
+		t.Error("empty invocation should cost nothing")
+	}
+}
+
+func TestMixedBatchCheaperThanSequential(t *testing.T) {
+	// §5: running the single prefill and the decode batch in one
+	// invocation shares the dense-projection weight pass; it must beat
+	// two separate invocations.
+	c := punica7B()
+	mixed := c.InvokeTime(Invocation{PrefillLens: []int{256}, DecodeContexts: []int{512, 512, 512}})
+	separate := c.InvokeTime(Invocation{PrefillLens: []int{256}}) +
+		c.InvokeTime(decodeInv(3, 512))
+	if mixed >= separate {
+		t.Errorf("mixed batch %v should beat sequential %v", mixed, separate)
+	}
+}
+
+func TestWithTPValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WithTP(0) should panic")
+		}
+	}()
+	punica7B().WithTP(0)
+}
+
+func TestQuantizedWeightsSpeedDecode(t *testing.T) {
+	// §8 extension: decode is weight-streaming-bound, so int8 weights
+	// should cut the step time by nearly half at small batch.
+	fp := punica7B()
+	q := fp
+	q.WeightPrecision = hw.INT8
+	tFP := fp.InvokeTime(decodeInv(1, 512))
+	tQ := q.InvokeTime(decodeInv(1, 512))
+	ratio := float64(tQ) / float64(tFP)
+	if ratio > 0.75 {
+		t.Errorf("int8 weights step ratio = %.2f, want well below 1", ratio)
+	}
+	// Prefill is compute-bound: quantization should NOT speed it up
+	// (and may slightly slow it through dequant overhead).
+	pFP := fp.InvokeTime(Invocation{PrefillLens: []int{1024}})
+	pQ := q.InvokeTime(Invocation{PrefillLens: []int{1024}})
+	if pQ < pFP {
+		t.Errorf("compute-bound prefill should not improve with int8 weights: %v vs %v", pQ, pFP)
+	}
+}
+
+func TestQuantizedKVCutsAttention(t *testing.T) {
+	fp := punica7B()
+	q := fp
+	q.KVPrecision = hw.INT8
+	// Long-context, big-batch decode is attention-bound.
+	tFP := fp.LayerTime(decodeInv(32, 2048))
+	tQ := q.LayerTime(decodeInv(32, 2048))
+	if tQ >= tFP {
+		t.Errorf("int8 KvCache should cut layer time: %v vs %v", tQ, tFP)
+	}
+	saved := tFP - tQ
+	if float64(saved)/float64(tFP) < 0.2 {
+		t.Errorf("int8 KvCache saved only %.1f%%, want a large cut on long contexts",
+			100*float64(saved)/float64(tFP))
+	}
+}

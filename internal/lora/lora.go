@@ -1,0 +1,107 @@
+// Package lora manages the LoRA models Punica serves: their metadata and
+// weights (a rank decomposition per dense projection per layer, §2.2), and
+// the per-GPU weight store that implements on-demand loading (§5.2).
+//
+// Weight values are generated deterministically from (model, layer,
+// projection) seeds, mirroring the paper's use of random weights ("the
+// weight does not affect latency performance", §7) while keeping every run
+// reproducible.
+package lora
+
+import (
+	"fmt"
+
+	"punica/internal/models"
+	"punica/internal/sgmv"
+	"punica/internal/sim"
+	"punica/internal/tensor"
+)
+
+// ModelID identifies a LoRA model (tenant adapter).
+type ModelID int64
+
+// Model is one registered LoRA adapter for a base model.
+type Model struct {
+	ID   ModelID
+	Rank int
+	Base models.Config
+
+	pairs map[pairKey]sgmv.Pair
+}
+
+type pairKey struct {
+	layer int
+	proj  models.Projection
+}
+
+// Bytes returns the adapter's fp16 footprint (matrices A and B for every
+// projection of every layer).
+func (m *Model) Bytes() int64 { return m.Base.LoRABytes(m.Rank) }
+
+// Pair returns the (A, B) weight pair for one layer and projection,
+// generating it deterministically on first use. The same (id, layer,
+// proj) always yields the same weights.
+func (m *Model) Pair(layer int, proj models.Projection) sgmv.Pair {
+	key := pairKey{layer, proj}
+	if p, ok := m.pairs[key]; ok {
+		return p
+	}
+	in, out := m.Base.Dims(proj)
+	seed := int64(m.ID)*1_000_003 + int64(layer)*7919 + int64(proj)
+	rng := sim.NewRNG(seed)
+	// LoRA initialises A ~ N(0, σ) and B = 0 before training; trained
+	// adapters have small dense values. Scale keeps addon magnitudes
+	// comparable to unit-scale activations.
+	scale := 1.0 / float64(m.Rank)
+	p := sgmv.Pair{
+		A: tensor.Random(rng, in, m.Rank, scale),
+		B: tensor.Random(rng, m.Rank, out, scale),
+	}
+	if m.pairs == nil {
+		m.pairs = make(map[pairKey]sgmv.Pair)
+	}
+	m.pairs[key] = p
+	return p
+}
+
+// Registry is the catalogue of LoRA adapters for one base model. All
+// adapters in a registry share the base and rank, matching the paper's
+// evaluation setup (rank 16 everywhere).
+type Registry struct {
+	Base models.Config
+	Rank int
+
+	modelsByID map[ModelID]*Model
+}
+
+// NewRegistry returns an empty registry for the base model at the given
+// LoRA rank.
+func NewRegistry(base models.Config, rank int) *Registry {
+	if rank <= 0 {
+		panic("lora: rank must be positive")
+	}
+	return &Registry{Base: base, Rank: rank, modelsByID: make(map[ModelID]*Model)}
+}
+
+// Ensure returns the adapter with the given id, registering it on first
+// reference. Multi-tenant serving sees adapter ids arrive with requests;
+// registration is implicit.
+func (r *Registry) Ensure(id ModelID) *Model {
+	if m, ok := r.modelsByID[id]; ok {
+		return m
+	}
+	m := &Model{ID: id, Rank: r.Rank, Base: r.Base}
+	r.modelsByID[id] = m
+	return m
+}
+
+// Get returns the adapter with the given id, or an error if unknown.
+func (r *Registry) Get(id ModelID) (*Model, error) {
+	if m, ok := r.modelsByID[id]; ok {
+		return m, nil
+	}
+	return nil, fmt.Errorf("lora: unknown model %d", id)
+}
+
+// Len returns the number of registered adapters.
+func (r *Registry) Len() int { return len(r.modelsByID) }

@@ -1,0 +1,142 @@
+package lora
+
+import (
+	"container/list"
+	"fmt"
+	"time"
+
+	"punica/internal/hw"
+)
+
+// Store is a per-GPU LoRA weight cache implementing §5.2's on-demand
+// loading: "When a request is newly added to a GPU, if its LoRA model is
+// not already loaded, we issue an asynchronous memory copy to load the
+// LoRA weight, and let the GPU continue running other inputs in the
+// batch. By the end of the model execution, the weight already finished
+// loading."
+//
+// Acquire returns the simulated time at which the adapter becomes usable;
+// the engine keeps the request out of the batch until then. Resident
+// adapters are evicted LRU when capacity is exceeded, but never while a
+// request still references them.
+type Store struct {
+	reg      *Registry
+	link     hw.Link
+	capacity int64
+
+	used    int64
+	entries map[ModelID]*entry
+	lru     *list.List // front = most recently used
+
+	// Stats observed since creation.
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	BytesIn   int64
+}
+
+type entry struct {
+	id      ModelID
+	bytes   int64
+	readyAt time.Duration
+	refs    int
+	elem    *list.Element
+}
+
+// NewStore builds a weight cache of capacityBytes fed over link (PCIe in
+// the paper's deployment).
+func NewStore(reg *Registry, link hw.Link, capacityBytes int64) *Store {
+	if capacityBytes <= 0 {
+		panic("lora: store capacity must be positive")
+	}
+	return &Store{
+		reg:      reg,
+		link:     link,
+		capacity: capacityBytes,
+		entries:  make(map[ModelID]*entry),
+		lru:      list.New(),
+	}
+}
+
+// Acquire pins adapter id for a request at simulation time now and
+// returns when the adapter's weights are usable. A resident adapter is
+// usable at max(now, its load completion); a missing one starts an
+// asynchronous host-to-device copy that completes after the link transfer
+// time. Acquire fails only when the cache cannot hold the adapter even
+// after evicting every unpinned entry.
+func (s *Store) Acquire(id ModelID, now time.Duration) (time.Duration, error) {
+	if e, ok := s.entries[id]; ok {
+		s.Hits++
+		e.refs++
+		s.lru.MoveToFront(e.elem)
+		if e.readyAt > now {
+			return e.readyAt, nil
+		}
+		return now, nil
+	}
+	s.Misses++
+	m := s.reg.Ensure(id)
+	bytes := m.Bytes()
+	if err := s.makeRoom(bytes); err != nil {
+		return 0, err
+	}
+	readyAt := now + s.link.TransferTime(bytes)
+	e := &entry{id: id, bytes: bytes, readyAt: readyAt, refs: 1}
+	e.elem = s.lru.PushFront(e)
+	s.entries[id] = e
+	s.used += bytes
+	s.BytesIn += bytes
+	return readyAt, nil
+}
+
+// Release unpins one reference on adapter id. The adapter stays resident
+// (warm) until capacity pressure evicts it.
+func (s *Store) Release(id ModelID) {
+	e, ok := s.entries[id]
+	if !ok {
+		return
+	}
+	if e.refs > 0 {
+		e.refs--
+	}
+}
+
+// Resident reports whether adapter id is currently in GPU memory.
+func (s *Store) Resident(id ModelID) bool {
+	_, ok := s.entries[id]
+	return ok
+}
+
+// UsedBytes returns the bytes held by resident adapters.
+func (s *Store) UsedBytes() int64 { return s.used }
+
+// Len returns the number of resident adapters.
+func (s *Store) Len() int { return len(s.entries) }
+
+func (s *Store) makeRoom(need int64) error {
+	if need > s.capacity {
+		return fmt.Errorf("lora: adapter of %d bytes exceeds store capacity %d", need, s.capacity)
+	}
+	for s.used+need > s.capacity {
+		victim := s.oldestUnpinned()
+		if victim == nil {
+			return fmt.Errorf("lora: store full (%d/%d bytes) and all adapters pinned",
+				s.used, s.capacity)
+		}
+		s.lru.Remove(victim.elem)
+		delete(s.entries, victim.id)
+		s.used -= victim.bytes
+		s.Evictions++
+	}
+	return nil
+}
+
+func (s *Store) oldestUnpinned() *entry {
+	for el := s.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry)
+		if e.refs == 0 {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+// Package metrics provides the measurement primitives the experiment
+// harnesses use: histograms with percentiles, time series for the Fig. 13
+// panels, and a throughput accumulator.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Histogram accumulates float64 samples and answers mean/percentile
+// queries. The zero value is ready to use.
+type Histogram struct {
+	samples []float64
+	sorted  bool
+	sum     float64
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	h.samples = append(h.samples, v)
+	h.sorted = false
+	h.sum += v
+}
+
+// AddDuration records a duration sample in seconds.
+func (h *Histogram) AddDuration(d time.Duration) { h.Add(d.Seconds()) }
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Mean returns the sample mean (0 with no samples).
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / float64(len(h.samples))
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) by
+// nearest-rank; 0 with no samples.
+func (h *Histogram) Percentile(p float64) float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+	if p <= 0 {
+		return h.samples[0]
+	}
+	if p >= 100 {
+		return h.samples[len(h.samples)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(h.samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return h.samples[rank]
+}
+
+// Max returns the largest sample (0 with no samples).
+func (h *Histogram) Max() float64 { return h.Percentile(100) }
+
+// Min returns the smallest sample (0 with no samples).
+func (h *Histogram) Min() float64 { return h.Percentile(0) }
+
+// Summary formats count/mean/p50/p99 on one line.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%.4g p50=%.4g p99=%.4g max=%.4g",
+		h.Count(), h.Mean(), h.Percentile(50), h.Percentile(99), h.Max())
+}
+
+// Point is one time-series observation.
+type Point struct {
+	T time.Duration
+	V float64
+}
+
+// TimeSeries records timestamped values, e.g. per-GPU batch size over the
+// course of the cluster experiment (Fig. 13's lower panel).
+type TimeSeries struct {
+	points []Point
+}
+
+// Add appends an observation. Timestamps should be non-decreasing.
+func (ts *TimeSeries) Add(t time.Duration, v float64) {
+	ts.points = append(ts.points, Point{T: t, V: v})
+}
+
+// Len returns the number of points.
+func (ts *TimeSeries) Len() int { return len(ts.points) }
+
+// Points returns the raw observations.
+func (ts *TimeSeries) Points() []Point { return ts.points }
+
+// Bin aggregates the series into fixed-width bins over [0, horizon),
+// returning each bin's mean (NaN-free: empty bins carry the previous
+// bin's value, starting from 0). Used to downsample hour-long runs into
+// plottable rows.
+func (ts *TimeSeries) Bin(horizon, width time.Duration) []float64 {
+	if width <= 0 {
+		panic("metrics: bin width must be positive")
+	}
+	n := int((horizon + width - 1) / width)
+	if n <= 0 {
+		return nil
+	}
+	sums := make([]float64, n)
+	counts := make([]int, n)
+	for _, p := range ts.points {
+		if p.T < 0 || p.T >= horizon {
+			continue
+		}
+		i := int(p.T / width)
+		sums[i] += p.V
+		counts[i]++
+	}
+	out := make([]float64, n)
+	prev := 0.0
+	for i := range out {
+		if counts[i] > 0 {
+			out[i] = sums[i] / float64(counts[i])
+		} else {
+			out[i] = prev
+		}
+		prev = out[i]
+	}
+	return out
+}
+
+// RateBin counts events per second in fixed-width bins: used for the
+// req/s and tok/s panels where each point is an event with a weight.
+func (ts *TimeSeries) RateBin(horizon, width time.Duration) []float64 {
+	if width <= 0 {
+		panic("metrics: bin width must be positive")
+	}
+	n := int((horizon + width - 1) / width)
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for _, p := range ts.points {
+		if p.T < 0 || p.T >= horizon {
+			continue
+		}
+		out[int(p.T/width)] += p.V
+	}
+	for i := range out {
+		out[i] /= width.Seconds()
+	}
+	return out
+}
+
+// Throughput accumulates a count over a window and reports the rate.
+type Throughput struct {
+	total int64
+}
+
+// Add increments the accumulated count.
+func (t *Throughput) Add(n int64) { t.total += n }
+
+// Total returns the accumulated count.
+func (t *Throughput) Total() int64 { return t.total }
+
+// PerSecond returns total / elapsed.
+func (t *Throughput) PerSecond(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(t.total) / elapsed.Seconds()
+}

@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Percentile(50) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram should answer zeros")
+	}
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		h.Add(v)
+	}
+	if h.Count() != 5 || h.Mean() != 3 {
+		t.Fatalf("count=%d mean=%g", h.Count(), h.Mean())
+	}
+	if h.Percentile(50) != 3 {
+		t.Fatalf("p50 = %g", h.Percentile(50))
+	}
+	if h.Min() != 1 || h.Max() != 5 {
+		t.Fatalf("min/max = %g/%g", h.Min(), h.Max())
+	}
+	// Adding after a percentile query must still work (re-sort).
+	h.Add(0)
+	if h.Min() != 0 {
+		t.Fatal("histogram did not resort after Add")
+	}
+}
+
+func TestHistogramPercentileBounds(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	if p := h.Percentile(99); p != 99 {
+		t.Fatalf("p99 = %g, want 99", p)
+	}
+	if p := h.Percentile(1); p != 1 {
+		t.Fatalf("p1 = %g, want 1", p)
+	}
+	if p := h.Percentile(-5); p != 1 {
+		t.Fatalf("p<0 should clamp to min, got %g", p)
+	}
+	if p := h.Percentile(200); p != 100 {
+		t.Fatalf("p>100 should clamp to max, got %g", p)
+	}
+}
+
+func TestAddDuration(t *testing.T) {
+	var h Histogram
+	h.AddDuration(1500 * time.Millisecond)
+	if math.Abs(h.Mean()-1.5) > 1e-12 {
+		t.Fatalf("duration sample = %g, want 1.5s", h.Mean())
+	}
+}
+
+func TestTimeSeriesBin(t *testing.T) {
+	var ts TimeSeries
+	ts.Add(0, 2)
+	ts.Add(500*time.Millisecond, 4)
+	ts.Add(1500*time.Millisecond, 6)
+	// Bin 0 holds {2,4} → 3; bin 1 holds {6}; bin 2 empty → carries 6.
+	got := ts.Bin(3*time.Second, time.Second)
+	want := []float64{3, 6, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Bin = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTimeSeriesBinIgnoresOutOfRange(t *testing.T) {
+	var ts TimeSeries
+	ts.Add(-time.Second, 100)
+	ts.Add(10*time.Second, 100)
+	got := ts.Bin(2*time.Second, time.Second)
+	if got[0] != 0 || got[1] != 0 {
+		t.Fatalf("out-of-range points leaked: %v", got)
+	}
+}
+
+func TestRateBin(t *testing.T) {
+	var ts TimeSeries
+	// 3 events of weight 2 in the first second → 6/s.
+	ts.Add(100*time.Millisecond, 2)
+	ts.Add(200*time.Millisecond, 2)
+	ts.Add(900*time.Millisecond, 2)
+	ts.Add(1100*time.Millisecond, 5)
+	got := ts.RateBin(2*time.Second, time.Second)
+	if got[0] != 6 || got[1] != 5 {
+		t.Fatalf("RateBin = %v, want [6 5]", got)
+	}
+}
+
+func TestBinValidation(t *testing.T) {
+	var ts TimeSeries
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero width should panic")
+		}
+	}()
+	ts.Bin(time.Second, 0)
+}
+
+func TestThroughput(t *testing.T) {
+	var tp Throughput
+	tp.Add(500)
+	tp.Add(500)
+	if tp.Total() != 1000 {
+		t.Fatalf("total = %d", tp.Total())
+	}
+	if got := tp.PerSecond(2 * time.Second); got != 500 {
+		t.Fatalf("rate = %g, want 500", got)
+	}
+	if tp.PerSecond(0) != 0 {
+		t.Fatal("zero elapsed should be 0 rate")
+	}
+}

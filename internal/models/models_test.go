@@ -1,0 +1,103 @@
+package models
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParamCountsNearNominal(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want float64 // nominal parameter count
+		tol  float64 // relative tolerance
+	}{
+		{Llama2_7B(), 6.74e9, 0.05},
+		{Llama2_13B(), 13.0e9, 0.05},
+		{Llama2_70B(), 69.0e9, 0.05},
+	}
+	for _, c := range cases {
+		got := float64(c.cfg.Params())
+		if math.Abs(got-c.want)/c.want > c.tol {
+			t.Errorf("%s params = %.3g, want ~%.3g", c.cfg.Name, got, c.want)
+		}
+	}
+}
+
+func TestKVBytesPerToken(t *testing.T) {
+	// Llama-2 7B fp16 KvCache is the well-known 512 KiB per token.
+	if got := Llama2_7B().KVBytesPerToken(); got != 512<<10 {
+		t.Errorf("7B KV bytes/token = %d, want %d", got, 512<<10)
+	}
+	// 70B GQA shrinks KV by Heads/KVHeads = 8x relative to MHA.
+	c70 := Llama2_70B()
+	mha := 2 * int64(c70.Layers) * int64(c70.HiddenSize) * 2
+	if got := c70.KVBytesPerToken(); got != mha/8 {
+		t.Errorf("70B KV bytes/token = %d, want %d (GQA/8)", got, mha/8)
+	}
+}
+
+func TestLoRAFractionOfBackbone(t *testing.T) {
+	// §2.2: each LoRA model adds 0.1% to 1% of the model weight.
+	for _, cfg := range []Config{Llama2_7B(), Llama2_13B(), Llama2_70B()} {
+		frac := float64(cfg.LoRAParams(DefaultLoRARank)) / float64(cfg.Params())
+		if frac < 0.001 || frac > 0.01 {
+			t.Errorf("%s LoRA fraction = %.4f, want in [0.001, 0.01]", cfg.Name, frac)
+		}
+	}
+}
+
+func TestDimsCoverAllProjections(t *testing.T) {
+	cfg := Llama2_7B()
+	for _, p := range Projections {
+		in, out := cfg.Dims(p)
+		if in <= 0 || out <= 0 {
+			t.Errorf("%v has non-positive dims %d,%d", p, in, out)
+		}
+	}
+	// 7B is MHA: K/V project to full hidden.
+	if in, out := cfg.Dims(ProjK); in != 4096 || out != 4096 {
+		t.Errorf("7B k_proj dims = %d,%d", in, out)
+	}
+	// 70B is GQA: K/V project to KVHeads*HeadDim = 8*128 = 1024.
+	if _, out := Llama2_70B().Dims(ProjV); out != 1024 {
+		t.Errorf("70B v_proj out = %d, want 1024", out)
+	}
+	if in, out := cfg.Dims(ProjDown); in != 11008 || out != 4096 {
+		t.Errorf("down_proj dims = %d,%d", in, out)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"7b", "13b", "70b", "llama-2-7b"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("gpt-5"); err == nil {
+		t.Error("ByName should reject unknown models")
+	}
+}
+
+func TestHeadDims(t *testing.T) {
+	for _, cfg := range []Config{Llama2_7B(), Llama2_13B(), Llama2_70B()} {
+		if cfg.HeadDim() != 128 {
+			t.Errorf("%s head dim = %d, want 128", cfg.Name, cfg.HeadDim())
+		}
+	}
+}
+
+func TestLoRALayerBytesNearPCIeTarget(t *testing.T) {
+	// §5.2 calibration: one 7B rank-16 LoRA layer is ~2.4 MB, the whole
+	// model ~77 MB — small enough to load in ~2 ms over PCIe Gen4.
+	cfg := Llama2_7B()
+	layerBytes := cfg.LoRALayerParams(16) * 2
+	if layerBytes < 2_000_000 || layerBytes > 3_000_000 {
+		t.Errorf("7B rank-16 LoRA layer = %d bytes, want ~2.4MB", layerBytes)
+	}
+}
+
+func TestProjectionString(t *testing.T) {
+	if ProjGate.String() != "gate_proj" || ProjDown.String() != "down_proj" {
+		t.Error("projection names wrong")
+	}
+}

@@ -1,0 +1,160 @@
+package remote
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"punica/internal/core"
+)
+
+// Client drives one remote runner over HTTP and satisfies sched.Worker,
+// so the unmodified §5.1 scheduler routes across machines. Transport
+// failures degrade safely: CanAdmit answers false, so a dead runner
+// simply attracts no work while it is unreachable.
+type Client struct {
+	base string
+	http *http.Client
+
+	mu       sync.Mutex
+	maxBatch int
+	lastErr  error
+}
+
+// NewClient connects to a runner's base URL (e.g. "http://gpu-host:9000").
+func NewClient(base string) *Client {
+	return &Client{
+		base: base,
+		http: &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+// LastErr returns the most recent transport error (nil when healthy).
+func (c *Client) LastErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastErr
+}
+
+func (c *Client) setErr(err error) {
+	c.mu.Lock()
+	c.lastErr = err
+	c.mu.Unlock()
+}
+
+func (c *Client) postJSON(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		c.setErr(err)
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		err := fmt.Errorf("remote: %s -> %d: %s", path, resp.StatusCode, bytes.TrimSpace(msg))
+		c.setErr(err)
+		return err
+	}
+	c.setErr(nil)
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// FetchState retrieves the runner's scheduling snapshot.
+func (c *Client) FetchState() (State, error) {
+	resp, err := c.http.Get(c.base + "/runner/state")
+	if err != nil {
+		c.setErr(err)
+		return State{}, err
+	}
+	defer resp.Body.Close()
+	var st State
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		c.setErr(err)
+		return State{}, err
+	}
+	c.setErr(nil)
+	c.mu.Lock()
+	c.maxBatch = st.MaxBatch
+	c.mu.Unlock()
+	return st, nil
+}
+
+// CanAdmit implements sched.Worker.
+func (c *Client) CanAdmit(r *core.Request) bool {
+	var reply AdmitReply
+	err := c.postJSON("/runner/can_admit", AdmitQuery{
+		PromptLen: r.PromptLen,
+		OutputLen: r.OutputLen,
+		Generated: r.Generated,
+	}, &reply)
+	return err == nil && reply.CanAdmit
+}
+
+// Enqueue implements sched.Worker.
+func (c *Client) Enqueue(r *core.Request, _ time.Duration) error {
+	return c.postJSON("/runner/enqueue", fromCore(r), nil)
+}
+
+// WorkingSet implements sched.Worker.
+func (c *Client) WorkingSet() int {
+	st, err := c.FetchState()
+	if err != nil {
+		return 0
+	}
+	return st.WorkingSet
+}
+
+// MaxBatch implements sched.Worker.
+func (c *Client) MaxBatch() int {
+	c.mu.Lock()
+	mb := c.maxBatch
+	c.mu.Unlock()
+	if mb > 0 {
+		return mb
+	}
+	st, err := c.FetchState()
+	if err != nil {
+		return core.DefaultMaxBatch
+	}
+	return st.MaxBatch
+}
+
+// Cancel implements sched.Worker.
+func (c *Client) Cancel(id int64, _ time.Duration) *core.Request {
+	var reply CancelReply
+	if err := c.postJSON("/runner/cancel", CancelRequest{ID: id}, &reply); err != nil {
+		return nil
+	}
+	if !reply.Found || reply.Request == nil {
+		return nil
+	}
+	return reply.Request.toCore()
+}
+
+// EvictNewest implements sched.Worker.
+func (c *Client) EvictNewest(_ time.Duration) *core.Request {
+	var reply CancelReply
+	if err := c.postJSON("/runner/evict", struct{}{}, &reply); err != nil {
+		return nil
+	}
+	if !reply.Found || reply.Request == nil {
+		return nil
+	}
+	return reply.Request.toCore()
+}
+
+// StreamURL returns the NDJSON token stream endpoint for a request.
+func (c *Client) StreamURL(id int64) string {
+	return fmt.Sprintf("%s/runner/stream?id=%d", c.base, id)
+}

@@ -1,0 +1,271 @@
+package remote
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"punica/internal/core"
+	"punica/internal/lora"
+	"punica/internal/sched"
+	"punica/internal/serve"
+)
+
+// Frontend terminates user connections and routes requests across remote
+// runners through the Punica scheduler (Fig. 2: "frontend servers ...
+// forward users' serving requests to the Punica scheduler"). Token
+// streams are proxied from the owning runner back to the user.
+type Frontend struct {
+	sch     *sched.Scheduler
+	clients map[*sched.GPU]*Client
+
+	mu      sync.Mutex
+	nextID  int64
+	placed  map[int64]*sched.GPU
+	waiters map[int64]chan *sched.GPU
+	start   time.Time
+	stop    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// NewFrontend builds a frontend over runner base URLs. DrainInterval
+// governs how often the queue is re-offered to runners (capacity opens
+// asynchronously on remote machines); 50 ms by default.
+func NewFrontend(runnerURLs []string, drainInterval time.Duration) *Frontend {
+	if drainInterval <= 0 {
+		drainInterval = 50 * time.Millisecond
+	}
+	f := &Frontend{
+		clients: make(map[*sched.GPU]*Client),
+		placed:  make(map[int64]*sched.GPU),
+		waiters: make(map[int64]chan *sched.GPU),
+		start:   time.Now(),
+		stop:    make(chan struct{}),
+	}
+	var gpus []*sched.GPU
+	for i, url := range runnerURLs {
+		client := NewClient(url)
+		g := &sched.GPU{UUID: fmt.Sprintf("runner-%02d@%s", i, url), Engine: client}
+		f.clients[g] = client
+		gpus = append(gpus, g)
+	}
+	f.sch = sched.New(gpus)
+	f.wg.Add(1)
+	go f.drainLoop(drainInterval)
+	return f
+}
+
+// Close stops the background drain loop.
+func (f *Frontend) Close() {
+	close(f.stop)
+	f.wg.Wait()
+}
+
+func (f *Frontend) now() time.Duration { return time.Since(f.start) }
+
+// drainLoop periodically re-offers queued requests; remote capacity
+// frees without notification.
+func (f *Frontend) drainLoop(interval time.Duration) {
+	defer f.wg.Done()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-ticker.C:
+			f.mu.Lock()
+			placed, err := f.sch.DrainQueue(f.now())
+			if err == nil {
+				for _, p := range placed {
+					f.notePlacement(p.Request.ID, p.GPU)
+				}
+			}
+			f.mu.Unlock()
+		}
+	}
+}
+
+// Submit dispatches a request and returns the runner that owns it,
+// blocking while the request waits in the FCFS queue.
+func (f *Frontend) Submit(model int64, promptLen, outputLen int, timeout time.Duration) (int64, *Client, error) {
+	f.mu.Lock()
+	f.nextID++
+	id := f.nextID
+	r := &core.Request{
+		ID:        id,
+		Model:     lora.ModelID(model),
+		PromptLen: promptLen,
+		OutputLen: outputLen,
+		Arrival:   f.now(),
+	}
+	g, err := f.sch.Dispatch(r, f.now())
+	if err != nil {
+		f.mu.Unlock()
+		return 0, nil, err
+	}
+	if g != nil {
+		f.placed[id] = g
+		client := f.clients[g]
+		f.mu.Unlock()
+		return id, client, nil
+	}
+	// Queued: wait for the drain loop to place it. The scheduler mutates
+	// the queue; we watch for our request to land by polling runner
+	// ownership through DrainQueue results.
+	ch := make(chan *sched.GPU, 1)
+	f.waiters[id] = ch
+	f.mu.Unlock()
+
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case g := <-ch:
+			f.mu.Lock()
+			client := f.clients[g]
+			f.mu.Unlock()
+			return id, client, nil
+		case <-deadline.C:
+			f.mu.Lock()
+			delete(f.waiters, id)
+			f.mu.Unlock()
+			// Best effort: pull it back off the queue via cancel.
+			f.CancelEverywhere(id)
+			return 0, nil, fmt.Errorf("remote: request %d timed out in queue", id)
+		case <-f.stop:
+			return 0, nil, fmt.Errorf("remote: frontend closed")
+		}
+	}
+}
+
+// notePlacement records where a drained request landed. Called by the
+// scheduler drain path below.
+func (f *Frontend) notePlacement(id int64, g *sched.GPU) {
+	f.placed[id] = g
+	if ch, ok := f.waiters[id]; ok {
+		ch <- g
+		delete(f.waiters, id)
+	}
+}
+
+// CancelEverywhere cancels a request wherever it lives.
+func (f *Frontend) CancelEverywhere(id int64) bool {
+	f.mu.Lock()
+	clients := make([]*Client, 0, len(f.clients))
+	for _, c := range f.clients {
+		clients = append(clients, c)
+	}
+	delete(f.placed, id)
+	f.mu.Unlock()
+	found := false
+	for _, c := range clients {
+		if c.Cancel(id, 0) != nil {
+			found = true
+		}
+	}
+	return found
+}
+
+// Handler returns the user-facing REST API (same shape as the in-process
+// serve package): POST /v1/generate streaming NDJSON, GET /v1/stats.
+func (f *Frontend) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/generate", f.handleGenerate)
+	mux.HandleFunc("GET /v1/stats", f.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (f *Frontend) handleGenerate(w http.ResponseWriter, req *http.Request) {
+	var gr serve.GenerateRequest
+	if err := json.NewDecoder(req.Body).Decode(&gr); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	promptLen := gr.PromptLen
+	if promptLen == 0 {
+		promptLen = serve.EstimateTokens(gr.Prompt)
+	}
+	if promptLen <= 0 {
+		http.Error(w, "empty prompt", http.StatusBadRequest)
+		return
+	}
+	if gr.MaxTokens <= 0 {
+		gr.MaxTokens = 128
+	}
+	id, client, err := f.Submit(gr.Model, promptLen, gr.MaxTokens, 2*time.Minute)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	// Proxy the runner's NDJSON stream through to the user.
+	streamReq, err := http.NewRequestWithContext(req.Context(), "GET", client.StreamURL(id), nil)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resp, err := http.DefaultClient.Do(streamReq)
+	if err != nil {
+		f.CancelEverywhere(id)
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		f.CancelEverywhere(id)
+		http.Error(w, "runner stream unavailable", http.StatusBadGateway)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Request-ID", fmt.Sprint(id))
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				f.CancelEverywhere(id)
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			f.CancelEverywhere(id)
+			return
+		}
+	}
+}
+
+func (f *Frontend) handleStats(w http.ResponseWriter, _ *http.Request) {
+	f.mu.Lock()
+	clients := make([]*Client, 0, len(f.clients))
+	for _, c := range f.clients {
+		clients = append(clients, c)
+	}
+	queueLen := f.sch.QueueLen()
+	f.mu.Unlock()
+	var states []State
+	for _, c := range clients {
+		st, err := c.FetchState()
+		if err != nil {
+			st = State{UUID: "unreachable"}
+		}
+		states = append(states, st)
+	}
+	writeJSON(w, struct {
+		Runners  []State `json:"runners"`
+		QueueLen int     `json:"queue_len"`
+	}{Runners: states, QueueLen: queueLen})
+}

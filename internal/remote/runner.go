@@ -1,0 +1,304 @@
+package remote
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"punica/internal/core"
+)
+
+// Runner hosts one GPU engine behind the runner HTTP API. It paces
+// simulated invocation latencies in wall time (Speedup 1 = realistic)
+// and streams tokens per request.
+type Runner struct {
+	uuid    string
+	speedup float64
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	eng     *core.Engine
+	streams map[int64]chan core.Token
+	start   time.Time
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// NewRunner starts a runner around an engine built from cfg.
+func NewRunner(uuid string, cfg core.Config, speedup float64) *Runner {
+	if speedup <= 0 {
+		speedup = 1
+	}
+	r := &Runner{
+		uuid:    uuid,
+		speedup: speedup,
+		streams: make(map[int64]chan core.Token),
+		start:   time.Now(),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	cfg.OnToken = r.onToken
+	cfg.OnFinish = r.onFinish
+	r.eng = core.NewEngine(cfg)
+	r.wg.Add(1)
+	go r.drive()
+	return r
+}
+
+// UUID returns the runner's identity.
+func (r *Runner) UUID() string { return r.uuid }
+
+// Close stops the driver and closes open streams.
+func (r *Runner) Close() {
+	r.mu.Lock()
+	r.closed = true
+	for id, ch := range r.streams {
+		close(ch)
+		delete(r.streams, id)
+	}
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	r.wg.Wait()
+}
+
+func (r *Runner) simNow() time.Duration {
+	return time.Duration(float64(time.Since(r.start)) * r.speedup)
+}
+
+func (r *Runner) onToken(tok core.Token) {
+	if ch, ok := r.streams[tok.RequestID]; ok {
+		select {
+		case ch <- tok:
+		default:
+		}
+	}
+}
+
+// onFinish closes the stream but keeps it resident: a frontend that
+// connects after a fast generation completed must still be able to drain
+// the buffered tokens. handleStream removes the entry once served.
+func (r *Runner) onFinish(req *core.Request) {
+	if ch, ok := r.streams[req.ID]; ok {
+		close(ch)
+	}
+}
+
+// drive runs invocations back-to-back, pacing simulated latency into
+// wall time. Requests evicted under memory pressure are re-enqueued
+// locally (the scheduler can additionally migrate via /runner/evict).
+func (r *Runner) drive() {
+	defer r.wg.Done()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for !r.closed {
+		if !r.eng.Busy() {
+			r.cond.Wait()
+			continue
+		}
+		now := r.simNow()
+		res := r.eng.Step(now)
+		for _, ev := range res.Evicted {
+			if err := r.eng.Enqueue(ev, now); err != nil {
+				r.dropStream(ev.ID)
+			}
+		}
+		if res.Idle {
+			wake, ok := r.eng.EarliestPendingReady()
+			if !ok {
+				r.cond.Wait()
+				continue
+			}
+			r.sleepLocked(r.wallDelay(wake - now))
+			continue
+		}
+		r.sleepLocked(r.wallDelay(res.Latency))
+	}
+}
+
+func (r *Runner) wallDelay(d time.Duration) time.Duration {
+	w := time.Duration(float64(d) / r.speedup)
+	if w < 0 {
+		return 0
+	}
+	return w
+}
+
+func (r *Runner) sleepLocked(d time.Duration) {
+	r.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	r.mu.Lock()
+}
+
+func (r *Runner) dropStream(id int64) {
+	if ch, ok := r.streams[id]; ok {
+		close(ch)
+		delete(r.streams, id)
+	}
+}
+
+// Handler returns the runner HTTP API consumed by remote.Client and the
+// frontend's stream proxy.
+func (r *Runner) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /runner/enqueue", r.handleEnqueue)
+	mux.HandleFunc("POST /runner/can_admit", r.handleCanAdmit)
+	mux.HandleFunc("POST /runner/cancel", r.handleCancel)
+	mux.HandleFunc("POST /runner/evict", r.handleEvict)
+	mux.HandleFunc("GET /runner/state", r.handleState)
+	mux.HandleFunc("GET /runner/stream", r.handleStream)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (r *Runner) handleEnqueue(w http.ResponseWriter, req *http.Request) {
+	var ws RequestState
+	if err := json.NewDecoder(req.Body).Decode(&ws); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		http.Error(w, "runner closed", http.StatusServiceUnavailable)
+		return
+	}
+	cr := ws.toCore()
+	if _, ok := r.streams[cr.ID]; !ok {
+		r.streams[cr.ID] = make(chan core.Token, cr.OutputLen+1)
+	}
+	if err := r.eng.Enqueue(cr, r.simNow()); err != nil {
+		r.dropStream(cr.ID)
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	r.cond.Broadcast()
+	w.WriteHeader(http.StatusOK)
+}
+
+func (r *Runner) handleCanAdmit(w http.ResponseWriter, req *http.Request) {
+	var q AdmitQuery
+	if err := json.NewDecoder(req.Body).Decode(&q); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	r.mu.Lock()
+	can := r.eng.CanAdmit(&core.Request{
+		PromptLen: q.PromptLen,
+		OutputLen: q.OutputLen,
+		Generated: q.Generated,
+	})
+	r.mu.Unlock()
+	writeJSON(w, AdmitReply{CanAdmit: can})
+}
+
+func (r *Runner) handleCancel(w http.ResponseWriter, req *http.Request) {
+	var c CancelRequest
+	if err := json.NewDecoder(req.Body).Decode(&c); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	r.mu.Lock()
+	cr := r.eng.Cancel(c.ID, r.simNow())
+	r.dropStream(c.ID)
+	r.mu.Unlock()
+	reply := CancelReply{Found: cr != nil}
+	if cr != nil {
+		ws := fromCore(cr)
+		reply.Request = &ws
+	}
+	writeJSON(w, reply)
+}
+
+func (r *Runner) handleEvict(w http.ResponseWriter, _ *http.Request) {
+	r.mu.Lock()
+	cr := r.eng.EvictNewest(r.simNow())
+	if cr != nil {
+		r.dropStream(cr.ID)
+	}
+	r.mu.Unlock()
+	reply := CancelReply{Found: cr != nil}
+	if cr != nil {
+		ws := fromCore(cr)
+		reply.Request = &ws
+	}
+	writeJSON(w, reply)
+}
+
+func (r *Runner) handleState(w http.ResponseWriter, _ *http.Request) {
+	r.mu.Lock()
+	st := State{
+		UUID:        r.uuid,
+		WorkingSet:  r.eng.WorkingSet(),
+		ActiveBatch: r.eng.ActiveBatch(),
+		MaxBatch:    r.eng.MaxBatch(),
+		FreePages:   r.eng.KV().FreePages(),
+		TotalPages:  r.eng.KV().TotalPages(),
+		Steps:       r.eng.Stats().Steps,
+		Tokens:      r.eng.Stats().TokensGenerated,
+	}
+	r.mu.Unlock()
+	writeJSON(w, st)
+}
+
+// handleStream pipes a request's tokens as NDJSON until EOS, cancel, or
+// client disconnect.
+func (r *Runner) handleStream(w http.ResponseWriter, req *http.Request) {
+	id, err := strconv.ParseInt(req.URL.Query().Get("id"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad id", http.StatusBadRequest)
+		return
+	}
+	r.mu.Lock()
+	ch, ok := r.streams[id]
+	r.mu.Unlock()
+	if !ok {
+		http.Error(w, "unknown request", http.StatusNotFound)
+		return
+	}
+	defer func() {
+		r.mu.Lock()
+		if cur, still := r.streams[id]; still && cur == ch {
+			delete(r.streams, id)
+		}
+		r.mu.Unlock()
+	}()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case tok, open := <-ch:
+			if !open {
+				return
+			}
+			ev := TokenEvent{
+				RequestID: tok.RequestID,
+				Index:     tok.Index,
+				TokenID:   tok.TokenID,
+				EOS:       tok.EOS,
+			}
+			if err := enc.Encode(&ev); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-req.Context().Done():
+			return
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,96 @@
+// Package remote implements Fig. 2's distributed deployment: GPU runners
+// on their own servers expose an HTTP API, the scheduler drives them
+// through a client that satisfies sched.Worker, and a frontend process
+// terminates user connections and proxies token streams.
+//
+// Substitution note (DESIGN.md): the paper uses Rust processes with
+// WebSocket unary RPC and streaming; here both are HTTP/1.1 — JSON for
+// unary calls, chunked NDJSON for token streams. The scheduling logic is
+// byte-for-byte the same code as the in-process path (internal/sched).
+package remote
+
+import (
+	"time"
+
+	"punica/internal/core"
+	"punica/internal/lora"
+)
+
+// RequestState is the wire form of a request, carrying exactly the state
+// migration needs (§5.3: the destination re-prefills the prompt plus all
+// previously generated tokens).
+type RequestState struct {
+	ID        int64 `json:"id"`
+	Model     int64 `json:"model"`
+	PromptLen int   `json:"prompt_len"`
+	OutputLen int   `json:"output_len"`
+	ArrivalNS int64 `json:"arrival_ns"`
+	Generated int   `json:"generated"`
+}
+
+// toCore converts wire state to an engine request.
+func (w RequestState) toCore() *core.Request {
+	return &core.Request{
+		ID:        w.ID,
+		Model:     lora.ModelID(w.Model),
+		PromptLen: w.PromptLen,
+		OutputLen: w.OutputLen,
+		Arrival:   time.Duration(w.ArrivalNS),
+		Generated: w.Generated,
+	}
+}
+
+// fromCore converts an engine request to wire state.
+func fromCore(r *core.Request) RequestState {
+	return RequestState{
+		ID:        r.ID,
+		Model:     int64(r.Model),
+		PromptLen: r.PromptLen,
+		OutputLen: r.OutputLen,
+		ArrivalNS: int64(r.Arrival),
+		Generated: r.Generated,
+	}
+}
+
+// AdmitQuery asks whether a runner can take a request right now.
+type AdmitQuery struct {
+	PromptLen int `json:"prompt_len"`
+	OutputLen int `json:"output_len"`
+	Generated int `json:"generated"`
+}
+
+// AdmitReply answers an AdmitQuery.
+type AdmitReply struct {
+	CanAdmit bool `json:"can_admit"`
+}
+
+// CancelRequest identifies a request to cancel or evict.
+type CancelRequest struct {
+	ID int64 `json:"id"`
+}
+
+// CancelReply returns the removed request's state for re-scheduling.
+type CancelReply struct {
+	Found   bool          `json:"found"`
+	Request *RequestState `json:"request,omitempty"`
+}
+
+// State is a runner's scheduling snapshot.
+type State struct {
+	UUID        string `json:"uuid"`
+	WorkingSet  int    `json:"working_set"`
+	ActiveBatch int    `json:"active_batch"`
+	MaxBatch    int    `json:"max_batch"`
+	FreePages   int    `json:"free_kv_pages"`
+	TotalPages  int    `json:"total_kv_pages"`
+	Steps       int64  `json:"steps"`
+	Tokens      int64  `json:"tokens_generated"`
+}
+
+// TokenEvent is one NDJSON line of a runner token stream.
+type TokenEvent struct {
+	RequestID int64 `json:"request_id"`
+	Index     int   `json:"index"`
+	TokenID   int   `json:"token_id"`
+	EOS       bool  `json:"eos"`
+}

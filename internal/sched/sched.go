@@ -1,0 +1,311 @@
+// Package sched implements Punica's cluster scheduler (§5.1, §5.3): it
+// routes new requests to the GPU with the largest working set that still
+// has batch slots and KvCache room (ties broken by highest GPU UUID),
+// queues requests FCFS when every GPU is full, re-schedules evicted
+// requests, periodically migrates requests off lightly-loaded GPUs for
+// consolidation, and emits cluster scale-up/down hints.
+package sched
+
+import (
+	"sort"
+	"time"
+
+	"punica/internal/core"
+)
+
+// Worker is the scheduler's view of one GPU runner: everything §5.1/§5.3
+// scheduling needs, and nothing execution-specific. *core.Engine
+// implements it for in-process serving; internal/remote's client
+// implements it over HTTP for runners on other machines (Fig. 2).
+type Worker interface {
+	// CanAdmit reports whether the runner could take the request now
+	// (batch-slot and KvCache constraints, §5.1).
+	CanAdmit(r *core.Request) bool
+	// Enqueue assigns the request to the runner.
+	Enqueue(r *core.Request, now time.Duration) error
+	// WorkingSet returns the number of requests assigned to the runner.
+	WorkingSet() int
+	// MaxBatch returns the runner's invocation batch cap.
+	MaxBatch() int
+	// Cancel removes a request, returning its state (nil if unknown).
+	Cancel(id int64, now time.Duration) *core.Request
+	// EvictNewest removes the most recently arrived request (§5.3).
+	EvictNewest(now time.Duration) *core.Request
+}
+
+// GPU pairs a worker with the identity the scheduler uses for
+// tie-breaking ("the one that has the highest GPU UUID gets the new
+// request", §5.1).
+type GPU struct {
+	UUID   string
+	Engine Worker
+}
+
+// Scheduler holds the global view of all GPUs (§5.1: "Punica scheduler
+// has a global view of the state of all the GPUs").
+type Scheduler struct {
+	gpus  []*GPU
+	queue []*core.Request // FCFS wait queue
+
+	// LightlyLoadedBelow classifies a GPU as lightly loaded when its
+	// working set is below this count; used for consolidation and
+	// scale hints. Defaults to a quarter of the max batch size.
+	LightlyLoadedBelow int
+
+	stats Stats
+}
+
+// Stats counts scheduler activity.
+type Stats struct {
+	Dispatched int64
+	Queued     int64
+	Migrations int64
+}
+
+// New builds a scheduler over the given GPUs.
+func New(gpus []*GPU) *Scheduler {
+	threshold := core.DefaultMaxBatch / 4
+	if len(gpus) > 0 {
+		if mb := gpus[0].Engine.MaxBatch(); mb > 0 {
+			threshold = mb / 4
+		}
+	}
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &Scheduler{gpus: gpus, LightlyLoadedBelow: threshold}
+}
+
+// GPUs returns the managed GPUs.
+func (s *Scheduler) GPUs() []*GPU { return s.gpus }
+
+// AddGPU brings a newly provisioned GPU under management (§5.1's cloud
+// scale-up: "If no lightly loaded GPU exists in the cluster, Punica
+// should request more GPUs").
+func (s *Scheduler) AddGPU(g *GPU) { s.gpus = append(s.gpus, g) }
+
+// RemoveGPU releases an idle GPU back to the provider (§5.1: "Punica can
+// return the GPU resources for GPU servers with no load"). It refuses
+// GPUs that still hold work and reports whether the GPU was removed.
+func (s *Scheduler) RemoveGPU(uuid string) (*GPU, bool) {
+	for i, g := range s.gpus {
+		if g.UUID != uuid {
+			continue
+		}
+		if g.Engine.WorkingSet() != 0 {
+			return nil, false
+		}
+		s.gpus = append(s.gpus[:i], s.gpus[i+1:]...)
+		return g, true
+	}
+	return nil, false
+}
+
+// Stats returns a snapshot of the scheduler counters.
+func (s *Scheduler) Stats() Stats { return s.stats }
+
+// QueueLen returns the number of requests waiting for capacity.
+func (s *Scheduler) QueueLen() int { return len(s.queue) }
+
+// pick returns the routing target for r: among GPUs that satisfy both
+// §5.1 constraints, the one with the largest working set; ties go to the
+// highest UUID. nil when every GPU is full.
+func (s *Scheduler) pick(r *core.Request) *GPU {
+	var best *GPU
+	for _, g := range s.gpus {
+		if !g.Engine.CanAdmit(r) {
+			continue
+		}
+		if best == nil {
+			best = g
+			continue
+		}
+		bw, gw := best.Engine.WorkingSet(), g.Engine.WorkingSet()
+		if gw > bw || (gw == bw && g.UUID > best.UUID) {
+			best = g
+		}
+	}
+	return best
+}
+
+// Dispatch routes a new request: to a GPU when one has capacity,
+// otherwise onto the FCFS queue. It reports the chosen GPU (nil if
+// queued).
+func (s *Scheduler) Dispatch(r *core.Request, now time.Duration) (*GPU, error) {
+	// FCFS across the cluster: a new request may not overtake queued
+	// ones.
+	if len(s.queue) > 0 {
+		s.queue = append(s.queue, r)
+		s.stats.Queued++
+		return nil, nil
+	}
+	g := s.pick(r)
+	if g == nil {
+		s.queue = append(s.queue, r)
+		s.stats.Queued++
+		return nil, nil
+	}
+	if err := g.Engine.Enqueue(r, now); err != nil {
+		return nil, err
+	}
+	s.stats.Dispatched++
+	return g, nil
+}
+
+// Placement records one queue drain: which request landed on which GPU.
+type Placement struct {
+	Request *core.Request
+	GPU     *GPU
+}
+
+// DrainQueue dispatches queued requests FCFS while capacity exists
+// ("When some GPUs become available in the future, queued requests are
+// scheduled in a first-come-first-serve manner", §5.1). It returns the
+// placements made.
+func (s *Scheduler) DrainQueue(now time.Duration) ([]Placement, error) {
+	var placed []Placement
+	for len(s.queue) > 0 {
+		g := s.pick(s.queue[0])
+		if g == nil {
+			break
+		}
+		r := s.queue[0]
+		s.queue = s.queue[1:]
+		if err := g.Engine.Enqueue(r, now); err != nil {
+			return placed, err
+		}
+		s.stats.Dispatched++
+		placed = append(placed, Placement{Request: r, GPU: g})
+	}
+	return placed, nil
+}
+
+// Reschedule handles a request evicted for memory (§5.3): "The scheduling
+// for the evicted request is the same as adding a new request", except it
+// must not land back on the GPU it was just evicted from.
+func (s *Scheduler) Reschedule(r *core.Request, from *GPU, now time.Duration) (*GPU, error) {
+	if len(s.queue) == 0 {
+		if g := s.pickExcluding(r, from); g != nil {
+			if err := g.Engine.Enqueue(r, now); err != nil {
+				return nil, err
+			}
+			s.stats.Dispatched++
+			s.stats.Migrations++
+			return g, nil
+		}
+	}
+	s.queue = append(s.queue, r)
+	sort.SliceStable(s.queue, func(i, j int) bool {
+		if s.queue[i].Arrival != s.queue[j].Arrival {
+			return s.queue[i].Arrival < s.queue[j].Arrival
+		}
+		return s.queue[i].ID < s.queue[j].ID
+	})
+	s.stats.Queued++
+	return nil, nil
+}
+
+func (s *Scheduler) pickExcluding(r *core.Request, exclude *GPU) *GPU {
+	var best *GPU
+	for _, g := range s.gpus {
+		if g == exclude || !g.Engine.CanAdmit(r) {
+			continue
+		}
+		if best == nil {
+			best = g
+			continue
+		}
+		bw, gw := best.Engine.WorkingSet(), g.Engine.WorkingSet()
+		if gw > bw || (gw == bw && g.UUID > best.UUID) {
+			best = g
+		}
+	}
+	return best
+}
+
+// Consolidate migrates requests away from lightly-loaded GPUs onto busier
+// ones with spare capacity (§3: "For old requests, Punica migrates them
+// periodically to consolidate the workloads, thereby freeing up GPU
+// resources"). Migration uses the §5.3 cancel-and-re-add primitive: the
+// victim's KvCache is released at the source and recomputed at the
+// destination. Returns the number of migrated requests.
+func (s *Scheduler) Consolidate(now time.Duration) int {
+	moved := 0
+	// Sources: lightest first, so near-empty GPUs drain to idle.
+	sources := make([]*GPU, len(s.gpus))
+	copy(sources, s.gpus)
+	sort.Slice(sources, func(i, j int) bool {
+		return sources[i].Engine.WorkingSet() < sources[j].Engine.WorkingSet()
+	})
+	for _, src := range sources {
+		ws := src.Engine.WorkingSet()
+		if ws == 0 || ws >= s.LightlyLoadedBelow {
+			continue
+		}
+		// Move the source's newest requests first (FCFS preservation,
+		// §5.3) while a strictly busier target can take them.
+		for src.Engine.WorkingSet() > 0 {
+			victim := src.Engine.EvictNewest(now)
+			if victim == nil {
+				break
+			}
+			dst := s.busierTarget(victim, src)
+			if dst == nil {
+				// Nothing can take it: put it back and stop.
+				if err := src.Engine.Enqueue(victim, now); err != nil {
+					panic("sched: re-enqueue on source failed: " + err.Error())
+				}
+				break
+			}
+			if err := dst.Engine.Enqueue(victim, now); err != nil {
+				panic("sched: consolidation enqueue failed: " + err.Error())
+			}
+			moved++
+			s.stats.Migrations++
+		}
+	}
+	return moved
+}
+
+// busierTarget finds a destination strictly busier than src (so
+// consolidation converges) that can admit r.
+func (s *Scheduler) busierTarget(r *core.Request, src *GPU) *GPU {
+	var best *GPU
+	for _, g := range s.gpus {
+		if g == src || !g.Engine.CanAdmit(r) {
+			continue
+		}
+		if g.Engine.WorkingSet() <= src.Engine.WorkingSet() {
+			continue
+		}
+		if best == nil || g.Engine.WorkingSet() > best.Engine.WorkingSet() ||
+			(g.Engine.WorkingSet() == best.Engine.WorkingSet() && g.UUID > best.UUID) {
+			best = g
+		}
+	}
+	return best
+}
+
+// NeedMoreGPUs reports the §5.1 scale-up condition: no lightly-loaded GPU
+// exists (every GPU is near capacity) — in a cloud setting Punica
+// "should request more GPUs".
+func (s *Scheduler) NeedMoreGPUs() bool {
+	for _, g := range s.gpus {
+		if g.Engine.WorkingSet() < s.LightlyLoadedBelow {
+			return false
+		}
+	}
+	return true
+}
+
+// ReleasableGPUs returns GPUs with no load, which "Punica can return ...
+// for GPU servers with no load" (§5.1).
+func (s *Scheduler) ReleasableGPUs() []*GPU {
+	var idle []*GPU
+	for _, g := range s.gpus {
+		if g.Engine.WorkingSet() == 0 {
+			idle = append(idle, g)
+		}
+	}
+	return idle
+}

@@ -1,0 +1,271 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"punica/internal/core"
+	"punica/internal/hw"
+	"punica/internal/lora"
+	"punica/internal/models"
+)
+
+func testGPUs(t *testing.T, n int, maxBatch int) []*GPU {
+	t.Helper()
+	var gpus []*GPU
+	for i := 0; i < n; i++ {
+		sys := core.PunicaSystem()
+		sys.MaxBatch = maxBatch
+		e := core.NewEngine(core.Config{
+			System: sys,
+			GPU:    hw.A100(),
+			Model:  models.Llama2_7B(),
+			Rank:   16,
+		})
+		gpus = append(gpus, &GPU{UUID: fmt.Sprintf("gpu-%02d", i), Engine: e})
+	}
+	return gpus
+}
+
+func mkReq(id int64, prompt, out int) *core.Request {
+	return &core.Request{
+		ID: id, Model: lora.ModelID(id % 7), PromptLen: prompt, OutputLen: out,
+		Arrival: time.Duration(id) * time.Millisecond,
+	}
+}
+
+func TestDispatchPrefersLargestWorkingSet(t *testing.T) {
+	gpus := testGPUs(t, 3, 8)
+	s := New(gpus)
+	// Preload gpu-01 with 3 requests directly.
+	for i := int64(100); i < 103; i++ {
+		if err := gpus[1].Engine.Enqueue(mkReq(i, 10, 5), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := s.Dispatch(mkReq(1, 10, 5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != gpus[1] {
+		t.Fatalf("dispatched to %s, want busiest gpu-01", g.UUID)
+	}
+}
+
+func TestDispatchTieBreaksByHighestUUID(t *testing.T) {
+	gpus := testGPUs(t, 4, 8)
+	s := New(gpus)
+	g, err := s.Dispatch(mkReq(1, 10, 5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != gpus[3] {
+		t.Fatalf("empty-cluster tie should go to highest UUID, got %s", g.UUID)
+	}
+}
+
+func TestDispatchQueuesWhenFull(t *testing.T) {
+	gpus := testGPUs(t, 2, 2)
+	s := New(gpus)
+	for i := int64(1); i <= 4; i++ {
+		if _, err := s.Dispatch(mkReq(i, 10, 5), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := s.Dispatch(mkReq(5, 10, 5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != nil {
+		t.Fatal("5th request should queue, all GPUs full")
+	}
+	if s.QueueLen() != 1 {
+		t.Fatalf("queue = %d, want 1", s.QueueLen())
+	}
+	// New arrivals may not overtake the queue (FCFS).
+	g, _ = s.Dispatch(mkReq(6, 10, 5), 0)
+	if g != nil || s.QueueLen() != 2 {
+		t.Fatal("later arrival must queue behind, not overtake")
+	}
+}
+
+func TestDrainQueueFCFS(t *testing.T) {
+	gpus := testGPUs(t, 1, 2)
+	s := New(gpus)
+	for i := int64(1); i <= 4; i++ {
+		if _, err := s.Dispatch(mkReq(i, 10, 5), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.QueueLen() != 2 {
+		t.Fatalf("queue = %d, want 2", s.QueueLen())
+	}
+	// Free capacity: cancel the two resident requests.
+	gpus[0].Engine.Cancel(1, 0)
+	gpus[0].Engine.Cancel(2, 0)
+	woken, err := s.DrainQueue(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(woken) != 2 || s.QueueLen() != 0 {
+		t.Fatalf("drained %d, queue %d", len(woken), s.QueueLen())
+	}
+}
+
+func TestRescheduleAvoidsSourceGPU(t *testing.T) {
+	gpus := testGPUs(t, 2, 4)
+	s := New(gpus)
+	r := mkReq(1, 10, 5)
+	if err := gpus[0].Engine.Enqueue(r, 0); err != nil {
+		t.Fatal(err)
+	}
+	victim := gpus[0].Engine.EvictNewest(0)
+	g, err := s.Reschedule(victim, gpus[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != gpus[1] {
+		t.Fatalf("rescheduled to %v, want the other GPU", g)
+	}
+	if s.Stats().Migrations != 1 {
+		t.Fatalf("migrations = %d", s.Stats().Migrations)
+	}
+}
+
+func TestRescheduleQueuesInArrivalOrder(t *testing.T) {
+	gpus := testGPUs(t, 1, 1)
+	s := New(gpus)
+	// Fill the only GPU, then queue one.
+	if _, err := s.Dispatch(mkReq(1, 10, 5), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Dispatch(mkReq(5, 10, 5), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Evict the resident (older arrival) request; it must go to the
+	// queue head, ahead of the younger queued one.
+	victim := gpus[0].Engine.EvictNewest(0)
+	if _, err := s.Reschedule(victim, gpus[0], 0); err != nil {
+		t.Fatal(err)
+	}
+	woken, err := s.DrainQueue(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(woken) != 1 {
+		t.Fatalf("expected one dispatch, got %d", len(woken))
+	}
+	if gpus[0].Engine.WorkingSet() != 1 || s.QueueLen() != 1 {
+		t.Fatal("drain should place exactly the evicted (older) request")
+	}
+}
+
+func TestConsolidateMovesFromLightToBusy(t *testing.T) {
+	gpus := testGPUs(t, 2, 16)
+	s := New(gpus)
+	// gpu-00: 1 request (lightly loaded). gpu-01: 6 requests.
+	if err := gpus[0].Engine.Enqueue(mkReq(1, 10, 5), 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(10); i < 16; i++ {
+		if err := gpus[1].Engine.Enqueue(mkReq(i, 10, 5), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	moved := s.Consolidate(0)
+	if moved != 1 {
+		t.Fatalf("moved %d, want 1", moved)
+	}
+	if gpus[0].Engine.WorkingSet() != 0 {
+		t.Fatal("light GPU should be drained to idle")
+	}
+	if gpus[1].Engine.WorkingSet() != 7 {
+		t.Fatalf("busy GPU has %d, want 7", gpus[1].Engine.WorkingSet())
+	}
+}
+
+func TestConsolidateLeavesBalancedClusterAlone(t *testing.T) {
+	gpus := testGPUs(t, 2, 16)
+	s := New(gpus)
+	s.LightlyLoadedBelow = 4
+	// Both GPUs moderately loaded: no migration should occur.
+	for i := int64(0); i < 5; i++ {
+		if err := gpus[0].Engine.Enqueue(mkReq(i, 10, 5), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := gpus[1].Engine.Enqueue(mkReq(i+10, 10, 5), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if moved := s.Consolidate(0); moved != 0 {
+		t.Fatalf("moved %d, want 0", moved)
+	}
+}
+
+func TestConsolidateNoTargetPutsBack(t *testing.T) {
+	gpus := testGPUs(t, 1, 16)
+	s := New(gpus)
+	if err := gpus[0].Engine.Enqueue(mkReq(1, 10, 5), 0); err != nil {
+		t.Fatal(err)
+	}
+	if moved := s.Consolidate(0); moved != 0 {
+		t.Fatalf("single-GPU cluster moved %d", moved)
+	}
+	if gpus[0].Engine.WorkingSet() != 1 {
+		t.Fatal("request lost during failed consolidation")
+	}
+}
+
+func TestScaleHints(t *testing.T) {
+	gpus := testGPUs(t, 2, 8)
+	s := New(gpus)
+	s.LightlyLoadedBelow = 2
+	if s.NeedMoreGPUs() {
+		t.Fatal("idle cluster does not need more GPUs")
+	}
+	if len(s.ReleasableGPUs()) != 2 {
+		t.Fatal("both idle GPUs are releasable")
+	}
+	for i := int64(0); i < 16; i++ {
+		if _, err := s.Dispatch(mkReq(i, 10, 5), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.NeedMoreGPUs() {
+		t.Fatal("saturated cluster should request more GPUs")
+	}
+	if len(s.ReleasableGPUs()) != 0 {
+		t.Fatal("busy GPUs are not releasable")
+	}
+}
+
+func TestAddRemoveGPU(t *testing.T) {
+	gpus := testGPUs(t, 2, 4)
+	s := New(gpus[:1])
+	if len(s.GPUs()) != 1 {
+		t.Fatal("scheduler should start with one GPU")
+	}
+	s.AddGPU(gpus[1])
+	if len(s.GPUs()) != 2 {
+		t.Fatal("AddGPU did not register")
+	}
+	// Busy GPUs cannot be removed.
+	if err := gpus[1].Engine.Enqueue(mkReq(1, 10, 5), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.RemoveGPU(gpus[1].UUID); ok {
+		t.Fatal("removed a GPU with work")
+	}
+	gpus[1].Engine.Cancel(1, 0)
+	g, ok := s.RemoveGPU(gpus[1].UUID)
+	if !ok || g != gpus[1] {
+		t.Fatal("idle GPU removal failed")
+	}
+	if _, ok := s.RemoveGPU("gpu-99"); ok {
+		t.Fatal("removed unknown GPU")
+	}
+	if len(s.GPUs()) != 1 {
+		t.Fatal("GPU list inconsistent after removal")
+	}
+}

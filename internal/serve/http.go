@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// GenerateRequest is the POST /v1/generate body. Either Prompt (token
+// count inferred) or PromptLen must be set.
+type GenerateRequest struct {
+	// Model is the LoRA adapter id ("the identifier of the LoRA model
+	// and a prompt", §3).
+	Model int64 `json:"model"`
+	// Prompt is free text; its token count is estimated at ~¾ word per
+	// token (§2.1).
+	Prompt string `json:"prompt,omitempty"`
+	// PromptLen overrides the estimated prompt token count.
+	PromptLen int `json:"prompt_len,omitempty"`
+	// MaxTokens is the response length limit (the stopping condition).
+	MaxTokens int `json:"max_tokens"`
+}
+
+// TokenEvent is one NDJSON line of the streamed response.
+type TokenEvent struct {
+	RequestID int64   `json:"request_id"`
+	Index     int     `json:"index"`
+	TokenID   int     `json:"token_id"`
+	SimTime   float64 `json:"sim_time_seconds"`
+	EOS       bool    `json:"eos"`
+}
+
+// EstimateTokens converts text to an approximate token count ("a token is
+// roughly ¾ of an English word", §2.1 — i.e. ~4/3 tokens per word).
+func EstimateTokens(text string) int {
+	words := len(strings.Fields(text))
+	if words == 0 {
+		return 0
+	}
+	return (words*4 + 2) / 3
+}
+
+// Handler returns the REST API:
+//
+//	POST /v1/generate  — stream generated tokens as NDJSON
+//	GET  /v1/stats     — cluster snapshot
+//	GET  /healthz      — liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/generate", s.handleGenerate)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	var req GenerateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	promptLen := req.PromptLen
+	if promptLen == 0 {
+		promptLen = EstimateTokens(req.Prompt)
+	}
+	if promptLen <= 0 {
+		http.Error(w, "empty prompt", http.StatusBadRequest)
+		return
+	}
+	if req.MaxTokens <= 0 {
+		req.MaxTokens = 128
+	}
+	id, stream, err := s.Submit(req.Model, promptLen, req.MaxTokens)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Request-ID", fmt.Sprint(id))
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	enc := json.NewEncoder(w)
+	ctx := r.Context()
+	for {
+		select {
+		case tok, ok := <-stream:
+			if !ok {
+				return // generation complete (or cancelled)
+			}
+			ev := TokenEvent{
+				RequestID: tok.RequestID,
+				Index:     tok.Index,
+				TokenID:   tok.TokenID,
+				SimTime:   tok.At.Seconds(),
+				EOS:       tok.EOS,
+			}
+			if err := enc.Encode(&ev); err != nil {
+				s.Cancel(id)
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-ctx.Done():
+			// Client disconnected: cancel and free the GPU state
+			// ("A typical scenario for cancellation is user
+			// disconnection", §5.3).
+			s.Cancel(id)
+			return
+		}
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(s.Snapshot()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

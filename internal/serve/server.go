@@ -1,0 +1,286 @@
+// Package serve is the online serving stack of Fig. 2: frontends accept
+// user requests over HTTP, the scheduler dispatches them to GPU runners,
+// and generated tokens stream back to the client as they are produced.
+//
+// Substitution note (DESIGN.md): the paper implements the scheduler,
+// frontend and runner in Rust with WebSockets; here they are Go
+// goroutines around the same engine and scheduler logic, with chunked
+// NDJSON streaming. GPU time is simulated: each invocation's modelled
+// latency is converted to wall time through a configurable speedup
+// factor, so the demo serves tokens at a realistic (or accelerated)
+// cadence without hardware.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"punica/internal/core"
+	"punica/internal/lora"
+	"punica/internal/sched"
+)
+
+// Config assembles a serving deployment.
+type Config struct {
+	// NumGPUs is the number of simulated GPU runners.
+	NumGPUs int
+	// Engine is the per-GPU engine template.
+	Engine core.Config
+	// Speedup divides simulated latencies to produce wall-clock pacing:
+	// 1 serves in real time, 100 (default) runs 100x faster.
+	Speedup float64
+}
+
+// Server runs the scheduler and GPU drivers and routes token streams.
+type Server struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	sch     *sched.Scheduler
+	gpus    []*sched.GPU
+	engines map[*sched.GPU]*core.Engine
+	streams map[int64]chan core.Token
+	nextID  int64
+	start   time.Time
+	speedup float64
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// New builds and starts a server: one driver goroutine per GPU.
+func New(cfg Config) *Server {
+	if cfg.NumGPUs <= 0 {
+		cfg.NumGPUs = 1
+	}
+	if cfg.Speedup <= 0 {
+		cfg.Speedup = 100
+	}
+	s := &Server{
+		engines: make(map[*sched.GPU]*core.Engine),
+		streams: make(map[int64]chan core.Token),
+		start:   time.Now(),
+		speedup: cfg.Speedup,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < cfg.NumGPUs; i++ {
+		ec := cfg.Engine
+		ec.OnToken = s.onToken
+		ec.OnFinish = s.onFinish
+		eng := core.NewEngine(ec)
+		g := &sched.GPU{UUID: fmt.Sprintf("gpu-%02d", i), Engine: eng}
+		s.engines[g] = eng
+		s.gpus = append(s.gpus, g)
+	}
+	s.sch = sched.New(s.gpus)
+	for _, g := range s.gpus {
+		s.wg.Add(1)
+		go s.drive(g)
+	}
+	return s
+}
+
+// simNow converts elapsed wall time into simulation time.
+func (s *Server) simNow() time.Duration {
+	return time.Duration(float64(time.Since(s.start)) * s.speedup)
+}
+
+// wallDelay converts a simulated duration into wall time.
+func (s *Server) wallDelay(d time.Duration) time.Duration {
+	w := time.Duration(float64(d) / s.speedup)
+	if w < 0 {
+		return 0
+	}
+	return w
+}
+
+// onToken runs inside Engine.Step with s.mu held.
+func (s *Server) onToken(tok core.Token) {
+	if ch, ok := s.streams[tok.RequestID]; ok {
+		select {
+		case ch <- tok:
+		default: // stream buffer full: client abandoned; drop.
+		}
+	}
+}
+
+// onFinish runs inside Engine.Step with s.mu held.
+func (s *Server) onFinish(r *core.Request) {
+	if ch, ok := s.streams[r.ID]; ok {
+		close(ch)
+		delete(s.streams, r.ID)
+	}
+}
+
+// Submit enqueues a generation request and returns its id and token
+// stream. The stream is closed when generation completes or the request
+// is cancelled.
+func (s *Server) Submit(model int64, promptLen, outputLen int) (int64, <-chan core.Token, error) {
+	if promptLen <= 0 || outputLen <= 0 {
+		return 0, nil, fmt.Errorf("serve: prompt and output lengths must be positive")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, nil, fmt.Errorf("serve: server closed")
+	}
+	s.nextID++
+	id := s.nextID
+	ch := make(chan core.Token, outputLen+1)
+	s.streams[id] = ch
+	now := s.simNow()
+	r := &core.Request{
+		ID:        id,
+		Model:     lora.ModelID(model),
+		PromptLen: promptLen,
+		OutputLen: outputLen,
+		Arrival:   now,
+	}
+	if _, err := s.sch.Dispatch(r, now); err != nil {
+		delete(s.streams, id)
+		return 0, nil, err
+	}
+	s.cond.Broadcast()
+	return id, ch, nil
+}
+
+// Cancel aborts a request (e.g. the client disconnected, §5.3) and closes
+// its stream. It reports whether the request was found.
+func (s *Server) Cancel(id int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.simNow()
+	found := false
+	for _, g := range s.gpus {
+		if g.Engine.Cancel(id, now) != nil {
+			found = true
+			break
+		}
+	}
+	if ch, ok := s.streams[id]; ok {
+		close(ch)
+		delete(s.streams, id)
+		found = true
+	}
+	return found
+}
+
+// GPUState is one runner's snapshot for the stats endpoint.
+type GPUState struct {
+	UUID         string `json:"uuid"`
+	WorkingSet   int    `json:"working_set"`
+	ActiveBatch  int    `json:"active_batch"`
+	FreeKVPages  int    `json:"free_kv_pages"`
+	TotalKVPages int    `json:"total_kv_pages"`
+	Adapters     int    `json:"resident_adapters"`
+	Steps        int64  `json:"steps"`
+	Tokens       int64  `json:"tokens_generated"`
+}
+
+// Stats is the cluster snapshot.
+type Stats struct {
+	GPUs       []GPUState `json:"gpus"`
+	QueueLen   int        `json:"queue_len"`
+	Streams    int        `json:"open_streams"`
+	SimTime    float64    `json:"sim_time_seconds"`
+	NeedMore   bool       `json:"need_more_gpus"`
+	Releasable int        `json:"releasable_gpus"`
+}
+
+// Snapshot returns the current cluster state.
+func (s *Server) Snapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		QueueLen:   s.sch.QueueLen(),
+		Streams:    len(s.streams),
+		SimTime:    s.simNow().Seconds(),
+		NeedMore:   s.sch.NeedMoreGPUs(),
+		Releasable: len(s.sch.ReleasableGPUs()),
+	}
+	for _, g := range s.gpus {
+		eng := s.engines[g]
+		es := eng.Stats()
+		gs := GPUState{
+			UUID:         g.UUID,
+			WorkingSet:   eng.WorkingSet(),
+			ActiveBatch:  eng.ActiveBatch(),
+			FreeKVPages:  eng.KV().FreePages(),
+			TotalKVPages: eng.KV().TotalPages(),
+			Steps:        es.Steps,
+			Tokens:       es.TokensGenerated,
+		}
+		if store := eng.Store(); store != nil {
+			gs.Adapters = store.Len()
+		}
+		st.GPUs = append(st.GPUs, gs)
+	}
+	return st
+}
+
+// Close stops the drivers and closes all open streams.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	for id, ch := range s.streams {
+		close(ch)
+		delete(s.streams, id)
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// drive is the per-GPU runner loop: run invocations back-to-back, pace
+// them in wall time, and hand scheduler work back after each step.
+func (s *Server) drive(g *sched.GPU) {
+	defer s.wg.Done()
+	eng := s.engines[g]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for !s.closed {
+		if !eng.Busy() {
+			s.cond.Wait()
+			continue
+		}
+		now := s.simNow()
+		res := eng.Step(now)
+		for _, ev := range res.Evicted {
+			if _, err := s.sch.Reschedule(ev, g, now); err != nil {
+				s.dropRequest(ev.ID)
+			}
+		}
+		if res.Idle {
+			wake, ok := eng.EarliestPendingReady()
+			if !ok {
+				// Nothing loadable; wait for scheduler activity.
+				s.cond.Wait()
+				continue
+			}
+			s.sleepLocked(s.wallDelay(wake - now))
+			continue
+		}
+		if len(res.Finished) > 0 || len(res.Evicted) > 0 {
+			if _, err := s.sch.DrainQueue(s.simNow()); err == nil {
+				s.cond.Broadcast()
+			}
+		}
+		s.sleepLocked(s.wallDelay(res.Latency))
+	}
+}
+
+// sleepLocked releases the lock for a wall-clock sleep. Closing the
+// server does not interrupt an in-flight sleep; Close waits for it.
+func (s *Server) sleepLocked(d time.Duration) {
+	s.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	s.mu.Lock()
+}
+
+func (s *Server) dropRequest(id int64) {
+	if ch, ok := s.streams[id]; ok {
+		close(ch)
+		delete(s.streams, id)
+	}
+}

@@ -1,0 +1,65 @@
+package sgmv
+
+import (
+	"fmt"
+
+	"punica/internal/tensor"
+)
+
+// LoopApply is the first PyTorch baseline from §7.1: "a for-loop over each
+// LoRA model". It computes the same y += x A B addon one segment at a
+// time, with each segment paying a full (simulated) operator dispatch.
+// Numerically it must agree with Apply exactly.
+func LoopApply(y, x *tensor.Matrix, pairs []Pair, seg Segments) {
+	if len(pairs) != seg.N() {
+		panic(fmt.Sprintf("sgmv: %d pairs for %d segments", len(pairs), seg.N()))
+	}
+	for i := 0; i < seg.N(); i++ {
+		xs := x.RowSlice(seg.Start(i), seg.End(i))
+		ys := y.RowSlice(seg.Start(i), seg.End(i))
+		v := tensor.Matmul(xs, pairs[i].A)
+		tensor.MatmulAcc(ys, v, pairs[i].B)
+	}
+}
+
+// GatherBMMApply is the second PyTorch baseline from §7.1: "In the gather
+// step, we stack the weight matrices that each input needs into a single
+// matrix. Then, we use torch.bmm()". Gather materialises one weight copy
+// per input row (that is the extra sn×hi×ho I/O the paper charges it
+// for); BMM then does a per-row matmul. Numerically identical to Apply.
+func GatherBMMApply(y, x *tensor.Matrix, pairs []Pair, seg Segments) {
+	if len(pairs) != seg.N() {
+		panic(fmt.Sprintf("sgmv: %d pairs for %d segments", len(pairs), seg.N()))
+	}
+	if seg.N() == 0 {
+		return
+	}
+	// Gather: stackedA[row] / stackedB[row] reference the row's model.
+	stackedA := make([]*tensor.Matrix, seg.Total())
+	stackedB := make([]*tensor.Matrix, seg.Total())
+	for i := 0; i < seg.N(); i++ {
+		for row := seg.Start(i); row < seg.End(i); row++ {
+			stackedA[row] = pairs[i].A.Clone() // gather writes a copy per row
+			stackedB[row] = pairs[i].B.Clone()
+		}
+	}
+	// BMM twice: v = x @ stackedA, y += v @ stackedB, row by row.
+	for row := 0; row < seg.Total(); row++ {
+		xr := x.RowSlice(row, row+1)
+		yr := y.RowSlice(row, row+1)
+		v := tensor.Matmul(xr, stackedA[row])
+		tensor.MatmulAcc(yr, v, stackedB[row])
+	}
+}
+
+// DenseReference computes y += x @ (A_i B_i) per segment by materialising
+// the full-rank delta weight. It is the ground-truth oracle used by tests:
+// every operator implementation must match it within float tolerance.
+func DenseReference(y, x *tensor.Matrix, pairs []Pair, seg Segments) {
+	for i := 0; i < seg.N(); i++ {
+		delta := tensor.Matmul(pairs[i].A, pairs[i].B)
+		xs := x.RowSlice(seg.Start(i), seg.End(i))
+		ys := y.RowSlice(seg.Start(i), seg.End(i))
+		tensor.MatmulAcc(ys, xs, delta)
+	}
+}

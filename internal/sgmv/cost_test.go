@@ -1,0 +1,215 @@
+package sgmv
+
+import (
+	"testing"
+	"time"
+
+	"punica/internal/dist"
+	"punica/internal/hw"
+)
+
+func microModel() CostModel {
+	return CostModel{GPU: hw.A100(), Standalone: true}
+}
+
+func segsFor(k dist.Kind, batch int) Segments {
+	return NewSegments(dist.SegmentSizes(k, batch)...)
+}
+
+func TestFLOPIOFormulas(t *testing.T) {
+	// §7.1: FLOP = sn·hi·ho·2, I/O = [sn(hi+ho) + n·hi·ho]·2.
+	op := Op{HIn: 16, HOut: 4096, Seg: NewSegments(3, 5)}
+	sn, n := 8.0, 2.0
+	wantFLOP := sn * 16 * 4096 * 2
+	wantIO := (sn*(16+4096) + n*16*4096) * 2
+	if op.FLOP() != wantFLOP {
+		t.Errorf("FLOP = %g, want %g", op.FLOP(), wantFLOP)
+	}
+	if op.IOBytes() != wantIO {
+		t.Errorf("IO = %g, want %g", op.IOBytes(), wantIO)
+	}
+	if got := op.Intensity(); got != wantFLOP/wantIO {
+		t.Errorf("intensity = %g", got)
+	}
+}
+
+func TestDistinctIntensityConstant(t *testing.T) {
+	// Fig. 7: "In the Distinct case, the arithmetic intensity does not
+	// change because FLOP and I/O grow at the same rate."
+	base := Op{HIn: 16, HOut: 4096, Seg: segsFor(dist.Distinct, 1)}.Intensity()
+	for _, b := range []int{2, 8, 32, 64} {
+		got := Op{HIn: 16, HOut: 4096, Seg: segsFor(dist.Distinct, b)}.Intensity()
+		if diff := got/base - 1; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("Distinct intensity changed at batch %d: %g vs %g", b, got, base)
+		}
+	}
+}
+
+func TestIdenticalIntensityGrows(t *testing.T) {
+	// Fig. 7: the Identical line climbs the memory-bandwidth diagonal:
+	// intensity grows with batch size.
+	prev := 0.0
+	for _, b := range []int{1, 4, 16, 64} {
+		got := Op{HIn: 16, HOut: 4096, Seg: segsFor(dist.Identical, b)}.Intensity()
+		if got <= prev {
+			t.Errorf("Identical intensity not increasing at batch %d", b)
+		}
+		prev = got
+	}
+}
+
+func TestBatch1LatencyFloor(t *testing.T) {
+	// Fig. 8/9: the standalone LoRA operator floor is ~37-42µs at batch 1
+	// regardless of rank.
+	c := microModel()
+	for _, r := range []int{8, 16, 32, 64} {
+		lat := c.OperatorTime(4096, r, 4096, segsFor(dist.Identical, 1))
+		if lat < 30*time.Microsecond || lat > 50*time.Microsecond {
+			t.Errorf("rank %d batch-1 operator = %v, want ~37-42µs", r, lat)
+		}
+	}
+}
+
+func TestDistinctRankSweepMatchesFig9(t *testing.T) {
+	// Fig. 9: Distinct batch 64 → ~72µs, 75µs, 89µs, 118µs for ranks
+	// 8, 16, 32, 64. Allow ±25%.
+	c := microModel()
+	want := map[int]time.Duration{
+		8:  72 * time.Microsecond,
+		16: 75 * time.Microsecond,
+		32: 89 * time.Microsecond,
+		64: 118 * time.Microsecond,
+	}
+	seg := segsFor(dist.Distinct, 64)
+	for r, w := range want {
+		got := c.OperatorTime(4096, r, 4096, seg)
+		lo := time.Duration(float64(w) * 0.75)
+		hi := time.Duration(float64(w) * 1.25)
+		if got < lo || got > hi {
+			t.Errorf("rank %d Distinct batch 64 = %v, want %v ±25%%", r, got, w)
+		}
+	}
+}
+
+func TestSharedWorkloadsFlatAcrossBatch(t *testing.T) {
+	// Fig. 9: "When the workload exists weight sharing (Uniform, Skewed,
+	// and Identical), the latency remains almost the same across batch
+	// size 1 to 64, at around 42µs to 45µs" (rank 16).
+	c := microModel()
+	for _, k := range []dist.Kind{dist.Uniform, dist.Skewed, dist.Identical} {
+		b1 := c.OperatorTime(4096, 16, 4096, segsFor(k, 1))
+		b64 := c.OperatorTime(4096, 16, 4096, segsFor(k, 64))
+		if ratio := float64(b64) / float64(b1); ratio > 1.45 {
+			t.Errorf("%v batch-64/batch-1 = %.2f, want nearly flat", k, ratio)
+		}
+	}
+}
+
+func TestSGMVBeatsBaselines(t *testing.T) {
+	// Fig. 8: "SGMV significantly outperforms baseline implementations
+	// regardless of workloads" (batch > 1).
+	c := microModel()
+	for _, k := range dist.Kinds {
+		for _, b := range []int{8, 32, 64} {
+			seg := segsFor(k, b)
+			sg := c.OperatorTime(4096, 16, 4096, seg)
+			loop := c.LoopTime(4096, 16, 4096, seg)
+			gbmm := c.GatherBMMTime(4096, 16, 4096, seg)
+			if k != dist.Identical && sg >= loop {
+				t.Errorf("%v batch %d: SGMV %v not faster than Loop %v", k, b, sg, loop)
+			}
+			if sg >= gbmm {
+				t.Errorf("%v batch %d: SGMV %v not faster than Gather-BMM %v", k, b, sg, gbmm)
+			}
+		}
+	}
+}
+
+func TestLoopTerribleOnDistinct(t *testing.T) {
+	// Fig. 8a: Loop runs batch-size-1 matmuls per model; at batch 64 it
+	// should be well beyond the 300µs chart limit.
+	c := microModel()
+	loop := c.LoopTime(4096, 16, 4096, segsFor(dist.Distinct, 64))
+	if loop < 1*time.Millisecond {
+		t.Errorf("Loop Distinct batch 64 = %v, want > 1ms", loop)
+	}
+	// On Identical it degenerates to a single pair of matmuls: cheap.
+	loopId := c.LoopTime(4096, 16, 4096, segsFor(dist.Identical, 64))
+	if loopId > 60*time.Microsecond {
+		t.Errorf("Loop Identical batch 64 = %v, want cheap", loopId)
+	}
+}
+
+func TestGatherBMMExtraIO(t *testing.T) {
+	// §7.1: "Gather-BMM incurs sn×hi×ho×2 more elements memory I/O than
+	// SGMV" — so its latency must grow faster with batch than SGMV's in
+	// every workload.
+	c := microModel()
+	for _, k := range dist.Kinds {
+		sgGrowth := c.OperatorTime(4096, 16, 4096, segsFor(k, 64)) -
+			c.OperatorTime(4096, 16, 4096, segsFor(k, 1))
+		gbGrowth := c.GatherBMMTime(4096, 16, 4096, segsFor(k, 64)) -
+			c.GatherBMMTime(4096, 16, 4096, segsFor(k, 1))
+		if gbGrowth <= sgGrowth {
+			t.Errorf("%v: Gather-BMM growth %v not above SGMV growth %v", k, gbGrowth, sgGrowth)
+		}
+	}
+}
+
+func TestGatherBMMIdenticalFasterThanDistinct(t *testing.T) {
+	// Fig. 8: "Gather-BMM performs slightly better than the Distinct case
+	// since there are fewer matrices to read."
+	c := microModel()
+	d := c.GatherBMMTime(4096, 16, 4096, segsFor(dist.Distinct, 64))
+	id := c.GatherBMMTime(4096, 16, 4096, segsFor(dist.Identical, 64))
+	if id >= d {
+		t.Errorf("Gather-BMM Identical %v should beat Distinct %v", id, d)
+	}
+}
+
+func TestInModelCheaperThanStandalone(t *testing.T) {
+	in := NewCostModel(hw.A100())
+	micro := microModel()
+	seg := segsFor(dist.Uniform, 32)
+	if in.OperatorTime(4096, 16, 4096, seg) >= micro.OperatorTime(4096, 16, 4096, seg) {
+		t.Error("in-model SGMV should be cheaper than standalone (no sync)")
+	}
+}
+
+func TestRooflineBounds(t *testing.T) {
+	// Achieved FLOP/s must never exceed either roofline ceiling.
+	c := microModel()
+	for _, k := range dist.Kinds {
+		for _, b := range []int{1, 4, 16, 64} {
+			op := Op{HIn: 16, HOut: 4096, Seg: segsFor(k, b)}
+			ach := c.AchievedFLOPS(op)
+			if ach > c.GPU.PeakFP16 {
+				t.Errorf("%v batch %d: achieved %.3g above compute peak", k, b, ach)
+			}
+			if ach > op.Intensity()*c.GPU.MemBandwidth {
+				t.Errorf("%v batch %d: achieved %.3g above bandwidth roof", k, b, ach)
+			}
+		}
+	}
+}
+
+func TestAchievedGrowsWithBatchDistinct(t *testing.T) {
+	// Fig. 7: "Since each input only utilizes a small amount of GPU
+	// compute units, increasing the batch size increases performance."
+	c := microModel()
+	prev := 0.0
+	for _, b := range []int{1, 4, 16, 64} {
+		ach := c.AchievedFLOPS(Op{HIn: 16, HOut: 4096, Seg: segsFor(dist.Distinct, b)})
+		if ach <= prev {
+			t.Errorf("Distinct achieved FLOP/s not increasing at batch %d", b)
+		}
+		prev = ach
+	}
+}
+
+func TestKernelTimeEmptySegments(t *testing.T) {
+	c := microModel()
+	if c.KernelTime(Op{HIn: 16, HOut: 16}) != 0 {
+		t.Error("empty op should cost nothing")
+	}
+}

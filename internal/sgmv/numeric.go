@@ -1,0 +1,74 @@
+package sgmv
+
+import (
+	"fmt"
+
+	"punica/internal/tensor"
+)
+
+// Pair is one LoRA weight pair for a single projection: A shrinks the
+// input feature to the LoRA rank, B expands it back (§2.2: W + AB is the
+// fine-tuned weight, A ∈ R^{h1×r}, B ∈ R^{r×h2}).
+type Pair struct {
+	A *tensor.Matrix // hIn × r
+	B *tensor.Matrix // r × hOut
+}
+
+// Rank returns the LoRA rank r of the pair.
+func (p Pair) Rank() int { return p.A.Cols }
+
+// Shrink computes v[s[i]:s[i+1]] += x[s[i]:s[i+1]] @ as[i] for every
+// segment: the SGMV-shrink kernel (§4, "it shrinks a high-dimensional
+// input feature to low-rank output"). v must be totalRows × r, x must be
+// totalRows × hIn, and as[i] must be hIn × r.
+func Shrink(v, x *tensor.Matrix, as []*tensor.Matrix, seg Segments) {
+	applySegmented(v, x, as, seg)
+}
+
+// Expand computes y[s[i]:s[i+1]] += v[s[i]:s[i+1]] @ bs[i] for every
+// segment: the SGMV-expand kernel ("expands the low-rank input feature to
+// a high-dimensional output feature").
+func Expand(y, v *tensor.Matrix, bs []*tensor.Matrix, seg Segments) {
+	applySegmented(y, v, bs, seg)
+}
+
+func applySegmented(dst, src *tensor.Matrix, ws []*tensor.Matrix, seg Segments) {
+	if len(ws) != seg.N() {
+		panic(fmt.Sprintf("sgmv: %d weights for %d segments", len(ws), seg.N()))
+	}
+	if src.Rows != seg.Total() || dst.Rows != seg.Total() {
+		panic(fmt.Sprintf("sgmv: batch rows %d/%d do not match segment total %d",
+			src.Rows, dst.Rows, seg.Total()))
+	}
+	for i := 0; i < seg.N(); i++ {
+		xs := src.RowSlice(seg.Start(i), seg.End(i))
+		ys := dst.RowSlice(seg.Start(i), seg.End(i))
+		tensor.MatmulAcc(ys, xs, ws[i])
+	}
+}
+
+// Apply computes the full batched LoRA addon y += x @ A_i @ B_i per
+// segment as two SGMV launches (§4: "operator y += x A B can be separated
+// as two launches of the same kernel: v := 0; v += x A; y += v B").
+func Apply(y, x *tensor.Matrix, pairs []Pair, seg Segments) {
+	if len(pairs) != seg.N() {
+		panic(fmt.Sprintf("sgmv: %d pairs for %d segments", len(pairs), seg.N()))
+	}
+	if seg.N() == 0 {
+		return
+	}
+	r := pairs[0].Rank()
+	for _, p := range pairs {
+		if p.Rank() != r {
+			panic("sgmv: mixed ranks in one batch are not supported by the kernel")
+		}
+	}
+	v := tensor.New(seg.Total(), r)
+	as := make([]*tensor.Matrix, len(pairs))
+	bs := make([]*tensor.Matrix, len(pairs))
+	for i, p := range pairs {
+		as[i], bs[i] = p.A, p.B
+	}
+	Shrink(v, x, as, seg)
+	Expand(y, v, bs, seg)
+}

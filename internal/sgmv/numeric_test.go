@@ -1,0 +1,165 @@
+package sgmv
+
+import (
+	"testing"
+	"testing/quick"
+
+	"punica/internal/sim"
+	"punica/internal/tensor"
+)
+
+func randomPairs(rng *sim.RNG, n, hIn, r, hOut int) []Pair {
+	pairs := make([]Pair, n)
+	for i := range pairs {
+		pairs[i] = Pair{
+			A: tensor.Random(rng, hIn, r, 0.5),
+			B: tensor.Random(rng, r, hOut, 0.5),
+		}
+	}
+	return pairs
+}
+
+func TestApplyMatchesDenseReference(t *testing.T) {
+	rng := sim.NewRNG(20)
+	seg := NewSegments(2, 3, 1)
+	hIn, r, hOut := 16, 4, 12
+	pairs := randomPairs(rng, seg.N(), hIn, r, hOut)
+	x := tensor.Random(rng, seg.Total(), hIn, 1)
+
+	got := tensor.Random(rng, seg.Total(), hOut, 1) // non-zero initial y
+	want := got.Clone()
+	Apply(got, x, pairs, seg)
+	DenseReference(want, x, pairs, seg)
+	if !tensor.Equal(got, want, 1e-4) {
+		t.Fatalf("SGMV != dense reference, max diff %g", tensor.MaxAbsDiff(got, want))
+	}
+}
+
+func TestAllImplementationsAgree(t *testing.T) {
+	rng := sim.NewRNG(21)
+	f := func(sizes []uint8, dims [3]uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 6 {
+			sizes = sizes[:6]
+		}
+		segSizes := make([]int, len(sizes))
+		for i, s := range sizes {
+			segSizes[i] = int(s%4) + 1
+		}
+		seg := NewSegments(segSizes...)
+		hIn := int(dims[0]%12) + 2
+		r := int(dims[1]%4) + 1
+		hOut := int(dims[2]%12) + 2
+		pairs := randomPairs(rng, seg.N(), hIn, r, hOut)
+		x := tensor.Random(rng, seg.Total(), hIn, 1)
+		init := tensor.Random(rng, seg.Total(), hOut, 1)
+
+		ySGMV := init.Clone()
+		yLoop := init.Clone()
+		yGB := init.Clone()
+		yRef := init.Clone()
+		Apply(ySGMV, x, pairs, seg)
+		LoopApply(yLoop, x, pairs, seg)
+		GatherBMMApply(yGB, x, pairs, seg)
+		DenseReference(yRef, x, pairs, seg)
+
+		const tol = 1e-3
+		return tensor.Equal(ySGMV, yRef, tol) &&
+			tensor.Equal(yLoop, yRef, tol) &&
+			tensor.Equal(yGB, yRef, tol)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShrinkExpandComposition(t *testing.T) {
+	// Two SGMV launches must equal the one-shot addon (§4's decomposition).
+	rng := sim.NewRNG(22)
+	seg := NewSegments(1, 4, 2)
+	hIn, r, hOut := 8, 3, 10
+	pairs := randomPairs(rng, seg.N(), hIn, r, hOut)
+	x := tensor.Random(rng, seg.Total(), hIn, 1)
+
+	v := tensor.New(seg.Total(), r)
+	as := make([]*tensor.Matrix, seg.N())
+	bs := make([]*tensor.Matrix, seg.N())
+	for i, p := range pairs {
+		as[i], bs[i] = p.A, p.B
+	}
+	Shrink(v, x, as, seg)
+	yTwo := tensor.New(seg.Total(), hOut)
+	Expand(yTwo, v, bs, seg)
+
+	yOne := tensor.New(seg.Total(), hOut)
+	Apply(yOne, x, pairs, seg)
+	if !tensor.Equal(yTwo, yOne, 1e-4) {
+		t.Fatal("shrink∘expand != Apply")
+	}
+}
+
+func TestSegmentIsolation(t *testing.T) {
+	// Rows of one segment must never be touched by another segment's
+	// weights: zero out segment 1's weights and check segment 0 output
+	// is unchanged.
+	rng := sim.NewRNG(23)
+	seg := NewSegments(2, 2)
+	pairs := randomPairs(rng, 2, 6, 2, 6)
+	x := tensor.Random(rng, 4, 6, 1)
+
+	y1 := tensor.New(4, 6)
+	Apply(y1, x, pairs, seg)
+
+	zeroed := []Pair{pairs[0], {A: tensor.New(6, 2), B: tensor.New(2, 6)}}
+	y2 := tensor.New(4, 6)
+	Apply(y2, x, zeroed, seg)
+
+	if !tensor.Equal(y1.RowSlice(0, 2), y2.RowSlice(0, 2), 0) {
+		t.Fatal("segment 0 affected by segment 1's weights")
+	}
+	for row := 2; row < 4; row++ {
+		for col := 0; col < 6; col++ {
+			if y2.At(row, col) != 0 {
+				t.Fatal("zero weights must produce zero addon")
+			}
+		}
+	}
+}
+
+func TestApplyPanicsOnMismatch(t *testing.T) {
+	rng := sim.NewRNG(24)
+	seg := NewSegments(2, 2)
+	pairs := randomPairs(rng, 1, 4, 2, 4) // too few pairs
+	x := tensor.Random(rng, 4, 4, 1)
+	y := tensor.New(4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("pair/segment mismatch should panic")
+		}
+	}()
+	Apply(y, x, pairs, seg)
+}
+
+func TestApplyMixedRankPanics(t *testing.T) {
+	rng := sim.NewRNG(25)
+	seg := NewSegments(1, 1)
+	pairs := []Pair{
+		{A: tensor.Random(rng, 4, 2, 1), B: tensor.Random(rng, 2, 4, 1)},
+		{A: tensor.Random(rng, 4, 3, 1), B: tensor.Random(rng, 3, 4, 1)},
+	}
+	x := tensor.Random(rng, 2, 4, 1)
+	y := tensor.New(2, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mixed ranks should panic")
+		}
+	}()
+	Apply(y, x, pairs, seg)
+}
+
+func TestApplyEmptyBatch(t *testing.T) {
+	var seg Segments
+	Apply(tensor.New(0, 4), tensor.New(0, 4), nil, seg) // must not panic
+}

@@ -1,0 +1,126 @@
+package sgmv
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"punica/internal/sim"
+)
+
+func TestNewSegments(t *testing.T) {
+	s := NewSegments(3, 1, 4)
+	if s.N() != 3 || s.Total() != 8 {
+		t.Fatalf("N=%d Total=%d, want 3/8", s.N(), s.Total())
+	}
+	if s.Start(1) != 3 || s.End(1) != 4 || s.Len(2) != 4 {
+		t.Fatalf("bad bounds: %v", s.Bounds())
+	}
+	if got := s.String(); got != "[0 3 4 8]" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestNewSegmentsPanicsOnZeroSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-size segment should panic")
+		}
+	}()
+	NewSegments(2, 0, 1)
+}
+
+func TestFromBounds(t *testing.T) {
+	s, err := FromBounds([]int{0, 2, 5})
+	if err != nil || s.N() != 2 || s.Total() != 5 {
+		t.Fatalf("FromBounds: %v %v", s, err)
+	}
+	for _, bad := range [][]int{nil, {1, 2}, {0, 2, 2}, {0, 3, 1}} {
+		if _, err := FromBounds(bad); err == nil {
+			t.Errorf("FromBounds(%v) should error", bad)
+		}
+	}
+}
+
+func TestEmptySegments(t *testing.T) {
+	var s Segments
+	if s.N() != 0 || s.Total() != 0 {
+		t.Fatal("zero Segments should be empty")
+	}
+}
+
+func TestGroupByModelBasic(t *testing.T) {
+	ids := []int{7, 3, 7, 3, 9}
+	order, segs, models := GroupByModel(ids)
+	if !reflect.DeepEqual(models, []int{7, 3, 9}) {
+		t.Fatalf("segment models = %v", models)
+	}
+	if !reflect.DeepEqual(segs.Bounds(), []int{0, 2, 4, 5}) {
+		t.Fatalf("bounds = %v", segs.Bounds())
+	}
+	// Rows of the same model must be consecutive and stable in original
+	// order.
+	if !reflect.DeepEqual(order, []int{0, 2, 1, 3, 4}) {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestGroupByModelEmpty(t *testing.T) {
+	order, segs, models := GroupByModel(nil)
+	if len(order) != 0 || segs.N() != 0 || len(models) != 0 {
+		t.Fatal("empty input should produce empty grouping")
+	}
+}
+
+func TestGroupByModelProperty(t *testing.T) {
+	rng := sim.NewRNG(11)
+	f := func(raw []uint8) bool {
+		ids := make([]int, len(raw))
+		for i, v := range raw {
+			ids[i] = int(v % 5)
+		}
+		order, segs, models := GroupByModel(ids)
+		if len(order) != len(ids) {
+			return false
+		}
+		// order is a permutation.
+		seen := make([]bool, len(ids))
+		for _, o := range order {
+			if o < 0 || o >= len(ids) || seen[o] {
+				return false
+			}
+			seen[o] = true
+		}
+		if len(ids) == 0 {
+			return true
+		}
+		if segs.Total() != len(ids) || segs.N() != len(models) {
+			return false
+		}
+		// Every segment holds exactly one model id; adjacent segments
+		// differ.
+		for i := 0; i < segs.N(); i++ {
+			for row := segs.Start(i); row < segs.End(i); row++ {
+				if ids[order[row]] != models[i] {
+					return false
+				}
+			}
+			if i > 0 && models[i] == models[i-1] {
+				return false
+			}
+		}
+		// Model ids are unique across segments (one segment per model).
+		uniq := map[int]bool{}
+		for _, m := range models {
+			if uniq[m] {
+				return false
+			}
+			uniq[m] = true
+		}
+		_ = rng
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

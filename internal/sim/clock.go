@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Clock abstracts time for the serving stack so the same engine code runs
+// under a discrete-event virtual clock (hour-long cluster experiments in
+// milliseconds of wall time) and under wall-clock pacing (the HTTP demo).
+type Clock interface {
+	// Now returns the current simulation time as an offset from the
+	// simulation epoch.
+	Now() time.Duration
+}
+
+// VirtualClock is a discrete-event simulation clock. Events are scheduled
+// at absolute times and executed in order; Run advances time to each event
+// in sequence. The zero value is ready to use.
+type VirtualClock struct {
+	now    time.Duration
+	events eventHeap
+	seq    int64
+}
+
+// NewVirtualClock returns a clock positioned at t=0 with no pending events.
+func NewVirtualClock() *VirtualClock {
+	return &VirtualClock{}
+}
+
+// Now returns the current simulation time.
+func (c *VirtualClock) Now() time.Duration { return c.now }
+
+// Schedule enqueues fn to run at absolute time at. Events scheduled for the
+// same instant run in scheduling order (FIFO), which keeps simulations
+// deterministic. Scheduling in the past is clamped to now.
+func (c *VirtualClock) Schedule(at time.Duration, fn func()) {
+	if at < c.now {
+		at = c.now
+	}
+	c.seq++
+	heap.Push(&c.events, &event{at: at, seq: c.seq, fn: fn})
+}
+
+// ScheduleAfter enqueues fn to run delay after the current time.
+func (c *VirtualClock) ScheduleAfter(delay time.Duration, fn func()) {
+	c.Schedule(c.now+delay, fn)
+}
+
+// Step executes the single earliest pending event, advancing the clock to
+// its timestamp. It reports whether an event ran.
+func (c *VirtualClock) Step() bool {
+	if c.events.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&c.events).(*event)
+	c.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain or the clock passes until. Events
+// scheduled exactly at until still run. It returns the number of events
+// executed.
+func (c *VirtualClock) Run(until time.Duration) int {
+	n := 0
+	for c.events.Len() > 0 {
+		if c.events[0].at > until {
+			break
+		}
+		c.Step()
+		n++
+	}
+	if c.now < until {
+		c.now = until
+	}
+	return n
+}
+
+// RunAll executes all pending events (including ones scheduled by other
+// events) and returns the count. Use with care: a self-rescheduling event
+// makes this loop forever.
+func (c *VirtualClock) RunAll() int {
+	n := 0
+	for c.Step() {
+		n++
+	}
+	return n
+}
+
+// Pending returns the number of events waiting to run.
+func (c *VirtualClock) Pending() int { return c.events.Len() }
+
+type event struct {
+	at  time.Duration
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// WallClock is a Clock backed by real time, for the interactive serving
+// demo. Time is measured from the moment the clock is created.
+type WallClock struct {
+	epoch time.Time
+}
+
+// NewWallClock returns a wall clock whose epoch is the current instant.
+func NewWallClock() *WallClock { return &WallClock{epoch: time.Now()} }
+
+// Now returns the elapsed real time since the clock was created.
+func (c *WallClock) Now() time.Duration { return time.Since(c.epoch) }

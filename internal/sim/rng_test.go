@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := NewRNG(1)
+	const n = 200000
+	const mean = 2.5
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exponential(mean)
+	}
+	got := sum / n
+	if math.Abs(got-mean) > 0.05*mean {
+		t.Fatalf("exponential mean = %.4f, want ~%.4f", got, mean)
+	}
+}
+
+func TestLogNormalMean(t *testing.T) {
+	r := NewRNG(2)
+	const n = 200000
+	mu, sigma := 4.0, 0.5
+	want := math.Exp(mu + sigma*sigma/2)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.LogNormal(mu, sigma)
+	}
+	got := sum / n
+	if math.Abs(got-want) > 0.05*want {
+		t.Fatalf("lognormal mean = %.2f, want ~%.2f", got, want)
+	}
+}
+
+func TestZipfRatios(t *testing.T) {
+	r := NewRNG(3)
+	z := NewZipf(r, 8, 1.5)
+	counts := make([]int, 8)
+	const n = 300000
+	for i := 0; i < n; i++ {
+		counts[z.Rank()]++
+	}
+	// The i-th most popular model should receive ~1.5x the (i+1)-th's.
+	for i := 0; i+1 < 4; i++ { // tail ranks are too sparse to test tightly
+		ratio := float64(counts[i]) / float64(counts[i+1])
+		if math.Abs(ratio-1.5) > 0.15 {
+			t.Errorf("rank %d/%d ratio = %.3f, want ~1.5", i, i+1, ratio)
+		}
+	}
+	if counts[0] <= counts[7] {
+		t.Error("rank 0 should dominate rank 7")
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	r := NewRNG(4)
+	mustPanic(t, func() { NewZipf(r, 0, 1.5) })
+	mustPanic(t, func() { NewZipf(r, 4, 1.0) })
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	fn()
+}

@@ -1,0 +1,176 @@
+// Package tensor is a minimal dense float32 matrix library used to give
+// the SGMV operator and its baselines real, checkable numeric semantics.
+// Punica's CUDA kernels compute Y[s[i]:s[i+1]] += X[s[i]:s[i+1]] @ W[i]
+// (Fig. 3); the packages built on top of this one verify that all operator
+// implementations (Loop, Gather-BMM, SGMV) agree bit-for-bit on that
+// contract.
+//
+// Only the operations the reproduction needs are implemented: row-major
+// matrices, matmul with accumulate, row slicing, and elementwise helpers.
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"punica/internal/sim"
+)
+
+// Matrix is a dense row-major float32 matrix. The zero value is an empty
+// matrix. Row slices share the parent's backing array, matching the
+// "segments of one batch tensor" view the SGMV kernel operates on.
+type Matrix struct {
+	Rows, Cols int
+	// Data holds Rows*Cols values in row-major order.
+	Data []float32
+}
+
+// New returns a zeroed Rows×Cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("tensor: negative dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]float32) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic("tensor: ragged rows")
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m
+}
+
+// Random fills a new Rows×Cols matrix with values uniform in [-scale, scale).
+// LoRA evaluation uses random weights because "the weight does not affect
+// latency performance" (§7); random values still exercise the numerics.
+func Random(rng *sim.RNG, rows, cols int, scale float64) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = float32((rng.Float64()*2 - 1) * scale)
+	}
+	return m
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float32 {
+	m.check(i, j)
+	return m.Data[i*m.Cols+j]
+}
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float32) {
+	m.check(i, j)
+	m.Data[i*m.Cols+j] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("tensor: index (%d,%d) out of %dx%d", i, j, m.Rows, m.Cols))
+	}
+}
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float32 {
+	if i < 0 || i >= m.Rows {
+		panic(fmt.Sprintf("tensor: row %d out of %d", i, m.Rows))
+	}
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// RowSlice returns the sub-matrix of rows [lo, hi) sharing storage with m.
+// This is the "segment" view SGMV indexes with s[i]:s[i+1].
+func (m *Matrix) RowSlice(lo, hi int) *Matrix {
+	if lo < 0 || hi < lo || hi > m.Rows {
+		panic(fmt.Sprintf("tensor: row slice [%d,%d) out of %d", lo, hi, m.Rows))
+	}
+	return &Matrix{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero sets every element to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// MatmulAcc computes dst += a @ b. Shapes must satisfy a:(m×k), b:(k×n),
+// dst:(m×n). The inner loop is ordered (i,k,j) for cache-friendly row-major
+// access.
+func MatmulAcc(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch (%dx%d)@(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for k := 0; k < a.Cols; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// Matmul returns a @ b as a new matrix.
+func Matmul(a, b *Matrix) *Matrix {
+	dst := New(a.Rows, b.Cols)
+	MatmulAcc(dst, a, b)
+	return dst
+}
+
+// AddInPlace computes m += other elementwise.
+func (m *Matrix) AddInPlace(other *Matrix) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic("tensor: add shape mismatch")
+	}
+	for i, v := range other.Data {
+		m.Data[i] += v
+	}
+}
+
+// MaxAbsDiff returns the largest elementwise |a-b|, used by tests to
+// compare operator implementations.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("tensor: diff shape mismatch")
+	}
+	max := 0.0
+	for i := range a.Data {
+		d := math.Abs(float64(a.Data[i]) - float64(b.Data[i]))
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Equal reports whether a and b have the same shape and all elements are
+// within tol of each other.
+func Equal(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	return MaxAbsDiff(a, b) <= tol
+}

@@ -1,0 +1,166 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"punica/internal/sim"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("bad shape: %+v", m)
+	}
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatal("Set/At roundtrip failed")
+	}
+	if m.Row(1)[2] != 7 {
+		t.Fatal("Row aliasing failed")
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float32{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows != 3 || m.Cols != 2 || m.At(2, 1) != 6 {
+		t.Fatalf("FromRows wrong: %+v", m)
+	}
+	if FromRows(nil).Rows != 0 {
+		t.Fatal("empty FromRows should be 0x0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged rows should panic")
+		}
+	}()
+	FromRows([][]float32{{1}, {2, 3}})
+}
+
+func TestMatmulKnownValues(t *testing.T) {
+	a := FromRows([][]float32{{1, 2}, {3, 4}})
+	b := FromRows([][]float32{{5, 6}, {7, 8}})
+	c := Matmul(a, b)
+	want := FromRows([][]float32{{19, 22}, {43, 50}})
+	if !Equal(c, want, 0) {
+		t.Fatalf("matmul = %v, want %v", c.Data, want.Data)
+	}
+}
+
+func TestMatmulAccAccumulates(t *testing.T) {
+	a := FromRows([][]float32{{1, 0}, {0, 1}})
+	b := FromRows([][]float32{{2, 0}, {0, 2}})
+	dst := FromRows([][]float32{{1, 1}, {1, 1}})
+	MatmulAcc(dst, a, b)
+	want := FromRows([][]float32{{3, 1}, {1, 3}})
+	if !Equal(dst, want, 0) {
+		t.Fatalf("accumulate failed: %v", dst.Data)
+	}
+}
+
+func TestMatmulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch should panic")
+		}
+	}()
+	Matmul(New(2, 3), New(4, 2))
+}
+
+func TestRowSliceSharesStorage(t *testing.T) {
+	m := New(4, 2)
+	s := m.RowSlice(1, 3)
+	s.Set(0, 0, 9)
+	if m.At(1, 0) != 9 {
+		t.Fatal("RowSlice must alias parent storage")
+	}
+	if s.Rows != 2 || s.Cols != 2 {
+		t.Fatalf("bad slice shape %dx%d", s.Rows, s.Cols)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := FromRows([][]float32{{1, 2}})
+	c := m.Clone()
+	c.Set(0, 0, 5)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone must not share storage")
+	}
+}
+
+func TestIdentityProperty(t *testing.T) {
+	// A @ I == A for random matrices.
+	rng := sim.NewRNG(7)
+	f := func(rs, cs uint8) bool {
+		rows, cols := int(rs%8)+1, int(cs%8)+1
+		a := Random(rng, rows, cols, 1)
+		id := New(cols, cols)
+		for i := 0; i < cols; i++ {
+			id.Set(i, i, 1)
+		}
+		return Equal(Matmul(a, id), a, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatmulMatchesNaive(t *testing.T) {
+	rng := sim.NewRNG(8)
+	f := func(ms, ks, ns uint8) bool {
+		m, k, n := int(ms%6)+1, int(ks%6)+1, int(ns%6)+1
+		a := Random(rng, m, k, 1)
+		b := Random(rng, k, n, 1)
+		got := Matmul(a, b)
+		want := New(m, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var sum float64
+				for kk := 0; kk < k; kk++ {
+					sum += float64(a.At(i, kk)) * float64(b.At(kk, j))
+				}
+				want.Set(i, j, float32(sum))
+			}
+		}
+		return Equal(got, want, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributivityProperty(t *testing.T) {
+	// (A+B)@C ≈ A@C + B@C within float tolerance.
+	rng := sim.NewRNG(9)
+	a := Random(rng, 5, 4, 1)
+	b := Random(rng, 5, 4, 1)
+	c := Random(rng, 4, 3, 1)
+	sum := a.Clone()
+	sum.AddInPlace(b)
+	left := Matmul(sum, c)
+	right := Matmul(a, c)
+	right.AddInPlace(Matmul(b, c))
+	if !Equal(left, right, 1e-4) {
+		t.Fatalf("distributivity violated: max diff %g", MaxAbsDiff(left, right))
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := FromRows([][]float32{{1, 2}})
+	b := FromRows([][]float32{{1, 2.5}})
+	if d := MaxAbsDiff(a, b); math.Abs(d-0.5) > 1e-9 {
+		t.Fatalf("MaxAbsDiff = %g, want 0.5", d)
+	}
+}
+
+func TestZero(t *testing.T) {
+	rng := sim.NewRNG(10)
+	m := Random(rng, 3, 3, 1)
+	m.Zero()
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("Zero left non-zero element")
+		}
+	}
+}

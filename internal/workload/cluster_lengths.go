@@ -1,0 +1,15 @@
+package workload
+
+// ClusterLengths returns the length distribution for the §7.3 cluster
+// deployment experiment. The Fig. 13 panels are only mutually consistent
+// if responses are long: the request-rate panel peaks near 10 req/s while
+// the token-rate panel peaks near 10k tok/s, implying ≈1k tokens per
+// request — long chat turns rather than the short-response mix of §7.2.
+// Prompts stay moderate (mean ≈ 250 tokens) and prompt+response fits the
+// 4096-token context.
+func ClusterLengths() Lengths {
+	return Lengths{
+		PromptMu: 5.2, PromptSigma: 0.8, PromptMin: 16, PromptMax: 1024,
+		OutMu: 6.7, OutSigma: 0.6, OutMin: 64, OutMax: 2048,
+	}
+}

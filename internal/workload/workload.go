@@ -1,0 +1,181 @@
+// Package workload generates the request streams the Punica evaluation
+// uses (§7): prompt and response lengths following a ShareGPT-like
+// heavy-tailed distribution, LoRA model popularity under the four
+// distributions (Distinct/Uniform/Skewed/Identical), and Poisson arrival
+// processes with a time-varying rate for the cluster experiment (§7.3).
+//
+// Substitution note (DESIGN.md): the real ShareGPT trace is not
+// redistributable; lengths are drawn from log-normal fits calibrated so
+// 1000 requests generate ≈101k tokens, matching §7.2.
+package workload
+
+import (
+	"time"
+
+	"punica/internal/dist"
+	"punica/internal/sim"
+)
+
+// Request is one serving request: its LoRA model, the prompt length, and
+// the predetermined response length (the simulation's stand-in for the
+// stopping condition — the paper replays trace lengths the same way).
+type Request struct {
+	ID        int64
+	Model     int64 // LoRA model id
+	PromptLen int
+	OutputLen int
+	Arrival   time.Duration
+}
+
+// TotalTokens returns prompt plus response tokens.
+func (r Request) TotalTokens() int { return r.PromptLen + r.OutputLen }
+
+// Lengths samples prompt and response token counts. Zero values are not
+// useful; use ShareGPTLengths or fixed lengths via Constant.
+type Lengths struct {
+	PromptMu, PromptSigma float64
+	PromptMin, PromptMax  int
+	OutMu, OutSigma       float64
+	OutMin, OutMax        int
+}
+
+// ShareGPTLengths returns the synthetic stand-in for the ShareGPT trace:
+// log-normal prompts (conversation contexts, mean ≈ 450 tokens, capped at
+// 2048) and log-normal responses (mean ≈ 101 tokens, capped at 1024).
+// 1000 sampled requests generate ≈101k tokens, matching §7.2's "1000
+// requests (generating around 101k tokens)".
+func ShareGPTLengths() Lengths {
+	return Lengths{
+		PromptMu: 5.7, PromptSigma: 0.9, PromptMin: 8, PromptMax: 2048,
+		OutMu: 4.3, OutSigma: 0.8, OutMin: 4, OutMax: 1024,
+	}
+}
+
+// Constant returns a degenerate sampler with fixed lengths, used by the
+// microbenchmark figures.
+func Constant(prompt, out int) Lengths {
+	return Lengths{
+		PromptMu: 0, PromptSigma: 0, PromptMin: prompt, PromptMax: prompt,
+		OutMu: 0, OutSigma: 0, OutMin: out, OutMax: out,
+	}
+}
+
+// SamplePrompt draws a prompt length.
+func (l Lengths) SamplePrompt(rng *sim.RNG) int {
+	return clampSample(rng, l.PromptMu, l.PromptSigma, l.PromptMin, l.PromptMax)
+}
+
+// SampleOutput draws a response length.
+func (l Lengths) SampleOutput(rng *sim.RNG) int {
+	return clampSample(rng, l.OutMu, l.OutSigma, l.OutMin, l.OutMax)
+}
+
+func clampSample(rng *sim.RNG, mu, sigma float64, min, max int) int {
+	if sigma == 0 {
+		return min
+	}
+	v := int(rng.LogNormal(mu, sigma))
+	if v < min {
+		return min
+	}
+	if v > max {
+		return max
+	}
+	return v
+}
+
+// Generator produces request streams.
+type Generator struct {
+	Kind    dist.Kind
+	Lengths Lengths
+	rng     *sim.RNG
+	nextID  int64
+}
+
+// NewGenerator builds a deterministic generator for the given popularity
+// distribution and length sampler.
+func NewGenerator(kind dist.Kind, lengths Lengths, seed int64) *Generator {
+	return &Generator{Kind: kind, Lengths: lengths, rng: sim.NewRNG(seed)}
+}
+
+// Batch produces n requests all arriving at t=0, the §7.2 text-generation
+// setup ("We generate 1000 requests ... batch in a first-come-first-serve
+// manner"). Model assignment follows the generator's distribution with a
+// population of NumModels(kind, n).
+func (g *Generator) Batch(n int) []Request {
+	assigner := dist.NewAssigner(g.Kind, dist.NumModels(g.Kind, n), g.rng)
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = g.sample(assigner, 0)
+	}
+	return reqs
+}
+
+// Poisson produces requests over [0, horizon) with inhomogeneous Poisson
+// arrivals at rate rate(t) requests/second ("gaps between request arrival
+// time follow an exponential distribution", §7.3), using thinning against
+// maxRate (an upper bound of rate over the horizon). numModels sizes the
+// popularity population.
+func (g *Generator) Poisson(rate func(time.Duration) float64, maxRate float64, horizon time.Duration, numModels int) []Request {
+	if maxRate <= 0 {
+		return nil
+	}
+	assigner := dist.NewAssigner(g.Kind, numModels, g.rng)
+	var reqs []Request
+	t := time.Duration(0)
+	for {
+		gap := g.rng.Exponential(1 / maxRate)
+		t += hwSeconds(gap)
+		if t >= horizon {
+			break
+		}
+		if g.rng.Float64() <= rate(t)/maxRate {
+			reqs = append(reqs, g.sample(assigner, t))
+		}
+	}
+	return reqs
+}
+
+func (g *Generator) sample(assigner *dist.Assigner, at time.Duration) Request {
+	g.nextID++
+	return Request{
+		ID:        g.nextID,
+		Model:     int64(assigner.Assign()),
+		PromptLen: g.Lengths.SamplePrompt(g.rng),
+		OutputLen: g.Lengths.SampleOutput(g.rng),
+		Arrival:   at,
+	}
+}
+
+func hwSeconds(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// Trapezoid is the Fig. 13 load shape: "the request rate of the workload
+// gradually increases and then gradually decreases". Rate ramps linearly
+// from 0 to Peak over RampUp, holds for Hold, and ramps back to 0 over
+// RampDown.
+type Trapezoid struct {
+	Peak     float64 // requests/second at the plateau
+	RampUp   time.Duration
+	Hold     time.Duration
+	RampDown time.Duration
+}
+
+// Horizon returns the total profile duration.
+func (p Trapezoid) Horizon() time.Duration { return p.RampUp + p.Hold + p.RampDown }
+
+// Rate returns the request rate at time t.
+func (p Trapezoid) Rate(t time.Duration) float64 {
+	switch {
+	case t < 0 || t >= p.Horizon():
+		return 0
+	case t < p.RampUp:
+		return p.Peak * float64(t) / float64(p.RampUp)
+	case t < p.RampUp+p.Hold:
+		return p.Peak
+	default:
+		left := p.Horizon() - t
+		return p.Peak * float64(left) / float64(p.RampDown)
+	}
+}

@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"punica/internal/dist"
+)
+
+func TestShareGPTCalibration(t *testing.T) {
+	// §7.2: "We generate 1000 requests (generating around 101k tokens)".
+	g := NewGenerator(dist.Uniform, ShareGPTLengths(), 1)
+	reqs := g.Batch(1000)
+	var out int
+	for _, r := range reqs {
+		out += r.OutputLen
+	}
+	if out < 80_000 || out > 125_000 {
+		t.Errorf("1000 requests generated %d tokens, want ~101k", out)
+	}
+}
+
+func TestLengthBounds(t *testing.T) {
+	g := NewGenerator(dist.Skewed, ShareGPTLengths(), 2)
+	for _, r := range g.Batch(2000) {
+		if r.PromptLen < 8 || r.PromptLen > 2048 {
+			t.Fatalf("prompt length %d out of bounds", r.PromptLen)
+		}
+		if r.OutputLen < 4 || r.OutputLen > 1024 {
+			t.Fatalf("output length %d out of bounds", r.OutputLen)
+		}
+		if r.TotalTokens() != r.PromptLen+r.OutputLen {
+			t.Fatal("TotalTokens arithmetic wrong")
+		}
+	}
+}
+
+func TestConstantLengths(t *testing.T) {
+	g := NewGenerator(dist.Identical, Constant(512, 64), 3)
+	for _, r := range g.Batch(10) {
+		if r.PromptLen != 512 || r.OutputLen != 64 {
+			t.Fatalf("constant lengths violated: %+v", r)
+		}
+	}
+}
+
+func TestBatchModelPopulations(t *testing.T) {
+	for _, k := range dist.Kinds {
+		g := NewGenerator(k, ShareGPTLengths(), 4)
+		reqs := g.Batch(100)
+		seen := map[int64]bool{}
+		for _, r := range reqs {
+			seen[r.Model] = true
+		}
+		max := dist.NumModels(k, 100)
+		if len(seen) > max {
+			t.Errorf("%v: %d distinct models, want <= %d", k, len(seen), max)
+		}
+		if k == dist.Distinct && len(seen) != 100 {
+			t.Errorf("Distinct: %d distinct models, want 100", len(seen))
+		}
+		if k == dist.Identical && len(seen) != 1 {
+			t.Errorf("Identical: %d distinct models, want 1", len(seen))
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewGenerator(dist.Skewed, ShareGPTLengths(), 7).Batch(50)
+	b := NewGenerator(dist.Skewed, ShareGPTLengths(), 7).Batch(50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRequestIDsUnique(t *testing.T) {
+	g := NewGenerator(dist.Uniform, ShareGPTLengths(), 8)
+	seen := map[int64]bool{}
+	for _, r := range append(g.Batch(50), g.Batch(50)...) {
+		if seen[r.ID] {
+			t.Fatalf("duplicate request id %d", r.ID)
+		}
+		seen[r.ID] = true
+	}
+}
+
+func TestPoissonRateMatches(t *testing.T) {
+	g := NewGenerator(dist.Uniform, ShareGPTLengths(), 9)
+	const rate = 5.0 // req/s
+	horizon := 2000 * time.Second
+	reqs := g.Poisson(func(time.Duration) float64 { return rate }, rate, horizon, 16)
+	got := float64(len(reqs)) / horizon.Seconds()
+	if math.Abs(got-rate)/rate > 0.1 {
+		t.Errorf("Poisson rate = %.2f req/s, want ~%.1f", got, rate)
+	}
+	// Arrivals sorted and within horizon.
+	for i, r := range reqs {
+		if r.Arrival < 0 || r.Arrival >= horizon {
+			t.Fatalf("arrival %v out of horizon", r.Arrival)
+		}
+		if i > 0 && r.Arrival < reqs[i-1].Arrival {
+			t.Fatal("arrivals not sorted")
+		}
+	}
+}
+
+func TestPoissonInterarrivalsExponential(t *testing.T) {
+	g := NewGenerator(dist.Uniform, ShareGPTLengths(), 10)
+	const rate = 10.0
+	reqs := g.Poisson(func(time.Duration) float64 { return rate }, rate, 5000*time.Second, 16)
+	var gaps []float64
+	for i := 1; i < len(reqs); i++ {
+		gaps = append(gaps, (reqs[i].Arrival - reqs[i-1].Arrival).Seconds())
+	}
+	mean := 0.0
+	for _, gap := range gaps {
+		mean += gap
+	}
+	mean /= float64(len(gaps))
+	if math.Abs(mean-1/rate)/(1/rate) > 0.1 {
+		t.Errorf("mean gap = %.4f, want ~%.4f", mean, 1/rate)
+	}
+	// CV of an exponential is 1.
+	varsum := 0.0
+	for _, gap := range gaps {
+		varsum += (gap - mean) * (gap - mean)
+	}
+	cv := math.Sqrt(varsum/float64(len(gaps))) / mean
+	if math.Abs(cv-1) > 0.15 {
+		t.Errorf("interarrival CV = %.2f, want ~1 (exponential)", cv)
+	}
+}
+
+func TestTrapezoidProfile(t *testing.T) {
+	p := Trapezoid{Peak: 10, RampUp: 10 * time.Minute, Hold: 5 * time.Minute, RampDown: 10 * time.Minute}
+	if p.Horizon() != 25*time.Minute {
+		t.Fatalf("horizon = %v", p.Horizon())
+	}
+	cases := []struct {
+		t    time.Duration
+		want float64
+	}{
+		{0, 0},
+		{5 * time.Minute, 5},
+		{10 * time.Minute, 10},
+		{12 * time.Minute, 10},
+		{20 * time.Minute, 5},
+		{25 * time.Minute, 0},
+		{-time.Second, 0},
+	}
+	for _, c := range cases {
+		if got := p.Rate(c.t); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Rate(%v) = %g, want %g", c.t, got, c.want)
+		}
+	}
+}
+
+func TestPoissonTrapezoidShape(t *testing.T) {
+	p := Trapezoid{Peak: 8, RampUp: 400 * time.Second, Hold: 200 * time.Second, RampDown: 400 * time.Second}
+	g := NewGenerator(dist.Skewed, ShareGPTLengths(), 11)
+	reqs := g.Poisson(p.Rate, p.Peak, p.Horizon(), 32)
+	// Count arrivals in the middle (plateau) vs the first ramp tenth.
+	early, mid := 0, 0
+	for _, r := range reqs {
+		if r.Arrival < 40*time.Second {
+			early++
+		}
+		if r.Arrival >= 400*time.Second && r.Arrival < 440*time.Second {
+			mid++
+		}
+	}
+	if mid <= early*3 {
+		t.Errorf("plateau arrivals (%d) should dwarf early ramp arrivals (%d)", mid, early)
+	}
+}
+
+func TestPoissonZeroMaxRate(t *testing.T) {
+	g := NewGenerator(dist.Uniform, ShareGPTLengths(), 12)
+	if got := g.Poisson(func(time.Duration) float64 { return 0 }, 0, time.Minute, 4); got != nil {
+		t.Fatal("zero max rate should produce no requests")
+	}
+}

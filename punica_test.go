@@ -1,0 +1,119 @@
+package punica_test
+
+import (
+	"testing"
+	"time"
+
+	"punica"
+)
+
+// TestPublicAPIEndToEnd drives the whole public surface: build an engine,
+// serve multi-adapter requests, and check streaming output.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	var tokens []punica.Token
+	eng := punica.NewEngine(punica.EngineConfig{
+		System: punica.PunicaSystem(),
+		GPU:    punica.A100(),
+		Model:  punica.Llama2_7B(),
+		Rank:   punica.DefaultLoRARank,
+		OnToken: func(tok punica.Token) {
+			tokens = append(tokens, tok)
+		},
+	})
+	for i := int64(1); i <= 3; i++ {
+		r := &punica.Request{ID: i, Model: punica.LoRAModelID(i), PromptLen: 32, OutputLen: 8}
+		if err := eng.Enqueue(r, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now := time.Duration(0)
+	for eng.Busy() {
+		res := eng.Step(now)
+		if res.Idle {
+			at, ok := eng.EarliestPendingReady()
+			if !ok {
+				t.Fatal("stuck")
+			}
+			now = at
+			continue
+		}
+		now = res.EndsAt
+	}
+	if len(tokens) != 24 {
+		t.Fatalf("streamed %d tokens, want 24", len(tokens))
+	}
+	if eng.Stats().Finished != 3 {
+		t.Fatalf("finished %d requests", eng.Stats().Finished)
+	}
+}
+
+func TestPublicClusterRun(t *testing.T) {
+	gen := punica.NewGenerator(punica.Skewed, punica.ConstantLengths(64, 16), 1)
+	c := punica.NewCluster(punica.ClusterConfig{
+		NumGPUs: 2,
+		Engine: punica.EngineConfig{
+			System: punica.PunicaSystem(),
+			GPU:    punica.A100(),
+			Model:  punica.Llama2_7B(),
+			Rank:   punica.DefaultLoRARank,
+		},
+	})
+	res, err := c.Run(gen.Batch(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finished != 20 || res.Throughput <= 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+}
+
+func TestPublicSGMVNumerics(t *testing.T) {
+	seg := punica.NewSegments(2, 1)
+	x := punica.NewMatrix(3, 4)
+	for i := range x.Data {
+		x.Data[i] = float32(i%5) * 0.25
+	}
+	pairs := []punica.LoRAPair{
+		{A: onesMatrix(4, 2), B: onesMatrix(2, 4)},
+		{A: onesMatrix(4, 2), B: onesMatrix(2, 4)},
+	}
+	y1 := punica.NewMatrix(3, 4)
+	y2 := punica.NewMatrix(3, 4)
+	y3 := punica.NewMatrix(3, 4)
+	punica.SGMVApply(y1, x, pairs, seg)
+	punica.LoopApply(y2, x, pairs, seg)
+	punica.GatherBMMApply(y3, x, pairs, seg)
+	for i := range y1.Data {
+		if y1.Data[i] != y2.Data[i] || y1.Data[i] != y3.Data[i] {
+			t.Fatal("public implementations disagree")
+		}
+	}
+}
+
+func TestPublicGroupByModel(t *testing.T) {
+	order, segs, ids := punica.GroupByModel([]int{3, 1, 3})
+	if segs.N() != 2 || len(order) != 3 || ids[0] != 3 || ids[1] != 1 {
+		t.Fatalf("grouping wrong: %v %v %v", order, segs, ids)
+	}
+}
+
+func TestAllSystemsDistinctNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range punica.AllSystems() {
+		if seen[s.Name] {
+			t.Fatalf("duplicate system %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("%d systems, want 5", len(seen))
+	}
+}
+
+func onesMatrix(r, c int) *punica.Matrix {
+	m := punica.NewMatrix(r, c)
+	for i := range m.Data {
+		m.Data[i] = 1
+	}
+	return m
+}

@@ -1,0 +1,51 @@
+package punica
+
+import (
+	"punica/internal/sgmv"
+	"punica/internal/tensor"
+)
+
+// Segments is the SGMV segment-boundary vector s: rows [s[i], s[i+1]) of
+// the batch belong to the i-th LoRA model (Fig. 3).
+type Segments = sgmv.Segments
+
+// LoRAPair is one adapter's (A, B) weight pair for a single projection.
+type LoRAPair = sgmv.Pair
+
+// Matrix is the dense float32 matrix the numeric kernels operate on.
+type Matrix = tensor.Matrix
+
+// SGMVOp describes one SGMV kernel launch for cost/roofline purposes.
+type SGMVOp = sgmv.Op
+
+// SGMVCostModel converts operator invocations into simulated A100
+// latencies.
+type SGMVCostModel = sgmv.CostModel
+
+// NewSegments builds Segments from per-segment row counts.
+func NewSegments(sizes ...int) Segments { return sgmv.NewSegments(sizes...) }
+
+// GroupByModel reorders a batch so same-model rows are consecutive and
+// returns the permutation, segments, and per-segment model ids (§6).
+func GroupByModel(ids []int) (order []int, segs Segments, segModels []int) {
+	return sgmv.GroupByModel(ids)
+}
+
+// SGMVApply computes the batched LoRA addon y += x·A_i·B_i per segment as
+// two SGMV launches (shrink then expand) — the paper's core operator.
+func SGMVApply(y, x *Matrix, pairs []LoRAPair, seg Segments) { sgmv.Apply(y, x, pairs, seg) }
+
+// LoopApply is the for-loop PyTorch baseline (numerically identical).
+func LoopApply(y, x *Matrix, pairs []LoRAPair, seg Segments) { sgmv.LoopApply(y, x, pairs, seg) }
+
+// GatherBMMApply is the Gather + torch.bmm baseline (numerically
+// identical).
+func GatherBMMApply(y, x *Matrix, pairs []LoRAPair, seg Segments) {
+	sgmv.GatherBMMApply(y, x, pairs, seg)
+}
+
+// NewMatrix returns a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix { return tensor.New(rows, cols) }
+
+// NewSGMVCostModel returns an in-model cost model for the GPU.
+func NewSGMVCostModel(gpu GPUSpec) SGMVCostModel { return sgmv.NewCostModel(gpu) }

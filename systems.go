@@ -1,0 +1,22 @@
+package punica
+
+import "punica/internal/baselines"
+
+// Baseline serving-system configurations from §7 of the paper. Each is a
+// capability set on the shared engine; see internal/baselines for what
+// each system lacks relative to Punica.
+
+// HuggingFaceSystem models HuggingFace Transformers + PEFT.
+func HuggingFaceSystem() SystemConfig { return baselines.HuggingFace() }
+
+// DeepSpeedSystem models DeepSpeed-Inference.
+func DeepSpeedSystem() SystemConfig { return baselines.DeepSpeed() }
+
+// FasterTransformerSystem models FasterTransformer (backbone-only).
+func FasterTransformerSystem() SystemConfig { return baselines.FasterTransformer() }
+
+// VLLMSystem models vLLM (backbone-only).
+func VLLMSystem() SystemConfig { return baselines.VLLM() }
+
+// AllSystems returns the full §7.2 comparison set, ending with Punica.
+func AllSystems() []SystemConfig { return baselines.All() }

@@ -1,0 +1,51 @@
+package punica
+
+import (
+	"punica/internal/dist"
+	"punica/internal/workload"
+)
+
+// WorkloadRequest is a generated serving request (arrival time, LoRA
+// model, prompt and response lengths).
+type WorkloadRequest = workload.Request
+
+// Lengths samples prompt and response token counts.
+type Lengths = workload.Lengths
+
+// Generator produces deterministic request streams.
+type Generator = workload.Generator
+
+// Trapezoid is the §7.3 ramp-up/hold/ramp-down load profile.
+type Trapezoid = workload.Trapezoid
+
+// Distribution selects one of the paper's four LoRA popularity
+// distributions (§7).
+type Distribution = dist.Kind
+
+// The four popularity distributions.
+const (
+	Distinct  = dist.Distinct
+	Uniform   = dist.Uniform
+	Skewed    = dist.Skewed
+	Identical = dist.Identical
+)
+
+// Distributions lists all four in the paper's plotting order.
+var Distributions = dist.Kinds
+
+// ShareGPTLengths returns the synthetic ShareGPT-like length sampler
+// calibrated to §7.2 (1000 requests ≈ 101k generated tokens).
+func ShareGPTLengths() Lengths { return workload.ShareGPTLengths() }
+
+// ClusterLengths returns the long-response mix of the §7.3 cluster
+// experiment.
+func ClusterLengths() Lengths { return workload.ClusterLengths() }
+
+// ConstantLengths returns fixed prompt/response lengths for
+// microbenchmarks.
+func ConstantLengths(prompt, out int) Lengths { return workload.Constant(prompt, out) }
+
+// NewGenerator builds a deterministic request generator.
+func NewGenerator(kind Distribution, lengths Lengths, seed int64) *Generator {
+	return workload.NewGenerator(kind, lengths, seed)
+}
