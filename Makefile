@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test vet fmt check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails if any file needs gofmt.
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# check is the tier-1 gate: formatting, static checks, build, tests.
+check: fmt vet build test
+
+bench:
+	$(GO) run ./cmd/punica-bench all

@@ -1,0 +1,3 @@
+module punica
+
+go 1.24

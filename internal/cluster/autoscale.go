@@ -87,7 +87,8 @@ func (a *autoscaler) tick() {
 			// Newly attached capacity drains the queue.
 			placed, err := a.c.sched.DrainQueue(a.c.clock.Now())
 			if err != nil {
-				panic("cluster: autoscale drain: " + err.Error())
+				a.c.fail(fmt.Errorf("cluster: autoscale drain: %w", err))
+				return
 			}
 			for _, p := range placed {
 				a.c.runnerOf(p.GPU).kick()

@@ -66,6 +66,14 @@ type Result struct {
 	// GPUBusyFraction is each engine's busy time over the makespan.
 	GPUBusyFraction []float64
 	QueuePeak       int
+
+	// AdapterStalls counts placements deferred because a GPU's adapter
+	// store was full with every adapter pinned (§5.2 backpressure): the
+	// request waited on the queue instead of crashing the runner.
+	AdapterStalls int64
+	// AdapterEvictions counts warm adapters evicted from GPU stores to
+	// make room for newly requested ones (LRU, §5.2).
+	AdapterEvictions int64
 }
 
 // Cluster wires engines, scheduler and virtual clock together.
@@ -78,6 +86,7 @@ type Cluster struct {
 	res          Result
 	arrivalsLeft int
 	scale        *autoscaler
+	runErr       error
 }
 
 type runner struct {
@@ -120,15 +129,18 @@ func (c *Cluster) Scheduler() *sched.Scheduler { return c.sched }
 // Clock exposes the virtual clock.
 func (c *Cluster) Clock() *sim.VirtualClock { return c.clock }
 
+// fail records the first hard error of a run; the discrete-event loop
+// keeps draining so Run can report it cleanly instead of panicking.
+func (c *Cluster) fail(err error) {
+	if c.runErr == nil {
+		c.runErr = err
+	}
+}
+
 // Run executes the trace to completion and returns the aggregated result.
 func (c *Cluster) Run(reqs []workload.Request) (*Result, error) {
 	c.arrivalsLeft = len(reqs)
-	var runErr error
-	fail := func(err error) {
-		if runErr == nil {
-			runErr = err
-		}
-	}
+	fail := c.fail
 	for i := range reqs {
 		wr := reqs[i]
 		c.clock.Schedule(wr.Arrival, func() {
@@ -161,8 +173,8 @@ func (c *Cluster) Run(reqs []workload.Request) (*Result, error) {
 		c.clock.Schedule(c.scale.cfg.CheckInterval, c.scale.tick)
 	}
 	c.clock.RunAll()
-	if runErr != nil {
-		return nil, runErr
+	if c.runErr != nil {
+		return nil, c.runErr
 	}
 
 	for _, r := range c.gpus {
@@ -172,6 +184,13 @@ func (c *Cluster) Run(reqs []workload.Request) (*Result, error) {
 		c.res.WastedDecodes += st.WastedDecodes
 		c.res.Evictions += st.Evictions
 		c.res.Finished += st.Finished
+		if store := r.eng.Store(); store != nil {
+			c.res.AdapterEvictions += store.Evictions
+			if store.PinnedBytes() != 0 {
+				return nil, fmt.Errorf("cluster: gpu %s leaked %d pinned adapter bytes",
+					r.gpu.UUID, store.PinnedBytes())
+			}
+		}
 		if c.res.Makespan > 0 {
 			c.res.GPUBusyFraction = append(c.res.GPUBusyFraction,
 				st.BusyTime.Seconds()/c.res.Makespan.Seconds())
@@ -180,6 +199,7 @@ func (c *Cluster) Run(reqs []workload.Request) (*Result, error) {
 		}
 	}
 	c.res.Migrations = c.sched.Stats().Migrations
+	c.res.AdapterStalls = c.sched.Stats().AdapterStalls
 	if c.res.Makespan > 0 {
 		c.res.Throughput = float64(c.res.DecodeTokens) / c.res.Makespan.Seconds()
 	}
@@ -281,7 +301,8 @@ func (r *runner) complete(res core.StepResult) {
 	if len(res.Finished) > 0 || len(res.Evicted) > 0 {
 		placed, err := c.sched.DrainQueue(now)
 		if err != nil {
-			panic("cluster: drain queue: " + err.Error())
+			c.fail(fmt.Errorf("cluster: drain queue: %w", err))
+			return
 		}
 		for _, p := range placed {
 			c.runnerOf(p.GPU).kick()
@@ -299,7 +320,8 @@ func (r *runner) handleEvicted(evicted []*core.Request) {
 	for _, ev := range evicted {
 		g, err := c.sched.Reschedule(ev, r.gpu, now)
 		if err != nil {
-			panic("cluster: reschedule evicted: " + err.Error())
+			c.fail(fmt.Errorf("cluster: reschedule evicted: %w", err))
+			return
 		}
 		if g != nil {
 			c.runnerOf(g).kick()

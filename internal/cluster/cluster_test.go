@@ -234,3 +234,55 @@ func TestBatchSeriesRecorded(t *testing.T) {
 		t.Fatal("processed-token series empty")
 	}
 }
+
+func TestAdapterStorePressureBackpressure(t *testing.T) {
+	// A Distinct trace against a store holding only 3 adapters: the seed
+	// panicked here ("lora: store full ... and all adapters pinned" via
+	// the drain-queue path). The runner must requeue instead, finish
+	// every request, exercise LRU eviction, and leak no pins.
+	cfg := punicaEngineConfig()
+	cfg.LoRAStoreBytes = 3 * cfg.Model.LoRABytes(cfg.Rank)
+	c := New(Config{NumGPUs: 1, Engine: cfg})
+	reqs := shortTrace(dist.Distinct, 12, 3)
+	res, err := c.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finished != int64(len(reqs)) {
+		t.Fatalf("finished %d/%d under store pressure", res.Finished, len(reqs))
+	}
+	if res.AdapterStalls == 0 {
+		t.Fatal("expected adapter-store stalls with 12 adapters and 3 slots")
+	}
+	if res.AdapterEvictions == 0 {
+		t.Fatal("expected LRU adapter evictions under store pressure")
+	}
+	store := c.gpus[0].eng.Store()
+	if store.PinnedBytes() != 0 {
+		t.Fatalf("pins leaked across completed batches: %d bytes", store.PinnedBytes())
+	}
+	if store.UsedBytes() > cfg.LoRAStoreBytes {
+		t.Fatalf("store overcommitted: %d > %d", store.UsedBytes(), cfg.LoRAStoreBytes)
+	}
+}
+
+func TestAdapterPressureDeterministic(t *testing.T) {
+	run := func() *Result {
+		cfg := punicaEngineConfig()
+		cfg.LoRAStoreBytes = 2 * cfg.Model.LoRABytes(cfg.Rank)
+		c := New(Config{NumGPUs: 2, Engine: cfg})
+		res, err := c.Run(shortTrace(dist.Distinct, 20, 11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.AdapterStalls != b.AdapterStalls || a.AdapterEvictions != b.AdapterEvictions ||
+		a.Makespan != b.Makespan || a.Finished != b.Finished {
+		t.Fatalf("store-pressure runs diverged: %+v vs %+v", a, b)
+	}
+	if a.Finished != 20 {
+		t.Fatalf("finished %d/20", a.Finished)
+	}
+}

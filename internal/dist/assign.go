@@ -1,0 +1,75 @@
+package dist
+
+import (
+	"fmt"
+
+	"punica/internal/sim"
+)
+
+// Assigner draws per-request model ids (in [0, NumModels)) under a
+// popularity distribution. It is deterministic given its RNG: workload
+// generators built from the same seed reproduce identical assignments.
+type Assigner struct {
+	kind  Kind
+	n     int
+	rng   *sim.RNG
+	zipf  *sim.Zipf
+	next  int
+	alpha float64
+}
+
+// NewAssigner builds an assigner over a population of numModels ids.
+// Skewed and Zipf kinds use DefaultZipfAlpha; use NewZipfAssigner for a
+// custom decay.
+func NewAssigner(kind Kind, numModels int, rng *sim.RNG) *Assigner {
+	if kind == Skewed || kind == Zipf {
+		return NewZipfAssigner(numModels, DefaultZipfAlpha, rng)
+	}
+	if numModels < 1 {
+		numModels = 1
+	}
+	switch kind {
+	case Distinct, Uniform, Identical:
+		return &Assigner{kind: kind, n: numModels, rng: rng}
+	default:
+		panic(fmt.Sprintf("dist: unknown kind %d", int(kind)))
+	}
+}
+
+// NewZipfAssigner builds the parameterized extension: a geometric
+// popularity law with decay alpha (> 1) over numModels ids, id 0 most
+// popular.
+func NewZipfAssigner(numModels int, alpha float64, rng *sim.RNG) *Assigner {
+	if numModels < 1 {
+		numModels = 1
+	}
+	return &Assigner{
+		kind:  Zipf,
+		n:     numModels,
+		rng:   rng,
+		alpha: alpha,
+		zipf:  sim.NewZipf(rng, numModels, alpha),
+	}
+}
+
+// NumModels returns the assigner's population size.
+func (a *Assigner) NumModels() int { return a.n }
+
+// Assign returns the next request's model id. Distinct cycles through
+// the population so n requests over a population of n receive n distinct
+// models; Uniform samples uniformly; Skewed/Zipf sample the geometric
+// law; Identical always returns 0.
+func (a *Assigner) Assign() int {
+	switch a.kind {
+	case Distinct:
+		id := a.next
+		a.next = (a.next + 1) % a.n
+		return id
+	case Uniform:
+		return a.rng.Intn(a.n)
+	case Identical:
+		return 0
+	default: // Skewed, Zipf
+		return a.zipf.Rank()
+	}
+}

@@ -1,0 +1,201 @@
+// Package dist models LoRA adapter popularity: how the requests of a
+// multi-tenant workload distribute over fine-tuned models. The paper's
+// evaluation (§7, Fig. 7–12) sweeps four distributions:
+//
+//   - Distinct: every request uses a different LoRA model — the
+//     worst case for weight sharing.
+//   - Uniform: requests spread evenly over a small population of
+//     models (⌈√n⌉ for n requests), so batches share adapters.
+//   - Skewed: a Zipf-like popularity law ("the number of requests to
+//     the i-th most popular model is α times that of the i+1-th's",
+//     §7, with α = 1.5) — a hot head plus a long tail.
+//   - Identical: every request uses the same model — equivalent to
+//     single-tenant serving.
+//
+// The package provides three views of a distribution, all deterministic:
+//
+//   - NumModels sizes the model population backing n requests.
+//   - SegmentSizes lays out a batch as SGMV segments (the Fig. 7–9
+//     microbenchmark shapes, matching the paper's workload table).
+//   - Assigner draws per-request model ids from a sim.RNG, the
+//     stochastic counterpart used by the workload generators.
+//
+// Beyond the paper's four, the package carries two extensions: the Zipf
+// kind with a caller-chosen decay α (NewZipfAssigner, ZipfSegmentSizes),
+// and a time-varying popularity Mix (mix.go) that rotates the hot set
+// over a run — the drift scenario the Fig. 13 / autoscale experiments
+// exercise.
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind selects a LoRA popularity distribution.
+type Kind int
+
+const (
+	// Distinct assigns every request its own model.
+	Distinct Kind = iota
+	// Uniform spreads requests evenly over a ⌈√n⌉-model population.
+	Uniform
+	// Skewed follows the paper's Zipf-1.5 popularity law.
+	Skewed
+	// Identical assigns every request the same model.
+	Identical
+	// Zipf is the parameterized extension of Skewed: the same geometric
+	// popularity law with a caller-chosen decay α (DefaultZipfAlpha when
+	// used through the plain Kind APIs). It is not part of Kinds, which
+	// lists only the paper's four distributions.
+	Zipf
+)
+
+// Kinds lists the paper's four distributions in plotting order.
+var Kinds = []Kind{Distinct, Uniform, Skewed, Identical}
+
+// DefaultZipfAlpha is the paper's Skewed decay: each model receives α
+// times the requests of the next most popular one (§7).
+const DefaultZipfAlpha = 1.5
+
+// String names the distribution as the figures label it.
+func (k Kind) String() string {
+	switch k {
+	case Distinct:
+		return "Distinct"
+	case Uniform:
+		return "Uniform"
+	case Skewed:
+		return "Skewed"
+	case Identical:
+		return "Identical"
+	case Zipf:
+		return "Zipf"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind resolves a distribution from its name (case-sensitive, as
+// printed by String).
+func ParseKind(name string) (Kind, error) {
+	for _, k := range append(Kinds, Zipf) {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("dist: unknown distribution %q", name)
+}
+
+// NumModels returns the model population backing n requests under the
+// distribution: n for Distinct, 1 for Identical, and ⌈√n⌉ for the
+// sharing distributions (Uniform, Skewed, Zipf) — small enough that
+// batches concentrate into few segments, large enough to stress the
+// adapter store. Always at least 1.
+func NumModels(k Kind, n int) int {
+	if n < 1 {
+		n = 1
+	}
+	switch k {
+	case Distinct:
+		return n
+	case Identical:
+		return 1
+	case Uniform, Skewed, Zipf:
+		return int(math.Ceil(math.Sqrt(float64(n))))
+	default:
+		panic(fmt.Sprintf("dist: unknown kind %d", int(k)))
+	}
+}
+
+// SegmentSizes lays out a batch of the given size as SGMV segment row
+// counts under the distribution — the deterministic microbenchmark
+// shapes of Fig. 7–9. Invariants: the sizes sum to batch, every size is
+// positive, Distinct yields batch segments, Identical yields one, and
+// the sharing distributions yield NumModels(k, batch) segments.
+func SegmentSizes(k Kind, batch int) []int {
+	if batch <= 0 {
+		return nil
+	}
+	switch k {
+	case Distinct:
+		sizes := make([]int, batch)
+		for i := range sizes {
+			sizes[i] = 1
+		}
+		return sizes
+	case Identical:
+		return []int{batch}
+	case Uniform:
+		return evenSizes(batch, NumModels(Uniform, batch))
+	case Skewed, Zipf:
+		return ZipfSegmentSizes(batch, NumModels(Skewed, batch), DefaultZipfAlpha)
+	default:
+		panic(fmt.Sprintf("dist: unknown kind %d", int(k)))
+	}
+}
+
+// evenSizes splits batch rows into segments of near-equal size.
+func evenSizes(batch, segments int) []int {
+	if segments > batch {
+		segments = batch
+	}
+	base, extra := batch/segments, batch%segments
+	sizes := make([]int, segments)
+	for i := range sizes {
+		sizes[i] = base
+		if i < extra {
+			sizes[i]++
+		}
+	}
+	return sizes
+}
+
+// ZipfSegmentSizes apportions batch rows over segments models whose
+// popularity decays geometrically by alpha (> 1): segment i's share is
+// proportional to alpha^-i. Every segment receives at least one row
+// (the microbenchmark populates all models), the head absorbs rounding,
+// and sizes are non-increasing.
+func ZipfSegmentSizes(batch, segments int, alpha float64) []int {
+	if batch <= 0 {
+		return nil
+	}
+	if alpha <= 1 {
+		panic("dist: Zipf needs alpha > 1")
+	}
+	if segments > batch {
+		segments = batch
+	}
+	if segments < 1 {
+		segments = 1
+	}
+	weights := make([]float64, segments)
+	total := 0.0
+	w := 1.0
+	for i := range weights {
+		weights[i] = w
+		total += w
+		w /= alpha
+	}
+	// Give every segment its floor share (at least one row), then hand
+	// the remainder out head-first, preserving the non-increasing order.
+	sizes := make([]int, segments)
+	left := batch - segments
+	for i := range sizes {
+		sizes[i] = 1
+		extra := int(float64(batch) * weights[i] / total)
+		if extra > 0 {
+			extra-- // the guaranteed row counts toward the share
+		}
+		if extra > left {
+			extra = left
+		}
+		sizes[i] += extra
+		left -= extra
+	}
+	for i := 0; left > 0; i++ {
+		sizes[i%segments]++
+		left--
+	}
+	return sizes
+}

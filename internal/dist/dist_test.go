@@ -1,0 +1,242 @@
+package dist
+
+import (
+	"testing"
+	"time"
+
+	"punica/internal/sim"
+)
+
+func TestKindStringsAndParse(t *testing.T) {
+	want := map[Kind]string{
+		Distinct: "Distinct", Uniform: "Uniform", Skewed: "Skewed",
+		Identical: "Identical", Zipf: "Zipf",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("String(%d) = %q, want %q", int(k), k.String(), s)
+		}
+		got, err := ParseKind(s)
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind should reject unknown names")
+	}
+	if len(Kinds) != 4 {
+		t.Fatalf("Kinds lists %d distributions, want the paper's 4", len(Kinds))
+	}
+}
+
+func TestNumModelsBoundaries(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		n    int
+		want int
+	}{
+		{Distinct, 100, 100},
+		{Distinct, 1, 1},
+		{Distinct, 0, 1},  // degenerate inputs clamp to one model
+		{Distinct, -5, 1}, // never a zero or negative population
+		{Identical, 100, 1},
+		{Identical, 0, 1},
+		{Uniform, 100, 10},
+		{Uniform, 101, 11},
+		{Uniform, 1, 1},
+		{Skewed, 100, 10},
+		{Skewed, 0, 1},
+		{Zipf, 64, 8},
+	}
+	for _, c := range cases {
+		if got := NumModels(c.k, c.n); got != c.want {
+			t.Errorf("NumModels(%v, %d) = %d, want %d", c.k, c.n, got, c.want)
+		}
+	}
+}
+
+func TestSegmentSizeInvariants(t *testing.T) {
+	for _, k := range append(Kinds, Zipf) {
+		for b := 1; b <= 64; b++ {
+			sizes := SegmentSizes(k, b)
+			sum := 0
+			for i, sz := range sizes {
+				if sz <= 0 {
+					t.Fatalf("%v batch %d: segment %d has size %d", k, b, i, sz)
+				}
+				sum += sz
+			}
+			if sum != b {
+				t.Fatalf("%v batch %d: sizes sum to %d", k, b, sum)
+			}
+			switch k {
+			case Distinct:
+				if len(sizes) != b {
+					t.Fatalf("Distinct batch %d: %d segments, want %d", b, len(sizes), b)
+				}
+			case Identical:
+				if len(sizes) != 1 {
+					t.Fatalf("Identical batch %d: %d segments, want 1", b, len(sizes))
+				}
+			default:
+				if len(sizes) != NumModels(k, b) {
+					t.Fatalf("%v batch %d: %d segments, want %d",
+						k, b, len(sizes), NumModels(k, b))
+				}
+			}
+		}
+	}
+	if SegmentSizes(Skewed, 0) != nil {
+		t.Error("zero batch should produce no segments")
+	}
+}
+
+func TestSkewedSegmentsNonIncreasing(t *testing.T) {
+	for _, b := range []int{2, 8, 16, 32, 64} {
+		sizes := SegmentSizes(Skewed, b)
+		for i := 1; i < len(sizes); i++ {
+			if sizes[i] > sizes[i-1] {
+				t.Fatalf("batch %d: Skewed sizes not non-increasing: %v", b, sizes)
+			}
+		}
+		// The hot head must dominate: top-1 share well above even split
+		// (meaningless below a few rows per segment).
+		if b >= 8 && float64(sizes[0])*float64(len(sizes)) < 1.5*float64(b) {
+			t.Errorf("batch %d: head segment %d of %d is not hot: %v",
+				b, sizes[0], b, sizes)
+		}
+	}
+}
+
+func TestZipfSegmentSizesAlphaConcentrates(t *testing.T) {
+	// Larger decay → a hotter head.
+	mild := ZipfSegmentSizes(64, 8, 1.1)
+	steep := ZipfSegmentSizes(64, 8, 3.0)
+	if steep[0] <= mild[0] {
+		t.Errorf("alpha 3.0 head %d should beat alpha 1.1 head %d", steep[0], mild[0])
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("alpha <= 1 should panic")
+		}
+	}()
+	ZipfSegmentSizes(10, 4, 1.0)
+}
+
+func TestAssignerDeterministicUnderSeed(t *testing.T) {
+	for _, k := range append(Kinds, Zipf) {
+		a := NewAssigner(k, NumModels(k, 200), sim.NewRNG(42))
+		b := NewAssigner(k, NumModels(k, 200), sim.NewRNG(42))
+		for i := 0; i < 200; i++ {
+			if x, y := a.Assign(), b.Assign(); x != y {
+				t.Fatalf("%v: same-seed assigners diverged at draw %d: %d vs %d", k, i, x, y)
+			}
+		}
+	}
+}
+
+func TestAssignerPopulations(t *testing.T) {
+	for _, k := range Kinds {
+		n := NumModels(k, 100)
+		a := NewAssigner(k, n, sim.NewRNG(7))
+		seen := map[int]bool{}
+		for i := 0; i < 100; i++ {
+			id := a.Assign()
+			if id < 0 || id >= n {
+				t.Fatalf("%v: id %d outside [0,%d)", k, id, n)
+			}
+			seen[id] = true
+		}
+		switch k {
+		case Distinct:
+			if len(seen) != 100 {
+				t.Errorf("Distinct: %d distinct ids over 100 draws, want 100", len(seen))
+			}
+		case Identical:
+			if len(seen) != 1 {
+				t.Errorf("Identical: %d distinct ids, want 1", len(seen))
+			}
+		}
+	}
+}
+
+func TestSkewedAssignerTopShare(t *testing.T) {
+	// Zipf-1.5 over 10 models: rank 0 holds ≈ (1-1/1.5) ≈ 1/3 of the
+	// mass; with 5000 draws the sample share must land near it.
+	a := NewAssigner(Skewed, 10, sim.NewRNG(3))
+	counts := make([]int, 10)
+	const draws = 5000
+	for i := 0; i < draws; i++ {
+		counts[a.Assign()]++
+	}
+	top := float64(counts[0]) / draws
+	if top < 0.28 || top > 0.40 {
+		t.Errorf("Skewed top-1 share = %.3f, want ~0.33", top)
+	}
+	// Monotone head: the first three ranks must be ordered.
+	if !(counts[0] > counts[1] && counts[1] > counts[2]) {
+		t.Errorf("Skewed head not ordered: %v", counts[:4])
+	}
+}
+
+func TestZipfAssignerCustomAlpha(t *testing.T) {
+	// α = 4: rank 0 holds ≈ 3/4 of the mass.
+	a := NewZipfAssigner(10, 4.0, sim.NewRNG(5))
+	counts := make([]int, 10)
+	const draws = 4000
+	for i := 0; i < draws; i++ {
+		counts[a.Assign()]++
+	}
+	if top := float64(counts[0]) / draws; top < 0.65 {
+		t.Errorf("Zipf(4) top-1 share = %.3f, want ~0.75", top)
+	}
+}
+
+func TestMixRotatesHotSet(t *testing.T) {
+	mix := Mix{Phases: []Phase{
+		{Length: time.Minute, Kind: Skewed, NumModels: 8, Offset: 0},
+		{Length: time.Minute, Kind: Skewed, NumModels: 8, Offset: 8},
+		{Length: time.Minute, Kind: Zipf, Alpha: 2.5, NumModels: 8, Offset: 16},
+	}}
+	if mix.NumModels() != 24 {
+		t.Fatalf("mix population = %d, want 24", mix.NumModels())
+	}
+	ma := NewMixAssigner(mix, sim.NewRNG(9))
+	phaseOf := func(t time.Duration) (lo, hi int) {
+		switch {
+		case t < time.Minute:
+			return 0, 8
+		case t < 2*time.Minute:
+			return 8, 16
+		default:
+			return 16, 24
+		}
+	}
+	for _, at := range []time.Duration{
+		0, 30 * time.Second, 90 * time.Second, 150 * time.Second,
+		10 * time.Minute, // past the schedule: final phase applies
+	} {
+		lo, hi := phaseOf(at)
+		for i := 0; i < 50; i++ {
+			id := ma.AssignAt(at)
+			if id < lo || id >= hi {
+				t.Fatalf("t=%v: id %d outside hot set [%d,%d)", at, id, lo, hi)
+			}
+		}
+	}
+}
+
+func TestMixDeterministic(t *testing.T) {
+	mix := Mix{Phases: []Phase{
+		{Length: time.Minute, Kind: Uniform, NumModels: 4},
+		{Length: time.Minute, Kind: Skewed, NumModels: 4, Offset: 4},
+	}}
+	a := NewMixAssigner(mix, sim.NewRNG(11))
+	b := NewMixAssigner(mix, sim.NewRNG(11))
+	for i := 0; i < 100; i++ {
+		at := time.Duration(i) * time.Second
+		if x, y := a.AssignAt(at), b.AssignAt(at); x != y {
+			t.Fatalf("same-seed mixes diverged at %v: %d vs %d", at, x, y)
+		}
+	}
+}

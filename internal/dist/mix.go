@@ -1,0 +1,90 @@
+package dist
+
+import (
+	"time"
+
+	"punica/internal/sim"
+)
+
+// Phase is one interval of a time-varying popularity Mix: a distribution
+// over a model-id range that holds for Length of simulated time.
+type Phase struct {
+	// Length is the phase duration. The final phase also covers every
+	// later instant, so a Mix never runs out of schedule.
+	Length time.Duration
+	// Kind selects the phase's distribution.
+	Kind Kind
+	// Alpha overrides DefaultZipfAlpha for Skewed/Zipf phases when > 1.
+	Alpha float64
+	// NumModels is the phase's population size.
+	NumModels int
+	// Offset shifts the phase's model ids, so consecutive phases can
+	// rotate the hot set (disjoint offsets) or share it (equal offsets).
+	Offset int
+}
+
+// Mix is a schedule of popularity phases — the time-varying extension
+// the Fig. 13 / autoscale experiments use to model popularity drift
+// (a hot set that rotates over the day). The zero Mix is invalid; build
+// one with at least one Phase.
+type Mix struct {
+	Phases []Phase
+}
+
+// NumModels returns the total model-id space the mix can assign:
+// the maximum Offset+NumModels over all phases.
+func (m Mix) NumModels() int {
+	max := 0
+	for _, p := range m.Phases {
+		n := p.NumModels
+		if n < 1 {
+			n = 1
+		}
+		if p.Offset+n > max {
+			max = p.Offset + n
+		}
+	}
+	return max
+}
+
+// MixAssigner draws model ids under a Mix's schedule. Like Assigner it
+// is deterministic given its RNG.
+type MixAssigner struct {
+	mix       Mix
+	ends      []time.Duration
+	assigners []*Assigner
+}
+
+// NewMixAssigner builds the runtime for a mix. It panics on an empty
+// schedule.
+func NewMixAssigner(m Mix, rng *sim.RNG) *MixAssigner {
+	if len(m.Phases) == 0 {
+		panic("dist: mix needs at least one phase")
+	}
+	ma := &MixAssigner{mix: m}
+	var at time.Duration
+	for _, p := range m.Phases {
+		at += p.Length
+		ma.ends = append(ma.ends, at)
+		if (p.Kind == Skewed || p.Kind == Zipf) && p.Alpha > 1 {
+			ma.assigners = append(ma.assigners, NewZipfAssigner(p.NumModels, p.Alpha, rng))
+		} else {
+			ma.assigners = append(ma.assigners, NewAssigner(p.Kind, p.NumModels, rng))
+		}
+	}
+	return ma
+}
+
+// AssignAt returns a model id for a request arriving at simulated time
+// t: the phase containing t assigns, shifted by its Offset. Times past
+// the schedule fall into the final phase.
+func (ma *MixAssigner) AssignAt(t time.Duration) int {
+	i := len(ma.ends) - 1
+	for j, end := range ma.ends {
+		if t < end {
+			i = j
+			break
+		}
+	}
+	return ma.mix.Phases[i].Offset + ma.assigners[i].Assign()
+}

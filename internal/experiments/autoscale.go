@@ -6,7 +6,6 @@ import (
 
 	"punica/internal/cluster"
 	"punica/internal/core"
-	"punica/internal/dist"
 	"punica/internal/hw"
 	"punica/internal/models"
 	"punica/internal/workload"
@@ -32,14 +31,7 @@ type AutoscaleResult struct {
 // "easier decisions to scale up/down the GPU cluster" — becomes
 // measurable as GPU-seconds saved at bounded latency cost.
 func Autoscale(opts Fig13Options) (*AutoscaleResult, error) {
-	trace := func() []workload.Request {
-		profile := workload.Trapezoid{
-			Peak: opts.Peak, RampUp: opts.RampUp, Hold: opts.Hold, RampDown: opts.RampDown,
-		}
-		gen := workload.NewGenerator(dist.Skewed, workload.ClusterLengths(), opts.Seed)
-		numModels := dist.NumModels(dist.Skewed, int(opts.Peak*profile.Horizon().Seconds()/2))
-		return gen.Poisson(profile.Rate, opts.Peak, profile.Horizon(), numModels)
-	}
+	trace := func() []workload.Request { return fig13Trace(opts) }
 	engine := core.Config{
 		System: core.PunicaSystem(),
 		GPU:    hw.A100(),

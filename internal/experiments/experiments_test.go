@@ -8,6 +8,7 @@ import (
 	"punica/internal/dist"
 	"punica/internal/hw"
 	"punica/internal/models"
+	"punica/internal/workload"
 )
 
 func TestFig1Shapes(t *testing.T) {
@@ -496,5 +497,57 @@ func TestAutoscaleExperiment(t *testing.T) {
 	}
 	if !strings.Contains(FormatAutoscale(res), "GPU-seconds") {
 		t.Error("format malformed")
+	}
+}
+
+func TestFig13PopularityDrift(t *testing.T) {
+	opts := Fig13Options{
+		NumGPUs:  4,
+		Peak:     3,
+		RampUp:   3 * time.Minute,
+		Hold:     time.Minute,
+		RampDown: 3 * time.Minute,
+		BinWidth: 30 * time.Second,
+		Seed:     9,
+
+		HotSetRotations: 3,
+		ZipfAlpha:       2,
+	}
+	res, err := Fig13(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finished != int64(res.Requests) || res.Requests == 0 {
+		t.Fatalf("finished %d/%d under popularity drift", res.Finished, res.Requests)
+	}
+	// Drift must actually change the trace relative to the static run:
+	// same arrival process (identical rng consumption), but later
+	// phases assign model ids beyond the static population.
+	static := opts
+	static.HotSetRotations = 0
+	static.ZipfAlpha = 0
+	driftTrace, staticTrace := fig13Trace(opts), fig13Trace(static)
+	if len(driftTrace) != len(staticTrace) {
+		t.Fatalf("drift changed arrival count: %d vs %d", len(driftTrace), len(staticTrace))
+	}
+	maxModel := func(reqs []workload.Request) int64 {
+		var m int64
+		for _, r := range reqs {
+			if r.Model > m {
+				m = r.Model
+			}
+		}
+		return m
+	}
+	if maxModel(driftTrace) <= maxModel(staticTrace) {
+		t.Fatalf("hot-set rotation assigned no offset models: drift max %d, static max %d",
+			maxModel(driftTrace), maxModel(staticTrace))
+	}
+	sres, err := Fig13(static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Requests != res.Requests {
+		t.Fatalf("drift changed arrival count: %d vs %d", res.Requests, sres.Requests)
 	}
 }

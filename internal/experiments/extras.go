@@ -329,12 +329,8 @@ func AblationMigration(opts Fig13Options) (*MigrationAblation, error) {
 		return nil, err
 	}
 	// Re-run without migration by driving the cluster directly.
-	profile := workload.Trapezoid{
-		Peak: opts.Peak, RampUp: opts.RampUp, Hold: opts.Hold, RampDown: opts.RampDown,
-	}
-	gen := workload.NewGenerator(dist.Skewed, workload.ClusterLengths(), opts.Seed)
-	numModels := dist.NumModels(dist.Skewed, int(opts.Peak*profile.Horizon().Seconds()/2))
-	reqs := gen.Poisson(profile.Rate, opts.Peak, profile.Horizon(), numModels)
+	profile := opts.trapezoid()
+	reqs := fig13Trace(opts)
 	c := cluster.New(cluster.Config{
 		NumGPUs: opts.NumGPUs,
 		Engine: core.Config{

@@ -24,6 +24,55 @@ type Fig13Options struct {
 	RampDown time.Duration
 	BinWidth time.Duration
 	Seed     int64
+
+	// ZipfAlpha overrides the Skewed popularity decay when > 1 (the
+	// paper uses 1.5).
+	ZipfAlpha float64
+	// HotSetRotations > 1 splits the horizon into that many popularity
+	// phases with disjoint hot sets (popularity drift): adapters go
+	// cold mid-run and a fresh set heats up, stressing the adapter
+	// stores and the autoscaler. 0 or 1 keeps the paper's static
+	// population.
+	HotSetRotations int
+}
+
+// trapezoid returns the load profile the options describe.
+func (o Fig13Options) trapezoid() workload.Trapezoid {
+	return workload.Trapezoid{
+		Peak: o.Peak, RampUp: o.RampUp, Hold: o.Hold, RampDown: o.RampDown,
+	}
+}
+
+// fig13Trace builds the §7.3 request trace: Poisson arrivals over the
+// trapezoidal profile with Zipf popularity — static by default, or a
+// rotating hot set when HotSetRotations asks for drift.
+func fig13Trace(opts Fig13Options) []workload.Request {
+	profile := opts.trapezoid()
+	horizon := profile.Horizon()
+	gen := workload.NewGenerator(dist.Skewed, workload.ClusterLengths(), opts.Seed)
+	numModels := dist.NumModels(dist.Skewed, int(opts.Peak*horizon.Seconds()/2))
+	alpha := opts.ZipfAlpha
+	if alpha <= 1 {
+		alpha = dist.DefaultZipfAlpha
+	}
+	rotations := opts.HotSetRotations
+	if rotations <= 1 {
+		if alpha == dist.DefaultZipfAlpha {
+			return gen.Poisson(profile.Rate, opts.Peak, horizon, numModels)
+		}
+		rotations = 1
+	}
+	phases := make([]dist.Phase, rotations)
+	for i := range phases {
+		phases[i] = dist.Phase{
+			Length:    horizon / time.Duration(rotations),
+			Kind:      dist.Zipf,
+			Alpha:     alpha,
+			NumModels: numModels,
+			Offset:    i * numModels,
+		}
+	}
+	return gen.PoissonMix(profile.Rate, opts.Peak, horizon, dist.Mix{Phases: phases})
 }
 
 // DefaultFig13Options returns the paper-scale configuration.
@@ -64,13 +113,8 @@ type Fig13Result struct {
 
 // Fig13 runs the cluster deployment experiment.
 func Fig13(opts Fig13Options) (*Fig13Result, error) {
-	profile := workload.Trapezoid{
-		Peak: opts.Peak, RampUp: opts.RampUp, Hold: opts.Hold, RampDown: opts.RampDown,
-	}
-	horizon := profile.Horizon()
-	gen := workload.NewGenerator(dist.Skewed, workload.ClusterLengths(), opts.Seed)
-	numModels := dist.NumModels(dist.Skewed, int(opts.Peak*horizon.Seconds()/2))
-	reqs := gen.Poisson(profile.Rate, opts.Peak, horizon, numModels)
+	horizon := opts.trapezoid().Horizon()
+	reqs := fig13Trace(opts)
 
 	c := cluster.New(cluster.Config{
 		NumGPUs: opts.NumGPUs,

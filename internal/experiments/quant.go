@@ -27,6 +27,11 @@ type QuantPoint struct {
 // stream faster (decode is weight-bound) and free HBM for KvCache
 // (fewer evictions/migrations); quantized KvCache cuts attention traffic
 // and doubles resident tokens again.
+//
+// The adapter store is sized below the Skewed model population so the
+// run also exercises §5.2 store pressure: warm adapters are LRU-evicted
+// and placements stall (and requeue) when every resident adapter is
+// pinned.
 func AblationQuantization(numRequests int, seed int64) ([]QuantPoint, error) {
 	if numRequests <= 0 {
 		numRequests = 150
@@ -51,7 +56,7 @@ func AblationQuantization(numRequests int, seed int64) ([]QuantPoint, error) {
 				Rank:            models.DefaultLoRARank,
 				WeightPrecision: combo.w,
 				KVPrecision:     combo.kv,
-				LoRAStoreBytes:  2 << 30, // ~13 adapters resident; plenty
+				LoRAStoreBytes:  400 << 20, // ~5 of the 8 Skewed adapters fit
 			},
 		})
 		res, err := c.Run(reqs)

@@ -1,6 +1,7 @@
 package lora
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -151,6 +152,91 @@ func TestStorePinnedAdaptersSurvive(t *testing.T) {
 	}
 	if s.Resident(1) {
 		t.Fatal("released adapter 1 should have been evicted for 3")
+	}
+}
+
+func TestStoreFullErrorIsSentinel(t *testing.T) {
+	reg := NewRegistry(models.Llama2_7B(), 16)
+	s := NewStore(reg, hw.PCIeGen4x16(), reg.Ensure(0).Bytes())
+	if _, err := s.Acquire(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Acquire(2, 0)
+	if !errors.Is(err, ErrStoreFull) {
+		t.Fatalf("pinned-full acquire = %v, want ErrStoreFull", err)
+	}
+	// An adapter that can never fit is a configuration error, not
+	// transient backpressure.
+	tiny := NewStore(reg, hw.PCIeGen4x16(), 100)
+	if _, err := tiny.Acquire(1, 0); errors.Is(err, ErrStoreFull) {
+		t.Fatal("oversized adapter must not report ErrStoreFull")
+	}
+}
+
+func TestStorePinAccounting(t *testing.T) {
+	reg := NewRegistry(models.Llama2_7B(), 16)
+	bytes := reg.Ensure(0).Bytes()
+	s := NewStore(reg, hw.PCIeGen4x16(), 3*bytes)
+
+	if _, err := s.Acquire(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Acquire(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.PinnedBytes() != 2*bytes {
+		t.Fatalf("pinned = %d, want %d", s.PinnedBytes(), 2*bytes)
+	}
+	// A second pin on the same adapter adds a reference, not bytes.
+	if _, err := s.Acquire(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.PinnedBytes() != 2*bytes {
+		t.Fatalf("double pin changed pinned bytes: %d", s.PinnedBytes())
+	}
+	s.Release(1)
+	if s.PinnedBytes() != 2*bytes {
+		t.Fatal("adapter 1 still referenced; pinned bytes must not drop")
+	}
+	s.Release(1)
+	s.Release(2)
+	if s.PinnedBytes() != 0 {
+		t.Fatalf("pins leaked after releases: %d bytes", s.PinnedBytes())
+	}
+	// Over-release must not drive the accounting negative.
+	s.Release(1)
+	if s.PinnedBytes() != 0 {
+		t.Fatalf("over-release corrupted pinned bytes: %d", s.PinnedBytes())
+	}
+	// Both adapters stay warm and evictable.
+	if s.UsedBytes() != 2*bytes {
+		t.Fatalf("used = %d, want warm residents kept", s.UsedBytes())
+	}
+}
+
+func TestStoreCanAcquire(t *testing.T) {
+	reg := NewRegistry(models.Llama2_7B(), 16)
+	bytes := reg.Ensure(0).Bytes()
+	s := NewStore(reg, hw.PCIeGen4x16(), 2*bytes)
+
+	if !s.CanAcquire(1) {
+		t.Fatal("empty store must accept any fitting adapter")
+	}
+	if _, err := s.Acquire(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Acquire(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.CanAcquire(3) {
+		t.Fatal("all pinned: a third adapter cannot be acquired")
+	}
+	if !s.CanAcquire(1) {
+		t.Fatal("resident adapters are always acquirable")
+	}
+	s.Release(2)
+	if !s.CanAcquire(3) {
+		t.Fatal("unpinned adapter 2 should be evictable for 3")
 	}
 }
 

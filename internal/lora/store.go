@@ -2,11 +2,18 @@ package lora
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"time"
 
 	"punica/internal/hw"
 )
+
+// ErrStoreFull reports that an adapter could not be loaded because every
+// resident adapter is pinned by a running or queued request. It is
+// transient backpressure, not a fatal condition: schedulers match it
+// with errors.Is and requeue the request until pins release.
+var ErrStoreFull = errors.New("store full and all adapters pinned")
 
 // Store is a per-GPU LoRA weight cache implementing §5.2's on-demand
 // loading: "When a request is newly added to a GPU, if its LoRA model is
@@ -25,6 +32,7 @@ type Store struct {
 	capacity int64
 
 	used    int64
+	pinned  int64 // bytes held by entries with refs > 0
 	entries map[ModelID]*entry
 	lru     *list.List // front = most recently used
 
@@ -67,6 +75,9 @@ func NewStore(reg *Registry, link hw.Link, capacityBytes int64) *Store {
 func (s *Store) Acquire(id ModelID, now time.Duration) (time.Duration, error) {
 	if e, ok := s.entries[id]; ok {
 		s.Hits++
+		if e.refs == 0 {
+			s.pinned += e.bytes
+		}
 		e.refs++
 		s.lru.MoveToFront(e.elem)
 		if e.readyAt > now {
@@ -85,8 +96,22 @@ func (s *Store) Acquire(id ModelID, now time.Duration) (time.Duration, error) {
 	e.elem = s.lru.PushFront(e)
 	s.entries[id] = e
 	s.used += bytes
+	s.pinned += bytes
 	s.BytesIn += bytes
 	return readyAt, nil
+}
+
+// CanAcquire reports whether Acquire would succeed for adapter id right
+// now: the adapter is resident, or enough unpinned bytes can be evicted
+// to make room. The scheduler itself learns this by attempting Enqueue
+// and matching ErrStoreFull; CanAcquire is for drivers and diagnostics
+// that want the answer without committing a pin.
+func (s *Store) CanAcquire(id ModelID) bool {
+	if _, ok := s.entries[id]; ok {
+		return true
+	}
+	need := s.reg.Ensure(id).Bytes()
+	return need <= s.capacity && s.pinned+need <= s.capacity
 }
 
 // Release unpins one reference on adapter id. The adapter stays resident
@@ -98,6 +123,9 @@ func (s *Store) Release(id ModelID) {
 	}
 	if e.refs > 0 {
 		e.refs--
+		if e.refs == 0 {
+			s.pinned -= e.bytes
+		}
 	}
 }
 
@@ -110,6 +138,11 @@ func (s *Store) Resident(id ModelID) bool {
 // UsedBytes returns the bytes held by resident adapters.
 func (s *Store) UsedBytes() int64 { return s.used }
 
+// PinnedBytes returns the bytes held by adapters pinned by at least one
+// request. It must return to zero once every request has completed; a
+// nonzero value at quiescence is a pin leak.
+func (s *Store) PinnedBytes() int64 { return s.pinned }
+
 // Len returns the number of resident adapters.
 func (s *Store) Len() int { return len(s.entries) }
 
@@ -120,8 +153,8 @@ func (s *Store) makeRoom(need int64) error {
 	for s.used+need > s.capacity {
 		victim := s.oldestUnpinned()
 		if victim == nil {
-			return fmt.Errorf("lora: store full (%d/%d bytes) and all adapters pinned",
-				s.used, s.capacity)
+			return fmt.Errorf("lora: %w (%d/%d bytes resident, %d pinned)",
+				ErrStoreFull, s.used, s.capacity, s.pinned)
 		}
 		s.lru.Remove(victim.elem)
 		delete(s.entries, victim.id)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"punica/internal/core"
+	"punica/internal/lora"
 )
 
 // Client drives one remote runner over HTTP and satisfies sched.Worker,
@@ -60,6 +61,12 @@ func (c *Client) postJSON(path string, in, out any) error {
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		err := fmt.Errorf("remote: %s -> %d: %s", path, resp.StatusCode, bytes.TrimSpace(msg))
+		// Re-materialise adapter-store backpressure so errors.Is works
+		// across the wire and the scheduler requeues.
+		if resp.StatusCode == http.StatusServiceUnavailable &&
+			bytes.Contains(msg, []byte(lora.ErrStoreFull.Error())) {
+			err = fmt.Errorf("remote: %s: %w", path, lora.ErrStoreFull)
+		}
 		c.setErr(err)
 		return err
 	}

@@ -2,6 +2,7 @@ package remote
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"punica/internal/core"
+	"punica/internal/lora"
 )
 
 // Runner hosts one GPU engine behind the runner HTTP API. It paces
@@ -174,7 +176,13 @@ func (r *Runner) handleEnqueue(w http.ResponseWriter, req *http.Request) {
 	}
 	if err := r.eng.Enqueue(cr, r.simNow()); err != nil {
 		r.dropStream(cr.ID)
-		http.Error(w, err.Error(), http.StatusConflict)
+		// Adapter-store backpressure is transient: report 503 so the
+		// remote scheduler requeues instead of failing the request.
+		status := http.StatusConflict
+		if errors.Is(err, lora.ErrStoreFull) {
+			status = http.StatusServiceUnavailable
+		}
+		http.Error(w, err.Error(), status)
 		return
 	}
 	r.cond.Broadcast()

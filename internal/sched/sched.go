@@ -7,10 +7,12 @@
 package sched
 
 import (
+	"errors"
 	"sort"
 	"time"
 
 	"punica/internal/core"
+	"punica/internal/lora"
 )
 
 // Worker is the scheduler's view of one GPU runner: everything §5.1/§5.3
@@ -60,6 +62,11 @@ type Stats struct {
 	Dispatched int64
 	Queued     int64
 	Migrations int64
+	// AdapterStalls counts placements rejected because the target's
+	// adapter store was full with every resident adapter pinned (§5.2
+	// backpressure). The request waits on the FCFS queue until running
+	// requests finish and release their pins.
+	AdapterStalls int64
 }
 
 // New builds a scheduler over the given GPUs.
@@ -107,25 +114,53 @@ func (s *Scheduler) Stats() Stats { return s.stats }
 // QueueLen returns the number of requests waiting for capacity.
 func (s *Scheduler) QueueLen() int { return len(s.queue) }
 
-// pick returns the routing target for r: among GPUs that satisfy both
-// §5.1 constraints, the one with the largest working set; ties go to the
-// highest UUID. nil when every GPU is full.
-func (s *Scheduler) pick(r *core.Request) *GPU {
-	var best *GPU
+// candidates returns the GPUs that satisfy both §5.1 constraints for r,
+// best first: largest working set, ties broken by highest UUID. exclude
+// (when non-nil) is skipped. Working sets are snapshotted once per GPU:
+// for remote workers WorkingSet is a network round trip, and a stable
+// sort needs a consistent ordering.
+func (s *Scheduler) candidates(r *core.Request, exclude *GPU) []*GPU {
+	var fit []*GPU
+	load := make(map[*GPU]int)
 	for _, g := range s.gpus {
-		if !g.Engine.CanAdmit(r) {
+		if g == exclude || !g.Engine.CanAdmit(r) {
 			continue
 		}
-		if best == nil {
-			best = g
-			continue
-		}
-		bw, gw := best.Engine.WorkingSet(), g.Engine.WorkingSet()
-		if gw > bw || (gw == bw && g.UUID > best.UUID) {
-			best = g
-		}
+		fit = append(fit, g)
+		load[g] = g.Engine.WorkingSet()
 	}
-	return best
+	sort.SliceStable(fit, func(i, j int) bool {
+		if load[fit[i]] != load[fit[j]] {
+			return load[fit[i]] > load[fit[j]]
+		}
+		return fit[i].UUID > fit[j].UUID
+	})
+	return fit
+}
+
+// tryPlace enqueues r on the best admitting GPU, falling through to the
+// next candidate when a GPU's adapter store is full with all adapters
+// pinned (§5.2 backpressure). It returns (nil, nil) when no GPU can take
+// the request — the caller queues it — and counts an AdapterStall when
+// at least one GPU had batch and KvCache room but no adapter-store room.
+func (s *Scheduler) tryPlace(r *core.Request, exclude *GPU, now time.Duration) (*GPU, error) {
+	stalled := false
+	for _, g := range s.candidates(r, exclude) {
+		err := g.Engine.Enqueue(r, now)
+		if err == nil {
+			s.stats.Dispatched++
+			return g, nil
+		}
+		if errors.Is(err, lora.ErrStoreFull) {
+			stalled = true
+			continue
+		}
+		return nil, err
+	}
+	if stalled {
+		s.stats.AdapterStalls++
+	}
+	return nil, nil
 }
 
 // Dispatch routes a new request: to a GPU when one has capacity,
@@ -139,16 +174,15 @@ func (s *Scheduler) Dispatch(r *core.Request, now time.Duration) (*GPU, error) {
 		s.stats.Queued++
 		return nil, nil
 	}
-	g := s.pick(r)
+	g, err := s.tryPlace(r, nil, now)
+	if err != nil {
+		return nil, err
+	}
 	if g == nil {
 		s.queue = append(s.queue, r)
 		s.stats.Queued++
 		return nil, nil
 	}
-	if err := g.Engine.Enqueue(r, now); err != nil {
-		return nil, err
-	}
-	s.stats.Dispatched++
 	return g, nil
 }
 
@@ -165,17 +199,17 @@ type Placement struct {
 func (s *Scheduler) DrainQueue(now time.Duration) ([]Placement, error) {
 	var placed []Placement
 	for len(s.queue) > 0 {
-		g := s.pick(s.queue[0])
-		if g == nil {
-			break
-		}
-		r := s.queue[0]
-		s.queue = s.queue[1:]
-		if err := g.Engine.Enqueue(r, now); err != nil {
+		g, err := s.tryPlace(s.queue[0], nil, now)
+		if err != nil {
 			return placed, err
 		}
-		s.stats.Dispatched++
-		placed = append(placed, Placement{Request: r, GPU: g})
+		if g == nil {
+			// No capacity (or adapter stores saturated): the head stays
+			// queued, preserving FCFS, until a completion frees room.
+			break
+		}
+		placed = append(placed, Placement{Request: s.queue[0], GPU: g})
+		s.queue = s.queue[1:]
 	}
 	return placed, nil
 }
@@ -185,15 +219,21 @@ func (s *Scheduler) DrainQueue(now time.Duration) ([]Placement, error) {
 // must not land back on the GPU it was just evicted from.
 func (s *Scheduler) Reschedule(r *core.Request, from *GPU, now time.Duration) (*GPU, error) {
 	if len(s.queue) == 0 {
-		if g := s.pickExcluding(r, from); g != nil {
-			if err := g.Engine.Enqueue(r, now); err != nil {
-				return nil, err
-			}
-			s.stats.Dispatched++
+		g, err := s.tryPlace(r, from, now)
+		if err != nil {
+			return nil, err
+		}
+		if g != nil {
 			s.stats.Migrations++
 			return g, nil
 		}
 	}
+	s.enqueueFCFS(r)
+	return nil, nil
+}
+
+// enqueueFCFS inserts r into the wait queue in arrival order.
+func (s *Scheduler) enqueueFCFS(r *core.Request) {
 	s.queue = append(s.queue, r)
 	sort.SliceStable(s.queue, func(i, j int) bool {
 		if s.queue[i].Arrival != s.queue[j].Arrival {
@@ -202,25 +242,6 @@ func (s *Scheduler) Reschedule(r *core.Request, from *GPU, now time.Duration) (*
 		return s.queue[i].ID < s.queue[j].ID
 	})
 	s.stats.Queued++
-	return nil, nil
-}
-
-func (s *Scheduler) pickExcluding(r *core.Request, exclude *GPU) *GPU {
-	var best *GPU
-	for _, g := range s.gpus {
-		if g == exclude || !g.Engine.CanAdmit(r) {
-			continue
-		}
-		if best == nil {
-			best = g
-			continue
-		}
-		bw, gw := best.Engine.WorkingSet(), g.Engine.WorkingSet()
-		if gw > bw || (gw == bw && g.UUID > best.UUID) {
-			best = g
-		}
-	}
-	return best
 }
 
 // Consolidate migrates requests away from lightly-loaded GPUs onto busier
@@ -250,18 +271,30 @@ func (s *Scheduler) Consolidate(now time.Duration) int {
 				break
 			}
 			dst := s.busierTarget(victim, src)
-			if dst == nil {
-				// Nothing can take it: put it back and stop.
-				if err := src.Engine.Enqueue(victim, now); err != nil {
+			if dst != nil {
+				err := dst.Engine.Enqueue(victim, now)
+				if err == nil {
+					moved++
+					s.stats.Migrations++
+					continue
+				}
+				if !errors.Is(err, lora.ErrStoreFull) {
+					panic("sched: consolidation enqueue failed: " + err.Error())
+				}
+				// Destination store saturated: treat as no destination.
+				s.stats.AdapterStalls++
+			}
+			// Nothing can take it: put it back and stop. The victim's
+			// adapter is still resident on the source, so re-acquiring
+			// cannot hit store backpressure; queue it if it somehow does.
+			if err := src.Engine.Enqueue(victim, now); err != nil {
+				if !errors.Is(err, lora.ErrStoreFull) {
 					panic("sched: re-enqueue on source failed: " + err.Error())
 				}
-				break
+				s.stats.AdapterStalls++
+				s.enqueueFCFS(victim)
 			}
-			if err := dst.Engine.Enqueue(victim, now); err != nil {
-				panic("sched: consolidation enqueue failed: " + err.Error())
-			}
-			moved++
-			s.stats.Migrations++
+			break
 		}
 	}
 	return moved

@@ -269,3 +269,85 @@ func TestAddRemoveGPU(t *testing.T) {
 		t.Fatal("GPU list inconsistent after removal")
 	}
 }
+
+// tinyStoreGPUs builds GPUs whose adapter store holds exactly `adapters`
+// rank-16 7B adapters, so store backpressure is easy to provoke.
+func tinyStoreGPUs(t *testing.T, n, maxBatch, adapters int) []*GPU {
+	t.Helper()
+	bytes := models.Llama2_7B().LoRABytes(16)
+	var gpus []*GPU
+	for i := 0; i < n; i++ {
+		sys := core.PunicaSystem()
+		sys.MaxBatch = maxBatch
+		e := core.NewEngine(core.Config{
+			System:         sys,
+			GPU:            hw.A100(),
+			Model:          models.Llama2_7B(),
+			Rank:           16,
+			LoRAStoreBytes: int64(adapters) * bytes,
+		})
+		gpus = append(gpus, &GPU{UUID: fmt.Sprintf("gpu-%02d", i), Engine: e})
+	}
+	return gpus
+}
+
+func TestDispatchRequeuesOnAdapterStoreFull(t *testing.T) {
+	gpus := tinyStoreGPUs(t, 1, 8, 1)
+	s := New(gpus)
+	a := &core.Request{ID: 1, Model: 1, PromptLen: 10, OutputLen: 5}
+	b := &core.Request{ID: 2, Model: 2, PromptLen: 10, OutputLen: 5, Arrival: time.Millisecond}
+	if g, err := s.Dispatch(a, 0); err != nil || g != gpus[0] {
+		t.Fatalf("dispatch a: g=%v err=%v", g, err)
+	}
+	// Model 2 cannot load: model 1 is pinned and fills the store. The
+	// request must queue with a stall, not fail the runner.
+	g, err := s.Dispatch(b, 0)
+	if err != nil {
+		t.Fatalf("store-full dispatch must not error: %v", err)
+	}
+	if g != nil {
+		t.Fatal("store-full dispatch must queue, not place")
+	}
+	if s.QueueLen() != 1 || s.Stats().AdapterStalls != 1 {
+		t.Fatalf("queue=%d stalls=%d, want 1/1", s.QueueLen(), s.Stats().AdapterStalls)
+	}
+	// Finishing request 1 releases the pin; the drain places request 2.
+	if gpus[0].Engine.Cancel(1, 0) == nil {
+		t.Fatal("cancel failed")
+	}
+	placed, err := s.DrainQueue(time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(placed) != 1 || placed[0].Request != b {
+		t.Fatalf("drain placed %v, want request 2", placed)
+	}
+}
+
+func TestDrainQueueStallsPreserveFCFS(t *testing.T) {
+	gpus := tinyStoreGPUs(t, 1, 8, 1)
+	s := New(gpus)
+	r1 := &core.Request{ID: 1, Model: 1, PromptLen: 10, OutputLen: 5}
+	r2 := &core.Request{ID: 2, Model: 2, PromptLen: 10, OutputLen: 5, Arrival: time.Millisecond}
+	r3 := &core.Request{ID: 3, Model: 1, PromptLen: 10, OutputLen: 5, Arrival: 2 * time.Millisecond}
+	if _, err := s.Dispatch(r1, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []*core.Request{r2, r3} {
+		if g, err := s.Dispatch(r, r.Arrival); err != nil || g != nil {
+			t.Fatalf("dispatch %d: g=%v err=%v", r.ID, g, err)
+		}
+	}
+	// Request 3's adapter is resident, but request 2 heads the queue and
+	// cannot load — FCFS means nothing may overtake it.
+	placed, err := s.DrainQueue(3 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(placed) != 0 {
+		t.Fatalf("drain overtook a stalled queue head: %v", placed)
+	}
+	if s.QueueLen() != 2 {
+		t.Fatalf("queue = %d, want both requests still waiting", s.QueueLen())
+	}
+}

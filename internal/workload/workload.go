@@ -117,10 +117,22 @@ func (g *Generator) Batch(n int) []Request {
 // maxRate (an upper bound of rate over the horizon). numModels sizes the
 // popularity population.
 func (g *Generator) Poisson(rate func(time.Duration) float64, maxRate float64, horizon time.Duration, numModels int) []Request {
+	// A static distribution is a one-phase mix; the rng consumption is
+	// identical, so static and drifting traces share arrival processes.
+	return g.PoissonMix(rate, maxRate, horizon, dist.Mix{Phases: []dist.Phase{
+		{Length: horizon, Kind: g.Kind, NumModels: numModels},
+	}})
+}
+
+// PoissonMix is Poisson with a time-varying popularity mix: each
+// arrival's model is drawn from the mix phase covering its arrival time,
+// so the hot set can drift over the horizon (the Fig. 13 / autoscale
+// extension scenario). The generator's own Kind is ignored.
+func (g *Generator) PoissonMix(rate func(time.Duration) float64, maxRate float64, horizon time.Duration, mix dist.Mix) []Request {
 	if maxRate <= 0 {
 		return nil
 	}
-	assigner := dist.NewAssigner(g.Kind, numModels, g.rng)
+	assigner := dist.NewMixAssigner(mix, g.rng)
 	var reqs []Request
 	t := time.Duration(0)
 	for {
@@ -130,17 +142,21 @@ func (g *Generator) Poisson(rate func(time.Duration) float64, maxRate float64, h
 			break
 		}
 		if g.rng.Float64() <= rate(t)/maxRate {
-			reqs = append(reqs, g.sample(assigner, t))
+			reqs = append(reqs, g.sampleModel(int64(assigner.AssignAt(t)), t))
 		}
 	}
 	return reqs
 }
 
 func (g *Generator) sample(assigner *dist.Assigner, at time.Duration) Request {
+	return g.sampleModel(int64(assigner.Assign()), at)
+}
+
+func (g *Generator) sampleModel(model int64, at time.Duration) Request {
 	g.nextID++
 	return Request{
 		ID:        g.nextID,
-		Model:     int64(assigner.Assign()),
+		Model:     model,
 		PromptLen: g.Lengths.SamplePrompt(g.rng),
 		OutputLen: g.Lengths.SampleOutput(g.rng),
 		Arrival:   at,

@@ -183,3 +183,47 @@ func TestPoissonZeroMaxRate(t *testing.T) {
 		t.Fatal("zero max rate should produce no requests")
 	}
 }
+
+func TestPoissonMixRotatesModels(t *testing.T) {
+	g := NewGenerator(dist.Skewed, ShareGPTLengths(), 14)
+	const rate = 5.0
+	horizon := 1000 * time.Second
+	mix := dist.Mix{Phases: []dist.Phase{
+		{Length: horizon / 2, Kind: dist.Skewed, NumModels: 8, Offset: 0},
+		{Length: horizon / 2, Kind: dist.Skewed, NumModels: 8, Offset: 8},
+	}}
+	reqs := g.PoissonMix(func(time.Duration) float64 { return rate }, rate, horizon, mix)
+	got := float64(len(reqs)) / horizon.Seconds()
+	if math.Abs(got-rate)/rate > 0.1 {
+		t.Errorf("PoissonMix rate = %.2f req/s, want ~%.1f", got, rate)
+	}
+	for _, r := range reqs {
+		early := r.Arrival < horizon/2
+		if early && (r.Model < 0 || r.Model >= 8) {
+			t.Fatalf("first-phase request at %v uses model %d, want [0,8)", r.Arrival, r.Model)
+		}
+		if !early && (r.Model < 8 || r.Model >= 16) {
+			t.Fatalf("second-phase request at %v uses model %d, want [8,16)", r.Arrival, r.Model)
+		}
+	}
+}
+
+func TestPoissonMixDeterministic(t *testing.T) {
+	mix := dist.Mix{Phases: []dist.Phase{
+		{Length: time.Minute, Kind: dist.Uniform, NumModels: 4},
+		{Length: time.Minute, Kind: dist.Zipf, Alpha: 2, NumModels: 4, Offset: 4},
+	}}
+	run := func() []Request {
+		g := NewGenerator(dist.Skewed, ShareGPTLengths(), 15)
+		return g.PoissonMix(func(time.Duration) float64 { return 3 }, 3, 2*time.Minute, mix)
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths diverged: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d", i)
+		}
+	}
+}

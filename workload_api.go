@@ -30,8 +30,30 @@ const (
 	Identical = dist.Identical
 )
 
+// Zipf is the parameterized extension of Skewed: the same geometric
+// popularity law with a caller-chosen decay α.
+const Zipf = dist.Zipf
+
+// DefaultZipfAlpha is the paper's Skewed decay (1.5).
+const DefaultZipfAlpha = dist.DefaultZipfAlpha
+
 // Distributions lists all four in the paper's plotting order.
 var Distributions = dist.Kinds
+
+// ParseDistribution resolves a distribution from its name ("Distinct",
+// "Uniform", "Skewed", "Identical", "Zipf").
+func ParseDistribution(name string) (Distribution, error) { return dist.ParseKind(name) }
+
+// DistributionModels returns the model population backing n requests
+// under a distribution.
+func DistributionModels(kind Distribution, n int) int { return dist.NumModels(kind, n) }
+
+// PopularityPhase is one interval of a time-varying popularity schedule.
+type PopularityPhase = dist.Phase
+
+// PopularityMix is a schedule of popularity phases — e.g. a hot set that
+// rotates over the day. Feed it to Generator.PoissonMix.
+type PopularityMix = dist.Mix
 
 // ShareGPTLengths returns the synthetic ShareGPT-like length sampler
 // calibrated to §7.2 (1000 requests ≈ 101k generated tokens).
