@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt check bench
+.PHONY: all build test race vet fmt check bench
 
 all: check
 
@@ -9,6 +9,9 @@ build:
 
 test:
 	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...

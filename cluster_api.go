@@ -2,6 +2,7 @@ package punica
 
 import (
 	"punica/internal/cluster"
+	"punica/internal/core"
 	"punica/internal/sched"
 )
 
@@ -28,11 +29,52 @@ type AutoscaleConfig = cluster.AutoscaleConfig
 type AutoscaleStats = cluster.AutoscaleStats
 
 // Scheduler is Punica's cluster scheduler (§5.1): largest-working-set
-// routing with FCFS queueing, migration and scale hints.
+// routing with FCFS queueing, migration and scale hints, behind a
+// pluggable placement-policy framework.
 type Scheduler = sched.Scheduler
 
 // SchedGPU pairs an engine with the UUID the scheduler tie-breaks on.
 type SchedGPU = sched.GPU
 
-// NewScheduler builds a scheduler over the given GPUs.
+// NewScheduler builds a scheduler over the given GPUs with the paper's
+// §5.1 placement policy.
 func NewScheduler(gpus []*SchedGPU) *Scheduler { return sched.New(gpus) }
+
+// SchedPolicy orders the admissible GPUs a request may land on; the
+// scheduler keeps the §5.1 invariants (admission, FCFS, strictly-busier
+// consolidation) and delegates preference order to the policy.
+type SchedPolicy = sched.Policy
+
+// SchedPolicyConfig carries the deployment facts non-paper policies
+// rank on (adapter sizes, per-adapter ranks, interconnect).
+type SchedPolicyConfig = sched.PolicyConfig
+
+// SchedCandidate pairs a GPU with the snapshot taken for one decision.
+type SchedCandidate = sched.Candidate
+
+// WorkerSnapshot is a worker's batched scheduling state (§5.1 admission
+// constraints plus §5.2 adapter-store contents).
+type WorkerSnapshot = core.Snapshot
+
+// Built-in placement policies, by the names the deployment configs and
+// CLI flags accept.
+const (
+	SchedPolicyPaper           = sched.PolicyPaper
+	SchedPolicyAdapterAffinity = sched.PolicyAdapterAffinity
+	SchedPolicyRankAware       = sched.PolicyRankAware
+)
+
+// SchedPolicyNames lists the built-in policies in comparison order.
+func SchedPolicyNames() []string { return append([]string(nil), sched.PolicyNames...) }
+
+// NewSchedulerWithPolicy builds a scheduler with an explicit placement
+// policy (nil means the paper's).
+func NewSchedulerWithPolicy(gpus []*SchedGPU, p SchedPolicy) *Scheduler {
+	return sched.NewWithPolicy(gpus, p)
+}
+
+// SchedPolicyByName resolves a built-in policy: "" or "paper",
+// "affinity", "rank".
+func SchedPolicyByName(name string, pc SchedPolicyConfig) (SchedPolicy, error) {
+	return sched.PolicyByName(name, pc)
+}

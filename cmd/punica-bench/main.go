@@ -7,7 +7,7 @@
 //
 // Experiments: fig1 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 headline
 // loading ablation-norm ablation-maxbatch ablation-pagesize
-// ablation-prefill ablation-migration all
+// ablation-prefill ablation-migration policies all
 package main
 
 import (
@@ -75,7 +75,7 @@ var allExperiments = []string{
 	"fig11", "fig12", "fig13", "headline", "loading",
 	"ablation-norm", "ablation-maxbatch", "ablation-pagesize",
 	"ablation-prefill", "ablation-migration", "ablation-quant",
-	"autoscale",
+	"autoscale", "policies",
 }
 
 func run(name string) error {
@@ -207,6 +207,19 @@ func run(name string) error {
 			return err
 		}
 		fmt.Println(experiments.FormatAutoscale(res))
+	case "policies":
+		o := experiments.DefaultPolicyCompareOptions()
+		o.Seed = *seedFlag
+		points, err := experiments.ComparePolicies(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatPolicyCompare(points))
+		if err := writeCSV(func(w io.Writer) error {
+			return experiments.PolicyCompareCSV(w, points)
+		}); err != nil {
+			return err
+		}
 	case "ablation-migration":
 		o := fig13Options()
 		if !*hourFlag {

@@ -9,9 +9,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"punica/internal/experiments"
+	"punica/internal/sched"
 )
 
 func main() {
@@ -22,10 +24,46 @@ func main() {
 	rampDown := flag.Duration("ramp-down", 25*time.Minute, "ramp-down duration")
 	bin := flag.Duration("bin", time.Minute, "series bin width")
 	seed := flag.Int64("seed", 42, "workload seed")
+	policy := flag.String("policy", "paper", "placement policy: paper, affinity or rank")
 	autoscale := flag.Bool("autoscale", false, "compare fixed vs elastic (§5.1) provisioning instead")
+	policies := flag.Bool("compare-policies", false,
+		"run the policy head-to-head across workload distributions instead")
+	policyCSV := flag.String("policy-csv", "", "write the policy comparison as CSV to this file")
 	flag.Parse()
 
+	if _, err := sched.PolicyByName(*policy, sched.PolicyConfig{}); err != nil {
+		log.Fatal(err)
+	}
 	start := time.Now()
+	if *policies {
+		popts := experiments.DefaultPolicyCompareOptions()
+		// -gpus defaults to fig13's 16; only an explicit value overrides
+		// the comparison's own fleet size.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "gpus" {
+				popts.NumGPUs = *gpus
+			}
+		})
+		popts.Seed = *seed
+		rows, err := experiments.ComparePolicies(popts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.FormatPolicyCompare(rows))
+		if *policyCSV != "" {
+			f, err := os.Create(*policyCSV)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := experiments.PolicyCompareCSV(f, rows); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n", *policyCSV)
+		}
+		fmt.Printf("(ran in %v of wall time)\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 	opts := experiments.Fig13Options{
 		NumGPUs:  *gpus,
 		Peak:     *peak,
@@ -34,6 +72,7 @@ func main() {
 		RampDown: *rampDown,
 		BinWidth: *bin,
 		Seed:     *seed,
+		Policy:   *policy,
 	}
 	if *autoscale {
 		res, err := experiments.Autoscale(opts)

@@ -22,6 +22,7 @@ import (
 	"punica/internal/hw"
 	"punica/internal/models"
 	"punica/internal/remote"
+	"punica/internal/sched"
 	"punica/internal/serve"
 )
 
@@ -31,22 +32,28 @@ func main() {
 	modelName := flag.String("model", "7b", "backbone model: 7b, 13b or 70b")
 	speedup := flag.Float64("speedup", 1, "simulated-time speedup (1 = realistic pacing)")
 	rank := flag.Int("rank", models.DefaultLoRARank, "LoRA rank")
+	policy := flag.String("policy", "paper",
+		"placement policy: paper, affinity or rank")
 	runners := flag.String("runners", "",
 		"comma-separated punica-runner base URLs; enables distributed frontend mode")
 	flag.Parse()
 
-	if *runners != "" {
-		urls := strings.Split(*runners, ",")
-		f := remote.NewFrontend(urls, 0)
-		defer f.Close()
-		fmt.Printf("punica-serve (frontend): scheduling across %d remote runners, listening on %s\n",
-			len(urls), *addr)
-		log.Fatal(http.ListenAndServe(*addr, f.Handler()))
-	}
-
 	model, err := models.ByName(*modelName)
 	if err != nil {
 		log.Fatal(err)
+	}
+	pol, err := sched.PolicyByName(*policy, sched.PolicyConfig{Base: model, DefaultRank: *rank})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *runners != "" {
+		urls := strings.Split(*runners, ",")
+		f := remote.NewFrontendWithPolicy(urls, 0, pol)
+		defer f.Close()
+		fmt.Printf("punica-serve (frontend): scheduling across %d remote runners (%s policy), listening on %s\n",
+			len(urls), *policy, *addr)
+		log.Fatal(http.ListenAndServe(*addr, f.Handler()))
 	}
 	srv := serve.New(serve.Config{
 		NumGPUs: *gpus,
@@ -57,10 +64,11 @@ func main() {
 			Rank:   *rank,
 		},
 		Speedup: *speedup,
+		Policy:  *policy,
 	})
 	defer srv.Close()
 
-	fmt.Printf("punica-serve: %s on %d simulated A100s, %gx speedup, listening on %s\n",
-		model.Name, *gpus, *speedup, *addr)
+	fmt.Printf("punica-serve: %s on %d simulated A100s (%s policy), %gx speedup, listening on %s\n",
+		model.Name, *gpus, *policy, *speedup, *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

@@ -33,6 +33,15 @@ type Config struct {
 	// provisioned capacity ceiling, and the run starts with
 	// Autoscale.MinGPUs online.
 	Autoscale *AutoscaleConfig
+
+	// Policy selects the placement policy by name: "" or "paper"
+	// preserves §5.1 exactly; "affinity" and "rank" trade it for
+	// adapter locality and SGMV rank grouping (see internal/sched).
+	Policy string
+	// AdapterRank optionally assigns per-adapter LoRA ranks (forwarded
+	// to every engine and to rank-aware policy construction); nil keeps
+	// the paper's uniform Engine.Rank.
+	AdapterRank func(lora.ModelID) int
 }
 
 // Result aggregates a run.
@@ -82,6 +91,7 @@ type Cluster struct {
 	clock *sim.VirtualClock
 	sched *sched.Scheduler
 	gpus  []*runner
+	byGPU map[*sched.GPU]*runner
 
 	res          Result
 	arrivalsLeft int
@@ -104,18 +114,29 @@ func New(cfg Config) *Cluster {
 	if cfg.NumGPUs <= 0 {
 		panic("cluster: need at least one GPU")
 	}
-	c := &Cluster{cfg: cfg, clock: sim.NewVirtualClock()}
+	c := &Cluster{cfg: cfg, clock: sim.NewVirtualClock(), byGPU: make(map[*sched.GPU]*runner)}
 	var gpus []*sched.GPU
 	for i := 0; i < cfg.NumGPUs; i++ {
 		ec := cfg.Engine
 		ec.OnToken = nil
 		ec.OnFinish = nil
+		ec.AdapterRank = cfg.AdapterRank
 		eng := core.NewEngine(ec)
 		g := &sched.GPU{UUID: fmt.Sprintf("gpu-%02d", i), Engine: eng}
 		gpus = append(gpus, g)
-		c.gpus = append(c.gpus, &runner{gpu: g, eng: eng, index: i, cluster: c})
+		r := &runner{gpu: g, eng: eng, index: i, cluster: c}
+		c.gpus = append(c.gpus, r)
+		c.byGPU[g] = r
 	}
-	c.sched = sched.New(gpus)
+	policy, err := sched.PolicyByName(cfg.Policy, sched.PolicyConfig{
+		Base:        cfg.Engine.Model,
+		DefaultRank: cfg.Engine.Rank,
+		RankOf:      cfg.AdapterRank,
+	})
+	if err != nil {
+		panic("cluster: " + err.Error())
+	}
+	c.sched = sched.NewWithPolicy(gpus, policy)
 	c.res.BatchSeries = make([]metrics.TimeSeries, cfg.NumGPUs)
 	if cfg.Autoscale != nil {
 		c.setupAutoscale(*cfg.Autoscale)
@@ -210,10 +231,8 @@ func (c *Cluster) Run(reqs []workload.Request) (*Result, error) {
 }
 
 func (c *Cluster) runnerOf(g *sched.GPU) *runner {
-	for _, r := range c.gpus {
-		if r.gpu == g {
-			return r
-		}
+	if r, ok := c.byGPU[g]; ok {
+		return r
 	}
 	panic("cluster: unknown GPU")
 }

@@ -6,6 +6,7 @@ import (
 	"punica/internal/hw"
 	"punica/internal/kvcache"
 	"punica/internal/layer"
+	"punica/internal/lora"
 	"punica/internal/models"
 )
 
@@ -108,6 +109,13 @@ type Config struct {
 	LoRAStoreBytes int64
 	// HostOverhead overrides the per-invocation host cost when > 0.
 	HostOverhead time.Duration
+
+	// AdapterRank optionally assigns per-adapter LoRA ranks (id → rank);
+	// nil serves every adapter at Rank, the paper's setup. With
+	// heterogeneous ranks an invocation's SGMV pads to the largest rank
+	// in the batch, so mixed-rank batches pay the widest adapter's cost
+	// — the overhead rank-aware placement avoids.
+	AdapterRank func(lora.ModelID) int
 
 	// OnToken, if set, receives every generated token (streaming).
 	OnToken func(Token)

@@ -85,6 +85,7 @@ func NewEngine(cfg Config) *Engine {
 	}
 	if cfg.System.LoRA != LoRANone {
 		e.reg = lora.NewRegistry(cfg.Model, cfg.Rank)
+		e.reg.RankFor = cfg.AdapterRank
 		e.store = lora.NewStore(e.reg, hw.PCIeGen4x16(), int64(cfg.tp())*cfg.loraStoreBytes())
 	}
 	return e
@@ -111,6 +112,29 @@ func (e *Engine) ActiveBatch() int { return len(e.active) }
 
 // MaxBatch returns the invocation batch cap (the §5.1 limit).
 func (e *Engine) MaxBatch() int { return e.cfg.System.MaxBatch }
+
+// Snapshot returns the engine's scheduling state as one batched view:
+// the §5.1 admission constraints plus the §5.2 adapter-store contents.
+// The scheduler takes one snapshot per placement decision instead of
+// issuing per-GPU WorkingSet/CanAdmit call pairs.
+func (e *Engine) Snapshot() Snapshot {
+	s := Snapshot{
+		WorkingSet:   e.WorkingSet(),
+		ActiveBatch:  len(e.active),
+		MaxBatch:     e.cfg.System.MaxBatch,
+		FreeKVPages:  e.kv.FreePages() - e.reservedPages,
+		TotalKVPages: e.kv.TotalPages(),
+		PageSize:     e.kv.PageSize(),
+		PagedKV:      e.cfg.System.PagedKV,
+	}
+	if e.store != nil {
+		s.Adapters = e.store.Adapters()
+		s.StoreCapacityBytes = e.store.CapacityBytes()
+		s.StoreUsedBytes = e.store.UsedBytes()
+		s.StorePinnedBytes = e.store.PinnedBytes()
+	}
+	return s
+}
 
 // Busy reports whether the engine has any work.
 func (e *Engine) Busy() bool { return len(e.active) > 0 || len(e.pending) > 0 }
@@ -435,8 +459,18 @@ func (e *Engine) buildInvocation(prefills, decodes []*Request) layer.Invocation 
 		addTokens(r.Model, 1)
 	}
 	sizes := make([]int, len(segs))
+	maxRank := 0
 	for i, s := range segs {
 		sizes[i] = s.count
+		if r := e.reg.Ensure(s.model).Rank; r > maxRank {
+			maxRank = r
+		}
+	}
+	// SGMV pads every segment to the widest rank in the batch, so a
+	// mixed-rank invocation runs at the largest adapter's cost. Uniform
+	// fleets (the paper's setup) see exactly cfg.Rank here.
+	if maxRank > 0 {
+		inv.LoRARank = maxRank
 	}
 	inv.LoRASegments = sgmv.NewSegments(sizes...)
 	return inv

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"punica/internal/lora"
+)
+
+// TestSnapshotMirrorsAdmission pins the policy-framework contract:
+// Snapshot.CanAdmit must answer exactly as Engine.CanAdmit for the same
+// request at the same moment, and NoteEnqueued/NoteRemoved must keep
+// the mirrored view in lockstep with the engine through enqueues and
+// evictions.
+func TestSnapshotMirrorsAdmission(t *testing.T) {
+	cfg := punicaConfig()
+	cfg.System.MaxBatch = 4
+	cfg.KVCapacityBytes = 1 << 30
+	e := NewEngine(cfg)
+
+	check := func(r *Request, when string) {
+		t.Helper()
+		snap := e.Snapshot()
+		if got, want := snap.CanAdmit(r), e.CanAdmit(r); got != want {
+			t.Fatalf("%s: snapshot CanAdmit=%v, engine=%v (snap %+v)", when, got, want, snap)
+		}
+	}
+	probe := req(99, 1, 300, 50, 0)
+	check(probe, "fresh")
+
+	mirror := e.Snapshot()
+	var resident []*Request
+	for i := int64(1); i <= 4; i++ {
+		r := req(i, i, 200+int(i)*10, 30, time.Duration(i)*time.Millisecond)
+		if err := e.Enqueue(r, 0); err != nil {
+			t.Fatal(err)
+		}
+		mirror.NoteEnqueued(r)
+		resident = append(resident, r)
+		check(probe, "after enqueue")
+	}
+	if mirror.WorkingSet != e.WorkingSet() {
+		t.Fatalf("mirror ws=%d engine ws=%d", mirror.WorkingSet, e.WorkingSet())
+	}
+	if got := e.Snapshot(); mirror.FreeKVPages != got.FreeKVPages {
+		t.Fatalf("mirror free pages=%d engine=%d", mirror.FreeKVPages, got.FreeKVPages)
+	}
+	// Batch full: both views must refuse.
+	if e.CanAdmit(probe) || mirror.CanAdmit(probe) {
+		t.Fatal("full batch must refuse admission in both views")
+	}
+	for range resident {
+		v := e.EvictNewest(0)
+		if v == nil {
+			t.Fatal("evict returned nil")
+		}
+		mirror.NoteRemoved(v)
+		if got := e.Snapshot(); mirror.WorkingSet != got.WorkingSet || mirror.FreeKVPages != got.FreeKVPages {
+			t.Fatalf("mirror (ws=%d free=%d) diverged from engine (ws=%d free=%d)",
+				mirror.WorkingSet, mirror.FreeKVPages, got.WorkingSet, got.FreeKVPages)
+		}
+	}
+}
+
+// TestSnapshotReportsAdapters checks the §5.2 half of the snapshot:
+// resident adapters appear with rank, bytes and pin state, and the
+// byte accounting matches the store.
+func TestSnapshotReportsAdapters(t *testing.T) {
+	cfg := punicaConfig()
+	e := NewEngine(cfg)
+	if err := e.Enqueue(req(1, 7, 64, 8, 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Snapshot()
+	a, ok := snap.Adapter(7)
+	if !ok || !a.Pinned || a.Rank != cfg.Rank || a.Bytes != cfg.Model.LoRABytes(cfg.Rank) {
+		t.Fatalf("adapter state %+v (ok=%v)", a, ok)
+	}
+	if snap.StorePinnedBytes != a.Bytes {
+		t.Fatalf("pinned bytes %d, want %d", snap.StorePinnedBytes, a.Bytes)
+	}
+	if snap.StoreReclaimableBytes() != snap.StoreCapacityBytes-a.Bytes {
+		t.Fatal("reclaimable bytes must exclude pinned adapters")
+	}
+	e.Cancel(1, 0)
+	snap = e.Snapshot()
+	if a, _ := snap.Adapter(7); a.Pinned {
+		t.Fatal("cancelled request's adapter must unpin (stays warm)")
+	}
+}
+
+// TestHeterogeneousRanksPadToBatchMax pins the mixed-rank cost model:
+// batching a small-rank adapter with a large-rank one makes the SGMV
+// invocation pad to the larger rank, so the mixed batch runs slower
+// than same-rank batches — the overhead rank-aware placement avoids.
+func TestHeterogeneousRanksPadToBatchMax(t *testing.T) {
+	ranks := map[lora.ModelID]int{1: 8, 2: 64}
+	mixed := punicaConfig()
+	mixed.AdapterRank = func(id lora.ModelID) int { return ranks[id] }
+	e := NewEngine(mixed)
+	if err := e.Enqueue(req(1, 1, 64, 4, 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Enqueue(req(2, 2, 64, 4, 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Snapshot()
+	a1, _ := snap.Adapter(1)
+	a2, _ := snap.Adapter(2)
+	if a1.Rank != 8 || a2.Rank != 64 {
+		t.Fatalf("per-adapter ranks not applied: %+v %+v", a1, a2)
+	}
+	if a1.Bytes >= a2.Bytes {
+		t.Fatal("rank-8 adapter must be smaller than rank-64")
+	}
+
+	inv := e.buildInvocation(nil, []*Request{
+		{ID: 1, Model: 1, PromptLen: 64},
+		{ID: 2, Model: 2, PromptLen: 64},
+	})
+	if inv.LoRARank != 64 {
+		t.Fatalf("mixed batch rank = %d, want padding to 64", inv.LoRARank)
+	}
+	inv = e.buildInvocation(nil, []*Request{
+		{ID: 1, Model: 1, PromptLen: 64},
+	})
+	if inv.LoRARank != 8 {
+		t.Fatalf("rank-8-only batch rank = %d, want 8", inv.LoRARank)
+	}
+
+	// Uniform fleets are untouched: the invocation rank stays cfg.Rank.
+	uniform := NewEngine(punicaConfig())
+	inv = uniform.buildInvocation(nil, []*Request{{ID: 3, Model: 3, PromptLen: 64}})
+	if inv.LoRARank != punicaConfig().Rank {
+		t.Fatalf("uniform batch rank = %d, want %d", inv.LoRARank, punicaConfig().Rank)
+	}
+}

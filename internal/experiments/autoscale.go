@@ -43,6 +43,7 @@ func Autoscale(opts Fig13Options) (*AutoscaleResult, error) {
 		NumGPUs:           opts.NumGPUs,
 		Engine:            engine,
 		MigrationInterval: 10 * time.Second,
+		Policy:            opts.Policy,
 	})
 	fixedRes, err := fixed.Run(trace())
 	if err != nil {
@@ -53,6 +54,7 @@ func Autoscale(opts Fig13Options) (*AutoscaleResult, error) {
 		NumGPUs:           opts.NumGPUs,
 		Engine:            engine,
 		MigrationInterval: 10 * time.Second,
+		Policy:            opts.Policy,
 		Autoscale: &cluster.AutoscaleConfig{
 			MinGPUs:        1,
 			MaxGPUs:        opts.NumGPUs,

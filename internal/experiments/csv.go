@@ -106,6 +106,26 @@ func Fig11CSV(out io.Writer, rows11 []Fig11Row) error {
 	return writeAll(w, rows)
 }
 
+// PolicyCompareCSV writes workload,policy,throughput_tok_s,busy_frac,
+// adapter_stalls,adapter_evictions,migrations,queue_peak.
+func PolicyCompareCSV(out io.Writer, points []PolicyComparePoint) error {
+	w := csv.NewWriter(out)
+	rows := [][]string{{"workload", "policy", "throughput_tok_s", "busy_frac",
+		"adapter_stalls", "adapter_evictions", "migrations", "queue_peak"}}
+	for _, p := range points {
+		rows = append(rows, []string{
+			p.Workload, p.Policy,
+			strconv.FormatFloat(p.Throughput, 'f', 1, 64),
+			strconv.FormatFloat(p.BusyFrac, 'f', 4, 64),
+			strconv.FormatInt(p.AdapterStalls, 10),
+			strconv.FormatInt(p.AdapterEvictions, 10),
+			strconv.FormatInt(p.Migrations, 10),
+			strconv.Itoa(p.QueuePeak),
+		})
+	}
+	return writeAll(w, rows)
+}
+
 // Fig13CSV writes minute,req_per_s,tok_per_s,busy_gpus,then one batch
 // column per GPU.
 func Fig13CSV(out io.Writer, r *Fig13Result) error {

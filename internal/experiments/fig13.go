@@ -34,6 +34,9 @@ type Fig13Options struct {
 	// stores and the autoscaler. 0 or 1 keeps the paper's static
 	// population.
 	HotSetRotations int
+
+	// Policy selects the placement policy ("" = the paper's §5.1 rule).
+	Policy string
 }
 
 // trapezoid returns the load profile the options describe.
@@ -125,6 +128,7 @@ func Fig13(opts Fig13Options) (*Fig13Result, error) {
 			Rank:   models.DefaultLoRARank,
 		},
 		MigrationInterval: 10 * time.Second,
+		Policy:            opts.Policy,
 	})
 	res, err := c.Run(reqs)
 	if err != nil {

@@ -65,11 +65,17 @@ func (m *Model) Pair(layer int, proj models.Projection) sgmv.Pair {
 }
 
 // Registry is the catalogue of LoRA adapters for one base model. All
-// adapters in a registry share the base and rank, matching the paper's
-// evaluation setup (rank 16 everywhere).
+// adapters in a registry share the base and, by default, the rank,
+// matching the paper's evaluation setup (rank 16 everywhere); RankFor
+// opts into heterogeneous per-adapter ranks.
 type Registry struct {
 	Base models.Config
 	Rank int
+
+	// RankFor optionally assigns per-adapter ranks (mixed-tenant
+	// fleets). It is consulted once, on first registration; nil or a
+	// non-positive return falls back to Rank.
+	RankFor func(ModelID) int
 
 	modelsByID map[ModelID]*Model
 }
@@ -90,7 +96,13 @@ func (r *Registry) Ensure(id ModelID) *Model {
 	if m, ok := r.modelsByID[id]; ok {
 		return m
 	}
-	m := &Model{ID: id, Rank: r.Rank, Base: r.Base}
+	rank := r.Rank
+	if r.RankFor != nil {
+		if rr := r.RankFor(id); rr > 0 {
+			rank = rr
+		}
+	}
+	m := &Model{ID: id, Rank: rank, Base: r.Base}
 	r.modelsByID[id] = m
 	return m
 }

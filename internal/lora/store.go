@@ -45,6 +45,7 @@ type Store struct {
 
 type entry struct {
 	id      ModelID
+	rank    int
 	bytes   int64
 	readyAt time.Duration
 	refs    int
@@ -92,7 +93,7 @@ func (s *Store) Acquire(id ModelID, now time.Duration) (time.Duration, error) {
 		return 0, err
 	}
 	readyAt := now + s.link.TransferTime(bytes)
-	e := &entry{id: id, bytes: bytes, readyAt: readyAt, refs: 1}
+	e := &entry{id: id, rank: m.Rank, bytes: bytes, readyAt: readyAt, refs: 1}
 	e.elem = s.lru.PushFront(e)
 	s.entries[id] = e
 	s.used += bytes
@@ -134,6 +135,37 @@ func (s *Store) Resident(id ModelID) bool {
 	_, ok := s.entries[id]
 	return ok
 }
+
+// AdapterState describes one resident adapter for scheduler snapshots.
+type AdapterState struct {
+	ID     ModelID `json:"id"`
+	Rank   int     `json:"rank"`
+	Bytes  int64   `json:"bytes"`
+	Pinned bool    `json:"pinned"`
+}
+
+// Adapters returns the resident adapters, most recently used first —
+// the deterministic view placement policies rank on. The walk follows
+// the LRU list, so a snapshot costs one allocation and no sorting.
+func (s *Store) Adapters() []AdapterState {
+	if len(s.entries) == 0 {
+		return nil
+	}
+	out := make([]AdapterState, 0, len(s.entries))
+	for el := s.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		out = append(out, AdapterState{
+			ID:     e.id,
+			Rank:   e.rank,
+			Bytes:  e.bytes,
+			Pinned: e.refs > 0,
+		})
+	}
+	return out
+}
+
+// CapacityBytes returns the store's total weight budget.
+func (s *Store) CapacityBytes() int64 { return s.capacity }
 
 // UsedBytes returns the bytes held by resident adapters.
 func (s *Store) UsedBytes() int64 { return s.used }

@@ -97,7 +97,21 @@ func (c *Client) FetchState() (State, error) {
 	return st, nil
 }
 
-// CanAdmit implements sched.Worker.
+// Snapshot implements sched.Worker with a single GET /runner/state: the
+// batched view that replaces per-decision CanAdmit + WorkingSet round
+// trips. Transport failures return the zero snapshot, whose CanAdmit is
+// always false — a dead runner simply attracts no work.
+func (c *Client) Snapshot() core.Snapshot {
+	st, err := c.FetchState()
+	if err != nil {
+		return core.Snapshot{}
+	}
+	return st.toSnapshot()
+}
+
+// CanAdmit asks the runner directly (one round-trip); the scheduler
+// evaluates admission from Snapshot instead, but the endpoint stays for
+// diagnostics and external pollers.
 func (c *Client) CanAdmit(r *core.Request) bool {
 	var reply AdmitReply
 	err := c.postJSON("/runner/can_admit", AdmitQuery{

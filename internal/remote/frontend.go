@@ -31,10 +31,18 @@ type Frontend struct {
 	wg      sync.WaitGroup
 }
 
-// NewFrontend builds a frontend over runner base URLs. DrainInterval
-// governs how often the queue is re-offered to runners (capacity opens
-// asynchronously on remote machines); 50 ms by default.
+// NewFrontend builds a frontend over runner base URLs with the paper's
+// §5.1 placement policy. DrainInterval governs how often the queue is
+// re-offered to runners (capacity opens asynchronously on remote
+// machines); 50 ms by default.
 func NewFrontend(runnerURLs []string, drainInterval time.Duration) *Frontend {
+	return NewFrontendWithPolicy(runnerURLs, drainInterval, nil)
+}
+
+// NewFrontendWithPolicy is NewFrontend with an explicit placement
+// policy (nil means the paper's). Policies rank runners on the batched
+// snapshot each one serves over GET /runner/state.
+func NewFrontendWithPolicy(runnerURLs []string, drainInterval time.Duration, p sched.Policy) *Frontend {
 	if drainInterval <= 0 {
 		drainInterval = 50 * time.Millisecond
 	}
@@ -52,7 +60,7 @@ func NewFrontend(runnerURLs []string, drainInterval time.Duration) *Frontend {
 		f.clients[g] = client
 		gpus = append(gpus, g)
 	}
-	f.sch = sched.New(gpus)
+	f.sch = sched.NewWithPolicy(gpus, p)
 	f.wg.Add(1)
 	go f.drainLoop(drainInterval)
 	return f

@@ -104,6 +104,39 @@ func TestRunnerStateAndWorker(t *testing.T) {
 	}
 }
 
+// TestClientSnapshotRoundTrip pins the policy framework's remote
+// contract: one GET /runner/state carries the whole scheduling view —
+// admission constraints plus resident adapters with pin state — so a
+// scheduling decision costs one round-trip instead of a CanAdmit +
+// WorkingSet pair per GPU.
+func TestClientSnapshotRoundTrip(t *testing.T) {
+	_, srv := startRunner(t, "r5", 8)
+	client := NewClient(srv.URL)
+
+	snap := client.Snapshot()
+	if snap.MaxBatch != 8 || snap.TotalKVPages == 0 || snap.PageSize == 0 || !snap.PagedKV {
+		t.Fatalf("fresh snapshot malformed: %+v", snap)
+	}
+	if !snap.CanAdmit(&core.Request{PromptLen: 32, OutputLen: 8}) {
+		t.Fatal("fresh runner snapshot should admit")
+	}
+	if err := client.Enqueue(&core.Request{ID: 9, Model: 42, PromptLen: 32, OutputLen: 100000}, 0); err != nil {
+		t.Fatal(err)
+	}
+	snap = client.Snapshot()
+	if snap.WorkingSet != 1 {
+		t.Fatalf("working set = %d after enqueue", snap.WorkingSet)
+	}
+	a, ok := snap.Adapter(42)
+	if !ok || !a.Pinned || a.Rank != models.DefaultLoRARank || a.Bytes <= 0 {
+		t.Fatalf("adapter state did not cross the wire: %+v (ok=%v)", a, ok)
+	}
+	if snap.StorePinnedBytes != a.Bytes || snap.StoreCapacityBytes <= 0 {
+		t.Fatalf("store accounting malformed: pinned=%d capacity=%d want pinned=%d",
+			snap.StorePinnedBytes, snap.StoreCapacityBytes, a.Bytes)
+	}
+}
+
 func TestRunnerEvictForMigration(t *testing.T) {
 	_, srv := startRunner(t, "r2", 8)
 	client := NewClient(srv.URL)
@@ -131,6 +164,9 @@ func TestClientDegradesSafely(t *testing.T) {
 	client := NewClient("http://127.0.0.1:1") // nothing listens here
 	if client.CanAdmit(&core.Request{PromptLen: 1, OutputLen: 1}) {
 		t.Fatal("unreachable runner must refuse admission")
+	}
+	if snap := client.Snapshot(); snap.CanAdmit(&core.Request{PromptLen: 1, OutputLen: 1}) {
+		t.Fatal("unreachable runner's zero snapshot must refuse admission")
 	}
 	if client.WorkingSet() != 0 {
 		t.Fatal("unreachable runner working set should read 0")

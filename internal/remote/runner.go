@@ -240,16 +240,7 @@ func (r *Runner) handleEvict(w http.ResponseWriter, _ *http.Request) {
 
 func (r *Runner) handleState(w http.ResponseWriter, _ *http.Request) {
 	r.mu.Lock()
-	st := State{
-		UUID:        r.uuid,
-		WorkingSet:  r.eng.WorkingSet(),
-		ActiveBatch: r.eng.ActiveBatch(),
-		MaxBatch:    r.eng.MaxBatch(),
-		FreePages:   r.eng.KV().FreePages(),
-		TotalPages:  r.eng.KV().TotalPages(),
-		Steps:       r.eng.Stats().Steps,
-		Tokens:      r.eng.Stats().TokensGenerated,
-	}
+	st := stateOf(r.uuid, r.eng.Snapshot(), r.eng.Stats())
 	r.mu.Unlock()
 	writeJSON(w, st)
 }

@@ -75,16 +75,68 @@ type CancelReply struct {
 	Request *RequestState `json:"request,omitempty"`
 }
 
-// State is a runner's scheduling snapshot.
+// State is a runner's scheduling snapshot: the wire form of
+// core.Snapshot plus runner identity and progress counters. One GET
+// /runner/state carries everything a scheduling decision needs, so the
+// scheduler never issues per-decision CanAdmit/WorkingSet round-trips.
 type State struct {
 	UUID        string `json:"uuid"`
 	WorkingSet  int    `json:"working_set"`
 	ActiveBatch int    `json:"active_batch"`
 	MaxBatch    int    `json:"max_batch"`
-	FreePages   int    `json:"free_kv_pages"`
-	TotalPages  int    `json:"total_kv_pages"`
-	Steps       int64  `json:"steps"`
-	Tokens      int64  `json:"tokens_generated"`
+	// FreePages is the uncommitted KvCache headroom (pool free pages
+	// minus reservations for pending requests).
+	FreePages  int  `json:"free_kv_pages"`
+	TotalPages int  `json:"total_kv_pages"`
+	PageSize   int  `json:"kv_page_size"`
+	PagedKV    bool `json:"paged_kv"`
+
+	// Adapter-store state (§5.2): resident adapters with ranks and pin
+	// flags, plus byte accounting. Empty for backbone-only runners.
+	Adapters           []lora.AdapterState `json:"adapters,omitempty"`
+	StoreCapacityBytes int64               `json:"store_capacity_bytes,omitempty"`
+	StoreUsedBytes     int64               `json:"store_used_bytes,omitempty"`
+	StorePinnedBytes   int64               `json:"store_pinned_bytes,omitempty"`
+
+	Steps  int64 `json:"steps"`
+	Tokens int64 `json:"tokens_generated"`
+}
+
+// stateOf captures a runner's engine as wire state.
+func stateOf(uuid string, snap core.Snapshot, stats core.Stats) State {
+	return State{
+		UUID:               uuid,
+		WorkingSet:         snap.WorkingSet,
+		ActiveBatch:        snap.ActiveBatch,
+		MaxBatch:           snap.MaxBatch,
+		FreePages:          snap.FreeKVPages,
+		TotalPages:         snap.TotalKVPages,
+		PageSize:           snap.PageSize,
+		PagedKV:            snap.PagedKV,
+		Adapters:           snap.Adapters,
+		StoreCapacityBytes: snap.StoreCapacityBytes,
+		StoreUsedBytes:     snap.StoreUsedBytes,
+		StorePinnedBytes:   snap.StorePinnedBytes,
+		Steps:              stats.Steps,
+		Tokens:             stats.TokensGenerated,
+	}
+}
+
+// toSnapshot converts wire state back to the scheduler's view.
+func (st State) toSnapshot() core.Snapshot {
+	return core.Snapshot{
+		WorkingSet:         st.WorkingSet,
+		ActiveBatch:        st.ActiveBatch,
+		MaxBatch:           st.MaxBatch,
+		FreeKVPages:        st.FreePages,
+		TotalKVPages:       st.TotalPages,
+		PageSize:           st.PageSize,
+		PagedKV:            st.PagedKV,
+		Adapters:           st.Adapters,
+		StoreCapacityBytes: st.StoreCapacityBytes,
+		StoreUsedBytes:     st.StoreUsedBytes,
+		StorePinnedBytes:   st.StorePinnedBytes,
+	}
 }
 
 // TokenEvent is one NDJSON line of a runner token stream.

@@ -1,0 +1,184 @@
+package sched
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"punica/internal/core"
+	"punica/internal/hw"
+	"punica/internal/lora"
+	"punica/internal/models"
+)
+
+// goldenFleet builds the fixed deployment the golden trace runs on: four
+// GPUs with small batch caps, a KvCache pool tight enough that page math
+// matters, and adapter stores holding only two rank-16 adapters so §5.2
+// backpressure fires.
+func goldenFleet(t *testing.T) ([]*GPU, []*core.Engine) {
+	t.Helper()
+	adapterBytes := models.Llama2_7B().LoRABytes(16)
+	var gpus []*GPU
+	var engines []*core.Engine
+	for i := 0; i < 4; i++ {
+		sys := core.PunicaSystem()
+		sys.MaxBatch = 4
+		e := core.NewEngine(core.Config{
+			System:          sys,
+			GPU:             hw.A100(),
+			Model:           models.Llama2_7B(),
+			Rank:            16,
+			KVCapacityBytes: 2 << 30,
+			LoRAStoreBytes:  2 * adapterBytes,
+		})
+		gpus = append(gpus, &GPU{UUID: fmt.Sprintf("gpu-%02d", i), Engine: e})
+		engines = append(engines, e)
+	}
+	return gpus, engines
+}
+
+// goldenTrace drives a deterministic scripted scenario through the
+// scheduler — dispatches, evictions + reschedules, consolidations,
+// cancellations + queue drains — and records every placement decision.
+// The script touches every scheduler entry point so the recorded log
+// pins the §5.1 semantics decision-for-decision.
+func goldenTrace(t *testing.T) []string {
+	t.Helper()
+	gpus, engines := goldenFleet(t)
+	s := New(gpus)
+	// Raise the light-load threshold so consolidation actually migrates
+	// (at MaxBatch 4 the default threshold of 1 only drains idle GPUs).
+	s.LightlyLoadedBelow = 3
+	var log []string
+	record := func(format string, args ...any) {
+		log = append(log, fmt.Sprintf(format, args...))
+	}
+	place := func(g *GPU) string {
+		if g == nil {
+			return "queued"
+		}
+		return g.UUID
+	}
+	wsVector := func() string {
+		parts := make([]string, len(engines))
+		for i, e := range engines {
+			parts[i] = fmt.Sprint(e.WorkingSet())
+		}
+		return strings.Join(parts, ",")
+	}
+	busiest := func() int {
+		best := 0
+		for i, e := range engines {
+			if e.WorkingSet() > engines[best].WorkingSet() {
+				best = i
+			}
+		}
+		return best
+	}
+
+	for id := int64(1); id <= 48; id++ {
+		now := time.Duration(id) * time.Millisecond
+		r := &core.Request{
+			ID:        id,
+			Model:     lora.ModelID(id % 4),
+			PromptLen: 64 + int(id*37)%512,
+			OutputLen: 16 + int(id*13)%96,
+			Arrival:   now,
+		}
+		g, err := s.Dispatch(r, now)
+		if err != nil {
+			t.Fatalf("dispatch %d: %v", id, err)
+		}
+		record("dispatch r%d(m%d) -> %s", id, r.Model, place(g))
+
+		if id%5 == 0 {
+			src := busiest()
+			if victim := engines[src].EvictNewest(now); victim != nil {
+				g, err := s.Reschedule(victim, gpus[src], now)
+				if err != nil {
+					t.Fatalf("reschedule %d: %v", victim.ID, err)
+				}
+				record("evict r%d from %s, reschedule -> %s", victim.ID, gpus[src].UUID, place(g))
+			}
+		}
+		if id%7 == 0 {
+			moved := s.Consolidate(now)
+			record("consolidate moved=%d ws=[%s]", moved, wsVector())
+		}
+		if id%9 == 0 {
+			cancelID := id / 2
+			for i, e := range engines {
+				if e.Cancel(cancelID, now) != nil {
+					record("cancel r%d on %s", cancelID, gpus[i].UUID)
+					break
+				}
+			}
+			placed, err := s.DrainQueue(now)
+			if err != nil {
+				t.Fatalf("drain: %v", err)
+			}
+			for _, p := range placed {
+				record("drain r%d -> %s", p.Request.ID, p.GPU.UUID)
+			}
+		}
+	}
+
+	// Tail: free capacity step by step and watch the FCFS queue drain.
+	now := 60 * time.Millisecond
+	for round := 0; round < 8 && s.QueueLen() > 0; round++ {
+		now += time.Millisecond
+		src := busiest()
+		if victim := engines[src].EvictNewest(now); victim != nil {
+			record("tail-evict r%d from %s", victim.ID, gpus[src].UUID)
+		}
+		placed, err := s.DrainQueue(now)
+		if err != nil {
+			t.Fatalf("tail drain: %v", err)
+		}
+		for _, p := range placed {
+			record("drain r%d -> %s", p.Request.ID, p.GPU.UUID)
+		}
+		record("tail round=%d queue=%d ws=[%s]", round, s.QueueLen(), wsVector())
+	}
+
+	st := s.Stats()
+	record("stats dispatched=%d queued=%d migrations=%d stalls=%d queue=%d ws=[%s]",
+		st.Dispatched, st.Queued, st.Migrations, st.AdapterStalls, s.QueueLen(), wsVector())
+	return log
+}
+
+// TestPaperPolicyGoldenTrace asserts that the default policy reproduces
+// the pre-refactor scheduler's placements, migrations and stall counts
+// exactly. The golden file was recorded from the hard-coded §5.1
+// scheduler before the policy framework existed; regenerate only when a
+// deliberate semantic change is intended: UPDATE_SCHED_GOLDEN=1 go test.
+func TestPaperPolicyGoldenTrace(t *testing.T) {
+	got := strings.Join(goldenTrace(t), "\n") + "\n"
+	golden := filepath.Join("testdata", "paper_policy_golden.txt")
+	if os.Getenv("UPDATE_SCHED_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_SCHED_GOLDEN=1 to record): %v", err)
+	}
+	if got != string(want) {
+		gotLines := strings.Split(got, "\n")
+		wantLines := strings.Split(string(want), "\n")
+		for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
+			if gotLines[i] != wantLines[i] {
+				t.Fatalf("golden divergence at line %d:\n  got:  %s\n  want: %s",
+					i+1, gotLines[i], wantLines[i])
+			}
+		}
+		t.Fatalf("golden length mismatch: got %d lines, want %d", len(gotLines), len(wantLines))
+	}
+}

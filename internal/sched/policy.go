@@ -1,0 +1,316 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"punica/internal/core"
+	"punica/internal/hw"
+	"punica/internal/lora"
+	"punica/internal/models"
+)
+
+// Candidate pairs a GPU with the snapshot taken for the current
+// scheduling decision. Policies rank candidates; they never talk to
+// workers directly, so one snapshot per decision is the whole cost.
+type Candidate struct {
+	GPU  *GPU
+	Snap *core.Snapshot
+}
+
+// Policy customises which admissible GPU a request lands on. The
+// scheduler keeps the invariants fixed — only admissible candidates are
+// offered, the wait queue stays FCFS, consolidation targets must be
+// strictly busier than their source — and delegates the preference
+// order among valid choices to the policy.
+type Policy interface {
+	// Name identifies the policy (the value accepted by PolicyByName).
+	Name() string
+	// RankPlacement orders admissible candidates best-first for placing
+	// r: Dispatch, queue drains, and eviction reschedules all place on
+	// the first candidate whose Enqueue succeeds.
+	RankPlacement(r *core.Request, cands []Candidate)
+	// RankSources orders the whole fleet for a consolidation pass;
+	// the scheduler drains lightly-loaded sources in this order.
+	RankSources(cands []Candidate)
+	// PickTarget selects the consolidation destination for victim r
+	// among admissible candidates strictly busier than the source
+	// (cands is never empty; the scheduler handles the no-target case).
+	PickTarget(r *core.Request, cands []Candidate) *GPU
+}
+
+// Policy names accepted by PolicyByName and the deployment configs.
+const (
+	PolicyPaper           = "paper"
+	PolicyAdapterAffinity = "affinity"
+	PolicyRankAware       = "rank"
+)
+
+// PolicyNames lists the built-in policies in comparison order.
+var PolicyNames = []string{PolicyPaper, PolicyAdapterAffinity, PolicyRankAware}
+
+// PolicyConfig carries the deployment facts the non-paper policies rank
+// on: adapter sizes (for PCIe load-cost weighting) and per-adapter
+// ranks (for SGMV padding cost).
+type PolicyConfig struct {
+	// Base is the backbone the adapters decompose; with DefaultRank it
+	// sizes adapter weights.
+	Base models.Config
+	// DefaultRank is the fleet-wide adapter rank (16 in the paper).
+	DefaultRank int
+	// RankOf optionally assigns per-adapter ranks, mirroring
+	// core.Config.AdapterRank. Nil means uniform DefaultRank.
+	RankOf func(lora.ModelID) int
+	// Link models the host-to-device path cold adapter loads ride;
+	// the zero value means PCIe Gen4 x16, the paper's deployment.
+	Link hw.Link
+}
+
+func (pc PolicyConfig) rankOf(id lora.ModelID) int {
+	if pc.RankOf != nil {
+		if r := pc.RankOf(id); r > 0 {
+			return r
+		}
+	}
+	if pc.DefaultRank > 0 {
+		return pc.DefaultRank
+	}
+	return models.DefaultLoRARank
+}
+
+func (pc PolicyConfig) link() hw.Link {
+	if pc.Link.Bandwidth > 0 {
+		return pc.Link
+	}
+	return hw.PCIeGen4x16()
+}
+
+// PolicyByName builds a built-in policy: "paper" (or "") preserves the
+// §5.1 semantics decision-for-decision, "affinity" prefers GPUs with
+// the request's adapter warm, "rank" groups same-rank requests.
+func PolicyByName(name string, pc PolicyConfig) (Policy, error) {
+	switch name {
+	case "", PolicyPaper:
+		return PaperPolicy{}, nil
+	case PolicyAdapterAffinity:
+		link := pc.link()
+		rankOf := pc.rankOf
+		base := pc.Base
+		return &AdapterAffinity{
+			Link:    link,
+			BytesOf: func(id lora.ModelID) int64 { return base.LoRABytes(rankOf(id)) },
+		}, nil
+	case PolicyRankAware:
+		return &RankAware{RankOf: pc.rankOf}, nil
+	default:
+		return nil, fmt.Errorf("sched: unknown policy %q (want %v)", name, PolicyNames)
+	}
+}
+
+// paperLess is the §5.1 preference order: largest working set first,
+// ties broken by highest GPU UUID.
+func paperLess(a, b Candidate) bool {
+	if a.Snap.WorkingSet != b.Snap.WorkingSet {
+		return a.Snap.WorkingSet > b.Snap.WorkingSet
+	}
+	return a.GPU.UUID > b.GPU.UUID
+}
+
+// PaperPolicy is the scheduler Punica §5.1 describes, verbatim: route to
+// the GPU with the largest working set (break ties toward the highest
+// UUID), drain lightly-loaded GPUs lightest-first, and consolidate onto
+// the busiest admissible target. It is the default policy and is golden-
+// tested to reproduce the pre-framework scheduler decision-for-decision.
+type PaperPolicy struct{}
+
+// Name implements Policy.
+func (PaperPolicy) Name() string { return PolicyPaper }
+
+// RankPlacement implements Policy: largest working set, highest UUID.
+func (PaperPolicy) RankPlacement(_ *core.Request, cands []Candidate) {
+	sort.SliceStable(cands, func(i, j int) bool { return paperLess(cands[i], cands[j]) })
+}
+
+// RankSources implements Policy: lightest first, so near-empty GPUs
+// drain to idle. The unstable sort deliberately matches the pre-
+// framework implementation so tie permutations are bit-identical.
+func (PaperPolicy) RankSources(cands []Candidate) {
+	sort.Slice(cands, func(i, j int) bool {
+		return cands[i].Snap.WorkingSet < cands[j].Snap.WorkingSet
+	})
+}
+
+// PickTarget implements Policy: the busiest admissible target, ties to
+// the highest UUID (the same linear scan the pre-framework scheduler
+// ran).
+func (PaperPolicy) PickTarget(_ *core.Request, cands []Candidate) *GPU {
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if paperLess(c, best) {
+			best = c
+		}
+	}
+	return best.GPU
+}
+
+// AdapterAffinity places requests where their adapter is already warm,
+// weighting cold placements by the modeled PCIe load cost (§5.2): a GPU
+// holding the adapter costs nothing extra, a cold GPU with free store
+// room pays one transfer, a cold GPU that must evict a warm adapter
+// pays the transfer plus the future reload it forces, and a GPU whose
+// store is pinned full would stall the request (§5.2 backpressure) and
+// is ranked last. Ties fall back to the §5.1 order, so on workloads
+// without adapter contention the policy degrades to PaperPolicy. This
+// is the EdgeLoRA/CaraServe-style adapter-aware routing lever: on
+// skewed popularity it keeps hot adapters resident instead of bouncing
+// them between stores, cutting AdapterStalls and AdapterEvictions.
+type AdapterAffinity struct {
+	// Link models the host-to-device path cold loads ride.
+	Link hw.Link
+	// BytesOf sizes adapter weights for load-cost weighting.
+	BytesOf func(lora.ModelID) int64
+}
+
+// Name implements Policy.
+func (*AdapterAffinity) Name() string { return PolicyAdapterAffinity }
+
+// loadCost models the adapter-movement seconds placing r on a worker
+// with this snapshot would cause. math.Inf marks would-stall targets.
+func (p *AdapterAffinity) loadCost(r *core.Request, snap *core.Snapshot) float64 {
+	if snap.StoreCapacityBytes == 0 {
+		return 0 // backbone-only worker: nothing to load
+	}
+	if snap.HasAdapter(r.Model) {
+		return 0 // warm: §5.2 hit path
+	}
+	var bytes int64
+	if p.BytesOf != nil {
+		bytes = p.BytesOf(r.Model)
+	}
+	load := p.Link.TransferTime(bytes).Seconds()
+	switch {
+	case bytes <= snap.StoreFreeBytes():
+		return load
+	case bytes <= snap.StoreReclaimableBytes():
+		// Must evict a warm adapter, which some future request reloads.
+		return 2 * load
+	default:
+		return math.Inf(1) // every resident adapter pinned: would stall
+	}
+}
+
+// RankPlacement implements Policy: cheapest adapter movement first,
+// ties to the §5.1 order.
+func (p *AdapterAffinity) RankPlacement(r *core.Request, cands []Candidate) {
+	costs := make(map[*GPU]float64, len(cands))
+	for _, c := range cands {
+		costs[c.GPU] = p.loadCost(r, c.Snap)
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		ci, cj := costs[cands[i].GPU], costs[cands[j].GPU]
+		if ci != cj {
+			return ci < cj
+		}
+		return paperLess(cands[i], cands[j])
+	})
+}
+
+// RankSources implements Policy with the paper's lightest-first order.
+func (*AdapterAffinity) RankSources(cands []Candidate) {
+	PaperPolicy{}.RankSources(cands)
+}
+
+// PickTarget implements Policy: the cheapest-to-load target, ties to
+// the paper's busiest-first order.
+func (p *AdapterAffinity) PickTarget(r *core.Request, cands []Candidate) *GPU {
+	best := cands[0]
+	bestCost := p.loadCost(r, best.Snap)
+	for _, c := range cands[1:] {
+		cost := p.loadCost(r, c.Snap)
+		if cost < bestCost || (cost == bestCost && paperLess(c, best)) {
+			best, bestCost = c, cost
+		}
+	}
+	return best.GPU
+}
+
+// RankAware groups same-rank requests onto the same GPUs. An SGMV
+// invocation pads every segment to the widest rank in the batch (§4's
+// segment cost model under mixed ranks), so a rank-8 request batched
+// with rank-64 neighbours pays rank-64 prices; placing it with rank-8
+// peers keeps the padding waste near zero. This is CaraServe's
+// rank-aware scheduling lever. With uniform ranks (the paper's setup)
+// every cost is zero and the policy degrades to PaperPolicy.
+type RankAware struct {
+	// RankOf returns the LoRA rank of a request's adapter.
+	RankOf func(lora.ModelID) int
+}
+
+// Name implements Policy.
+func (*RankAware) Name() string { return PolicyRankAware }
+
+// padCost totals the rank padding placing r on this worker would leave
+// the batch with: Σ (newMax − rank_i) over the pinned residents plus r
+// itself. Pinned adapters stand in for the working set's ranks; warm
+// but unpinned adapters back no live request and are ignored.
+func (p *RankAware) padCost(r *core.Request, snap *core.Snapshot) int {
+	rank := 0
+	if p.RankOf != nil {
+		rank = p.RankOf(r.Model)
+	}
+	if rank <= 0 {
+		return 0
+	}
+	newMax := rank
+	var ranks []int
+	for _, a := range snap.Adapters {
+		if !a.Pinned || a.Rank <= 0 {
+			continue
+		}
+		ranks = append(ranks, a.Rank)
+		if a.Rank > newMax {
+			newMax = a.Rank
+		}
+	}
+	cost := newMax - rank
+	for _, rr := range ranks {
+		cost += newMax - rr
+	}
+	return cost
+}
+
+// RankPlacement implements Policy: least rank padding first, ties to
+// the §5.1 order.
+func (p *RankAware) RankPlacement(r *core.Request, cands []Candidate) {
+	costs := make(map[*GPU]int, len(cands))
+	for _, c := range cands {
+		costs[c.GPU] = p.padCost(r, c.Snap)
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		ci, cj := costs[cands[i].GPU], costs[cands[j].GPU]
+		if ci != cj {
+			return ci < cj
+		}
+		return paperLess(cands[i], cands[j])
+	})
+}
+
+// RankSources implements Policy with the paper's lightest-first order.
+func (*RankAware) RankSources(cands []Candidate) {
+	PaperPolicy{}.RankSources(cands)
+}
+
+// PickTarget implements Policy: the least-padding target, ties to the
+// paper's busiest-first order.
+func (p *RankAware) PickTarget(r *core.Request, cands []Candidate) *GPU {
+	best := cands[0]
+	bestCost := p.padCost(r, best.Snap)
+	for _, c := range cands[1:] {
+		cost := p.padCost(r, c.Snap)
+		if cost < bestCost || (cost == bestCost && paperLess(c, best)) {
+			best, bestCost = c, cost
+		}
+	}
+	return best.GPU
+}

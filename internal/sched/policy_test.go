@@ -1,0 +1,209 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"punica/internal/core"
+	"punica/internal/lora"
+	"punica/internal/models"
+)
+
+// fakeWorker serves a canned snapshot, so ranking can be tested against
+// exact store/rank states without driving a real engine into them.
+type fakeWorker struct{ snap core.Snapshot }
+
+func (f *fakeWorker) Snapshot() core.Snapshot                    { return f.snap }
+func (f *fakeWorker) Enqueue(*core.Request, time.Duration) error { return nil }
+func (f *fakeWorker) Cancel(int64, time.Duration) *core.Request  { return nil }
+func (f *fakeWorker) EvictNewest(time.Duration) *core.Request    { return nil }
+
+// fakeCand builds a candidate with the given load and adapter state.
+func fakeCand(uuid string, ws int, adapters ...lora.AdapterState) Candidate {
+	snap := core.Snapshot{
+		WorkingSet:   ws,
+		MaxBatch:     32,
+		FreeKVPages:  1 << 20,
+		TotalKVPages: 1 << 20,
+		PageSize:     16,
+		PagedKV:      true,
+		Adapters:     adapters,
+	}
+	for _, a := range adapters {
+		snap.StoreUsedBytes += a.Bytes
+		if a.Pinned {
+			snap.StorePinnedBytes += a.Bytes
+		}
+	}
+	return Candidate{
+		GPU:  &GPU{UUID: uuid, Engine: &fakeWorker{snap: snap}},
+		Snap: &snap,
+	}
+}
+
+func uuids(cands []Candidate) []string {
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		out[i] = c.GPU.UUID
+	}
+	return out
+}
+
+func affinityForTest() *AdapterAffinity {
+	p, err := PolicyByName(PolicyAdapterAffinity, PolicyConfig{
+		Base:        models.Llama2_7B(),
+		DefaultRank: 16,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return p.(*AdapterAffinity)
+}
+
+func TestPolicyAffinityPrefersWarmGPU(t *testing.T) {
+	bytes := models.Llama2_7B().LoRABytes(16)
+	warm := fakeCand("gpu-00", 2, lora.AdapterState{ID: 7, Rank: 16, Bytes: bytes})
+	cold := fakeCand("gpu-01", 5)
+	// Plenty of store room on both.
+	warm.Snap.StoreCapacityBytes = 8 * bytes
+	cold.Snap.StoreCapacityBytes = 8 * bytes
+
+	cands := []Candidate{cold, warm}
+	r := &core.Request{ID: 1, Model: 7, PromptLen: 10, OutputLen: 5}
+	affinityForTest().RankPlacement(r, cands)
+	if got := uuids(cands); got[0] != "gpu-00" {
+		t.Fatalf("affinity ranked %v; want warm gpu-00 first despite smaller working set", got)
+	}
+	// The paper policy would prefer the busier cold GPU.
+	cands = []Candidate{cold, warm}
+	PaperPolicy{}.RankPlacement(r, cands)
+	if got := uuids(cands); got[0] != "gpu-01" {
+		t.Fatalf("paper ranked %v; want busiest gpu-01 first", got)
+	}
+}
+
+func TestPolicyAffinityRanksStallingStoreLast(t *testing.T) {
+	bytes := models.Llama2_7B().LoRABytes(16)
+	// Busiest GPU's store is pinned full with other adapters: placing
+	// here would hit §5.2 backpressure and stall the request.
+	full := fakeCand("gpu-02", 9,
+		lora.AdapterState{ID: 1, Rank: 16, Bytes: bytes, Pinned: true},
+		lora.AdapterState{ID: 2, Rank: 16, Bytes: bytes, Pinned: true})
+	full.Snap.StoreCapacityBytes = 2 * bytes
+	// A colder GPU with free room costs one PCIe transfer.
+	room := fakeCand("gpu-01", 3)
+	room.Snap.StoreCapacityBytes = 2 * bytes
+	// A GPU that must evict a warm (unpinned) adapter costs two.
+	evict := fakeCand("gpu-00", 6,
+		lora.AdapterState{ID: 3, Rank: 16, Bytes: bytes},
+		lora.AdapterState{ID: 4, Rank: 16, Bytes: bytes})
+	evict.Snap.StoreCapacityBytes = 2 * bytes
+
+	cands := []Candidate{full, room, evict}
+	r := &core.Request{ID: 1, Model: 9, PromptLen: 10, OutputLen: 5}
+	affinityForTest().RankPlacement(r, cands)
+	want := []string{"gpu-01", "gpu-00", "gpu-02"}
+	got := uuids(cands)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("affinity order %v, want %v (free room, then evict, then stall)", got, want)
+		}
+	}
+}
+
+func TestPolicyAffinityTieFallsBackToPaperOrder(t *testing.T) {
+	bytes := models.Llama2_7B().LoRABytes(16)
+	a := fakeCand("gpu-00", 4)
+	b := fakeCand("gpu-01", 4)
+	c := fakeCand("gpu-02", 6)
+	for _, cand := range []Candidate{a, b, c} {
+		cand.Snap.StoreCapacityBytes = 8 * bytes
+	}
+	cands := []Candidate{a, b, c}
+	r := &core.Request{ID: 1, Model: 5, PromptLen: 10, OutputLen: 5}
+	affinityForTest().RankPlacement(r, cands)
+	want := []string{"gpu-02", "gpu-01", "gpu-00"}
+	for i, u := range uuids(cands) {
+		if u != want[i] {
+			t.Fatalf("all-cold tie order %v, want paper order %v", uuids(cands), want)
+		}
+	}
+}
+
+func TestPolicyRankAwareGroupsSameRank(t *testing.T) {
+	ranks := map[lora.ModelID]int{1: 8, 2: 64, 9: 8}
+	p := &RankAware{RankOf: func(id lora.ModelID) int { return ranks[id] }}
+
+	low := fakeCand("gpu-00", 2, lora.AdapterState{ID: 1, Rank: 8, Pinned: true})
+	high := fakeCand("gpu-01", 5, lora.AdapterState{ID: 2, Rank: 64, Pinned: true})
+	r := &core.Request{ID: 1, Model: 9, PromptLen: 10, OutputLen: 5} // rank 8
+
+	cands := []Candidate{high, low}
+	p.RankPlacement(r, cands)
+	if got := uuids(cands); got[0] != "gpu-00" {
+		t.Fatalf("rank-aware ranked %v; want same-rank gpu-00 first (batching rank 8 with "+
+			"rank 64 pads every token to rank 64)", got)
+	}
+	if dst := p.PickTarget(r, []Candidate{high, low}); dst.UUID != "gpu-00" {
+		t.Fatalf("rank-aware target %s, want same-rank gpu-00", dst.UUID)
+	}
+}
+
+func TestPolicyRankAwareUniformRanksDegradeToPaper(t *testing.T) {
+	p := &RankAware{RankOf: func(lora.ModelID) int { return 16 }}
+	a := fakeCand("gpu-00", 2, lora.AdapterState{ID: 1, Rank: 16, Pinned: true})
+	b := fakeCand("gpu-01", 5, lora.AdapterState{ID: 2, Rank: 16, Pinned: true})
+	r := &core.Request{ID: 1, Model: 3, PromptLen: 10, OutputLen: 5}
+
+	cands := []Candidate{a, b}
+	p.RankPlacement(r, cands)
+	if got := uuids(cands); got[0] != "gpu-01" {
+		t.Fatalf("uniform ranks ranked %v; want the paper's busiest-first order", got)
+	}
+}
+
+func TestPolicyByNameUnknown(t *testing.T) {
+	if _, err := PolicyByName("bogus", PolicyConfig{}); err == nil {
+		t.Fatal("unknown policy name must error")
+	}
+	for _, name := range append([]string{""}, PolicyNames...) {
+		p, err := PolicyByName(name, PolicyConfig{Base: models.Llama2_7B(), DefaultRank: 16})
+		if err != nil || p == nil {
+			t.Fatalf("policy %q: %v", name, err)
+		}
+	}
+}
+
+// TestPolicyHeterogeneousFleetThresholds pins the mixed-capacity fix:
+// light-load classification derives from each GPU's own batch cap, not
+// gpus[0]'s. A big GPU at a quarter of its capacity is lightly loaded
+// even when a small first GPU would call the same working set heavy.
+func TestPolicyHeterogeneousFleetThresholds(t *testing.T) {
+	small := testGPUs(t, 1, 8)[0] // threshold 8/4 = 2
+	big := testGPUs(t, 1, 32)[0]  // threshold 32/4 = 8
+	big.UUID = "gpu-big"
+	s := New([]*GPU{small, big})
+
+	// small at 3 (≥ its threshold 2, heavy), big at 4 (< 8, light).
+	for i := int64(0); i < 3; i++ {
+		if err := small.Engine.Enqueue(mkReq(100+i, 10, 5), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < 4; i++ {
+		if err := big.Engine.Enqueue(mkReq(200+i, 10, 5), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pre-refactor, the fleet threshold came from gpus[0].MaxBatch()/4 =
+	// 2, misclassifying the quarter-loaded big GPU as heavy and asking
+	// the cloud for more GPUs while capacity sat idle.
+	if s.NeedMoreGPUs() {
+		t.Fatal("big GPU is at 4/32 — the fleet has a lightly-loaded GPU")
+	}
+	// The fleet-wide override still wins when set.
+	s.LightlyLoadedBelow = 3
+	if !s.NeedMoreGPUs() {
+		t.Fatal("with override 3, both GPUs (3 and 4) are at/above the threshold")
+	}
+}

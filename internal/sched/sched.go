@@ -1,9 +1,16 @@
-// Package sched implements Punica's cluster scheduler (§5.1, §5.3): it
-// routes new requests to the GPU with the largest working set that still
-// has batch slots and KvCache room (ties broken by highest GPU UUID),
-// queues requests FCFS when every GPU is full, re-schedules evicted
-// requests, periodically migrates requests off lightly-loaded GPUs for
-// consolidation, and emits cluster scale-up/down hints.
+// Package sched implements Punica's cluster scheduler (§5.1, §5.3)
+// behind a pluggable placement-policy framework: the scheduler owns the
+// invariants — admissibility, FCFS queueing, eviction re-scheduling,
+// periodic consolidation, scale hints — while a Policy orders the
+// admissible choices. PaperPolicy (the default) reproduces the paper's
+// rule decision-for-decision: route to the GPU with the largest working
+// set that still has batch slots and KvCache room, ties broken by
+// highest GPU UUID. AdapterAffinity and RankAware trade that rule for
+// adapter locality (§5.2 load costs) and SGMV rank grouping (§4).
+//
+// Every scheduling decision works from one batched Snapshot per GPU
+// instead of per-GPU WorkingSet/CanAdmit call pairs — for remote
+// workers each of those pairs was two HTTP round-trips.
 package sched
 
 import (
@@ -20,15 +27,13 @@ import (
 // implements it for in-process serving; internal/remote's client
 // implements it over HTTP for runners on other machines (Fig. 2).
 type Worker interface {
-	// CanAdmit reports whether the runner could take the request now
-	// (batch-slot and KvCache constraints, §5.1).
-	CanAdmit(r *core.Request) bool
+	// Snapshot returns the worker's complete scheduling state — working
+	// set, batch cap, KvCache headroom, resident adapters with ranks and
+	// pin accounting — in one batched call. Admission (§5.1's CanAdmit)
+	// is evaluated scheduler-side from the snapshot.
+	Snapshot() core.Snapshot
 	// Enqueue assigns the request to the runner.
 	Enqueue(r *core.Request, now time.Duration) error
-	// WorkingSet returns the number of requests assigned to the runner.
-	WorkingSet() int
-	// MaxBatch returns the runner's invocation batch cap.
-	MaxBatch() int
 	// Cancel removes a request, returning its state (nil if unknown).
 	Cancel(id int64, now time.Duration) *core.Request
 	// EvictNewest removes the most recently arrived request (§5.3).
@@ -46,12 +51,14 @@ type GPU struct {
 // Scheduler holds the global view of all GPUs (§5.1: "Punica scheduler
 // has a global view of the state of all the GPUs").
 type Scheduler struct {
-	gpus  []*GPU
-	queue []*core.Request // FCFS wait queue
+	gpus   []*GPU
+	queue  []*core.Request // FCFS wait queue, sorted by (Arrival, ID)
+	policy Policy
 
-	// LightlyLoadedBelow classifies a GPU as lightly loaded when its
-	// working set is below this count; used for consolidation and
-	// scale hints. Defaults to a quarter of the max batch size.
+	// LightlyLoadedBelow, when > 0, overrides the light-load threshold
+	// fleet-wide. At the default 0 each GPU derives its own threshold
+	// from its snapshot (a quarter of its batch cap, at least 1), so
+	// mixed-capacity fleets classify load correctly per GPU.
 	LightlyLoadedBelow int
 
 	stats Stats
@@ -69,18 +76,31 @@ type Stats struct {
 	AdapterStalls int64
 }
 
-// New builds a scheduler over the given GPUs.
+// New builds a scheduler over the given GPUs with the paper's §5.1
+// placement policy.
 func New(gpus []*GPU) *Scheduler {
-	threshold := core.DefaultMaxBatch / 4
-	if len(gpus) > 0 {
-		if mb := gpus[0].Engine.MaxBatch(); mb > 0 {
-			threshold = mb / 4
-		}
+	return NewWithPolicy(gpus, nil)
+}
+
+// NewWithPolicy builds a scheduler with an explicit placement policy
+// (nil means PaperPolicy).
+func NewWithPolicy(gpus []*GPU, p Policy) *Scheduler {
+	if p == nil {
+		p = PaperPolicy{}
 	}
-	if threshold < 1 {
-		threshold = 1
+	return &Scheduler{gpus: gpus, policy: p}
+}
+
+// Policy returns the active placement policy.
+func (s *Scheduler) Policy() Policy { return s.policy }
+
+// SetPolicy swaps the placement policy (nil restores PaperPolicy).
+// In-flight placements are unaffected; the queue and stats carry over.
+func (s *Scheduler) SetPolicy(p Policy) {
+	if p == nil {
+		p = PaperPolicy{}
 	}
-	return &Scheduler{gpus: gpus, LightlyLoadedBelow: threshold}
+	s.policy = p
 }
 
 // GPUs returns the managed GPUs.
@@ -99,7 +119,7 @@ func (s *Scheduler) RemoveGPU(uuid string) (*GPU, bool) {
 		if g.UUID != uuid {
 			continue
 		}
-		if g.Engine.WorkingSet() != 0 {
+		if g.Engine.Snapshot().WorkingSet != 0 {
 			return nil, false
 		}
 		s.gpus = append(s.gpus[:i], s.gpus[i+1:]...)
@@ -114,27 +134,36 @@ func (s *Scheduler) Stats() Stats { return s.stats }
 // QueueLen returns the number of requests waiting for capacity.
 func (s *Scheduler) QueueLen() int { return len(s.queue) }
 
-// candidates returns the GPUs that satisfy both §5.1 constraints for r,
-// best first: largest working set, ties broken by highest UUID. exclude
-// (when non-nil) is skipped. Working sets are snapshotted once per GPU:
-// for remote workers WorkingSet is a network round trip, and a stable
-// sort needs a consistent ordering.
-func (s *Scheduler) candidates(r *core.Request, exclude *GPU) []*GPU {
-	var fit []*GPU
-	load := make(map[*GPU]int)
+// lightThreshold returns the working-set count below which a GPU counts
+// as lightly loaded, derived per GPU from its snapshot unless the
+// fleet-wide override is set.
+func (s *Scheduler) lightThreshold(snap *core.Snapshot) int {
+	if s.LightlyLoadedBelow > 0 {
+		return s.LightlyLoadedBelow
+	}
+	t := snap.MaxBatch / 4
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// candidates snapshots each GPU once, keeps those that satisfy both
+// §5.1 admission constraints for r, and asks the policy to order them
+// best-first. exclude (when non-nil) is skipped.
+func (s *Scheduler) candidates(r *core.Request, exclude *GPU) []Candidate {
+	var fit []Candidate
 	for _, g := range s.gpus {
-		if g == exclude || !g.Engine.CanAdmit(r) {
+		if g == exclude {
 			continue
 		}
-		fit = append(fit, g)
-		load[g] = g.Engine.WorkingSet()
-	}
-	sort.SliceStable(fit, func(i, j int) bool {
-		if load[fit[i]] != load[fit[j]] {
-			return load[fit[i]] > load[fit[j]]
+		snap := g.Engine.Snapshot()
+		if !snap.CanAdmit(r) {
+			continue
 		}
-		return fit[i].UUID > fit[j].UUID
-	})
+		fit = append(fit, Candidate{GPU: g, Snap: &snap})
+	}
+	s.policy.RankPlacement(r, fit)
 	return fit
 }
 
@@ -145,11 +174,11 @@ func (s *Scheduler) candidates(r *core.Request, exclude *GPU) []*GPU {
 // at least one GPU had batch and KvCache room but no adapter-store room.
 func (s *Scheduler) tryPlace(r *core.Request, exclude *GPU, now time.Duration) (*GPU, error) {
 	stalled := false
-	for _, g := range s.candidates(r, exclude) {
-		err := g.Engine.Enqueue(r, now)
+	for _, c := range s.candidates(r, exclude) {
+		err := c.GPU.Engine.Enqueue(r, now)
 		if err == nil {
 			s.stats.Dispatched++
-			return g, nil
+			return c.GPU, nil
 		}
 		if errors.Is(err, lora.ErrStoreFull) {
 			stalled = true
@@ -232,15 +261,21 @@ func (s *Scheduler) Reschedule(r *core.Request, from *GPU, now time.Duration) (*
 	return nil, nil
 }
 
-// enqueueFCFS inserts r into the wait queue in arrival order.
+// enqueueFCFS inserts r into the wait queue in arrival order. The queue
+// is always sorted by (Arrival, ID) — Dispatch appends arrivals in
+// order and this path binary-searches the slot — so insertion is
+// O(log n) compare plus one copy, not a full re-sort per insert.
 func (s *Scheduler) enqueueFCFS(r *core.Request) {
-	s.queue = append(s.queue, r)
-	sort.SliceStable(s.queue, func(i, j int) bool {
-		if s.queue[i].Arrival != s.queue[j].Arrival {
-			return s.queue[i].Arrival < s.queue[j].Arrival
+	i := sort.Search(len(s.queue), func(i int) bool {
+		q := s.queue[i]
+		if q.Arrival != r.Arrival {
+			return q.Arrival > r.Arrival
 		}
-		return s.queue[i].ID < s.queue[j].ID
+		return q.ID > r.ID
 	})
+	s.queue = append(s.queue, nil)
+	copy(s.queue[i+1:], s.queue[i:])
+	s.queue[i] = r
 	s.stats.Queued++
 }
 
@@ -250,30 +285,41 @@ func (s *Scheduler) enqueueFCFS(r *core.Request) {
 // resources"). Migration uses the §5.3 cancel-and-re-add primitive: the
 // victim's KvCache is released at the source and recomputed at the
 // destination. Returns the number of migrated requests.
+//
+// The pass takes one snapshot per GPU up front and mirrors its own
+// enqueues/evictions into those snapshots, so admission and
+// strictly-busier checks stay exact without re-polling workers — the
+// pre-framework implementation re-read WorkingSet inside comparators,
+// O(n²) calls that were each a network round-trip for remote workers.
 func (s *Scheduler) Consolidate(now time.Duration) int {
 	moved := 0
-	// Sources: lightest first, so near-empty GPUs drain to idle.
-	sources := make([]*GPU, len(s.gpus))
-	copy(sources, s.gpus)
-	sort.Slice(sources, func(i, j int) bool {
-		return sources[i].Engine.WorkingSet() < sources[j].Engine.WorkingSet()
-	})
+	snaps := make(map[*GPU]*core.Snapshot, len(s.gpus))
+	sources := make([]Candidate, 0, len(s.gpus))
+	for _, g := range s.gpus {
+		snap := g.Engine.Snapshot()
+		snaps[g] = &snap
+		sources = append(sources, Candidate{GPU: g, Snap: &snap})
+	}
+	s.policy.RankSources(sources)
 	for _, src := range sources {
-		ws := src.Engine.WorkingSet()
-		if ws == 0 || ws >= s.LightlyLoadedBelow {
+		srcSnap := src.Snap
+		ws := srcSnap.WorkingSet
+		if ws == 0 || ws >= s.lightThreshold(srcSnap) {
 			continue
 		}
 		// Move the source's newest requests first (FCFS preservation,
 		// §5.3) while a strictly busier target can take them.
-		for src.Engine.WorkingSet() > 0 {
-			victim := src.Engine.EvictNewest(now)
+		for srcSnap.WorkingSet > 0 {
+			victim := src.GPU.Engine.EvictNewest(now)
 			if victim == nil {
 				break
 			}
-			dst := s.busierTarget(victim, src)
+			srcSnap.NoteRemoved(victim)
+			dst := s.busierTarget(victim, src.GPU, snaps)
 			if dst != nil {
 				err := dst.Engine.Enqueue(victim, now)
 				if err == nil {
+					snaps[dst].NoteEnqueued(victim)
 					moved++
 					s.stats.Migrations++
 					continue
@@ -287,12 +333,14 @@ func (s *Scheduler) Consolidate(now time.Duration) int {
 			// Nothing can take it: put it back and stop. The victim's
 			// adapter is still resident on the source, so re-acquiring
 			// cannot hit store backpressure; queue it if it somehow does.
-			if err := src.Engine.Enqueue(victim, now); err != nil {
+			if err := src.GPU.Engine.Enqueue(victim, now); err != nil {
 				if !errors.Is(err, lora.ErrStoreFull) {
 					panic("sched: re-enqueue on source failed: " + err.Error())
 				}
 				s.stats.AdapterStalls++
 				s.enqueueFCFS(victim)
+			} else {
+				srcSnap.NoteEnqueued(victim)
 			}
 			break
 		}
@@ -301,22 +349,25 @@ func (s *Scheduler) Consolidate(now time.Duration) int {
 }
 
 // busierTarget finds a destination strictly busier than src (so
-// consolidation converges) that can admit r.
-func (s *Scheduler) busierTarget(r *core.Request, src *GPU) *GPU {
-	var best *GPU
+// consolidation converges) that can admit r, delegating the preference
+// among valid targets to the policy.
+func (s *Scheduler) busierTarget(r *core.Request, src *GPU, snaps map[*GPU]*core.Snapshot) *GPU {
+	srcWS := snaps[src].WorkingSet
+	var cands []Candidate
 	for _, g := range s.gpus {
-		if g == src || !g.Engine.CanAdmit(r) {
+		if g == src {
 			continue
 		}
-		if g.Engine.WorkingSet() <= src.Engine.WorkingSet() {
+		snap := snaps[g]
+		if snap.WorkingSet <= srcWS || !snap.CanAdmit(r) {
 			continue
 		}
-		if best == nil || g.Engine.WorkingSet() > best.Engine.WorkingSet() ||
-			(g.Engine.WorkingSet() == best.Engine.WorkingSet() && g.UUID > best.UUID) {
-			best = g
-		}
+		cands = append(cands, Candidate{GPU: g, Snap: snap})
 	}
-	return best
+	if len(cands) == 0 {
+		return nil
+	}
+	return s.policy.PickTarget(r, cands)
 }
 
 // NeedMoreGPUs reports the §5.1 scale-up condition: no lightly-loaded GPU
@@ -324,7 +375,8 @@ func (s *Scheduler) busierTarget(r *core.Request, src *GPU) *GPU {
 // "should request more GPUs".
 func (s *Scheduler) NeedMoreGPUs() bool {
 	for _, g := range s.gpus {
-		if g.Engine.WorkingSet() < s.LightlyLoadedBelow {
+		snap := g.Engine.Snapshot()
+		if snap.WorkingSet < s.lightThreshold(&snap) {
 			return false
 		}
 	}
@@ -336,7 +388,7 @@ func (s *Scheduler) NeedMoreGPUs() bool {
 func (s *Scheduler) ReleasableGPUs() []*GPU {
 	var idle []*GPU
 	for _, g := range s.gpus {
-		if g.Engine.WorkingSet() == 0 {
+		if g.Engine.Snapshot().WorkingSet == 0 {
 			idle = append(idle, g)
 		}
 	}

@@ -156,7 +156,7 @@ func TestRescheduleQueuesInArrivalOrder(t *testing.T) {
 	if len(woken) != 1 {
 		t.Fatalf("expected one dispatch, got %d", len(woken))
 	}
-	if gpus[0].Engine.WorkingSet() != 1 || s.QueueLen() != 1 {
+	if gpus[0].Engine.Snapshot().WorkingSet != 1 || s.QueueLen() != 1 {
 		t.Fatal("drain should place exactly the evicted (older) request")
 	}
 }
@@ -177,11 +177,11 @@ func TestConsolidateMovesFromLightToBusy(t *testing.T) {
 	if moved != 1 {
 		t.Fatalf("moved %d, want 1", moved)
 	}
-	if gpus[0].Engine.WorkingSet() != 0 {
+	if gpus[0].Engine.Snapshot().WorkingSet != 0 {
 		t.Fatal("light GPU should be drained to idle")
 	}
-	if gpus[1].Engine.WorkingSet() != 7 {
-		t.Fatalf("busy GPU has %d, want 7", gpus[1].Engine.WorkingSet())
+	if gpus[1].Engine.Snapshot().WorkingSet != 7 {
+		t.Fatalf("busy GPU has %d, want 7", gpus[1].Engine.Snapshot().WorkingSet)
 	}
 }
 
@@ -212,7 +212,7 @@ func TestConsolidateNoTargetPutsBack(t *testing.T) {
 	if moved := s.Consolidate(0); moved != 0 {
 		t.Fatalf("single-GPU cluster moved %d", moved)
 	}
-	if gpus[0].Engine.WorkingSet() != 1 {
+	if gpus[0].Engine.Snapshot().WorkingSet != 1 {
 		t.Fatal("request lost during failed consolidation")
 	}
 }

@@ -30,6 +30,9 @@ type Config struct {
 	// Speedup divides simulated latencies to produce wall-clock pacing:
 	// 1 serves in real time, 100 (default) runs 100x faster.
 	Speedup float64
+	// Policy selects the placement policy by name ("" or "paper",
+	// "affinity", "rank" — see internal/sched).
+	Policy string
 }
 
 // Server runs the scheduler and GPU drivers and routes token streams.
@@ -71,7 +74,15 @@ func New(cfg Config) *Server {
 		s.engines[g] = eng
 		s.gpus = append(s.gpus, g)
 	}
-	s.sch = sched.New(s.gpus)
+	policy, err := sched.PolicyByName(cfg.Policy, sched.PolicyConfig{
+		Base:        cfg.Engine.Model,
+		DefaultRank: cfg.Engine.Rank,
+		RankOf:      cfg.Engine.AdapterRank,
+	})
+	if err != nil {
+		panic("serve: " + err.Error())
+	}
+	s.sch = sched.NewWithPolicy(s.gpus, policy)
 	for _, g := range s.gpus {
 		s.wg.Add(1)
 		go s.drive(g)
