@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench
+.PHONY: all build test race vet fmt check bench shuffle fuzz
 
 all: check
 
@@ -12,6 +12,19 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# shuffle randomises test execution order to surface ordering
+# dependencies between tests.
+shuffle:
+	$(GO) test -shuffle=on ./...
+
+# fuzz runs a short smoke of every native fuzz target (segment shapes,
+# batch grouping, workload assignment).
+fuzz:
+	$(GO) test ./internal/sgmv -run '^$$' -fuzz FuzzSegmentSizes -fuzztime 10s
+	$(GO) test ./internal/sgmv -run '^$$' -fuzz FuzzGroupByModel -fuzztime 10s
+	$(GO) test ./internal/dist -run '^$$' -fuzz FuzzAssigner -fuzztime 10s
+	$(GO) test ./internal/dist -run '^$$' -fuzz FuzzZipfAssigner -fuzztime 10s
 
 vet:
 	$(GO) vet ./...

@@ -1,6 +1,8 @@
 package punica
 
 import (
+	"time"
+
 	"punica/internal/cluster"
 	"punica/internal/core"
 	"punica/internal/sched"
@@ -27,6 +29,33 @@ type AutoscaleConfig = cluster.AutoscaleConfig
 
 // AutoscaleStats summarises elastic provisioning after a run.
 type AutoscaleStats = cluster.AutoscaleStats
+
+// FaultPlan is a deterministic schedule of injected GPU failures
+// (ClusterConfig.Faults): the unplanned counterpart of §5.1's planned
+// drain-and-release. Crashed GPUs lose all KvCache and adapter pins;
+// their working sets are re-dispatched FCFS with prefill recomputation.
+type FaultPlan = cluster.FaultPlan
+
+// FaultEvent is one scheduled failure in a FaultPlan.
+type FaultEvent = cluster.FaultEvent
+
+// FaultKind selects a failure mode: crash, crash-and-replace, or a
+// transient stall.
+type FaultKind = cluster.FaultKind
+
+// Failure modes a FaultEvent can inject.
+const (
+	FaultCrash        = cluster.FaultCrash
+	FaultCrashReplace = cluster.FaultCrashReplace
+	FaultStall        = cluster.FaultStall
+)
+
+// RandomFaultPlan draws a seeded Poisson failure schedule — the chaos
+// harness's generator. Two calls with the same arguments produce
+// byte-identical plans.
+func RandomFaultPlan(seed int64, numGPUs int, horizon time.Duration, ratePerGPUHour float64) FaultPlan {
+	return cluster.RandomFaultPlan(seed, numGPUs, horizon, ratePerGPUHour)
+}
 
 // Scheduler is Punica's cluster scheduler (§5.1): largest-working-set
 // routing with FCFS queueing, migration and scale hints, behind a

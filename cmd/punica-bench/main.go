@@ -30,7 +30,11 @@ var (
 	peakFlag  = flag.Float64("peak", 11, "peak request rate (req/s) for fig13")
 	hourFlag  = flag.Bool("full-hour", false, "run fig13 at the paper's full one-hour horizon")
 	csvFlag   = flag.String("csv", "", "also write the figure's data as CSV to this file (fig1,7,8,9,10,11,12,13)")
+	jsonFlag  = flag.String("json", "", "write machine-readable results to this JSON file (fig11,fig12,fig13,policies,faults)")
 )
+
+// benchRecords accumulates -json output across the experiments run.
+var benchRecords []experiments.BenchRecord
 
 // writeCSV writes one figure's CSV when -csv is set.
 func writeCSV(write func(io.Writer) error) error {
@@ -63,11 +67,30 @@ func main() {
 				fatal(err)
 			}
 		}
-		return
-	}
-	if err := run(name); err != nil {
+	} else if err := run(name); err != nil {
 		fatal(err)
 	}
+	if err := writeBenchJSON(); err != nil {
+		fatal(err)
+	}
+}
+
+// writeBenchJSON flushes accumulated machine-readable results when
+// -json was given.
+func writeBenchJSON() error {
+	if *jsonFlag == "" {
+		return nil
+	}
+	f, err := os.Create(*jsonFlag)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := experiments.WriteBenchJSON(f, benchRecords); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "wrote", *jsonFlag)
+	return nil
 }
 
 var allExperiments = []string{
@@ -75,7 +98,7 @@ var allExperiments = []string{
 	"fig11", "fig12", "fig13", "headline", "loading",
 	"ablation-norm", "ablation-maxbatch", "ablation-pagesize",
 	"ablation-prefill", "ablation-migration", "ablation-quant",
-	"autoscale", "policies",
+	"autoscale", "policies", "faults",
 }
 
 func run(name string) error {
@@ -133,6 +156,7 @@ func run(name string) error {
 		title := fmt.Sprintf("Figure 11 — single-GPU text generation (%s, %d requests):",
 			model.Name, opts.NumRequests)
 		fmt.Println(experiments.FormatFig11(title, rows))
+		benchRecords = append(benchRecords, experiments.Fig11Records("fig11", rows)...)
 		if err := writeCSV(func(w io.Writer) error { return experiments.Fig11CSV(w, rows) }); err != nil {
 			return err
 		}
@@ -144,6 +168,7 @@ func run(name string) error {
 		title := fmt.Sprintf("Figure 12 — 70B tensor parallel on 8xA100-40G (%d requests):",
 			opts.NumRequests)
 		fmt.Println(experiments.FormatFig11(title, rows))
+		benchRecords = append(benchRecords, experiments.Fig11Records("fig12", rows)...)
 		if err := writeCSV(func(w io.Writer) error { return experiments.Fig11CSV(w, rows) }); err != nil {
 			return err
 		}
@@ -154,6 +179,7 @@ func run(name string) error {
 			return err
 		}
 		fmt.Println(experiments.FormatFig13(res))
+		benchRecords = append(benchRecords, experiments.Fig13Records(res)...)
 		if err := writeCSV(func(w io.Writer) error { return experiments.Fig13CSV(w, res) }); err != nil {
 			return err
 		}
@@ -215,8 +241,23 @@ func run(name string) error {
 			return err
 		}
 		fmt.Println(experiments.FormatPolicyCompare(points))
+		benchRecords = append(benchRecords, experiments.PolicyRecords(points)...)
 		if err := writeCSV(func(w io.Writer) error {
 			return experiments.PolicyCompareCSV(w, points)
+		}); err != nil {
+			return err
+		}
+	case "faults":
+		o := experiments.DefaultFaultsOptions()
+		o.Seed = *seedFlag
+		points, err := experiments.Faults(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFaults(points))
+		benchRecords = append(benchRecords, experiments.FaultsRecords(points)...)
+		if err := writeCSV(func(w io.Writer) error {
+			return experiments.FaultsCSV(w, points)
 		}); err != nil {
 			return err
 		}

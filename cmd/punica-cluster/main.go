@@ -29,12 +29,42 @@ func main() {
 	policies := flag.Bool("compare-policies", false,
 		"run the policy head-to-head across workload distributions instead")
 	policyCSV := flag.String("policy-csv", "", "write the policy comparison as CSV to this file")
+	faults := flag.Bool("faults", false,
+		"run the availability experiment instead: failure rate x policy, degradation vs fault-free")
+	faultsCSV := flag.String("faults-csv", "", "write the availability sweep as CSV to this file")
 	flag.Parse()
 
 	if _, err := sched.PolicyByName(*policy, sched.PolicyConfig{}); err != nil {
 		log.Fatal(err)
 	}
 	start := time.Now()
+	if *faults {
+		fopts := experiments.DefaultFaultsOptions()
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "gpus" {
+				fopts.NumGPUs = *gpus
+			}
+		})
+		fopts.Seed = *seed
+		points, err := experiments.Faults(fopts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.FormatFaults(points))
+		if *faultsCSV != "" {
+			f, err := os.Create(*faultsCSV)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := experiments.FaultsCSV(f, points); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n", *faultsCSV)
+		}
+		fmt.Printf("(ran in %v of wall time)\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 	if *policies {
 		popts := experiments.DefaultPolicyCompareOptions()
 		// -gpus defaults to fig13's 16; only an explicit value overrides

@@ -17,6 +17,7 @@ import (
 	"log"
 	"net/http"
 	"strings"
+	"time"
 
 	"punica/internal/core"
 	"punica/internal/hw"
@@ -36,6 +37,8 @@ func main() {
 		"placement policy: paper, affinity or rank")
 	runners := flag.String("runners", "",
 		"comma-separated punica-runner base URLs; enables distributed frontend mode")
+	health := flag.Duration("health-interval", time.Second,
+		"runner health-probe interval in frontend mode (0 disables fault tolerance)")
 	flag.Parse()
 
 	model, err := models.ByName(*modelName)
@@ -49,10 +52,13 @@ func main() {
 
 	if *runners != "" {
 		urls := strings.Split(*runners, ",")
-		f := remote.NewFrontendWithPolicy(urls, 0, pol)
+		f := remote.NewFrontendWithOptions(urls, remote.FrontendOptions{
+			Policy:         pol,
+			HealthInterval: *health,
+		})
 		defer f.Close()
-		fmt.Printf("punica-serve (frontend): scheduling across %d remote runners (%s policy), listening on %s\n",
-			len(urls), *policy, *addr)
+		fmt.Printf("punica-serve (frontend): scheduling across %d remote runners (%s policy, health probes every %v), listening on %s\n",
+			len(urls), *policy, *health, *addr)
 		log.Fatal(http.ListenAndServe(*addr, f.Handler()))
 	}
 	srv := serve.New(serve.Config{

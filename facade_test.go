@@ -140,6 +140,36 @@ func TestAutoscaleFacade(t *testing.T) {
 	}
 }
 
+func TestFaultFacade(t *testing.T) {
+	plan := punica.RandomFaultPlan(1, 2, time.Minute, 120)
+	if len(plan.Events) == 0 {
+		t.Fatal("seeded plan is empty")
+	}
+	gen := punica.NewGenerator(punica.Uniform, punica.ConstantLengths(32, 8), 2)
+	c := punica.NewCluster(punica.ClusterConfig{
+		NumGPUs: 2,
+		Engine: punica.EngineConfig{
+			System: punica.PunicaSystem(),
+			GPU:    punica.A100(),
+			Model:  punica.Llama2_7B(),
+			Rank:   punica.DefaultLoRARank,
+		},
+		Faults: &punica.FaultPlan{Events: []punica.FaultEvent{
+			{At: 10 * time.Millisecond, GPU: 0, Kind: punica.FaultCrash},
+		}},
+	})
+	res, err := c.Run(gen.Batch(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finished != 6 {
+		t.Fatalf("finished %d/6", res.Finished)
+	}
+	if res.GPUFailures != 1 {
+		t.Fatalf("GPUFailures = %d through facade", res.GPUFailures)
+	}
+}
+
 func TestQuantizedEngineFacade(t *testing.T) {
 	eng := punica.NewEngine(punica.EngineConfig{
 		System:          punica.PunicaSystem(),

@@ -76,24 +76,7 @@ func (a *autoscaler) tick() {
 	// Scale up: every online GPU is loaded and capacity is waiting.
 	if a.c.sched.NeedMoreGPUs() &&
 		len(a.online)+a.inBoot < a.cfg.MaxGPUs && len(a.standby) > 0 {
-		r := a.standby[len(a.standby)-1]
-		a.standby = a.standby[:len(a.standby)-1]
-		a.inBoot++
-		a.provisions++
-		a.c.clock.Schedule(now+a.cfg.ProvisionDelay, func() {
-			a.inBoot--
-			a.online[r] = a.c.clock.Now()
-			a.c.sched.AddGPU(r.gpu)
-			// Newly attached capacity drains the queue.
-			placed, err := a.c.sched.DrainQueue(a.c.clock.Now())
-			if err != nil {
-				a.c.fail(fmt.Errorf("cluster: autoscale drain: %w", err))
-				return
-			}
-			for _, p := range placed {
-				a.c.runnerOf(p.GPU).kick()
-			}
-		})
+		a.provision(now)
 	}
 	// Scale down: release idle GPUs beyond the floor.
 	for len(a.online) > a.cfg.MinGPUs {
@@ -121,6 +104,49 @@ func (a *autoscaler) tick() {
 	} else {
 		a.finish(now)
 	}
+}
+
+// noteCrash reacts to an unplanned GPU loss: the victim leaves the
+// online set (its GPU-seconds are charged up to the crash) and can never
+// be re-provisioned from standby. When the crash leaves the cluster
+// below the provisioning floor, a standby GPU is booted immediately —
+// replacement capacity for crashed capacity — instead of waiting for the
+// next NeedMoreGPUs tick.
+func (a *autoscaler) noteCrash(r *runner, now time.Duration) {
+	if since, ok := a.online[r]; ok {
+		a.gpuSecs += (now - since).Seconds()
+		delete(a.online, r)
+	}
+	for i, s := range a.standby {
+		if s == r {
+			a.standby = append(a.standby[:i], a.standby[i+1:]...)
+			break
+		}
+	}
+	for len(a.online)+a.inBoot < a.cfg.MinGPUs && len(a.standby) > 0 {
+		a.provision(now)
+	}
+}
+
+// provision boots the top standby GPU; it attaches after ProvisionDelay
+// and drains the queue into the new capacity.
+func (a *autoscaler) provision(now time.Duration) {
+	r := a.standby[len(a.standby)-1]
+	a.standby = a.standby[:len(a.standby)-1]
+	a.inBoot++
+	a.provisions++
+	a.c.clock.Schedule(now+a.cfg.ProvisionDelay, func() {
+		a.inBoot--
+		a.online[r] = a.c.clock.Now()
+		a.c.sched.AddGPU(r.gpu)
+		// Newly attached capacity drains the queue.
+		placed, err := a.c.sched.DrainQueue(a.c.clock.Now())
+		if err != nil {
+			a.c.fail(fmt.Errorf("cluster: autoscale drain: %w", err))
+			return
+		}
+		a.c.notePlacements(placed)
+	})
 }
 
 // finish charges the remaining online time.

@@ -34,6 +34,12 @@ type Config struct {
 	// Autoscale.MinGPUs online.
 	Autoscale *AutoscaleConfig
 
+	// Faults injects a deterministic schedule of GPU failures (crash,
+	// crash-and-replace, transient stall) into the run — the unplanned
+	// counterpart of §5.1's planned drain-and-release. nil injects
+	// nothing.
+	Faults *FaultPlan
+
 	// Policy selects the placement policy by name: "" or "paper"
 	// preserves §5.1 exactly; "affinity" and "rank" trade it for
 	// adapter locality and SGMV rank grouping (see internal/sched).
@@ -83,6 +89,25 @@ type Result struct {
 	// AdapterEvictions counts warm adapters evicted from GPU stores to
 	// make room for newly requested ones (LRU, §5.2).
 	AdapterEvictions int64
+
+	// Fault-injection outcomes (Config.Faults / FailGPU).
+	//
+	// GPUFailures counts crashed GPUs, GPUReplacements the fresh GPUs
+	// attached for crash-and-replace events, and GPUStalls the transient
+	// pauses injected. FaultsSkipped counts events that were downgraded
+	// or dropped because they would have killed the last alive GPU.
+	GPUFailures     int64
+	GPUReplacements int64
+	GPUStalls       int64
+	FaultsSkipped   int64
+	// RecoveredRequests counts requests that lost their GPU mid-flight
+	// and were re-dispatched FCFS with prefill recomputation;
+	// RecomputedPrefillTokens is the KvCache context those crashes
+	// destroyed (the recomputation bill). RecoveryLatency measures
+	// failure→re-placement time per recovered request.
+	RecoveredRequests       int64
+	RecomputedPrefillTokens int64
+	RecoveryLatency         metrics.Histogram
 }
 
 // Cluster wires engines, scheduler and virtual clock together.
@@ -97,6 +122,9 @@ type Cluster struct {
 	arrivalsLeft int
 	scale        *autoscaler
 	runErr       error
+	// recovering maps request ID → crash time for requests awaiting
+	// re-placement after their GPU failed (feeds RecoveryLatency).
+	recovering map[int64]time.Duration
 }
 
 type runner struct {
@@ -106,6 +134,13 @@ type runner struct {
 	stepInFlight  bool
 	wakeScheduled bool
 	cluster       *Cluster
+
+	// crashed marks a dead GPU (it never steps again); crashPending
+	// defers a crash that arrived mid-step to the invocation boundary.
+	// stalledUntil pauses stepping without losing state.
+	crashed      bool
+	crashPending *FaultEvent
+	stalledUntil time.Duration
 }
 
 // New builds a cluster of cfg.NumGPUs engines. UUIDs are "gpu-00",
@@ -114,7 +149,12 @@ func New(cfg Config) *Cluster {
 	if cfg.NumGPUs <= 0 {
 		panic("cluster: need at least one GPU")
 	}
-	c := &Cluster{cfg: cfg, clock: sim.NewVirtualClock(), byGPU: make(map[*sched.GPU]*runner)}
+	c := &Cluster{
+		cfg:        cfg,
+		clock:      sim.NewVirtualClock(),
+		byGPU:      make(map[*sched.GPU]*runner),
+		recovering: make(map[int64]time.Duration),
+	}
 	var gpus []*sched.GPU
 	for i := 0; i < cfg.NumGPUs; i++ {
 		ec := cfg.Engine
@@ -193,6 +233,9 @@ func (c *Cluster) Run(reqs []workload.Request) (*Result, error) {
 	if c.scale != nil {
 		c.clock.Schedule(c.scale.cfg.CheckInterval, c.scale.tick)
 	}
+	if c.cfg.Faults != nil {
+		c.scheduleFaults(c.cfg.Faults)
+	}
 	c.clock.RunAll()
 	if c.runErr != nil {
 		return nil, c.runErr
@@ -250,6 +293,9 @@ func (c *Cluster) migrationTick() {
 	moved := c.sched.Consolidate(c.clock.Now())
 	if moved > 0 {
 		for _, r := range c.gpus {
+			if r.crashed {
+				continue
+			}
 			// A drained GPU goes idle: record the zero so the batch
 			// series reflects the consolidation.
 			if !r.eng.Busy() && !r.stepInFlight {
@@ -264,9 +310,11 @@ func (c *Cluster) migrationTick() {
 }
 
 // kick starts a step on the runner's engine if one is not already in
-// flight. GPUs run "batches on a GPU back-to-back" (§8).
+// flight. GPUs run "batches on a GPU back-to-back" (§8). Crashed
+// runners never step again; stalled runners resume at the wake the
+// stall scheduled.
 func (r *runner) kick() {
-	if r.stepInFlight {
+	if r.stepInFlight || r.crashed {
 		return
 	}
 	e := r.eng
@@ -274,6 +322,9 @@ func (r *runner) kick() {
 		return
 	}
 	now := r.cluster.clock.Now()
+	if now < r.stalledUntil {
+		return // stallGPU scheduled a kick at stall end
+	}
 	res := e.Step(now)
 	r.handleEvicted(res.Evicted)
 	if res.Idle {
@@ -317,15 +368,22 @@ func (r *runner) complete(res core.StepResult) {
 			c.res.PerTokenLatency.AddDuration(per)
 		}
 	}
+	if r.crashPending != nil {
+		// The fault landed mid-step: this boundary is where the GPU
+		// actually dies. Metrics for the final invocation are recorded
+		// above; everything still resident is recovered in doCrash.
+		ev := *r.crashPending
+		r.crashPending = nil
+		c.doCrash(r, ev)
+		return
+	}
 	if len(res.Finished) > 0 || len(res.Evicted) > 0 {
 		placed, err := c.sched.DrainQueue(now)
 		if err != nil {
 			c.fail(fmt.Errorf("cluster: drain queue: %w", err))
 			return
 		}
-		for _, p := range placed {
-			c.runnerOf(p.GPU).kick()
-		}
+		c.notePlacements(placed)
 	}
 	if !r.eng.Busy() {
 		c.res.BatchSeries[r.index].Add(now, 0)

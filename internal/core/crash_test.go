@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"punica/internal/hw"
+	"punica/internal/models"
+)
+
+// TestEngineCrashReleasesEverything: a crash drops the whole working
+// set — active rows release their KvCache pages, pending rows their
+// reservations, and every adapter pin returns to the store — and the
+// lost requests come back in arrival order with Generated intact so the
+// caller can re-dispatch with prefill recomputation.
+func TestEngineCrashReleasesEverything(t *testing.T) {
+	e := NewEngine(Config{
+		System: PunicaSystem(),
+		GPU:    hw.A100(),
+		Model:  models.Llama2_7B(),
+		Rank:   16,
+	})
+	reqs := []*Request{
+		{ID: 2, Model: 1, PromptLen: 64, OutputLen: 20, Arrival: 2 * time.Millisecond},
+		{ID: 1, Model: 2, PromptLen: 32, OutputLen: 10, Arrival: time.Millisecond},
+		{ID: 3, Model: 1, PromptLen: 16, OutputLen: 5, Arrival: 3 * time.Millisecond},
+	}
+	for _, r := range reqs {
+		if err := e.Enqueue(r, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A few steps: wait out adapter loads, then let requests prefill and
+	// hold KvCache.
+	now := time.Duration(0)
+	for i := 0; i < 10 && e.KV().UsedPages() == 0; i++ {
+		res := e.Step(now)
+		if res.Idle {
+			wake, ok := e.EarliestPendingReady()
+			if !ok {
+				break
+			}
+			now = wake
+			continue
+		}
+		now = res.EndsAt
+	}
+	if e.KV().UsedPages() == 0 {
+		t.Fatal("setup: no KvCache in use before crash")
+	}
+	gen := map[int64]int{}
+	for _, r := range reqs {
+		gen[r.ID] = r.Generated
+	}
+
+	lost, lostKV := e.Crash(now)
+	if len(lost) != 3 {
+		t.Fatalf("crash returned %d requests, want 3", len(lost))
+	}
+	for i := 1; i < len(lost); i++ {
+		if lost[i-1].Arrival > lost[i].Arrival {
+			t.Fatal("lost requests not in arrival order")
+		}
+	}
+	if lostKV == 0 {
+		t.Fatal("active rows held context; lostKVTokens must be positive")
+	}
+	for _, r := range lost {
+		if r.Generated != gen[r.ID] {
+			t.Fatalf("r%d Generated changed across crash: %d -> %d", r.ID, gen[r.ID], r.Generated)
+		}
+	}
+	if e.Busy() {
+		t.Fatal("engine still busy after crash")
+	}
+	if e.KV().UsedPages() != 0 {
+		t.Fatal("crash leaked KvCache pages")
+	}
+	if e.Store().PinnedBytes() != 0 {
+		t.Fatal("crash leaked pinned adapter bytes")
+	}
+	if e.Stats().Crashes != 1 {
+		t.Fatalf("Crashes = %d", e.Stats().Crashes)
+	}
+	// The crashed working set can be re-enqueued elsewhere (here: the
+	// same engine object, standing in for a healthy GPU) and completes.
+	for _, r := range lost {
+		if err := e.Enqueue(r, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200 && e.Busy(); i++ {
+		res := e.Step(now)
+		if res.Idle {
+			if wake, ok := e.EarliestPendingReady(); ok {
+				now = wake
+				continue
+			}
+			break
+		}
+		now = res.EndsAt
+	}
+	if e.Stats().Finished != 3 {
+		t.Fatalf("recovered requests finished %d/3", e.Stats().Finished)
+	}
+	if e.Store().PinnedBytes() != 0 {
+		t.Fatal("pins leaked after recovery")
+	}
+}
+
+// TestEngineCrashEmpty: crashing an idle engine is a no-op that still
+// counts the crash.
+func TestEngineCrashEmpty(t *testing.T) {
+	e := NewEngine(Config{
+		System: PunicaSystem(),
+		GPU:    hw.A100(),
+		Model:  models.Llama2_7B(),
+		Rank:   16,
+	})
+	lost, lostKV := e.Crash(0)
+	if lost != nil || lostKV != 0 {
+		t.Fatalf("empty crash returned (%v, %d)", lost, lostKV)
+	}
+}

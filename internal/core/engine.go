@@ -42,7 +42,10 @@ type Stats struct {
 	Evictions       int64
 	Cancellations   int64
 	Finished        int64
-	BusyTime        time.Duration
+	// Crashes counts injected GPU failures survived by this engine object
+	// (each drops all resident requests for recovery elsewhere).
+	Crashes  int64
+	BusyTime time.Duration
 }
 
 // StepResult reports one model invocation.
@@ -246,6 +249,49 @@ func (e *Engine) releaseRequest(r *Request) {
 	}
 	r.prefilled = false
 	r.done = false
+}
+
+// Crash models the engine's GPU dying: every resident request loses its
+// KvCache state and adapter pin (with exact store accounting — pinned
+// bytes return to zero for the requests dropped) and is returned for
+// re-dispatch elsewhere. Requests keep Generated, so a recovering
+// scheduler re-prefills prompt + generated exactly like the §5.3
+// migration path. lostKVTokens is the KvCache context the active batch
+// held at the instant of the crash — the prefill work that must be
+// recomputed. Finished rows of a static batch are not returned: their
+// users already have every token.
+//
+// After Crash the engine is empty (Busy reports false) and could in
+// principle serve again, but a crashed GPU's driver normally abandons
+// it; replacements start from a fresh engine with a cold adapter store.
+func (e *Engine) Crash(now time.Duration) (lost []*Request, lostKVTokens int) {
+	for _, r := range e.pending {
+		e.reservedPages -= e.kv.PagesFor(e.kvNeed(r))
+		e.releaseRequest(r)
+		lost = append(lost, r)
+	}
+	e.pending = nil
+	for _, r := range e.active {
+		e.kv.Release(kvcache.SeqID(r.ID))
+		if r.done {
+			// Finished static-batch row: nothing to recover.
+			e.releaseRequest(r)
+			continue
+		}
+		lostKVTokens += r.ContextLen()
+		e.releaseRequest(r)
+		lost = append(lost, r)
+	}
+	e.active = e.active[:0]
+	e.stats.Crashes++
+	// Oldest-first so the caller's FCFS requeue observes arrival order.
+	sort.Slice(lost, func(i, j int) bool {
+		if lost[i].Arrival != lost[j].Arrival {
+			return lost[i].Arrival < lost[j].Arrival
+		}
+		return lost[i].ID < lost[j].ID
+	})
+	return lost, lostKVTokens
 }
 
 // EvictNewest removes the most recently arrived request (active or

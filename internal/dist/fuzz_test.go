@@ -1,0 +1,68 @@
+package dist
+
+import (
+	"testing"
+
+	"punica/internal/sim"
+)
+
+// FuzzAssigner drives every distribution kind with arbitrary population
+// sizes and seeds, checking the invariants workload generation relies
+// on: assignments stay within [0, NumModels()) and the draw sequence is
+// a pure function of (kind, population, seed).
+func FuzzAssigner(f *testing.F) {
+	f.Add(uint8(0), uint16(1), int64(1), uint8(10))
+	f.Add(uint8(2), uint16(100), int64(42), uint8(50))
+	f.Add(uint8(4), uint16(7), int64(-3), uint8(200))
+	f.Fuzz(func(t *testing.T, kindRaw uint8, nRaw uint16, seed int64, drawsRaw uint8) {
+		kinds := []Kind{Distinct, Uniform, Skewed, Identical, Zipf}
+		kind := kinds[int(kindRaw)%len(kinds)]
+		numModels := int(nRaw)%2048 + 1
+		draws := int(drawsRaw) + 1
+
+		a := NewAssigner(kind, numModels, sim.NewRNG(seed))
+		b := NewAssigner(kind, numModels, sim.NewRNG(seed))
+		if a.NumModels() < 1 {
+			t.Fatalf("NumModels = %d", a.NumModels())
+		}
+		for i := 0; i < draws; i++ {
+			got := a.Assign()
+			if got < 0 || got >= a.NumModels() {
+				t.Fatalf("draw %d: %d outside [0,%d)", i, got, a.NumModels())
+			}
+			if again := b.Assign(); again != got {
+				t.Fatalf("draw %d not deterministic: %d vs %d", i, got, again)
+			}
+		}
+		if kind == Identical {
+			c := NewAssigner(kind, numModels, sim.NewRNG(seed))
+			for i := 0; i < draws; i++ {
+				if c.Assign() != 0 {
+					t.Fatal("Identical must always assign model 0")
+				}
+			}
+		}
+	})
+}
+
+// FuzzZipfAssigner covers the parameterized extension: arbitrary decay
+// alphas stay in range and deterministic.
+func FuzzZipfAssigner(f *testing.F) {
+	f.Add(uint16(10), int64(7), uint8(20), uint8(15))
+	f.Fuzz(func(t *testing.T, nRaw uint16, seed int64, alphaRaw uint8, drawsRaw uint8) {
+		numModels := int(nRaw)%512 + 1
+		alpha := 1.0 + float64(alphaRaw%40)/10 + 0.1 // (1.1, 5.1)
+		draws := int(drawsRaw) + 1
+		a := NewZipfAssigner(numModels, alpha, sim.NewRNG(seed))
+		b := NewZipfAssigner(numModels, alpha, sim.NewRNG(seed))
+		for i := 0; i < draws; i++ {
+			got := a.Assign()
+			if got < 0 || got >= numModels {
+				t.Fatalf("draw %d: %d outside [0,%d)", i, got, numModels)
+			}
+			if b.Assign() != got {
+				t.Fatal("Zipf assigner not deterministic")
+			}
+		}
+	})
+}

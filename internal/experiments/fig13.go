@@ -108,6 +108,11 @@ type Fig13Result struct {
 	Migrations int64
 	Evictions  int64
 	Throughput float64
+	// Latency and backpressure summaries (seconds / counts), carried for
+	// the machine-readable bench output.
+	P50TTFT       float64
+	P99TTFT       float64
+	AdapterStalls int64
 	// PeakIdleGPUs counts GPUs that stayed idle during the plateau bin
 	// with the highest load, and TailIdleGPUs during the final bin —
 	// consolidation should free GPUs as load recedes.
@@ -149,6 +154,10 @@ func Fig13(opts Fig13Options) (*Fig13Result, error) {
 		Migrations: res.Migrations,
 		Evictions:  res.Evictions,
 		Throughput: res.Throughput,
+
+		P50TTFT:       res.TimeToFirstToken.Percentile(50),
+		P99TTFT:       res.TimeToFirstToken.Percentile(99),
+		AdapterStalls: res.AdapterStalls,
 	}
 	for i := range res.BatchSeries {
 		out.BatchPerGPU = append(out.BatchPerGPU, res.BatchSeries[i].Bin(span, opts.BinWidth))

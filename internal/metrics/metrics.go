@@ -28,6 +28,18 @@ func (h *Histogram) Add(v float64) {
 // AddDuration records a duration sample in seconds.
 func (h *Histogram) AddDuration(d time.Duration) { h.Add(d.Seconds()) }
 
+// Merge folds other's samples into h (other is unchanged). Sweep
+// harnesses use it to aggregate per-run distributions — e.g. recovery
+// latencies across the cells of an availability sweep.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || len(other.samples) == 0 {
+		return
+	}
+	h.samples = append(h.samples, other.samples...)
+	h.sum += other.sum
+	h.sorted = false
+}
+
 // Count returns the number of samples.
 func (h *Histogram) Count() int { return len(h.samples) }
 

@@ -6,6 +6,36 @@ import (
 	"time"
 )
 
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for _, v := range []float64{1, 2, 3} {
+		a.Add(v)
+	}
+	for _, v := range []float64{4, 5} {
+		b.Add(v)
+	}
+	_ = a.Percentile(50) // force a sort; Merge must invalidate it
+	a.Merge(&b)
+	if a.Count() != 5 {
+		t.Fatalf("merged count = %d, want 5", a.Count())
+	}
+	if got := a.Mean(); got != 3 {
+		t.Fatalf("merged mean = %v, want 3", got)
+	}
+	if got := a.Max(); got != 5 {
+		t.Fatalf("merged max = %v, want 5", got)
+	}
+	if b.Count() != 2 {
+		t.Fatal("merge mutated the source histogram")
+	}
+	a.Merge(nil) // no-op
+	var empty Histogram
+	a.Merge(&empty)
+	if a.Count() != 5 {
+		t.Fatal("merging nil/empty changed the histogram")
+	}
+}
+
 func TestHistogramBasics(t *testing.T) {
 	var h Histogram
 	if h.Mean() != 0 || h.Percentile(50) != 0 || h.Count() != 0 {

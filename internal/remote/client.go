@@ -77,6 +77,62 @@ func (c *Client) postJSON(path string, in, out any) error {
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
+// Probe checks the runner's health with a bounded deadline: one GET
+// /runner/state that must answer within timeout. The frontend's health
+// monitor calls this instead of FetchState so a hung (not just dead)
+// runner cannot stall the probe loop for the transport client's full
+// 10 s timeout. It deliberately probes the scheduling endpoint rather
+// than the cheaper /healthz: a runner that can serve its snapshot is
+// provably schedulable, which is the liveness the scheduler cares
+// about. The per-call client shares http.DefaultTransport's connection
+// pool; only the deadline is per-probe.
+func (c *Client) Probe(timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	probe := &http.Client{Timeout: timeout}
+	resp, err := probe.Get(c.base + "/runner/state")
+	if err != nil {
+		c.setErr(err)
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		err := fmt.Errorf("remote: probe -> %d", resp.StatusCode)
+		c.setErr(err)
+		return err
+	}
+	c.setErr(nil)
+	return nil
+}
+
+// Crash implements sched.Crasher over the wire: POST /runner/drain
+// salvages the runner's working set for re-dispatch. A dead runner
+// returns nothing — the frontend then recovers from its own placement
+// records. The call uses a short deadline: it runs while a runner is
+// being declared failed, so it must not hang on a wedged machine.
+func (c *Client) Crash(_ time.Duration) ([]*core.Request, int) {
+	drain := &http.Client{Timeout: 2 * time.Second}
+	resp, err := drain.Post(c.base+"/runner/drain", "application/json", bytes.NewReader([]byte("{}")))
+	if err != nil {
+		c.setErr(err)
+		return nil, 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0
+	}
+	var reply DrainReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return nil, 0
+	}
+	lost := make([]*core.Request, 0, len(reply.Requests))
+	for _, ws := range reply.Requests {
+		lost = append(lost, ws.toCore())
+	}
+	return lost, reply.LostKVTokens
+}
+
 // FetchState retrieves the runner's scheduling snapshot.
 func (c *Client) FetchState() (State, error) {
 	resp, err := c.http.Get(c.base + "/runner/state")

@@ -1,10 +1,11 @@
 package remote
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -14,41 +15,102 @@ import (
 	"punica/internal/serve"
 )
 
+// FrontendOptions configures a frontend beyond the runner URLs.
+type FrontendOptions struct {
+	// DrainInterval governs how often the FCFS queue is re-offered to
+	// runners (capacity opens asynchronously on remote machines); 50 ms
+	// by default.
+	DrainInterval time.Duration
+	// Policy is the placement policy (nil means the paper's §5.1 rule).
+	Policy sched.Policy
+
+	// HealthInterval, when > 0, enables runner health checking: every
+	// interval each runner is probed with GET /runner/state under
+	// HealthTimeout. After HealthThreshold consecutive probe failures
+	// the runner is declared failed: it is force-removed from the
+	// scheduler (sched.FailGPU), whatever working set is still
+	// reachable is drained, and every request placed on it is requeued
+	// FCFS onto the survivors instead of erroring the run.
+	HealthInterval time.Duration
+	// HealthTimeout bounds one probe (default 1 s).
+	HealthTimeout time.Duration
+	// HealthThreshold is the consecutive-failure count that declares
+	// death (default 3).
+	HealthThreshold int
+	// RecoverWait bounds how long a broken token stream waits for its
+	// request to be re-placed before giving up (default 15 s). Only
+	// meaningful with health checking enabled.
+	RecoverWait time.Duration
+}
+
+func (o FrontendOptions) withDefaults() FrontendOptions {
+	if o.DrainInterval <= 0 {
+		o.DrainInterval = 50 * time.Millisecond
+	}
+	if o.HealthTimeout <= 0 {
+		o.HealthTimeout = time.Second
+	}
+	if o.HealthThreshold <= 0 {
+		o.HealthThreshold = 3
+	}
+	if o.RecoverWait <= 0 {
+		o.RecoverWait = 15 * time.Second
+	}
+	return o
+}
+
+// placement records where a request currently lives, with enough state
+// to re-dispatch it when that runner dies.
+type placement struct {
+	req *core.Request
+	gpu *sched.GPU
+}
+
 // Frontend terminates user connections and routes requests across remote
 // runners through the Punica scheduler (Fig. 2: "frontend servers ...
 // forward users' serving requests to the Punica scheduler"). Token
-// streams are proxied from the owning runner back to the user.
+// streams are proxied from the owning runner back to the user; when
+// health checking is enabled, a stream cut by a runner crash re-attaches
+// to the request's new owner and resumes exactly where it left off
+// (token indices dedupe the recomputed prefix).
 type Frontend struct {
 	sch     *sched.Scheduler
 	clients map[*sched.GPU]*Client
+	opts    FrontendOptions
 
-	mu      sync.Mutex
-	nextID  int64
-	placed  map[int64]*sched.GPU
-	waiters map[int64]chan *sched.GPU
-	start   time.Time
-	stop    chan struct{}
-	wg      sync.WaitGroup
+	mu        sync.Mutex
+	nextID    int64
+	placed    map[int64]placement
+	waiters   map[int64]chan *sched.GPU
+	failed    []string // UUIDs of runners declared dead
+	failures  int64
+	recovered int64
+	start     time.Time
+	stop      chan struct{}
+	wg        sync.WaitGroup
 }
 
 // NewFrontend builds a frontend over runner base URLs with the paper's
-// §5.1 placement policy. DrainInterval governs how often the queue is
-// re-offered to runners (capacity opens asynchronously on remote
-// machines); 50 ms by default.
+// §5.1 placement policy and health checking disabled.
 func NewFrontend(runnerURLs []string, drainInterval time.Duration) *Frontend {
-	return NewFrontendWithPolicy(runnerURLs, drainInterval, nil)
+	return NewFrontendWithOptions(runnerURLs, FrontendOptions{DrainInterval: drainInterval})
 }
 
 // NewFrontendWithPolicy is NewFrontend with an explicit placement
 // policy (nil means the paper's). Policies rank runners on the batched
 // snapshot each one serves over GET /runner/state.
 func NewFrontendWithPolicy(runnerURLs []string, drainInterval time.Duration, p sched.Policy) *Frontend {
-	if drainInterval <= 0 {
-		drainInterval = 50 * time.Millisecond
-	}
+	return NewFrontendWithOptions(runnerURLs, FrontendOptions{DrainInterval: drainInterval, Policy: p})
+}
+
+// NewFrontendWithOptions builds a frontend with full control, including
+// the health-checking fault-tolerance loop.
+func NewFrontendWithOptions(runnerURLs []string, opts FrontendOptions) *Frontend {
+	opts = opts.withDefaults()
 	f := &Frontend{
+		opts:    opts,
 		clients: make(map[*sched.GPU]*Client),
-		placed:  make(map[int64]*sched.GPU),
+		placed:  make(map[int64]placement),
 		waiters: make(map[int64]chan *sched.GPU),
 		start:   time.Now(),
 		stop:    make(chan struct{}),
@@ -60,13 +122,17 @@ func NewFrontendWithPolicy(runnerURLs []string, drainInterval time.Duration, p s
 		f.clients[g] = client
 		gpus = append(gpus, g)
 	}
-	f.sch = sched.NewWithPolicy(gpus, p)
+	f.sch = sched.NewWithPolicy(gpus, opts.Policy)
 	f.wg.Add(1)
-	go f.drainLoop(drainInterval)
+	go f.drainLoop(opts.DrainInterval)
+	if opts.HealthInterval > 0 {
+		f.wg.Add(1)
+		go f.healthLoop()
+	}
 	return f
 }
 
-// Close stops the background drain loop.
+// Close stops the background loops.
 func (f *Frontend) Close() {
 	close(f.stop)
 	f.wg.Wait()
@@ -89,11 +155,101 @@ func (f *Frontend) drainLoop(interval time.Duration) {
 			placed, err := f.sch.DrainQueue(f.now())
 			if err == nil {
 				for _, p := range placed {
-					f.notePlacement(p.Request.ID, p.GPU)
+					f.notePlacement(p.Request, p.GPU)
 				}
 			}
 			f.mu.Unlock()
 		}
+	}
+}
+
+// healthLoop probes every managed runner and fails the ones that stop
+// answering.
+func (f *Frontend) healthLoop() {
+	defer f.wg.Done()
+	ticker := time.NewTicker(f.opts.HealthInterval)
+	defer ticker.Stop()
+	fails := make(map[*sched.GPU]int)
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-ticker.C:
+			f.mu.Lock()
+			gpus := append([]*sched.GPU(nil), f.sch.GPUs()...)
+			f.mu.Unlock()
+			for _, g := range gpus {
+				if f.clients[g].Probe(f.opts.HealthTimeout) != nil {
+					fails[g]++
+					if fails[g] >= f.opts.HealthThreshold {
+						delete(fails, g)
+						f.failRunner(g)
+					}
+					continue
+				}
+				delete(fails, g)
+			}
+		}
+	}
+}
+
+// failRunner declares a runner dead: forced scheduler removal, salvage
+// of whatever working set is still reachable, and FCFS requeue of every
+// request the frontend knows was placed there. Requests restart with
+// prefill recomputation on their new owner; their user streams
+// re-attach through waitNewOwner.
+func (f *Frontend) failRunner(g *sched.GPU) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	now := f.now()
+	_, salvaged, _, ok := f.sch.FailGPU(g.UUID, now)
+	if !ok {
+		return // already removed (planned drain or a concurrent failure)
+	}
+	f.failures++
+	f.failed = append(f.failed, g.UUID)
+	seen := make(map[int64]bool, len(salvaged))
+	lost := make([]*core.Request, 0, len(salvaged))
+	for _, r := range salvaged {
+		if !seen[r.ID] {
+			seen[r.ID] = true
+			lost = append(lost, r)
+		}
+	}
+	// Union with our own placement records: a dead runner salvages
+	// nothing, but the frontend knows what it sent there.
+	for id, p := range f.placed {
+		if p.gpu == g && !seen[id] {
+			seen[id] = true
+			lost = append(lost, p.req)
+		}
+	}
+	sort.Slice(lost, func(i, j int) bool {
+		if lost[i].Arrival != lost[j].Arrival {
+			return lost[i].Arrival < lost[j].Arrival
+		}
+		return lost[i].ID < lost[j].ID
+	})
+	for _, r := range lost {
+		delete(f.placed, r.ID)
+		// Restart generation from token zero. A drain of a
+		// half-responsive runner can salvage Generated beyond what the
+		// user's (now broken) stream delivered — tokens stranded in the
+		// dead stream's buffer. Regenerating from scratch is the only
+		// state that guarantees the re-attached stream replays them;
+		// token ids are deterministic, and the per-token Index dedup
+		// drops whatever prefix the user already has.
+		r.Generated = 0
+		dst, err := f.sch.Requeue(r, now)
+		if err != nil {
+			continue
+		}
+		f.recovered++
+		if dst != nil {
+			f.notePlacement(r, dst)
+		}
+		// Queued requests land via the drain loop, which re-records the
+		// placement and wakes any waiter.
 	}
 }
 
@@ -116,14 +272,13 @@ func (f *Frontend) Submit(model int64, promptLen, outputLen int, timeout time.Du
 		return 0, nil, err
 	}
 	if g != nil {
-		f.placed[id] = g
+		f.placed[id] = placement{req: r, gpu: g}
 		client := f.clients[g]
 		f.mu.Unlock()
 		return id, client, nil
 	}
-	// Queued: wait for the drain loop to place it. The scheduler mutates
-	// the queue; we watch for our request to land by polling runner
-	// ownership through DrainQueue results.
+	// Queued: remember the request so a later runner failure can
+	// re-dispatch it, and wait for the drain loop to place it.
 	ch := make(chan *sched.GPU, 1)
 	f.waiters[id] = ch
 	f.mu.Unlock()
@@ -150,14 +305,58 @@ func (f *Frontend) Submit(model int64, promptLen, outputLen int, timeout time.Du
 	}
 }
 
-// notePlacement records where a drained request landed. Called by the
-// scheduler drain path below.
-func (f *Frontend) notePlacement(id int64, g *sched.GPU) {
-	f.placed[id] = g
-	if ch, ok := f.waiters[id]; ok {
+// notePlacement records where a request landed. Callers hold f.mu.
+func (f *Frontend) notePlacement(r *core.Request, g *sched.GPU) {
+	f.placed[r.ID] = placement{req: r, gpu: g}
+	if ch, ok := f.waiters[r.ID]; ok {
 		ch <- g
-		delete(f.waiters, id)
+		delete(f.waiters, r.ID)
 	}
+}
+
+// owner returns the client and GPU currently holding a request.
+func (f *Frontend) owner(id int64) (*Client, *sched.GPU, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p, ok := f.placed[id]
+	if !ok {
+		return nil, nil, false
+	}
+	return f.clients[p.gpu], p.gpu, true
+}
+
+// waitNewOwner blocks until the request is placed on a GPU other than
+// prev (its broken former owner), the deadline passes, or the user's
+// request context ends. It polls: the re-placement is driven by the
+// health and drain loops.
+func (f *Frontend) waitNewOwner(req *http.Request, id int64, prev *sched.GPU, deadline time.Time) (*Client, *sched.GPU, bool) {
+	for {
+		f.mu.Lock()
+		if p, ok := f.placed[id]; ok && p.gpu != prev {
+			c := f.clients[p.gpu]
+			f.mu.Unlock()
+			return c, p.gpu, true
+		}
+		f.mu.Unlock()
+		if time.Now().After(deadline) {
+			return nil, nil, false
+		}
+		select {
+		case <-f.stop:
+			return nil, nil, false
+		case <-req.Context().Done():
+			return nil, nil, false
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// forget drops a request's placement record (it finished or was
+// cancelled).
+func (f *Frontend) forget(id int64) {
+	f.mu.Lock()
+	delete(f.placed, id)
+	f.mu.Unlock()
 }
 
 // CancelEverywhere cancels a request wherever it lives.
@@ -212,47 +411,95 @@ func (f *Frontend) handleGenerate(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
-	// Proxy the runner's NDJSON stream through to the user.
-	streamReq, err := http.NewRequestWithContext(req.Context(), "GET", client.StreamURL(id), nil)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	resp, err := http.DefaultClient.Do(streamReq)
-	if err != nil {
-		f.CancelEverywhere(id)
-		http.Error(w, err.Error(), http.StatusBadGateway)
-		return
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		f.CancelEverywhere(id)
-		http.Error(w, "runner stream unavailable", http.StatusBadGateway)
-		return
-	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.Header().Set("X-Request-ID", fmt.Sprint(id))
-	w.WriteHeader(http.StatusOK)
+	f.streamToUser(w, req, id, client)
+}
+
+// streamToUser proxies the runner's NDJSON token stream to the user.
+// With health checking enabled, a stream cut mid-generation (runner
+// died) waits for the request's re-placement and re-attaches to the new
+// owner: the recovering runner regenerates from scratch (deterministic
+// token ids), and the per-token Index dedupes the already-delivered
+// prefix so the user sees each token exactly once.
+func (f *Frontend) streamToUser(w http.ResponseWriter, req *http.Request, id int64, client *Client) {
+	_, gpu, _ := f.owner(id)
+	next := 0 // next token index the user has not yet received
+	wroteHeader := false
 	flusher, _ := w.(http.Flusher)
-	buf := make([]byte, 4096)
+	recovery := f.opts.HealthInterval > 0
+
+	fail := func(msg string, code int) {
+		f.CancelEverywhere(id)
+		if !wroteHeader {
+			http.Error(w, msg, code)
+		}
+	}
+
 	for {
-		n, err := resp.Body.Read(buf)
-		if n > 0 {
-			if _, werr := w.Write(buf[:n]); werr != nil {
-				f.CancelEverywhere(id)
+		streamReq, err := http.NewRequestWithContext(req.Context(), "GET", client.StreamURL(id), nil)
+		if err != nil {
+			fail(err.Error(), http.StatusInternalServerError)
+			return
+		}
+		resp, err := http.DefaultClient.Do(streamReq)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			if resp != nil {
+				resp.Body.Close()
+			}
+		} else {
+			if !wroteHeader {
+				w.Header().Set("Content-Type", "application/x-ndjson")
+				w.Header().Set("X-Request-ID", fmt.Sprint(id))
+				w.WriteHeader(http.StatusOK)
+				wroteHeader = true
+			}
+			sc := bufio.NewScanner(resp.Body)
+			sc.Buffer(make([]byte, 4096), 1<<20)
+			done := false
+			for sc.Scan() {
+				line := sc.Bytes()
+				var ev TokenEvent
+				if json.Unmarshal(line, &ev) != nil {
+					continue
+				}
+				if ev.Index < next {
+					continue // recomputed prefix after a recovery
+				}
+				if _, werr := w.Write(append(line, '\n')); werr != nil {
+					resp.Body.Close()
+					f.CancelEverywhere(id)
+					return
+				}
+				if flusher != nil {
+					flusher.Flush()
+				}
+				next = ev.Index + 1
+				if ev.EOS {
+					done = true
+					break
+				}
+			}
+			resp.Body.Close()
+			if done {
+				f.forget(id)
 				return
 			}
-			if flusher != nil {
-				flusher.Flush()
-			}
+			// EOF without EOS: the owning runner died mid-stream (or
+			// drained the request away). Fall through to recovery.
 		}
-		if err == io.EOF {
+		if !recovery || req.Context().Err() != nil {
+			// No fault tolerance configured, or it was the *user* who
+			// went away (their context is done) — cancel now instead of
+			// holding the request through a pointless recovery wait.
+			fail("runner stream unavailable", http.StatusBadGateway)
 			return
 		}
-		if err != nil {
-			f.CancelEverywhere(id)
+		deadline := time.Now().Add(f.opts.RecoverWait)
+		newClient, newGPU, ok := f.waitNewOwner(req, id, gpu, deadline)
+		if !ok {
+			fail("request lost: runner died and recovery timed out", http.StatusBadGateway)
 			return
 		}
+		client, gpu = newClient, newGPU
 	}
 }
 
@@ -263,6 +510,9 @@ func (f *Frontend) handleStats(w http.ResponseWriter, _ *http.Request) {
 		clients = append(clients, c)
 	}
 	queueLen := f.sch.QueueLen()
+	failed := append([]string(nil), f.failed...)
+	failures := f.failures
+	recovered := f.recovered
 	f.mu.Unlock()
 	var states []State
 	for _, c := range clients {
@@ -273,7 +523,11 @@ func (f *Frontend) handleStats(w http.ResponseWriter, _ *http.Request) {
 		states = append(states, st)
 	}
 	writeJSON(w, struct {
-		Runners  []State `json:"runners"`
-		QueueLen int     `json:"queue_len"`
-	}{Runners: states, QueueLen: queueLen})
+		Runners       []State  `json:"runners"`
+		QueueLen      int      `json:"queue_len"`
+		FailedRunners []string `json:"failed_runners,omitempty"`
+		GPUFailures   int64    `json:"gpu_failures"`
+		Recovered     int64    `json:"recovered_requests"`
+	}{Runners: states, QueueLen: queueLen, FailedRunners: failed,
+		GPUFailures: failures, Recovered: recovered})
 }

@@ -150,6 +150,7 @@ func (r *Runner) Handler() http.Handler {
 	mux.HandleFunc("POST /runner/can_admit", r.handleCanAdmit)
 	mux.HandleFunc("POST /runner/cancel", r.handleCancel)
 	mux.HandleFunc("POST /runner/evict", r.handleEvict)
+	mux.HandleFunc("POST /runner/drain", r.handleDrain)
 	mux.HandleFunc("GET /runner/state", r.handleState)
 	mux.HandleFunc("GET /runner/stream", r.handleStream)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -234,6 +235,26 @@ func (r *Runner) handleEvict(w http.ResponseWriter, _ *http.Request) {
 	if cr != nil {
 		ws := fromCore(cr)
 		reply.Request = &ws
+	}
+	writeJSON(w, reply)
+}
+
+// handleDrain force-drains the engine: every resident request is
+// returned for re-dispatch elsewhere (KvCache and adapter pins release
+// with exact accounting) and its local token stream closes. The
+// frontend uses it both for planned decommission and to salvage state
+// from a runner it is about to declare failed.
+func (r *Runner) handleDrain(w http.ResponseWriter, _ *http.Request) {
+	r.mu.Lock()
+	lost, lostKV := r.eng.Crash(r.simNow())
+	for _, req := range lost {
+		r.dropStream(req.ID)
+	}
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	reply := DrainReply{LostKVTokens: lostKV}
+	for _, req := range lost {
+		reply.Requests = append(reply.Requests, fromCore(req))
 	}
 	writeJSON(w, reply)
 }

@@ -75,6 +75,16 @@ type CancelReply struct {
 	Request *RequestState `json:"request,omitempty"`
 }
 
+// DrainReply returns a runner's entire working set after a forced drain
+// (POST /runner/drain): the wire form of core.Engine.Crash. Requests
+// carry Generated so the recovering scheduler re-prefills prompt +
+// generated on the new owner; LostKVTokens is the KvCache context the
+// drain destroyed.
+type DrainReply struct {
+	Requests     []RequestState `json:"requests"`
+	LostKVTokens int            `json:"lost_kv_tokens"`
+}
+
 // State is a runner's scheduling snapshot: the wire form of
 // core.Snapshot plus runner identity and progress counters. One GET
 // /runner/state carries everything a scheduling decision needs, so the

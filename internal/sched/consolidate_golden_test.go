@@ -1,0 +1,116 @@
+package sched
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"punica/internal/core"
+	"punica/internal/lora"
+)
+
+// consolidateTrace drives a scripted imbalanced scenario through
+// repeated Consolidate passes and records every migration decision —
+// victim, source, destination — plus the working-set vector after each
+// pass. The log pins the §5.1 consolidation semantics (drain
+// lightly-loaded GPUs onto strictly busier ones, newest victims first)
+// decision-for-decision, so refactors of the failure path cannot
+// silently change migration behaviour.
+func consolidateTrace(t *testing.T) []string {
+	t.Helper()
+	gpus, engines := goldenFleet(t)
+	s := New(gpus)
+	s.LightlyLoadedBelow = 3
+	var log []string
+	record := func(format string, args ...any) {
+		log = append(log, fmt.Sprintf(format, args...))
+	}
+	s.TraceMigration = func(r *core.Request, from, to *GPU) {
+		record("migrate r%d(m%d) %s -> %s", r.ID, r.Model, from.UUID, to.UUID)
+	}
+	wsVector := func() string {
+		parts := make([]string, len(engines))
+		for i, e := range engines {
+			parts[i] = fmt.Sprint(e.WorkingSet())
+		}
+		return strings.Join(parts, ",")
+	}
+	// Seed a deliberately lopsided fleet through direct enqueues: the
+	// script controls exactly where load sits before each pass.
+	// Adapter population of two, fitting the golden fleet's two-adapter
+	// stores: migrations are decided by load shape, not §5.2 stalls.
+	seed := func(now time.Duration, gpu int, ids ...int64) {
+		for _, id := range ids {
+			r := mkReq(id, 48+int(id*29)%256, 8+int(id*7)%48)
+			r.Model = lora.ModelID(id % 2)
+			if err := gpus[gpu].Engine.Enqueue(r, now); err != nil {
+				t.Fatalf("seed r%d on gpu-%02d: %v", id, gpu, err)
+			}
+		}
+	}
+
+	// Pass 1: two light GPUs, one busy, one empty.
+	seed(0, 0, 1, 2)
+	seed(0, 1, 3)
+	seed(0, 2, 4, 5, 6, 7)
+	record("pass1 before ws=[%s]", wsVector())
+	record("pass1 moved=%d after ws=[%s]", s.Consolidate(time.Millisecond), wsVector())
+
+	// Pass 2: rebuild imbalance with adapter diversity; gpu-03 busier.
+	seed(2*time.Millisecond, 3, 8, 9, 10)
+	seed(2*time.Millisecond, 0, 11)
+	record("pass2 before ws=[%s]", wsVector())
+	record("pass2 moved=%d after ws=[%s]", s.Consolidate(3*time.Millisecond), wsVector())
+
+	// Pass 3: everything light — no strictly-busier target may exist for
+	// the lightest source, and consolidation must converge, not thrash.
+	for i, e := range engines {
+		for e.WorkingSet() > 1 {
+			if v := e.EvictNewest(4 * time.Millisecond); v == nil {
+				break
+			} else {
+				record("thin gpu-%02d evict r%d", i, v.ID)
+			}
+		}
+	}
+	record("pass3 before ws=[%s]", wsVector())
+	record("pass3 moved=%d after ws=[%s]", s.Consolidate(5*time.Millisecond), wsVector())
+
+	st := s.Stats()
+	record("stats migrations=%d stalls=%d queue=%d", st.Migrations, st.AdapterStalls, s.QueueLen())
+	return log
+}
+
+// TestConsolidateGoldenTrace locks the consolidation source→target picks
+// to the recorded golden file. Regenerate only for deliberate semantic
+// changes: UPDATE_SCHED_GOLDEN=1 go test.
+func TestConsolidateGoldenTrace(t *testing.T) {
+	got := strings.Join(consolidateTrace(t), "\n") + "\n"
+	golden := filepath.Join("testdata", "consolidate_golden.txt")
+	if os.Getenv("UPDATE_SCHED_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_SCHED_GOLDEN=1 to record): %v", err)
+	}
+	if got != string(want) {
+		gotLines := strings.Split(got, "\n")
+		wantLines := strings.Split(string(want), "\n")
+		for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
+			if gotLines[i] != wantLines[i] {
+				t.Fatalf("golden divergence at line %d:\n  got:  %s\n  want: %s",
+					i+1, gotLines[i], wantLines[i])
+			}
+		}
+		t.Fatalf("golden length mismatch: got %d lines, want %d", len(gotLines), len(wantLines))
+	}
+}

@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"punica/internal/core"
+)
+
+// TestFailGPUForcedRemoval: RemoveGPU refuses a busy GPU (§5.1 planned
+// drain), FailGPU does not — it force-removes and salvages the live
+// working set through the Crasher extension.
+func TestFailGPUForcedRemoval(t *testing.T) {
+	gpus := testGPUs(t, 2, 8)
+	s := New(gpus)
+	for i := int64(1); i <= 3; i++ {
+		if _, err := s.Dispatch(mkReq(i, 10, 5), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// §5.1 routing put all three on the highest-UUID GPU.
+	busy := gpus[1]
+	if busy.Engine.Snapshot().WorkingSet != 3 {
+		t.Fatalf("setup: expected all requests on %s", busy.UUID)
+	}
+	if _, ok := s.RemoveGPU(busy.UUID); ok {
+		t.Fatal("RemoveGPU must refuse a busy GPU")
+	}
+	g, lost, lostKV, ok := s.FailGPU(busy.UUID, time.Millisecond)
+	if !ok || g != busy {
+		t.Fatalf("FailGPU returned (%v, ok=%v)", g, ok)
+	}
+	if len(lost) != 3 {
+		t.Fatalf("salvaged %d requests, want 3", len(lost))
+	}
+	if lostKV < 0 {
+		t.Fatalf("lostKVTokens = %d", lostKV)
+	}
+	for i := 1; i < len(lost); i++ {
+		if lost[i-1].Arrival > lost[i].Arrival {
+			t.Fatal("salvaged working set not in arrival order")
+		}
+	}
+	if len(s.GPUs()) != 1 {
+		t.Fatalf("%d GPUs remain, want 1", len(s.GPUs()))
+	}
+	if s.Stats().GPUFailures != 1 {
+		t.Fatalf("GPUFailures = %d", s.Stats().GPUFailures)
+	}
+	// The engine is empty and its pins are released.
+	eng := busy.Engine.(*core.Engine)
+	if eng.Busy() || eng.Store().PinnedBytes() != 0 {
+		t.Fatal("failed GPU still holds work or pinned adapter bytes")
+	}
+	if _, _, _, ok := s.FailGPU("no-such-gpu", 0); ok {
+		t.Fatal("FailGPU of unknown UUID must report not found")
+	}
+}
+
+// TestRequeuePreservesFCFS: recovered requests merge into the wait queue
+// in arrival order and do not overtake queued work; with capacity free
+// and an empty queue they place immediately.
+func TestRequeuePreservesFCFS(t *testing.T) {
+	gpus := testGPUs(t, 1, 2)
+	s := New(gpus)
+	// Fill the only GPU and queue two more.
+	for i := int64(1); i <= 4; i++ {
+		if _, err := s.Dispatch(mkReq(i, 10, 5), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.QueueLen() != 2 {
+		t.Fatalf("queue = %d, want 2", s.QueueLen())
+	}
+	// A recovered request older than the queued ones must land at the
+	// queue head, not behind them.
+	old := mkReq(0, 10, 5) // Arrival 0: older than everything queued
+	g, err := s.Requeue(old, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != nil {
+		t.Fatal("no capacity exists; requeue must queue, not place")
+	}
+	if s.QueueLen() != 3 {
+		t.Fatalf("queue = %d, want 3", s.QueueLen())
+	}
+	if s.Stats().Recovered != 1 {
+		t.Fatalf("Recovered = %d", s.Stats().Recovered)
+	}
+	// Free the GPU entirely; the drain must deliver the recovered
+	// request first.
+	eng := gpus[0].Engine.(*core.Engine)
+	eng.Crash(0)
+	placed, err := s.DrainQueue(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(placed) == 0 || placed[0].Request.ID != 0 {
+		t.Fatalf("drain order wrong: %+v", placed)
+	}
+
+	// Immediate placement when idle capacity exists and the queue is
+	// empty.
+	s2 := New(testGPUs(t, 1, 4))
+	g2, err := s2.Requeue(mkReq(9, 10, 5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2 == nil {
+		t.Fatal("requeue with free capacity must place immediately")
+	}
+}

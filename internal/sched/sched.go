@@ -40,6 +40,19 @@ type Worker interface {
 	EvictNewest(now time.Duration) *core.Request
 }
 
+// Crasher is an optional Worker extension: draining whatever request
+// state is still reachable once the worker is declared failed.
+// In-process engines return their full working set (the driver process
+// outlives the simulated GPU); a remote client whose runner machine died
+// returns nothing, and the caller recovers from its own placement
+// records instead.
+type Crasher interface {
+	// Crash drops every resident request and returns them for
+	// re-dispatch, along with the KvCache context tokens whose prefill
+	// must be recomputed.
+	Crash(now time.Duration) (lost []*core.Request, lostKVTokens int)
+}
+
 // GPU pairs a worker with the identity the scheduler uses for
 // tie-breaking ("the one that has the highest GPU UUID gets the new
 // request", §5.1).
@@ -61,6 +74,11 @@ type Scheduler struct {
 	// mixed-capacity fleets classify load correctly per GPU.
 	LightlyLoadedBelow int
 
+	// TraceMigration, when non-nil, observes every successful
+	// consolidation move (victim, source, destination) — the golden-trace
+	// tests pin §5.1 consolidation decisions through it.
+	TraceMigration func(r *core.Request, from, to *GPU)
+
 	stats Stats
 }
 
@@ -74,6 +92,10 @@ type Stats struct {
 	// backpressure). The request waits on the FCFS queue until running
 	// requests finish and release their pins.
 	AdapterStalls int64
+	// GPUFailures counts forced removals via FailGPU; Recovered counts
+	// requests re-admitted through Requeue after losing their GPU.
+	GPUFailures int64
+	Recovered   int64
 }
 
 // New builds a scheduler over the given GPUs with the paper's §5.1
@@ -126,6 +148,51 @@ func (s *Scheduler) RemoveGPU(uuid string) (*GPU, bool) {
 		return g, true
 	}
 	return nil, false
+}
+
+// FailGPU forcibly removes a GPU that died (spot preemption, runner
+// crash, partition). Unlike RemoveGPU it does not refuse busy GPUs: the
+// GPU is gone whether or not it held work. Whatever request state is
+// still reachable is salvaged through the optional Crasher extension and
+// returned live — for in-process engines that is the full working set;
+// for a dead remote runner it is empty and the caller recovers from its
+// own records. lostKVTokens is the KvCache context the salvage reported
+// destroyed (the prefill-recomputation bill). The caller re-admits the
+// lost requests via Requeue.
+func (s *Scheduler) FailGPU(uuid string, now time.Duration) (g *GPU, lost []*core.Request, lostKVTokens int, ok bool) {
+	for i, g := range s.gpus {
+		if g.UUID != uuid {
+			continue
+		}
+		s.gpus = append(s.gpus[:i], s.gpus[i+1:]...)
+		s.stats.GPUFailures++
+		var lost []*core.Request
+		var lostKV int
+		if cw, ok := g.Engine.(Crasher); ok {
+			lost, lostKV = cw.Crash(now)
+		}
+		return g, lost, lostKV, true
+	}
+	return nil, nil, 0, false
+}
+
+// Requeue re-admits a request recovered from a failed GPU: placed
+// immediately when the FCFS queue is empty and capacity exists, queued
+// in arrival order otherwise. It is the §5.3 eviction path without the
+// migration accounting — recoveries count under Stats.Recovered.
+func (s *Scheduler) Requeue(r *core.Request, now time.Duration) (*GPU, error) {
+	s.stats.Recovered++
+	if len(s.queue) == 0 {
+		g, err := s.tryPlace(r, nil, now)
+		if err != nil {
+			return nil, err
+		}
+		if g != nil {
+			return g, nil
+		}
+	}
+	s.enqueueFCFS(r)
+	return nil, nil
 }
 
 // Stats returns a snapshot of the scheduler counters.
@@ -322,6 +389,9 @@ func (s *Scheduler) Consolidate(now time.Duration) int {
 					snaps[dst].NoteEnqueued(victim)
 					moved++
 					s.stats.Migrations++
+					if s.TraceMigration != nil {
+						s.TraceMigration(victim, src.GPU, dst)
+					}
 					continue
 				}
 				if !errors.Is(err, lora.ErrStoreFull) {

@@ -48,6 +48,10 @@ type Server struct {
 	speedup float64
 	closed  bool
 	wg      sync.WaitGroup
+
+	// Fault accounting (FailGPU).
+	failures  int64
+	recovered int64
 }
 
 // New builds and starts a server: one driver goroutine per GPU.
@@ -154,6 +158,37 @@ func (s *Server) Submit(model int64, promptLen, outputLen int) (int64, <-chan co
 	return id, ch, nil
 }
 
+// FailGPU kills one in-process GPU by UUID: its engine drops all
+// resident state (KvCache, adapter pins) and every lost request is
+// requeued FCFS onto the survivors with prefill recomputation. Because
+// the same *core.Request objects recover in-process, Generated carries
+// over and open token streams resume seamlessly where they left off.
+// It reports whether the GPU existed and was alive.
+func (s *Server) FailGPU(uuid string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.simNow()
+	g, lost, _, ok := s.sch.FailGPU(uuid, now)
+	if !ok {
+		return false
+	}
+	s.failures++
+	for i, got := range s.gpus {
+		if got == g {
+			s.gpus = append(s.gpus[:i], s.gpus[i+1:]...)
+			break
+		}
+	}
+	for _, r := range lost {
+		s.recovered++
+		if _, err := s.sch.Requeue(r, now); err != nil {
+			s.dropRequest(r.ID)
+		}
+	}
+	s.cond.Broadcast()
+	return true
+}
+
 // Cancel aborts a request (e.g. the client disconnected, §5.3) and closes
 // its stream. It reports whether the request was found.
 func (s *Server) Cancel(id int64) bool {
@@ -195,6 +230,10 @@ type Stats struct {
 	SimTime    float64    `json:"sim_time_seconds"`
 	NeedMore   bool       `json:"need_more_gpus"`
 	Releasable int        `json:"releasable_gpus"`
+	// GPUFailures counts FailGPU kills; Recovered the requests requeued
+	// off dead GPUs.
+	GPUFailures int64 `json:"gpu_failures"`
+	Recovered   int64 `json:"recovered_requests"`
 }
 
 // Snapshot returns the current cluster state.
@@ -202,11 +241,13 @@ func (s *Server) Snapshot() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Stats{
-		QueueLen:   s.sch.QueueLen(),
-		Streams:    len(s.streams),
-		SimTime:    s.simNow().Seconds(),
-		NeedMore:   s.sch.NeedMoreGPUs(),
-		Releasable: len(s.sch.ReleasableGPUs()),
+		QueueLen:    s.sch.QueueLen(),
+		Streams:     len(s.streams),
+		SimTime:     s.simNow().Seconds(),
+		NeedMore:    s.sch.NeedMoreGPUs(),
+		Releasable:  len(s.sch.ReleasableGPUs()),
+		GPUFailures: s.failures,
+		Recovered:   s.recovered,
 	}
 	for _, g := range s.gpus {
 		eng := s.engines[g]

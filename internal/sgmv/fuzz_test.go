@@ -1,0 +1,97 @@
+package sgmv
+
+import (
+	"testing"
+)
+
+// FuzzSegmentSizes drives NewSegments/FromBounds with arbitrary segment
+// shapes and checks the boundary-vector invariants the SGMV kernels
+// rely on: s[0] = 0, strictly increasing bounds, Total equals the size
+// sum, per-segment Len round-trips, and FromBounds(Bounds()) is the
+// identity.
+func FuzzSegmentSizes(f *testing.F) {
+	f.Add([]byte{1})
+	f.Add([]byte{3, 1, 4, 1, 5})
+	f.Add([]byte{255, 0, 17})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) == 0 {
+			return
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		sizes := make([]int, len(raw))
+		total := 0
+		for i, b := range raw {
+			sizes[i] = int(b)%512 + 1 // NewSegments requires positive sizes
+			total += sizes[i]
+		}
+		s := NewSegments(sizes...)
+		if s.N() != len(sizes) {
+			t.Fatalf("N = %d, want %d", s.N(), len(sizes))
+		}
+		if s.Total() != total {
+			t.Fatalf("Total = %d, want sum %d", s.Total(), total)
+		}
+		prev := -1
+		for i := 0; i < s.N(); i++ {
+			if s.Len(i) != sizes[i] {
+				t.Fatalf("Len(%d) = %d, want %d", i, s.Len(i), sizes[i])
+			}
+			if s.Start(i) <= prev {
+				t.Fatalf("bounds not strictly increasing at %d", i)
+			}
+			if s.End(i)-s.Start(i) != sizes[i] {
+				t.Fatalf("segment %d spans %d rows, want %d", i, s.End(i)-s.Start(i), sizes[i])
+			}
+			prev = s.Start(i)
+		}
+		back, err := FromBounds(s.Bounds())
+		if err != nil {
+			t.Fatalf("FromBounds(Bounds()) rejected a valid vector: %v", err)
+		}
+		if back.String() != s.String() {
+			t.Fatalf("round-trip changed bounds: %s vs %s", back, s)
+		}
+	})
+}
+
+// FuzzGroupByModel checks the batch-reordering invariants for arbitrary
+// per-row model assignments: the permutation is a bijection, segments
+// tile the batch, and every row of segment i carries that segment's
+// model.
+func FuzzGroupByModel(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 128 {
+			raw = raw[:128]
+		}
+		ids := make([]int, len(raw))
+		for i, b := range raw {
+			ids[i] = int(b % 7)
+		}
+		order, segs, segModels := GroupByModel(ids)
+		if len(order) != len(ids) || segs.Total() != len(ids) {
+			t.Fatalf("order/segments sized %d/%d for %d rows", len(order), segs.Total(), len(ids))
+		}
+		seen := make(map[int]bool, len(order))
+		for _, o := range order {
+			if o < 0 || o >= len(ids) || seen[o] {
+				t.Fatalf("order is not a permutation: %v", order)
+			}
+			seen[o] = true
+		}
+		if segs.N() != len(segModels) {
+			t.Fatalf("%d segments but %d models", segs.N(), len(segModels))
+		}
+		for i := 0; i < segs.N(); i++ {
+			for row := segs.Start(i); row < segs.End(i); row++ {
+				if ids[order[row]] != segModels[i] {
+					t.Fatalf("row %d of segment %d has model %d, want %d",
+						row, i, ids[order[row]], segModels[i])
+				}
+			}
+		}
+	})
+}
