@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench shuffle fuzz
+.PHONY: all build test race vet lint fmt check bench shuffle fuzz
 
 all: check
 
@@ -19,15 +19,25 @@ shuffle:
 	$(GO) test -shuffle=on ./...
 
 # fuzz runs a short smoke of every native fuzz target (segment shapes,
-# batch grouping, workload assignment).
+# batch grouping, workload assignment, KV migration accounting).
 fuzz:
 	$(GO) test ./internal/sgmv -run '^$$' -fuzz FuzzSegmentSizes -fuzztime 10s
 	$(GO) test ./internal/sgmv -run '^$$' -fuzz FuzzGroupByModel -fuzztime 10s
 	$(GO) test ./internal/dist -run '^$$' -fuzz FuzzAssigner -fuzztime 10s
 	$(GO) test ./internal/dist -run '^$$' -fuzz FuzzZipfAssigner -fuzztime 10s
+	$(GO) test ./internal/kvcache -run '^$$' -fuzz FuzzKVMigration -fuzztime 10s
 
 vet:
 	$(GO) vet ./...
+
+# lint runs vet plus staticcheck when available (CI installs it; local
+# setups without network skip it rather than fail).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 # fmt fails if any file needs gofmt.
 fmt:

@@ -24,7 +24,42 @@ type ClusterResult = cluster.Result
 // NewCluster builds a cluster of engines with deterministic GPU UUIDs.
 func NewCluster(cfg ClusterConfig) *Cluster { return cluster.New(cfg) }
 
+// DisaggConfig splits a cluster into prefill and decode pools
+// (ClusterConfig.Disagg): new requests dispatch onto the prefill pool
+// and migrate — KvCache moved via EngineRole-aware ExportKV/ImportKV,
+// not recomputed — to a policy-chosen decode GPU when their prefill
+// completes. Removes the head-of-line blocking where one tenant's long
+// prefill stalls every other tenant's decode.
+type DisaggConfig = cluster.DisaggConfig
+
+// DisaggFromRatio splits numGPUs into prefill/decode pools with
+// prefillFrac of the fleet serving prefill (at least one GPU each).
+func DisaggFromRatio(numGPUs int, prefillFrac float64) DisaggConfig {
+	return cluster.DisaggFromRatio(numGPUs, prefillFrac)
+}
+
+// EngineRole places an engine in a disaggregated deployment: unified
+// (the paper's run-everything default), prefill, or decode.
+type EngineRole = core.Role
+
+// Engine roles.
+const (
+	RoleUnified = core.RoleUnified
+	RolePrefill = core.RolePrefill
+	RoleDecode  = core.RoleDecode
+)
+
+// ParseEngineRole maps a config string ("", "unified", "prefill",
+// "decode") to an EngineRole.
+func ParseEngineRole(s string) (EngineRole, error) { return core.ParseRole(s) }
+
+// KVHandle is the page-exact unit of deliberate KV migration: one
+// request plus the KvCache accounting its decode target imports.
+type KVHandle = core.KVHandle
+
 // AutoscaleConfig enables §5.1 elastic GPU provisioning in a cluster.
+// With ClusterConfig.Disagg set, the floors and ceilings split across
+// the pools proportionally and each pool scales on its own load signal.
 type AutoscaleConfig = cluster.AutoscaleConfig
 
 // AutoscaleStats summarises elastic provisioning after a run.

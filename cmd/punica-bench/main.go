@@ -7,7 +7,8 @@
 //
 // Experiments: fig1 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 headline
 // loading ablation-norm ablation-maxbatch ablation-pagesize
-// ablation-prefill ablation-migration policies all
+// ablation-prefill ablation-migration ablation-quant autoscale policies
+// faults disagg all
 package main
 
 import (
@@ -30,7 +31,7 @@ var (
 	peakFlag  = flag.Float64("peak", 11, "peak request rate (req/s) for fig13")
 	hourFlag  = flag.Bool("full-hour", false, "run fig13 at the paper's full one-hour horizon")
 	csvFlag   = flag.String("csv", "", "also write the figure's data as CSV to this file (fig1,7,8,9,10,11,12,13)")
-	jsonFlag  = flag.String("json", "", "write machine-readable results to this JSON file (fig11,fig12,fig13,policies,faults)")
+	jsonFlag  = flag.String("json", "", "write machine-readable results to this JSON file (fig11,fig12,fig13,policies,faults,disagg)")
 )
 
 // benchRecords accumulates -json output across the experiments run.
@@ -98,7 +99,7 @@ var allExperiments = []string{
 	"fig11", "fig12", "fig13", "headline", "loading",
 	"ablation-norm", "ablation-maxbatch", "ablation-pagesize",
 	"ablation-prefill", "ablation-migration", "ablation-quant",
-	"autoscale", "policies", "faults",
+	"autoscale", "policies", "faults", "disagg",
 }
 
 func run(name string) error {
@@ -258,6 +259,20 @@ func run(name string) error {
 		benchRecords = append(benchRecords, experiments.FaultsRecords(points)...)
 		if err := writeCSV(func(w io.Writer) error {
 			return experiments.FaultsCSV(w, points)
+		}); err != nil {
+			return err
+		}
+	case "disagg":
+		o := experiments.DefaultDisaggOptions()
+		o.Seed = *seedFlag
+		points, err := experiments.Disaggregation(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatDisaggregation(points))
+		benchRecords = append(benchRecords, experiments.DisaggRecords(points)...)
+		if err := writeCSV(func(w io.Writer) error {
+			return experiments.DisaggregationCSV(w, points)
 		}); err != nil {
 			return err
 		}

@@ -32,12 +32,46 @@ func main() {
 	faults := flag.Bool("faults", false,
 		"run the availability experiment instead: failure rate x policy, degradation vs fault-free")
 	faultsCSV := flag.String("faults-csv", "", "write the availability sweep as CSV to this file")
+	disagg := flag.Bool("disagg", false,
+		"run the prefill/decode disaggregation experiment instead: unified vs split pools on a prefill-heavy mix")
+	disaggRatio := flag.Float64("disagg-ratio", 0.25,
+		"fraction of the fleet serving the prefill pool in -disagg mode")
+	disaggCSV := flag.String("disagg-csv", "", "write the disaggregation sweep as CSV to this file")
 	flag.Parse()
 
 	if _, err := sched.PolicyByName(*policy, sched.PolicyConfig{}); err != nil {
 		log.Fatal(err)
 	}
 	start := time.Now()
+	if *disagg {
+		dopts := experiments.DefaultDisaggOptions()
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "gpus" {
+				dopts.NumGPUs = *gpus
+			}
+		})
+		dopts.PrefillGPUs = experiments.DisaggPrefillGPUs(dopts.NumGPUs, *disaggRatio)
+		dopts.Seed = *seed
+		dopts.Policy = *policy
+		points, err := experiments.Disaggregation(dopts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.FormatDisaggregation(points))
+		if *disaggCSV != "" {
+			f, err := os.Create(*disaggCSV)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := experiments.DisaggregationCSV(f, points); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n", *disaggCSV)
+		}
+		fmt.Printf("(ran in %v of wall time)\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 	if *faults {
 		fopts := experiments.DefaultFaultsOptions()
 		flag.Visit(func(f *flag.Flag) {

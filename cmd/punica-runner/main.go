@@ -26,9 +26,15 @@ func main() {
 	modelName := flag.String("model", "7b", "backbone model: 7b, 13b or 70b")
 	speedup := flag.Float64("speedup", 1, "simulated-time speedup")
 	rank := flag.Int("rank", models.DefaultLoRARank, "LoRA rank")
+	roleName := flag.String("role", "unified",
+		"disaggregation role: unified, prefill or decode")
 	flag.Parse()
 
 	model, err := models.ByName(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	role, err := core.ParseRole(*roleName)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,10 +43,11 @@ func main() {
 		GPU:    hw.A100(),
 		Model:  model,
 		Rank:   *rank,
+		Role:   role,
 	}, *speedup)
 	defer r.Close()
 
-	fmt.Printf("punica-runner %s: %s on one simulated A100, listening on %s\n",
-		*uuid, model.Name, *addr)
+	fmt.Printf("punica-runner %s: %s on one simulated A100 (%s role), listening on %s\n",
+		*uuid, model.Name, role, *addr)
 	log.Fatal(http.ListenAndServe(*addr, r.Handler()))
 }

@@ -39,6 +39,10 @@ func main() {
 		"comma-separated punica-runner base URLs; enables distributed frontend mode")
 	health := flag.Duration("health-interval", time.Second,
 		"runner health-probe interval in frontend mode (0 disables fault tolerance)")
+	prefillGPUs := flag.Int("prefill-gpus", 0,
+		"disaggregate in-process serving: prefill-pool size (use with -decode-gpus)")
+	decodeGPUs := flag.Int("decode-gpus", 0,
+		"disaggregate in-process serving: decode-pool size (use with -prefill-gpus)")
 	flag.Parse()
 
 	model, err := models.ByName(*modelName)
@@ -69,12 +73,19 @@ func main() {
 			Model:  model,
 			Rank:   *rank,
 		},
-		Speedup: *speedup,
-		Policy:  *policy,
+		Speedup:     *speedup,
+		Policy:      *policy,
+		PrefillGPUs: *prefillGPUs,
+		DecodeGPUs:  *decodeGPUs,
 	})
 	defer srv.Close()
 
-	fmt.Printf("punica-serve: %s on %d simulated A100s (%s policy), %gx speedup, listening on %s\n",
-		model.Name, *gpus, *policy, *speedup, *addr)
+	mode := fmt.Sprintf("%d simulated A100s", *gpus)
+	if *prefillGPUs > 0 && *decodeGPUs > 0 {
+		mode = fmt.Sprintf("%d prefill + %d decode simulated A100s (disaggregated)",
+			*prefillGPUs, *decodeGPUs)
+	}
+	fmt.Printf("punica-serve: %s on %s (%s policy), %gx speedup, listening on %s\n",
+		model.Name, mode, *policy, *speedup, *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

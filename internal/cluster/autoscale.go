@@ -3,6 +3,8 @@ package cluster
 import (
 	"fmt"
 	"time"
+
+	"punica/internal/core"
 )
 
 // AutoscaleConfig enables elastic GPU provisioning per §5.1: the cluster
@@ -32,13 +34,26 @@ func (a AutoscaleConfig) validate() AutoscaleConfig {
 	return a
 }
 
-// autoscaler tracks elastic state inside a Cluster run.
+// poolBounds is one role pool's elastic floor and ceiling.
+type poolBounds struct{ min, max int }
+
+// autoscaler tracks elastic state inside a Cluster run. It scales per
+// role pool: a unified fleet is the single-pool case (bit-identical to
+// the pre-disaggregation autoscaler), a disaggregated fleet splits
+// MinGPUs/MaxGPUs across the prefill and decode pools proportionally to
+// their configured sizes — each pool then provisions and releases on its
+// own §5.1 load signal, so a prefill burst cannot steal the decode
+// pool's floor.
 type autoscaler struct {
 	cfg     AutoscaleConfig
 	c       *Cluster
 	standby []*runner // provisioned-capacity pool, offline
 	online  map[*runner]time.Duration
-	inBoot  int
+	inBoot  map[core.Role]int
+	// poolOrder fixes the evaluation order for determinism; pools maps
+	// each served role to its bounds.
+	poolOrder []core.Role
+	pools     map[core.Role]poolBounds
 
 	provisions  int64
 	releases    int64
@@ -47,17 +62,95 @@ type autoscaler struct {
 	finalOnline int
 }
 
-// setupAutoscale moves all but MinGPUs runners into the standby pool.
-// The scheduler starts with only the online set.
+func (a *autoscaler) onlineInPool(role core.Role) int {
+	n := 0
+	for r := range a.online {
+		if r.role == role {
+			n++
+		}
+	}
+	return n
+}
+
+func (a *autoscaler) inBootTotal() int {
+	n := 0
+	for _, v := range a.inBoot {
+		n += v
+	}
+	return n
+}
+
+func (a *autoscaler) standbyInPool(role core.Role) bool {
+	for _, r := range a.standby {
+		if r.role == role {
+			return true
+		}
+	}
+	return false
+}
+
+// splitBounds apportions the fleet-wide min/max across the pools in
+// proportion to their configured sizes. The sums are exact — pool
+// floors add up to the fleet floor and ceilings to the fleet ceiling —
+// so the operator's MinGPUs/MaxGPUs are never exceeded. Each pool needs
+// at least one GPU to function, so the effective fleet floor is at
+// least 2 (and every bound is capped at the provisioned pool sizes).
+func splitBounds(min, max int, d DisaggConfig) map[core.Role]poolBounds {
+	total := d.PrefillGPUs + d.DecodeGPUs
+	clamp := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	min = clamp(min, 2, total)
+	max = clamp(max, min, total)
+	// minP must leave the decode pool at least one GPU and at most its
+	// pool size; the interval [min−D, min−1] ∩ [1, P] is never empty
+	// because 2 ≤ min ≤ P+D.
+	minP := clamp((min*d.PrefillGPUs+total/2)/total, 1, min-1)
+	minP = clamp(minP, min-d.DecodeGPUs, d.PrefillGPUs)
+	minD := min - minP
+	// maxP likewise: maxD = max−maxP must fit in [minD, D].
+	maxP := clamp((max*d.PrefillGPUs+total/2)/total, minP, max-minD)
+	maxP = clamp(maxP, max-d.DecodeGPUs, d.PrefillGPUs)
+	maxD := max - maxP
+	return map[core.Role]poolBounds{
+		core.RolePrefill: {min: minP, max: maxP},
+		core.RoleDecode:  {min: minD, max: maxD},
+	}
+}
+
+// setupAutoscale moves all but the per-pool floors into the standby
+// pool. The scheduler starts with only the online set.
 func (c *Cluster) setupAutoscale(cfg AutoscaleConfig) {
 	cfg = cfg.validate()
 	if cfg.MaxGPUs > len(c.gpus) {
 		panic(fmt.Sprintf("cluster: autoscale MaxGPUs %d exceeds provisioned %d",
 			cfg.MaxGPUs, len(c.gpus)))
 	}
-	a := &autoscaler{cfg: cfg, c: c, online: make(map[*runner]time.Duration)}
-	for i, r := range c.gpus {
-		if i < cfg.MinGPUs {
+	a := &autoscaler{
+		cfg:    cfg,
+		c:      c,
+		online: make(map[*runner]time.Duration),
+		inBoot: make(map[core.Role]int),
+	}
+	if c.cfg.Disagg != nil {
+		a.poolOrder = []core.Role{core.RolePrefill, core.RoleDecode}
+		a.pools = splitBounds(cfg.MinGPUs, cfg.MaxGPUs, *c.cfg.Disagg)
+	} else {
+		a.poolOrder = []core.Role{core.RoleUnified}
+		a.pools = map[core.Role]poolBounds{
+			core.RoleUnified: {min: cfg.MinGPUs, max: cfg.MaxGPUs},
+		}
+	}
+	started := make(map[core.Role]int)
+	for _, r := range c.gpus {
+		if started[r.role] < a.pools[r.role].min {
+			started[r.role]++
 			a.online[r] = 0
 			continue
 		}
@@ -70,33 +163,39 @@ func (c *Cluster) setupAutoscale(cfg AutoscaleConfig) {
 	c.scale = a
 }
 
-// tick evaluates the §5.1 conditions.
+// tick evaluates the §5.1 conditions pool by pool.
 func (a *autoscaler) tick() {
 	now := a.c.clock.Now()
-	// Scale up: every online GPU is loaded and capacity is waiting.
-	if a.c.sched.NeedMoreGPUs() &&
-		len(a.online)+a.inBoot < a.cfg.MaxGPUs && len(a.standby) > 0 {
-		a.provision(now)
-	}
-	// Scale down: release idle GPUs beyond the floor.
-	for len(a.online) > a.cfg.MinGPUs {
-		released := false
-		for _, g := range a.c.sched.ReleasableGPUs() {
-			if len(a.online) <= a.cfg.MinGPUs {
+	for _, role := range a.poolOrder {
+		b := a.pools[role]
+		// Scale up: every GPU serving this pool is loaded and both
+		// pool-level and fleet-level ceilings leave room.
+		if a.c.sched.NeedMorePoolGPUs(role) &&
+			a.onlineInPool(role)+a.inBoot[role] < b.max &&
+			len(a.online)+a.inBootTotal() < a.cfg.MaxGPUs &&
+			a.standbyInPool(role) {
+			a.provision(role, now)
+		}
+		// Scale down: release the pool's idle GPUs beyond its floor.
+		for a.onlineInPool(role) > b.min {
+			released := false
+			for _, g := range a.c.sched.ReleasablePoolGPUs(role) {
+				if a.onlineInPool(role) <= b.min {
+					break
+				}
+				if _, ok := a.c.sched.RemoveGPU(g.UUID); ok {
+					r := a.c.runnerOf(g)
+					a.gpuSecs += (now - a.online[r]).Seconds()
+					delete(a.online, r)
+					a.standby = append(a.standby, r)
+					a.releases++
+					a.c.res.BatchSeries[r.index].Add(now, 0)
+					released = true
+				}
+			}
+			if !released {
 				break
 			}
-			if _, ok := a.c.sched.RemoveGPU(g.UUID); ok {
-				r := a.c.runnerOf(g)
-				a.gpuSecs += (now - a.online[r]).Seconds()
-				delete(a.online, r)
-				a.standby = append(a.standby, r)
-				a.releases++
-				a.c.res.BatchSeries[r.index].Add(now, 0)
-				released = true
-			}
-		}
-		if !released {
-			break
 		}
 	}
 	if a.c.arrivalsLeft > 0 || a.c.anyBusy() || a.c.sched.QueueLen() > 0 {
@@ -108,10 +207,10 @@ func (a *autoscaler) tick() {
 
 // noteCrash reacts to an unplanned GPU loss: the victim leaves the
 // online set (its GPU-seconds are charged up to the crash) and can never
-// be re-provisioned from standby. When the crash leaves the cluster
-// below the provisioning floor, a standby GPU is booted immediately —
-// replacement capacity for crashed capacity — instead of waiting for the
-// next NeedMoreGPUs tick.
+// be re-provisioned from standby. When the crash leaves its pool below
+// the provisioning floor, a standby GPU of the same role is booted
+// immediately — replacement capacity for crashed capacity — instead of
+// waiting for the next load tick.
 func (a *autoscaler) noteCrash(r *runner, now time.Duration) {
 	if since, ok := a.online[r]; ok {
 		a.gpuSecs += (now - since).Seconds()
@@ -123,20 +222,31 @@ func (a *autoscaler) noteCrash(r *runner, now time.Duration) {
 			break
 		}
 	}
-	for len(a.online)+a.inBoot < a.cfg.MinGPUs && len(a.standby) > 0 {
-		a.provision(now)
+	b := a.pools[r.role]
+	for a.onlineInPool(r.role)+a.inBoot[r.role] < b.min && a.standbyInPool(r.role) {
+		a.provision(r.role, now)
 	}
 }
 
-// provision boots the top standby GPU; it attaches after ProvisionDelay
-// and drains the queue into the new capacity.
-func (a *autoscaler) provision(now time.Duration) {
-	r := a.standby[len(a.standby)-1]
-	a.standby = a.standby[:len(a.standby)-1]
-	a.inBoot++
+// provision boots the newest standby GPU of the pool; it attaches after
+// ProvisionDelay and drains the queue into the new capacity.
+func (a *autoscaler) provision(role core.Role, now time.Duration) {
+	idx := -1
+	for i := len(a.standby) - 1; i >= 0; i-- {
+		if a.standby[i].role == role {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	r := a.standby[idx]
+	a.standby = append(a.standby[:idx], a.standby[idx+1:]...)
+	a.inBoot[role]++
 	a.provisions++
 	a.c.clock.Schedule(now+a.cfg.ProvisionDelay, func() {
-		a.inBoot--
+		a.inBoot[role]--
 		a.online[r] = a.c.clock.Now()
 		a.c.sched.AddGPU(r.gpu)
 		// Newly attached capacity drains the queue.

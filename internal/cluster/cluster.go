@@ -40,6 +40,12 @@ type Config struct {
 	// nothing.
 	Faults *FaultPlan
 
+	// Disagg splits the fleet into prefill and decode pools
+	// (prefill/decode disaggregation). nil runs every GPU unified — the
+	// paper's §5 deployment, bit-identical to the pre-disaggregation
+	// simulator.
+	Disagg *DisaggConfig
+
 	// Policy selects the placement policy by name: "" or "paper"
 	// preserves §5.1 exactly; "affinity" and "rank" trade it for
 	// adapter locality and SGMV rank grouping (see internal/sched).
@@ -81,6 +87,39 @@ type Result struct {
 	// GPUBusyFraction is each engine's busy time over the makespan.
 	GPUBusyFraction []float64
 	QueuePeak       int
+
+	// GPURoles names each engine's disaggregation role, aligned with
+	// GPUBusyFraction — per-GPU utilization is unreadable across a split
+	// fleet without knowing which pool each GPU serves.
+	GPURoles []string
+	// PrefillUtil and DecodeUtil are the mean busy fractions of the
+	// prefill-capable and decode-capable GPUs respectively (derived from
+	// core.Stats.BusyTime over the makespan; unified GPUs count toward
+	// both, so a unified run reports the same number twice). Pool
+	// imbalance — an idle decode pool behind a saturated prefill pool —
+	// is invisible without them.
+	PrefillUtil float64
+	DecodeUtil  float64
+
+	// InterTokenLatency is the distribution of gaps between consecutive
+	// tokens of the same request (seconds) — the decode-side latency that
+	// head-of-line blocking by long prefills inflates, and the metric
+	// disaggregation exists to protect. The first token of each request
+	// anchors its gap chain (TTFT is tracked separately).
+	InterTokenLatency metrics.Histogram
+
+	// KV-migration outcomes (prefill/decode disaggregation).
+	//
+	// KVMigrations counts prefill→decode handoffs that moved a request's
+	// KvCache without recomputation; KVMigratedBytes their total
+	// payload; KVMigrationFallbacks handoffs that found no decode room
+	// and stayed on (or requeued from) their prefill GPU.
+	// AdapterPrefetches counts decode-target adapter loads overlapped
+	// with prefill.
+	KVMigrations         int64
+	KVMigratedBytes      int64
+	KVMigrationFallbacks int64
+	AdapterPrefetches    int64
 
 	// AdapterStalls counts placements deferred because a GPU's adapter
 	// store was full with every adapter pinned (§5.2 backpressure): the
@@ -125,12 +164,31 @@ type Cluster struct {
 	// recovering maps request ID → crash time for requests awaiting
 	// re-placement after their GPU failed (feeds RecoveryLatency).
 	recovering map[int64]time.Duration
+	// lastToken maps request ID → previous token time, feeding the
+	// inter-token latency histogram.
+	lastToken map[int64]time.Duration
+}
+
+// noteToken records the gap to the request's previous token. Tokens
+// carry their simulated emission time, so gaps measure exactly what a
+// streaming user would see — including prefill head-of-line stalls and
+// migration handoffs between pools.
+func (c *Cluster) noteToken(tok core.Token) {
+	if last, ok := c.lastToken[tok.RequestID]; ok && tok.At > last {
+		c.res.InterTokenLatency.AddDuration(tok.At - last)
+	}
+	if tok.EOS {
+		delete(c.lastToken, tok.RequestID)
+		return
+	}
+	c.lastToken[tok.RequestID] = tok.At
 }
 
 type runner struct {
 	gpu           *sched.GPU
 	eng           *core.Engine
 	index         int
+	role          core.Role
 	stepInFlight  bool
 	wakeScheduled bool
 	cluster       *Cluster
@@ -145,7 +203,20 @@ type runner struct {
 
 // New builds a cluster of cfg.NumGPUs engines. UUIDs are "gpu-00",
 // "gpu-01", ... so the §5.1 tie-break (highest UUID) is deterministic.
+// With Disagg set, the first PrefillGPUs engines form the prefill pool
+// and the rest the decode pool.
 func New(cfg Config) *Cluster {
+	if cfg.Disagg != nil {
+		d := cfg.Disagg.validate()
+		cfg.Disagg = &d
+		if cfg.NumGPUs == 0 {
+			cfg.NumGPUs = d.PrefillGPUs + d.DecodeGPUs
+		}
+		if cfg.NumGPUs != d.PrefillGPUs+d.DecodeGPUs {
+			panic(fmt.Sprintf("cluster: NumGPUs %d != prefill %d + decode %d",
+				cfg.NumGPUs, d.PrefillGPUs, d.DecodeGPUs))
+		}
+	}
 	if cfg.NumGPUs <= 0 {
 		panic("cluster: need at least one GPU")
 	}
@@ -154,17 +225,19 @@ func New(cfg Config) *Cluster {
 		clock:      sim.NewVirtualClock(),
 		byGPU:      make(map[*sched.GPU]*runner),
 		recovering: make(map[int64]time.Duration),
+		lastToken:  make(map[int64]time.Duration),
 	}
 	var gpus []*sched.GPU
 	for i := 0; i < cfg.NumGPUs; i++ {
 		ec := cfg.Engine
-		ec.OnToken = nil
+		ec.OnToken = c.noteToken
 		ec.OnFinish = nil
 		ec.AdapterRank = cfg.AdapterRank
+		ec.Role = cfg.roleOf(i)
 		eng := core.NewEngine(ec)
-		g := &sched.GPU{UUID: fmt.Sprintf("gpu-%02d", i), Engine: eng}
+		g := &sched.GPU{UUID: fmt.Sprintf("gpu-%02d", i), Engine: eng, Role: ec.Role}
 		gpus = append(gpus, g)
-		r := &runner{gpu: g, eng: eng, index: i, cluster: c}
+		r := &runner{gpu: g, eng: eng, index: i, role: ec.Role, cluster: c}
 		c.gpus = append(c.gpus, r)
 		c.byGPU[g] = r
 	}
@@ -241,6 +314,7 @@ func (c *Cluster) Run(reqs []workload.Request) (*Result, error) {
 		return nil, c.runErr
 	}
 
+	var prefillBusy, decodeBusy []float64
 	for _, r := range c.gpus {
 		st := r.eng.Stats()
 		c.res.DecodeTokens += st.TokensGenerated
@@ -255,15 +329,28 @@ func (c *Cluster) Run(reqs []workload.Request) (*Result, error) {
 					r.gpu.UUID, store.PinnedBytes())
 			}
 		}
-		if c.res.Makespan > 0 {
-			c.res.GPUBusyFraction = append(c.res.GPUBusyFraction,
-				st.BusyTime.Seconds()/c.res.Makespan.Seconds())
-		} else {
-			c.res.GPUBusyFraction = append(c.res.GPUBusyFraction, 0)
+		if kv := r.eng.KV(); kv.UsedPages() != 0 || kv.Sequences() != 0 {
+			return nil, fmt.Errorf("cluster: gpu %s leaked %d KvCache pages (%d sequences) at quiescence",
+				r.gpu.UUID, kv.UsedPages(), kv.Sequences())
+		}
+		util := st.Utilization(c.res.Makespan)
+		c.res.GPUBusyFraction = append(c.res.GPUBusyFraction, util)
+		c.res.GPURoles = append(c.res.GPURoles, r.role.String())
+		if prefillCapable(r.role) {
+			prefillBusy = append(prefillBusy, util)
+		}
+		if r.role == core.RoleDecode || r.role == core.RoleUnified {
+			decodeBusy = append(decodeBusy, util)
 		}
 	}
+	c.res.PrefillUtil = mean(prefillBusy)
+	c.res.DecodeUtil = mean(decodeBusy)
 	c.res.Migrations = c.sched.Stats().Migrations
 	c.res.AdapterStalls = c.sched.Stats().AdapterStalls
+	c.res.KVMigrations = c.sched.Stats().KVMigrations
+	c.res.KVMigratedBytes = c.sched.Stats().KVMigratedBytes
+	c.res.KVMigrationFallbacks = c.sched.Stats().KVMigrationFallbacks
+	c.res.AdapterPrefetches = c.sched.Stats().AdapterPrefetches
 	if c.res.Makespan > 0 {
 		c.res.Throughput = float64(c.res.DecodeTokens) / c.res.Makespan.Seconds()
 	}
@@ -271,6 +358,17 @@ func (c *Cluster) Run(reqs []workload.Request) (*Result, error) {
 		return nil, fmt.Errorf("cluster: run ended with unfinished work (queue=%d)", c.sched.QueueLen())
 	}
 	return &c.res, nil
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
 }
 
 func (c *Cluster) runnerOf(g *sched.GPU) *runner {
@@ -376,6 +474,29 @@ func (r *runner) complete(res core.StepResult) {
 		r.crashPending = nil
 		c.doCrash(r, ev)
 		return
+	}
+	if r.role == core.RolePrefill {
+		// Step boundary on the prefill pool: hand finished prefills to
+		// the decode pool by moving their KvCache. Requests that find no
+		// decode room stay here (still decoding) and are offered again
+		// at the next boundary.
+		dsts, err := c.sched.MigratePrefilled(r.gpu, now)
+		if err != nil {
+			c.fail(fmt.Errorf("cluster: migrate prefilled off %s: %w", r.gpu.UUID, err))
+			return
+		}
+		for _, d := range dsts {
+			c.runnerOf(d).kick()
+		}
+		if len(dsts) > 0 {
+			// Handoffs freed prefill capacity: the queue may advance.
+			placed, err := c.sched.DrainQueue(now)
+			if err != nil {
+				c.fail(fmt.Errorf("cluster: drain after migration: %w", err))
+				return
+			}
+			c.notePlacements(placed)
+		}
 	}
 	if len(res.Finished) > 0 || len(res.Evicted) > 0 {
 		placed, err := c.sched.DrainQueue(now)

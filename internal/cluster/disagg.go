@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"math"
+
+	"punica/internal/core"
+)
+
+// DisaggConfig sizes the prefill and decode pools of a disaggregated
+// deployment. Engines gpu-00 … gpu-(P-1) serve prefill, the rest decode;
+// new requests dispatch onto the prefill pool and migrate — KvCache
+// moved, not recomputed — to a policy-chosen decode GPU when their
+// prefill completes.
+type DisaggConfig struct {
+	PrefillGPUs int
+	DecodeGPUs  int
+}
+
+func (d DisaggConfig) validate() DisaggConfig {
+	if d.PrefillGPUs < 1 {
+		d.PrefillGPUs = 1
+	}
+	if d.DecodeGPUs < 1 {
+		d.DecodeGPUs = 1
+	}
+	return d
+}
+
+// DisaggFromRatio splits numGPUs into pools with prefillFrac of the
+// fleet (rounded, at least one each) serving prefill — the "-disagg"
+// CLI knob. A fraction outside (0,1) defaults to a quarter: prefill
+// work is compute-bound and bursty while decode holds long-lived state,
+// so decode typically wants the larger share.
+func DisaggFromRatio(numGPUs int, prefillFrac float64) DisaggConfig {
+	if numGPUs < 2 {
+		numGPUs = 2
+	}
+	if prefillFrac <= 0 || prefillFrac >= 1 {
+		prefillFrac = 0.25
+	}
+	p := int(math.Round(float64(numGPUs) * prefillFrac))
+	if p < 1 {
+		p = 1
+	}
+	if p > numGPUs-1 {
+		p = numGPUs - 1
+	}
+	return DisaggConfig{PrefillGPUs: p, DecodeGPUs: numGPUs - p}
+}
+
+// roleOf maps an engine index to its pool.
+func (c Config) roleOf(i int) core.Role {
+	if c.Disagg == nil {
+		return core.RoleUnified
+	}
+	if i < c.Disagg.PrefillGPUs {
+		return core.RolePrefill
+	}
+	return core.RoleDecode
+}
+
+// prefillCapable reports whether the role can admit new (recompute-path)
+// requests.
+func prefillCapable(r core.Role) bool { return r.AcceptsNew() }

@@ -1,0 +1,258 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"punica/internal/core"
+	"punica/internal/dist"
+	"punica/internal/workload"
+)
+
+// prefillHeavyTrace builds Poisson arrivals whose prompts dwarf their
+// outputs — the regime where unified engines suffer decode head-of-line
+// blocking behind long prefills.
+func prefillHeavyTrace(kind dist.Kind, rate float64, horizon time.Duration, seed int64) []workload.Request {
+	g := workload.NewGenerator(kind, workload.Lengths{
+		PromptMu: 6.3, PromptSigma: 0.6, PromptMin: 256, PromptMax: 1536,
+		OutMu: 3.4, OutSigma: 0.6, OutMin: 8, OutMax: 96,
+	}, seed)
+	n := int(rate * horizon.Seconds())
+	return g.Poisson(func(time.Duration) float64 { return rate }, rate, horizon, dist.NumModels(kind, n))
+}
+
+func TestDisaggRunCompletesWithKVMigration(t *testing.T) {
+	c := New(Config{
+		Engine:            punicaEngineConfig(),
+		Disagg:            &DisaggConfig{PrefillGPUs: 1, DecodeGPUs: 3},
+		MigrationInterval: 10 * time.Second,
+	})
+	reqs := prefillHeavyTrace(dist.Uniform, 4, 30*time.Second, 11)
+	res, err := c.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finished != int64(len(reqs)) {
+		t.Fatalf("finished %d/%d", res.Finished, len(reqs))
+	}
+	if res.KVMigrations == 0 {
+		t.Fatal("disaggregated run performed no KV migrations")
+	}
+	if res.KVMigratedBytes == 0 {
+		t.Fatal("KV migrations carried no bytes")
+	}
+	if res.InterTokenLatency.Count() == 0 {
+		t.Fatal("inter-token latency histogram empty")
+	}
+	if len(res.GPURoles) != 4 || res.GPURoles[0] != "prefill" || res.GPURoles[3] != "decode" {
+		t.Fatalf("GPURoles = %v", res.GPURoles)
+	}
+	if res.PrefillUtil <= 0 || res.DecodeUtil <= 0 {
+		t.Fatalf("pool utilization missing: prefill=%v decode=%v", res.PrefillUtil, res.DecodeUtil)
+	}
+	// Decode GPUs must never have run a prefill: all prefill tokens were
+	// computed on the prefill pool (recompute-free handoff).
+	if res.AdapterPrefetches == 0 {
+		t.Fatal("no decode-target adapter prefetches happened")
+	}
+}
+
+func TestDisaggDeterministic(t *testing.T) {
+	run := func() *Result {
+		c := New(Config{
+			Engine: punicaEngineConfig(),
+			Disagg: &DisaggConfig{PrefillGPUs: 1, DecodeGPUs: 2},
+		})
+		res, err := c.Run(prefillHeavyTrace(dist.Skewed, 3, 20*time.Second, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Makespan != b.Makespan || a.KVMigrations != b.KVMigrations ||
+		a.DecodeTokens != b.DecodeTokens ||
+		a.InterTokenLatency.Percentile(99) != b.InterTokenLatency.Percentile(99) {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestDisaggFaultsBothPools injects crashes into both pools and asserts
+// the recovery contract and the KV/pin leak invariants (checked inside
+// Run) still hold: decode-GPU losses re-enter via the prefill pool's
+// recompute path, prefill-GPU losses requeue as usual.
+func TestDisaggFaultsBothPools(t *testing.T) {
+	reqs := prefillHeavyTrace(dist.Skewed, 16, 40*time.Second, 23)
+	c := New(Config{
+		Engine: punicaEngineConfig(),
+		Disagg: &DisaggConfig{PrefillGPUs: 2, DecodeGPUs: 3},
+		Faults: &FaultPlan{Events: []FaultEvent{
+			{At: 6 * time.Second, GPU: 4, Kind: FaultCrash},                                       // decode pool
+			{At: 9 * time.Second, GPU: 0, Kind: FaultCrashReplace, ReplaceDelay: 5 * time.Second}, // prefill pool
+			{At: 14 * time.Second, GPU: 2, Kind: FaultStall, Stall: 3 * time.Second},
+		}},
+	})
+	res, err := c.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finished != int64(len(reqs)) {
+		t.Fatalf("finished %d/%d after faults on both pools", res.Finished, len(reqs))
+	}
+	if res.GPUFailures != 2 {
+		t.Fatalf("failures = %d, want 2", res.GPUFailures)
+	}
+	if res.GPUReplacements != 1 {
+		t.Fatalf("replacements = %d, want 1", res.GPUReplacements)
+	}
+	if res.RecoveredRequests == 0 {
+		t.Fatal("no requests recovered despite mid-run crashes")
+	}
+}
+
+// TestDisaggCrashNeverKillsLastPrefillGPU asserts the pool-aware
+// downgrade: a plan that repeatedly crashes the only prefill GPU
+// degrades those events to stalls and the trace still completes.
+func TestDisaggCrashNeverKillsLastPrefillGPU(t *testing.T) {
+	reqs := prefillHeavyTrace(dist.Uniform, 3, 25*time.Second, 31)
+	c := New(Config{
+		Engine: punicaEngineConfig(),
+		Disagg: &DisaggConfig{PrefillGPUs: 1, DecodeGPUs: 2},
+		Faults: &FaultPlan{Events: []FaultEvent{
+			{At: 4 * time.Second, GPU: 0, Kind: FaultCrash},
+			{At: 8 * time.Second, GPU: 0, Kind: FaultCrash},
+		}},
+	})
+	res, err := c.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finished != int64(len(reqs)) {
+		t.Fatalf("finished %d/%d", res.Finished, len(reqs))
+	}
+	if res.FaultsSkipped == 0 {
+		t.Fatal("no crash was downgraded despite targeting the last prefill GPU")
+	}
+}
+
+// TestDisaggDecodePoolCrashSurvivable: losing the whole decode pool is
+// survivable — prefill engines decode in place via the fallback path.
+func TestDisaggDecodePoolCrashSurvivable(t *testing.T) {
+	reqs := prefillHeavyTrace(dist.Uniform, 2, 20*time.Second, 41)
+	c := New(Config{
+		Engine: punicaEngineConfig(),
+		Disagg: &DisaggConfig{PrefillGPUs: 2, DecodeGPUs: 1},
+		Faults: &FaultPlan{Events: []FaultEvent{
+			{At: 5 * time.Second, GPU: 2, Kind: FaultCrash}, // the only decode GPU
+		}},
+	})
+	res, err := c.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finished != int64(len(reqs)) {
+		t.Fatalf("finished %d/%d with the decode pool gone", res.Finished, len(reqs))
+	}
+}
+
+// TestDisaggPerPoolAutoscale runs elastic provisioning over a split
+// fleet: each pool keeps its floor, scales on its own signal, and the
+// run completes with exact accounting.
+func TestDisaggPerPoolAutoscale(t *testing.T) {
+	c := New(Config{
+		Engine: punicaEngineConfig(),
+		Disagg: &DisaggConfig{PrefillGPUs: 2, DecodeGPUs: 4},
+		Autoscale: &AutoscaleConfig{
+			MinGPUs:        2,
+			MaxGPUs:        6,
+			ProvisionDelay: 2 * time.Second,
+			CheckInterval:  time.Second,
+		},
+	})
+	reqs := prefillHeavyTrace(dist.Uniform, 5, 40*time.Second, 17)
+	res, err := c.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finished != int64(len(reqs)) {
+		t.Fatalf("finished %d/%d", res.Finished, len(reqs))
+	}
+	st := c.AutoscaleStats()
+	if st.GPUSeconds <= 0 {
+		t.Fatalf("autoscale stats degenerate: %+v", st)
+	}
+	// Both pools must have kept at least their floor online throughout:
+	// the run finishing with exact leak accounting already proves the
+	// prefill floor; check the split itself.
+	b := splitBounds(2, 6, DisaggConfig{PrefillGPUs: 2, DecodeGPUs: 4})
+	if b[core.RolePrefill].min < 1 || b[core.RoleDecode].min < 1 {
+		t.Fatalf("pool floors dropped below 1: %+v", b)
+	}
+	if b[core.RolePrefill].max+b[core.RoleDecode].max > 6 {
+		t.Fatalf("pool ceilings exceed the fleet ceiling: %+v", b)
+	}
+}
+
+// TestSplitBoundsRespectsFleetLimits asserts pool floors and ceilings
+// sum exactly to the (effective) fleet floor and ceiling — skewed pool
+// shapes must not let rounding exceed the operator's MinGPUs/MaxGPUs.
+func TestSplitBoundsRespectsFleetLimits(t *testing.T) {
+	cases := []struct {
+		min, max int
+		d        DisaggConfig
+	}{
+		{2, 2, DisaggConfig{PrefillGPUs: 4, DecodeGPUs: 1}},
+		{2, 5, DisaggConfig{PrefillGPUs: 4, DecodeGPUs: 1}},
+		{2, 6, DisaggConfig{PrefillGPUs: 2, DecodeGPUs: 4}},
+		{3, 8, DisaggConfig{PrefillGPUs: 1, DecodeGPUs: 7}},
+		{1, 10, DisaggConfig{PrefillGPUs: 5, DecodeGPUs: 5}}, // floor bumps to 2
+		{7, 7, DisaggConfig{PrefillGPUs: 6, DecodeGPUs: 1}},
+	}
+	for _, c := range cases {
+		total := c.d.PrefillGPUs + c.d.DecodeGPUs
+		wantMin := c.min
+		if wantMin < 2 {
+			wantMin = 2
+		}
+		wantMax := c.max
+		if wantMax < wantMin {
+			wantMax = wantMin
+		}
+		if wantMax > total {
+			wantMax = total
+		}
+		b := splitBounds(c.min, c.max, c.d)
+		p, d := b[core.RolePrefill], b[core.RoleDecode]
+		if p.min+d.min != wantMin {
+			t.Errorf("splitBounds(%d,%d,%+v): floor sum %d, want %d", c.min, c.max, c.d, p.min+d.min, wantMin)
+		}
+		if p.max+d.max != wantMax {
+			t.Errorf("splitBounds(%d,%d,%+v): ceiling sum %d, want %d", c.min, c.max, c.d, p.max+d.max, wantMax)
+		}
+		if p.min < 1 || d.min < 1 || p.max > c.d.PrefillGPUs || d.max > c.d.DecodeGPUs {
+			t.Errorf("splitBounds(%d,%d,%+v): bounds out of pool range: %+v/%+v", c.min, c.max, c.d, p, d)
+		}
+		if p.max < p.min || d.max < d.min {
+			t.Errorf("splitBounds(%d,%d,%+v): inverted bounds: %+v/%+v", c.min, c.max, c.d, p, d)
+		}
+	}
+}
+
+// TestUnifiedResultCarriesUtilization: the new utilization fields are
+// populated in unified mode too (both pools alias the whole fleet).
+func TestUnifiedResultCarriesUtilization(t *testing.T) {
+	c := New(Config{NumGPUs: 2, Engine: punicaEngineConfig()})
+	res, err := c.Run(shortTrace(dist.Uniform, 30, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PrefillUtil != res.DecodeUtil || res.PrefillUtil <= 0 {
+		t.Fatalf("unified utilization: prefill=%v decode=%v", res.PrefillUtil, res.DecodeUtil)
+	}
+	if len(res.GPURoles) != 2 || res.GPURoles[0] != "unified" {
+		t.Fatalf("GPURoles = %v", res.GPURoles)
+	}
+	if res.KVMigrations != 0 {
+		t.Fatal("unified run migrated KV")
+	}
+}

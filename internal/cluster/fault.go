@@ -141,7 +141,13 @@ func (c *Cluster) injectFault(ev FaultEvent) {
 	case FaultStall:
 		c.stallGPU(victim, ev.Stall)
 	case FaultCrash, FaultCrashReplace:
-		if len(alive) == 1 && ev.Kind == FaultCrash {
+		if ev.Kind == FaultCrash && c.lastPrefillCapable(victim, alive) {
+			// Killing the last prefill-capable GPU permanently would
+			// strand the queue: nothing could ever admit new (or
+			// recompute-path) requests again. A decode pool dying is
+			// survivable — prefill engines decode their requests in
+			// place — but prefill extinction is not; downgrade to a
+			// stall, like the unified last-alive-GPU rule.
 			stall := ev.Stall
 			if stall <= 0 {
 				stall = 5 * time.Second
@@ -152,6 +158,20 @@ func (c *Cluster) injectFault(ev FaultEvent) {
 		}
 		c.crashGPU(victim, ev)
 	}
+}
+
+// lastPrefillCapable reports whether victim is the only alive GPU that
+// can admit new requests (in a unified fleet: the only alive GPU).
+func (c *Cluster) lastPrefillCapable(victim *runner, alive []*runner) bool {
+	if !prefillCapable(victim.role) {
+		return false
+	}
+	for _, r := range alive {
+		if r != victim && prefillCapable(r.role) {
+			return false
+		}
+	}
+	return true
 }
 
 // aliveOnline returns the runners that are schedulable right now: not
@@ -240,23 +260,26 @@ func (c *Cluster) doCrash(r *runner, ev FaultEvent) {
 		if delay <= 0 {
 			delay = DefaultReplaceDelay
 		}
-		c.clock.ScheduleAfter(delay, c.attachReplacement)
+		role := r.role
+		c.clock.ScheduleAfter(delay, func() { c.attachReplacement(role) })
 	}
 }
 
 // attachReplacement provisions a brand-new GPU (fresh engine: cold
 // adapter store, empty KvCache) for crashed capacity and drains the
-// FCFS queue into it.
-func (c *Cluster) attachReplacement() {
+// FCFS queue into it. The replacement inherits the crashed GPU's pool
+// role, so a disaggregated fleet keeps its shape through churn.
+func (c *Cluster) attachReplacement(role core.Role) {
 	now := c.clock.Now()
 	ec := c.cfg.Engine
-	ec.OnToken = nil
+	ec.OnToken = c.noteToken
 	ec.OnFinish = nil
 	ec.AdapterRank = c.cfg.AdapterRank
+	ec.Role = role
 	eng := core.NewEngine(ec)
 	idx := len(c.gpus)
-	g := &sched.GPU{UUID: fmt.Sprintf("gpu-%02d", idx), Engine: eng}
-	r := &runner{gpu: g, eng: eng, index: idx, cluster: c}
+	g := &sched.GPU{UUID: fmt.Sprintf("gpu-%02d", idx), Engine: eng, Role: role}
+	r := &runner{gpu: g, eng: eng, index: idx, role: role, cluster: c}
 	c.gpus = append(c.gpus, r)
 	c.byGPU[g] = r
 	c.res.BatchSeries = append(c.res.BatchSeries, metrics.TimeSeries{})

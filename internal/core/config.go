@@ -93,6 +93,19 @@ type Config struct {
 	// ways, two all-reduces per layer).
 	TP int
 
+	// Role places the engine in a disaggregated deployment: RoleUnified
+	// (the zero value) is the paper's run-everything engine, RolePrefill
+	// and RoleDecode split prompt processing from token generation, with
+	// finished prefills handed over via ExportKV/ImportKV.
+	Role Role
+
+	// KVLink models the channel migrated KvCache rides between engines
+	// (ExportKV → ImportKV). The zero value means PCIe Gen4 x16 — the
+	// paper's deployment has runners on separate servers, so KV moves
+	// device → host → device; deployments with NVLink or RDMA paths
+	// override it.
+	KVLink hw.Link
+
 	// WeightPrecision quantizes the backbone (§8 extension): smaller
 	// weights stream faster and leave more HBM for KvCache. FP16 (the
 	// zero value) reproduces the paper's setup.
@@ -168,6 +181,14 @@ func (c Config) kvBytesPerToken() int64 {
 		b = 1
 	}
 	return b
+}
+
+// kvLink is the KV-migration channel (PCIe Gen4 x16 unless overridden).
+func (c Config) kvLink() hw.Link {
+	if c.KVLink.Bandwidth > 0 {
+		return c.KVLink
+	}
+	return hw.PCIeGen4x16()
 }
 
 func (c Config) pageSize() int {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -11,6 +12,12 @@ import (
 	"punica/internal/lora"
 	"punica/internal/sgmv"
 )
+
+// ErrRoleMismatch reports a request offered to an engine whose role does
+// not serve that path: enqueueing prefill work on a decode-role engine.
+// Schedulers avoid it by filtering candidates on Snapshot.Role; the
+// error guards direct misuse.
+var ErrRoleMismatch = errors.New("core: decode-role engine accepts only KV imports")
 
 // Engine is one serving instance: a GPU (or tensor-parallel GPU group)
 // running continuous batches of an LLM with LoRA adapters. It owns the
@@ -46,6 +53,24 @@ type Stats struct {
 	// (each drops all resident requests for recovery elsewhere).
 	Crashes  int64
 	BusyTime time.Duration
+	// KVExports/KVImports count deliberate KV migrations through
+	// ExportKV/ImportKV (disaggregation handoffs, not crash recoveries);
+	// KVMovedBytes totals the KvCache payload received by imports —
+	// charged where the transfer lands, so zero-byte bounces back to a
+	// request's own source count nothing.
+	KVExports    int64
+	KVImports    int64
+	KVMovedBytes int64
+}
+
+// Utilization returns the fraction of span the engine spent inside
+// invocations — the per-GPU utilization signal pool-imbalance analysis
+// reads. Zero when span is not positive.
+func (s Stats) Utilization(span time.Duration) float64 {
+	if span <= 0 {
+		return 0
+	}
+	return s.BusyTime.Seconds() / span.Seconds()
 }
 
 // StepResult reports one model invocation.
@@ -97,6 +122,10 @@ func NewEngine(cfg Config) *Engine {
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
+// Role returns the engine's disaggregation role (RoleUnified unless
+// configured otherwise).
+func (e *Engine) Role() Role { return e.cfg.Role }
+
 // KV exposes the KvCache pool (read-only use by schedulers and tests).
 func (e *Engine) KV() *kvcache.Pool { return e.kv }
 
@@ -105,6 +134,18 @@ func (e *Engine) Store() *lora.Store { return e.store }
 
 // Stats returns a snapshot of accumulated counters.
 func (e *Engine) Stats() Stats { return e.stats }
+
+// PrefetchAdapter starts loading an adapter without pinning it — the
+// disaggregation router's warm-up hint for a request's intended decode
+// target while its prefill runs elsewhere. Best-effort: false when the
+// engine serves no LoRA or the store refused the hint.
+func (e *Engine) PrefetchAdapter(id lora.ModelID, now time.Duration) bool {
+	if e.store == nil {
+		return false
+	}
+	_, ok := e.store.Prefetch(id, now)
+	return ok
+}
 
 // WorkingSet returns the number of requests assigned to this engine
 // (running or queued locally) — the scheduler's routing signal (§5.1).
@@ -122,6 +163,7 @@ func (e *Engine) MaxBatch() int { return e.cfg.System.MaxBatch }
 // issuing per-GPU WorkingSet/CanAdmit call pairs.
 func (e *Engine) Snapshot() Snapshot {
 	s := Snapshot{
+		Role:         e.cfg.Role,
 		WorkingSet:   e.WorkingSet(),
 		ActiveBatch:  len(e.active),
 		MaxBatch:     e.cfg.System.MaxBatch,
@@ -147,8 +189,12 @@ func (e *Engine) Busy() bool { return len(e.active) > 0 || len(e.pending) > 0 }
 // know when to try again. ok is false when nothing is pending on a load.
 func (e *Engine) EarliestPendingReady() (at time.Duration, ok bool) {
 	for _, r := range e.pending {
-		if !ok || r.loraReady < at {
-			at, ok = r.loraReady, true
+		ready := r.loraReady
+		if r.kvReady > ready {
+			ready = r.kvReady // KV migration still in flight over the link
+		}
+		if !ok || ready < at {
+			at, ok = ready, true
 		}
 	}
 	return at, ok
@@ -168,6 +214,9 @@ func (e *Engine) kvNeed(r *Request) int {
 // below the max batch size and with enough uncommitted KvCache (§5.1's
 // two scheduling constraints).
 func (e *Engine) CanAdmit(r *Request) bool {
+	if !e.cfg.Role.AcceptsNew() {
+		return false // decode pool: work arrives only via ImportKV
+	}
 	if e.WorkingSet() >= e.cfg.System.MaxBatch {
 		return false
 	}
@@ -181,6 +230,9 @@ func (e *Engine) CanAdmit(r *Request) bool {
 // the first step boundary where its weights are resident and capacity
 // allows.
 func (e *Engine) Enqueue(r *Request, now time.Duration) error {
+	if !e.cfg.Role.AcceptsNew() {
+		return ErrRoleMismatch
+	}
 	if e.kv.PagesFor(e.kvNeed(r)) > e.kv.TotalPages() {
 		return fmt.Errorf("core: request %d needs %d tokens of KvCache, exceeding pool capacity",
 			r.ID, e.kvNeed(r))
@@ -198,6 +250,7 @@ func (e *Engine) Enqueue(r *Request, now time.Duration) error {
 	}
 	r.prefilled = false
 	r.done = false
+	r.kvReady = 0
 	e.reservedPages += e.kv.PagesFor(e.kvNeed(r))
 	e.insertPending(r)
 	return nil
@@ -224,7 +277,13 @@ func (e *Engine) Cancel(id int64, now time.Duration) *Request {
 	for i, r := range e.pending {
 		if r.ID == id {
 			e.pending = append(e.pending[:i], e.pending[i+1:]...)
-			e.reservedPages -= e.kv.PagesFor(e.kvNeed(r))
+			if e.kv.Has(kvcache.SeqID(r.ID)) {
+				// Imported via KV migration: pages were allocated at
+				// import, not reserved at enqueue.
+				e.kv.Release(kvcache.SeqID(r.ID))
+			} else {
+				e.reservedPages -= e.kv.PagesFor(e.kvNeed(r))
+			}
 			e.releaseRequest(r)
 			e.stats.Cancellations++
 			return r
@@ -243,12 +302,20 @@ func (e *Engine) Cancel(id int64, now time.Duration) *Request {
 }
 
 func (e *Engine) releaseRequest(r *Request) {
+	e.releaseAdapter(r)
+	r.prefilled = false
+	r.done = false
+	r.kvReady = 0
+}
+
+// releaseAdapter unpins the request's adapter without touching its
+// generation state — ExportKV uses it so a migrating request keeps its
+// prefilled status while its pin moves from source to destination.
+func (e *Engine) releaseAdapter(r *Request) {
 	if r.hasLoRA && e.store != nil {
 		e.store.Release(r.Model)
 		r.hasLoRA = false
 	}
-	r.prefilled = false
-	r.done = false
 }
 
 // Crash models the engine's GPU dying: every resident request loses its
@@ -266,7 +333,14 @@ func (e *Engine) releaseRequest(r *Request) {
 // it; replacements start from a fresh engine with a cold adapter store.
 func (e *Engine) Crash(now time.Duration) (lost []*Request, lostKVTokens int) {
 	for _, r := range e.pending {
-		e.reservedPages -= e.kv.PagesFor(e.kvNeed(r))
+		if e.kv.Has(kvcache.SeqID(r.ID)) {
+			// Imported mid-migration: the KvCache it carried is lost and
+			// must be recomputed like any crashed context.
+			lostKVTokens += r.ContextLen()
+			e.kv.Release(kvcache.SeqID(r.ID))
+		} else {
+			e.reservedPages -= e.kv.PagesFor(e.kvNeed(r))
+		}
 		e.releaseRequest(r)
 		lost = append(lost, r)
 	}
@@ -353,10 +427,17 @@ func (e *Engine) admit(now time.Duration) {
 			kept = append(kept, r)
 			continue
 		}
-		if r.loraReady > now {
-			// Adapter still in flight over PCIe; it "joins the batch
-			// naturally" next step (§5.2). Others may pass.
+		if r.loraReady > now || r.kvReady > now {
+			// Adapter still in flight over PCIe (§5.2) or migrated
+			// KvCache still crossing the link; it joins the batch
+			// naturally next step. Others may pass.
 			kept = append(kept, r)
+			continue
+		}
+		if e.kv.Has(kvcache.SeqID(r.ID)) {
+			// Imported via KV migration: pages were allocated at import
+			// and the prefill already happened on the source GPU.
+			e.active = append(e.active, r)
 			continue
 		}
 		need := e.kvNeed(r)

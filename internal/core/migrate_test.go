@@ -1,0 +1,310 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func prefillEngine() *Engine {
+	cfg := punicaConfig()
+	cfg.Role = RolePrefill
+	return NewEngine(cfg)
+}
+
+func decodeEngine() *Engine {
+	cfg := punicaConfig()
+	cfg.Role = RoleDecode
+	return NewEngine(cfg)
+}
+
+// stepUntilPrefilled drives the engine until request id shows up as
+// migratable, returning the current simulated time.
+func stepUntilPrefilled(t *testing.T, e *Engine, id int64, now time.Duration) time.Duration {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		for _, m := range e.Migratable() {
+			if m == id {
+				return now
+			}
+		}
+		res := e.Step(now)
+		if res.Idle {
+			at, ok := e.EarliestPendingReady()
+			if !ok {
+				t.Fatal("engine idle with no wake-up while awaiting prefill")
+			}
+			now = at
+			continue
+		}
+		now = res.EndsAt
+	}
+	t.Fatalf("request %d never became migratable", id)
+	return 0
+}
+
+func TestDecodeRoleRejectsEnqueue(t *testing.T) {
+	e := decodeEngine()
+	err := e.Enqueue(req(1, 0, 64, 8, 0), 0)
+	if !errors.Is(err, ErrRoleMismatch) {
+		t.Fatalf("decode-role Enqueue err = %v, want ErrRoleMismatch", err)
+	}
+	if e.CanAdmit(req(2, 0, 64, 8, 0)) {
+		t.Fatal("decode-role CanAdmit said true")
+	}
+	snap := e.Snapshot()
+	if snap.Role != RoleDecode {
+		t.Fatalf("snapshot role = %v, want decode", snap.Role)
+	}
+	if snap.CanAdmit(req(3, 0, 64, 8, 0)) {
+		t.Fatal("decode-role snapshot CanAdmit said true")
+	}
+	if !snap.CanImport(req(3, 0, 64, 8, 0)) {
+		t.Fatal("decode-role snapshot CanImport said false on an empty engine")
+	}
+}
+
+// TestExportImportMigration moves a request mid-generation from a
+// prefill engine to a decode engine and checks every invariant: no
+// recomputation, exact token continuity, KV page and adapter pin
+// accounting on both ends.
+func TestExportImportMigration(t *testing.T) {
+	src := prefillEngine()
+	dst := decodeEngine()
+	r := req(1, 3, 200, 16, 0)
+	if err := src.Enqueue(r, 0); err != nil {
+		t.Fatal(err)
+	}
+	now := stepUntilPrefilled(t, src, 1, 0)
+	if r.Generated == 0 {
+		t.Fatal("prefill step should have produced the first token")
+	}
+	genAtExport := r.Generated
+
+	h, err := src.ExportKV(1, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.KV.Tokens != r.ContextLen() {
+		t.Fatalf("handle tokens = %d, want context %d", h.KV.Tokens, r.ContextLen())
+	}
+	if src.KV().UsedPages() != 0 {
+		t.Fatalf("source leaked %d KV pages after export", src.KV().UsedPages())
+	}
+	if src.Store().PinnedBytes() != 0 {
+		t.Fatalf("source leaked %d pinned adapter bytes after export", src.Store().PinnedBytes())
+	}
+	if src.Busy() {
+		t.Fatal("source still busy after exporting its only request")
+	}
+
+	if err := dst.ImportKV(h, now); err != nil {
+		t.Fatal(err)
+	}
+	if dst.KV().UsedPages() != dst.KV().PagesFor(r.ContextLen()) {
+		t.Fatalf("destination pages = %d, want page-exact %d",
+			dst.KV().UsedPages(), dst.KV().PagesFor(r.ContextLen()))
+	}
+	if dst.Store().PinnedBytes() == 0 {
+		t.Fatal("destination did not pin the adapter on import")
+	}
+
+	end, steps := drain(t, dst, now)
+	if !r.Finished() {
+		t.Fatalf("request did not finish on the destination (generated %d/%d)",
+			r.Generated, r.OutputLen)
+	}
+	for _, s := range steps {
+		if s.PrefillRequests != 0 || s.PrefillTokens != 0 {
+			t.Fatal("destination recomputed prefill after a KV import")
+		}
+	}
+	wantSteps := r.OutputLen - genAtExport
+	if len(steps) != wantSteps {
+		t.Fatalf("destination ran %d decode steps, want %d (no token replay)", len(steps), wantSteps)
+	}
+	if dst.KV().UsedPages() != 0 || dst.Store().PinnedBytes() != 0 {
+		t.Fatalf("destination leaked after completion: pages=%d pinned=%d",
+			dst.KV().UsedPages(), dst.Store().PinnedBytes())
+	}
+	if end <= now {
+		t.Fatal("decode made no progress")
+	}
+	if src.Stats().KVExports != 1 || dst.Stats().KVImports != 1 {
+		t.Fatalf("stats exports=%d imports=%d, want 1/1",
+			src.Stats().KVExports, dst.Stats().KVImports)
+	}
+	if dst.Stats().KVMovedBytes != h.KV.Bytes {
+		t.Fatalf("moved bytes = %d, want %d", dst.Stats().KVMovedBytes, h.KV.Bytes)
+	}
+}
+
+// TestImportChargesLinkTransfer pins the migration cost model: the
+// imported request may not join a batch before the KV payload has
+// crossed the configured link.
+func TestImportChargesLinkTransfer(t *testing.T) {
+	src := prefillEngine()
+	dst := decodeEngine()
+	r := req(1, 0, 512, 8, 0)
+	if err := src.Enqueue(r, 0); err != nil {
+		t.Fatal(err)
+	}
+	now := stepUntilPrefilled(t, src, 1, 0)
+	h, err := src.ExportKV(1, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.ImportKV(h, now); err != nil {
+		t.Fatal(err)
+	}
+	transfer := h.TransferTime(dst.Config().kvLink())
+	if transfer <= 0 {
+		t.Fatal("expected a positive KV transfer time")
+	}
+	res := dst.Step(now)
+	if !res.Idle {
+		t.Fatal("destination stepped the import before the KV transfer completed")
+	}
+	wake, ok := dst.EarliestPendingReady()
+	if !ok || wake < now+transfer {
+		t.Fatalf("wake = %v (ok=%v), want >= %v", wake, ok, now+transfer)
+	}
+	res = dst.Step(wake)
+	if res.Idle || res.BatchSize != 1 {
+		t.Fatalf("post-transfer step = %+v, want one-request batch", res)
+	}
+}
+
+// TestExportRejectsUnprefilled covers the error paths: unknown ids,
+// requests still waiting on prefill, and double exports.
+func TestExportRejectsUnprefilled(t *testing.T) {
+	e := prefillEngine()
+	r := req(1, 0, 64, 8, 0)
+	if err := e.Enqueue(r, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ExportKV(1, 0); err == nil {
+		t.Fatal("exported a request that has not prefilled")
+	}
+	if _, err := e.ExportKV(99, 0); err == nil {
+		t.Fatal("exported an unknown request")
+	}
+	now := stepUntilPrefilled(t, e, 1, 0)
+	if _, err := e.ExportKV(1, now); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ExportKV(1, now); err == nil {
+		t.Fatal("double export succeeded")
+	}
+}
+
+// TestCrashReleasesImportedPending asserts the crash path accounts for
+// requests that were imported but had not yet joined a batch: their KV
+// pages release exactly and their context counts toward the
+// recomputation bill.
+func TestCrashReleasesImportedPending(t *testing.T) {
+	src := prefillEngine()
+	dst := decodeEngine()
+	r := req(1, 0, 300, 8, 0)
+	if err := src.Enqueue(r, 0); err != nil {
+		t.Fatal(err)
+	}
+	now := stepUntilPrefilled(t, src, 1, 0)
+	h, err := src.ExportKV(1, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.ImportKV(h, now); err != nil {
+		t.Fatal(err)
+	}
+	// Crash before the transfer completes: the request is pending with
+	// KV allocated.
+	lost, lostKV := dst.Crash(now)
+	if len(lost) != 1 || lost[0].ID != 1 {
+		t.Fatalf("crash salvaged %v, want request 1", lost)
+	}
+	if lostKV != r.ContextLen() {
+		t.Fatalf("lost KV tokens = %d, want %d", lostKV, r.ContextLen())
+	}
+	if dst.KV().UsedPages() != 0 || dst.Store().PinnedBytes() != 0 {
+		t.Fatalf("crash leaked: pages=%d pinned=%d", dst.KV().UsedPages(), dst.Store().PinnedBytes())
+	}
+	// The recovered request re-enters through a prefill-capable engine
+	// and recomputes (prompt + generated), per the recompute path.
+	if err := src.Enqueue(r, now); err != nil {
+		t.Fatal(err)
+	}
+	_, steps := drain(t, src, now)
+	if !r.Finished() {
+		t.Fatal("recovered request did not finish")
+	}
+	if len(steps) == 0 || steps[0].PrefillTokens == 0 {
+		t.Fatal("recovery did not recompute prefill")
+	}
+}
+
+// TestCancelImportedPending asserts Cancel releases import-allocated
+// pages rather than touching the reservation accounting.
+func TestCancelImportedPending(t *testing.T) {
+	src := prefillEngine()
+	dst := decodeEngine()
+	r := req(1, 0, 150, 8, 0)
+	if err := src.Enqueue(r, 0); err != nil {
+		t.Fatal(err)
+	}
+	now := stepUntilPrefilled(t, src, 1, 0)
+	h, err := src.ExportKV(1, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.ImportKV(h, now); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.Cancel(1, now); got == nil {
+		t.Fatal("cancel of imported pending request found nothing")
+	}
+	if dst.KV().UsedPages() != 0 || dst.Store().PinnedBytes() != 0 {
+		t.Fatalf("cancel leaked: pages=%d pinned=%d", dst.KV().UsedPages(), dst.Store().PinnedBytes())
+	}
+	snap := dst.Snapshot()
+	if snap.FreeKVPages != snap.TotalKVPages {
+		t.Fatalf("reservation accounting skewed: free %d != total %d",
+			snap.FreeKVPages, snap.TotalKVPages)
+	}
+}
+
+func TestParseRole(t *testing.T) {
+	for s, want := range map[string]Role{
+		"": RoleUnified, "unified": RoleUnified,
+		"prefill": RolePrefill, "decode": RoleDecode,
+	} {
+		got, err := ParseRole(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseRole(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseRole("bogus"); err == nil {
+		t.Fatal("ParseRole accepted bogus")
+	}
+	if RoleDecode.AcceptsNew() || !RolePrefill.AcceptsNew() || !RoleUnified.AcceptsNew() {
+		t.Fatal("AcceptsNew role table wrong")
+	}
+}
+
+// TestUnifiedEngineUnaffectedByMigrationPlumbing guards the bit-identical
+// contract: a unified engine reports nothing migratable and its snapshot
+// role is the zero value.
+func TestUnifiedEngineUnaffectedByMigrationPlumbing(t *testing.T) {
+	e := NewEngine(punicaConfig())
+	r := req(1, 0, 64, 8, 0)
+	if err := e.Enqueue(r, 0); err != nil {
+		t.Fatal(err)
+	}
+	e.Step(0)
+	if ids := e.Migratable(); ids != nil {
+		t.Fatalf("unified engine reported migratable %v", ids)
+	}
+	if e.Snapshot().Role != RoleUnified {
+		t.Fatal("unified snapshot role not zero")
+	}
+}

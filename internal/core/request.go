@@ -36,7 +36,10 @@ type Request struct {
 	prefilled bool
 	done      bool // finished but still occupying a static batch slot
 	loraReady time.Duration
-	hasLoRA   bool // adapter acquired from the store (needs release)
+	// kvReady gates batch entry after a KV migration: the imported
+	// KvCache is usable once its link transfer completes.
+	kvReady time.Duration
+	hasLoRA bool // adapter acquired from the store (needs release)
 }
 
 // ContextLen returns the tokens this request currently needs in KvCache:
@@ -63,6 +66,13 @@ type Token struct {
 	At        time.Duration
 	EOS       bool
 }
+
+// TokenIDFor exposes the deterministic pseudo-token derivation: any
+// engine generating token index for request reqID produces this id, so
+// a runner importing a migrated request can reconstruct the tokens its
+// predecessor already emitted (for stream re-attachment) without
+// carrying them over the wire.
+func TokenIDFor(reqID int64, index, vocab int) int { return tokenID(reqID, index, vocab) }
 
 // tokenID derives a deterministic pseudo-token: the simulation does not
 // model language, only serving behaviour ("we use random weights for LoRA

@@ -1,0 +1,60 @@
+package core
+
+import "fmt"
+
+// Role assigns an engine its place in a disaggregated deployment. The
+// paper's engines run "Prefill steps and Decode steps continuously" on
+// every GPU (§5) — RoleUnified, the zero value, preserves that exactly.
+// Splitting the fleet into RolePrefill and RoleDecode pools removes the
+// head-of-line blocking where one tenant's long prefill stalls every
+// other tenant's decode on that GPU: prefill engines absorb prompt
+// processing, then hand the finished KvCache to a decode engine through
+// Engine.ExportKV/ImportKV instead of recomputing it.
+type Role int
+
+const (
+	// RoleUnified runs prefill and decode on the same GPU (the paper's
+	// §5 engine, and the default).
+	RoleUnified Role = iota
+	// RolePrefill admits new requests and runs their prefill; completed
+	// prefills are exported to the decode pool at step boundaries.
+	RolePrefill
+	// RoleDecode never admits raw requests — work arrives only as KV
+	// imports whose prefill already happened elsewhere.
+	RoleDecode
+)
+
+// String names the role.
+func (r Role) String() string {
+	switch r {
+	case RoleUnified:
+		return "unified"
+	case RolePrefill:
+		return "prefill"
+	case RoleDecode:
+		return "decode"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// ParseRole maps a config string to a Role ("" means unified).
+func ParseRole(s string) (Role, error) {
+	switch s {
+	case "", "unified":
+		return RoleUnified, nil
+	case "prefill":
+		return RolePrefill, nil
+	case "decode":
+		return RoleDecode, nil
+	default:
+		return RoleUnified, fmt.Errorf("core: unknown engine role %q (want unified, prefill or decode)", s)
+	}
+}
+
+// AcceptsNew reports whether engines of this role take requests that
+// still need prefill — the Enqueue path used by dispatch, queue drains,
+// eviction reschedules and crash recovery. Decode engines do not: their
+// work arrives pre-filled via ImportKV, and a request that lost its
+// KvCache must re-enter through a prefill-capable GPU's recompute path.
+func (r Role) AcceptsNew() bool { return r != RoleDecode }

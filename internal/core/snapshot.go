@@ -11,6 +11,11 @@ import "punica/internal/lora"
 // WorkingSet/CanAdmit call pairs the scheduler used to issue — for
 // remote workers each of those was a separate HTTP round-trip.
 type Snapshot struct {
+	// Role is the worker's disaggregation role; schedulers route new
+	// (prefill-needing) requests only to workers whose role accepts
+	// them, and KV migrations only to the decode pool.
+	Role Role
+
 	WorkingSet  int
 	ActiveBatch int
 	MaxBatch    int
@@ -55,11 +60,27 @@ func (s *Snapshot) KVNeed(r *Request) int {
 // CanAdmit evaluates the §5.1 admission constraints — batch-slot and
 // KvCache room — from snapshot state alone, decision-for-decision
 // equivalent to Engine.CanAdmit at the time the snapshot was taken.
+// Decode-role workers never admit on this path; they receive work only
+// through KV imports (see CanImport).
 func (s *Snapshot) CanAdmit(r *Request) bool {
+	if !s.Role.AcceptsNew() {
+		return false
+	}
 	if s.WorkingSet >= s.MaxBatch {
 		return false
 	}
 	return s.PagesFor(s.KVNeed(r)) <= s.FreeKVPages
+}
+
+// CanImport reports whether the worker could land a KV migration of r
+// right now: a batch slot plus page-exact room for the request's
+// current context. Any role can physically import; the router chooses
+// decode-pool targets.
+func (s *Snapshot) CanImport(r *Request) bool {
+	if s.WorkingSet >= s.MaxBatch {
+		return false
+	}
+	return s.PagesFor(r.ContextLen()) <= s.FreeKVPages
 }
 
 // Adapter returns the resident state of adapter id, if any.

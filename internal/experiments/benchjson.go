@@ -71,6 +71,7 @@ func PolicyRecords(points []PolicyComparePoint) []BenchRecord {
 			Metrics: map[string]float64{
 				"throughput_tok_s": p.Throughput,
 				"busy_frac":        p.BusyFrac,
+				"util_spread":      p.UtilSpread,
 				"adapter_stalls":   float64(p.AdapterStalls),
 				"adapter_evict":    float64(p.AdapterEvictions),
 				"migrations":       float64(p.Migrations),

@@ -107,16 +107,17 @@ func Fig11CSV(out io.Writer, rows11 []Fig11Row) error {
 }
 
 // PolicyCompareCSV writes workload,policy,throughput_tok_s,busy_frac,
-// adapter_stalls,adapter_evictions,migrations,queue_peak.
+// util_spread,adapter_stalls,adapter_evictions,migrations,queue_peak.
 func PolicyCompareCSV(out io.Writer, points []PolicyComparePoint) error {
 	w := csv.NewWriter(out)
 	rows := [][]string{{"workload", "policy", "throughput_tok_s", "busy_frac",
-		"adapter_stalls", "adapter_evictions", "migrations", "queue_peak"}}
+		"util_spread", "adapter_stalls", "adapter_evictions", "migrations", "queue_peak"}}
 	for _, p := range points {
 		rows = append(rows, []string{
 			p.Workload, p.Policy,
 			strconv.FormatFloat(p.Throughput, 'f', 1, 64),
 			strconv.FormatFloat(p.BusyFrac, 'f', 4, 64),
+			strconv.FormatFloat(p.UtilSpread, 'f', 4, 64),
 			strconv.FormatInt(p.AdapterStalls, 10),
 			strconv.FormatInt(p.AdapterEvictions, 10),
 			strconv.FormatInt(p.Migrations, 10),

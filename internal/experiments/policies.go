@@ -95,8 +95,11 @@ type PolicyComparePoint struct {
 	Finished   int64
 	// BusyFrac is the mean per-GPU busy fraction: the same tokens at a
 	// higher busy fraction means wasted invocation time (e.g. SGMV rank
-	// padding in mixed-rank batches).
+	// padding in mixed-rank batches). UtilSpread is max−min per-GPU busy
+	// fraction (derived from core.Stats.BusyTime): load imbalance a mean
+	// alone hides.
 	BusyFrac         float64
+	UtilSpread       float64
 	AdapterStalls    int64
 	AdapterEvictions int64
 	Migrations       int64
@@ -203,8 +206,15 @@ func ComparePolicies(opts PolicyCompareOptions) ([]PolicyComparePoint, error) {
 				return nil, fmt.Errorf("policy %s on %s: %w", policy, wl.name, err)
 			}
 			busy := 0.0
-			for _, f := range res.GPUBusyFraction {
+			minBusy, maxBusy := 0.0, 0.0
+			for i, f := range res.GPUBusyFraction {
 				busy += f
+				if i == 0 || f < minBusy {
+					minBusy = f
+				}
+				if f > maxBusy {
+					maxBusy = f
+				}
 			}
 			if len(res.GPUBusyFraction) > 0 {
 				busy /= float64(len(res.GPUBusyFraction))
@@ -215,6 +225,7 @@ func ComparePolicies(opts PolicyCompareOptions) ([]PolicyComparePoint, error) {
 				Throughput:       res.Throughput,
 				Finished:         res.Finished,
 				BusyFrac:         busy,
+				UtilSpread:       maxBusy - minBusy,
 				AdapterStalls:    res.AdapterStalls,
 				AdapterEvictions: res.AdapterEvictions,
 				Migrations:       res.Migrations,
@@ -227,11 +238,12 @@ func ComparePolicies(opts PolicyCompareOptions) ([]PolicyComparePoint, error) {
 
 // FormatPolicyCompare renders the head-to-head as an aligned table.
 func FormatPolicyCompare(points []PolicyComparePoint) string {
-	t := newTable("workload", "policy", "throughput", "busy", "stalls", "adapter evictions", "migrations", "queue peak")
+	t := newTable("workload", "policy", "throughput", "busy", "spread", "stalls", "adapter evictions", "migrations", "queue peak")
 	for _, p := range points {
 		t.add(p.Workload, p.Policy,
 			fmt.Sprintf("%.0f tok/s", p.Throughput),
 			fmt.Sprintf("%.1f%%", 100*p.BusyFrac),
+			fmt.Sprintf("%.1f%%", 100*p.UtilSpread),
 			fmt.Sprint(p.AdapterStalls),
 			fmt.Sprint(p.AdapterEvictions),
 			fmt.Sprint(p.Migrations),

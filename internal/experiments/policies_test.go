@@ -79,7 +79,7 @@ func TestPolicyComparisonDriftFavorsAffinity(t *testing.T) {
 func TestPolicyCompareCSVAndFormat(t *testing.T) {
 	points := []PolicyComparePoint{{
 		Workload: "Skewed", Policy: "affinity",
-		Throughput: 123.4, BusyFrac: 0.25,
+		Throughput: 123.4, BusyFrac: 0.25, UtilSpread: 0.1,
 		AdapterStalls: 2, AdapterEvictions: 3, Migrations: 4, QueuePeak: 5,
 	}}
 	var buf bytes.Buffer
@@ -87,10 +87,10 @@ func TestPolicyCompareCSVAndFormat(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := buf.String()
-	if !strings.Contains(got, "workload,policy,throughput_tok_s,busy_frac,adapter_stalls,adapter_evictions,migrations,queue_peak") {
+	if !strings.Contains(got, "workload,policy,throughput_tok_s,busy_frac,util_spread,adapter_stalls,adapter_evictions,migrations,queue_peak") {
 		t.Fatalf("missing header: %q", got)
 	}
-	if !strings.Contains(got, "Skewed,affinity,123.4,0.2500,2,3,4,5") {
+	if !strings.Contains(got, "Skewed,affinity,123.4,0.2500,0.1000,2,3,4,5") {
 		t.Fatalf("missing row: %q", got)
 	}
 	if text := FormatPolicyCompare(points); !strings.Contains(text, "Skewed") || !strings.Contains(text, "affinity") {

@@ -144,6 +144,56 @@ func (p *Pool) Release(id SeqID) {
 	delete(p.seqs, id)
 }
 
+// Handle is the page-exact accounting record of one sequence's KvCache,
+// detached from any pool: the currency of deliberate KV migration
+// (prefill/decode disaggregation) as opposed to the drop-and-recompute
+// crash path. Export produces one, Import redeems it on another pool.
+// Bytes is the token payload that actually crosses the link — partial
+// pages transfer their occupied slots only, so the transfer-cost model
+// charges data moved, not pages reserved.
+type Handle struct {
+	Seq    SeqID
+	Tokens int
+	// Pages is the page count the sequence held at export under the
+	// source pool's geometry; Import re-derives it for the destination's
+	// page size, so handles move between heterogeneous pools.
+	Pages int
+	Bytes int64
+}
+
+// Export removes sequence id from the pool and returns its page-exact
+// handle, freeing the pages. It is Release that remembers what it freed:
+// the caller owns the handle until a destination pool Imports it (or the
+// handle is dropped, modelling a migration abandoned mid-flight — the
+// source pages are already free either way, so no state leaks).
+func (p *Pool) Export(id SeqID) (Handle, error) {
+	s, ok := p.seqs[id]
+	if !ok {
+		return Handle{}, fmt.Errorf("kvcache: export of unknown sequence %d", id)
+	}
+	h := Handle{
+		Seq:    id,
+		Tokens: s.tokens,
+		Pages:  s.pages,
+		Bytes:  int64(s.tokens) * p.bytesPerToken,
+	}
+	p.freePages += s.pages
+	delete(p.seqs, id)
+	return h, nil
+}
+
+// Import redeems a handle on this pool: the sequence is allocated
+// page-exactly for its token count under this pool's geometry. It fails
+// if the sequence already exists or memory is exhausted, leaving the
+// pool unchanged — the caller may retry elsewhere or fall back to the
+// recompute path.
+func (p *Pool) Import(h Handle) error {
+	if h.Tokens < 0 {
+		return fmt.Errorf("kvcache: import with negative token count %d", h.Tokens)
+	}
+	return p.Allocate(h.Seq, h.Tokens)
+}
+
 // Tokens returns the token count held by sequence id (0 if unknown).
 func (p *Pool) Tokens(id SeqID) int {
 	if s, ok := p.seqs[id]; ok {

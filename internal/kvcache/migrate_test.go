@@ -1,0 +1,186 @@
+package kvcache
+
+import (
+	"testing"
+
+	"punica/internal/sim"
+)
+
+// checkInvariants asserts the pool's page/byte accounting is internally
+// consistent: free+held == total, every sequence holds exactly
+// PagesFor(tokens) pages, and no counter went negative.
+func checkInvariants(t *testing.T, p *Pool) {
+	t.Helper()
+	held := 0
+	for _, id := range p.IDs() {
+		tokens := p.Tokens(id)
+		if tokens < 0 {
+			t.Fatalf("sequence %d holds negative tokens %d", id, tokens)
+		}
+		held += p.PagesFor(tokens)
+	}
+	if p.FreePages() < 0 {
+		t.Fatalf("free pages went negative: %d", p.FreePages())
+	}
+	if p.FreePages()+held != p.TotalPages() {
+		t.Fatalf("page leak: free %d + held %d != total %d",
+			p.FreePages(), held, p.TotalPages())
+	}
+	if p.UsedPages() != held {
+		t.Fatalf("used pages %d != held %d", p.UsedPages(), held)
+	}
+}
+
+// applyMigrationOp drives one pseudo-random operation against a pair of
+// pools standing in for a prefill source and decode destination. Exported
+// handles sit in flight until imported, dropped (mid-migration crash of
+// the importer), or bounced back to the source.
+type migrationState struct {
+	src, dst *Pool
+	inFlight []Handle
+	nextSeq  SeqID
+}
+
+func (m *migrationState) step(t *testing.T, op, a, b int) {
+	t.Helper()
+	pools := [2]*Pool{m.src, m.dst}
+	p := pools[a%2]
+	q := pools[(a+1)%2]
+	switch op % 7 {
+	case 0: // allocate a fresh sequence (prefill admission)
+		m.nextSeq++
+		tokens := b % (3 * p.PageSize())
+		_ = p.Allocate(m.nextSeq, tokens)
+	case 1: // extend a resident sequence (decode growth)
+		ids := p.IDs()
+		if len(ids) > 0 {
+			_ = p.Extend(ids[b%len(ids)], 1+b%5)
+		}
+	case 2: // release (completion / cancel)
+		ids := p.IDs()
+		if len(ids) > 0 {
+			p.Release(ids[b%len(ids)])
+		}
+	case 3: // export into the in-flight set (migration start)
+		ids := p.IDs()
+		if len(ids) > 0 {
+			h, err := p.Export(ids[b%len(ids)])
+			if err != nil {
+				t.Fatalf("export of resident sequence failed: %v", err)
+			}
+			m.inFlight = append(m.inFlight, h)
+		}
+	case 4: // import an in-flight handle (migration landing)
+		if len(m.inFlight) > 0 {
+			i := b % len(m.inFlight)
+			h := m.inFlight[i]
+			if q.Import(h) == nil || p.Import(h) == nil {
+				m.inFlight = append(m.inFlight[:i], m.inFlight[i+1:]...)
+			}
+		}
+	case 5: // drop an in-flight handle (importer crashed mid-migration)
+		if len(m.inFlight) > 0 {
+			i := b % len(m.inFlight)
+			m.inFlight = append(m.inFlight[:i], m.inFlight[i+1:]...)
+		}
+	case 6: // exporter crashes: every resident sequence on p is lost
+		for _, id := range p.IDs() {
+			p.Release(id)
+		}
+	}
+}
+
+// TestMigrationPropertyRandomSequences drives long random Export/Import
+// interleavings — including mid-migration crashes of either endpoint —
+// and asserts the page/byte invariants after every operation.
+func TestMigrationPropertyRandomSequences(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := sim.NewRNG(seed)
+		m := &migrationState{
+			src: NewPool(int64(64*16*128), 128, 16),
+			dst: NewPool(int64(32*8*128), 128, 8), // heterogeneous geometry
+		}
+		for i := 0; i < 2000; i++ {
+			m.step(t, rng.Intn(1<<20), rng.Intn(1<<20), rng.Intn(1<<20))
+			checkInvariants(t, m.src)
+			checkInvariants(t, m.dst)
+		}
+	}
+}
+
+// TestExportImportRoundTrip pins the contract: export frees the source
+// page-exactly, import allocates the destination page-exactly for the
+// same token count, and the byte payload is tokens x bytesPerToken.
+func TestExportImportRoundTrip(t *testing.T) {
+	src := NewPool(64*16*128, 128, 16)
+	dst := NewPool(64*16*128, 128, 16)
+	if err := src.Allocate(7, 33); err != nil {
+		t.Fatal(err)
+	}
+	freeBefore := src.FreePages()
+	h, err := src.Export(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Tokens != 33 || h.Pages != src.PagesFor(33) || h.Bytes != 33*128 {
+		t.Fatalf("handle = %+v, want 33 tokens / %d pages / %d bytes",
+			h, src.PagesFor(33), 33*128)
+	}
+	if src.FreePages() != freeBefore+h.Pages {
+		t.Fatalf("export freed %d pages, want %d", src.FreePages()-freeBefore, h.Pages)
+	}
+	if src.Has(7) {
+		t.Fatal("sequence still resident after export")
+	}
+	if err := dst.Import(h); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Tokens(7) != 33 || dst.UsedPages() != dst.PagesFor(33) {
+		t.Fatalf("import landed %d tokens / %d pages, want 33 / %d",
+			dst.Tokens(7), dst.UsedPages(), dst.PagesFor(33))
+	}
+	if err := dst.Import(h); err == nil {
+		t.Fatal("double import succeeded")
+	}
+	if _, err := src.Export(99); err == nil {
+		t.Fatal("export of unknown sequence succeeded")
+	}
+}
+
+// TestImportOOMLeavesPoolUnchanged asserts a failed import cannot leak.
+func TestImportOOMLeavesPoolUnchanged(t *testing.T) {
+	src := NewPool(64*16*128, 128, 16)
+	dst := NewPool(2*16*128, 128, 16) // two pages only
+	if err := src.Allocate(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	h, err := src.Export(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Import(h); err == nil {
+		t.Fatal("import into too-small pool succeeded")
+	}
+	if dst.UsedPages() != 0 || dst.Sequences() != 0 {
+		t.Fatalf("failed import mutated pool: used=%d seqs=%d", dst.UsedPages(), dst.Sequences())
+	}
+}
+
+// FuzzKVMigration fuzzes the same operation alphabet as the property
+// test: each triple of fuzz bytes selects (op, pool, argument) and the
+// page invariants must hold after every step.
+func FuzzKVMigration(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 3, 0, 1, 4, 1, 0})
+	f.Add([]byte{0, 0, 9, 1, 0, 2, 3, 0, 0, 5, 0, 0, 6, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := &migrationState{
+			src: NewPool(32*16*64, 64, 16),
+			dst: NewPool(16*4*64, 64, 4),
+		}
+		for i := 0; i+2 < len(data); i += 3 {
+			m.step(t, int(data[i]), int(data[i+1]), int(data[i+2]))
+			checkInvariants(t, m.src)
+			checkInvariants(t, m.dst)
+		}
+	})
+}

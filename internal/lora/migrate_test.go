@@ -1,0 +1,170 @@
+package lora
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"punica/internal/hw"
+)
+
+// TestMigrationPinHandoff is the regression test for the migration pin
+// protocol: while a request migrates, the destination acquires its
+// adapter while the source still holds the pin, and the accounting must
+// show each store's own pin exactly — never a double count on either
+// store, and both return to zero at quiescence.
+func TestMigrationPinHandoff(t *testing.T) {
+	reg := NewRegistry(smallBase(), 4)
+	bytes := reg.Ensure(0).Bytes()
+	link := hw.PCIeGen4x16()
+	src := NewStore(reg, link, 2*bytes)
+	dst := NewStore(reg, link, 2*bytes)
+
+	// Request running on the prefill source: one pin there.
+	if _, err := src.Acquire(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if src.PinnedBytes() != bytes || dst.PinnedBytes() != 0 {
+		t.Fatalf("after source acquire: src pinned %d dst pinned %d", src.PinnedBytes(), dst.PinnedBytes())
+	}
+
+	// Migration overlap: the decode target acquires while the source
+	// still holds its pin. Each store counts only its own pin.
+	if _, err := dst.Acquire(1, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if src.PinnedBytes() != bytes {
+		t.Fatalf("target acquire changed the source's pinned bytes: %d", src.PinnedBytes())
+	}
+	if dst.PinnedBytes() != bytes {
+		t.Fatalf("target pinned %d, want %d", dst.PinnedBytes(), bytes)
+	}
+
+	// Export completes: the source releases. The adapter stays warm
+	// (evictable) there; the pin lives on the destination only.
+	src.Release(1)
+	if src.PinnedBytes() != 0 || !src.Resident(1) {
+		t.Fatalf("after source release: pinned %d resident %v", src.PinnedBytes(), src.Resident(1))
+	}
+	if dst.PinnedBytes() != bytes {
+		t.Fatalf("source release disturbed the target pin: %d", dst.PinnedBytes())
+	}
+
+	// Request finishes on the destination: cluster-wide pins at zero.
+	dst.Release(1)
+	if src.PinnedBytes() != 0 || dst.PinnedBytes() != 0 {
+		t.Fatalf("pin leak at quiescence: src %d dst %d", src.PinnedBytes(), dst.PinnedBytes())
+	}
+}
+
+// TestCanAcquireAgreesWithAcquireDuringMigration pins the
+// CanAcquire/ErrStoreFull interplay the router relies on: a target whose
+// store is pinned full reports false and Acquire fails with
+// ErrStoreFull; releasing the migrating request's source pin must not
+// change the target's answer (the stores are independent).
+func TestCanAcquireAgreesWithAcquireDuringMigration(t *testing.T) {
+	reg := NewRegistry(smallBase(), 4)
+	link := hw.PCIeGen4x16()
+	bytes := reg.Ensure(0).Bytes()
+	src := NewStore(reg, link, 2*bytes)
+	dst := NewStore(reg, link, 2*bytes)
+
+	// Source pins adapter 1 (the migrating request's); target is pinned
+	// full with two other adapters.
+	if _, err := src.Acquire(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []ModelID{2, 3} {
+		if _, err := dst.Acquire(id, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dst.CanAcquire(1) {
+		t.Fatal("CanAcquire said true on a pinned-full target")
+	}
+	if _, err := dst.Acquire(1, 0); err == nil {
+		t.Fatal("Acquire succeeded on a pinned-full target")
+	} else if !errors.Is(err, ErrStoreFull) {
+		t.Fatalf("want ErrStoreFull, got %v", err)
+	}
+	// Prefetch must also refuse rather than evict pinned residents.
+	if _, ok := dst.Prefetch(1, 0); ok {
+		t.Fatal("Prefetch evicted pinned residents")
+	}
+
+	// The source releasing its pin is irrelevant to the target's
+	// capacity question.
+	src.Release(1)
+	if dst.CanAcquire(1) {
+		t.Fatal("CanAcquire flipped after an unrelated store's release")
+	}
+
+	// Target pressure releases: now both paths agree it fits.
+	dst.Release(2)
+	if !dst.CanAcquire(1) {
+		t.Fatal("CanAcquire false with an evictable resident")
+	}
+	if _, err := dst.Acquire(1, 0); err != nil {
+		t.Fatalf("Acquire failed where CanAcquire said true: %v", err)
+	}
+	dst.Release(1)
+	dst.Release(3)
+	if src.PinnedBytes() != 0 || dst.PinnedBytes() != 0 {
+		t.Fatalf("pin leak at quiescence: src %d dst %d", src.PinnedBytes(), dst.PinnedBytes())
+	}
+}
+
+// TestPrefetchLoadsWithoutPinning covers the prefetch contract: a cold
+// prefetch starts a load, leaves the entry unpinned (evictable), and a
+// later Acquire hits warm with no second transfer.
+func TestPrefetchLoadsWithoutPinning(t *testing.T) {
+	reg := NewRegistry(smallBase(), 4)
+	link := hw.PCIeGen4x16()
+	bytes := reg.Ensure(0).Bytes()
+	s := NewStore(reg, link, 2*bytes)
+
+	ready, ok := s.Prefetch(5, 0)
+	if !ok || ready <= 0 {
+		t.Fatalf("cold prefetch = (%v, %v), want accepted with a transfer delay", ready, ok)
+	}
+	if s.PinnedBytes() != 0 {
+		t.Fatalf("prefetch pinned %d bytes", s.PinnedBytes())
+	}
+	if s.Prefetches != 1 || s.BytesIn != bytes {
+		t.Fatalf("prefetch stats = %d loads / %d bytes, want 1 / %d", s.Prefetches, s.BytesIn, bytes)
+	}
+	// Warm prefetch: free, uncounted.
+	if _, ok := s.Prefetch(5, time.Millisecond); !ok {
+		t.Fatal("warm prefetch refused")
+	}
+	if s.Prefetches != 1 || s.BytesIn != bytes {
+		t.Fatal("warm prefetch started a second load")
+	}
+	// The later acquire is a warm hit: the prefetch's transfer already
+	// completed, so the adapter is usable immediately.
+	at, err := s.Acquire(5, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at != time.Millisecond {
+		t.Fatalf("acquire after completed prefetch usable at %v, want now", at)
+	}
+	if s.Hits != 1 || s.Misses != 0 {
+		t.Fatalf("acquire after prefetch was not a hit (hits=%d misses=%d)", s.Hits, s.Misses)
+	}
+	if s.PinnedBytes() != bytes {
+		t.Fatalf("acquire did not pin: %d", s.PinnedBytes())
+	}
+	s.Release(5)
+
+	// Unpinned prefetched entries are evictable under pressure.
+	if _, err := s.Acquire(6, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Acquire(7, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Resident(5) {
+		t.Fatal("prefetched entry survived eviction pressure while unpinned")
+	}
+}

@@ -41,6 +41,9 @@ type Store struct {
 	Misses    int64
 	Evictions int64
 	BytesIn   int64
+	// Prefetches counts Prefetch calls that started a load (warm
+	// prefetches are free and not counted).
+	Prefetches int64
 }
 
 type entry struct {
@@ -100,6 +103,38 @@ func (s *Store) Acquire(id ModelID, now time.Duration) (time.Duration, error) {
 	s.pinned += bytes
 	s.BytesIn += bytes
 	return readyAt, nil
+}
+
+// Prefetch starts loading adapter id without pinning it: the entry is
+// resident (and evictable — it holds no reference) once the copy
+// completes. The disaggregation router calls it on a request's intended
+// decode GPU while the prefill pool computes the prompt, so the adapter
+// is warm by the time the KV migration lands — cold-start work overlaps
+// prefill instead of stalling decode. A store too full to take the
+// weights ignores the hint: prefetch is best-effort and never applies
+// backpressure. It returns the time the adapter becomes usable and
+// whether the hint was accepted.
+func (s *Store) Prefetch(id ModelID, now time.Duration) (time.Duration, bool) {
+	if e, ok := s.entries[id]; ok {
+		s.lru.MoveToFront(e.elem)
+		if e.readyAt > now {
+			return e.readyAt, true
+		}
+		return now, true
+	}
+	m := s.reg.Ensure(id)
+	bytes := m.Bytes()
+	if err := s.makeRoom(bytes); err != nil {
+		return 0, false
+	}
+	readyAt := now + s.link.TransferTime(bytes)
+	e := &entry{id: id, rank: m.Rank, bytes: bytes, readyAt: readyAt}
+	e.elem = s.lru.PushFront(e)
+	s.entries[id] = e
+	s.used += bytes
+	s.BytesIn += bytes
+	s.Prefetches++
+	return readyAt, true
 }
 
 // CanAcquire reports whether Acquire would succeed for adapter id right

@@ -235,3 +235,46 @@ func (c *Client) EvictNewest(_ time.Duration) *core.Request {
 func (c *Client) StreamURL(id int64) string {
 	return fmt.Sprintf("%s/runner/stream?id=%d", c.base, id)
 }
+
+// ExportKV implements sched.KVMover over the wire: POST
+// /runner/kv/export detaches the request from the remote runner and
+// returns its migration handle.
+func (c *Client) ExportKV(id int64, _ time.Duration) (core.KVHandle, error) {
+	var reply KVHandleWire
+	if err := c.postJSON("/runner/kv/export", ExportRequest{ID: id}, &reply); err != nil {
+		return core.KVHandle{}, err
+	}
+	return reply.toCore(), nil
+}
+
+// ImportKV implements sched.KVMover over the wire: POST /runner/kv
+// lands the handle on the remote runner, which charges the sized link
+// transfer before the request joins a batch. Adapter-store backpressure
+// surfaces as lora.ErrStoreFull (via postJSON's 503 mapping) so the
+// router tries the next decode candidate.
+func (c *Client) ImportKV(h core.KVHandle, _ time.Duration) error {
+	return c.postJSON("/runner/kv", handleFromCore(h), nil)
+}
+
+// Migratable implements the router's migratable-listing hook with one
+// GET /runner/state: the ids of prefill-complete requests awaiting
+// handoff. A transport failure reports none — a dead prefill runner's
+// requests recover through the health-check path instead.
+func (c *Client) Migratable() []int64 {
+	st, err := c.FetchState()
+	if err != nil {
+		return nil
+	}
+	return st.Migratable
+}
+
+// PrefetchAdapter implements sched.Prefetcher over the wire (POST
+// /runner/prefetch): warm the adapter on the intended decode target
+// while the prefill runs. Best-effort; transport failures report false.
+func (c *Client) PrefetchAdapter(id lora.ModelID, _ time.Duration) bool {
+	var reply PrefetchReply
+	if err := c.postJSON("/runner/prefetch", PrefetchRequest{Model: int64(id)}, &reply); err != nil {
+		return false
+	}
+	return reply.Accepted
+}

@@ -1,0 +1,178 @@
+package remote
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"punica/internal/core"
+)
+
+// startRoleRunner boots a runner at a moderate speedup: fast enough for
+// tests, slow enough that a request's decode phase spans many wall-clock
+// milliseconds — the window mid-generation migration needs.
+func startRoleRunner(t *testing.T, uuid string, role core.Role, speedup float64) (*Runner, *httptest.Server) {
+	t.Helper()
+	cfg := runnerConfig()
+	cfg.Role = role
+	r := NewRunner(uuid, cfg, speedup)
+	srv := httptest.NewServer(r.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		r.Close()
+	})
+	return r, srv
+}
+
+// TestRunnerKVWireRoundTrip drives an export → import over the HTTP API
+// directly: the handle crosses the wire page-exactly and the decode
+// runner finishes the request without recomputation.
+func TestRunnerKVWireRoundTrip(t *testing.T) {
+	_, psrv := startRoleRunner(t, "prefill-0", core.RolePrefill, 100)
+	_, dsrv := startRoleRunner(t, "decode-0", core.RoleDecode, 5000)
+	pc, dc := NewClient(psrv.URL), NewClient(dsrv.URL)
+
+	req := &core.Request{ID: 1, Model: 3, PromptLen: 128, OutputLen: 512}
+	if err := pc.Enqueue(req, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Decode runners reject raw enqueues over the wire.
+	if err := dc.Enqueue(&core.Request{ID: 2, Model: 3, PromptLen: 16, OutputLen: 4}, 0); err == nil {
+		t.Fatal("decode runner accepted a raw enqueue")
+	}
+
+	// Wait until the prefill runner reports the request migratable.
+	var ids []int64
+	deadline := time.Now().Add(5 * time.Second)
+	for len(ids) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never became migratable on the prefill runner")
+		}
+		ids = pc.Migratable()
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	h, err := pc.ExportKV(ids[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.KV.Bytes == 0 || h.KV.Tokens < req.PromptLen {
+		t.Fatalf("wire handle = %+v, want sized payload", h.KV)
+	}
+	if err := dc.ImportKV(h, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// The decode runner streams the remaining tokens; indices continue
+	// from the prefill-side first token.
+	resp, err := http.Get(dc.StreamURL(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var events []TokenEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev TokenEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) == 0 || !events[len(events)-1].EOS {
+		t.Fatalf("decode stream ended without EOS (%d events)", len(events))
+	}
+	// The import seeds the stream with the deterministic prefix the
+	// prefill runner already emitted, so a reader that attaches only
+	// after the migration still sees every index from zero — exactly
+	// once, in order (proxies that already delivered the prefix dedup
+	// by index).
+	if len(events) != req.OutputLen {
+		t.Fatalf("decode stream carried %d events, want %d (prefix + remainder)",
+			len(events), req.OutputLen)
+	}
+	for i, ev := range events {
+		if ev.Index != i {
+			t.Fatalf("event %d has index %d — gap or duplicate across the handoff", i, ev.Index)
+		}
+	}
+	if events[h.Request.Generated-1].TokenID != core.TokenIDFor(1, h.Request.Generated-1, runnerConfig().Model.VocabSize) {
+		t.Fatal("replayed prefix token id does not match the deterministic derivation")
+	}
+	st, err := dc.FetchState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Role != "decode" {
+		t.Fatalf("decode runner reports role %q", st.Role)
+	}
+}
+
+// TestFrontendDisaggregatedStream is the whole-stack test: a frontend
+// over one prefill and one decode runner serves a user request whose
+// tokens arrive exactly once, in order, across the mid-generation KV
+// migration between runners.
+func TestFrontendDisaggregatedStream(t *testing.T) {
+	_, psrv := startRoleRunner(t, "prefill-0", core.RolePrefill, 20)
+	_, dsrv := startRoleRunner(t, "decode-0", core.RoleDecode, 20)
+
+	f := NewFrontendWithOptions([]string{psrv.URL, dsrv.URL}, FrontendOptions{
+		DrainInterval:  5 * time.Millisecond,
+		HealthInterval: 20 * time.Millisecond,
+	})
+	defer f.Close()
+	fs := httptest.NewServer(f.Handler())
+	defer fs.Close()
+
+	body := `{"model": 4, "prompt_len": 96, "max_tokens": 48}`
+	resp, err := http.Post(fs.URL+"/v1/generate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("generate -> %d", resp.StatusCode)
+	}
+	var events []TokenEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev TokenEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) != 48 {
+		t.Fatalf("user received %d tokens, want 48 exactly once", len(events))
+	}
+	for i, ev := range events {
+		if ev.Index != i {
+			t.Fatalf("token %d has index %d — duplicate or gap across the migration", i, ev.Index)
+		}
+	}
+	if !events[47].EOS {
+		t.Fatal("final token not EOS")
+	}
+
+	// The migration actually happened: the frontend's scheduler counted
+	// it and the decode runner generated tokens.
+	var stats struct {
+		KVMigrations int64 `json:"kv_migrations"`
+		Runners      []State
+	}
+	sresp, err := http.Get(fs.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.KVMigrations == 0 {
+		t.Fatal("frontend performed no KV migrations")
+	}
+}

@@ -88,6 +88,10 @@ type Frontend struct {
 	start     time.Time
 	stop      chan struct{}
 	wg        sync.WaitGroup
+	// roleKnown marks runners whose disaggregation role has been
+	// discovered from their state endpoint (runners may come up after
+	// the frontend; discovery retries until each answers).
+	roleKnown map[*sched.GPU]bool
 }
 
 // NewFrontend builds a frontend over runner base URLs with the paper's
@@ -108,12 +112,13 @@ func NewFrontendWithPolicy(runnerURLs []string, drainInterval time.Duration, p s
 func NewFrontendWithOptions(runnerURLs []string, opts FrontendOptions) *Frontend {
 	opts = opts.withDefaults()
 	f := &Frontend{
-		opts:    opts,
-		clients: make(map[*sched.GPU]*Client),
-		placed:  make(map[int64]placement),
-		waiters: make(map[int64]chan *sched.GPU),
-		start:   time.Now(),
-		stop:    make(chan struct{}),
+		opts:      opts,
+		clients:   make(map[*sched.GPU]*Client),
+		placed:    make(map[int64]placement),
+		waiters:   make(map[int64]chan *sched.GPU),
+		start:     time.Now(),
+		stop:      make(chan struct{}),
+		roleKnown: make(map[*sched.GPU]bool),
 	}
 	var gpus []*sched.GPU
 	for i, url := range runnerURLs {
@@ -158,7 +163,56 @@ func (f *Frontend) drainLoop(interval time.Duration) {
 					f.notePlacement(p.Request, p.GPU)
 				}
 			}
+			f.migrateTick()
 			f.mu.Unlock()
+		}
+	}
+}
+
+// migrateTick disaggregates the HTTP stack: it discovers runner roles,
+// then hands every prefill-complete request off the prefill runners to
+// a policy-chosen decode runner — KvCache moved over POST /runner/kv,
+// not recomputed — and re-points the frontend's placement record so the
+// user's token stream re-attaches to the new owner (index dedup bridges
+// the handoff). Unified deployments pay one state fetch per runner for
+// discovery and nothing after. Callers hold f.mu.
+func (f *Frontend) migrateTick() {
+	for _, g := range f.sch.GPUs() {
+		if f.roleKnown[g] {
+			continue
+		}
+		st, err := f.clients[g].FetchState()
+		if err != nil {
+			continue
+		}
+		if role, rerr := core.ParseRole(st.Role); rerr == nil {
+			g.Role = role
+			f.roleKnown[g] = true
+		}
+	}
+	slackChecked := false
+	for _, g := range f.sch.GPUs() {
+		if g.Role != core.RolePrefill {
+			continue
+		}
+		if !slackChecked {
+			// One slack probe per tick: a saturated decode pool must not
+			// cost an export/bounce cycle (and a stream channel swap) per
+			// migratable request per tick.
+			if !f.sch.DecodePoolHasSlack() {
+				return
+			}
+			slackChecked = true
+		}
+		for _, id := range f.clients[g].Migratable() {
+			dst, err := f.sch.MigrateToDecode(g, id, f.now())
+			if err != nil || dst == nil {
+				continue
+			}
+			if p, ok := f.placed[id]; ok {
+				p.gpu = dst
+				f.placed[id] = p
+			}
 		}
 	}
 }
@@ -325,14 +379,26 @@ func (f *Frontend) owner(id int64) (*Client, *sched.GPU, bool) {
 	return f.clients[p.gpu], p.gpu, true
 }
 
-// waitNewOwner blocks until the request is placed on a GPU other than
-// prev (its broken former owner), the deadline passes, or the user's
-// request context ends. It polls: the re-placement is driven by the
-// health and drain loops.
-func (f *Frontend) waitNewOwner(req *http.Request, id int64, prev *sched.GPU, deadline time.Time) (*Client, *sched.GPU, bool) {
+// waitNewOwner blocks until the request has a placement to re-attach
+// to, the deadline passes, or the user's request context ends. It polls
+// (pause first, so the migration/recovery loops get a tick to act): the
+// re-placement is driven by the health and drain loops. The owner may
+// be the same GPU the stream just broke on — a KV migration that found
+// no decode room bounces back to its source with a fresh stream
+// channel, and a dead runner's placement simply never answers, so the
+// reconnect attempt fails and the poll continues until the health loop
+// re-places the request elsewhere.
+func (f *Frontend) waitNewOwner(req *http.Request, id int64, deadline time.Time) (*Client, *sched.GPU, bool) {
 	for {
+		select {
+		case <-f.stop:
+			return nil, nil, false
+		case <-req.Context().Done():
+			return nil, nil, false
+		case <-time.After(10 * time.Millisecond):
+		}
 		f.mu.Lock()
-		if p, ok := f.placed[id]; ok && p.gpu != prev {
+		if p, ok := f.placed[id]; ok {
 			c := f.clients[p.gpu]
 			f.mu.Unlock()
 			return c, p.gpu, true
@@ -341,14 +407,21 @@ func (f *Frontend) waitNewOwner(req *http.Request, id int64, prev *sched.GPU, de
 		if time.Now().After(deadline) {
 			return nil, nil, false
 		}
-		select {
-		case <-f.stop:
-			return nil, nil, false
-		case <-req.Context().Done():
-			return nil, nil, false
-		case <-time.After(10 * time.Millisecond):
-		}
 	}
+}
+
+// recoveryEnabled reports whether a broken stream should wait for
+// re-attachment rather than fail: always with health checking on, and
+// always on a disaggregated deployment — a KV migration handing the
+// request to the decode pool is a planned stream break, independent of
+// the fault-tolerance knob.
+func (f *Frontend) recoveryEnabled() bool {
+	if f.opts.HealthInterval > 0 {
+		return true
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.sch.HasDecodePool()
 }
 
 // forget drops a request's placement record (it finished or was
@@ -421,11 +494,9 @@ func (f *Frontend) handleGenerate(w http.ResponseWriter, req *http.Request) {
 // token ids), and the per-token Index dedupes the already-delivered
 // prefix so the user sees each token exactly once.
 func (f *Frontend) streamToUser(w http.ResponseWriter, req *http.Request, id int64, client *Client) {
-	_, gpu, _ := f.owner(id)
 	next := 0 // next token index the user has not yet received
 	wroteHeader := false
 	flusher, _ := w.(http.Flusher)
-	recovery := f.opts.HealthInterval > 0
 
 	fail := func(msg string, code int) {
 		f.CancelEverywhere(id)
@@ -434,6 +505,12 @@ func (f *Frontend) streamToUser(w http.ResponseWriter, req *http.Request, id int
 		}
 	}
 
+	// recoverBy bounds the total time spent without forward progress:
+	// it is armed when a stream breaks, cleared by every delivered
+	// token, and NOT re-armed by retries — a permanently dead owner
+	// (health checking off, so no re-placement ever happens) fails with
+	// 502 after RecoverWait instead of retrying forever.
+	var recoverBy time.Time
 	for {
 		streamReq, err := http.NewRequestWithContext(req.Context(), "GET", client.StreamURL(id), nil)
 		if err != nil {
@@ -473,6 +550,7 @@ func (f *Frontend) streamToUser(w http.ResponseWriter, req *http.Request, id int
 					flusher.Flush()
 				}
 				next = ev.Index + 1
+				recoverBy = time.Time{} // forward progress: disarm
 				if ev.EOS {
 					done = true
 					break
@@ -486,20 +564,26 @@ func (f *Frontend) streamToUser(w http.ResponseWriter, req *http.Request, id int
 			// EOF without EOS: the owning runner died mid-stream (or
 			// drained the request away). Fall through to recovery.
 		}
-		if !recovery || req.Context().Err() != nil {
-			// No fault tolerance configured, or it was the *user* who
-			// went away (their context is done) — cancel now instead of
-			// holding the request through a pointless recovery wait.
+		if !f.recoveryEnabled() || req.Context().Err() != nil {
+			// No fault tolerance configured and no migration possible,
+			// or it was the *user* who went away (their context is done)
+			// — cancel now instead of holding the request through a
+			// pointless recovery wait.
 			fail("runner stream unavailable", http.StatusBadGateway)
 			return
 		}
-		deadline := time.Now().Add(f.opts.RecoverWait)
-		newClient, newGPU, ok := f.waitNewOwner(req, id, gpu, deadline)
+		if recoverBy.IsZero() {
+			recoverBy = time.Now().Add(f.opts.RecoverWait)
+		} else if time.Now().After(recoverBy) {
+			fail("request lost: runner died and recovery timed out", http.StatusBadGateway)
+			return
+		}
+		newClient, _, ok := f.waitNewOwner(req, id, recoverBy)
 		if !ok {
 			fail("request lost: runner died and recovery timed out", http.StatusBadGateway)
 			return
 		}
-		client, gpu = newClient, newGPU
+		client = newClient
 	}
 }
 
@@ -513,6 +597,7 @@ func (f *Frontend) handleStats(w http.ResponseWriter, _ *http.Request) {
 	failed := append([]string(nil), f.failed...)
 	failures := f.failures
 	recovered := f.recovered
+	schedStats := f.sch.Stats()
 	f.mu.Unlock()
 	var states []State
 	for _, c := range clients {
@@ -528,6 +613,9 @@ func (f *Frontend) handleStats(w http.ResponseWriter, _ *http.Request) {
 		FailedRunners []string `json:"failed_runners,omitempty"`
 		GPUFailures   int64    `json:"gpu_failures"`
 		Recovered     int64    `json:"recovered_requests"`
+		KVMigrations  int64    `json:"kv_migrations"`
+		KVPrefetches  int64    `json:"adapter_prefetches"`
 	}{Runners: states, QueueLen: queueLen, FailedRunners: failed,
-		GPUFailures: failures, Recovered: recovered})
+		GPUFailures: failures, Recovered: recovered,
+		KVMigrations: schedStats.KVMigrations, KVPrefetches: schedStats.AdapterPrefetches})
 }

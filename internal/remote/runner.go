@@ -24,9 +24,13 @@ type Runner struct {
 	cond    *sync.Cond
 	eng     *core.Engine
 	streams map[int64]chan core.Token
-	start   time.Time
-	closed  bool
-	wg      sync.WaitGroup
+	// streamDone marks channels already closed (finished or exported)
+	// but kept resident so a late or lagging reader can still drain the
+	// buffered tokens; guards against double close.
+	streamDone map[int64]bool
+	start      time.Time
+	closed     bool
+	wg         sync.WaitGroup
 }
 
 // NewRunner starts a runner around an engine built from cfg.
@@ -35,10 +39,11 @@ func NewRunner(uuid string, cfg core.Config, speedup float64) *Runner {
 		speedup = 1
 	}
 	r := &Runner{
-		uuid:    uuid,
-		speedup: speedup,
-		streams: make(map[int64]chan core.Token),
-		start:   time.Now(),
+		uuid:       uuid,
+		speedup:    speedup,
+		streams:    make(map[int64]chan core.Token),
+		streamDone: make(map[int64]bool),
+		start:      time.Now(),
 	}
 	r.cond = sync.NewCond(&r.mu)
 	cfg.OnToken = r.onToken
@@ -56,13 +61,23 @@ func (r *Runner) UUID() string { return r.uuid }
 func (r *Runner) Close() {
 	r.mu.Lock()
 	r.closed = true
-	for id, ch := range r.streams {
-		close(ch)
+	for id := range r.streams {
+		r.closeStream(id)
 		delete(r.streams, id)
+		delete(r.streamDone, id)
 	}
 	r.cond.Broadcast()
 	r.mu.Unlock()
 	r.wg.Wait()
+}
+
+// closeStream closes a stream channel exactly once, keeping the entry
+// resident so buffered tokens stay drainable. Callers hold r.mu.
+func (r *Runner) closeStream(id int64) {
+	if ch, ok := r.streams[id]; ok && !r.streamDone[id] {
+		close(ch)
+		r.streamDone[id] = true
+	}
 }
 
 func (r *Runner) simNow() time.Duration {
@@ -82,9 +97,7 @@ func (r *Runner) onToken(tok core.Token) {
 // connects after a fast generation completed must still be able to drain
 // the buffered tokens. handleStream removes the entry once served.
 func (r *Runner) onFinish(req *core.Request) {
-	if ch, ok := r.streams[req.ID]; ok {
-		close(ch)
-	}
+	r.closeStream(req.ID)
 }
 
 // drive runs invocations back-to-back, pacing simulated latency into
@@ -136,10 +149,9 @@ func (r *Runner) sleepLocked(d time.Duration) {
 }
 
 func (r *Runner) dropStream(id int64) {
-	if ch, ok := r.streams[id]; ok {
-		close(ch)
-		delete(r.streams, id)
-	}
+	r.closeStream(id)
+	delete(r.streams, id)
+	delete(r.streamDone, id)
 }
 
 // Handler returns the runner HTTP API consumed by remote.Client and the
@@ -151,6 +163,9 @@ func (r *Runner) Handler() http.Handler {
 	mux.HandleFunc("POST /runner/cancel", r.handleCancel)
 	mux.HandleFunc("POST /runner/evict", r.handleEvict)
 	mux.HandleFunc("POST /runner/drain", r.handleDrain)
+	mux.HandleFunc("POST /runner/kv", r.handleKVImport)
+	mux.HandleFunc("POST /runner/kv/export", r.handleKVExport)
+	mux.HandleFunc("POST /runner/prefetch", r.handlePrefetch)
 	mux.HandleFunc("GET /runner/state", r.handleState)
 	mux.HandleFunc("GET /runner/stream", r.handleStream)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -261,9 +276,99 @@ func (r *Runner) handleDrain(w http.ResponseWriter, _ *http.Request) {
 
 func (r *Runner) handleState(w http.ResponseWriter, _ *http.Request) {
 	r.mu.Lock()
-	st := stateOf(r.uuid, r.eng.Snapshot(), r.eng.Stats())
+	st := stateOf(r.uuid, r.eng.Snapshot(), r.eng.Stats(), r.eng.Migratable())
 	r.mu.Unlock()
 	writeJSON(w, st)
+}
+
+// handleKVExport detaches a prefilled request as a migration handle
+// (the wire form of Engine.ExportKV). The request's local token stream
+// closes but stays readable: a frontend proxy that lags behind drains
+// the buffered tokens, hits EOF, and re-attaches to the request's new
+// owner with index dedup — no token is lost or duplicated across the
+// handoff.
+func (r *Runner) handleKVExport(w http.ResponseWriter, req *http.Request) {
+	var er ExportRequest
+	if err := json.NewDecoder(req.Body).Decode(&er); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	r.mu.Lock()
+	h, err := r.eng.ExportKV(er.ID, r.simNow())
+	if err == nil {
+		// Close-but-keep, like onFinish: buffered tokens stay drainable.
+		r.closeStream(er.ID)
+	}
+	r.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, handleFromCore(h))
+}
+
+// handleKVImport lands a migration handle (the wire form of
+// Engine.ImportKV): adapter pinned, pages allocated page-exactly, and
+// the request batch-eligible once the sized link transfer elapses. A
+// fresh token stream is registered so the frontend can re-attach.
+func (r *Runner) handleKVImport(w http.ResponseWriter, req *http.Request) {
+	var wireHandle KVHandleWire
+	if err := json.NewDecoder(req.Body).Decode(&wireHandle); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		http.Error(w, "runner closed", http.StatusServiceUnavailable)
+		return
+	}
+	h := wireHandle.toCore()
+	id := h.Request.ID
+	if _, ok := r.streams[id]; !ok || r.streamDone[id] {
+		// Fresh channel — also when a previous incarnation (an export
+		// bounced back to this runner) left a closed one behind.
+		r.streams[id] = make(chan core.Token, h.Request.OutputLen+1)
+		delete(r.streamDone, id)
+	}
+	if err := r.eng.ImportKV(h, r.simNow()); err != nil {
+		r.dropStream(id)
+		status := http.StatusConflict
+		if errors.Is(err, lora.ErrStoreFull) {
+			status = http.StatusServiceUnavailable
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	// Seed the stream with the tokens the exporting runner already
+	// emitted (they are deterministic, so no payload crosses the wire):
+	// a proxy that attaches only after the migration still sees every
+	// index from zero, and one that already delivered the prefix drops
+	// the duplicates by index.
+	vocab := r.eng.Config().Model.VocabSize
+	for i := 0; i < h.Request.Generated; i++ {
+		r.onToken(core.Token{
+			RequestID: id,
+			Index:     i,
+			TokenID:   core.TokenIDFor(id, i, vocab),
+		})
+	}
+	r.cond.Broadcast()
+	w.WriteHeader(http.StatusOK)
+}
+
+// handlePrefetch warms an adapter without pinning it — the decode-
+// target hint issued while a request's prefill runs elsewhere.
+func (r *Runner) handlePrefetch(w http.ResponseWriter, req *http.Request) {
+	var pr PrefetchRequest
+	if err := json.NewDecoder(req.Body).Decode(&pr); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	r.mu.Lock()
+	ok := r.eng.PrefetchAdapter(lora.ModelID(pr.Model), r.simNow())
+	r.mu.Unlock()
+	writeJSON(w, PrefetchReply{Accepted: ok})
 }
 
 // handleStream pipes a request's tokens as NDJSON until EOS, cancel, or
@@ -285,6 +390,7 @@ func (r *Runner) handleStream(w http.ResponseWriter, req *http.Request) {
 		r.mu.Lock()
 		if cur, still := r.streams[id]; still && cur == ch {
 			delete(r.streams, id)
+			delete(r.streamDone, id)
 		}
 		r.mu.Unlock()
 	}()

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"punica/internal/core"
+	"punica/internal/kvcache"
 	"punica/internal/lora"
 )
 
@@ -85,15 +86,72 @@ type DrainReply struct {
 	LostKVTokens int            `json:"lost_kv_tokens"`
 }
 
+// KVHandleWire is the wire form of a KV migration handle (POST
+// /runner/kv): the request state plus the page-exact KvCache accounting
+// whose Bytes sizes the transfer latency the importing runner charges.
+type KVHandleWire struct {
+	Request RequestState `json:"request"`
+	Tokens  int          `json:"tokens"`
+	Pages   int          `json:"pages"`
+	Bytes   int64        `json:"bytes"`
+}
+
+// toCore reconstructs the engine-side handle.
+func (w KVHandleWire) toCore() core.KVHandle {
+	return core.KVHandle{
+		Request: w.Request.toCore(),
+		KV: kvcache.Handle{
+			Seq:    kvcache.SeqID(w.Request.ID),
+			Tokens: w.Tokens,
+			Pages:  w.Pages,
+			Bytes:  w.Bytes,
+		},
+	}
+}
+
+// handleFromCore converts an exported handle to wire form.
+func handleFromCore(h core.KVHandle) KVHandleWire {
+	return KVHandleWire{
+		Request: fromCore(h.Request),
+		Tokens:  h.KV.Tokens,
+		Pages:   h.KV.Pages,
+		Bytes:   h.KV.Bytes,
+	}
+}
+
+// ExportRequest names the request whose KV should be exported (POST
+// /runner/kv/export).
+type ExportRequest struct {
+	ID int64 `json:"id"`
+}
+
+// PrefetchRequest asks a runner to warm an adapter without pinning it
+// (POST /runner/prefetch) — the disaggregation router's decode-target
+// hint.
+type PrefetchRequest struct {
+	Model int64 `json:"model"`
+}
+
+// PrefetchReply reports whether the hint was accepted.
+type PrefetchReply struct {
+	Accepted bool `json:"accepted"`
+}
+
 // State is a runner's scheduling snapshot: the wire form of
 // core.Snapshot plus runner identity and progress counters. One GET
 // /runner/state carries everything a scheduling decision needs, so the
 // scheduler never issues per-decision CanAdmit/WorkingSet round-trips.
 type State struct {
-	UUID        string `json:"uuid"`
-	WorkingSet  int    `json:"working_set"`
-	ActiveBatch int    `json:"active_batch"`
-	MaxBatch    int    `json:"max_batch"`
+	UUID string `json:"uuid"`
+	// Role is the runner's disaggregation role ("unified", "prefill",
+	// "decode"); Migratable lists the resident requests whose prefill
+	// finished and which await handoff to the decode pool.
+	Role       string  `json:"role,omitempty"`
+	Migratable []int64 `json:"migratable,omitempty"`
+
+	WorkingSet  int `json:"working_set"`
+	ActiveBatch int `json:"active_batch"`
+	MaxBatch    int `json:"max_batch"`
 	// FreePages is the uncommitted KvCache headroom (pool free pages
 	// minus reservations for pending requests).
 	FreePages  int  `json:"free_kv_pages"`
@@ -113,9 +171,11 @@ type State struct {
 }
 
 // stateOf captures a runner's engine as wire state.
-func stateOf(uuid string, snap core.Snapshot, stats core.Stats) State {
+func stateOf(uuid string, snap core.Snapshot, stats core.Stats, migratable []int64) State {
 	return State{
 		UUID:               uuid,
+		Role:               snap.Role.String(),
+		Migratable:         migratable,
 		WorkingSet:         snap.WorkingSet,
 		ActiveBatch:        snap.ActiveBatch,
 		MaxBatch:           snap.MaxBatch,
@@ -134,7 +194,12 @@ func stateOf(uuid string, snap core.Snapshot, stats core.Stats) State {
 
 // toSnapshot converts wire state back to the scheduler's view.
 func (st State) toSnapshot() core.Snapshot {
+	role, err := core.ParseRole(st.Role)
+	if err != nil {
+		role = core.RoleUnified
+	}
 	return core.Snapshot{
+		Role:               role,
 		WorkingSet:         st.WorkingSet,
 		ActiveBatch:        st.ActiveBatch,
 		MaxBatch:           st.MaxBatch,

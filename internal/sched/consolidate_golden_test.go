@@ -22,6 +22,23 @@ import (
 func consolidateTrace(t *testing.T) []string {
 	t.Helper()
 	gpus, engines := goldenFleet(t)
+	return consolidateTraceOn(t, gpus, engines)
+}
+
+// consolidateTraceWithRoles runs the identical script on a fleet whose
+// GPUs carry explicit RoleUnified tags — disaggregation plumbing present
+// but off — for the bit-identical refactor guard.
+func consolidateTraceWithRoles(t *testing.T) []string {
+	t.Helper()
+	gpus, engines := goldenFleet(t)
+	for _, g := range gpus {
+		g.Role = core.RoleUnified
+	}
+	return consolidateTraceOn(t, gpus, engines)
+}
+
+func consolidateTraceOn(t *testing.T, gpus []*GPU, engines []*core.Engine) []string {
+	t.Helper()
 	s := New(gpus)
 	s.LightlyLoadedBelow = 3
 	var log []string

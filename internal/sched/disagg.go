@@ -1,0 +1,235 @@
+// Two-pool routing for prefill/decode disaggregation: new requests land
+// on the prefill pool through the ordinary §5.1 dispatch path (decode
+// GPUs never admit raw requests — their snapshots refuse CanAdmit), and
+// finished prefills migrate to a policy-chosen decode GPU by moving the
+// KvCache itself (ExportKV → ImportKV) instead of recomputing it. The
+// placement Policy ranks decode targets exactly as it ranks ordinary
+// placements, so adapter-affinity routing applies to the decode pool —
+// and because the intended target is known at dispatch time, its adapter
+// load overlaps the prefill.
+package sched
+
+import (
+	"errors"
+	"time"
+
+	"punica/internal/core"
+	"punica/internal/lora"
+)
+
+// KVMover is the optional Worker extension deliberate KV migration
+// rides: *core.Engine implements it in process, internal/remote's
+// client over HTTP (POST /runner/kv). Workers without it simply keep
+// their prefilled requests and decode them in place.
+type KVMover interface {
+	// ExportKV detaches a prefilled resident request as a page-exact
+	// migration handle, freeing its KvCache and adapter pin locally.
+	ExportKV(id int64, now time.Duration) (core.KVHandle, error)
+	// ImportKV lands a handle: adapter pinned, pages allocated, request
+	// batch-eligible once the sized link transfer completes. A failed
+	// import leaves the worker unchanged.
+	ImportKV(h core.KVHandle, now time.Duration) error
+}
+
+// Prefetcher is the optional Worker extension for adapter warm-up
+// hints: load the weights without pinning them, so a future placement
+// hits a warm store. Best-effort — a full store refuses the hint.
+type Prefetcher interface {
+	PrefetchAdapter(id lora.ModelID, now time.Duration) bool
+}
+
+// HasDecodePool reports whether any managed GPU is a dedicated decode
+// engine — the switch that turns the two-pool routing on.
+func (s *Scheduler) HasDecodePool() bool {
+	for _, g := range s.gpus {
+		if g.Role == core.RoleDecode {
+			return true
+		}
+	}
+	return false
+}
+
+// PoolGPUs returns the managed GPUs serving the given role.
+func (s *Scheduler) PoolGPUs(role core.Role) []*GPU {
+	var out []*GPU
+	for _, g := range s.gpus {
+		if g.Role == role {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// decodeCandidates snapshots the decode pool and returns the targets
+// that could land a KV import of r, policy-ranked best-first. Only
+// decode-role GPUs are scanned, so unified fleets pay nothing.
+func (s *Scheduler) decodeCandidates(r *core.Request, exclude *GPU) []Candidate {
+	var fit []Candidate
+	for _, g := range s.gpus {
+		if g.Role != core.RoleDecode || g == exclude {
+			continue
+		}
+		snap := g.Engine.Snapshot()
+		if !snap.CanImport(r) {
+			continue
+		}
+		fit = append(fit, Candidate{GPU: g, Snap: &snap})
+	}
+	s.policy.RankPlacement(r, fit)
+	return fit
+}
+
+// prefetchDecodeAdapter warms the intended decode target's adapter store
+// while r's prefill runs: the policy's current first choice for the
+// future migration starts loading r's adapter now, unpinned. The hint is
+// non-binding — the actual migration re-ranks targets at prefill
+// completion — and free on unified fleets (no decode pool, no scan).
+func (s *Scheduler) prefetchDecodeAdapter(r *core.Request, from *GPU, now time.Duration) {
+	if !s.HasDecodePool() {
+		return
+	}
+	for _, c := range s.decodeCandidates(r, from) {
+		p, ok := c.GPU.Engine.(Prefetcher)
+		if !ok {
+			return
+		}
+		if p.PrefetchAdapter(r.Model, now) {
+			s.stats.AdapterPrefetches++
+			return
+		}
+		// Store refused (pinned full): try the next-ranked target.
+	}
+}
+
+// MigrateToDecode hands a finished prefill to the decode pool: the
+// request's KvCache is exported from the source and imported — pages,
+// adapter pin and sized link transfer — on the best admitting decode
+// GPU in policy order. Drivers call it for every id the source reports
+// Migratable at a step boundary.
+//
+// Fallbacks keep the request live at every turn: with no decode room the
+// handle is re-imported on the source (the request keeps decoding there
+// and is offered again at the next boundary); if even that fails —
+// possible only when the source's store evicted the adapter during the
+// attempt and cannot re-pin it — the request re-enters the FCFS queue
+// through the recompute path, exactly like a §5.3 eviction. It returns
+// the destination GPU (nil when the request stayed put or the source
+// does not support KV movement).
+func (s *Scheduler) MigrateToDecode(from *GPU, id int64, now time.Duration) (*GPU, error) {
+	src, ok := from.Engine.(KVMover)
+	if !ok {
+		return nil, nil
+	}
+	h, err := src.ExportKV(id, now)
+	if err != nil {
+		return nil, err
+	}
+	r := h.Request
+	for _, c := range s.decodeCandidates(r, from) {
+		mover, ok := c.GPU.Engine.(KVMover)
+		if !ok {
+			continue
+		}
+		if err := mover.ImportKV(h, now); err == nil {
+			s.stats.KVMigrations++
+			s.stats.KVMigratedBytes += h.KV.Bytes
+			return c.GPU, nil
+		} else if !errors.Is(err, lora.ErrStoreFull) {
+			// Capacity races (another import landed first) fall through
+			// to the next candidate too; only record store stalls.
+			continue
+		}
+		s.stats.AdapterStalls++
+	}
+	// No decode GPU could take it: bounce back to the source and retry
+	// at the next step boundary. The payload never left the GPU, so the
+	// re-import carries zero transfer bytes — no phantom link charge
+	// lands between the request's tokens.
+	bounce := h
+	bounce.KV.Bytes = 0
+	if err := src.ImportKV(bounce, now); err == nil {
+		s.stats.KVMigrationFallbacks++
+		return nil, nil
+	}
+	// Source cannot re-land it either — recompute path, FCFS.
+	s.stats.KVMigrationFallbacks++
+	s.enqueueFCFS(r)
+	return nil, nil
+}
+
+// DecodePoolHasSlack reports whether any decode GPU has a batch slot
+// free — the cheap pre-check that keeps a saturated decode pool from
+// causing an export/re-import round trip per migratable request per
+// step boundary.
+func (s *Scheduler) DecodePoolHasSlack() bool {
+	for _, g := range s.gpus {
+		if g.Role != core.RoleDecode {
+			continue
+		}
+		snap := g.Engine.Snapshot()
+		if snap.WorkingSet < snap.MaxBatch {
+			return true
+		}
+	}
+	return false
+}
+
+// MigratePrefilled drains every migratable request the source reports
+// into the decode pool, returning the destinations that received work
+// (for driver kicks). Sources that do not expose migratable state (or
+// have none) return nil, as does a decode pool with no batch slack —
+// the requests keep decoding on their prefill GPU and are offered
+// again at the next boundary.
+func (s *Scheduler) MigratePrefilled(from *GPU, now time.Duration) ([]*GPU, error) {
+	type lister interface{ Migratable() []int64 }
+	l, ok := from.Engine.(lister)
+	if !ok {
+		return nil, nil
+	}
+	ids := l.Migratable()
+	if len(ids) == 0 || !s.DecodePoolHasSlack() {
+		return nil, nil
+	}
+	var dsts []*GPU
+	for _, id := range ids {
+		dst, err := s.MigrateToDecode(from, id, now)
+		if err != nil {
+			return dsts, err
+		}
+		if dst != nil {
+			dsts = append(dsts, dst)
+		}
+	}
+	return dsts, nil
+}
+
+// NeedMorePoolGPUs is the §5.1 scale-up condition evaluated per pool:
+// every GPU serving the role is loaded past its light threshold. An
+// empty pool needs capacity by definition. Unified GPUs count toward
+// every pool.
+func (s *Scheduler) NeedMorePoolGPUs(role core.Role) bool {
+	for _, g := range s.gpus {
+		if g.Role != role && g.Role != core.RoleUnified {
+			continue
+		}
+		snap := g.Engine.Snapshot()
+		if snap.WorkingSet < s.lightThreshold(&snap) {
+			return false
+		}
+	}
+	return true
+}
+
+// ReleasablePoolGPUs returns the role's idle GPUs (§5.1 scale-down).
+func (s *Scheduler) ReleasablePoolGPUs(role core.Role) []*GPU {
+	var idle []*GPU
+	for _, g := range s.gpus {
+		if g.Role != role {
+			continue
+		}
+		if g.Engine.Snapshot().WorkingSet == 0 {
+			idle = append(idle, g)
+		}
+	}
+	return idle
+}

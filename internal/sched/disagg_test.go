@@ -1,0 +1,374 @@
+package sched
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"punica/internal/core"
+	"punica/internal/hw"
+	"punica/internal/lora"
+	"punica/internal/models"
+)
+
+// disaggFleet builds a two-pool deployment: nPrefill prefill engines
+// followed by nDecode decode engines, on the golden fleet's tight
+// geometry.
+func disaggFleet(t *testing.T, nPrefill, nDecode int) ([]*GPU, []*core.Engine) {
+	t.Helper()
+	adapterBytes := models.Llama2_7B().LoRABytes(16)
+	var gpus []*GPU
+	var engines []*core.Engine
+	for i := 0; i < nPrefill+nDecode; i++ {
+		role := core.RolePrefill
+		if i >= nPrefill {
+			role = core.RoleDecode
+		}
+		sys := core.PunicaSystem()
+		sys.MaxBatch = 4
+		e := core.NewEngine(core.Config{
+			System:          sys,
+			GPU:             hw.A100(),
+			Model:           models.Llama2_7B(),
+			Rank:            16,
+			Role:            role,
+			KVCapacityBytes: 2 << 30,
+			LoRAStoreBytes:  4 * adapterBytes,
+		})
+		gpus = append(gpus, &GPU{UUID: fmt.Sprintf("gpu-%02d", i), Engine: e, Role: role})
+		engines = append(engines, e)
+	}
+	return gpus, engines
+}
+
+// stepPrefill drives engine e until request id is migratable.
+func stepPrefill(t *testing.T, e *core.Engine, id int64, now time.Duration) time.Duration {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		for _, m := range e.Migratable() {
+			if m == id {
+				return now
+			}
+		}
+		res := e.Step(now)
+		if res.Idle {
+			at, ok := e.EarliestPendingReady()
+			if !ok {
+				t.Fatal("prefill engine idle with no wake-up")
+			}
+			now = at
+			continue
+		}
+		now = res.EndsAt
+	}
+	t.Fatalf("request %d never prefilled", id)
+	return 0
+}
+
+// TestDispatchAvoidsDecodePool asserts the §5.1 dispatch path never
+// places raw requests on decode GPUs, even when they are the emptiest.
+func TestDispatchAvoidsDecodePool(t *testing.T) {
+	gpus, engines := disaggFleet(t, 1, 3)
+	s := New(gpus)
+	for id := int64(1); id <= 4; id++ {
+		r := mkReq(id, 64, 8)
+		g, err := s.Dispatch(r, time.Duration(id)*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g == nil {
+			t.Fatalf("request %d queued with a free prefill GPU", id)
+		}
+		if g.Role != core.RolePrefill {
+			t.Fatalf("request %d landed on %s (%v)", id, g.UUID, g.Role)
+		}
+	}
+	if ws := engines[0].WorkingSet(); ws != 4 {
+		t.Fatalf("prefill GPU working set = %d, want 4", ws)
+	}
+	if !s.HasDecodePool() {
+		t.Fatal("HasDecodePool false on a disaggregated fleet")
+	}
+	if len(s.PoolGPUs(core.RoleDecode)) != 3 || len(s.PoolGPUs(core.RolePrefill)) != 1 {
+		t.Fatal("PoolGPUs miscounts the pools")
+	}
+}
+
+// TestMigrateToDecodeMovesKV drives a full handoff through the router:
+// prefill on the prefill pool, migration to a decode GPU, decode
+// completion there — with exact pin/page accounting at every hop.
+func TestMigrateToDecodeMovesKV(t *testing.T) {
+	gpus, engines := disaggFleet(t, 1, 2)
+	s := New(gpus)
+	r := mkReq(1, 200, 12)
+	r.Model = lora.ModelID(7)
+	g, err := s.Dispatch(r, 0)
+	if err != nil || g != gpus[0] {
+		t.Fatalf("dispatch = %v, %v", g, err)
+	}
+	now := stepPrefill(t, engines[0], 1, 0)
+
+	dsts, err := s.MigratePrefilled(gpus[0], now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dsts) != 1 || dsts[0].Role != core.RoleDecode {
+		t.Fatalf("migration destinations = %v", dsts)
+	}
+	if engines[0].KV().UsedPages() != 0 || engines[0].Store().PinnedBytes() != 0 {
+		t.Fatal("source leaked after migration")
+	}
+	st := s.Stats()
+	if st.KVMigrations != 1 || st.KVMigratedBytes == 0 {
+		t.Fatalf("stats = %+v, want one sized migration", st)
+	}
+
+	// Finish decode on the destination.
+	dst := dsts[0]
+	var de *core.Engine
+	for i, g := range gpus {
+		if g == dst {
+			de = engines[i]
+		}
+	}
+	for de.Busy() {
+		res := de.Step(now)
+		if res.Idle {
+			at, ok := de.EarliestPendingReady()
+			if !ok {
+				t.Fatal("decode engine stuck")
+			}
+			now = at
+			continue
+		}
+		if res.PrefillTokens != 0 {
+			t.Fatal("decode GPU recomputed prefill after KV migration")
+		}
+		now = res.EndsAt
+	}
+	if !r.Finished() {
+		t.Fatalf("request did not finish (generated %d/%d)", r.Generated, r.OutputLen)
+	}
+	if de.KV().UsedPages() != 0 || de.Store().PinnedBytes() != 0 {
+		t.Fatal("destination leaked after completion")
+	}
+}
+
+// TestMigrateSkipsSaturatedDecodePool pins the slack pre-check: with
+// every decode batch slot taken, MigratePrefilled performs no export at
+// all — no per-boundary export/re-import churn, no phantom stats.
+func TestMigrateSkipsSaturatedDecodePool(t *testing.T) {
+	gpus, engines := disaggFleet(t, 1, 1)
+	s := New(gpus)
+	// Fill the decode GPU's batch slots via direct imports.
+	decode := engines[1]
+	_, feederEng := disaggFleet(t, 1, 0)
+	now := time.Duration(0)
+	for id := int64(10); id < 14; id++ {
+		r := mkReq(id, 64, 64)
+		if err := feederEng[0].Enqueue(r, now); err != nil {
+			t.Fatal(err)
+		}
+		now = stepPrefill(t, feederEng[0], id, now)
+		h, err := feederEng[0].ExportKV(id, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := decode.ImportKV(h, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r := mkReq(1, 100, 12)
+	if _, err := s.Dispatch(r, now); err != nil {
+		t.Fatal(err)
+	}
+	now = stepPrefill(t, engines[0], 1, now)
+	dsts, err := s.MigratePrefilled(gpus[0], now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dsts) != 0 {
+		t.Fatalf("migration landed on a full decode pool: %v", dsts)
+	}
+	if st := engines[0].Stats(); st.KVExports != 0 {
+		t.Fatalf("saturated pool still caused %d exports", st.KVExports)
+	}
+	if s.Stats().KVMigrationFallbacks != 0 {
+		t.Fatalf("fallbacks = %d, want 0 (skipped before export)", s.Stats().KVMigrationFallbacks)
+	}
+	finishOnSource(t, engines[0], r, now)
+}
+
+// TestMigrateFallsBackToSource pins the true bounce: the decode pool
+// has batch slack but no KvCache room, so the export happens, no import
+// lands, and the handle bounces back to the source with zero transfer
+// bytes — the request keeps decoding there without a phantom link
+// charge between its tokens.
+func TestMigrateFallsBackToSource(t *testing.T) {
+	adapterBytes := models.Llama2_7B().LoRABytes(16)
+	sys := core.PunicaSystem()
+	sys.MaxBatch = 4
+	mk := func(role core.Role, kvBytes int64) *core.Engine {
+		return core.NewEngine(core.Config{
+			System:          sys,
+			GPU:             hw.A100(),
+			Model:           models.Llama2_7B(),
+			Rank:            16,
+			Role:            role,
+			KVCapacityBytes: kvBytes,
+			LoRAStoreBytes:  4 * adapterBytes,
+		})
+	}
+	prefill := mk(core.RolePrefill, 2<<30)
+	// Decode pool: batch slots free, but a KvCache pool too small for
+	// any real context.
+	decode := mk(core.RoleDecode, 1<<18)
+	gpus := []*GPU{
+		{UUID: "gpu-00", Engine: prefill, Role: core.RolePrefill},
+		{UUID: "gpu-01", Engine: decode, Role: core.RoleDecode},
+	}
+	s := New(gpus)
+
+	r := mkReq(1, 100, 12)
+	if _, err := s.Dispatch(r, 0); err != nil {
+		t.Fatal(err)
+	}
+	now := stepPrefill(t, prefill, 1, 0)
+	dsts, err := s.MigratePrefilled(gpus[0], now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dsts) != 0 {
+		t.Fatalf("migration landed despite no decode KV room: %v", dsts)
+	}
+	if s.Stats().KVMigrationFallbacks != 1 {
+		t.Fatalf("fallbacks = %d, want 1", s.Stats().KVMigrationFallbacks)
+	}
+	if moved := prefill.Stats().KVMovedBytes; moved != 0 {
+		t.Fatalf("bounce charged %d transfer bytes for KV that never left the GPU", moved)
+	}
+	// The bounced request is immediately steppable: no link-transfer
+	// gate was inserted (only the link's fixed latency, well under a
+	// step).
+	finishOnSource(t, prefill, r, now)
+}
+
+// finishOnSource drives the source engine to completion and asserts the
+// request finished there with exact page/pin accounting.
+func finishOnSource(t *testing.T, e *core.Engine, r *core.Request, now time.Duration) {
+	t.Helper()
+	if !e.Busy() {
+		t.Fatal("request lost on the source")
+	}
+	for e.Busy() {
+		res := e.Step(now)
+		if res.Idle {
+			at, ok := e.EarliestPendingReady()
+			if !ok {
+				t.Fatal("source stuck")
+			}
+			now = at
+			continue
+		}
+		now = res.EndsAt
+	}
+	if !r.Finished() {
+		t.Fatal("request did not finish on the source")
+	}
+	if e.KV().UsedPages() != 0 || e.Store().PinnedBytes() != 0 {
+		t.Fatal("source leaked after decoding in place")
+	}
+}
+
+// TestDispatchPrefetchesDecodeAdapter asserts the CaraServe-style
+// overlap: placing a request on the prefill pool warms its adapter on
+// the policy's intended decode target, unpinned.
+func TestDispatchPrefetchesDecodeAdapter(t *testing.T) {
+	gpus, engines := disaggFleet(t, 1, 2)
+	s := New(gpus)
+	r := mkReq(1, 128, 8)
+	r.Model = lora.ModelID(3)
+	if _, err := s.Dispatch(r, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().AdapterPrefetches != 1 {
+		t.Fatalf("prefetches = %d, want 1", s.Stats().AdapterPrefetches)
+	}
+	warm := 0
+	for _, e := range engines[1:] {
+		if e.Store().Resident(lora.ModelID(3)) {
+			warm++
+			if e.Store().PinnedBytes() != 0 {
+				t.Fatal("prefetch pinned the adapter")
+			}
+		}
+	}
+	if warm != 1 {
+		t.Fatalf("adapter warm on %d decode GPUs, want exactly 1", warm)
+	}
+	// Unified fleets must not prefetch (golden-trace guard).
+	ugpus, _ := goldenFleet(t)
+	us := New(ugpus)
+	if _, err := us.Dispatch(mkReq(2, 128, 8), 0); err != nil {
+		t.Fatal(err)
+	}
+	if us.Stats().AdapterPrefetches != 0 {
+		t.Fatal("unified fleet prefetched")
+	}
+}
+
+// TestRequeueAfterDecodeCrashUsesPrefillPool asserts the fault path: a
+// crashed decode GPU's requests re-enter through the prefill pool's
+// recompute path, never onto another decode GPU.
+func TestRequeueAfterDecodeCrashUsesPrefillPool(t *testing.T) {
+	gpus, engines := disaggFleet(t, 1, 2)
+	s := New(gpus)
+	r := mkReq(1, 150, 24)
+	if _, err := s.Dispatch(r, 0); err != nil {
+		t.Fatal(err)
+	}
+	now := stepPrefill(t, engines[0], 1, 0)
+	dsts, err := s.MigratePrefilled(gpus[0], now)
+	if err != nil || len(dsts) != 1 {
+		t.Fatalf("migration = %v, %v", dsts, err)
+	}
+	_, lost, lostKV, ok := s.FailGPU(dsts[0].UUID, now)
+	if !ok || len(lost) != 1 || lostKV == 0 {
+		t.Fatalf("FailGPU salvaged %v (kv=%d, ok=%v)", lost, lostKV, ok)
+	}
+	g, err := s.Requeue(lost[0], now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g == nil || g.Role != core.RolePrefill {
+		t.Fatalf("recovered request placed on %v, want the prefill pool", g)
+	}
+}
+
+// TestConsolidateGoldenTraceWithExplicitUnifiedRoles is the refactor
+// guard: the same consolidation script, run through a scheduler whose
+// GPUs carry explicit RoleUnified tags (the disaggregation machinery
+// present but off), must reproduce the pre-refactor golden trace
+// byte-identically.
+func TestConsolidateGoldenTraceWithExplicitUnifiedRoles(t *testing.T) {
+	got := strings.Join(consolidateTraceWithRoles(t), "\n") + "\n"
+	want, err := os.ReadFile(filepath.Join("testdata", "consolidate_golden.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		gotLines := strings.Split(got, "\n")
+		wantLines := strings.Split(string(want), "\n")
+		for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
+			if gotLines[i] != wantLines[i] {
+				t.Fatalf("unified-role divergence from pre-refactor golden at line %d:\n  got:  %s\n  want: %s",
+					i+1, gotLines[i], wantLines[i])
+			}
+		}
+		t.Fatalf("golden length mismatch: got %d lines, want %d", len(gotLines), len(wantLines))
+	}
+}

@@ -59,6 +59,12 @@ type Crasher interface {
 type GPU struct {
 	UUID   string
 	Engine Worker
+	// Role is the worker's disaggregation role. It mirrors the
+	// authoritative core.Snapshot.Role so pool scans (which GPUs form
+	// the decode pool?) cost no snapshot fetch; constructors set it from
+	// the engine config, and the zero value (RoleUnified) preserves the
+	// paper's single-pool behaviour exactly.
+	Role core.Role
 }
 
 // Scheduler holds the global view of all GPUs (§5.1: "Punica scheduler
@@ -96,6 +102,18 @@ type Stats struct {
 	// requests re-admitted through Requeue after losing their GPU.
 	GPUFailures int64
 	Recovered   int64
+	// KVMigrations counts prefill→decode handoffs that landed on a
+	// decode GPU via ExportKV/ImportKV; KVMigratedBytes the KvCache
+	// payload they carried. KVMigrationFallbacks counts handoffs that
+	// found no decode room and fell back (re-import on the source, or
+	// FCFS requeue with recompute as the last resort).
+	KVMigrations         int64
+	KVMigratedBytes      int64
+	KVMigrationFallbacks int64
+	// AdapterPrefetches counts decode-target adapter loads started while
+	// the request's prefill was still running (the CaraServe-style
+	// cold-start overlap).
+	AdapterPrefetches int64
 }
 
 // New builds a scheduler over the given GPUs with the paper's §5.1
@@ -217,11 +235,14 @@ func (s *Scheduler) lightThreshold(snap *core.Snapshot) int {
 
 // candidates snapshots each GPU once, keeps those that satisfy both
 // §5.1 admission constraints for r, and asks the policy to order them
-// best-first. exclude (when non-nil) is skipped.
+// best-first. exclude (when non-nil) is skipped, as are decode-pool
+// GPUs — their snapshots would refuse CanAdmit anyway, and skipping
+// them up front saves one state fetch per decode GPU per placement
+// (an HTTP round-trip each for remote workers).
 func (s *Scheduler) candidates(r *core.Request, exclude *GPU) []Candidate {
 	var fit []Candidate
 	for _, g := range s.gpus {
-		if g == exclude {
+		if g == exclude || g.Role == core.RoleDecode {
 			continue
 		}
 		snap := g.Engine.Snapshot()
@@ -279,6 +300,10 @@ func (s *Scheduler) Dispatch(r *core.Request, now time.Duration) (*GPU, error) {
 		s.stats.Queued++
 		return nil, nil
 	}
+	// Disaggregated fleets overlap the decode-side adapter load with the
+	// prefill now starting: warm the intended decode target. No-op (no
+	// decode pool) on unified fleets.
+	s.prefetchDecodeAdapter(r, g, now)
 	return g, nil
 }
 
@@ -369,6 +394,13 @@ func (s *Scheduler) Consolidate(now time.Duration) int {
 	}
 	s.policy.RankSources(sources)
 	for _, src := range sources {
+		if src.GPU.Role == core.RoleDecode {
+			// Decode-pool GPUs never drain through the cancel-and-
+			// recompute path: their residents carry migrated KvCache
+			// whose prefill ran elsewhere, and recomputing it would
+			// reintroduce the work disaggregation moved off this pool.
+			continue
+		}
 		srcSnap := src.Snap
 		ws := srcSnap.WorkingSet
 		if ws == 0 || ws >= s.lightThreshold(srcSnap) {

@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"punica/internal/core"
+	"punica/internal/hw"
+	"punica/internal/models"
+)
+
+// TestDisaggregatedServerStreams serves a request through a split
+// in-process fleet: prefill on the prefill pool, mid-generation KV
+// migration, decode completion on the decode pool — with the user's
+// token stream delivering every index exactly once.
+func TestDisaggregatedServerStreams(t *testing.T) {
+	s := New(Config{
+		PrefillGPUs: 1,
+		DecodeGPUs:  1,
+		Engine: core.Config{
+			System: core.PunicaSystem(),
+			GPU:    hw.A100(),
+			Model:  models.Llama2_7B(),
+			Rank:   models.DefaultLoRARank,
+		},
+		Speedup: 2000,
+	})
+	defer s.Close()
+
+	id, ch, err := s.Submit(5, 256, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []core.Token
+	timeout := time.After(10 * time.Second)
+	for {
+		select {
+		case tok, open := <-ch:
+			if !open {
+				if len(got) != 32 {
+					t.Fatalf("stream closed after %d/32 tokens", len(got))
+				}
+				for i, tk := range got {
+					if tk.Index != i {
+						t.Fatalf("token %d has index %d — duplicate or gap across migration", i, tk.Index)
+					}
+				}
+				st := s.Snapshot()
+				if st.KVMigrations != 1 {
+					t.Fatalf("kv migrations = %d, want 1", st.KVMigrations)
+				}
+				if len(st.GPUs) != 2 || st.GPUs[0].Role != "prefill" || st.GPUs[1].Role != "decode" {
+					t.Fatalf("roles = %v / %v", st.GPUs[0].Role, st.GPUs[1].Role)
+				}
+				return
+			}
+			got = append(got, tok)
+		case <-timeout:
+			t.Fatalf("timed out with %d tokens (request %d)", len(got), id)
+		}
+	}
+}
+
+// TestDisaggregatedServerSurvivesDecodeFailure kills the only decode
+// GPU mid-run: the lost request re-enters through the prefill pool's
+// recompute path and the stream still completes.
+func TestDisaggregatedServerSurvivesDecodeFailure(t *testing.T) {
+	s := New(Config{
+		PrefillGPUs: 1,
+		DecodeGPUs:  1,
+		Engine: core.Config{
+			System: core.PunicaSystem(),
+			GPU:    hw.A100(),
+			Model:  models.Llama2_7B(),
+			Rank:   models.DefaultLoRARank,
+		},
+		Speedup: 500,
+	})
+	defer s.Close()
+
+	_, ch, err := s.Submit(2, 128, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the prefill hand off, then kill the decode GPU.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Snapshot().KVMigrations == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no migration happened")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !s.FailGPU("gpu-01") {
+		t.Fatal("FailGPU found no decode GPU")
+	}
+	var got []core.Token
+	timeout := time.After(15 * time.Second)
+	for {
+		select {
+		case tok, open := <-ch:
+			if !open {
+				if len(got) == 0 || !got[len(got)-1].EOS {
+					t.Fatalf("stream ended without EOS after %d tokens", len(got))
+				}
+				return
+			}
+			got = append(got, tok)
+		case <-timeout:
+			t.Fatalf("timed out with %d tokens after decode failure", len(got))
+		}
+	}
+}

@@ -33,6 +33,14 @@ type Config struct {
 	// Policy selects the placement policy by name ("" or "paper",
 	// "affinity", "rank" — see internal/sched).
 	Policy string
+
+	// PrefillGPUs/DecodeGPUs, when both > 0, disaggregate the server:
+	// the fleet splits into a prefill pool (admits new requests) and a
+	// decode pool (receives finished prefills by KV migration), and
+	// NumGPUs is derived as their sum. Zero values keep the unified
+	// paper deployment.
+	PrefillGPUs int
+	DecodeGPUs  int
 }
 
 // Server runs the scheduler and GPU drivers and routes token streams.
@@ -54,8 +62,15 @@ type Server struct {
 	recovered int64
 }
 
-// New builds and starts a server: one driver goroutine per GPU.
+// New builds and starts a server: one driver goroutine per GPU. With
+// PrefillGPUs/DecodeGPUs set, the first engines form the prefill pool
+// and the rest the decode pool; finished prefills migrate between them
+// at step boundaries by moving their KvCache.
 func New(cfg Config) *Server {
+	disagg := cfg.PrefillGPUs > 0 && cfg.DecodeGPUs > 0
+	if disagg {
+		cfg.NumGPUs = cfg.PrefillGPUs + cfg.DecodeGPUs
+	}
 	if cfg.NumGPUs <= 0 {
 		cfg.NumGPUs = 1
 	}
@@ -73,8 +88,15 @@ func New(cfg Config) *Server {
 		ec := cfg.Engine
 		ec.OnToken = s.onToken
 		ec.OnFinish = s.onFinish
+		if disagg {
+			if i < cfg.PrefillGPUs {
+				ec.Role = core.RolePrefill
+			} else {
+				ec.Role = core.RoleDecode
+			}
+		}
 		eng := core.NewEngine(ec)
-		g := &sched.GPU{UUID: fmt.Sprintf("gpu-%02d", i), Engine: eng}
+		g := &sched.GPU{UUID: fmt.Sprintf("gpu-%02d", i), Engine: eng, Role: ec.Role}
 		s.engines[g] = eng
 		s.gpus = append(s.gpus, g)
 	}
@@ -213,6 +235,7 @@ func (s *Server) Cancel(id int64) bool {
 // GPUState is one runner's snapshot for the stats endpoint.
 type GPUState struct {
 	UUID         string `json:"uuid"`
+	Role         string `json:"role"`
 	WorkingSet   int    `json:"working_set"`
 	ActiveBatch  int    `json:"active_batch"`
 	FreeKVPages  int    `json:"free_kv_pages"`
@@ -234,6 +257,11 @@ type Stats struct {
 	// off dead GPUs.
 	GPUFailures int64 `json:"gpu_failures"`
 	Recovered   int64 `json:"recovered_requests"`
+	// KVMigrations counts prefill→decode KvCache handoffs;
+	// AdapterPrefetches the decode-target warm-ups overlapped with
+	// prefill (both zero in unified mode).
+	KVMigrations      int64 `json:"kv_migrations"`
+	AdapterPrefetches int64 `json:"adapter_prefetches"`
 }
 
 // Snapshot returns the current cluster state.
@@ -241,19 +269,22 @@ func (s *Server) Snapshot() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Stats{
-		QueueLen:    s.sch.QueueLen(),
-		Streams:     len(s.streams),
-		SimTime:     s.simNow().Seconds(),
-		NeedMore:    s.sch.NeedMoreGPUs(),
-		Releasable:  len(s.sch.ReleasableGPUs()),
-		GPUFailures: s.failures,
-		Recovered:   s.recovered,
+		QueueLen:          s.sch.QueueLen(),
+		Streams:           len(s.streams),
+		SimTime:           s.simNow().Seconds(),
+		NeedMore:          s.sch.NeedMoreGPUs(),
+		Releasable:        len(s.sch.ReleasableGPUs()),
+		GPUFailures:       s.failures,
+		Recovered:         s.recovered,
+		KVMigrations:      s.sch.Stats().KVMigrations,
+		AdapterPrefetches: s.sch.Stats().AdapterPrefetches,
 	}
 	for _, g := range s.gpus {
 		eng := s.engines[g]
 		es := eng.Stats()
 		gs := GPUState{
 			UUID:         g.UUID,
+			Role:         g.Role.String(),
 			WorkingSet:   eng.WorkingSet(),
 			ActiveBatch:  eng.ActiveBatch(),
 			FreeKVPages:  eng.KV().FreePages(),
@@ -310,6 +341,15 @@ func (s *Server) drive(g *sched.GPU) {
 			}
 			s.sleepLocked(s.wallDelay(wake - now))
 			continue
+		}
+		if g.Role == core.RolePrefill {
+			// Step boundary on the prefill pool: hand finished prefills
+			// to the decode pool (KvCache moved, not recomputed). The
+			// in-process token streams carry over untouched — indices
+			// simply continue on the new engine.
+			if dsts, err := s.sch.MigratePrefilled(g, s.simNow()); err == nil && len(dsts) > 0 {
+				s.cond.Broadcast()
+			}
 		}
 		if len(res.Finished) > 0 || len(res.Evicted) > 0 {
 			if _, err := s.sch.DrainQueue(s.simNow()); err == nil {
