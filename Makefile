@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fmt check bench shuffle fuzz
+.PHONY: all build test race vet lint fmt check bench experiments scale shuffle fuzz
 
 all: check
 
@@ -49,5 +49,18 @@ fmt:
 # check is the tier-1 gate: formatting, static checks, build, tests.
 check: fmt vet build test
 
+# bench runs every Go benchmark once with allocation reporting — the
+# hot-path smoke CI runs (the AllocsPerRun guards in the test suite are
+# the hard gate; this surfaces ns/op and B/op trends).
 bench:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x -benchmem ./...
+
+# experiments regenerates every paper table/figure as text.
+experiments:
 	$(GO) run ./cmd/punica-bench all
+
+# scale runs the control-plane scale sweep (DESIGN.md §9) at the CI
+# slice; the full grid (up to 256 GPUs x 1M requests) is
+# `go run ./cmd/punica-bench scale`.
+scale:
+	$(GO) run ./cmd/punica-bench -scale-gpus 16,64,256 -scale-requests 100000 scale

@@ -8,7 +8,7 @@
 // Experiments: fig1 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 headline
 // loading ablation-norm ablation-maxbatch ablation-pagesize
 // ablation-prefill ablation-migration ablation-quant autoscale policies
-// faults disagg all
+// faults disagg scale all
 package main
 
 import (
@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"punica/internal/experiments"
@@ -30,8 +32,11 @@ var (
 	gpusFlag  = flag.Int("gpus", 16, "GPUs for fig13")
 	peakFlag  = flag.Float64("peak", 11, "peak request rate (req/s) for fig13")
 	hourFlag  = flag.Bool("full-hour", false, "run fig13 at the paper's full one-hour horizon")
-	csvFlag   = flag.String("csv", "", "also write the figure's data as CSV to this file (fig1,7,8,9,10,11,12,13)")
-	jsonFlag  = flag.String("json", "", "write machine-readable results to this JSON file (fig11,fig12,fig13,policies,faults,disagg)")
+	csvFlag   = flag.String("csv", "", "also write the figure's data as CSV to this file (fig1,7,8,9,10,11,12,13,scale)")
+	jsonFlag  = flag.String("json", "", "write machine-readable results to this JSON file (fig11,fig12,fig13,policies,faults,disagg,scale)")
+
+	scaleGPUs = flag.String("scale-gpus", "", "comma-separated GPU counts for the scale sweep (default 16,64,256)")
+	scaleReqs = flag.String("scale-requests", "", "comma-separated request counts for the scale sweep (default 10000,100000,1000000)")
 )
 
 // benchRecords accumulates -json output across the experiments run.
@@ -276,6 +281,30 @@ func run(name string) error {
 		}); err != nil {
 			return err
 		}
+	case "scale":
+		o := experiments.DefaultScaleOptions()
+		o.Seed = *seedFlag
+		if gpus, err := parseIntList(*scaleGPUs); err != nil {
+			return fmt.Errorf("-scale-gpus: %w", err)
+		} else if len(gpus) > 0 {
+			o.GPUs = gpus
+		}
+		if reqs, err := parseIntList(*scaleReqs); err != nil {
+			return fmt.Errorf("-scale-requests: %w", err)
+		} else if len(reqs) > 0 {
+			o.Requests = reqs
+		}
+		points, err := experiments.Scale(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatScale(points))
+		benchRecords = append(benchRecords, experiments.ScaleRecords(points)...)
+		if err := writeCSV(func(w io.Writer) error {
+			return experiments.ScaleCSV(w, points)
+		}); err != nil {
+			return err
+		}
 	case "ablation-migration":
 		o := fig13Options()
 		if !*hourFlag {
@@ -292,6 +321,25 @@ func run(name string) error {
 		return fmt.Errorf("unknown experiment %q", name)
 	}
 	return nil
+}
+
+// parseIntList parses a comma-separated list of positive ints ("" → nil).
+func parseIntList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("count must be positive, got %d", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func fig13Options() experiments.Fig13Options {
@@ -312,6 +360,7 @@ func a100() hw.GPUSpec { return hw.A100() }
 func usage() {
 	fmt.Fprintf(os.Stderr, "usage: punica-bench [flags] <experiment>\nexperiments: %v\n",
 		allExperiments)
+	fmt.Fprintf(os.Stderr, "plus: scale (control-plane scale sweep; excluded from 'all' — the full grid runs 1M-request traces)\n")
 	flag.PrintDefaults()
 }
 

@@ -295,9 +295,6 @@ func (c *Cluster) Run(reqs []workload.Request) (*Result, error) {
 			if g != nil {
 				c.runnerOf(g).kick()
 			}
-			if c.sched.QueueLen() > c.res.QueuePeak {
-				c.res.QueuePeak = c.sched.QueueLen()
-			}
 		})
 	}
 	if c.cfg.MigrationInterval > 0 {
@@ -345,6 +342,10 @@ func (c *Cluster) Run(reqs []workload.Request) (*Result, error) {
 	}
 	c.res.PrefillUtil = mean(prefillBusy)
 	c.res.DecodeUtil = mean(decodeBusy)
+	// The scheduler observes every queue-growth site — arrival overflow,
+	// eviction reschedules, fault-recovery requeues, migration fallbacks
+	// — where the old arrival-closure sampling missed requeue spikes.
+	c.res.QueuePeak = c.sched.QueuePeak()
 	c.res.Migrations = c.sched.Stats().Migrations
 	c.res.AdapterStalls = c.sched.Stats().AdapterStalls
 	c.res.KVMigrations = c.sched.Stats().KVMigrations
@@ -424,8 +425,16 @@ func (r *runner) kick() {
 		return // stallGPU scheduled a kick at stall end
 	}
 	res := e.Step(now)
-	r.handleEvicted(res.Evicted)
 	if res.Idle {
+		// An idle step can still evict (KV pressure can drain the whole
+		// batch): handleEvicted copies the scratch-backed slice before
+		// dispatching, and a reschedule cascade may have already started
+		// this GPU's next step — in which case the in-flight invocation
+		// owns the engine and this frame must not touch it further.
+		r.handleEvicted(res.Evicted)
+		if r.stepInFlight {
+			return
+		}
 		if wake, ok := e.EarliestPendingReady(); ok && wake > now {
 			if !r.wakeScheduled {
 				r.wakeScheduled = true
@@ -441,7 +450,14 @@ func (r *runner) kick() {
 		}
 		return
 	}
+	// Mark the step in flight BEFORE rescheduling evictions: a reschedule
+	// can cascade through other runners' steps and land new work back on
+	// this GPU, and the cascaded kick must not re-enter Step while
+	// res.Evicted — which aliases this engine's reusable scratch — is
+	// still being iterated. The in-flight flag makes the cascaded kick a
+	// no-op; complete() kicks again when this invocation ends.
 	r.stepInFlight = true
+	r.handleEvicted(res.Evicted)
 	r.cluster.res.BatchSeries[r.index].Add(now, float64(res.BatchSize))
 	r.cluster.clock.Schedule(res.EndsAt, func() { r.complete(res) })
 }
@@ -513,6 +529,15 @@ func (r *runner) complete(res core.StepResult) {
 }
 
 func (r *runner) handleEvicted(evicted []*core.Request) {
+	if len(evicted) == 0 {
+		return
+	}
+	// The slice aliases the engine's reusable eviction scratch, and
+	// rescheduling can cascade through other runners' steps back into a
+	// Step on this engine (which rewrites that scratch). Dispatch from a
+	// private copy; evictions are rare, so the allocation is off the hot
+	// path.
+	evicted = append([]*core.Request(nil), evicted...)
 	c := r.cluster
 	now := c.clock.Now()
 	for _, ev := range evicted {

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"punica/internal/hw"
+	"punica/internal/lora"
+	"punica/internal/models"
+)
+
+// steadyEngine returns an engine running a full 32-request decode batch
+// (8 distinct adapters) whose requests never finish within the test, so
+// every Step is a pure continuous-batching decode invocation.
+func steadyEngine(t testing.TB) (*Engine, time.Duration) {
+	t.Helper()
+	eng := NewEngine(Config{
+		System: PunicaSystem(),
+		GPU:    hw.A100(),
+		Model:  models.Llama2_7B(),
+		Rank:   models.DefaultLoRARank,
+	})
+	now := time.Duration(0)
+	for i := int64(1); i <= 32; i++ {
+		if err := eng.Enqueue(&Request{
+			ID:        i,
+			Model:     lora.ModelID(i % 8),
+			PromptLen: 64,
+			OutputLen: 1 << 20, // never finishes during the measurement
+			Arrival:   0,
+		}, now); err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+	}
+	// Warm up: let adapter loads complete, prefill every request, and
+	// grow the step scratch buffers to steady-state capacity.
+	for i := 0; i < 64; i++ {
+		res := eng.Step(now)
+		if res.Idle {
+			at, ok := eng.EarliestPendingReady()
+			if !ok {
+				t.Fatal("engine idle with no wake time")
+			}
+			now = at
+			continue
+		}
+		now = res.EndsAt
+	}
+	return eng, now
+}
+
+// TestStepZeroAlloc guards the zero-alloc stepping work: a steady-state
+// continuous-batching decode step — batch assembly, SGMV segment
+// grouping, cost-model invocation, KvCache growth — must not allocate.
+// Invocation buffers, segment bounds and StepResult slices all live in
+// engine-owned scratch; regaining a per-step allocation fails this.
+func TestStepZeroAlloc(t *testing.T) {
+	eng, now := steadyEngine(t)
+	allocs := testing.AllocsPerRun(200, func() {
+		res := eng.Step(now)
+		if res.Idle {
+			t.Fatal("unexpected idle step")
+		}
+		now = res.EndsAt
+	})
+	if allocs != 0 {
+		t.Fatalf("Engine.Step allocated %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestStepResultBufferContract pins the documented aliasing contract:
+// StepResult.Finished remains intact until the next Step, and retired
+// requests appear there exactly once.
+func TestStepResultBufferContract(t *testing.T) {
+	eng := NewEngine(Config{
+		System: PunicaSystem(),
+		GPU:    hw.A100(),
+		Model:  models.Llama2_7B(),
+		Rank:   models.DefaultLoRARank,
+	})
+	now := time.Duration(0)
+	for i := int64(1); i <= 4; i++ {
+		if err := eng.Enqueue(&Request{
+			ID: i, Model: lora.ModelID(i), PromptLen: 8, OutputLen: 2, Arrival: 0,
+		}, now); err != nil {
+			t.Fatalf("enqueue: %v", err)
+		}
+	}
+	var finished []int64
+	for eng.Busy() {
+		res := eng.Step(now)
+		if res.Idle {
+			at, ok := eng.EarliestPendingReady()
+			if !ok {
+				t.Fatal("stuck")
+			}
+			now = at
+			continue
+		}
+		for _, f := range res.Finished {
+			finished = append(finished, f.ID)
+		}
+		now = res.EndsAt
+	}
+	if len(finished) != 4 {
+		t.Fatalf("finished %v, want all 4 requests exactly once", finished)
+	}
+	seen := map[int64]bool{}
+	for _, id := range finished {
+		if seen[id] {
+			t.Fatalf("request %d finished twice: %v", id, finished)
+		}
+		seen[id] = true
+	}
+}
+
+// BenchmarkSteadyDecodeStep measures the steady-state decode step.
+func BenchmarkSteadyDecodeStep(b *testing.B) {
+	eng, now := steadyEngine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := eng.Step(now)
+		now = res.EndsAt
+	}
+}

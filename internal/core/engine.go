@@ -37,6 +37,29 @@ type Engine struct {
 
 	reservedPages int // pages promised to pending requests
 
+	// version counts every externally visible mutation (admission, KV,
+	// adapter store, stepping). Schedulers cache a Snapshot per engine
+	// and revalidate it against StateVersion instead of rebuilding per
+	// decision; the counter therefore bumps conservatively — any call
+	// that could change snapshot-visible state increments it, even on
+	// failure paths (a failed Enqueue may still have evicted adapters
+	// while making room). Over-bumping costs a cache refresh;
+	// under-bumping would serve stale scheduling state.
+	version uint64
+
+	// Step scratch, reused across calls so steady-state stepping is
+	// allocation-free. StepResult.Finished/Evicted alias finishedScratch/
+	// evictedScratch and are valid until the next Step on this engine.
+	prefillScratch  []*Request
+	decodeScratch   []*Request
+	finishedScratch []*Request
+	evictedScratch  []*Request
+	prefillLens     []int
+	decodeCtxs      []int
+	segModels       []lora.ModelID
+	segCounts       []int
+	segBounds       []int
+
 	stats Stats
 }
 
@@ -135,6 +158,11 @@ func (e *Engine) Store() *lora.Store { return e.store }
 // Stats returns a snapshot of accumulated counters.
 func (e *Engine) Stats() Stats { return e.stats }
 
+// StateVersion returns the engine's monotonic mutation counter. Equal
+// versions guarantee an identical Snapshot; schedulers use it to
+// revalidate cached snapshots without rebuilding them.
+func (e *Engine) StateVersion() uint64 { return e.version }
+
 // PrefetchAdapter starts loading an adapter without pinning it — the
 // disaggregation router's warm-up hint for a request's intended decode
 // target while its prefill runs elsewhere. Best-effort: false when the
@@ -143,6 +171,7 @@ func (e *Engine) PrefetchAdapter(id lora.ModelID, now time.Duration) bool {
 	if e.store == nil {
 		return false
 	}
+	e.version++
 	_, ok := e.store.Prefetch(id, now)
 	return ok
 }
@@ -163,6 +192,7 @@ func (e *Engine) MaxBatch() int { return e.cfg.System.MaxBatch }
 // issuing per-GPU WorkingSet/CanAdmit call pairs.
 func (e *Engine) Snapshot() Snapshot {
 	s := Snapshot{
+		Version:      e.version,
 		Role:         e.cfg.Role,
 		WorkingSet:   e.WorkingSet(),
 		ActiveBatch:  len(e.active),
@@ -233,6 +263,7 @@ func (e *Engine) Enqueue(r *Request, now time.Duration) error {
 	if !e.cfg.Role.AcceptsNew() {
 		return ErrRoleMismatch
 	}
+	e.version++
 	if e.kv.PagesFor(e.kvNeed(r)) > e.kv.TotalPages() {
 		return fmt.Errorf("core: request %d needs %d tokens of KvCache, exceeding pool capacity",
 			r.ID, e.kvNeed(r))
@@ -274,6 +305,7 @@ func (e *Engine) insertPending(r *Request) {
 // returns nil if the request is not resident. Cancellation is the
 // migration primitive (§5.3).
 func (e *Engine) Cancel(id int64, now time.Duration) *Request {
+	e.version++
 	for i, r := range e.pending {
 		if r.ID == id {
 			e.pending = append(e.pending[:i], e.pending[i+1:]...)
@@ -332,6 +364,7 @@ func (e *Engine) releaseAdapter(r *Request) {
 // principle serve again, but a crashed GPU's driver normally abandons
 // it; replacements start from a fresh engine with a cold adapter store.
 func (e *Engine) Crash(now time.Duration) (lost []*Request, lostKVTokens int) {
+	e.version++
 	for _, r := range e.pending {
 		if e.kv.Has(kvcache.SeqID(r.ID)) {
 			// Imported mid-migration: the KvCache it carried is lost and
@@ -458,10 +491,10 @@ func (e *Engine) admit(now time.Duration) {
 // which takes a fresh page at page boundaries. Returns the evicted
 // requests.
 func (e *Engine) ensureDecodeCapacity(now time.Duration) []*Request {
+	evicted := e.evictedScratch[:0]
 	if !e.cfg.System.PagedKV {
-		return nil // contiguous systems reserved the worst case up front
+		return evicted // contiguous systems reserved the worst case up front
 	}
-	var evicted []*Request
 	for {
 		need := 0
 		prefills := 0
@@ -495,11 +528,18 @@ func (e *Engine) ensureDecodeCapacity(now time.Duration) []*Request {
 // It admits eligible queued requests, assembles the mixed prefill/decode
 // batch with SGMV segment grouping, charges the invocation latency, and
 // applies all effects (token emission, KvCache growth, completion).
+//
+// The returned StepResult's Finished and Evicted slices alias buffers
+// the engine reuses: they are valid until the next call to Step. Every
+// existing driver (cluster runner, HTTP runner, serve loop) consumes
+// them before stepping the same engine again.
 func (e *Engine) Step(now time.Duration) StepResult {
+	e.version++
 	e.admit(now)
 	evicted := e.ensureDecodeCapacity(now)
+	e.evictedScratch = evicted
 
-	var prefills, decodes []*Request
+	prefills, decodes := e.prefillScratch[:0], e.decodeScratch[:0]
 	for _, r := range e.active {
 		switch {
 		case !r.prefilled:
@@ -512,6 +552,7 @@ func (e *Engine) Step(now time.Duration) StepResult {
 			decodes = append(decodes, r) // wasted slot in a static batch
 		}
 	}
+	e.prefillScratch, e.decodeScratch = prefills, decodes
 	if len(prefills) == 0 && len(decodes) == 0 {
 		return StepResult{Idle: true, Evicted: evicted}
 	}
@@ -526,6 +567,7 @@ func (e *Engine) Step(now time.Duration) StepResult {
 		BatchSize:       len(prefills) + len(decodes),
 		PrefillRequests: len(prefills),
 		Evicted:         evicted,
+		Finished:        e.finishedScratch[:0],
 	}
 
 	for _, r := range prefills {
@@ -541,6 +583,7 @@ func (e *Engine) Step(now time.Duration) StepResult {
 		e.produceToken(r, end, &res)
 	}
 	e.finishStep(end, &res)
+	e.finishedScratch = res.Finished // adopt any growth for reuse
 
 	e.stats.Steps++
 	e.stats.BusyTime += latency
@@ -553,31 +596,35 @@ func (e *Engine) Step(now time.Duration) StepResult {
 // buildInvocation assembles the layer-model view of the batch: prefill
 // requests first, then decodes, with tokens grouped by LoRA model into
 // SGMV segments ("The tail of Prefill requests and the head of Decode
-// requests can share a LoRA model if possible", §6).
+// requests can share a LoRA model if possible", §6). Every intermediate
+// lives in engine-owned scratch (segment accumulation is a linear scan —
+// a batch holds at most MaxBatch distinct models), so assembling an
+// invocation allocates nothing in steady state; the invocation is
+// consumed by the cost model within Step and never retained.
 func (e *Engine) buildInvocation(prefills, decodes []*Request) layer.Invocation {
 	inv := layer.Invocation{LoRARank: e.cfg.Rank}
+	prefillLens, decodeCtxs := e.prefillLens[:0], e.decodeCtxs[:0]
 	for _, r := range prefills {
-		inv.PrefillLens = append(inv.PrefillLens, r.ContextLen())
+		prefillLens = append(prefillLens, r.ContextLen())
 	}
 	for _, r := range decodes {
-		inv.DecodeContexts = append(inv.DecodeContexts, r.ContextLen())
+		decodeCtxs = append(decodeCtxs, r.ContextLen())
 	}
+	e.prefillLens, e.decodeCtxs = prefillLens, decodeCtxs
+	inv.PrefillLens, inv.DecodeContexts = prefillLens, decodeCtxs
 	if e.cfg.System.LoRA == LoRANone {
 		return inv
 	}
-	type seg struct {
-		model lora.ModelID
-		count int
-	}
-	var segs []seg
-	index := make(map[lora.ModelID]int)
+	segModels, segCounts := e.segModels[:0], e.segCounts[:0]
 	addTokens := func(m lora.ModelID, n int) {
-		if i, ok := index[m]; ok {
-			segs[i].count += n
-			return
+		for i, id := range segModels {
+			if id == m {
+				segCounts[i] += n
+				return
+			}
 		}
-		index[m] = len(segs)
-		segs = append(segs, seg{model: m, count: n})
+		segModels = append(segModels, m)
+		segCounts = append(segCounts, n)
 	}
 	for _, r := range prefills {
 		addTokens(r.Model, r.ContextLen())
@@ -585,11 +632,10 @@ func (e *Engine) buildInvocation(prefills, decodes []*Request) layer.Invocation 
 	for _, r := range decodes {
 		addTokens(r.Model, 1)
 	}
-	sizes := make([]int, len(segs))
+	e.segModels, e.segCounts = segModels, segCounts
 	maxRank := 0
-	for i, s := range segs {
-		sizes[i] = s.count
-		if r := e.reg.Ensure(s.model).Rank; r > maxRank {
+	for _, m := range segModels {
+		if r := e.reg.Ensure(m).Rank; r > maxRank {
 			maxRank = r
 		}
 	}
@@ -599,7 +645,12 @@ func (e *Engine) buildInvocation(prefills, decodes []*Request) layer.Invocation 
 	if maxRank > 0 {
 		inv.LoRARank = maxRank
 	}
-	inv.LoRASegments = sgmv.NewSegments(sizes...)
+	bounds := append(e.segBounds[:0], 0)
+	for _, n := range segCounts {
+		bounds = append(bounds, bounds[len(bounds)-1]+n)
+	}
+	e.segBounds = bounds
+	inv.LoRASegments = sgmv.SegmentsOver(bounds)
 	return inv
 }
 

@@ -33,6 +33,7 @@ func (h KVHandle) TransferTime(link hw.Link) time.Duration {
 // prefilled, unfinished requests export; exporting anything else is an
 // error and changes nothing.
 func (e *Engine) ExportKV(id int64, now time.Duration) (KVHandle, error) {
+	e.version++
 	seq := kvcache.SeqID(id)
 	detach := func(r *Request) (KVHandle, error) {
 		if !r.prefilled || r.done {
@@ -84,6 +85,7 @@ func (e *Engine) ExportKV(id int64, now time.Duration) (KVHandle, error) {
 // destination or fall back to the recompute path. Any role accepts
 // imports; role restrictions apply to the Enqueue path only.
 func (e *Engine) ImportKV(h KVHandle, now time.Duration) error {
+	e.version++
 	r := h.Request
 	if r == nil {
 		return fmt.Errorf("core: import of empty KV handle")

@@ -11,6 +11,11 @@ import "punica/internal/lora"
 // WorkingSet/CanAdmit call pairs the scheduler used to issue — for
 // remote workers each of those was a separate HTTP round-trip.
 type Snapshot struct {
+	// Version is the worker's mutation counter at snapshot time (see
+	// Engine.StateVersion): equal versions guarantee an identical
+	// snapshot, which is what makes scheduler-side caching sound.
+	Version uint64
+
 	// Role is the worker's disaggregation role; schedulers route new
 	// (prefill-needing) requests only to workers whose role accepts
 	// them, and KV migrations only to the decode pool.

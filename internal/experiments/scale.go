@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"time"
+
+	"punica/internal/cluster"
+	"punica/internal/core"
+	"punica/internal/dist"
+	"punica/internal/hw"
+	"punica/internal/models"
+	"punica/internal/workload"
+)
+
+// ScaleOptions parameterises the control-plane scale harness: a sweep of
+// fleet sizes × trace lengths measuring the simulator's own cost — wall
+// clock, events per second, allocations per event — rather than any
+// serving metric. The motivation is CaraServe's observation that
+// CPU-side scheduling only wins if the control plane is cheap: this
+// harness is the regression meter that keeps it cheap as the codebase
+// grows.
+//
+// Requests are deliberately short (small prompt/output) so the sweep
+// stresses scheduling, admission, event dispatch and metrics — the
+// per-request fixed costs — instead of simulated token arithmetic.
+type ScaleOptions struct {
+	// GPUs and Requests define the sweep grid (every pair runs).
+	GPUs     []int
+	Requests []int
+	// Kind is the adapter-popularity distribution (Skewed by default —
+	// the paper's hardest placement case).
+	Kind dist.Kind
+	Seed int64
+
+	// PromptLen/OutputLen fix each request's shape (defaults 32/8).
+	PromptLen int
+	OutputLen int
+	// RatePerGPU is the Poisson arrival rate per fleet GPU (req/s);
+	// total rate scales with the fleet so every cell operates near the
+	// same per-GPU load.
+	RatePerGPU float64
+	// MaxBatch caps the invocation batch (§5.1 default 32).
+	MaxBatch int
+}
+
+// DefaultScaleOptions returns the standard grid: 16→256 GPUs crossed
+// with 10k→1M requests. The full grid is minutes of wall time on a
+// laptop after the hot-path work this harness exists to guard; use
+// punica-bench -scale-gpus/-scale-requests to run single cells.
+func DefaultScaleOptions() ScaleOptions {
+	return ScaleOptions{
+		GPUs:       []int{16, 64, 256},
+		Requests:   []int{10_000, 100_000, 1_000_000},
+		Kind:       dist.Skewed,
+		Seed:       42,
+		PromptLen:  32,
+		OutputLen:  8,
+		RatePerGPU: 25,
+		MaxBatch:   core.DefaultMaxBatch,
+	}
+}
+
+func (o ScaleOptions) withDefaults() ScaleOptions {
+	d := DefaultScaleOptions()
+	if len(o.GPUs) == 0 {
+		o.GPUs = d.GPUs
+	}
+	if len(o.Requests) == 0 {
+		o.Requests = d.Requests
+	}
+	if o.PromptLen <= 0 {
+		o.PromptLen = d.PromptLen
+	}
+	if o.OutputLen <= 0 {
+		o.OutputLen = d.OutputLen
+	}
+	if o.RatePerGPU <= 0 {
+		o.RatePerGPU = d.RatePerGPU
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = d.MaxBatch
+	}
+	return o
+}
+
+// ScalePoint is one (GPUs, requests) cell of the sweep.
+type ScalePoint struct {
+	GPUs     int
+	Requests int
+
+	// WallSeconds is real elapsed time for the cluster run (trace
+	// generation excluded); Events the discrete-event count executed;
+	// EventsPerSec their ratio.
+	WallSeconds  float64
+	Events       int64
+	EventsPerSec float64
+
+	// AllocsPerEvent and BytesPerEvent are heap allocations (count and
+	// bytes) per executed event, measured via runtime.MemStats deltas
+	// around the run — the allocation-flatness headline.
+	AllocsPerEvent float64
+	BytesPerEvent  float64
+
+	// Simulated outcomes, to pin that the run did real work.
+	SimMakespan time.Duration
+	Finished    int64
+	Throughput  float64
+	QueuePeak   int
+}
+
+// scaleTrace builds the cell's deterministic short-request trace.
+func (o ScaleOptions) scaleTrace(gpus, n int) []workload.Request {
+	gen := workload.NewGenerator(o.Kind, workload.Constant(o.PromptLen, o.OutputLen), o.Seed)
+	rate := o.RatePerGPU * float64(gpus)
+	horizon := time.Duration(float64(n) / rate * float64(time.Second))
+	return gen.Poisson(func(time.Duration) float64 { return rate }, rate, horizon,
+		dist.NumModels(o.Kind, n))
+}
+
+// ScaleCell runs one cell of the sweep and measures it.
+func ScaleCell(o ScaleOptions, gpus, requests int) (ScalePoint, error) {
+	return scaleCell(o.withDefaults(), gpus, requests)
+}
+
+// scaleCell runs one cell; o must already carry defaults.
+func scaleCell(o ScaleOptions, gpus, requests int) (ScalePoint, error) {
+	sys := core.PunicaSystem()
+	sys.MaxBatch = o.MaxBatch
+	trace := o.scaleTrace(gpus, requests)
+	c := cluster.New(cluster.Config{
+		NumGPUs: gpus,
+		Engine: core.Config{
+			System: sys,
+			GPU:    hw.A100(),
+			Model:  models.Llama2_7B(),
+			Rank:   models.DefaultLoRARank,
+		},
+		MigrationInterval: 10 * time.Second,
+	})
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := c.Run(trace)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return ScalePoint{}, fmt.Errorf("scale %dgpus/%dreqs: %w", gpus, requests, err)
+	}
+
+	events := c.Clock().Executed()
+	p := ScalePoint{
+		GPUs:        gpus,
+		Requests:    requests,
+		WallSeconds: wall.Seconds(),
+		Events:      events,
+		SimMakespan: res.Makespan,
+		Finished:    res.Finished,
+		Throughput:  res.Throughput,
+		QueuePeak:   res.QueuePeak,
+	}
+	if wall > 0 {
+		p.EventsPerSec = float64(events) / wall.Seconds()
+	}
+	if events > 0 {
+		p.AllocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(events)
+		p.BytesPerEvent = float64(after.TotalAlloc-before.TotalAlloc) / float64(events)
+	}
+	// Poisson thinning draws a random count near the nominal cell size;
+	// every drawn request must finish.
+	if p.Finished != int64(len(trace)) {
+		return ScalePoint{}, fmt.Errorf("scale %dgpus/%dreqs: finished %d of %d trace requests",
+			gpus, requests, p.Finished, len(trace))
+	}
+	return p, nil
+}
+
+// Scale runs the full GPUs × requests sweep.
+func Scale(opts ScaleOptions) ([]ScalePoint, error) {
+	o := opts.withDefaults()
+	var points []ScalePoint
+	for _, g := range o.GPUs {
+		for _, n := range o.Requests {
+			p, err := scaleCell(o, g, n)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, p)
+		}
+	}
+	return points, nil
+}
+
+// FormatScale renders the sweep as an aligned table.
+func FormatScale(points []ScalePoint) string {
+	t := newTable("gpus", "requests", "wall", "events", "events/s", "allocs/event", "bytes/event", "sim makespan", "tok/s")
+	for _, p := range points {
+		t.add(
+			strconv.Itoa(p.GPUs),
+			strconv.Itoa(p.Requests),
+			fmt.Sprintf("%.2fs", p.WallSeconds),
+			strconv.FormatInt(p.Events, 10),
+			fmt.Sprintf("%.0f", p.EventsPerSec),
+			fmt.Sprintf("%.1f", p.AllocsPerEvent),
+			fmt.Sprintf("%.0f", p.BytesPerEvent),
+			fmt.Sprintf("%.0fs", p.SimMakespan.Seconds()),
+			fmt.Sprintf("%.0f", p.Throughput))
+	}
+	return "Scale harness — simulator control-plane cost (short-request Skewed trace):\n" + t.String()
+}
+
+// ScaleCSV writes the sweep as CSV.
+func ScaleCSV(out io.Writer, points []ScalePoint) error {
+	w := csv.NewWriter(out)
+	if err := w.Write([]string{"gpus", "requests", "wall_seconds", "events",
+		"events_per_sec", "allocs_per_event", "bytes_per_event",
+		"sim_makespan_s", "finished", "throughput_tok_s", "queue_peak"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if err := w.Write([]string{
+			strconv.Itoa(p.GPUs),
+			strconv.Itoa(p.Requests),
+			fmt.Sprintf("%.3f", p.WallSeconds),
+			strconv.FormatInt(p.Events, 10),
+			fmt.Sprintf("%.0f", p.EventsPerSec),
+			fmt.Sprintf("%.2f", p.AllocsPerEvent),
+			fmt.Sprintf("%.0f", p.BytesPerEvent),
+			fmt.Sprintf("%.1f", p.SimMakespan.Seconds()),
+			strconv.FormatInt(p.Finished, 10),
+			fmt.Sprintf("%.0f", p.Throughput),
+			strconv.Itoa(p.QueuePeak),
+		}); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// ScaleRecords flattens the sweep into bench records, one per cell.
+func ScaleRecords(points []ScalePoint) []BenchRecord {
+	var recs []BenchRecord
+	for _, p := range points {
+		recs = append(recs, BenchRecord{
+			Experiment: "scale",
+			Name:       fmt.Sprintf("%dgpus/%dreqs", p.GPUs, p.Requests),
+			Metrics: map[string]float64{
+				"wall_seconds":     p.WallSeconds,
+				"events":           float64(p.Events),
+				"events_per_sec":   p.EventsPerSec,
+				"allocs_per_event": p.AllocsPerEvent,
+				"bytes_per_event":  p.BytesPerEvent,
+				"sim_makespan_s":   p.SimMakespan.Seconds(),
+				"throughput_tok_s": p.Throughput,
+				"queue_peak":       float64(p.QueuePeak),
+			},
+		})
+	}
+	return recs
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestScaleCellRunsAndMeasures runs one small cell end to end and checks
+// the harness's accounting: events counted, every drawn request finished,
+// and the measurement fields populated.
+func TestScaleCellRunsAndMeasures(t *testing.T) {
+	o := DefaultScaleOptions()
+	o.Seed = 7
+	p, err := ScaleCell(o, 4, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.GPUs != 4 || p.Requests != 2000 {
+		t.Fatalf("cell identity %d/%d", p.GPUs, p.Requests)
+	}
+	if p.Events <= 0 || p.EventsPerSec <= 0 {
+		t.Fatalf("no events measured: %+v", p)
+	}
+	if p.Finished <= 0 || p.Throughput <= 0 || p.SimMakespan <= 0 {
+		t.Fatalf("run did no simulated work: %+v", p)
+	}
+	var csvOut, jsonName strings.Builder
+	if err := ScaleCSV(&csvOut, []ScalePoint{p}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csvOut.String(), "gpus,requests,wall_seconds") {
+		t.Fatalf("csv header: %q", csvOut.String()[:40])
+	}
+	recs := ScaleRecords([]ScalePoint{p})
+	if len(recs) != 1 || recs[0].Experiment != "scale" {
+		t.Fatalf("records: %+v", recs)
+	}
+	jsonName.WriteString(recs[0].Name)
+	if jsonName.String() != "4gpus/2000reqs" {
+		t.Fatalf("record name %q", jsonName.String())
+	}
+	if _, ok := recs[0].Metrics["allocs_per_event"]; !ok {
+		t.Fatal("record missing allocs_per_event")
+	}
+}
+
+// TestScaleDeterministicSimulation pins that the simulated outcome of a
+// cell is independent of wall-clock measurement: two runs of the same
+// cell produce identical event counts and simulated results.
+func TestScaleDeterministicSimulation(t *testing.T) {
+	o := DefaultScaleOptions()
+	o.Seed = 11
+	a, err := ScaleCell(o, 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ScaleCell(o, 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Events != b.Events || a.Finished != b.Finished ||
+		a.SimMakespan != b.SimMakespan || a.Throughput != b.Throughput ||
+		a.QueuePeak != b.QueuePeak {
+		t.Fatalf("nondeterministic cell:\n  a=%+v\n  b=%+v", a, b)
+	}
+}

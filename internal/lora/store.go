@@ -36,6 +36,12 @@ type Store struct {
 	entries map[ModelID]*entry
 	lru     *list.List // front = most recently used
 
+	// adaptersCache is the reusable AdapterState view Adapters returns;
+	// adaptersDirty marks it stale after any mutation. The cache makes
+	// per-decision snapshots copy-free on the (common) no-mutation path.
+	adaptersCache []AdapterState
+	adaptersDirty bool
+
 	// Stats observed since creation.
 	Hits      int64
 	Misses    int64
@@ -77,6 +83,7 @@ func NewStore(reg *Registry, link hw.Link, capacityBytes int64) *Store {
 // time. Acquire fails only when the cache cannot hold the adapter even
 // after evicting every unpinned entry.
 func (s *Store) Acquire(id ModelID, now time.Duration) (time.Duration, error) {
+	s.adaptersDirty = true // LRU order, pin flags or residency change below
 	if e, ok := s.entries[id]; ok {
 		s.Hits++
 		if e.refs == 0 {
@@ -115,6 +122,7 @@ func (s *Store) Acquire(id ModelID, now time.Duration) (time.Duration, error) {
 // backpressure. It returns the time the adapter becomes usable and
 // whether the hint was accepted.
 func (s *Store) Prefetch(id ModelID, now time.Duration) (time.Duration, bool) {
+	s.adaptersDirty = true
 	if e, ok := s.entries[id]; ok {
 		s.lru.MoveToFront(e.elem)
 		if e.readyAt > now {
@@ -161,6 +169,7 @@ func (s *Store) Release(id ModelID) {
 		e.refs--
 		if e.refs == 0 {
 			s.pinned -= e.bytes
+			s.adaptersDirty = true // pin flag flipped
 		}
 	}
 }
@@ -180,13 +189,20 @@ type AdapterState struct {
 }
 
 // Adapters returns the resident adapters, most recently used first —
-// the deterministic view placement policies rank on. The walk follows
-// the LRU list, so a snapshot costs one allocation and no sorting.
+// the deterministic view placement policies rank on. The returned slice
+// is owned by the store and reused: it is valid (and stable) until the
+// next store mutation, after which its contents are rewritten in place.
+// Callers that need the view to outlive further store activity must
+// copy it. On the no-mutation path a call is copy-free — the scheduler's
+// version-cached snapshots hit this constantly.
 func (s *Store) Adapters() []AdapterState {
 	if len(s.entries) == 0 {
 		return nil
 	}
-	out := make([]AdapterState, 0, len(s.entries))
+	if !s.adaptersDirty && s.adaptersCache != nil {
+		return s.adaptersCache
+	}
+	out := s.adaptersCache[:0]
 	for el := s.lru.Front(); el != nil; el = el.Next() {
 		e := el.Value.(*entry)
 		out = append(out, AdapterState{
@@ -196,6 +212,8 @@ func (s *Store) Adapters() []AdapterState {
 			Pinned: e.refs > 0,
 		})
 	}
+	s.adaptersCache = out
+	s.adaptersDirty = false
 	return out
 }
 
@@ -227,6 +245,7 @@ func (s *Store) makeRoom(need int64) error {
 		delete(s.entries, victim.id)
 		s.used -= victim.bytes
 		s.Evictions++
+		s.adaptersDirty = true
 	}
 	return nil
 }

@@ -24,6 +24,14 @@ type Client struct {
 	mu       sync.Mutex
 	maxBatch int
 	lastErr  error
+
+	// Conditional-GET cache for /runner/state: stateETag is the last
+	// ETag seen (the runner's state version) and cachedState the body it
+	// tagged. FetchState revalidates with If-None-Match; a 304 reuses
+	// cachedState without decoding a byte.
+	stateETag   string
+	cachedState State
+	haveState   bool
 }
 
 // NewClient connects to a runner's base URL (e.g. "http://gpu-host:9000").
@@ -133,24 +141,65 @@ func (c *Client) Crash(_ time.Duration) ([]*core.Request, int) {
 	return lost, reply.LostKVTokens
 }
 
-// FetchState retrieves the runner's scheduling snapshot.
+// FetchState retrieves the runner's scheduling snapshot, revalidating
+// the cached copy with If-None-Match: when the runner's state version
+// is unchanged it answers 304 and the cached State is returned without
+// decoding a response body.
 func (c *Client) FetchState() (State, error) {
-	resp, err := c.http.Get(c.base + "/runner/state")
-	if err != nil {
-		c.setErr(err)
-		return State{}, err
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequest(http.MethodGet, c.base+"/runner/state", nil)
+		if err != nil {
+			return State{}, err
+		}
+		c.mu.Lock()
+		if c.haveState && c.stateETag != "" {
+			req.Header.Set("If-None-Match", c.stateETag)
+		}
+		c.mu.Unlock()
+		resp, err := c.http.Do(req)
+		if err != nil {
+			c.setErr(err)
+			return State{}, err
+		}
+		if resp.StatusCode == http.StatusNotModified {
+			resp.Body.Close()
+			c.mu.Lock()
+			st, ok := c.cachedState, c.haveState
+			if !ok {
+				c.stateETag = ""
+			}
+			c.mu.Unlock()
+			if ok {
+				c.setErr(nil)
+				return st, nil
+			}
+			// 304 without a cached body should not happen (we only send
+			// If-None-Match when we hold one). Retry once without the
+			// validator; a server that keeps answering 304 to an
+			// unconditional GET is broken — surface it, don't recurse.
+			if attempt == 0 {
+				continue
+			}
+			err := fmt.Errorf("remote: /runner/state answered 304 to an unconditional GET")
+			c.setErr(err)
+			return State{}, err
+		}
+		var st State
+		decodeErr := json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if decodeErr != nil {
+			c.setErr(decodeErr)
+			return State{}, decodeErr
+		}
+		c.setErr(nil)
+		c.mu.Lock()
+		c.maxBatch = st.MaxBatch
+		c.stateETag = resp.Header.Get("ETag")
+		c.cachedState = st
+		c.haveState = true
+		c.mu.Unlock()
+		return st, nil
 	}
-	defer resp.Body.Close()
-	var st State
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		c.setErr(err)
-		return State{}, err
-	}
-	c.setErr(nil)
-	c.mu.Lock()
-	c.maxBatch = st.MaxBatch
-	c.mu.Unlock()
-	return st, nil
 }
 
 // Snapshot implements sched.Worker with a single GET /runner/state: the

@@ -1,6 +1,9 @@
 package remote
 
 import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -19,6 +22,11 @@ import (
 type Runner struct {
 	uuid    string
 	speedup float64
+	// bootID is a per-process nonce mixed into the /runner/state ETag:
+	// a restarted runner's engine recounts versions from zero, and
+	// without the nonce a client that cached "v42" from the previous
+	// incarnation would get a false 304 when the new engine reaches 42.
+	bootID string
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -38,9 +46,16 @@ func NewRunner(uuid string, cfg core.Config, speedup float64) *Runner {
 	if speedup <= 0 {
 		speedup = 1
 	}
+	var nonce [8]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
+		// Fall back to the clock: uniqueness across restarts is all the
+		// nonce provides, not secrecy.
+		binary.LittleEndian.PutUint64(nonce[:], uint64(time.Now().UnixNano()))
+	}
 	r := &Runner{
 		uuid:       uuid,
 		speedup:    speedup,
+		bootID:     hex.EncodeToString(nonce[:]),
 		streams:    make(map[int64]chan core.Token),
 		streamDone: make(map[int64]bool),
 		start:      time.Now(),
@@ -274,10 +289,25 @@ func (r *Runner) handleDrain(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, reply)
 }
 
-func (r *Runner) handleState(w http.ResponseWriter, _ *http.Request) {
+// handleState serves the runner's scheduling snapshot with version
+// validation: the response carries ETag "<boot-nonce>-v<version>" (the
+// engine's mutation counter under this process's boot nonce), and a
+// request presenting the current tag via If-None-Match gets 304 Not
+// Modified — no JSON assembly, no adapter list on the wire. Remote
+// fleets thereby get the same win as the in-process scheduler's
+// version-cached snapshots.
+func (r *Runner) handleState(w http.ResponseWriter, req *http.Request) {
 	r.mu.Lock()
+	etag := fmt.Sprintf("%q", r.bootID+"-v"+strconv.FormatUint(r.eng.StateVersion(), 10))
+	if req.Header.Get("If-None-Match") == etag {
+		r.mu.Unlock()
+		w.Header().Set("ETag", etag)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	st := stateOf(r.uuid, r.eng.Snapshot(), r.eng.Stats(), r.eng.Migratable())
 	r.mu.Unlock()
+	w.Header().Set("ETag", etag)
 	writeJSON(w, st)
 }
 

@@ -143,6 +143,14 @@ type PrefetchReply struct {
 // scheduler never issues per-decision CanAdmit/WorkingSet round-trips.
 type State struct {
 	UUID string `json:"uuid"`
+	// Version is the engine's mutation counter (core.Snapshot.Version).
+	// It also feeds the endpoint's ETag ("<boot-nonce>-v<version>"; the
+	// nonce distinguishes runner restarts, whose engines recount from
+	// zero): GET /runner/state with If-None-Match answers 304 Not
+	// Modified when nothing changed, so a polling scheduler pays a
+	// header exchange instead of re-serialising the adapter list on
+	// every decision.
+	Version uint64 `json:"version"`
 	// Role is the runner's disaggregation role ("unified", "prefill",
 	// "decode"); Migratable lists the resident requests whose prefill
 	// finished and which await handoff to the decode pool.
@@ -170,10 +178,20 @@ type State struct {
 	Tokens int64 `json:"tokens_generated"`
 }
 
-// stateOf captures a runner's engine as wire state.
+// stateOf captures a runner's engine as wire state. Snapshot.Adapters
+// aliases the store's reusable view (valid only until the next store
+// mutation), and the runner serialises State outside its lock — so the
+// adapter list is copied here. This is the wire path: one copy per 200
+// response, none on the 304 revalidation path.
 func stateOf(uuid string, snap core.Snapshot, stats core.Stats, migratable []int64) State {
+	var adapters []lora.AdapterState
+	if len(snap.Adapters) > 0 {
+		adapters = append(adapters, snap.Adapters...)
+	}
+	snap.Adapters = adapters
 	return State{
 		UUID:               uuid,
+		Version:            snap.Version,
 		Role:               snap.Role.String(),
 		Migratable:         migratable,
 		WorkingSet:         snap.WorkingSet,
@@ -199,6 +217,7 @@ func (st State) toSnapshot() core.Snapshot {
 		role = core.RoleUnified
 	}
 	return core.Snapshot{
+		Version:            st.Version,
 		Role:               role,
 		WorkingSet:         st.WorkingSet,
 		ActiveBatch:        st.ActiveBatch,

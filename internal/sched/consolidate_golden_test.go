@@ -37,10 +37,13 @@ func consolidateTraceWithRoles(t *testing.T) []string {
 	return consolidateTraceOn(t, gpus, engines)
 }
 
-func consolidateTraceOn(t *testing.T, gpus []*GPU, engines []*core.Engine) []string {
+func consolidateTraceOn(t *testing.T, gpus []*GPU, engines []*core.Engine, configure ...func(*Scheduler)) []string {
 	t.Helper()
 	s := New(gpus)
 	s.LightlyLoadedBelow = 3
+	for _, fn := range configure {
+		fn(s)
+	}
 	var log []string
 	record := func(format string, args ...any) {
 		log = append(log, fmt.Sprintf(format, args...))
@@ -99,6 +102,26 @@ func consolidateTraceOn(t *testing.T, gpus []*GPU, engines []*core.Engine) []str
 	st := s.Stats()
 	record("stats migrations=%d stalls=%d queue=%d", st.Migrations, st.AdapterStalls, s.QueueLen())
 	return log
+}
+
+// TestConsolidateGoldenCacheEquivalence replays the golden consolidation
+// script with snapshot caching disabled and requires the identical log:
+// the version-cached scheduler (the default) and the snapshot-per-
+// decision scheduler must make the same consolidation decisions
+// bit-for-bit against the recorded golden file.
+func TestConsolidateGoldenCacheEquivalence(t *testing.T) {
+	gpus, engines := goldenFleet(t)
+	uncached := consolidateTraceOn(t, gpus, engines, func(s *Scheduler) {
+		s.DisableSnapshotCache = true
+	})
+	got := strings.Join(uncached, "\n") + "\n"
+	want, err := os.ReadFile(filepath.Join("testdata", "consolidate_golden.txt"))
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if got != string(want) {
+		t.Fatal("uncached replay diverged from the golden trace recorded with caching enabled")
+	}
 }
 
 // TestConsolidateGoldenTrace locks the consolidation source→target picks

@@ -64,17 +64,18 @@ func (s *Scheduler) PoolGPUs(role core.Role) []*GPU {
 // that could land a KV import of r, policy-ranked best-first. Only
 // decode-role GPUs are scanned, so unified fleets pay nothing.
 func (s *Scheduler) decodeCandidates(r *core.Request, exclude *GPU) []Candidate {
-	var fit []Candidate
+	fit := s.candBuf[:0]
 	for _, g := range s.gpus {
 		if g.Role != core.RoleDecode || g == exclude {
 			continue
 		}
-		snap := g.Engine.Snapshot()
+		snap := s.snapshotOf(g)
 		if !snap.CanImport(r) {
 			continue
 		}
-		fit = append(fit, Candidate{GPU: g, Snap: &snap})
+		fit = append(fit, Candidate{GPU: g, Snap: snap})
 	}
+	s.candBuf = fit
 	s.policy.RankPlacement(r, fit)
 	return fit
 }
@@ -166,7 +167,7 @@ func (s *Scheduler) DecodePoolHasSlack() bool {
 		if g.Role != core.RoleDecode {
 			continue
 		}
-		snap := g.Engine.Snapshot()
+		snap := s.snapshotOf(g)
 		if snap.WorkingSet < snap.MaxBatch {
 			return true
 		}
@@ -212,8 +213,8 @@ func (s *Scheduler) NeedMorePoolGPUs(role core.Role) bool {
 		if g.Role != role && g.Role != core.RoleUnified {
 			continue
 		}
-		snap := g.Engine.Snapshot()
-		if snap.WorkingSet < s.lightThreshold(&snap) {
+		snap := s.snapshotOf(g)
+		if snap.WorkingSet < s.lightThreshold(snap) {
 			return false
 		}
 	}
@@ -227,7 +228,7 @@ func (s *Scheduler) ReleasablePoolGPUs(role core.Role) []*GPU {
 		if g.Role != role {
 			continue
 		}
-		if g.Engine.Snapshot().WorkingSet == 0 {
+		if workingSetOf(g.Engine) == 0 {
 			idle = append(idle, g)
 		}
 	}

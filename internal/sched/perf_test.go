@@ -1,0 +1,289 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"punica/internal/core"
+	"punica/internal/hw"
+	"punica/internal/lora"
+	"punica/internal/models"
+)
+
+// TestDispatchZeroAlloc guards the cached-snapshot dispatch path: a
+// steady-state place-then-cancel cycle over a warm fleet must not
+// allocate. Candidate lists live in scheduler-owned buffers, snapshots
+// are version-revalidated rather than rebuilt, and policy ranking sorts
+// without closures or maps; regaining any per-decision allocation fails
+// this.
+func TestDispatchZeroAlloc(t *testing.T) {
+	gpus := testGPUs(t, 8, 8)
+	s := New(gpus)
+	r := mkReq(1, 16, 4)
+	// Warm up: grow buffers, register the adapter, warm the store.
+	for i := 0; i < 8; i++ {
+		g, err := s.Dispatch(r, 0)
+		if err != nil || g == nil {
+			t.Fatalf("warmup dispatch: g=%v err=%v", g, err)
+		}
+		if g.Engine.Cancel(r.ID, 0) == nil {
+			t.Fatal("warmup cancel lost the request")
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		g, err := s.Dispatch(r, 0)
+		if err != nil || g == nil {
+			t.Fatalf("dispatch: g=%v err=%v", g, err)
+		}
+		if g.Engine.Cancel(r.ID, 0) == nil {
+			t.Fatal("cancel lost the request")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Scheduler.Dispatch allocated %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestSnapshotCacheHitsUnchangedWorkers pins the caching mechanism
+// itself: a worker whose StateVersion has not moved is not re-snapshotted
+// between decisions.
+func TestSnapshotCacheHitsUnchangedWorkers(t *testing.T) {
+	inner := testGPUs(t, 2, 8)
+	counting := make([]*countingWorker, 2)
+	gpus := make([]*GPU, 2)
+	for i, g := range inner {
+		counting[i] = &countingWorker{Worker: g.Engine, versioned: g.Engine.(Versioned)}
+		gpus[i] = &GPU{UUID: g.UUID, Engine: counting[i]}
+	}
+	s := New(gpus)
+	// First dispatch snapshots both GPUs; it lands on gpu-01 (highest
+	// UUID tie-break), mutating only that worker.
+	if _, err := s.Dispatch(mkReq(1, 16, 4), 0); err != nil {
+		t.Fatal(err)
+	}
+	before0, before1 := counting[0].snapshots, counting[1].snapshots
+	if _, err := s.Dispatch(mkReq(2, 16, 4), 0); err != nil {
+		t.Fatal(err)
+	}
+	if counting[0].snapshots != before0 {
+		t.Fatalf("unchanged gpu-00 was re-snapshotted (%d -> %d)", before0, counting[0].snapshots)
+	}
+	if counting[1].snapshots != before1+1 {
+		t.Fatalf("mutated gpu-01 snapshots %d -> %d, want exactly one refetch",
+			before1, counting[1].snapshots)
+	}
+}
+
+// countingWorker wraps a Worker, counting Snapshot fetches while
+// forwarding version queries to the underlying engine.
+type countingWorker struct {
+	Worker
+	versioned Versioned
+	snapshots int
+}
+
+func (c *countingWorker) Snapshot() core.Snapshot {
+	c.snapshots++
+	return c.Worker.Snapshot()
+}
+
+func (c *countingWorker) StateVersion() uint64 { return c.versioned.StateVersion() }
+
+// TestQueuePeakCountsRequeues pins the QueuePeak fix: fault-recovery
+// requeues spike the FCFS queue without any arrival, which the old
+// arrival-time sampling could not see.
+func TestQueuePeakCountsRequeues(t *testing.T) {
+	gpus := testGPUs(t, 1, 8)
+	s := New(gpus)
+	var placed []*core.Request
+	for i := int64(1); i <= 6; i++ {
+		r := mkReq(i, 16, 4)
+		g, err := s.Dispatch(r, 0)
+		if err != nil || g == nil {
+			t.Fatalf("dispatch %d: g=%v err=%v", i, g, err)
+		}
+		placed = append(placed, r)
+	}
+	if s.QueuePeak() != 0 {
+		t.Fatalf("queue peak %d before any queueing", s.QueuePeak())
+	}
+	_, lost, _, ok := s.FailGPU("gpu-00", time.Millisecond)
+	if !ok || len(lost) != len(placed) {
+		t.Fatalf("FailGPU salvaged %d of %d", len(lost), len(placed))
+	}
+	for _, r := range lost {
+		if _, err := s.Requeue(r, time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.QueuePeak() != len(placed) {
+		t.Fatalf("queue peak %d after requeueing %d recovered requests, want %d",
+			s.QueuePeak(), len(placed), len(placed))
+	}
+}
+
+// cacheEquivalenceFleet builds two identical store-pressured fleets for
+// the cached vs uncached comparison.
+func cacheEquivalenceFleet(t *testing.T, n int) []*GPU {
+	t.Helper()
+	adapterBytes := models.Llama2_7B().LoRABytes(16)
+	var gpus []*GPU
+	for i := 0; i < n; i++ {
+		sys := core.PunicaSystem()
+		sys.MaxBatch = 4
+		e := core.NewEngine(core.Config{
+			System:          sys,
+			GPU:             hw.A100(),
+			Model:           models.Llama2_7B(),
+			Rank:            16,
+			KVCapacityBytes: 2 << 30,
+			LoRAStoreBytes:  2 * adapterBytes,
+		})
+		gpus = append(gpus, &GPU{UUID: fmt.Sprintf("gpu-%02d", i), Engine: e})
+	}
+	return gpus
+}
+
+// replayCacheScript drives a mixed dispatch/step/consolidate/drain
+// script through a scheduler and logs every externally visible decision.
+func replayCacheScript(t *testing.T, policyName string, disableCache bool) []string {
+	t.Helper()
+	gpus := cacheEquivalenceFleet(t, 4)
+	engines := make([]*core.Engine, len(gpus))
+	for i, g := range gpus {
+		engines[i] = g.Engine.(*core.Engine)
+	}
+	policy, err := PolicyByName(policyName, PolicyConfig{
+		Base:        models.Llama2_7B(),
+		DefaultRank: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewWithPolicy(gpus, policy)
+	s.DisableSnapshotCache = disableCache
+	s.LightlyLoadedBelow = 3
+	var log []string
+	record := func(format string, args ...any) {
+		log = append(log, fmt.Sprintf(format, args...))
+	}
+	s.TraceMigration = func(r *core.Request, from, to *GPU) {
+		record("migrate r%d %s->%s", r.ID, from.UUID, to.UUID)
+	}
+	place := func(g *GPU) string {
+		if g == nil {
+			return "queued"
+		}
+		return g.UUID
+	}
+	now := time.Duration(0)
+	stepAll := func() {
+		now += 5 * time.Millisecond
+		for i, e := range engines {
+			if !e.Busy() {
+				continue
+			}
+			res := e.Step(now)
+			record("step gpu-%02d idle=%v batch=%d fin=%d evict=%d",
+				i, res.Idle, res.BatchSize, len(res.Finished), len(res.Evicted))
+			for _, ev := range res.Evicted {
+				g, err := s.Reschedule(ev, gpus[i], now)
+				if err != nil {
+					t.Fatal(err)
+				}
+				record("resched r%d -> %s", ev.ID, place(g))
+			}
+		}
+		placed, err := s.DrainQueue(now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range placed {
+			record("drain r%d -> %s", p.Request.ID, place(p.GPU))
+		}
+	}
+	id := int64(0)
+	for round := 0; round < 12; round++ {
+		for j := 0; j < 3; j++ {
+			id++
+			r := mkReq(id, 32+int(id*13)%128, 2+int(id)%6)
+			r.Model = lora.ModelID(id % 3)
+			g, err := s.Dispatch(r, now)
+			if err != nil {
+				t.Fatal(err)
+			}
+			record("dispatch r%d -> %s", id, place(g))
+		}
+		stepAll()
+		if round%4 == 3 {
+			record("consolidate moved=%d", s.Consolidate(now))
+		}
+	}
+	for i := 0; i < 400 && (s.QueueLen() > 0 || anyEngineBusy(engines)); i++ {
+		stepAll()
+	}
+	st := s.Stats()
+	record("stats dispatched=%d queued=%d migrations=%d stalls=%d peak=%d",
+		st.Dispatched, st.Queued, st.Migrations, st.AdapterStalls, s.QueuePeak())
+	return log
+}
+
+func anyEngineBusy(engines []*core.Engine) bool {
+	for _, e := range engines {
+		if e.Busy() {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSnapshotCacheEquivalence proves the version-cached scheduler makes
+// bit-identical decisions to one that re-snapshots every worker on every
+// decision, across every built-in policy and all scheduler entry points
+// (dispatch, queue drain, eviction reschedule, consolidation).
+func TestSnapshotCacheEquivalence(t *testing.T) {
+	for _, policy := range PolicyNames {
+		t.Run(policy, func(t *testing.T) {
+			cached := replayCacheScript(t, policy, false)
+			uncached := replayCacheScript(t, policy, true)
+			if len(cached) != len(uncached) {
+				t.Fatalf("log lengths differ: cached %d, uncached %d", len(cached), len(uncached))
+			}
+			for i := range cached {
+				if cached[i] != uncached[i] {
+					t.Fatalf("decision %d diverged:\n  cached:   %s\n  uncached: %s",
+						i, cached[i], uncached[i])
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDispatch measures the steady-state placement decision over a
+// warm 64-GPU fleet.
+func BenchmarkDispatch(b *testing.B) {
+	var gpus []*GPU
+	for i := 0; i < 64; i++ {
+		sys := core.PunicaSystem()
+		sys.MaxBatch = 8
+		e := core.NewEngine(core.Config{
+			System: sys,
+			GPU:    hw.A100(),
+			Model:  models.Llama2_7B(),
+			Rank:   16,
+		})
+		gpus = append(gpus, &GPU{UUID: fmt.Sprintf("gpu-%02d", i), Engine: e})
+	}
+	s := New(gpus)
+	r := mkReq(1, 16, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := s.Dispatch(r, 0)
+		if err != nil || g == nil {
+			b.Fatalf("dispatch: g=%v err=%v", g, err)
+		}
+		g.Engine.Cancel(r.ID, 0)
+	}
+}

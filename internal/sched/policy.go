@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"punica/internal/core"
@@ -17,6 +18,39 @@ import (
 type Candidate struct {
 	GPU  *GPU
 	Snap *core.Snapshot
+
+	// score is the policy's placement cost for the current decision
+	// (lower is better; ties resolve by the §5.1 paper order). Policies
+	// fill it and call sortByScore, which sorts without allocating —
+	// the map-keyed sort closures this replaces allocated per decision.
+	score float64
+}
+
+// candLess is the shared total order sortByScore uses: ascending score,
+// ties broken by the §5.1 paper preference. UUIDs are unique, so the
+// order is total and every correct sorting algorithm yields the same
+// permutation — which is what keeps policy decisions bit-stable across
+// sort implementations.
+func candLess(a, b *Candidate) bool {
+	if a.score != b.score {
+		return a.score < b.score
+	}
+	return paperLess(*a, *b)
+}
+
+// sortByScore sorts candidates by candLess without allocating:
+// slices.SortFunc boxes nothing (unlike sort.Slice's reflect swapper)
+// and the non-capturing comparator is a package-level func value.
+func sortByScore(cands []Candidate) {
+	slices.SortFunc(cands, func(a, b Candidate) int {
+		if candLess(&a, &b) {
+			return -1
+		}
+		if candLess(&b, &a) {
+			return 1
+		}
+		return 0
+	})
 }
 
 // Policy customises which admissible GPU a request lands on. The
@@ -128,8 +162,12 @@ type PaperPolicy struct{}
 func (PaperPolicy) Name() string { return PolicyPaper }
 
 // RankPlacement implements Policy: largest working set, highest UUID.
+// Scores are uniform, so candLess reduces to the pure §5.1 order.
 func (PaperPolicy) RankPlacement(_ *core.Request, cands []Candidate) {
-	sort.SliceStable(cands, func(i, j int) bool { return paperLess(cands[i], cands[j]) })
+	for i := range cands {
+		cands[i].score = 0
+	}
+	sortByScore(cands)
 }
 
 // RankSources implements Policy: lightest first, so near-empty GPUs
@@ -203,17 +241,10 @@ func (p *AdapterAffinity) loadCost(r *core.Request, snap *core.Snapshot) float64
 // RankPlacement implements Policy: cheapest adapter movement first,
 // ties to the §5.1 order.
 func (p *AdapterAffinity) RankPlacement(r *core.Request, cands []Candidate) {
-	costs := make(map[*GPU]float64, len(cands))
-	for _, c := range cands {
-		costs[c.GPU] = p.loadCost(r, c.Snap)
+	for i := range cands {
+		cands[i].score = p.loadCost(r, cands[i].Snap)
 	}
-	sort.SliceStable(cands, func(i, j int) bool {
-		ci, cj := costs[cands[i].GPU], costs[cands[j].GPU]
-		if ci != cj {
-			return ci < cj
-		}
-		return paperLess(cands[i], cands[j])
-	})
+	sortByScore(cands)
 }
 
 // RankSources implements Policy with the paper's lightest-first order.
@@ -263,19 +294,16 @@ func (p *RankAware) padCost(r *core.Request, snap *core.Snapshot) int {
 		return 0
 	}
 	newMax := rank
-	var ranks []int
 	for _, a := range snap.Adapters {
-		if !a.Pinned || a.Rank <= 0 {
-			continue
-		}
-		ranks = append(ranks, a.Rank)
-		if a.Rank > newMax {
+		if a.Pinned && a.Rank > newMax {
 			newMax = a.Rank
 		}
 	}
 	cost := newMax - rank
-	for _, rr := range ranks {
-		cost += newMax - rr
+	for _, a := range snap.Adapters {
+		if a.Pinned && a.Rank > 0 {
+			cost += newMax - a.Rank
+		}
 	}
 	return cost
 }
@@ -283,17 +311,10 @@ func (p *RankAware) padCost(r *core.Request, snap *core.Snapshot) int {
 // RankPlacement implements Policy: least rank padding first, ties to
 // the §5.1 order.
 func (p *RankAware) RankPlacement(r *core.Request, cands []Candidate) {
-	costs := make(map[*GPU]int, len(cands))
-	for _, c := range cands {
-		costs[c.GPU] = p.padCost(r, c.Snap)
+	for i := range cands {
+		cands[i].score = float64(p.padCost(r, cands[i].Snap))
 	}
-	sort.SliceStable(cands, func(i, j int) bool {
-		ci, cj := costs[cands[i].GPU], costs[cands[j].GPU]
-		if ci != cj {
-			return ci < cj
-		}
-		return paperLess(cands[i], cands[j])
-	})
+	sortByScore(cands)
 }
 
 // RankSources implements Policy with the paper's lightest-first order.

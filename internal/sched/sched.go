@@ -40,6 +40,19 @@ type Worker interface {
 	EvictNewest(now time.Duration) *core.Request
 }
 
+// Versioned is an optional Worker extension for snapshot caching: a
+// monotonic counter that changes whenever the worker's Snapshot would.
+// The scheduler keeps one cached Snapshot per GPU and revalidates it by
+// comparing StateVersion — equal versions mean the cached snapshot is
+// bit-identical to a fresh fetch, so per-decision state assembly costs a
+// counter read instead of a rebuild. *core.Engine implements it; workers
+// without it (e.g. remote clients, whose freshness is handled by the
+// HTTP conditional-GET layer) are snapshotted on every decision exactly
+// as before.
+type Versioned interface {
+	StateVersion() uint64
+}
+
 // Crasher is an optional Worker extension: draining whatever request
 // state is still reachable once the worker is declared failed.
 // In-process engines return their full working set (the driver process
@@ -65,6 +78,12 @@ type GPU struct {
 	// the engine config, and the zero value (RoleUnified) preserves the
 	// paper's single-pool behaviour exactly.
 	Role core.Role
+
+	// snap is the scheduler's cached snapshot of this worker, valid
+	// while snapValid is set and the worker's StateVersion still equals
+	// snap.Version. Owned by the scheduler; see Scheduler.snapshotOf.
+	snap      core.Snapshot
+	snapValid bool
 }
 
 // Scheduler holds the global view of all GPUs (§5.1: "Punica scheduler
@@ -79,6 +98,25 @@ type Scheduler struct {
 	// from its snapshot (a quarter of its batch cap, at least 1), so
 	// mixed-capacity fleets classify load correctly per GPU.
 	LightlyLoadedBelow int
+
+	// DisableSnapshotCache forces a fresh Snapshot fetch on every
+	// decision, bypassing version revalidation. It exists for the
+	// equivalence tests that prove cached and uncached scheduling make
+	// identical decisions; production paths leave it false.
+	DisableSnapshotCache bool
+
+	// Reusable decision buffers: candidate lists are assembled into
+	// these instead of fresh slices, so Dispatch/DrainQueue/Reschedule
+	// allocate nothing in steady state. candBuf serves placement scans
+	// (candidates/decodeCandidates — never both in flight), targetBuf
+	// the consolidation target scans nested inside a sources walk.
+	candBuf   []Candidate
+	targetBuf []Candidate
+
+	// queuePeak tracks the deepest the FCFS queue has been, counted at
+	// every growth site (arrival overflow, eviction reschedule, fault
+	// requeue, migration fallback) — not just arrivals.
+	queuePeak int
 
 	// TraceMigration, when non-nil, observes every successful
 	// consolidation move (victim, source, destination) — the golden-trace
@@ -159,7 +197,7 @@ func (s *Scheduler) RemoveGPU(uuid string) (*GPU, bool) {
 		if g.UUID != uuid {
 			continue
 		}
-		if g.Engine.Snapshot().WorkingSet != 0 {
+		if workingSetOf(g.Engine) != 0 {
 			return nil, false
 		}
 		s.gpus = append(s.gpus[:i], s.gpus[i+1:]...)
@@ -219,6 +257,36 @@ func (s *Scheduler) Stats() Stats { return s.stats }
 // QueueLen returns the number of requests waiting for capacity.
 func (s *Scheduler) QueueLen() int { return len(s.queue) }
 
+// QueuePeak returns the deepest the FCFS wait queue has been. Unlike a
+// caller sampling QueueLen at arrival time, it observes every growth
+// site — fault-recovery requeues and migration fallbacks included.
+func (s *Scheduler) QueuePeak() int { return s.queuePeak }
+
+// noteQueueDepth records the queue depth after a growth.
+func (s *Scheduler) noteQueueDepth() {
+	if len(s.queue) > s.queuePeak {
+		s.queuePeak = len(s.queue)
+	}
+}
+
+// snapshotOf returns the worker's current snapshot, served from the
+// per-GPU cache when the worker's StateVersion proves it unchanged.
+// The returned pointer aliases the cache slot: it is valid for the
+// current scheduling decision and is overwritten by the next fetch
+// after the worker mutates. Multi-step passes that mirror their own
+// mutations (Consolidate) copy the value instead of retaining the
+// pointer.
+func (s *Scheduler) snapshotOf(g *GPU) *core.Snapshot {
+	if g.snapValid && !s.DisableSnapshotCache {
+		if v, ok := g.Engine.(Versioned); ok && v.StateVersion() == g.snap.Version {
+			return &g.snap
+		}
+	}
+	g.snap = g.Engine.Snapshot()
+	g.snapValid = true
+	return &g.snap
+}
+
 // lightThreshold returns the working-set count below which a GPU counts
 // as lightly loaded, derived per GPU from its snapshot unless the
 // fleet-wide override is set.
@@ -240,17 +308,18 @@ func (s *Scheduler) lightThreshold(snap *core.Snapshot) int {
 // them up front saves one state fetch per decode GPU per placement
 // (an HTTP round-trip each for remote workers).
 func (s *Scheduler) candidates(r *core.Request, exclude *GPU) []Candidate {
-	var fit []Candidate
+	fit := s.candBuf[:0]
 	for _, g := range s.gpus {
 		if g == exclude || g.Role == core.RoleDecode {
 			continue
 		}
-		snap := g.Engine.Snapshot()
+		snap := s.snapshotOf(g)
 		if !snap.CanAdmit(r) {
 			continue
 		}
-		fit = append(fit, Candidate{GPU: g, Snap: &snap})
+		fit = append(fit, Candidate{GPU: g, Snap: snap})
 	}
+	s.candBuf = fit
 	s.policy.RankPlacement(r, fit)
 	return fit
 }
@@ -289,6 +358,7 @@ func (s *Scheduler) Dispatch(r *core.Request, now time.Duration) (*GPU, error) {
 	if len(s.queue) > 0 {
 		s.queue = append(s.queue, r)
 		s.stats.Queued++
+		s.noteQueueDepth()
 		return nil, nil
 	}
 	g, err := s.tryPlace(r, nil, now)
@@ -298,6 +368,7 @@ func (s *Scheduler) Dispatch(r *core.Request, now time.Duration) (*GPU, error) {
 	if g == nil {
 		s.queue = append(s.queue, r)
 		s.stats.Queued++
+		s.noteQueueDepth()
 		return nil, nil
 	}
 	// Disaggregated fleets overlap the decode-side adapter load with the
@@ -369,6 +440,7 @@ func (s *Scheduler) enqueueFCFS(r *core.Request) {
 	copy(s.queue[i+1:], s.queue[i:])
 	s.queue[i] = r
 	s.stats.Queued++
+	s.noteQueueDepth()
 }
 
 // Consolidate migrates requests away from lightly-loaded GPUs onto busier
@@ -388,7 +460,12 @@ func (s *Scheduler) Consolidate(now time.Duration) int {
 	snaps := make(map[*GPU]*core.Snapshot, len(s.gpus))
 	sources := make([]Candidate, 0, len(s.gpus))
 	for _, g := range s.gpus {
-		snap := g.Engine.Snapshot()
+		// Copy out of the version cache: the pass mirrors its own
+		// mutations into these snapshots (NoteEnqueued/NoteRemoved),
+		// which must not contaminate the cache — the underlying engines
+		// bump their versions, so the cache refreshes naturally on the
+		// next decision.
+		snap := *s.snapshotOf(g)
 		snaps[g] = &snap
 		sources = append(sources, Candidate{GPU: g, Snap: &snap})
 	}
@@ -455,7 +532,7 @@ func (s *Scheduler) Consolidate(now time.Duration) int {
 // among valid targets to the policy.
 func (s *Scheduler) busierTarget(r *core.Request, src *GPU, snaps map[*GPU]*core.Snapshot) *GPU {
 	srcWS := snaps[src].WorkingSet
-	var cands []Candidate
+	cands := s.targetBuf[:0]
 	for _, g := range s.gpus {
 		if g == src {
 			continue
@@ -466,6 +543,7 @@ func (s *Scheduler) busierTarget(r *core.Request, src *GPU, snaps map[*GPU]*core
 		}
 		cands = append(cands, Candidate{GPU: g, Snap: snap})
 	}
+	s.targetBuf = cands
 	if len(cands) == 0 {
 		return nil
 	}
@@ -477,8 +555,8 @@ func (s *Scheduler) busierTarget(r *core.Request, src *GPU, snaps map[*GPU]*core
 // "should request more GPUs".
 func (s *Scheduler) NeedMoreGPUs() bool {
 	for _, g := range s.gpus {
-		snap := g.Engine.Snapshot()
-		if snap.WorkingSet < s.lightThreshold(&snap) {
+		snap := s.snapshotOf(g)
+		if snap.WorkingSet < s.lightThreshold(snap) {
 			return false
 		}
 	}
@@ -490,9 +568,22 @@ func (s *Scheduler) NeedMoreGPUs() bool {
 func (s *Scheduler) ReleasableGPUs() []*GPU {
 	var idle []*GPU
 	for _, g := range s.gpus {
-		if g.Engine.Snapshot().WorkingSet == 0 {
+		if workingSetOf(g.Engine) == 0 {
 			idle = append(idle, g)
 		}
 	}
 	return idle
+}
+
+// workingSetOf reads a worker's working-set count as cheaply as the
+// worker allows: the scalar accessor when one exists (*core.Engine — a
+// length read; remote clients answer it from one state fetch too),
+// falling back to a full snapshot. Idle scans (RemoveGPU, releasable-GPU
+// sweeps) need only this one number, so materialising adapter state for
+// them was pure waste.
+func workingSetOf(w Worker) int {
+	if ws, ok := w.(interface{ WorkingSet() int }); ok {
+		return ws.WorkingSet()
+	}
+	return w.Snapshot().WorkingSet
 }

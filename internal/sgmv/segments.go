@@ -40,6 +40,14 @@ func NewSegments(sizes ...int) Segments {
 	return Segments{bounds: bounds}
 }
 
+// SegmentsOver wraps an existing boundary vector without copying — the
+// zero-allocation constructor for hot paths (the engine's per-step
+// invocation assembly) that reuse a bounds buffer across calls. The
+// caller must satisfy the FromBounds invariants (bounds[0] == 0,
+// strictly increasing) and must not mutate bounds while the Segments
+// value is in use; for retained or untrusted vectors use FromBounds.
+func SegmentsOver(bounds []int) Segments { return Segments{bounds: bounds} }
+
 // FromBounds builds Segments from an explicit boundary vector. The vector
 // must start at 0 and be strictly increasing.
 func FromBounds(bounds []int) (Segments, error) {
