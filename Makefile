@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fmt check bench experiments scale shuffle fuzz
+.PHONY: all build test race vet lint fmt check bench experiments scale shuffle fuzz invariants
 
 all: check
 
@@ -27,8 +27,18 @@ fuzz:
 	$(GO) test ./internal/dist -run '^$$' -fuzz FuzzZipfAssigner -fuzztime 10s
 	$(GO) test ./internal/kvcache -run '^$$' -fuzz FuzzKVMigration -fuzztime 10s
 
+# vet runs the standard toolchain vet plus punica-vet, the repo's own
+# analyzer suite (versionbump, scratchlife, detsim, lockorder,
+# zeroalloc) enforcing the simulator's correctness contracts.
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/punica-vet ./...
+
+# invariants re-runs the test suite with runtime invariant checking
+# compiled in (accounting ledgers, FCFS ordering, version monotonicity,
+# leak-at-quiescence) under the race detector.
+invariants:
+	$(GO) test -tags punica_invariants -race ./...
 
 # lint runs vet plus staticcheck when available (CI installs it; local
 # setups without network skip it rather than fail).

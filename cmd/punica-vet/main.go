@@ -1,0 +1,72 @@
+// Command punica-vet runs the repo's custom analyzer suite — the
+// mechanical enforcement of the simulator's correctness contracts:
+//
+//	versionbump  snapshot-visible Engine writes bump the version counter
+//	scratchlife  scratch-backed return values don't outlive the next call
+//	detsim       deterministic packages stay seed-replayable
+//	lockorder    mutex acquisition order is acyclic; scheduler locks are leaves
+//	zeroalloc    //punica:zeroalloc functions contain no allocating constructs
+//
+// Usage:
+//
+//	punica-vet [-list] [packages]
+//
+// Packages default to ./... relative to the current directory.
+// Diagnostics print as file:line:col: [analyzer] message; the exit
+// status is 1 if any were reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"punica/internal/analysis"
+	"punica/internal/analysis/all"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list registered analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: punica-vet [-list] [packages]\n\nAnalyzers:\n")
+		for _, a := range all.Analyzers {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range all.Analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "punica-vet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "punica-vet: load:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, all.Analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "punica-vet:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: [%s] %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "punica-vet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,22 @@
+// Package all registers the complete punica-vet analyzer suite in one
+// place so the multichecker binary and the repo self-check test cannot
+// drift apart.
+package all
+
+import (
+	"punica/internal/analysis"
+	"punica/internal/analysis/detsim"
+	"punica/internal/analysis/lockorder"
+	"punica/internal/analysis/scratchlife"
+	"punica/internal/analysis/versionbump"
+	"punica/internal/analysis/zeroalloc"
+)
+
+// Analyzers is every pass punica-vet runs, in report order.
+var Analyzers = []*analysis.Analyzer{
+	versionbump.Analyzer,
+	scratchlife.Analyzer,
+	detsim.Analyzer,
+	lockorder.Analyzer,
+	zeroalloc.Analyzer,
+}

@@ -1,0 +1,204 @@
+// Package analysis is a self-contained static-analysis framework for
+// the punica-vet analyzer suite. It mirrors the shape of
+// golang.org/x/tools/go/analysis — Analyzer, Pass, Diagnostic — but is
+// built entirely on the standard library (go/parser, go/types, and the
+// go command's export data), so the repository carries zero module
+// dependencies.
+//
+// The framework exists because PR 5's hot-path overhaul introduced
+// correctness contracts that were only enforced by comments: version
+// bumps on snapshot-visible engine mutations, valid-until-next-call
+// scratch slices, wall-clock-free deterministic simulation, lock
+// ordering, and zero-allocation stepping. The analyzers under
+// internal/analysis/... turn each of those contracts into a
+// machine-checked property; cmd/punica-vet is the multichecker driver.
+//
+// # Annotation escape hatches
+//
+// Analyzers honour `//punica:<marker>` comments placed on (or on the
+// line above) a flagged construct, or in the enclosing function's doc
+// comment:
+//
+//   - //punica:retains-copy — a scratch-backed slice retention that has
+//     been audited (the holder provably does not outlive the next call,
+//     or copies before it does).
+//   - //punica:nondet-ok — a wall-clock or randomness use that is
+//     deliberately outside the deterministic envelope.
+//   - //punica:zeroalloc — tags a function for the zeroalloc analyzer.
+//   - //punica:alloc-ok — an allocation inside a zeroalloc function that
+//     is amortised or off the steady-state path.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"strings"
+)
+
+// Analyzer describes one static check. Run is called once per loaded
+// package; it reports findings through the Pass and returns an error
+// only for internal failures (not for diagnostics).
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Diagnostic is one finding, anchored at a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	annotations map[string]map[int][]string // filename → line → markers
+	report      func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// PkgBase returns the last element of the package's import path
+// ("punica/internal/core" → "core"), the name analyzers gate on so the
+// same check runs against both the real tree and test fixtures.
+func (p *Pass) PkgBase() string { return path.Base(p.Pkg.Path()) }
+
+// Annotated reports whether marker (without the "//punica:" prefix)
+// annotates the source line of pos: on the same line, on the line
+// directly above (the tail of a doc comment block counts), or anywhere
+// in the enclosing function's doc comment — the caller passes the
+// function's Pos for that case.
+func (p *Pass) Annotated(pos token.Pos, marker string) bool {
+	position := p.Fset.Position(pos)
+	lines := p.annotations[position.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, l := range []int{position.Line, position.Line - 1} {
+		for _, m := range lines[l] {
+			if m == marker {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FuncAnnotated reports whether the function declaration carries marker
+// in its doc comment (any line) or on the line above its declaration.
+func (p *Pass) FuncAnnotated(fn *ast.FuncDecl, marker string) bool {
+	if fn.Doc != nil {
+		for _, c := range fn.Doc.List {
+			if annotationMarker(c.Text) == marker {
+				return true
+			}
+		}
+	}
+	return p.Annotated(fn.Pos(), marker)
+}
+
+// annotationMarker extracts the marker from a "//punica:<marker>"
+// comment line, returning "" for ordinary comments. Trailing prose
+// after the marker is permitted: "//punica:alloc-ok pool growth".
+func annotationMarker(text string) string {
+	const prefix = "//punica:"
+	if !strings.HasPrefix(text, prefix) {
+		return ""
+	}
+	marker := strings.TrimPrefix(text, prefix)
+	if i := strings.IndexAny(marker, " \t"); i >= 0 {
+		marker = marker[:i]
+	}
+	return marker
+}
+
+// buildAnnotations indexes every //punica: comment by file and line.
+func buildAnnotations(fset *token.FileSet, files []*ast.File) map[string]map[int][]string {
+	out := make(map[string]map[int][]string)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				marker := annotationMarker(c.Text)
+				if marker == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := out[pos.Filename]
+				if m == nil {
+					m = make(map[int][]string)
+					out[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], marker)
+			}
+		}
+	}
+	return out
+}
+
+// Run applies each analyzer to each package and returns the collected
+// diagnostics, sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ann := buildAnnotations(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:    a,
+				Fset:        pkg.Fset,
+				Files:       pkg.Files,
+				Pkg:         pkg.Types,
+				TypesInfo:   pkg.TypesInfo,
+				annotations: ann,
+				report:      func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return diags, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	less := func(a, b Diagnostic) bool {
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	}
+	// Insertion sort keeps this dependency-free and the diagnostic
+	// counts are tiny.
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && less(ds[j], ds[j-1]); j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}

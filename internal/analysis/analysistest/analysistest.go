@@ -1,0 +1,187 @@
+// Package analysistest runs an analyzer against fixture packages under
+// testdata/src and checks its diagnostics against `// want "regex"`
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest on
+// top of the stdlib-only framework in internal/analysis.
+//
+// Fixtures live at testdata/src/<pkg>/*.go relative to the calling
+// test's package directory. They are copied into a throwaway module
+// named "fixture" (so fixtures import each other as "fixture/<pkg>")
+// and must compile — the loader type-checks them exactly like the real
+// tree. A line expecting diagnostics carries one want per diagnostic:
+//
+//	e.pending = nil // want `mutates snapshot-visible`
+//
+// The quoted text is a regular expression matched against the
+// diagnostic message. Unmatched diagnostics and unsatisfied wants both
+// fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"punica/internal/analysis"
+)
+
+// Run loads every fixture package under testdata/src, applies the
+// analyzer, and checks diagnostics against the fixtures' want comments.
+func Run(t *testing.T, analyzer *analysis.Analyzer) {
+	t.Helper()
+	RunDir(t, "testdata", analyzer)
+}
+
+// RunDir is Run with an explicit testdata directory.
+func RunDir(t *testing.T, testdata string, analyzer *analysis.Analyzer) {
+	t.Helper()
+	src := filepath.Join(testdata, "src")
+	if _, err := os.Stat(src); err != nil {
+		t.Fatalf("analysistest: no fixtures: %v", err)
+	}
+	root := t.TempDir()
+	if err := copyTree(src, root); err != nil {
+		t.Fatalf("analysistest: copying fixtures: %v", err)
+	}
+	gomod := "module fixture\n\ngo 1.24\n"
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte(gomod), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	pkgs, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("analysistest: loading fixtures: %v", err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{analyzer})
+	if err != nil {
+		t.Fatalf("analysistest: running %s: %v", analyzer.Name, err)
+	}
+
+	wants, err := collectWants(root)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	check(t, analyzer.Name, diags, wants)
+}
+
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// collectWants scans every fixture file for want comments.
+func collectWants(root string) ([]*want, error) {
+	var wants []*want
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			idx := strings.Index(line, "// want ")
+			if idx < 0 {
+				continue
+			}
+			patterns, err := parseWant(line[idx+len("// want "):])
+			if err != nil {
+				return fmt.Errorf("%s:%d: %v", path, i+1, err)
+			}
+			for _, p := range patterns {
+				re, err := regexp.Compile(p)
+				if err != nil {
+					return fmt.Errorf("%s:%d: bad want pattern %q: %v", path, i+1, p, err)
+				}
+				wants = append(wants, &want{file: path, line: i + 1, pattern: re})
+			}
+		}
+		return nil
+	})
+	return wants, err
+}
+
+// parseWant reads the quoted or backquoted patterns after "// want".
+func parseWant(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte
+		switch s[0] {
+		case '"', '`':
+			quote = s[0]
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted, got %q", s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated want pattern in %q", s)
+		}
+		lit := s[:end+2]
+		var p string
+		if quote == '"' {
+			unq, err := strconv.Unquote(lit)
+			if err != nil {
+				return nil, err
+			}
+			p = unq
+		} else {
+			p = lit[1 : len(lit)-1]
+		}
+		out = append(out, p)
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out, nil
+}
+
+func check(t *testing.T, name string, diags []analysis.Diagnostic, wants []*want) {
+	t.Helper()
+	for _, d := range diags {
+		ok := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.pattern.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", name, d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: no diagnostic at %s:%d matching %q", name, w.file, w.line, w.pattern)
+		}
+	}
+}
+
+func copyTree(src, dst string) error {
+	return filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+}

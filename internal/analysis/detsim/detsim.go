@@ -1,0 +1,233 @@
+// Package detsim enforces the deterministic-simulation envelope: every
+// package reachable from internal/sim's discrete-event paths must be
+// replayable bit-for-bit from a seed. Wall-clock reads, the unseeded
+// math/rand global source, and map-iteration-order-dependent writes all
+// break that property — the last one silently, since Go randomises map
+// order per process.
+//
+// Within the deterministic package set the analyzer reports:
+//
+//   - calls (or method-value references) to time.Now, time.Since,
+//     time.Until;
+//   - uses of math/rand (and math/rand/v2) package-level functions,
+//     which draw from the unseeded global source — constructors
+//     (rand.New, rand.NewSource, rand.NewZipf) for explicitly seeded
+//     generators remain legal;
+//   - `for ... range m` over a map whose body performs an
+//     order-dependent write: appending to a variable declared outside
+//     the loop (suppressed when the same function later hands that
+//     variable to package sort — the collect-then-sort idiom is
+//     order-independent), sending on a channel, or compound
+//     floating-point accumulation (`x += f`, whose result depends on
+//     summation order).
+//
+// Wall-clock use outside the envelope (internal/remote, internal/serve,
+// the experiment harnesses) is not analyzed. Deliberate exceptions
+// inside it — e.g. sim.WallClock, the explicit bridge to real time for
+// the HTTP demo — carry a `//punica:nondet-ok` annotation.
+package detsim
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"punica/internal/analysis"
+)
+
+// Analyzer is the detsim pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detsim",
+	Doc:  "deterministic-simulation packages must not read wall clocks, unseeded randomness, or map order",
+	Run:  run,
+}
+
+// DeterministicPkgs is the envelope, by package-path base name: the
+// packages the discrete-event simulator executes. remote/serve (wall
+// pacing) and the experiment harnesses are deliberately outside.
+var DeterministicPkgs = map[string]bool{
+	"core":     true,
+	"sched":    true,
+	"dist":     true,
+	"kvcache":  true,
+	"sim":      true,
+	"sgmv":     true,
+	"lora":     true,
+	"layer":    true,
+	"hw":       true,
+	"workload": true,
+	"cluster":  true,
+	"metrics":  true,
+}
+
+const marker = "nondet-ok"
+
+// bannedTimeFuncs draw from the wall clock.
+var bannedTimeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func run(pass *analysis.Pass) error {
+	if !DeterministicPkgs[pass.PkgBase()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	sorted := sortedVars(pass, fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			checkStdlibUse(pass, fn, n)
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					checkMapRange(pass, fn, n, sorted)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkStdlibUse flags wall-clock and global-source randomness.
+func checkStdlibUse(pass *analysis.Pass, fn *ast.FuncDecl, sel *ast.SelectorExpr) {
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return
+	}
+	if sig, ok := obj.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (e.g. Time.Sub) are pure given their inputs
+	}
+	switch obj.Pkg().Path() {
+	case "time":
+		if bannedTimeFuncs[obj.Name()] && !suppressed(pass, fn, sel.Pos()) {
+			pass.Reportf(sel.Pos(),
+				"deterministic package calls time.%s: wall-clock reads break seeded replay (inject a sim.Clock instead)",
+				obj.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if len(obj.Name()) >= 3 && obj.Name()[:3] == "New" {
+			return // seeded-generator constructors
+		}
+		if !suppressed(pass, fn, sel.Pos()) {
+			pass.Reportf(sel.Pos(),
+				"deterministic package uses %s.%s: the global source is unseeded; draw from a seeded sim.RNG",
+				obj.Pkg().Name(), obj.Name())
+		}
+	}
+}
+
+// checkMapRange flags order-dependent writes inside a map iteration.
+func checkMapRange(pass *analysis.Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, sorted map[types.Object]bool) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			if !suppressed(pass, fn, n.Pos()) {
+				pass.Reportf(n.Pos(), "channel send inside map iteration publishes values in randomized map order")
+			}
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, fn, rng, n, sorted)
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(pass *analysis.Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, n *ast.AssignStmt, sorted map[types.Object]bool) {
+	// Compound float accumulation: order-dependent rounding.
+	switch n.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if len(n.Lhs) == 1 {
+			if tv, ok := pass.TypesInfo.Types[n.Lhs[0]]; ok {
+				if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+					if !suppressed(pass, fn, n.Pos()) {
+						pass.Reportf(n.Pos(),
+							"floating-point accumulation inside map iteration depends on randomized map order; accumulate an exact integer (or sort keys) first")
+					}
+				}
+			}
+		}
+	}
+	// append into a variable declared outside the loop, not later sorted.
+	for i, lhs := range n.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[id]
+		}
+		if obj == nil || sorted[obj] || insideRange(obj, rng) {
+			continue
+		}
+		rhsIdx := i
+		if len(n.Rhs) != len(n.Lhs) {
+			rhsIdx = 0
+		}
+		call, ok := n.Rhs[rhsIdx].(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if fnID, ok := call.Fun.(*ast.Ident); ok {
+			if b, isBuiltin := pass.TypesInfo.Uses[fnID].(*types.Builtin); isBuiltin && b.Name() == "append" {
+				if !suppressed(pass, fn, n.Pos()) {
+					pass.Reportf(n.Pos(),
+						"append to %s inside map iteration records randomized map order; sort afterwards or iterate sorted keys", obj.Name())
+				}
+			}
+		}
+	}
+}
+
+// insideRange reports whether obj is declared within the range
+// statement (loop variables and body locals are per-iteration state).
+func insideRange(obj types.Object, rng *ast.RangeStmt) bool {
+	return obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End()
+}
+
+// sortedVars collects objects that the function passes to package sort
+// — appends gathered into them are order-independent after sorting.
+func sortedVars(pass *analysis.Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sort" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if o := pass.TypesInfo.Uses[id]; o != nil {
+						out[o] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}
+
+func suppressed(pass *analysis.Pass, fn *ast.FuncDecl, pos token.Pos) bool {
+	return pass.Annotated(pos, marker) || pass.FuncAnnotated(fn, marker)
+}

@@ -1,0 +1,12 @@
+package detsim_test
+
+import (
+	"testing"
+
+	"punica/internal/analysis/analysistest"
+	"punica/internal/analysis/detsim"
+)
+
+func TestDetSim(t *testing.T) {
+	analysistest.Run(t, detsim.Analyzer)
+}

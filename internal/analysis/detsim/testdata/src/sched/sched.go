@@ -1,0 +1,96 @@
+// Package sched is a fixture inside the deterministic envelope: its
+// base name is in detsim.DeterministicPkgs, so every rule applies.
+package sched
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Clock is the injected simulated clock.
+type Clock interface{ Now() float64 }
+
+// BadWallClock reads the wall clock directly.
+func BadWallClock() time.Time {
+	return time.Now() // want `deterministic package calls time\.Now`
+}
+
+// BadSince derives a duration from the wall clock.
+func BadSince(start time.Time) time.Duration {
+	return time.Since(start) // want `deterministic package calls time\.Since`
+}
+
+// GoodInjectedClock consumes the simulated clock: legal.
+func GoodInjectedClock(c Clock) float64 { return c.Now() }
+
+// GoodTimeArithmetic uses pure time methods on provided values.
+func GoodTimeArithmetic(a, b time.Time) time.Duration { return b.Sub(a) }
+
+// BadGlobalRand draws from the unseeded global source.
+func BadGlobalRand() int {
+	return rand.Intn(10) // want `deterministic package uses rand\.Intn`
+}
+
+// GoodSeededRand constructs an explicitly seeded generator.
+func GoodSeededRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// AnnotatedWallClock is an audited exception.
+func AnnotatedWallClock() time.Time {
+	return time.Now() //punica:nondet-ok boot banner only, never reaches sim state
+}
+
+// BadMapAppend records map iteration order.
+func BadMapAppend(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v) // want `append to out inside map iteration`
+	}
+	return out
+}
+
+// GoodMapAppendSorted gathers then sorts — order-independent.
+func GoodMapAppendSorted(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BadMapSend publishes values in map order.
+func BadMapSend(m map[int]string, ch chan string) {
+	for _, v := range m {
+		ch <- v // want `channel send inside map iteration`
+	}
+}
+
+// BadFloatAccum sums floats in map order: rounding depends on order.
+func BadFloatAccum(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `floating-point accumulation inside map iteration`
+	}
+	return total
+}
+
+// GoodIntAccum: integer addition is exact and commutative.
+func GoodIntAccum(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// GoodSliceAppend ranges over a slice, not a map: ordered.
+func GoodSliceAppend(xs []string) []string {
+	var out []string
+	for _, v := range xs {
+		out = append(out, v)
+	}
+	return out
+}

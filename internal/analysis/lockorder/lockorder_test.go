@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"punica/internal/analysis/analysistest"
+	"punica/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer)
+}

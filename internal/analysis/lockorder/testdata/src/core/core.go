@@ -1,0 +1,15 @@
+// Package core is a fixture mirror of punica/internal/core: the
+// lockorder analyzer keys its Engine-call rule on this base name.
+package core
+
+// Engine is the fixture engine.
+type Engine struct{ steps int }
+
+// Step is an exported engine entry point.
+func (e *Engine) Step(now float64) int {
+	e.steps++
+	return e.steps
+}
+
+// Drain is another exported entry point.
+func (e *Engine) Drain() {}

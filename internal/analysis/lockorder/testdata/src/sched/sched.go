@@ -1,0 +1,39 @@
+// Package sched exercises the leaf-lock rule: exported Engine methods
+// must not be called while a scheduler lock is held.
+package sched
+
+import (
+	"sync"
+
+	"fixture/core"
+)
+
+// Scheduler guards its queue with mu; the analyzer treats any lock on
+// a *Scheduler-named type as a scheduler lock.
+type Scheduler struct {
+	mu    sync.Mutex
+	queue []int
+}
+
+// BadStepUnderLock enters the engine while holding the scheduler lock.
+func (s *Scheduler) BadStepUnderLock(e *core.Engine) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queue = s.queue[:0]
+	e.Step(1) // want `Engine\.Step called while holding Scheduler\.mu`
+}
+
+// GoodStepAfterUnlock releases the lock before entering the engine.
+func (s *Scheduler) GoodStepAfterUnlock(e *core.Engine) {
+	s.mu.Lock()
+	s.queue = s.queue[:0]
+	s.mu.Unlock()
+	e.Step(1)
+}
+
+// GoodAnnotated is an audited exception.
+func (s *Scheduler) GoodAnnotated(e *core.Engine) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e.Drain() //punica:lock-ok Drain never re-enters scheduling
+}

@@ -1,0 +1,65 @@
+// Package serve exercises the acquisition-order graph: AcquireAB and
+// AcquireBA take the same pair of locks in opposite orders, which is a
+// deadlock under the right interleaving.
+package serve
+
+import "sync"
+
+// LockA owns the first mutex.
+type LockA struct {
+	mu sync.Mutex
+	n  int
+}
+
+// LockB owns the second mutex.
+type LockB struct {
+	mu sync.Mutex
+	n  int
+}
+
+// LockC owns the third mutex.
+type LockC struct {
+	mu sync.Mutex
+	n  int
+}
+
+// AcquireAB establishes the order LockA.mu -> LockB.mu.
+func AcquireAB(a *LockA, b *LockB) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.n++
+	b.n++
+}
+
+// AcquireBA takes the same pair in the opposite order, closing a cycle.
+func AcquireBA(a *LockA, b *LockB) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // want `lock acquisition cycle: LockA\.mu -> LockB\.mu -> LockA\.mu`
+	defer a.mu.Unlock()
+	a.n++
+	b.n++
+}
+
+// ChainBC extends the order LockB.mu -> LockC.mu: still acyclic with
+// AcquireAB, so no diagnostic.
+func ChainBC(b *LockB, c *LockC) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b.n++
+	c.n++
+}
+
+// HandoffCA releases C before taking A: no ordering edge, no cycle.
+func HandoffCA(a *LockA, c *LockC) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+}

@@ -1,0 +1,361 @@
+// Package scratchlife enforces the valid-until-next-call contract on
+// scratch-backed return values. Engine.Step results (Finished/Evicted),
+// lora.Store.Adapters views and sgmv.SegmentsOver segment vectors all
+// alias buffers their producer reuses on the next call; a caller that
+// stores one beyond the current call frame has a latent aliasing bug
+// that only manifests when the producer runs again — exactly the
+// cross-cell heisenbug class a sharded control plane would turn silent.
+//
+// The analyzer taints locals assigned (directly or transitively) from a
+// tracked call and reports when a tainted value is:
+//
+//   - assigned to a field reachable from a pointer or package-level
+//     variable (it now outlives the frame),
+//   - assigned to a field of a local struct that the function returns,
+//   - assigned to a package-level variable,
+//   - sent on a channel, or
+//   - captured by a function literal (the closure may run after the
+//     producer's next call).
+//
+// Passing a tainted value as an ordinary call argument is allowed — the
+// callee's frame is inside the current call — and re-assigning a local
+// from clean data (e.g. `evicted = append([]*core.Request(nil),
+// evicted...)`) clears its taint: that is the idiomatic audited copy.
+//
+// Audited retentions are annotated `//punica:retains-copy` on the
+// flagged line (or the enclosing function's doc comment) with prose
+// justifying why the holder cannot outlive the next producer call.
+package scratchlife
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+
+	"punica/internal/analysis"
+)
+
+// Analyzer is the scratchlife pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "scratchlife",
+	Doc:  "scratch-backed slices (Engine.Step, Store.Adapters, sgmv.SegmentsOver) must not outlive the next call",
+	Run:  run,
+}
+
+// tracked identifies the producers whose results are scratch-backed.
+// Receiver "" means a package-level function.
+type tracked struct{ pkgBase, recv, name string }
+
+var trackedCalls = map[tracked]bool{
+	{"core", "Engine", "Step"}:    true,
+	{"lora", "Store", "Adapters"}: true,
+	{"sgmv", "", "SegmentsOver"}:  true,
+}
+
+const marker = "retains-copy"
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	fn      *ast.FuncDecl
+	tainted map[types.Object]bool
+	// localStructStores defers judgment on `local.Field = tainted`
+	// until we know whether the local is returned.
+	localStructStores []deferredStore
+	returned          map[types.Object]bool
+}
+
+type deferredStore struct {
+	obj  types.Object
+	pos  token.Pos
+	what string
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	c := &checker{
+		pass:     pass,
+		fn:       fn,
+		tainted:  map[types.Object]bool{},
+		returned: map[types.Object]bool{},
+	}
+	// Named results are implicitly returned.
+	if fn.Type.Results != nil {
+		for _, f := range fn.Type.Results.List {
+			for _, name := range f.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					c.returned[obj] = true
+				}
+			}
+		}
+	}
+	c.walk(fn.Body)
+	for _, st := range c.localStructStores {
+		if c.returned[st.obj] {
+			c.report(st.pos, "%s is stored in a field of %s, which this function returns — the scratch-backed value escapes the call frame",
+				st.what, st.obj.Name())
+		}
+	}
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	if c.pass.Annotated(pos, marker) || c.pass.FuncAnnotated(c.fn, marker) {
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
+}
+
+func (c *checker) walk(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.checkCapture(n)
+			return false // inner bodies are not this frame
+		case *ast.AssignStmt:
+			c.assign(n)
+		case *ast.SendStmt:
+			if name, bad := c.taintedExpr(n.Value); bad {
+				c.report(n.Pos(), "scratch-backed value from %s is sent on a channel and may outlive the producer's next call", name)
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if id, ok := r.(*ast.Ident); ok {
+					if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+						c.returned[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// assign processes taint propagation and retention sinks for one
+// assignment statement.
+func (c *checker) assign(n *ast.AssignStmt) {
+	rhs := func(i int) ast.Expr {
+		if len(n.Rhs) == len(n.Lhs) {
+			return n.Rhs[i]
+		}
+		return n.Rhs[0] // tuple assignment from one call
+	}
+	for i, lhs := range n.Lhs {
+		name, bad := c.taintedExpr(rhs(i))
+		if !bad {
+			// Clean RHS: a plain re-assignment launders the local
+			// (the idiomatic copy), but += style keeps prior taint.
+			if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+				if obj := c.lhsObject(lhs); obj != nil {
+					delete(c.tainted, obj)
+				}
+			}
+			continue
+		}
+		switch l := lhs.(type) {
+		case *ast.Ident:
+			obj := c.lhsObject(l)
+			if obj == nil {
+				continue
+			}
+			if isPackageLevel(obj) {
+				c.report(lhs.Pos(), "scratch-backed value from %s is stored in package-level variable %s", name, obj.Name())
+				continue
+			}
+			c.tainted[obj] = true
+		case *ast.SelectorExpr, *ast.IndexExpr:
+			root, pointerish := rootOf(c.pass, lhs)
+			switch {
+			case root == nil || pointerish || isPackageLevel(root):
+				c.report(lhs.Pos(), "scratch-backed value from %s is stored in a struct field or element that outlives the call frame", name)
+			default:
+				// Field of a local value struct: only a violation if
+				// the struct is returned. Defer until the walk ends.
+				c.localStructStores = append(c.localStructStores, deferredStore{
+					obj:  root,
+					pos:  lhs.Pos(),
+					what: "scratch-backed value from " + name,
+				})
+			}
+		}
+	}
+}
+
+// checkCapture reports tainted locals referenced inside a func literal.
+func (c *checker) checkCapture(lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := c.pass.TypesInfo.Uses[id]; obj != nil && c.tainted[obj] {
+			c.report(lit.Pos(), "closure captures %s, which holds a scratch-backed value valid only until the producer's next call", id.Name)
+			return false
+		}
+		return true
+	})
+}
+
+// taintedExpr reports whether expr evaluates to a scratch-backed value,
+// naming the source. Taint is structural, mirroring what actually
+// aliases the producer's buffers:
+//
+//   - a tracked call, a tainted local, a field or sub-slice of a
+//     tainted value, or a composite literal embedding one is tainted;
+//   - an element read (xs[i]) is not — elements are requests/states
+//     that live on the heap independently of the scratch array;
+//   - append(first, ...) carries only the first argument's taint, so
+//     `append([]T(nil), tainted...)` is recognised as the audited copy
+//     idiom (fresh backing array, clean result);
+//   - results of other calls are assumed fresh.
+func (c *checker) taintedExpr(expr ast.Expr) (string, bool) {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		if obj := c.pass.TypesInfo.Uses[e]; obj != nil && c.tainted[obj] {
+			return e.Name, true
+		}
+	case *ast.SelectorExpr:
+		if name, ok := c.taintedExpr(e.X); ok {
+			return name, ok
+		}
+	case *ast.SliceExpr:
+		return c.taintedExpr(e.X)
+	case *ast.ParenExpr:
+		return c.taintedExpr(e.X)
+	case *ast.StarExpr:
+		return c.taintedExpr(e.X)
+	case *ast.UnaryExpr:
+		return c.taintedExpr(e.X)
+	case *ast.TypeAssertExpr:
+		return c.taintedExpr(e.X)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if name, ok := c.taintedExpr(elt); ok {
+				return name, ok
+			}
+		}
+	case *ast.CallExpr:
+		if t, ok := trackedCall(c.pass, e); ok {
+			return t, true
+		}
+		if id, ok := e.Fun.(*ast.Ident); ok && len(e.Args) > 0 {
+			if obj, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && obj.Name() == "append" {
+				return c.taintedExpr(e.Args[0])
+			}
+		}
+	}
+	return "", false
+}
+
+func (c *checker) lhsObject(expr ast.Expr) types.Object {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return c.pass.TypesInfo.Uses[id]
+}
+
+// rootOf walks to the base identifier of a selector/index chain. It
+// reports the root object and whether any link in the chain goes
+// through a pointer (meaning the store escapes the local frame).
+func rootOf(pass *analysis.Pass, expr ast.Expr) (types.Object, bool) {
+	pointerish := false
+	for {
+		switch e := expr.(type) {
+		case *ast.SelectorExpr:
+			if tv, ok := pass.TypesInfo.Types[e.X]; ok {
+				if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+					pointerish = true
+				}
+			}
+			expr = e.X
+		case *ast.IndexExpr:
+			// Slice/map backing arrays are heap-reachable: treat any
+			// element store as escaping unless the base is a local
+			// array value.
+			if tv, ok := pass.TypesInfo.Types[e.X]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Map, *types.Pointer:
+					pointerish = true
+				}
+			}
+			expr = e.X
+		case *ast.StarExpr:
+			pointerish = true
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[e]
+			if obj == nil {
+				obj = pass.TypesInfo.Defs[e]
+			}
+			return obj, pointerish
+		default:
+			return nil, pointerish
+		}
+	}
+}
+
+func isPackageLevel(obj types.Object) bool {
+	return obj != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}
+
+// trackedCall reports whether the call invokes one of the scratch
+// producers, returning a human-readable name.
+func trackedCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	default:
+		return "", false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	recvName := ""
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return "", false
+		}
+		recvName = named.Obj().Name()
+	}
+	key := tracked{path.Base(fn.Pkg().Path()), recvName, fn.Name()}
+	if !trackedCalls[key] {
+		return "", false
+	}
+	if recvName != "" {
+		return recvName + "." + fn.Name(), true
+	}
+	return fn.Pkg().Name() + "." + fn.Name(), true
+}

@@ -1,0 +1,12 @@
+package scratchlife_test
+
+import (
+	"testing"
+
+	"punica/internal/analysis/analysistest"
+	"punica/internal/analysis/scratchlife"
+)
+
+func TestScratchLife(t *testing.T) {
+	analysistest.Run(t, scratchlife.Analyzer)
+}

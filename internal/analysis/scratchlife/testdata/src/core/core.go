@@ -1,0 +1,40 @@
+// Package core is a fixture producer: Engine.Step returns scratch-backed
+// slices, mirroring punica/internal/core.
+package core
+
+// StepResult aliases engine scratch; valid until the next Step.
+type StepResult struct {
+	Finished []int
+	Evicted  []int
+}
+
+// Engine mirrors the real engine's reused scratch buffers.
+type Engine struct {
+	finishedScratch []int
+}
+
+// Step returns a result whose slices alias engine scratch.
+func (e *Engine) Step(now int) StepResult {
+	return StepResult{Finished: e.finishedScratch[:0]}
+}
+
+// View is a snapshot-like struct a producer method may populate.
+type View struct {
+	Finished []int
+}
+
+// BadView stores a scratch-backed slice into a struct it returns.
+func (e *Engine) BadView(now int) View {
+	v := View{}
+	res := e.Step(now)
+	v.Finished = res.Finished // want `stored in a field of v, which this function returns`
+	return v
+}
+
+// GoodLocalView stores into a local struct that never escapes.
+func (e *Engine) GoodLocalView(now int) int {
+	v := View{}
+	res := e.Step(now)
+	v.Finished = res.Finished
+	return len(v.Finished)
+}

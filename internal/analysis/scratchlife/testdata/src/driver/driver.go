@@ -1,0 +1,89 @@
+// Package driver consumes the scratch-backed producers in every legal
+// and illegal way the scratchlife analyzer distinguishes.
+package driver
+
+import (
+	"fixture/core"
+	"fixture/lora"
+	"fixture/sgmv"
+)
+
+// Sched retains state across scheduling decisions.
+type Sched struct {
+	finished []int
+	adapters []lora.AdapterState
+	segs     sgmv.Segments
+}
+
+var globalFinished []int
+
+// GoodConsume uses the result inside the call frame only.
+func GoodConsume(e *core.Engine) int {
+	res := e.Step(1)
+	n := 0
+	for range res.Finished {
+		n++
+	}
+	return n
+}
+
+// GoodCopy launders the scratch slice through an explicit copy before
+// retaining it — the idiomatic audited copy.
+func (s *Sched) GoodCopy(e *core.Engine) {
+	res := e.Step(1)
+	finished := res.Finished
+	finished = append([]int(nil), finished...)
+	s.finished = finished
+}
+
+// GoodPass hands the tainted slice to a callee: the callee's frame is
+// inside ours, so the contract holds.
+func (s *Sched) GoodPass(e *core.Engine) int {
+	res := e.Step(1)
+	return consume(res.Finished)
+}
+
+func consume(xs []int) int { return len(xs) }
+
+// GoodAnnotated retains the view but is audited: the holder is
+// invalidated before the store's next mutation.
+func (s *Sched) GoodAnnotated(st *lora.Store) {
+	s.adapters = st.Adapters() //punica:retains-copy view revalidated by version before reuse
+}
+
+func (s *Sched) BadFieldStore(e *core.Engine) {
+	res := e.Step(1)
+	s.finished = res.Finished // want `scratch-backed value from res is stored in a struct field`
+}
+
+func (s *Sched) BadDirectFieldStore(st *lora.Store) {
+	s.adapters = st.Adapters() // want `scratch-backed value from Store\.Adapters is stored in a struct field`
+}
+
+func (s *Sched) BadSegments(bounds []int) {
+	s.segs = sgmv.SegmentsOver(bounds) // want `scratch-backed value from sgmv\.SegmentsOver is stored in a struct field`
+}
+
+func BadGlobal(e *core.Engine) {
+	res := e.Step(1)
+	globalFinished = res.Finished // want `scratch-backed value from res is stored in package-level variable globalFinished`
+}
+
+func BadSend(e *core.Engine, ch chan []int) {
+	res := e.Step(1)
+	ch <- res.Finished // want `sent on a channel`
+}
+
+func BadCapture(e *core.Engine, defer_ func(func())) {
+	res := e.Step(1)
+	defer_(func() { // want `closure captures res`
+		consume(res.Finished)
+	})
+}
+
+// BadTransitive propagates taint through an intermediate local.
+func (s *Sched) BadTransitive(e *core.Engine) {
+	res := e.Step(1)
+	evicted := res.Evicted
+	s.finished = evicted // want `scratch-backed value from evicted is stored in a struct field`
+}

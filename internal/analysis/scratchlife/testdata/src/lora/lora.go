@@ -1,0 +1,17 @@
+// Package lora is a fixture producer: Store.Adapters returns a reused
+// view slice, mirroring punica/internal/lora.
+package lora
+
+// AdapterState describes one resident adapter.
+type AdapterState struct {
+	ID   int
+	Rank int
+}
+
+// Store owns the reusable adapters view.
+type Store struct {
+	cache []AdapterState
+}
+
+// Adapters returns the store-owned view, rewritten on mutation.
+func (s *Store) Adapters() []AdapterState { return s.cache }

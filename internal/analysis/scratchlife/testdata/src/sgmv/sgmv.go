@@ -1,0 +1,11 @@
+// Package sgmv is a fixture producer: SegmentsOver wraps a caller
+// bounds buffer without copying, mirroring punica/internal/sgmv.
+package sgmv
+
+// Segments wraps a segment-boundary vector.
+type Segments struct {
+	Bounds []int
+}
+
+// SegmentsOver wraps bounds without copying.
+func SegmentsOver(bounds []int) Segments { return Segments{Bounds: bounds} }

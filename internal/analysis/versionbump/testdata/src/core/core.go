@@ -1,0 +1,95 @@
+// Package core is a fixture mirroring the shape of punica/internal/core
+// for the versionbump analyzer: an Engine with a version counter,
+// snapshot-visible fields, exempt scratch/stats fields, and owned
+// subsystems with mutating methods.
+package core
+
+// Pool stands in for the KvCache pool.
+type Pool struct{ free int }
+
+func (p *Pool) Allocate(n int) error { p.free -= n; return nil }
+func (p *Pool) Release(n int)        { p.free += n }
+func (p *Pool) FreePages() int       { return p.free }
+
+// Stats is accumulated counters (not snapshot-visible).
+type Stats struct{ Steps int64 }
+
+// Engine mirrors core.Engine: version guards the snapshot cache.
+type Engine struct {
+	version uint64
+
+	pending       []int
+	active        []int
+	reservedPages int
+
+	kv *Pool
+
+	finishedScratch []int
+	stats           Stats
+}
+
+// Version returns the counter (read-only: no bump required).
+func (e *Engine) Version() uint64 { return e.version }
+
+// WorkingSet is read-only: no bump required.
+func (e *Engine) WorkingSet() int { return len(e.active) + len(e.pending) }
+
+// GoodEnqueue bumps before its first mutation, like the real Enqueue:
+// an early error return before the bump is fine because nothing mutated.
+func (e *Engine) GoodEnqueue(id int) error {
+	if id < 0 {
+		return nil
+	}
+	e.version++
+	e.pending = append(e.pending, id)
+	e.reservedPages++
+	return nil
+}
+
+// GoodStats mutates only exempt state: no bump required.
+func (e *Engine) GoodStats() {
+	e.stats.Steps++
+	e.finishedScratch = e.finishedScratch[:0]
+}
+
+// GoodDelegate calls an exported method, which bumps for itself.
+func (e *Engine) GoodDelegate(id int) {
+	_ = e.GoodEnqueue(id)
+	e.stats.Steps++
+}
+
+// GoodHelperCaller bumps before calling a mutating unexported helper.
+func (e *Engine) GoodHelperCaller(id int) {
+	e.version++
+	e.admit(id)
+}
+
+func (e *Engine) admit(id int) {
+	e.active = append(e.active, id)
+}
+
+func (e *Engine) BadDrop(id int) { // want `Engine\.BadDrop mutates snapshot-visible state \(write to pending\) without bumping version`
+	e.pending = e.pending[:0]
+}
+
+func (e *Engine) BadLate(id int) {
+	e.pending = append(e.pending, id) // want `Engine\.BadLate mutates snapshot-visible state \(write to pending\) before bumping version`
+	e.version++
+}
+
+func (e *Engine) BadHelper(id int) { // want `Engine\.BadHelper mutates snapshot-visible state \(call to mutating helper admit\) without bumping version`
+	e.admit(id)
+}
+
+func (e *Engine) BadPool(n int) { // want `Engine\.BadPool mutates snapshot-visible state \(mutating call kv\.Allocate\) without bumping version`
+	_ = e.kv.Allocate(n)
+}
+
+// BadConditionalBump only bumps on one path: the bump is not a
+// top-level statement, so it does not dominate the mutation.
+func (e *Engine) BadConditionalBump(id int) { // want `Engine\.BadConditionalBump mutates snapshot-visible state \(write to active\) but its version bump does not dominate the mutation`
+	if id > 0 {
+		e.version++
+	}
+	e.active = append(e.active, id)
+}

@@ -1,0 +1,320 @@
+// Package versionbump enforces the engine snapshot-cache contract from
+// PR 5: every exported *Engine method that mutates snapshot-visible
+// state must bump the `version` counter before the first mutation, so a
+// scheduler revalidating a cached core.Snapshot by StateVersion can
+// never observe changed state behind an unchanged version.
+//
+// Snapshot-visible state is:
+//
+//   - direct writes to Engine fields other than the exempt set
+//     (`version` itself, `stats`, and the Step scratch buffers), and
+//   - calls to mutating methods of the owned kv pool / adapter store
+//     (Acquire, Release, Prefetch, Allocate, Extend, Import, Export).
+//
+// Unexported helper methods may mutate freely; the analyzer walks the
+// unexported call graph so an exported entry point is charged with its
+// helpers' writes. Calls to *other exported* Engine methods are trusted
+// to bump for themselves (e.g. EvictNewest delegating to Cancel).
+//
+// The check is deliberately conservative in the same direction as the
+// code: the engine over-bumps (a failed Enqueue still bumps because it
+// may have evicted adapters while making room), so the analyzer demands
+// the bump dominate every mutation — in practice, appear as a top-level
+// statement of the method body before the first mutating statement.
+package versionbump
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"punica/internal/analysis"
+)
+
+// Analyzer is the versionbump pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "versionbump",
+	Doc:  "exported Engine methods that mutate snapshot-visible state must bump version first",
+	Run:  run,
+}
+
+// EngineType names the guarded type; packages that do not declare it
+// are skipped, which scopes the analyzer to core (and fixtures).
+const EngineType = "Engine"
+
+// VersionField is the monotonic mutation counter.
+const VersionField = "version"
+
+// exemptFields are Engine fields whose mutation is not snapshot-visible:
+// the counter itself, accumulated statistics, and the reusable scratch
+// buffers behind Step's valid-until-next-call results.
+var exemptFields = map[string]bool{
+	VersionField:  true,
+	"stats":       true,
+	"prefillLens": true,
+	"decodeCtxs":  true,
+	"segModels":   true,
+	"segCounts":   true,
+	"segBounds":   true,
+}
+
+var scratchName = regexp.MustCompile(`(?i)scratch`)
+
+// mutatorMethods are methods on owned subsystems (kv pool, adapter
+// store) that change snapshot-visible engine state when called.
+var mutatorMethods = map[string]bool{
+	"Acquire":  true,
+	"Release":  true,
+	"Prefetch": true,
+	"Allocate": true,
+	"Extend":   true,
+	"Import":   true,
+	"Export":   true,
+}
+
+type methodFacts struct {
+	decl *ast.FuncDecl
+	// firstWrite is the position of the earliest snapshot-visible
+	// mutation in the body (direct write or mutator call); NoPos if none.
+	firstWrite token.Pos
+	what       string // description of that first mutation
+	// callees are same-package unexported Engine methods invoked.
+	callees map[string]token.Pos
+	// bumpEnd is the End position of the first top-level `version++`
+	// (or `version += n`) statement; NoPos if absent.
+	bumpEnd token.Pos
+	// anyBump records a bump anywhere in the body, including inside
+	// conditionals where it cannot dominate every mutation.
+	anyBump bool
+}
+
+func run(pass *analysis.Pass) error {
+	engine := lookupEngine(pass.Pkg)
+	if engine == nil {
+		return nil // package does not declare the guarded type
+	}
+
+	methods := map[string]*methodFacts{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil {
+				continue
+			}
+			if recvNamed(pass, fn) != engine {
+				continue
+			}
+			methods[fn.Name.Name] = collect(pass, fn)
+		}
+	}
+
+	// Propagate writes through unexported helpers to a fixpoint: a
+	// method "writes" if it writes directly or calls an unexported
+	// Engine method that writes.
+	for changed := true; changed; {
+		changed = false
+		for _, m := range methods {
+			if m.firstWrite != token.NoPos {
+				continue
+			}
+			for name, pos := range m.callees {
+				callee := methods[name]
+				if callee != nil && callee.firstWrite != token.NoPos {
+					m.firstWrite = pos
+					m.what = "call to mutating helper " + name
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for name, m := range methods {
+		if !ast.IsExported(name) || m.firstWrite == token.NoPos {
+			continue
+		}
+		// Re-derive the earliest mutation now that helper knowledge is
+		// complete: the direct write may come later than a helper call.
+		first, what := m.firstWrite, m.what
+		for callee, pos := range m.callees {
+			cf := methods[callee]
+			if cf != nil && cf.firstWrite != token.NoPos && pos < first {
+				first, what = pos, "call to mutating helper "+callee
+			}
+		}
+		switch {
+		case m.bumpEnd == token.NoPos && m.anyBump:
+			pass.Reportf(m.decl.Pos(),
+				"%s.%s mutates snapshot-visible state (%s) but its %s bump does not dominate the mutation",
+				EngineType, name, what, VersionField)
+		case m.bumpEnd == token.NoPos:
+			pass.Reportf(m.decl.Pos(),
+				"%s.%s mutates snapshot-visible state (%s) without bumping %s",
+				EngineType, name, what, VersionField)
+		case m.bumpEnd > first:
+			pass.Reportf(first,
+				"%s.%s mutates snapshot-visible state (%s) before bumping %s",
+				EngineType, name, what, VersionField)
+		}
+	}
+	return nil
+}
+
+// lookupEngine finds the guarded named type: a struct named Engine with
+// an unsigned-integer field named version.
+func lookupEngine(pkg *types.Package) *types.Named {
+	obj := pkg.Scope().Lookup(EngineType)
+	if obj == nil {
+		return nil
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() != VersionField {
+			continue
+		}
+		if b, ok := f.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsUnsigned != 0 {
+			return named
+		}
+	}
+	return nil
+}
+
+// recvNamed resolves the named type of a method's receiver (through one
+// pointer), or nil.
+func recvNamed(pass *analysis.Pass, fn *ast.FuncDecl) *types.Named {
+	if len(fn.Recv.List) != 1 {
+		return nil
+	}
+	tv, ok := pass.TypesInfo.Types[fn.Recv.List[0].Type]
+	if !ok {
+		return nil
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// recvIdent returns the receiver identifier object, or nil for a
+// blank/anonymous receiver.
+func recvIdent(pass *analysis.Pass, fn *ast.FuncDecl) types.Object {
+	if len(fn.Recv.List) != 1 || len(fn.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	return pass.TypesInfo.Defs[fn.Recv.List[0].Names[0]]
+}
+
+func collect(pass *analysis.Pass, fn *ast.FuncDecl) *methodFacts {
+	recv := recvIdent(pass, fn)
+	m := &methodFacts{decl: fn, callees: map[string]token.Pos{}}
+
+	note := func(pos token.Pos, what string) {
+		if m.firstWrite == token.NoPos || pos < m.firstWrite {
+			m.firstWrite, m.what = pos, what
+		}
+	}
+
+	// Top-level bump: `recv.version++` (or +=) as a direct child of the
+	// body, so it dominates every later statement.
+	for _, stmt := range fn.Body.List {
+		switch s := stmt.(type) {
+		case *ast.IncDecStmt:
+			if s.Tok == token.INC && isRecvField(pass, recv, s.X, VersionField) {
+				m.bumpEnd = s.End()
+			}
+		case *ast.AssignStmt:
+			if s.Tok == token.ADD_ASSIGN && len(s.Lhs) == 1 &&
+				isRecvField(pass, recv, s.Lhs[0], VersionField) {
+				m.bumpEnd = s.End()
+			}
+		}
+		if m.bumpEnd != token.NoPos {
+			break
+		}
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // closures (sort comparators) do not mutate engine state here
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if f, ok := visibleFieldWrite(pass, recv, lhs); ok {
+					note(lhs.Pos(), "write to "+f)
+				}
+			}
+		case *ast.IncDecStmt:
+			if n.Tok == token.INC && isRecvField(pass, recv, n.X, VersionField) {
+				m.anyBump = true
+			}
+			if f, ok := visibleFieldWrite(pass, recv, n.X); ok {
+				note(n.Pos(), "write to "+f)
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			// recv.helper(...) — same-type method call.
+			if base, ok := sel.X.(*ast.Ident); ok && recv != nil &&
+				pass.TypesInfo.Uses[base] == recv {
+				name := sel.Sel.Name
+				if !ast.IsExported(name) {
+					if _, seen := m.callees[name]; !seen {
+						m.callees[name] = n.Pos()
+					}
+				}
+				return true
+			}
+			// recv.field.Mutator(...) — owned-subsystem mutation.
+			if inner, ok := sel.X.(*ast.SelectorExpr); ok &&
+				mutatorMethods[sel.Sel.Name] {
+				if base, ok := inner.X.(*ast.Ident); ok && recv != nil &&
+					pass.TypesInfo.Uses[base] == recv {
+					note(n.Pos(), "mutating call "+inner.Sel.Name+"."+sel.Sel.Name)
+				}
+			}
+		}
+		return true
+	})
+	return m
+}
+
+// isRecvField reports whether expr is exactly `recv.field`.
+func isRecvField(pass *analysis.Pass, recv types.Object, expr ast.Expr, field string) bool {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok || recv == nil || sel.Sel.Name != field {
+		return false
+	}
+	base, ok := sel.X.(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[base] == recv
+}
+
+// visibleFieldWrite reports whether expr is a snapshot-visible field of
+// the receiver (recv.field with field outside the exempt set).
+func visibleFieldWrite(pass *analysis.Pass, recv types.Object, expr ast.Expr) (string, bool) {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok || recv == nil {
+		return "", false
+	}
+	base, ok := sel.X.(*ast.Ident)
+	if !ok || pass.TypesInfo.Uses[base] != recv {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if exemptFields[name] || scratchName.MatchString(name) {
+		return "", false
+	}
+	return name, true
+}

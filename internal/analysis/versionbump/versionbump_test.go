@@ -1,0 +1,12 @@
+package versionbump_test
+
+import (
+	"testing"
+
+	"punica/internal/analysis/analysistest"
+	"punica/internal/analysis/versionbump"
+)
+
+func TestVersionBump(t *testing.T) {
+	analysistest.Run(t, versionbump.Analyzer)
+}

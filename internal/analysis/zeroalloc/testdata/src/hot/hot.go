@@ -1,0 +1,63 @@
+// Package hot exercises the zeroalloc pass: only functions tagged
+// //punica:zeroalloc are checked, and each allocating construct has a
+// positive case here.
+package hot
+
+import "fmt"
+
+// Engine reuses scratch buffers across steps.
+type Engine struct {
+	scratch []int
+	names   map[int]string
+}
+
+// Step is the tagged hot path done right: truncate-and-reuse only.
+//
+//punica:zeroalloc
+func (e *Engine) Step(xs []int) int {
+	e.scratch = e.scratch[:0]
+	for _, x := range xs {
+		e.scratch = append(e.scratch, x)
+	}
+	return len(e.scratch)
+}
+
+// SlowPath is tagged but waives one deliberate pool-miss allocation.
+//
+//punica:zeroalloc
+func (e *Engine) SlowPath(miss bool) *Engine {
+	if miss {
+		return new(Engine) //punica:alloc-ok pool miss: amortised, measured by AllocsPerRun guard
+	}
+	return e
+}
+
+// Untagged may allocate freely: no tag, no checks.
+func Untagged() []int {
+	out := make([]int, 8)
+	return append(out, 1)
+}
+
+// BadConstructs is tagged and trips every rule.
+//
+//punica:zeroalloc
+func (e *Engine) BadConstructs(n int, s string) string {
+	f := func() int { return n }    // want `function literal, which allocates a closure`
+	go e.Step(nil)                  // want `starts a goroutine`
+	defer e.Step(nil)               // want `uses defer`
+	buf := make([]int, n)           // want `calls make, which allocates`
+	p := new(int)                   // want `calls new, which allocates`
+	xs := []int{1, 2}               // want `builds a slice literal`
+	m := map[int]string{}           // want `builds a map literal`
+	ptr := &Engine{}                // want `address of a composite literal`
+	ys := append([]int(nil), xs...) // want `appends into a fresh slice`
+	msg := "x" + s                  // want `concatenates strings`
+	fmt.Println(msg)                // want `calls fmt\.Println, which boxes`
+	_ = f
+	_ = buf
+	_ = p
+	_ = m
+	_ = ptr
+	_ = ys
+	return msg
+}

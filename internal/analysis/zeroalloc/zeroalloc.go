@@ -1,0 +1,149 @@
+// Package zeroalloc keeps the simulator's hot paths allocation-free by
+// construction. Functions whose doc comment carries `//punica:zeroalloc`
+// (Engine.Step, Scheduler.Dispatch, VirtualClock.Schedule) are covered
+// by testing.AllocsPerRun guards, but those only fail after the
+// regression ships; this pass rejects the allocating construct at vet
+// time, in the function's direct body:
+//
+//   - function literals and `go` statements (closure + goroutine
+//     allocation);
+//   - `defer` (disallowed in hot paths by contract — even heap-free
+//     defers cost a frame record);
+//   - make, new;
+//   - slice/map composite literals, and &T{...} (heap-escaping
+//     composite);
+//   - append whose destination is a fresh literal (append([]T(nil),…),
+//     append([]T{},…)) rather than a reused buffer;
+//   - string concatenation (`+` on strings builds a new string);
+//   - any call into fmt (formatting boxes its operands).
+//
+// Only the tagged function's own body is checked — callees carry their
+// own tag or their own AllocsPerRun guard. A deliberate slow-path
+// allocation (e.g. the event pool miss in VirtualClock.Schedule) is
+// waived line-by-line with `//punica:alloc-ok <why>`.
+package zeroalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"punica/internal/analysis"
+)
+
+// Analyzer is the zeroalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "zeroalloc",
+	Doc:  "functions tagged //punica:zeroalloc must not contain allocating constructs",
+	Run:  run,
+}
+
+const (
+	tag    = "zeroalloc"
+	waiver = "alloc-ok"
+)
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !pass.FuncAnnotated(fn, tag) {
+				continue
+			}
+			check(pass, fn)
+		}
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, fn *ast.FuncDecl) {
+	report := func(pos token.Pos, format string, args ...any) {
+		if !pass.Annotated(pos, waiver) {
+			pass.Reportf(pos, format, args...)
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			report(n.Pos(), "zeroalloc function contains a function literal, which allocates a closure")
+			return false // the literal's body is the closure's problem
+		case *ast.GoStmt:
+			report(n.Pos(), "zeroalloc function starts a goroutine, which allocates")
+			return false
+		case *ast.DeferStmt:
+			report(n.Pos(), "zeroalloc function uses defer, which is disallowed in hot paths")
+			return false
+		case *ast.CompositeLit:
+			if tv, ok := pass.TypesInfo.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					report(n.Pos(), "zeroalloc function builds a %s literal, which allocates", kindName(tv.Type))
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, isLit := n.X.(*ast.CompositeLit); isLit {
+					report(n.Pos(), "zeroalloc function takes the address of a composite literal, which escapes to the heap")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := pass.TypesInfo.Types[n]; ok {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						report(n.Pos(), "zeroalloc function concatenates strings, which allocates")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, report, n)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, report func(token.Pos, string, ...any), call *ast.CallExpr) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(call.Pos(), "zeroalloc function calls make, which allocates")
+			case "new":
+				report(call.Pos(), "zeroalloc function calls new, which allocates")
+			case "append":
+				if len(call.Args) > 0 && freshDest(pass, call.Args[0]) {
+					report(call.Pos(), "zeroalloc function appends into a fresh slice rather than a reused buffer")
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			report(call.Pos(), "zeroalloc function calls fmt.%s, which boxes its operands", obj.Name())
+		}
+	}
+}
+
+// freshDest reports whether an append destination is a freshly built
+// empty slice — `[]T(nil)`, `[]T{}` — i.e. the append must allocate.
+func freshDest(pass *analysis.Pass, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		// Conversion like []T(nil): Fun is a type expression.
+		if tv, ok := pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() {
+			return true
+		}
+	}
+	return false
+}
+
+func kindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "composite"
+}

@@ -1,0 +1,12 @@
+package zeroalloc_test
+
+import (
+	"testing"
+
+	"punica/internal/analysis/analysistest"
+	"punica/internal/analysis/zeroalloc"
+)
+
+func TestZeroAlloc(t *testing.T) {
+	analysistest.Run(t, zeroalloc.Analyzer)
+}

@@ -266,10 +266,14 @@ func (a *autoscaler) finish(now time.Duration) {
 	}
 	a.lastFinal = now
 	a.finalOnline = len(a.online)
-	for r, since := range a.online {
-		a.gpuSecs += (now - since).Seconds()
-		_ = r
+	// Sum durations as integers so the total is exact regardless of map
+	// iteration order, then convert once; accumulating float seconds
+	// per-runner made GPUSeconds vary in the last bits across runs.
+	var online time.Duration
+	for _, since := range a.online {
+		online += now - since
 	}
+	a.gpuSecs += online.Seconds()
 }
 
 // AutoscaleStats summarises elastic behaviour after a run.

@@ -459,7 +459,7 @@ func (r *runner) kick() {
 	r.stepInFlight = true
 	r.handleEvicted(res.Evicted)
 	r.cluster.res.BatchSeries[r.index].Add(now, float64(res.BatchSize))
-	r.cluster.clock.Schedule(res.EndsAt, func() { r.complete(res) })
+	r.cluster.clock.Schedule(res.EndsAt, func() { r.complete(res) }) //punica:retains-copy stepInFlight blocks re-entry into Step until complete() runs
 }
 
 // complete finishes a step: records metrics, re-schedules evictions,

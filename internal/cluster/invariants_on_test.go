@@ -1,0 +1,34 @@
+//go:build punica_invariants
+
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"punica/internal/invariant"
+)
+
+// TestInvariantsUnderChaos drives the acceptance chaos scenario (8
+// GPUs, two killed mid-trace, one stalled) with runtime invariant
+// checking compiled in: every KV page-ledger, adapter byte-ledger,
+// FCFS-ordering, version-monotonicity and quiescence-leak check runs at
+// every mutation. The scenario's recovery paths — crash teardown,
+// re-dispatch, cold replacement, migration — are exactly where those
+// ledgers historically go wrong, so a green run here is the runtime
+// counterpart of a clean punica-vet pass.
+func TestInvariantsUnderChaos(t *testing.T) {
+	if !invariant.Enabled {
+		t.Fatal("test compiled without punica_invariants semantics")
+	}
+	plan := &FaultPlan{Events: []FaultEvent{
+		{At: 80 * time.Millisecond, GPU: 2, Kind: FaultCrash},
+		{At: 130 * time.Millisecond, GPU: 5, Kind: FaultCrashReplace, ReplaceDelay: 200 * time.Millisecond},
+		{At: 60 * time.Millisecond, GPU: 6, Kind: FaultStall, Stall: 150 * time.Millisecond},
+	}}
+	const n = 160
+	_, res := runChaos(t, 8, plan, n, 7)
+	if res.Finished != n {
+		t.Fatalf("finished %d/%d under invariant checking", res.Finished, n)
+	}
+}

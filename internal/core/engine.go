@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"punica/internal/hw"
+	"punica/internal/invariant"
 	"punica/internal/kvcache"
 	"punica/internal/layer"
 	"punica/internal/lora"
@@ -203,7 +204,11 @@ func (e *Engine) Snapshot() Snapshot {
 		PagedKV:      e.cfg.System.PagedKV,
 	}
 	if e.store != nil {
-		s.Adapters = e.store.Adapters()
+		// The snapshot carries the store's reused adapter view; the
+		// whole Snapshot is version-stamped and consumers (sched's
+		// snapshot cache) revalidate against Version before reuse, so
+		// the view can never be read after the store mutates.
+		s.Adapters = e.store.Adapters() //punica:retains-copy snapshot is version-stamped; stale copies are revalidated away
 		s.StoreCapacityBytes = e.store.CapacityBytes()
 		s.StoreUsedBytes = e.store.UsedBytes()
 		s.StorePinnedBytes = e.store.PinnedBytes()
@@ -533,6 +538,8 @@ func (e *Engine) ensureDecodeCapacity(now time.Duration) []*Request {
 // the engine reuses: they are valid until the next call to Step. Every
 // existing driver (cluster runner, HTTP runner, serve loop) consumes
 // them before stepping the same engine again.
+//
+//punica:zeroalloc steady-state stepping must not allocate (see BenchmarkStepAllocs)
 func (e *Engine) Step(now time.Duration) StepResult {
 	e.version++
 	e.admit(now)
@@ -554,6 +561,9 @@ func (e *Engine) Step(now time.Duration) StepResult {
 	}
 	e.prefillScratch, e.decodeScratch = prefills, decodes
 	if len(prefills) == 0 && len(decodes) == 0 {
+		if invariant.Enabled {
+			e.checkQuiescence()
+		}
 		return StepResult{Idle: true, Evicted: evicted}
 	}
 
@@ -591,6 +601,31 @@ func (e *Engine) Step(now time.Duration) StepResult {
 	e.stats.PrefillTokens += int64(res.PrefillTokens)
 	e.stats.WastedDecodes += int64(res.WastedDecodes)
 	return res
+}
+
+// checkQuiescence asserts, under the punica_invariants build, that a
+// fully idle engine (no active batch, no pending queue, no outstanding
+// migration reservations) holds no resources: pinned adapter bytes and
+// resident KV sequences must both be zero, or a request's teardown path
+// leaked a reference. Called from Step's idle return; cluster.Run makes
+// the same check once at end-of-run, but the panic here points at the
+// step where the leak first became observable.
+func (e *Engine) checkQuiescence() {
+	if len(e.active) > 0 || len(e.pending) > 0 || e.reservedPages > 0 {
+		return
+	}
+	if e.reservedPages < 0 {
+		invariant.Failf("core: negative page reservations (%d)", e.reservedPages)
+	}
+	if e.store != nil {
+		if pb := e.store.PinnedBytes(); pb != 0 {
+			invariant.Failf("core: idle engine holds %d pinned adapter bytes (pin leak)", pb)
+		}
+	}
+	if n := e.kv.Sequences(); n != 0 || e.kv.UsedPages() != 0 {
+		invariant.Failf("core: idle engine holds %d KV sequences over %d pages (page leak)",
+			n, e.kv.UsedPages())
+	}
 }
 
 // buildInvocation assembles the layer-model view of the batch: prefill
@@ -650,7 +685,10 @@ func (e *Engine) buildInvocation(prefills, decodes []*Request) layer.Invocation 
 		bounds = append(bounds, bounds[len(bounds)-1]+n)
 	}
 	e.segBounds = bounds
-	inv.LoRASegments = sgmv.SegmentsOver(bounds)
+	// The invocation is consumed synchronously inside this step; the
+	// layer model reads the segment view before Step returns, so the
+	// zero-copy wrapper over the reused bounds buffer is safe.
+	inv.LoRASegments = sgmv.SegmentsOver(bounds) //punica:retains-copy consumed within this Step before segBounds is reused
 	return inv
 }
 

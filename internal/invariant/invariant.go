@@ -1,0 +1,21 @@
+// Package invariant is the runtime half of the punica-vet contract
+// suite: checks too dynamic for static analysis (accounting balances,
+// queue ordering, version monotonicity, leak detection at quiescence)
+// compile to nothing in normal builds and to loud panics under the
+// `punica_invariants` build tag.
+//
+// Usage is always the guarded form
+//
+//	if invariant.Enabled {
+//		if bad {
+//			invariant.Failf("kvcache: %d pages leaked", n)
+//		}
+//	}
+//
+// Enabled is an untyped constant, so the default build dead-code
+// eliminates the whole block — no branch, no boxing of Failf's
+// arguments, nothing for the zeroalloc analyzer to object to in hot
+// paths. CI runs the chaos and disaggregation suites with
+// `-tags punica_invariants -race` so every contract is exercised under
+// the heaviest schedules we can generate.
+package invariant

@@ -1,0 +1,12 @@
+//go:build !punica_invariants
+
+package invariant
+
+// Enabled reports whether invariant checking is compiled in. As a false
+// constant it makes every `if invariant.Enabled { ... }` block dead
+// code: the checks cost nothing unless the build asks for them.
+const Enabled = false
+
+// Failf is unreachable in untagged builds (callers guard on Enabled);
+// the no-op body keeps call sites compiling identically in both modes.
+func Failf(format string, args ...any) {}

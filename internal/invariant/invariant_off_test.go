@@ -1,0 +1,14 @@
+//go:build !punica_invariants
+
+package invariant
+
+import "testing"
+
+// TestDisabledByDefault pins the zero-cost contract: Enabled is false
+// and Failf is inert, so guarded blocks are dead code in normal builds.
+func TestDisabledByDefault(t *testing.T) {
+	if Enabled {
+		t.Fatal("invariant.Enabled must be false without the punica_invariants tag")
+	}
+	Failf("must not panic in untagged builds: %d", 42)
+}

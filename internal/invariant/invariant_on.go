@@ -1,0 +1,16 @@
+//go:build punica_invariants
+
+package invariant
+
+import "fmt"
+
+// Enabled reports whether invariant checking is compiled in.
+const Enabled = true
+
+// Failf panics with the formatted violation. Panicking (rather than
+// returning an error) is deliberate: an invariant violation means the
+// simulator's state is already corrupt, and the stack at the violating
+// mutation is the diagnostic that matters.
+func Failf(format string, args ...any) {
+	panic("punica invariant violation: " + fmt.Sprintf(format, args...))
+}

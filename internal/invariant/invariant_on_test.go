@@ -1,0 +1,27 @@
+//go:build punica_invariants
+
+package invariant
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFailfPanics pins the tagged contract: Enabled is true and Failf
+// panics with the formatted violation.
+func TestFailfPanics(t *testing.T) {
+	if !Enabled {
+		t.Fatal("invariant.Enabled must be true under the punica_invariants tag")
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Failf did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "punica invariant violation: kv: 3 pages") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	Failf("kv: %d pages", 3)
+}

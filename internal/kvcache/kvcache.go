@@ -13,6 +13,8 @@ package kvcache
 import (
 	"fmt"
 	"sort"
+
+	"punica/internal/invariant"
 )
 
 // DefaultPageSize is the number of token slots per KvCache page. vLLM and
@@ -107,6 +109,7 @@ func (p *Pool) Allocate(id SeqID, n int) error {
 	}
 	p.freePages -= need
 	p.seqs[id] = &seqState{tokens: n, pages: need}
+	p.checkAccounting("Allocate")
 	return nil
 }
 
@@ -130,6 +133,7 @@ func (p *Pool) Extend(id SeqID, n int) error {
 	p.freePages -= delta
 	s.pages = newPages
 	s.tokens += n
+	p.checkAccounting("Extend")
 	return nil
 }
 
@@ -142,6 +146,7 @@ func (p *Pool) Release(id SeqID) {
 	}
 	p.freePages += s.pages
 	delete(p.seqs, id)
+	p.checkAccounting("Release")
 }
 
 // Handle is the page-exact accounting record of one sequence's KvCache,
@@ -179,6 +184,7 @@ func (p *Pool) Export(id SeqID) (Handle, error) {
 	}
 	p.freePages += s.pages
 	delete(p.seqs, id)
+	p.checkAccounting("Export")
 	return h, nil
 }
 
@@ -192,6 +198,26 @@ func (p *Pool) Import(h Handle) error {
 		return fmt.Errorf("kvcache: import with negative token count %d", h.Tokens)
 	}
 	return p.Allocate(h.Seq, h.Tokens)
+}
+
+// checkAccounting verifies the page ledger under the punica_invariants
+// build: every page is either free or held by exactly one sequence.
+// Compiled out otherwise (invariant.Enabled is a false constant).
+func (p *Pool) checkAccounting(op string) {
+	if !invariant.Enabled {
+		return
+	}
+	if p.freePages < 0 {
+		invariant.Failf("kvcache: negative free pages (%d) after %s", p.freePages, op)
+	}
+	held := 0
+	for _, s := range p.seqs {
+		held += s.pages
+	}
+	if held+p.freePages != p.totalPages {
+		invariant.Failf("kvcache: page leak after %s: %d held + %d free != %d total",
+			op, held, p.freePages, p.totalPages)
+	}
 }
 
 // Tokens returns the token count held by sequence id (0 if unknown).

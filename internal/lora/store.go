@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"punica/internal/hw"
+	"punica/internal/invariant"
 )
 
 // ErrStoreFull reports that an adapter could not be loaded because every
@@ -109,6 +110,7 @@ func (s *Store) Acquire(id ModelID, now time.Duration) (time.Duration, error) {
 	s.used += bytes
 	s.pinned += bytes
 	s.BytesIn += bytes
+	s.checkAccounting("Acquire")
 	return readyAt, nil
 }
 
@@ -142,6 +144,7 @@ func (s *Store) Prefetch(id ModelID, now time.Duration) (time.Duration, bool) {
 	s.used += bytes
 	s.BytesIn += bytes
 	s.Prefetches++
+	s.checkAccounting("Prefetch")
 	return readyAt, true
 }
 
@@ -172,6 +175,7 @@ func (s *Store) Release(id ModelID) {
 			s.adaptersDirty = true // pin flag flipped
 		}
 	}
+	s.checkAccounting("Release")
 }
 
 // Resident reports whether adapter id is currently in GPU memory.
@@ -247,7 +251,33 @@ func (s *Store) makeRoom(need int64) error {
 		s.Evictions++
 		s.adaptersDirty = true
 	}
+	s.checkAccounting("makeRoom")
 	return nil
+}
+
+// checkAccounting verifies the byte ledger under the punica_invariants
+// build: pinned bytes are a subset of used bytes, which never exceed
+// capacity, and the entry map agrees with the running totals. Compiled
+// out otherwise (invariant.Enabled is a false constant).
+func (s *Store) checkAccounting(op string) {
+	if !invariant.Enabled {
+		return
+	}
+	if s.pinned < 0 || s.pinned > s.used || s.used > s.capacity {
+		invariant.Failf("lora: byte accounting out of bounds after %s: pinned=%d used=%d capacity=%d",
+			op, s.pinned, s.used, s.capacity)
+	}
+	var used, pinned int64
+	for _, e := range s.entries {
+		used += e.bytes
+		if e.refs > 0 {
+			pinned += e.bytes
+		}
+	}
+	if used != s.used || pinned != s.pinned {
+		invariant.Failf("lora: ledger drift after %s: entries say used=%d pinned=%d, totals say used=%d pinned=%d",
+			op, used, pinned, s.used, s.pinned)
+	}
 }
 
 func (s *Store) oldestUnpinned() *entry {

@@ -107,6 +107,43 @@ func TestStateETagDistinguishesRestarts(t *testing.T) {
 	}
 }
 
+// TestBootNonceInjectable pins the entropy seam: with BootEntropy
+// swapped for a deterministic source, the boot nonce — and therefore
+// the full /runner/state ETag — is exactly predictable, which is what
+// lets restart-semantics tests assert tag values instead of mere
+// inequality.
+func TestBootNonceInjectable(t *testing.T) {
+	orig := BootEntropy
+	t.Cleanup(func() { BootEntropy = orig })
+	BootEntropy = func(b []byte) {
+		for i := range b {
+			b[i] = byte(i + 1) // nonce 0102030405060708
+		}
+	}
+	_, srv := conditionalTestRunner(t)
+
+	resp, err := http.Get(srv.URL + "/runner/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got, want := resp.Header.Get("ETag"), `"0102030405060708-v0"`; got != want {
+		t.Fatalf("pinned-nonce ETag = %s, want %s", got, want)
+	}
+
+	// A "restarted" runner under the same pinned entropy reproduces the
+	// tag bit-for-bit: nonce injection is the only source of variation.
+	_, srv2 := conditionalTestRunner(t)
+	resp2, err := http.Get(srv2.URL + "/runner/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if got := resp2.Header.Get("ETag"); got != `"0102030405060708-v0"` {
+		t.Fatalf("second incarnation under pinned entropy: ETag = %s", got)
+	}
+}
+
 // TestClientFetchStateRevalidates pins the client side: repeated
 // FetchState calls against an idle runner are served from the
 // conditional-GET cache, and a mutation is observed on the next fetch.

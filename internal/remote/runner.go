@@ -41,17 +41,26 @@ type Runner struct {
 	wg         sync.WaitGroup
 }
 
+// BootEntropy fills b with the randomness behind the per-process boot
+// nonce. The default draws from crypto/rand with a wall-clock fallback
+// — uniqueness across restarts is all the nonce provides, not secrecy.
+// It is a package variable so tests can pin the nonce and assert exact
+// /runner/state ETag values across a simulated restart.
+var BootEntropy func(b []byte) = defaultBootEntropy
+
+func defaultBootEntropy(b []byte) {
+	if _, err := rand.Read(b); err != nil {
+		binary.LittleEndian.PutUint64(b, uint64(time.Now().UnixNano()))
+	}
+}
+
 // NewRunner starts a runner around an engine built from cfg.
 func NewRunner(uuid string, cfg core.Config, speedup float64) *Runner {
 	if speedup <= 0 {
 		speedup = 1
 	}
 	var nonce [8]byte
-	if _, err := rand.Read(nonce[:]); err != nil {
-		// Fall back to the clock: uniqueness across restarts is all the
-		// nonce provides, not secrecy.
-		binary.LittleEndian.PutUint64(nonce[:], uint64(time.Now().UnixNano()))
-	}
+	BootEntropy(nonce[:])
 	r := &Runner{
 		uuid:       uuid,
 		speedup:    speedup,

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"punica/internal/core"
+	"punica/internal/invariant"
 	"punica/internal/lora"
 )
 
@@ -262,10 +263,21 @@ func (s *Scheduler) QueueLen() int { return len(s.queue) }
 // site — fault-recovery requeues and migration fallbacks included.
 func (s *Scheduler) QueuePeak() int { return s.queuePeak }
 
-// noteQueueDepth records the queue depth after a growth.
+// noteQueueDepth records the queue depth after a growth. Every queue
+// growth site funnels through here, so it doubles as the FCFS-ordering
+// checkpoint under the punica_invariants build.
 func (s *Scheduler) noteQueueDepth() {
 	if len(s.queue) > s.queuePeak {
 		s.queuePeak = len(s.queue)
+	}
+	if invariant.Enabled {
+		for i := 1; i < len(s.queue); i++ {
+			p, q := s.queue[i-1], s.queue[i]
+			if p.Arrival > q.Arrival || (p.Arrival == q.Arrival && p.ID > q.ID) {
+				invariant.Failf("sched: FCFS queue out of order at %d: (%v, id %d) queued before (%v, id %d)",
+					i, p.Arrival, p.ID, q.Arrival, q.ID)
+			}
+		}
 	}
 }
 
@@ -277,6 +289,14 @@ func (s *Scheduler) noteQueueDepth() {
 // mutations (Consolidate) copy the value instead of retaining the
 // pointer.
 func (s *Scheduler) snapshotOf(g *GPU) *core.Snapshot {
+	if invariant.Enabled && g.snapValid {
+		// The version counter is the cache's proof of freshness; if it
+		// ever moved backwards, stale snapshots would validate forever.
+		if v, ok := g.Engine.(Versioned); ok && v.StateVersion() < g.snap.Version {
+			invariant.Failf("sched: engine version moved backwards: %d < cached %d",
+				v.StateVersion(), g.snap.Version)
+		}
+	}
 	if g.snapValid && !s.DisableSnapshotCache {
 		if v, ok := g.Engine.(Versioned); ok && v.StateVersion() == g.snap.Version {
 			return &g.snap
@@ -352,6 +372,8 @@ func (s *Scheduler) tryPlace(r *core.Request, exclude *GPU, now time.Duration) (
 // Dispatch routes a new request: to a GPU when one has capacity,
 // otherwise onto the FCFS queue. It reports the chosen GPU (nil if
 // queued).
+//
+//punica:zeroalloc per-request routing must not allocate beyond amortised queue growth
 func (s *Scheduler) Dispatch(r *core.Request, now time.Duration) (*GPU, error) {
 	// FCFS across the cluster: a new request may not overtake queued
 	// ones.

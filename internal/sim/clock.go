@@ -41,6 +41,8 @@ func (c *VirtualClock) Now() time.Duration { return c.now }
 // Schedule enqueues fn to run at absolute time at. Events scheduled for the
 // same instant run in scheduling order (FIFO), which keeps simulations
 // deterministic. Scheduling in the past is clamped to now.
+//
+//punica:zeroalloc event scheduling recycles pooled events in steady state
 func (c *VirtualClock) Schedule(at time.Duration, fn func()) {
 	if at < c.now {
 		at = c.now
@@ -52,7 +54,7 @@ func (c *VirtualClock) Schedule(at time.Duration, fn func()) {
 		c.free[n-1] = nil
 		c.free = c.free[:n-1]
 	} else {
-		ev = new(event)
+		ev = new(event) //punica:alloc-ok pool miss: grows the event pool once, recycled thereafter
 	}
 	ev.at, ev.seq, ev.fn = at, c.seq, fn
 	c.push(ev)
@@ -178,7 +180,11 @@ type WallClock struct {
 }
 
 // NewWallClock returns a wall clock whose epoch is the current instant.
-func NewWallClock() *WallClock { return &WallClock{epoch: time.Now()} }
+func NewWallClock() *WallClock {
+	return &WallClock{epoch: time.Now()} //punica:nondet-ok WallClock IS the real-time bridge for the serving demo
+}
 
 // Now returns the elapsed real time since the clock was created.
-func (c *WallClock) Now() time.Duration { return time.Since(c.epoch) }
+func (c *WallClock) Now() time.Duration {
+	return time.Since(c.epoch) //punica:nondet-ok WallClock IS the real-time bridge for the serving demo
+}
