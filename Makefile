@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fmt check bench experiments scale shuffle fuzz invariants
+.PHONY: all build test race vet lint fmt check bench experiments scale scale-check scale-baseline shuffle fuzz invariants
 
 all: check
 
@@ -74,3 +74,16 @@ experiments:
 # `go run ./cmd/punica-bench scale`.
 scale:
 	$(GO) run ./cmd/punica-bench -scale-gpus 16,64,256 -scale-requests 100000 scale
+
+# scale-check re-runs the CI slice sharded (-parallel 4) and fails on a
+# >20% events/sec regression against the committed baseline
+# (bench/BENCH_scale.json, DESIGN.md §11).
+scale-check:
+	$(GO) run ./cmd/punica-bench -scale-gpus 16,64,256 -scale-requests 100000 -parallel 4 \
+		-baseline bench/BENCH_scale.json -regress-threshold 0.20 scale
+
+# scale-baseline regenerates the committed baseline after intentional
+# performance changes.
+scale-baseline:
+	$(GO) run ./cmd/punica-bench -scale-gpus 16,64,256 -scale-requests 100000 -parallel 4 \
+		-json bench/BENCH_scale.json scale

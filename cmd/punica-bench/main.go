@@ -37,6 +37,12 @@ var (
 
 	scaleGPUs = flag.String("scale-gpus", "", "comma-separated GPU counts for the scale sweep (default 16,64,256)")
 	scaleReqs = flag.String("scale-requests", "", "comma-separated request counts for the scale sweep (default 10000,100000,1000000)")
+
+	cellsFlag    = flag.Int("cells", 0, "scale: simulation cells per fleet (0 auto: GPUs/32 in [1,16]; 1 forces the classic single-cluster path)")
+	parallelFlag = flag.Int("parallel", 1, "scale: worker goroutines advancing cells between epoch barriers (results are identical for any value)")
+
+	baselineFlag = flag.String("baseline", "", "scale: committed BENCH_scale.json to gate against; the run fails if events/sec regresses past -regress-threshold")
+	regressFlag  = flag.Float64("regress-threshold", 0.20, "scale: fractional events/sec drop vs -baseline that fails the run")
 )
 
 // benchRecords accumulates -json output across the experiments run.
@@ -294,6 +300,8 @@ func run(name string) error {
 		} else if len(reqs) > 0 {
 			o.Requests = reqs
 		}
+		o.Cells = *cellsFlag
+		o.Workers = *parallelFlag
 		points, err := experiments.Scale(o)
 		if err != nil {
 			return err
@@ -303,6 +311,9 @@ func run(name string) error {
 		if err := writeCSV(func(w io.Writer) error {
 			return experiments.ScaleCSV(w, points)
 		}); err != nil {
+			return err
+		}
+		if err := checkScaleBaseline(experiments.ScaleRecords(points)); err != nil {
 			return err
 		}
 	case "ablation-migration":
@@ -320,6 +331,35 @@ func run(name string) error {
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}
+	return nil
+}
+
+// checkScaleBaseline gates the scale run against a committed baseline
+// when -baseline is set: any grid point whose events/sec fell more than
+// -regress-threshold below the baseline fails the command.
+func checkScaleBaseline(current []experiments.BenchRecord) error {
+	if *baselineFlag == "" {
+		return nil
+	}
+	f, err := os.Open(*baselineFlag)
+	if err != nil {
+		return fmt.Errorf("-baseline: %w", err)
+	}
+	defer f.Close()
+	baseline, err := experiments.ReadBenchJSON(f)
+	if err != nil {
+		return fmt.Errorf("-baseline %s: %w", *baselineFlag, err)
+	}
+	errs := experiments.CompareBaseline(baseline, current, "events_per_sec", *regressFlag)
+	for _, e := range errs {
+		fmt.Fprintln(os.Stderr, "regression:", e)
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("%d scale point(s) regressed past %.0f%% vs %s",
+			len(errs), 100**regressFlag, *baselineFlag)
+	}
+	fmt.Fprintf(os.Stderr, "baseline check passed: no events/sec regression past %.0f%% vs %s\n",
+		100**regressFlag, *baselineFlag)
 	return nil
 }
 

@@ -62,6 +62,16 @@ var DeterministicPkgs = map[string]bool{
 
 const marker = "nondet-ok"
 
+// barrierMarker suppresses the goroutine shared-state check for the one
+// legal pattern: epoch workers advancing disjoint shards under a
+// WaitGroup barrier (sim.ParallelExecutor.runEpoch).
+const barrierMarker = "barrier-ok"
+
+// sharedSimTypes are cell-exclusive structures: each simulation cell
+// owns its VirtualClock and Scheduler outright, and a goroutine calling
+// into one it did not receive exclusive ownership of races the epoch.
+var sharedSimTypes = map[string]bool{"VirtualClock": true, "Scheduler": true}
+
 // bannedTimeFuncs draw from the wall clock.
 var bannedTimeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
 
@@ -93,9 +103,133 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 					checkMapRange(pass, fn, n, sorted)
 				}
 			}
+		case *ast.GoStmt:
+			checkGoStmt(pass, fn, n)
 		}
 		return true
 	})
+}
+
+// checkGoStmt enforces the epoch-barrier concurrency contract inside
+// the deterministic envelope: a spawned goroutine must not write
+// variables captured from the enclosing scope, and must not call into a
+// clock or scheduler it captured — cross-cell state moves only in the
+// single-threaded barrier exchange. The `//punica:barrier-ok`
+// annotation marks the audited exception (workers that provably own
+// disjoint shards, published by a WaitGroup barrier).
+func checkGoStmt(pass *analysis.Pass, fn *ast.FuncDecl, g *ast.GoStmt) {
+	if pass.Annotated(g.Pos(), barrierMarker) || pass.FuncAnnotated(fn, barrierMarker) {
+		return
+	}
+	// Direct spawn of a method on a shared structure: go clock.Run(t).
+	if sel, ok := g.Call.Fun.(*ast.SelectorExpr); ok {
+		if name := sharedSimTypeName(pass, sel.X); name != "" {
+			pass.Reportf(g.Pos(),
+				"goroutine calls (*%s).%s outside the barrier exchange: cell state is single-owner; synchronize at the epoch barrier or annotate //punica:barrier-ok",
+				name, sel.Sel.Name)
+		}
+		return
+	}
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				reportCapturedWrite(pass, lit, lhs, n.Pos())
+			}
+		case *ast.IncDecStmt:
+			reportCapturedWrite(pass, lit, n.X, n.Pos())
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				break
+			}
+			name := sharedSimTypeName(pass, sel.X)
+			if name == "" {
+				break
+			}
+			if id := rootIdent(sel.X); id != nil && declaredOutside(pass, lit, id) {
+				pass.Reportf(n.Pos(),
+					"goroutine calls (*%s).%s on captured %s outside the barrier exchange: cell state is single-owner; synchronize at the epoch barrier or annotate //punica:barrier-ok",
+					name, sel.Sel.Name, id.Name)
+			}
+		}
+		return true
+	})
+}
+
+// reportCapturedWrite flags an assignment target rooted in a variable
+// declared outside the goroutine's function literal — an
+// unsynchronized write to shared state.
+func reportCapturedWrite(pass *analysis.Pass, lit *ast.FuncLit, lhs ast.Expr, pos token.Pos) {
+	id := rootIdent(lhs)
+	if id == nil || id.Name == "_" {
+		return
+	}
+	if !declaredOutside(pass, lit, id) {
+		return
+	}
+	pass.Reportf(pos,
+		"goroutine writes captured variable %s: unsynchronized cross-goroutine writes break deterministic replay; exchange state at the epoch barrier or annotate //punica:barrier-ok",
+		id.Name)
+}
+
+// sharedSimTypeName returns the shared structure's type name when
+// expr's (possibly pointer) type is one of sharedSimTypes, else "".
+func sharedSimTypeName(pass *analysis.Pass, expr ast.Expr) string {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || !sharedSimTypes[named.Obj().Name()] {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
+// rootIdent unwraps selectors, indexing, derefs and parens down to the
+// base identifier of an lvalue or receiver chain (nil when the root is
+// not an identifier, e.g. a call result).
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether id resolves to a variable declared
+// outside the function literal — captured state rather than a local or
+// parameter of the goroutine itself.
+func declaredOutside(pass *analysis.Pass, lit *ast.FuncLit, id *ast.Ident) bool {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	return v.Pos() < lit.Pos() || v.Pos() > lit.End()
 }
 
 // checkStdlibUse flags wall-clock and global-source randomness.

@@ -1,0 +1,96 @@
+// Package sim is a fixture for the goroutine shared-state rule: its
+// base name is in detsim.DeterministicPkgs, and it declares the shared
+// structure types (VirtualClock, Scheduler) the rule guards by name.
+package sim
+
+// VirtualClock mimics the real single-owner event clock.
+type VirtualClock struct{ now int64 }
+
+func (c *VirtualClock) Run(until int64)   { c.now = until }
+func (c *VirtualClock) Schedule(at int64) {}
+
+// Scheduler mimics the real per-cell scheduler.
+type Scheduler struct{ depth int }
+
+func (s *Scheduler) Dispatch()     { s.depth++ }
+func (s *Scheduler) QueueLen() int { return s.depth }
+
+// BadCapturedWrite: the goroutine mutates enclosing-scope state with no
+// barrier.
+func BadCapturedWrite() int {
+	total := 0
+	done := make(chan struct{})
+	go func() {
+		total++ // want `goroutine writes captured variable total`
+		close(done)
+	}()
+	<-done
+	return total
+}
+
+// BadCapturedSliceWrite: writes through a captured slice are shared
+// too.
+func BadCapturedSliceWrite(out []int, done chan struct{}) {
+	go func() {
+		out[0] = 1 // want `goroutine writes captured variable out`
+		close(done)
+	}()
+	<-done
+}
+
+// BadCapturedClock: the goroutine drives a clock another owner may be
+// stepping.
+func BadCapturedClock(c *VirtualClock, done chan struct{}) {
+	go func() {
+		c.Run(10) // want `goroutine calls \(\*VirtualClock\)\.Run on captured c`
+		close(done)
+	}()
+	<-done
+}
+
+// BadCapturedSchedulerField: reaching a scheduler through a captured
+// struct is still a capture.
+func BadCapturedSchedulerField(cells []*Scheduler, done chan struct{}) {
+	go func() {
+		cells[1].Dispatch() // want `goroutine calls \(\*Scheduler\)\.Dispatch on captured cells`
+		close(done)
+	}()
+	<-done
+}
+
+// BadDirectSpawn: spawning the method itself is the same race.
+func BadDirectSpawn(c *VirtualClock) {
+	go c.Run(10) // want `goroutine calls \(\*VirtualClock\)\.Run outside the barrier exchange`
+}
+
+// GoodBarrierAnnotated is the audited epoch-worker pattern: disjoint
+// shards, WaitGroup barrier.
+func GoodBarrierAnnotated(clocks []*VirtualClock, done chan struct{}) {
+	//punica:barrier-ok workers own disjoint shards; the barrier publishes their effects
+	go func() {
+		clocks[0].Run(5)
+		close(done)
+	}()
+	<-done
+}
+
+// GoodGoroutineLocals: locals and channel communication are fine.
+func GoodGoroutineLocals(ch chan int) {
+	go func() {
+		local := 0
+		local++
+		c := &VirtualClock{}
+		c.Run(3) // goroutine-local clock: it owns what it made
+		ch <- local
+	}()
+}
+
+// GoodOwnershipTransfer: a clock handed in as the literal's own
+// parameter was transferred, not captured.
+func GoodOwnershipTransfer(c *VirtualClock, done chan struct{}) {
+	go func(mine *VirtualClock) {
+		mine.Schedule(1)
+		close(done)
+	}(c)
+	<-done
+}

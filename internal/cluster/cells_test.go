@@ -1,0 +1,296 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"punica/internal/dist"
+	"punica/internal/workload"
+)
+
+// multiDigest serializes everything observable about a cell-sharded
+// run — merged fleet result, executor counters, per-cell stats, per-GPU
+// traces — so two runs compare byte-for-byte.
+func multiDigest(m *MultiCluster, res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "finished=%d decode=%d prefill=%d makespan=%v throughput=%.6f\n",
+		res.Finished, res.DecodeTokens, res.PrefillTokens, res.Makespan, res.Throughput)
+	fmt.Fprintf(&b, "cells=%d epochs=%d barrierStalls=%d spills=%d scaleBarriers=%d\n",
+		res.Cells, res.Epochs, res.BarrierStalls, res.Spills, res.ScaleSignalBarriers)
+	fmt.Fprintf(&b, "migrations=%d evictions=%d wasted=%d stalls=%d adapterEv=%d queuePeak=%d\n",
+		res.Migrations, res.Evictions, res.WastedDecodes, res.AdapterStalls,
+		res.AdapterEvictions, res.QueuePeak)
+	fmt.Fprintf(&b, "failures=%d replacements=%d gpuStalls=%d skipped=%d recovered=%d recomputed=%d\n",
+		res.GPUFailures, res.GPUReplacements, res.GPUStalls, res.FaultsSkipped,
+		res.RecoveredRequests, res.RecomputedPrefillTokens)
+	fmt.Fprintf(&b, "ttft{%s} e2e{%s} recovery{%s}\n",
+		res.TimeToFirstToken.Summary(), res.EndToEnd.Summary(), res.RecoveryLatency.Summary())
+	fmt.Fprintf(&b, "prefillUtil=%.6f decodeUtil=%.6f fleetQueuePts=%d\n",
+		res.PrefillUtil, res.DecodeUtil, res.FleetQueueSeries.Len())
+	for i, st := range m.CellStats() {
+		fmt.Fprintf(&b, "cell%d gpus=%d reqs=%d events=%d spillIn=%d spillOut=%d stalls=%d\n",
+			i, st.GPUs, st.Requests, st.Events, st.SpillsIn, st.SpillsOut, st.BarrierStalls)
+	}
+	for i, f := range res.GPUBusyFraction {
+		fmt.Fprintf(&b, "gpu%02d busy=%.6f batchPoints=%d\n", i, f, res.BatchSeries[i].Len())
+	}
+	return b.String()
+}
+
+func cellsTrace(n int, seed int64) []workload.Request {
+	return shortTrace(dist.Skewed, n, seed)
+}
+
+func runCells(t *testing.T, cfg CellsConfig, reqs []workload.Request) (*MultiCluster, *Result) {
+	t.Helper()
+	m := NewMulti(cfg)
+	res, err := m.Run(reqs)
+	if err != nil {
+		t.Fatalf("cells run: %v", err)
+	}
+	return m, res
+}
+
+// TestCellsDeterministicAcrossWorkers is the golden-digest sweep: for
+// each placement policy, a chaos-faulted cell-sharded run must produce
+// a byte-identical digest for every worker count — and with the shard
+// dispatch order scrambled — matching the workers=1 sequential
+// reference interleaving.
+func TestCellsDeterministicAcrossWorkers(t *testing.T) {
+	const gpus, cells, reqs = 8, 4, 240
+	plan := RandomFaultPlan(11, gpus, 2*time.Minute, 2000)
+	for _, policy := range []string{"paper", "affinity", "rank"} {
+		base := Config{
+			NumGPUs:           gpus,
+			Engine:            punicaEngineConfig(),
+			Policy:            policy,
+			MigrationInterval: 50 * time.Millisecond,
+			Faults:            &plan,
+		}
+		cfg := CellsConfig{Base: base, Cells: cells, Workers: 1, SpillThreshold: 4}
+		m, res := runCells(t, cfg, cellsTrace(reqs, 3))
+		want := multiDigest(m, res)
+		if res.Finished != reqs {
+			t.Fatalf("policy %s: finished %d/%d", policy, res.Finished, reqs)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			cfg.Workers = workers
+			cfg.Scramble = false
+			m, res = runCells(t, cfg, cellsTrace(reqs, 3))
+			if got := multiDigest(m, res); got != want {
+				t.Fatalf("policy %s workers=%d digest diverged from sequential reference:\n--- want ---\n%s--- got ---\n%s",
+					policy, workers, want, got)
+			}
+			cfg.Scramble = true
+			m, res = runCells(t, cfg, cellsTrace(reqs, 3))
+			if got := multiDigest(m, res); got != want {
+				t.Fatalf("policy %s workers=%d scrambled digest diverged:\n--- want ---\n%s--- got ---\n%s",
+					policy, workers, want, got)
+			}
+		}
+	}
+}
+
+// TestCellsConserveWork: sharding must not lose or duplicate requests
+// or tokens, with or without spilling.
+func TestCellsConserveWork(t *testing.T) {
+	trace := cellsTrace(200, 5)
+	var wantTokens int64
+	for _, r := range trace {
+		wantTokens += int64(r.OutputLen)
+	}
+	for _, threshold := range []int{-1, 2} { // spill disabled / aggressive
+		m, res := runCells(t, CellsConfig{
+			Base:           Config{NumGPUs: 6, Engine: punicaEngineConfig()},
+			Cells:          3,
+			Workers:        4,
+			SpillThreshold: threshold,
+		}, trace)
+		if res.Finished != int64(len(trace)) {
+			t.Fatalf("threshold %d: finished %d/%d", threshold, res.Finished, len(trace))
+		}
+		if res.DecodeTokens != wantTokens {
+			t.Fatalf("threshold %d: decode tokens %d, want %d", threshold, res.DecodeTokens, wantTokens)
+		}
+		routed := 0
+		for _, st := range m.CellStats() {
+			routed += st.Requests
+		}
+		if routed != len(trace) {
+			t.Fatalf("threshold %d: routed %d/%d", threshold, routed, len(trace))
+		}
+		if threshold < 0 && res.Spills != 0 {
+			t.Fatalf("spilling disabled but Spills = %d", res.Spills)
+		}
+	}
+}
+
+// TestCellsSpillRelievesHotCell: with every tenant hashed to one cell,
+// an aggressive threshold must move overflow to idle cells — and the
+// handoff must balance: ΣSpillsIn == ΣSpillsOut == merged Spills.
+func TestCellsSpillRelievesHotCell(t *testing.T) {
+	// A single model ⇒ adapter affinity sends the whole trace to one cell.
+	g := workload.NewGenerator(dist.Identical, workload.Lengths{
+		PromptMu: 4.5, PromptSigma: 0.5, PromptMin: 16, PromptMax: 256,
+		OutMu: 3.0, OutSigma: 0.5, OutMin: 4, OutMax: 64,
+	}, 9)
+	trace := g.Batch(120)
+	m, res := runCells(t, CellsConfig{
+		Base:           Config{NumGPUs: 4, Engine: punicaEngineConfig()},
+		Cells:          4,
+		Workers:        2,
+		SpillThreshold: 2,
+	}, trace)
+	if res.Finished != int64(len(trace)) {
+		t.Fatalf("finished %d/%d", res.Finished, len(trace))
+	}
+	if res.Spills == 0 {
+		t.Fatal("hot cell never spilled despite threshold 2")
+	}
+	var in, out int64
+	hot := m.CellOf(trace[0].Model)
+	for i, st := range m.CellStats() {
+		in += st.SpillsIn
+		out += st.SpillsOut
+		if i == hot && st.SpillsOut == 0 {
+			t.Fatalf("hot cell %d has no outbound spills: %+v", hot, st)
+		}
+	}
+	if in != out || in != res.Spills {
+		t.Fatalf("spill imbalance: in=%d out=%d merged=%d", in, out, res.Spills)
+	}
+	// Cells that received spills must have executed work.
+	for i, st := range m.CellStats() {
+		if st.SpillsIn > 0 && st.Events == 0 {
+			t.Fatalf("cell %d absorbed %d spills but executed nothing", i, st.SpillsIn)
+		}
+	}
+}
+
+// TestCellsSingleCellMatchesCluster: a 1-cell fleet is the classic
+// cluster — core outcomes must match the plain Cluster run exactly.
+func TestCellsSingleCellMatchesCluster(t *testing.T) {
+	trace := cellsTrace(80, 7)
+	ref := New(Config{NumGPUs: 2, Engine: punicaEngineConfig()})
+	want, err := ref.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got := runCells(t, CellsConfig{
+		Base:  Config{NumGPUs: 2, Engine: punicaEngineConfig()},
+		Cells: 1, Workers: 4,
+	}, trace)
+	if got.Finished != want.Finished || got.DecodeTokens != want.DecodeTokens ||
+		got.Makespan != want.Makespan || got.QueuePeak != want.QueuePeak {
+		t.Fatalf("single-cell run diverged from Cluster:\nwant finished=%d decode=%d makespan=%v peak=%d\ngot  finished=%d decode=%d makespan=%v peak=%d",
+			want.Finished, want.DecodeTokens, want.Makespan, want.QueuePeak,
+			got.Finished, got.DecodeTokens, got.Makespan, got.QueuePeak)
+	}
+	if got.TimeToFirstToken.Summary() != want.TimeToFirstToken.Summary() {
+		t.Fatalf("TTFT diverged: want %s, got %s",
+			want.TimeToFirstToken.Summary(), got.TimeToFirstToken.Summary())
+	}
+}
+
+// TestCellsAutoscaleSplit: fleet elastic bounds divide across cells and
+// the run completes; the fleet scale signal only fires at barriers.
+func TestCellsAutoscaleSplit(t *testing.T) {
+	m, res := runCells(t, CellsConfig{
+		Base: Config{
+			NumGPUs: 8,
+			Engine:  punicaEngineConfig(),
+			Autoscale: &AutoscaleConfig{
+				MinGPUs: 4, MaxGPUs: 8,
+				ProvisionDelay: 10 * time.Millisecond,
+				CheckInterval:  20 * time.Millisecond,
+			},
+		},
+		Cells:   4,
+		Workers: 2,
+	}, cellsTrace(160, 13))
+	if res.Finished != 160 {
+		t.Fatalf("finished %d/160", res.Finished)
+	}
+	for i, c := range m.Cells() {
+		a := c.cfg.Autoscale
+		if a == nil {
+			t.Fatalf("cell %d lost its autoscale config", i)
+		}
+		if a.MinGPUs < 1 || a.MaxGPUs > c.cfg.NumGPUs {
+			t.Fatalf("cell %d bounds [%d,%d] outside [1,%d]", i, a.MinGPUs, a.MaxGPUs, c.cfg.NumGPUs)
+		}
+	}
+}
+
+// TestCellRingAffinityStable: placement is a pure function of the model
+// id, and vnode hashing spreads tenants across every cell.
+func TestCellRingAffinityStable(t *testing.T) {
+	r1, r2 := newCellRing(8), newCellRing(8)
+	seen := make(map[int]int)
+	for model := int64(0); model < 512; model++ {
+		c := r1.cellOf(model)
+		if c2 := r2.cellOf(model); c2 != c {
+			t.Fatalf("model %d: ring disagreement %d vs %d", model, c, c2)
+		}
+		if c < 0 || c >= 8 {
+			t.Fatalf("model %d mapped to cell %d", model, c)
+		}
+		seen[c]++
+	}
+	for c := 0; c < 8; c++ {
+		if seen[c] == 0 {
+			t.Fatalf("cell %d owns no tenants out of 512", c)
+		}
+	}
+}
+
+// TestNewMultiValidation: impossible shapes fail loudly at build time.
+func TestNewMultiValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("more cells than GPUs", func() {
+		NewMulti(CellsConfig{Base: Config{NumGPUs: 2, Engine: punicaEngineConfig()}, Cells: 4})
+	})
+	mustPanic("disagg in cells mode", func() {
+		NewMulti(CellsConfig{
+			Base:  Config{NumGPUs: 4, Engine: punicaEngineConfig(), Disagg: &DisaggConfig{}},
+			Cells: 2,
+		})
+	})
+}
+
+// TestSplitFaultsPartition: every fleet fault lands on exactly one
+// cell, victims renumber into the cell-local GPU space.
+func TestSplitFaultsPartition(t *testing.T) {
+	plan := RandomFaultPlan(21, 16, time.Minute, 4000)
+	if len(plan.Events) == 0 {
+		t.Skip("seeded plan generated no events")
+	}
+	parts := splitFaults(&plan, 4)
+	total := 0
+	for i, p := range parts {
+		if p == nil {
+			continue
+		}
+		total += len(p.Events)
+		for _, ev := range p.Events {
+			if ev.GPU < 0 || ev.GPU >= 4 {
+				t.Fatalf("cell %d fault victim %d outside local range [0,4)", i, ev.GPU)
+			}
+		}
+	}
+	if total != len(plan.Events) {
+		t.Fatalf("partition kept %d/%d events", total, len(plan.Events))
+	}
+	if splitFaults(nil, 4)[0] != nil {
+		t.Fatal("nil plan must split to nil parts")
+	}
+}

@@ -147,6 +147,29 @@ type Result struct {
 	RecoveredRequests       int64
 	RecomputedPrefillTokens int64
 	RecoveryLatency         metrics.Histogram
+
+	// Cell-sharded run outcomes (CellsConfig / NewMulti). All zero for
+	// single-cell runs.
+	//
+	// Cells and Workers record the shard count and goroutine budget;
+	// Epochs the barriers crossed; BarrierStalls the total number of
+	// (cell, epoch) pairs where a cell executed nothing while the fleet
+	// had work (load-imbalance meter); Spills the requests handed
+	// between cells at barriers. QueuePeak is the deepest any single
+	// cell's queue has been (queues are per-cell).
+	Cells         int
+	Workers       int
+	Epochs        int64
+	BarrierStalls int64
+	Spills        int64
+	// FleetQueueSeries samples the fleet-wide queued-request total at
+	// every barrier — the aggregated metric cells exchange; its last
+	// sample is always zero (the run ends with empty queues).
+	FleetQueueSeries metrics.TimeSeries
+	// ScaleSignalBarriers counts barriers at which every cell reported
+	// §5.1 scale-up pressure (no lightly-loaded GPU anywhere) — the
+	// fleet-level autoscale signal aggregated at the barrier.
+	ScaleSignalBarriers int64
 }
 
 // Cluster wires engines, scheduler and virtual clock together.
@@ -273,6 +296,17 @@ func (c *Cluster) fail(err error) {
 
 // Run executes the trace to completion and returns the aggregated result.
 func (c *Cluster) Run(reqs []workload.Request) (*Result, error) {
+	c.start(reqs)
+	c.clock.RunAll()
+	return c.finalize()
+}
+
+// start schedules the trace's arrivals plus the periodic machinery
+// (consolidation, autoscaling, fault injection) on the virtual clock
+// without running anything. Cell-sharded runs start every cell and then
+// drive all clocks together under the epoch-barrier executor; Run is
+// the single-cell composition start → RunAll → finalize.
+func (c *Cluster) start(reqs []workload.Request) {
 	c.arrivalsLeft = len(reqs)
 	fail := c.fail
 	for i := range reqs {
@@ -306,7 +340,12 @@ func (c *Cluster) Run(reqs []workload.Request) (*Result, error) {
 	if c.cfg.Faults != nil {
 		c.scheduleFaults(c.cfg.Faults)
 	}
-	c.clock.RunAll()
+}
+
+// finalize aggregates engine statistics into the Result, enforces the
+// end-of-run leak invariants (pinned adapter bytes, KvCache pages,
+// unfinished work), and returns the result or the run's first error.
+func (c *Cluster) finalize() (*Result, error) {
 	if c.runErr != nil {
 		return nil, c.runErr
 	}
@@ -348,6 +387,9 @@ func (c *Cluster) Run(reqs []workload.Request) (*Result, error) {
 	c.res.QueuePeak = c.sched.QueuePeak()
 	c.res.Migrations = c.sched.Stats().Migrations
 	c.res.AdapterStalls = c.sched.Stats().AdapterStalls
+	// Inbound spills: summed across cells this counts every cross-cell
+	// handoff exactly once (each steal is delivered to exactly one cell).
+	c.res.Spills = c.sched.Stats().SpillsIn
 	c.res.KVMigrations = c.sched.Stats().KVMigrations
 	c.res.KVMigratedBytes = c.sched.Stats().KVMigratedBytes
 	c.res.KVMigrationFallbacks = c.sched.Stats().KVMigrationFallbacks

@@ -25,6 +25,50 @@ func WriteBenchJSON(w io.Writer, recs []BenchRecord) error {
 	}{Results: recs})
 }
 
+// ReadBenchJSON parses a file WriteBenchJSON produced.
+func ReadBenchJSON(r io.Reader) ([]BenchRecord, error) {
+	var doc struct {
+		Results []BenchRecord `json:"results"`
+	}
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("bench json: %w", err)
+	}
+	return doc.Results, nil
+}
+
+// CompareBaseline checks current records against a committed baseline:
+// for every (experiment, name) pair present in both, the named metric
+// must not have dropped by more than threshold (a fraction: 0.20 = 20%).
+// Baseline rows with no current counterpart are ignored — sweep grids
+// may shrink in quick runs; a baseline metric of zero never gates.
+// Returns one error line per regression, nil when everything holds.
+func CompareBaseline(baseline, current []BenchRecord, metric string, threshold float64) []error {
+	base := make(map[string]float64, len(baseline))
+	for _, r := range baseline {
+		if v, ok := r.Metrics[metric]; ok && v > 0 {
+			base[r.Experiment+"/"+r.Name] = v
+		}
+	}
+	var errs []error
+	for _, r := range current {
+		key := r.Experiment + "/" + r.Name
+		want, ok := base[key]
+		if !ok {
+			continue
+		}
+		got, ok := r.Metrics[metric]
+		if !ok {
+			errs = append(errs, fmt.Errorf("%s: baseline has %s but current run lacks it", key, metric))
+			continue
+		}
+		if got < want*(1-threshold) {
+			errs = append(errs, fmt.Errorf("%s: %s regressed %.0f%%: baseline %.0f, current %.0f (threshold %.0f%%)",
+				key, metric, 100*(1-got/want), want, got, 100*threshold))
+		}
+	}
+	return errs
+}
+
 // Fig11Records flattens a system-comparison table (fig11/fig12) into
 // bench records, one per (distribution, system) bar.
 func Fig11Records(experiment string, rows []Fig11Row) []BenchRecord {

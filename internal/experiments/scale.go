@@ -3,6 +3,7 @@ package experiments
 import (
 	"encoding/csv"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"runtime"
 	"strconv"
@@ -45,6 +46,32 @@ type ScaleOptions struct {
 	RatePerGPU float64
 	// MaxBatch caps the invocation batch (§5.1 default 32).
 	MaxBatch int
+
+	// Cells shards the fleet for the epoch-barrier parallel engine:
+	// 0 auto-derives from the fleet size alone (GPUs/32, clamped to
+	// [1,16]) — never from Workers, so sweeping -parallel cannot change
+	// the simulation; 1 forces the classic single-cluster path.
+	Cells int
+	// Workers is the goroutine budget for advancing cells (≤1 runs the
+	// sequential reference interleaving). Ignored when the point runs
+	// single-cell.
+	Workers int
+	// EpochDelta overrides the barrier interval Δ (0 = sim.DefaultEpoch).
+	EpochDelta time.Duration
+}
+
+// autoCells derives the shard count from fleet size only: one cell per
+// 32 GPUs, clamped to [1,16]. 16 GPUs → 1 cell (classic path);
+// 256 GPUs → 8 cells.
+func autoCells(gpus int) int {
+	c := gpus / 32
+	if c < 1 {
+		c = 1
+	}
+	if c > 16 {
+		c = 16
+	}
+	return c
 }
 
 // DefaultScaleOptions returns the standard grid: 16→256 GPUs crossed
@@ -110,6 +137,46 @@ type ScalePoint struct {
 	Finished    int64
 	Throughput  float64
 	QueuePeak   int
+
+	// Cells/Workers record the sharding this point ran with (1/1 for
+	// the classic path); Epochs, BarrierStalls and Spills come from the
+	// epoch-barrier executor. Digest hashes the simulated outcomes only
+	// (never wall time), so any two runs of the same point must agree
+	// byte-for-byte whatever the worker count.
+	Cells         int
+	Workers       int
+	Epochs        int64
+	BarrierStalls int64
+	Spills        int64
+	Digest        string
+
+	// PerCell breaks the run down by simulation cell (nil for the
+	// classic path).
+	PerCell []ScaleCellDetail
+}
+
+// ScaleCellDetail is one cell's share of a sharded scale point.
+type ScaleCellDetail struct {
+	Cell          int
+	GPUs          int
+	Requests      int
+	Events        int64
+	EventsPerSec  float64 // cell events over the point's wall time
+	SpillsIn      int64
+	SpillsOut     int64
+	BarrierStalls int64
+}
+
+// scaleDigest fingerprints a run's simulated outcomes. Wall-clock and
+// allocation figures are deliberately excluded: the digest is the
+// determinism witness that -parallel changes speed and nothing else.
+func scaleDigest(events int64, res *cluster.Result) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "events=%d finished=%d decode=%d prefill=%d makespan=%d peak=%d spills=%d ttft{%s} e2e{%s}",
+		events, res.Finished, res.DecodeTokens, res.PrefillTokens,
+		int64(res.Makespan), res.QueuePeak, res.Spills,
+		res.TimeToFirstToken.Summary(), res.EndToEnd.Summary())
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // scaleTrace builds the cell's deterministic short-request trace.
@@ -131,7 +198,7 @@ func scaleCell(o ScaleOptions, gpus, requests int) (ScalePoint, error) {
 	sys := core.PunicaSystem()
 	sys.MaxBatch = o.MaxBatch
 	trace := o.scaleTrace(gpus, requests)
-	c := cluster.New(cluster.Config{
+	base := cluster.Config{
 		NumGPUs: gpus,
 		Engine: core.Config{
 			System: sys,
@@ -140,20 +207,56 @@ func scaleCell(o ScaleOptions, gpus, requests int) (ScalePoint, error) {
 			Rank:   models.DefaultLoRARank,
 		},
 		MigrationInterval: 10 * time.Second,
-	})
+	}
+	cells := o.Cells
+	if cells == 0 {
+		cells = autoCells(gpus)
+	}
+	workers := o.Workers
+	if workers < 1 {
+		workers = 1
+	}
+
+	var (
+		single *cluster.Cluster
+		multi  *cluster.MultiCluster
+	)
+	if cells > 1 {
+		multi = cluster.NewMulti(cluster.CellsConfig{
+			Base:       base,
+			Cells:      cells,
+			Workers:    workers,
+			EpochDelta: o.EpochDelta,
+		})
+	} else {
+		single = cluster.New(base)
+	}
 
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	res, err := c.Run(trace)
+	var (
+		res *cluster.Result
+		err error
+	)
+	if multi != nil {
+		res, err = multi.Run(trace)
+	} else {
+		res, err = single.Run(trace)
+	}
 	wall := time.Since(start)
 	runtime.ReadMemStats(&after)
 	if err != nil {
 		return ScalePoint{}, fmt.Errorf("scale %dgpus/%dreqs: %w", gpus, requests, err)
 	}
 
-	events := c.Clock().Executed()
+	var events int64
+	if multi != nil {
+		events = multi.Executed()
+	} else {
+		events = single.Clock().Executed()
+	}
 	p := ScalePoint{
 		GPUs:        gpus,
 		Requests:    requests,
@@ -163,6 +266,31 @@ func scaleCell(o ScaleOptions, gpus, requests int) (ScalePoint, error) {
 		Finished:    res.Finished,
 		Throughput:  res.Throughput,
 		QueuePeak:   res.QueuePeak,
+		Cells:       cells,
+		Workers:     workers,
+		Digest:      scaleDigest(events, res),
+	}
+	if multi != nil {
+		p.Epochs = res.Epochs
+		p.BarrierStalls = res.BarrierStalls
+		p.Spills = res.Spills
+		for i, st := range multi.CellStats() {
+			d := ScaleCellDetail{
+				Cell:          i,
+				GPUs:          st.GPUs,
+				Requests:      st.Requests,
+				Events:        st.Events,
+				SpillsIn:      st.SpillsIn,
+				SpillsOut:     st.SpillsOut,
+				BarrierStalls: st.BarrierStalls,
+			}
+			if wall > 0 {
+				d.EventsPerSec = float64(st.Events) / wall.Seconds()
+			}
+			p.PerCell = append(p.PerCell, d)
+		}
+	} else {
+		p.Workers = 1
 	}
 	if wall > 0 {
 		p.EventsPerSec = float64(events) / wall.Seconds()
@@ -198,34 +326,47 @@ func Scale(opts ScaleOptions) ([]ScalePoint, error) {
 
 // FormatScale renders the sweep as an aligned table.
 func FormatScale(points []ScalePoint) string {
-	t := newTable("gpus", "requests", "wall", "events", "events/s", "allocs/event", "bytes/event", "sim makespan", "tok/s")
+	t := newTable("gpus", "requests", "cells", "workers", "wall", "events", "events/s", "allocs/event", "bytes/event", "spills", "stalls", "sim makespan", "tok/s", "digest")
 	for _, p := range points {
 		t.add(
 			strconv.Itoa(p.GPUs),
 			strconv.Itoa(p.Requests),
+			strconv.Itoa(p.Cells),
+			strconv.Itoa(p.Workers),
 			fmt.Sprintf("%.2fs", p.WallSeconds),
 			strconv.FormatInt(p.Events, 10),
 			fmt.Sprintf("%.0f", p.EventsPerSec),
 			fmt.Sprintf("%.1f", p.AllocsPerEvent),
 			fmt.Sprintf("%.0f", p.BytesPerEvent),
+			strconv.FormatInt(p.Spills, 10),
+			strconv.FormatInt(p.BarrierStalls, 10),
 			fmt.Sprintf("%.0fs", p.SimMakespan.Seconds()),
-			fmt.Sprintf("%.0f", p.Throughput))
+			fmt.Sprintf("%.0f", p.Throughput),
+			p.Digest)
 	}
 	return "Scale harness — simulator control-plane cost (short-request Skewed trace):\n" + t.String()
 }
 
-// ScaleCSV writes the sweep as CSV.
+// ScaleCSV writes the sweep as CSV, one row per sweep point plus one
+// `cell` row per simulation cell of sharded points (cell = -1 marks
+// the fleet-level row; per-cell rows carry that cell's events/sec,
+// spill counts and barrier stalls).
 func ScaleCSV(out io.Writer, points []ScalePoint) error {
 	w := csv.NewWriter(out)
-	if err := w.Write([]string{"gpus", "requests", "wall_seconds", "events",
-		"events_per_sec", "allocs_per_event", "bytes_per_event",
-		"sim_makespan_s", "finished", "throughput_tok_s", "queue_peak"}); err != nil {
+	if err := w.Write([]string{"gpus", "requests", "cells", "workers", "cell",
+		"wall_seconds", "events", "events_per_sec", "allocs_per_event",
+		"bytes_per_event", "sim_makespan_s", "finished", "throughput_tok_s",
+		"queue_peak", "epochs", "barrier_stalls", "spills_in", "spills_out",
+		"digest"}); err != nil {
 		return err
 	}
 	for _, p := range points {
 		if err := w.Write([]string{
 			strconv.Itoa(p.GPUs),
 			strconv.Itoa(p.Requests),
+			strconv.Itoa(p.Cells),
+			strconv.Itoa(p.Workers),
+			"-1",
 			fmt.Sprintf("%.3f", p.WallSeconds),
 			strconv.FormatInt(p.Events, 10),
 			fmt.Sprintf("%.0f", p.EventsPerSec),
@@ -235,15 +376,41 @@ func ScaleCSV(out io.Writer, points []ScalePoint) error {
 			strconv.FormatInt(p.Finished, 10),
 			fmt.Sprintf("%.0f", p.Throughput),
 			strconv.Itoa(p.QueuePeak),
+			strconv.FormatInt(p.Epochs, 10),
+			strconv.FormatInt(p.BarrierStalls, 10),
+			strconv.FormatInt(p.Spills, 10),
+			strconv.FormatInt(p.Spills, 10),
+			p.Digest,
 		}); err != nil {
 			return err
+		}
+		for _, d := range p.PerCell {
+			if err := w.Write([]string{
+				strconv.Itoa(d.GPUs),
+				strconv.Itoa(d.Requests),
+				strconv.Itoa(p.Cells),
+				strconv.Itoa(p.Workers),
+				strconv.Itoa(d.Cell),
+				"",
+				strconv.FormatInt(d.Events, 10),
+				fmt.Sprintf("%.0f", d.EventsPerSec),
+				"", "", "", "", "", "",
+				strconv.FormatInt(p.Epochs, 10),
+				strconv.FormatInt(d.BarrierStalls, 10),
+				strconv.FormatInt(d.SpillsIn, 10),
+				strconv.FormatInt(d.SpillsOut, 10),
+				"",
+			}); err != nil {
+				return err
+			}
 		}
 	}
 	w.Flush()
 	return w.Error()
 }
 
-// ScaleRecords flattens the sweep into bench records, one per cell.
+// ScaleRecords flattens the sweep into bench records, one per sweep
+// point.
 func ScaleRecords(points []ScalePoint) []BenchRecord {
 	var recs []BenchRecord
 	for _, p := range points {
@@ -259,6 +426,11 @@ func ScaleRecords(points []ScalePoint) []BenchRecord {
 				"sim_makespan_s":   p.SimMakespan.Seconds(),
 				"throughput_tok_s": p.Throughput,
 				"queue_peak":       float64(p.QueuePeak),
+				"cells":            float64(p.Cells),
+				"workers":          float64(p.Workers),
+				"epochs":           float64(p.Epochs),
+				"barrier_stalls":   float64(p.BarrierStalls),
+				"spills":           float64(p.Spills),
 			},
 		})
 	}

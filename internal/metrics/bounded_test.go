@@ -206,3 +206,68 @@ func TestTimeSeriesCustomBound(t *testing.T) {
 		t.Fatalf("series holds %d points, bound 16", ts.Len())
 	}
 }
+
+// tsMass sums a series' total mass and count through its points.
+func tsMass(ts *TimeSeries) (mass float64, count int64) {
+	for _, p := range ts.points {
+		mass += p.sum
+		count += p.count
+	}
+	return mass, count
+}
+
+// TestTimeSeriesMergeExactMass: merging preserves total mass and count
+// exactly, interleaves by timestamp, and is deterministic across merge
+// order of disjoint shards.
+func TestTimeSeriesMergeExactMass(t *testing.T) {
+	var a, b TimeSeries
+	for i := 0; i < 100; i++ {
+		a.Add(time.Duration(2*i)*time.Millisecond, float64(i))
+		b.Add(time.Duration(2*i+1)*time.Millisecond, float64(10*i))
+	}
+	am, ac := tsMass(&a)
+	bm, bc := tsMass(&b)
+	a.Merge(&b)
+	gm, gc := tsMass(&a)
+	if gm != am+bm || gc != ac+bc {
+		t.Fatalf("merge lost mass: got (%v,%d), want (%v,%d)", gm, gc, am+bm, ac+bc)
+	}
+	pts := a.Points()
+	for i := 1; i < len(pts); i++ {
+		if pts[i].T < pts[i-1].T {
+			t.Fatalf("merged series out of order at %d: %v after %v", i, pts[i].T, pts[i-1].T)
+		}
+	}
+}
+
+// TestTimeSeriesMergeRespectsBound: merging two full series re-decimates
+// into the bound instead of growing without limit, still mass-exact.
+func TestTimeSeriesMergeRespectsBound(t *testing.T) {
+	a := TimeSeries{MaxPoints: 64}
+	b := TimeSeries{MaxPoints: 64}
+	for i := 0; i < 500; i++ {
+		a.Add(time.Duration(i)*time.Millisecond, 1)
+		b.Add(time.Duration(i)*time.Millisecond+500*time.Microsecond, 2)
+	}
+	am, ac := tsMass(&a)
+	bm, bc := tsMass(&b)
+	a.Merge(&b)
+	if a.Len() >= 64 {
+		t.Fatalf("merged series holds %d points, bound is 64", a.Len())
+	}
+	gm, gc := tsMass(&a)
+	if gm != am+bm || gc != ac+bc {
+		t.Fatalf("bounded merge lost mass: got (%v,%d), want (%v,%d)", gm, gc, am+bm, ac+bc)
+	}
+}
+
+// TestTimeSeriesMergeEmpty: merging nil or empty series is a no-op.
+func TestTimeSeriesMergeEmpty(t *testing.T) {
+	var a, empty TimeSeries
+	a.Add(time.Millisecond, 3)
+	a.Merge(nil)
+	a.Merge(&empty)
+	if m, c := tsMass(&a); m != 3 || c != 1 {
+		t.Fatalf("no-op merge changed series: (%v,%d)", m, c)
+	}
+}

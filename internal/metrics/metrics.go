@@ -358,6 +358,39 @@ func (ts *TimeSeries) decimate() {
 	}
 }
 
+// Merge folds other's observations into ts (other is unchanged). The
+// merge is exact in mass and count: every retained point's sum and
+// count carry over, interleaved by timestamp (ts's points first on
+// ties, so merging in a fixed shard order is deterministic). The result
+// adopts the coarser of the two decimation widths and re-decimates if
+// the combined series exceeds the bound — cell-sharded runs use this to
+// fold per-cell arrival/processed series into one fleet series.
+func (ts *TimeSeries) Merge(other *TimeSeries) {
+	if other == nil || len(other.points) == 0 {
+		return
+	}
+	merged := make([]tsPoint, 0, len(ts.points)+len(other.points))
+	i, j := 0, 0
+	for i < len(ts.points) && j < len(other.points) {
+		if other.points[j].t < ts.points[i].t {
+			merged = append(merged, other.points[j])
+			j++
+		} else {
+			merged = append(merged, ts.points[i])
+			i++
+		}
+	}
+	merged = append(merged, ts.points[i:]...)
+	merged = append(merged, other.points[j:]...)
+	ts.points = merged
+	if other.width > ts.width {
+		ts.width = other.width
+	}
+	if len(ts.points) >= ts.bound() {
+		ts.decimate()
+	}
+}
+
 // Len returns the number of retained (possibly merged) points.
 func (ts *TimeSeries) Len() int { return len(ts.points) }
 

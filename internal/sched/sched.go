@@ -153,6 +153,11 @@ type Stats struct {
 	// the request's prefill was still running (the CaraServe-style
 	// cold-start overlap).
 	AdapterPrefetches int64
+	// SpillsIn counts requests admitted from another cell's overflow via
+	// AdmitSpill; SpillsOut counts queued requests handed away through
+	// StealNewest. Both move only at epoch barriers in cell-sharded runs.
+	SpillsIn  int64
+	SpillsOut int64
 }
 
 // New builds a scheduler over the given GPUs with the paper's §5.1
@@ -439,6 +444,49 @@ func (s *Scheduler) Reschedule(r *core.Request, from *GPU, now time.Duration) (*
 		}
 		if g != nil {
 			s.stats.Migrations++
+			return g, nil
+		}
+	}
+	s.enqueueFCFS(r)
+	return nil, nil
+}
+
+// StealNewest removes up to n of the youngest queued requests — the
+// tail of the FCFS queue — and returns them in arrival order. Cell
+// routers call it at epoch barriers to spill a congested cell's
+// overflow to a lightly-loaded one; taking from the tail preserves
+// FCFS for everything that stays (the head keeps its place, and the
+// stolen requests are the ones that would have waited longest here).
+func (s *Scheduler) StealNewest(n int) []*core.Request {
+	if n <= 0 || len(s.queue) == 0 {
+		return nil
+	}
+	if n > len(s.queue) {
+		n = len(s.queue)
+	}
+	cut := len(s.queue) - n
+	stolen := append([]*core.Request(nil), s.queue[cut:]...)
+	for i := cut; i < len(s.queue); i++ {
+		s.queue[i] = nil
+	}
+	s.queue = s.queue[:cut]
+	s.stats.SpillsOut += int64(n)
+	return stolen
+}
+
+// AdmitSpill admits a request spilled from another cell: placed
+// immediately when the local FCFS queue is empty and capacity exists,
+// otherwise inserted in arrival order (spilled requests carry their
+// original arrival time, so they take their fair FCFS place rather
+// than the queue tail).
+func (s *Scheduler) AdmitSpill(r *core.Request, now time.Duration) (*GPU, error) {
+	s.stats.SpillsIn++
+	if len(s.queue) == 0 {
+		g, err := s.tryPlace(r, nil, now)
+		if err != nil {
+			return nil, err
+		}
+		if g != nil {
 			return g, nil
 		}
 	}

@@ -1,0 +1,103 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+// fillQueue saturates a 1-GPU scheduler so every further dispatch
+// queues, then returns the scheduler with nQueued requests waiting.
+func fillQueue(t *testing.T, nQueued int) *Scheduler {
+	t.Helper()
+	gpus := testGPUs(t, 1, 2)
+	s := New(gpus)
+	id := int64(1)
+	// Fill the GPU (batch cap 2), then overflow the queue.
+	for placed := 0; placed < 2; placed++ {
+		g, err := s.Dispatch(mkReq(id, 10, 5), 0)
+		if err != nil || g == nil {
+			t.Fatalf("warm-up dispatch %d: g=%v err=%v", id, g, err)
+		}
+		id++
+	}
+	for q := 0; q < nQueued; q++ {
+		g, err := s.Dispatch(mkReq(id, 10, 5), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g != nil {
+			t.Fatalf("request %d placed with a full batch", id)
+		}
+		id++
+	}
+	if s.QueueLen() != nQueued {
+		t.Fatalf("queue length %d, want %d", s.QueueLen(), nQueued)
+	}
+	return s
+}
+
+// TestStealNewestTakesTailInArrivalOrder: the steal removes the
+// youngest queued requests, returns them oldest-first, and leaves the
+// head of the queue (FCFS survivors) untouched.
+func TestStealNewestTakesTailInArrivalOrder(t *testing.T) {
+	s := fillQueue(t, 5) // queued IDs 3..7
+	stolen := s.StealNewest(3)
+	if len(stolen) != 3 {
+		t.Fatalf("stole %d, want 3", len(stolen))
+	}
+	for i, want := range []int64{5, 6, 7} {
+		if stolen[i].ID != want {
+			t.Fatalf("stolen[%d].ID = %d, want %d (arrival order)", i, stolen[i].ID, want)
+		}
+	}
+	if s.QueueLen() != 2 {
+		t.Fatalf("queue kept %d, want 2", s.QueueLen())
+	}
+	if got := s.Stats().SpillsOut; got != 3 {
+		t.Fatalf("SpillsOut = %d, want 3", got)
+	}
+	// Over-asking drains the queue but no more.
+	rest := s.StealNewest(10)
+	if len(rest) != 2 || rest[0].ID != 3 || rest[1].ID != 4 {
+		t.Fatalf("drain steal returned %v", rest)
+	}
+	if s.StealNewest(1) != nil {
+		t.Fatal("steal from empty queue returned requests")
+	}
+}
+
+// TestAdmitSpillPlacesOrQueuesFCFS: a spilled request with capacity
+// available is placed immediately; with a backlog it takes its
+// arrival-ordered place in the queue, not the tail.
+func TestAdmitSpillPlacesOrQueuesFCFS(t *testing.T) {
+	// Capacity available: immediate placement.
+	free := New(testGPUs(t, 1, 4))
+	g, err := free.AdmitSpill(mkReq(42, 10, 5), 0)
+	if err != nil || g == nil {
+		t.Fatalf("spill into free cell: g=%v err=%v", g, err)
+	}
+	if free.Stats().SpillsIn != 1 {
+		t.Fatalf("SpillsIn = %d, want 1", free.Stats().SpillsIn)
+	}
+
+	// Backlogged: the spilled request (old arrival, ID 0) must insert at
+	// the queue head, ahead of younger queued requests.
+	s := fillQueue(t, 3) // queued IDs 3..5
+	old := mkReq(0, 10, 5)
+	old.Arrival = 0
+	g, err = s.AdmitSpill(old, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != nil {
+		t.Fatal("spill placed despite full batch")
+	}
+	if s.QueueLen() != 4 {
+		t.Fatalf("queue length %d, want 4", s.QueueLen())
+	}
+	// Steal everything: arrival order must now start with the spill.
+	all := s.StealNewest(4)
+	if all[0].ID != 0 {
+		t.Fatalf("queue head after spill is ID %d, want 0 (FCFS by arrival)", all[0].ID)
+	}
+}

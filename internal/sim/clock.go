@@ -65,6 +65,13 @@ func (c *VirtualClock) ScheduleAfter(delay time.Duration, fn func()) {
 	c.Schedule(c.now+delay, fn)
 }
 
+// maxFreeEvents caps the event free list. Uncapped, a requeue spike that
+// momentarily schedules hundreds of thousands of events would pin a
+// peak-sized pool for the rest of the run; past the cap, retired events
+// fall to the garbage collector and the pool shrinks back to steady
+// state.
+const maxFreeEvents = 4096
+
 // Step executes the single earliest pending event, advancing the clock to
 // its timestamp. It reports whether an event ran.
 func (c *VirtualClock) Step() bool {
@@ -76,7 +83,9 @@ func (c *VirtualClock) Step() bool {
 	c.executed++
 	fn := ev.fn
 	ev.fn = nil // release the closure before recycling
-	c.free = append(c.free, ev)
+	if len(c.free) < maxFreeEvents {
+		c.free = append(c.free, ev)
+	}
 	fn()
 	return true
 }
@@ -112,6 +121,20 @@ func (c *VirtualClock) RunAll() int {
 
 // Pending returns the number of events waiting to run.
 func (c *VirtualClock) Pending() int { return len(c.events) }
+
+// NextAt returns the timestamp of the earliest pending event. ok is
+// false when no events are pending. The epoch-barrier executor uses it
+// to fast-forward past empty stretches of simulated time without
+// spinning through idle barriers.
+func (c *VirtualClock) NextAt() (at time.Duration, ok bool) {
+	if len(c.events) == 0 {
+		return 0, false
+	}
+	return c.events[0].at, true
+}
+
+// freeListLen exposes the recycled-event pool size to the cap test.
+func (c *VirtualClock) freeListLen() int { return len(c.free) }
 
 // Executed returns the total number of events run since creation — the
 // denominator for events/sec and allocs/event in the scale harness.

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultEpoch is the default barrier interval Δ for ParallelExecutor:
+// wide enough that a million-event run crosses only thousands of
+// barriers (synchronization cost stays far below 1% of the epoch work),
+// narrow enough that cross-shard exchanges — spill routing, fleet
+// gauges — react within tenths of a simulated second.
+const DefaultEpoch = 100 * time.Millisecond
+
+// ParallelExecutor advances a set of independent VirtualClocks — shards
+// of one simulation — in deterministic time epochs. Every epoch, each
+// shard runs freely up to the shared barrier time T; shards touch no
+// state outside their own, so the epoch's work can run on any number of
+// goroutines in any order with byte-identical results. Cross-shard
+// effects happen only in the exchange callback, which the executor
+// invokes single-threaded at each barrier after every shard has reached
+// it (the epoch's WaitGroup establishes the happens-before edge).
+//
+// The protocol makes the interleaving deterministic by construction:
+//   - within an epoch a shard sees only its own events, in its own
+//     clock's (time, seq) order;
+//   - exchanges observe all shards at the identical barrier instant and
+//     must themselves iterate shards deterministically (index order);
+//   - events an exchange injects are scheduled at the barrier time and
+//     run at the start of the next epoch, in injection order.
+//
+// Workers therefore changes wall-clock time and nothing else: results
+// are identical to running every shard sequentially in index order,
+// regardless of GOMAXPROCS or scheduling jitter.
+type ParallelExecutor struct {
+	clocks  []*VirtualClock
+	workers int
+	delta   time.Duration
+
+	// ScrambleOrder deterministically rotates the shard dispatch order
+	// every epoch. The determinism tests set it to prove results are
+	// independent of which worker picks up which shard when.
+	ScrambleOrder bool
+
+	epochs       int64
+	stalls       []int64
+	prevExecuted []int64
+}
+
+// NewParallelExecutor builds an executor over the shard clocks.
+// workers <= 1 runs shards sequentially (the reference interleaving);
+// delta <= 0 uses DefaultEpoch.
+func NewParallelExecutor(clocks []*VirtualClock, workers int, delta time.Duration) *ParallelExecutor {
+	if workers < 1 {
+		workers = 1
+	}
+	if delta <= 0 {
+		delta = DefaultEpoch
+	}
+	return &ParallelExecutor{
+		clocks:       clocks,
+		workers:      workers,
+		delta:        delta,
+		stalls:       make([]int64, len(clocks)),
+		prevExecuted: make([]int64, len(clocks)),
+	}
+}
+
+// Run drives epochs until no shard has pending events and a final
+// exchange injects nothing. exchange (may be nil) is called at every
+// barrier with the barrier time; it returns whether it injected events
+// into any shard. It must iterate shards in a deterministic order and
+// is the only place cross-shard state may move.
+func (e *ParallelExecutor) Run(exchange func(barrier time.Duration) bool) {
+	barrier := time.Duration(0)
+	for {
+		earliest, any := e.earliestPending()
+		if !any {
+			// Quiescent: give the exchange one chance to inject (e.g. a
+			// final spill of queued work); otherwise the run is done.
+			if exchange == nil || !exchange(barrier) {
+				return
+			}
+			continue
+		}
+		// The epoch covers (prev, earliest+Δ]: anchoring on the earliest
+		// pending event guarantees progress every epoch and fast-forwards
+		// over empty stretches instead of spinning through idle barriers.
+		if earliest > barrier {
+			barrier = earliest
+		}
+		barrier += e.delta
+		e.runEpoch(barrier)
+		e.epochs++
+		for i, c := range e.clocks {
+			ex := c.Executed()
+			if ex == e.prevExecuted[i] {
+				e.stalls[i]++
+			}
+			e.prevExecuted[i] = ex
+		}
+		if exchange != nil {
+			exchange(barrier)
+		}
+	}
+}
+
+// runEpoch advances every shard to the barrier, using up to
+// e.workers goroutines.
+func (e *ParallelExecutor) runEpoch(barrier time.Duration) {
+	n := len(e.clocks)
+	order := make([]int, n)
+	for i := range order {
+		if e.ScrambleOrder {
+			order[i] = (i + int(e.epochs)) % n
+		} else {
+			order[i] = i
+		}
+	}
+	if e.workers == 1 || n == 1 {
+		for _, i := range order {
+			e.clocks[i].Run(barrier)
+		}
+		return
+	}
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		//punica:barrier-ok epoch workers own disjoint shards; wg.Wait is the barrier that publishes their effects
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				e.clocks[order[i]].Run(barrier)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// earliestPending returns the earliest pending event time across all
+// shards; ok is false when every shard is drained.
+func (e *ParallelExecutor) earliestPending() (at time.Duration, ok bool) {
+	for _, c := range e.clocks {
+		if t, has := c.NextAt(); has && (!ok || t < at) {
+			at, ok = t, true
+		}
+	}
+	return at, ok
+}
+
+// Epochs returns the number of barriers crossed.
+func (e *ParallelExecutor) Epochs() int64 { return e.epochs }
+
+// Stalls returns, per shard, how many epochs that shard executed zero
+// events while the fleet still had work — the barrier-stall count that
+// surfaces load imbalance between shards.
+func (e *ParallelExecutor) Stalls() []int64 { return e.stalls }
+
+// Executed sums executed-event counts across all shard clocks — the
+// fleet-wide denominator for events/sec.
+func (e *ParallelExecutor) Executed() int64 {
+	var total int64
+	for _, c := range e.clocks {
+		total += c.Executed()
+	}
+	return total
+}

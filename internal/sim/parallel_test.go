@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// shardLoad schedules a deterministic self-rescheduling workload on c:
+// n chains of events, each appending to log and rescheduling itself a
+// few times. Returns the expected final event count.
+func shardLoad(c *VirtualClock, n int, log *[]string, tag string) {
+	for i := 0; i < n; i++ {
+		i := i
+		hops := 0
+		var step func()
+		step = func() {
+			*log = append(*log, fmt.Sprintf("%s-%d@%v", tag, i, c.Now()))
+			hops++
+			if hops < 4 {
+				c.ScheduleAfter(time.Duration(1+i%7)*time.Millisecond, step)
+			}
+		}
+		c.Schedule(time.Duration(i)*time.Millisecond, step)
+	}
+}
+
+// runShards executes nShards independent workloads under the executor
+// and returns the per-shard logs plus the executor for stat inspection.
+func runShards(workers int, scramble bool) ([][]string, *ParallelExecutor) {
+	const nShards = 4
+	clocks := make([]*VirtualClock, nShards)
+	logs := make([][]string, nShards)
+	for s := range clocks {
+		clocks[s] = NewVirtualClock()
+		shardLoad(clocks[s], 20+s*5, &logs[s], fmt.Sprintf("s%d", s))
+	}
+	e := NewParallelExecutor(clocks, workers, 5*time.Millisecond)
+	e.ScrambleOrder = scramble
+	e.Run(nil)
+	return logs, e
+}
+
+// TestParallelExecutorDeterministic: worker count and dispatch order
+// change nothing observable — per-shard event sequences and executed
+// counts are byte-identical to the sequential reference.
+func TestParallelExecutorDeterministic(t *testing.T) {
+	ref, refExec := runShards(1, false)
+	for _, workers := range []int{2, 4, 8} {
+		for _, scramble := range []bool{false, true} {
+			got, gotExec := runShards(workers, scramble)
+			if gotExec.Executed() != refExec.Executed() {
+				t.Fatalf("workers=%d scramble=%v executed %d events, reference %d",
+					workers, scramble, gotExec.Executed(), refExec.Executed())
+			}
+			for s := range ref {
+				if len(got[s]) != len(ref[s]) {
+					t.Fatalf("workers=%d shard %d ran %d events, reference %d",
+						workers, s, len(got[s]), len(ref[s]))
+				}
+				for i := range ref[s] {
+					if got[s][i] != ref[s][i] {
+						t.Fatalf("workers=%d scramble=%v shard %d event %d = %q, reference %q",
+							workers, scramble, s, i, got[s][i], ref[s][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelExecutorExchange: barrier exchanges move work between
+// shards deterministically — a token hops shard to shard at each
+// barrier, and the hop log is identical for any worker count.
+func TestParallelExecutorExchange(t *testing.T) {
+	run := func(workers int) ([]string, int64) {
+		const nShards = 3
+		clocks := make([]*VirtualClock, nShards)
+		counts := make([]int, nShards)
+		for s := range clocks {
+			clocks[s] = NewVirtualClock()
+		}
+		// Seed shard 0 with one event; each barrier forwards a new event
+		// to the next shard until 9 hops have happened.
+		var hops []string
+		clocks[0].Schedule(0, func() { counts[0]++ })
+		next := 1
+		e := NewParallelExecutor(clocks, workers, 2*time.Millisecond)
+		e.Run(func(barrier time.Duration) bool {
+			if next > 9 {
+				return false
+			}
+			s := next % nShards
+			hop := next
+			hops = append(hops, fmt.Sprintf("hop%d->s%d@%v", hop, s, barrier))
+			clocks[s].Schedule(barrier, func() { counts[s]++ })
+			next++
+			return true
+		})
+		var total int64
+		for s, c := range clocks {
+			if int64(counts[s]) != c.Executed() {
+				return nil, -1
+			}
+			total += c.Executed()
+		}
+		return hops, total
+	}
+	refHops, refTotal := run(1)
+	if refTotal != 10 {
+		t.Fatalf("reference executed %d events, want 10", refTotal)
+	}
+	for _, workers := range []int{2, 4} {
+		hops, total := run(workers)
+		if total != refTotal {
+			t.Fatalf("workers=%d executed %d, reference %d", workers, total, refTotal)
+		}
+		if fmt.Sprint(hops) != fmt.Sprint(refHops) {
+			t.Fatalf("workers=%d hop log diverged:\n got %v\nwant %v", workers, hops, refHops)
+		}
+	}
+}
+
+// TestParallelExecutorStalls: a shard with no work accumulates barrier
+// stalls while the loaded shard never does.
+func TestParallelExecutorStalls(t *testing.T) {
+	busy, idle := NewVirtualClock(), NewVirtualClock()
+	var log []string
+	shardLoad(busy, 10, &log, "busy")
+	e := NewParallelExecutor([]*VirtualClock{busy, idle}, 2, 3*time.Millisecond)
+	e.Run(nil)
+	if e.Epochs() == 0 {
+		t.Fatal("no epochs ran")
+	}
+	st := e.Stalls()
+	if st[0] != 0 {
+		t.Fatalf("busy shard stalled %d times", st[0])
+	}
+	if st[1] != e.Epochs() {
+		t.Fatalf("idle shard stalled %d of %d epochs", st[1], e.Epochs())
+	}
+	if e.Executed() != busy.Executed() {
+		t.Fatalf("Executed() = %d, want %d", e.Executed(), busy.Executed())
+	}
+}
+
+// TestFreeListCapped: a one-off spike of pending events must not pin a
+// peak-sized free list after it drains.
+func TestFreeListCapped(t *testing.T) {
+	c := NewVirtualClock()
+	const spike = 3 * maxFreeEvents
+	for i := 0; i < spike; i++ {
+		c.Schedule(time.Duration(i)*time.Microsecond, func() {})
+	}
+	if n := c.RunAll(); n != spike {
+		t.Fatalf("ran %d events, want %d", n, spike)
+	}
+	if got := c.freeListLen(); got > maxFreeEvents {
+		t.Fatalf("free list holds %d events after spike, cap is %d", got, maxFreeEvents)
+	}
+	// The surviving pool still recycles: steady-state scheduling after the
+	// spike reuses pooled events (no growth past the cap).
+	for i := 0; i < 10*maxFreeEvents; i++ {
+		c.Schedule(c.Now(), func() {})
+		c.Step()
+	}
+	if got := c.freeListLen(); got > maxFreeEvents {
+		t.Fatalf("free list regrew to %d past cap %d", got, maxFreeEvents)
+	}
+}
+
+// TestNextAt pins the fast-forward accessor.
+func TestNextAt(t *testing.T) {
+	c := NewVirtualClock()
+	if _, ok := c.NextAt(); ok {
+		t.Fatal("empty clock reports a pending event")
+	}
+	c.Schedule(7*time.Millisecond, func() {})
+	c.Schedule(3*time.Millisecond, func() {})
+	at, ok := c.NextAt()
+	if !ok || at != 3*time.Millisecond {
+		t.Fatalf("NextAt = %v,%v; want 3ms,true", at, ok)
+	}
+}
