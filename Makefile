@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fmt check bench experiments scale scale-check scale-baseline shuffle fuzz invariants
+.PHONY: all build test race vet lint fmt check bench experiments scale scale-check scale-baseline shuffle fuzz invariants soak traffic-check traffic-baseline
 
 all: check
 
@@ -19,13 +19,16 @@ shuffle:
 	$(GO) test -shuffle=on ./...
 
 # fuzz runs a short smoke of every native fuzz target (segment shapes,
-# batch grouping, workload assignment, KV migration accounting).
+# batch grouping, workload assignment, KV migration accounting, traffic
+# spec parsing, tenant churn).
 fuzz:
 	$(GO) test ./internal/sgmv -run '^$$' -fuzz FuzzSegmentSizes -fuzztime 10s
 	$(GO) test ./internal/sgmv -run '^$$' -fuzz FuzzGroupByModel -fuzztime 10s
 	$(GO) test ./internal/dist -run '^$$' -fuzz FuzzAssigner -fuzztime 10s
 	$(GO) test ./internal/dist -run '^$$' -fuzz FuzzZipfAssigner -fuzztime 10s
 	$(GO) test ./internal/kvcache -run '^$$' -fuzz FuzzKVMigration -fuzztime 10s
+	$(GO) test ./internal/workload -run '^$$' -fuzz FuzzTrafficSpec -fuzztime 10s
+	$(GO) test ./internal/workload -run '^$$' -fuzz FuzzTenantChurn -fuzztime 10s
 
 # vet runs the standard toolchain vet plus punica-vet, the repo's own
 # analyzer suite (versionbump, scratchlife, detsim, lockorder,
@@ -87,3 +90,21 @@ scale-check:
 scale-baseline:
 	$(GO) run ./cmd/punica-bench -scale-gpus 16,64,256 -scale-requests 100000 -parallel 4 \
 		-json bench/BENCH_scale.json scale
+
+# soak runs the everything-at-once scenario: two simulated hours of
+# diurnal traffic with flash crowds, tenant churn, popularity drift,
+# autoscaling and random GPU faults, fairness on (DESIGN.md §12).
+soak:
+	$(GO) run ./cmd/punica-bench soak
+
+# traffic-check replays the flash-crowd fairness sweep and fails if
+# throughput, the off/on stall-skew ratio, or the tail-p99 gain
+# regresses >20% against the committed baseline. The sweep is fully
+# deterministic, so the gate is exact up to the threshold.
+traffic-check:
+	$(GO) run ./cmd/punica-bench -traffic-baseline bench/BENCH_traffic.json -regress-threshold 0.20 traffic
+
+# traffic-baseline regenerates the committed fairness baseline after
+# intentional scheduler or traffic-engine changes.
+traffic-baseline:
+	$(GO) run ./cmd/punica-bench -json bench/BENCH_traffic.json traffic

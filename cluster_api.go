@@ -92,6 +92,23 @@ func RandomFaultPlan(seed int64, numGPUs int, horizon time.Duration, ratePerGPUH
 	return cluster.RandomFaultPlan(seed, numGPUs, horizon, ratePerGPUHour)
 }
 
+// TenantOutcome is one tenant's slice of a run: requests finished,
+// decode tokens served, adapter stalls attributed, and its end-to-end
+// latency histogram. ClusterResult.Tenants carries them (sorted by
+// id) whenever the trace is tenant-tagged; ClusterConfig.Fairness
+// enables the VTC admission layer that defends the tail tenants.
+type TenantOutcome = cluster.TenantOutcome
+
+// TenantP99 merges every tenant's end-to-end histogram except the
+// excluded id and returns its p99 in seconds — the tail-tenant latency
+// a hot tenant's flash crowd inflates.
+func TenantP99(tenants []TenantOutcome, exclude int64) float64 {
+	return cluster.TenantP99(tenants, exclude)
+}
+
+// HottestTenant returns the tenant with the most decode tokens.
+func HottestTenant(tenants []TenantOutcome) int64 { return cluster.HottestTenant(tenants) }
+
 // Scheduler is Punica's cluster scheduler (§5.1): largest-working-set
 // routing with FCFS queueing, migration and scale hints, behind a
 // pluggable placement-policy framework.

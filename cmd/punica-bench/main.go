@@ -8,7 +8,7 @@
 // Experiments: fig1 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 headline
 // loading ablation-norm ablation-maxbatch ablation-pagesize
 // ablation-prefill ablation-migration ablation-quant autoscale policies
-// faults disagg scale all
+// faults disagg traffic soak scale all
 package main
 
 import (
@@ -43,6 +43,10 @@ var (
 
 	baselineFlag = flag.String("baseline", "", "scale: committed BENCH_scale.json to gate against; the run fails if events/sec regresses past -regress-threshold")
 	regressFlag  = flag.Float64("regress-threshold", 0.20, "scale: fractional events/sec drop vs -baseline that fails the run")
+
+	trafficBaselineFlag = flag.String("traffic-baseline", "", "traffic: committed BENCH_traffic.json to gate against; the run fails if throughput, the off/on stall-skew ratio, or the tail-p99 gain regresses past -regress-threshold")
+
+	soakHorizonFlag = flag.Duration("soak-horizon", 0, "soak: override the simulated horizon (default 2h)")
 )
 
 // benchRecords accumulates -json output across the experiments run.
@@ -316,6 +320,44 @@ func run(name string) error {
 		if err := checkScaleBaseline(experiments.ScaleRecords(points)); err != nil {
 			return err
 		}
+	case "traffic":
+		var topts experiments.TrafficOptions
+		// The default sweep is pinned (seed and all) so the committed
+		// BENCH_traffic.json baseline reproduces exactly; only an
+		// explicit -seed overrides it.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "seed" {
+				topts.Seed = *seedFlag
+			}
+		})
+		points, err := experiments.Traffic(topts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTraffic(points))
+		benchRecords = append(benchRecords, experiments.TrafficRecords(points)...)
+		if err := writeCSV(func(w io.Writer) error {
+			return experiments.TrafficCSV(w, points)
+		}); err != nil {
+			return err
+		}
+		if err := checkTrafficBaseline(experiments.TrafficRecords(points)); err != nil {
+			return err
+		}
+	case "soak":
+		res, err := experiments.Soak(experiments.SoakOptions{
+			Horizon: *soakHorizonFlag, Seed: *seedFlag,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatSoak(res))
+		benchRecords = append(benchRecords, experiments.SoakRecords(res)...)
+		if err := writeCSV(func(w io.Writer) error {
+			return experiments.SoakCSV(w, res)
+		}); err != nil {
+			return err
+		}
 	case "ablation-migration":
 		o := fig13Options()
 		if !*hourFlag {
@@ -331,6 +373,40 @@ func run(name string) error {
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}
+	return nil
+}
+
+// checkTrafficBaseline gates the traffic sweep against a committed
+// baseline when -traffic-baseline is set. Three metrics gate: raw
+// throughput on every run row, and the off/on stall-skew ratio and
+// tail-p99 gain on the per-peak fairness-gain rows — the numbers the
+// fairness layer is accountable for.
+func checkTrafficBaseline(current []experiments.BenchRecord) error {
+	if *trafficBaselineFlag == "" {
+		return nil
+	}
+	f, err := os.Open(*trafficBaselineFlag)
+	if err != nil {
+		return fmt.Errorf("-traffic-baseline: %w", err)
+	}
+	defer f.Close()
+	baseline, err := experiments.ReadBenchJSON(f)
+	if err != nil {
+		return fmt.Errorf("-traffic-baseline %s: %w", *trafficBaselineFlag, err)
+	}
+	var errs []error
+	for _, metric := range []string{"throughput_tok_s", "skew_ratio", "tail_p99_gain"} {
+		errs = append(errs, experiments.CompareBaseline(baseline, current, metric, *regressFlag)...)
+	}
+	for _, e := range errs {
+		fmt.Fprintln(os.Stderr, "regression:", e)
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("%d traffic metric(s) regressed past %.0f%% vs %s",
+			len(errs), 100**regressFlag, *trafficBaselineFlag)
+	}
+	fmt.Fprintf(os.Stderr, "baseline check passed: no throughput/skew-ratio/tail-p99-gain regression past %.0f%% vs %s\n",
+		100**regressFlag, *trafficBaselineFlag)
 	return nil
 }
 
@@ -401,6 +477,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, "usage: punica-bench [flags] <experiment>\nexperiments: %v\n",
 		allExperiments)
 	fmt.Fprintf(os.Stderr, "plus: scale (control-plane scale sweep; excluded from 'all' — the full grid runs 1M-request traces)\n")
+	fmt.Fprintf(os.Stderr, "plus: traffic (flash-crowd fairness sweep, gated by -traffic-baseline) and soak (hours-long everything-at-once run; -soak-horizon shortens it) — both excluded from 'all'\n")
 	flag.PrintDefaults()
 }
 

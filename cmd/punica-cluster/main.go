@@ -10,10 +10,17 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"time"
 
+	"punica/internal/cluster"
+	"punica/internal/core"
+	"punica/internal/dist"
 	"punica/internal/experiments"
+	"punica/internal/hw"
+	"punica/internal/models"
 	"punica/internal/sched"
+	"punica/internal/workload"
 )
 
 func main() {
@@ -37,12 +44,26 @@ func main() {
 	disaggRatio := flag.Float64("disagg-ratio", 0.25,
 		"fraction of the fleet serving the prefill pool in -disagg mode")
 	disaggCSV := flag.String("disagg-csv", "", "write the disaggregation sweep as CSV to this file")
+	fairness := flag.Bool("fairness", false,
+		"enable the VTC per-tenant fairness admission layer (off preserves the FCFS golden traces)")
+	traffic := flag.String("traffic", "",
+		"run an open-loop traffic spec instead of the Fig. 13 trapezoid, e.g.\n\"horizon=8m;base=5;spike=at:2m,peak:30,model:0,tenant:1;tenants=64/3;mix=Skewed/32;seed=7\"")
+	storeAdapters := flag.Int("store-adapters", 0,
+		"with -traffic: cap each GPU's adapter store to this many resident adapters (0 = HBM-derived default)")
+	maxBatch := flag.Int("max-batch", 0, "with -traffic: batch-size cap (0 = paper default)")
 	flag.Parse()
 
 	if _, err := sched.PolicyByName(*policy, sched.PolicyConfig{}); err != nil {
 		log.Fatal(err)
 	}
 	start := time.Now()
+	if *traffic != "" {
+		if err := runTraffic(*traffic, *gpus, *maxBatch, *storeAdapters, *fairness, *seed); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("(ran in %v of wall time)\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 	if *disagg {
 		dopts := experiments.DefaultDisaggOptions()
 		flag.Visit(func(f *flag.Flag) {
@@ -153,4 +174,84 @@ func main() {
 	fmt.Println(experiments.FormatFig13(res))
 	fmt.Printf("(simulated %v of cluster time in %v of wall time)\n",
 		res.Horizon.Round(time.Second), time.Since(start).Round(time.Millisecond))
+}
+
+// runTraffic replays an open-loop traffic spec (-traffic) against a
+// fresh cluster and prints the run summary plus the per-tenant view the
+// fairness layer (-fairness) is accountable for.
+func runTraffic(specStr string, gpus, maxBatch, storeAdapters int, fairness bool, seed int64) error {
+	spec, err := workload.ParseTrafficSpec(specStr)
+	if err != nil {
+		return err
+	}
+	if spec.Seed == 0 {
+		spec.Seed = seed
+	}
+	gen := workload.NewGenerator(dist.Skewed, workload.ShareGPTLengths(), spec.Seed)
+	trace := gen.Traffic(spec)
+	if len(trace) == 0 {
+		return fmt.Errorf("traffic spec %q generated no arrivals", specStr)
+	}
+
+	sys := core.PunicaSystem()
+	if maxBatch > 0 {
+		sys.MaxBatch = maxBatch
+	}
+	model := models.Llama2_7B()
+	cfg := cluster.Config{
+		NumGPUs: gpus,
+		Engine: core.Config{
+			System: sys,
+			GPU:    hw.A100(),
+			Model:  model,
+			Rank:   models.DefaultLoRARank,
+		},
+		MigrationInterval: 10 * time.Second,
+		Fairness:          fairness,
+	}
+	if storeAdapters > 0 {
+		cfg.Engine.LoRAStoreBytes = int64(storeAdapters) * model.LoRABytes(models.DefaultLoRARank)
+	}
+	res, err := cluster.New(cfg).Run(trace)
+	if err != nil {
+		return err
+	}
+
+	fair := "off"
+	if fairness {
+		fair = "on"
+	}
+	fmt.Printf("Traffic replay — %d requests over %v on %d GPUs, fairness %s:\n",
+		len(trace), spec.Horizon, gpus, fair)
+	fmt.Printf("  finished %d  tok/s %.0f  makespan %.0fs  p50 %.2fs  p99 %.2fs\n",
+		res.Finished, res.Throughput, res.Makespan.Seconds(),
+		res.EndToEnd.Percentile(50), res.EndToEnd.Percentile(99))
+	fmt.Printf("  adapter stalls %d  queue peak %d  migrations %d  evictions %d\n",
+		res.AdapterStalls, res.QueuePeak, res.Migrations, res.Evictions)
+	if len(res.Tenants) == 0 {
+		return nil
+	}
+	whale := cluster.HottestTenant(res.Tenants)
+	fmt.Printf("  tenants %d  stall skew %.1f  jain %.3f  hottest tenant %d  tail p99 %.2fs\n",
+		len(res.Tenants), res.StallSkew, res.JainFairness,
+		whale, cluster.TenantP99(res.Tenants, whale))
+
+	// Top tenants by decode tokens — the whale plus the biggest tail.
+	byTokens := append([]cluster.TenantOutcome(nil), res.Tenants...)
+	sort.Slice(byTokens, func(i, j int) bool {
+		if byTokens[i].DecodeTokens != byTokens[j].DecodeTokens {
+			return byTokens[i].DecodeTokens > byTokens[j].DecodeTokens
+		}
+		return byTokens[i].Tenant < byTokens[j].Tenant
+	})
+	if len(byTokens) > 8 {
+		byTokens = byTokens[:8]
+	}
+	fmt.Println("  top tenants (id finished decode-tokens stalls p99):")
+	for _, to := range byTokens {
+		fmt.Printf("    %-8d %-8d %-12d %-6d %.2fs\n",
+			to.Tenant, to.Finished, to.DecodeTokens, to.AdapterStalls,
+			to.EndToEnd.Percentile(99))
+	}
+	return nil
 }

@@ -329,7 +329,11 @@ func (m *MultiCluster) merge(results []*Result) *Result {
 		out.BatchSeries = append(out.BatchSeries, r.BatchSeries...)
 		out.GPUBusyFraction = append(out.GPUBusyFraction, r.GPUBusyFraction...)
 		out.GPURoles = append(out.GPURoles, r.GPURoles...)
+		out.Tenants = mergeTenantOutcomes(out.Tenants, r.Tenants)
 	}
+	// The fairness indices are fleet properties: recompute over the
+	// merged tenant set rather than averaging per-cell indices.
+	summarizeTenants(out)
 	var prefillBusy, decodeBusy []float64
 	for i, role := range out.GPURoles {
 		util := out.GPUBusyFraction[i]

@@ -50,6 +50,11 @@ type Config struct {
 	// preserves §5.1 exactly; "affinity" and "rank" trade it for
 	// adapter locality and SGMV rank grouping (see internal/sched).
 	Policy string
+	// Fairness enables the scheduler's per-tenant VTC admission layer
+	// (sched.SetFairness). Orthogonal to Policy — it reorders who gets
+	// freed capacity, not where requests land. Off (the default) keeps
+	// every legacy trace byte-identical.
+	Fairness bool
 	// AdapterRank optionally assigns per-adapter LoRA ranks (forwarded
 	// to every engine and to rank-aware policy construction); nil keeps
 	// the paper's uniform Engine.Rank.
@@ -170,6 +175,30 @@ type Result struct {
 	// §5.1 scale-up pressure (no lightly-loaded GPU anywhere) — the
 	// fleet-level autoscale signal aggregated at the barrier.
 	ScaleSignalBarriers int64
+
+	// Per-tenant outcomes for traffic-engine traces (requests with
+	// Tenant != 0), sorted by tenant id. Untagged legacy traces leave
+	// this nil and the two indices zero.
+	Tenants []TenantOutcome
+	// StallSkew is max/median per-tenant AdapterStalls — the headline
+	// fairness metric: a hot tenant monopolizing adapter-store capacity
+	// shows up as tail tenants stalling far more than the median.
+	StallSkew float64
+	// JainFairness is Jain's index over per-tenant decode-token
+	// throughput: 1.0 is perfectly even, 1/n is one tenant taking
+	// everything.
+	JainFairness float64
+}
+
+// TenantOutcome aggregates one tenant's service over a run.
+type TenantOutcome struct {
+	Tenant        int64
+	Finished      int64
+	DecodeTokens  int64
+	AdapterStalls int64
+	// EndToEnd is the tenant's end-to-end latency distribution
+	// (seconds) — per-tenant p50/p99 come from here.
+	EndToEnd metrics.Histogram
 }
 
 // Cluster wires engines, scheduler and virtual clock together.
@@ -190,6 +219,9 @@ type Cluster struct {
 	// lastToken maps request ID → previous token time, feeding the
 	// inter-token latency histogram.
 	lastToken map[int64]time.Duration
+	// tenants accumulates per-tenant outcomes for tagged requests
+	// (Tenant != 0); sorted into Result.Tenants at finalize.
+	tenants map[int64]*TenantOutcome
 }
 
 // noteToken records the gap to the request's previous token. Tokens
@@ -249,6 +281,7 @@ func New(cfg Config) *Cluster {
 		byGPU:      make(map[*sched.GPU]*runner),
 		recovering: make(map[int64]time.Duration),
 		lastToken:  make(map[int64]time.Duration),
+		tenants:    make(map[int64]*TenantOutcome),
 	}
 	var gpus []*sched.GPU
 	for i := 0; i < cfg.NumGPUs; i++ {
@@ -273,6 +306,7 @@ func New(cfg Config) *Cluster {
 		panic("cluster: " + err.Error())
 	}
 	c.sched = sched.NewWithPolicy(gpus, policy)
+	c.sched.SetFairness(cfg.Fairness)
 	c.res.BatchSeries = make([]metrics.TimeSeries, cfg.NumGPUs)
 	if cfg.Autoscale != nil {
 		c.setupAutoscale(*cfg.Autoscale)
@@ -320,6 +354,7 @@ func (c *Cluster) start(reqs []workload.Request) {
 				PromptLen: wr.PromptLen,
 				OutputLen: wr.OutputLen,
 				Arrival:   wr.Arrival,
+				Tenant:    wr.Tenant,
 			}
 			g, err := c.sched.Dispatch(r, c.clock.Now())
 			if err != nil {
@@ -387,6 +422,8 @@ func (c *Cluster) finalize() (*Result, error) {
 	c.res.QueuePeak = c.sched.QueuePeak()
 	c.res.Migrations = c.sched.Stats().Migrations
 	c.res.AdapterStalls = c.sched.Stats().AdapterStalls
+	c.res.Tenants = c.collectTenants()
+	summarizeTenants(&c.res)
 	// Inbound spills: summed across cells this counts every cross-cell
 	// handoff exactly once (each steal is delivered to exactly one cell).
 	c.res.Spills = c.sched.Stats().SpillsIn
@@ -519,6 +556,16 @@ func (r *runner) complete(res core.StepResult) {
 		}
 		c.res.TimeToFirstToken.AddDuration(f.FirstTokenAt - f.Arrival)
 		c.res.EndToEnd.AddDuration(f.FinishedAt - f.Arrival)
+		if f.Tenant != 0 {
+			ta := c.tenants[f.Tenant]
+			if ta == nil {
+				ta = &TenantOutcome{Tenant: f.Tenant}
+				c.tenants[f.Tenant] = ta
+			}
+			ta.Finished++
+			ta.DecodeTokens += int64(f.OutputLen)
+			ta.EndToEnd.AddDuration(f.FinishedAt - f.Arrival)
+		}
 		if f.OutputLen > 1 {
 			per := (f.FinishedAt - f.FirstTokenAt) / time.Duration(f.OutputLen-1)
 			c.res.PerTokenLatency.AddDuration(per)

@@ -1,0 +1,170 @@
+// Per-tenant outcome aggregation: who got served, who stalled, and how
+// unevenly. The two summary indices — stall skew (max/median per-tenant
+// AdapterStalls) and Jain's fairness index over tenant throughput —
+// quantify what the scheduler's VTC layer exists to fix: with fairness
+// off a flash-crowd tenant inflates everyone else's stalls, with it on
+// the skew collapses.
+
+package cluster
+
+import (
+	"sort"
+
+	"punica/internal/metrics"
+)
+
+// collectTenants folds the run's per-tenant service aggregates with the
+// scheduler's per-tenant stall attribution into sorted outcomes.
+// Tenant 0 (untagged legacy requests) is excluded everywhere.
+func (c *Cluster) collectTenants() []TenantOutcome {
+	stalls := c.sched.TenantStalls()
+	ids := make(map[int64]bool, len(c.tenants)+len(stalls))
+	for id := range c.tenants {
+		ids[id] = true
+	}
+	for id, n := range stalls {
+		if n > 0 {
+			ids[id] = true
+		}
+	}
+	delete(ids, 0)
+	if len(ids) == 0 {
+		return nil
+	}
+	sorted := make([]int64, 0, len(ids))
+	for id := range ids {
+		sorted = append(sorted, id)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := make([]TenantOutcome, 0, len(sorted))
+	for _, id := range sorted {
+		to := TenantOutcome{Tenant: id}
+		if ta := c.tenants[id]; ta != nil {
+			to = *ta
+		}
+		to.AdapterStalls = stalls[id]
+		out = append(out, to)
+	}
+	return out
+}
+
+// summarizeTenants derives StallSkew and JainFairness from
+// Result.Tenants. Call after Tenants is final (single-cell finalize, or
+// cell merge).
+func summarizeTenants(res *Result) {
+	res.StallSkew = stallSkew(res.Tenants)
+	res.JainFairness = jainIndex(res.Tenants)
+}
+
+// stallSkew returns max/median of per-tenant AdapterStalls. A median of
+// zero (most tenants never stalled) divides by one instead, so the
+// index stays finite and still reads "the worst tenant stalled N times
+// while the typical tenant didn't".
+func stallSkew(tenants []TenantOutcome) float64 {
+	if len(tenants) == 0 {
+		return 0
+	}
+	counts := make([]int64, len(tenants))
+	var max int64
+	for i, to := range tenants {
+		counts[i] = to.AdapterStalls
+		if to.AdapterStalls > max {
+			max = to.AdapterStalls
+		}
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i] < counts[j] })
+	med := counts[len(counts)/2]
+	if med < 1 {
+		med = 1
+	}
+	return float64(max) / float64(med)
+}
+
+// jainIndex is Jain's fairness index (Σx)²/(n·Σx²) over per-tenant
+// decode-token throughput: 1.0 when every tenant got the same tokens,
+// 1/n when one tenant got them all.
+func jainIndex(tenants []TenantOutcome) float64 {
+	if len(tenants) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, to := range tenants {
+		x := float64(to.DecodeTokens)
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(tenants)) * sumSq)
+}
+
+// mergeTenantOutcomes folds src's per-tenant outcomes into dst's
+// (both sorted by tenant id; result stays sorted). Cell merges use it:
+// a tenant's traffic lands on the cells its models hash to, so the
+// fleet view is the per-cell sum.
+func mergeTenantOutcomes(dst, src []TenantOutcome) []TenantOutcome {
+	if len(src) == 0 {
+		return dst
+	}
+	if len(dst) == 0 {
+		return append([]TenantOutcome(nil), src...)
+	}
+	out := make([]TenantOutcome, 0, len(dst)+len(src))
+	i, j := 0, 0
+	for i < len(dst) && j < len(src) {
+		switch {
+		case dst[i].Tenant < src[j].Tenant:
+			out = append(out, dst[i])
+			i++
+		case dst[i].Tenant > src[j].Tenant:
+			out = append(out, src[j])
+			j++
+		default:
+			m := dst[i]
+			m.Finished += src[j].Finished
+			m.DecodeTokens += src[j].DecodeTokens
+			m.AdapterStalls += src[j].AdapterStalls
+			m.EndToEnd.Merge(&src[j].EndToEnd)
+			out = append(out, m)
+			i++
+			j++
+		}
+	}
+	out = append(out, dst[i:]...)
+	out = append(out, src[j:]...)
+	return out
+}
+
+// TenantP99 returns the merged p99 end-to-end latency (seconds) over
+// every tenant except the excluded id — the "tail tenants' p99" the
+// fairness experiments report (excluding the hot tenant whose flood
+// caused the contention).
+func TenantP99(tenants []TenantOutcome, exclude int64) float64 {
+	var merged metrics.Histogram
+	for i := range tenants {
+		if tenants[i].Tenant == exclude {
+			continue
+		}
+		merged.Merge(&tenants[i].EndToEnd)
+	}
+	if merged.Count() == 0 {
+		return 0
+	}
+	return merged.Percentile(99)
+}
+
+// HottestTenant returns the tenant id with the highest decode-token
+// throughput (0 when no tenants) — the flash-crowd whale in the
+// traffic experiments.
+func HottestTenant(tenants []TenantOutcome) int64 {
+	var hot int64
+	var max int64 = -1
+	for _, to := range tenants {
+		if to.DecodeTokens > max {
+			max = to.DecodeTokens
+			hot = to.Tenant
+		}
+	}
+	return hot
+}

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"punica/internal/dist"
+	"punica/internal/workload"
+)
+
+// trafficTrace builds a tenant-tagged open-loop trace: diurnal Skewed
+// background plus one whale flash crowd on an adapter outside the
+// background set — the traffic-engine shape, small enough for a test.
+func trafficTrace(seed int64) []workload.Request {
+	gen := workload.NewGenerator(dist.Skewed, workload.ShareGPTLengths(), seed)
+	return gen.Traffic(workload.TrafficSpec{
+		Horizon:       90 * time.Second,
+		Base:          3,
+		DiurnalAmp:    0.3,
+		DiurnalPeriod: 90 * time.Second,
+		Spikes: []workload.Spike{{
+			At: 20 * time.Second, Peak: 12,
+			Ramp: 5 * time.Second, Hold: 30 * time.Second, Decay: 10 * time.Second,
+			Model: 8, Tenant: 1,
+		}},
+		Tenants: workload.TenantSpec{Population: 64, PerModel: 3},
+		Mix:     dist.Mix{Phases: []dist.Phase{{Kind: dist.Skewed, NumModels: 8}}},
+		Seed:    seed,
+	})
+}
+
+// tenantDigest extends the cells digest with the merged per-tenant
+// outcomes, so worker-count comparisons also cover the tenant metrics
+// the fairness layer reports.
+func tenantDigest(m *MultiCluster, res *Result) string {
+	var b strings.Builder
+	b.WriteString(multiDigest(m, res))
+	fmt.Fprintf(&b, "stallSkew=%.6f jain=%.6f\n", res.StallSkew, res.JainFairness)
+	for _, to := range res.Tenants {
+		fmt.Fprintf(&b, "tenant%d finished=%d decode=%d stalls=%d e2e{%s}\n",
+			to.Tenant, to.Finished, to.DecodeTokens, to.AdapterStalls, to.EndToEnd.Summary())
+	}
+	return b.String()
+}
+
+// TestCellsTrafficDeterministicAcrossWorkers: a tenant-tagged traffic
+// trace through a cell-sharded fleet must produce byte-identical merged
+// results — per-tenant outcomes included — for every worker count, with
+// the fairness layer both off and on.
+func TestCellsTrafficDeterministicAcrossWorkers(t *testing.T) {
+	trace := trafficTrace(7)
+	if len(trace) == 0 {
+		t.Fatal("traffic spec generated no arrivals")
+	}
+	for _, fairness := range []bool{false, true} {
+		base := Config{
+			NumGPUs:           8,
+			Engine:            punicaEngineConfig(),
+			MigrationInterval: 10 * time.Second,
+			Fairness:          fairness,
+		}
+		cfg := CellsConfig{Base: base, Cells: 4, Workers: 1, SpillThreshold: 4}
+		m, res := runCells(t, cfg, trace)
+		if res.Finished != int64(len(trace)) {
+			t.Fatalf("fairness=%v: finished %d/%d", fairness, res.Finished, len(trace))
+		}
+		if len(res.Tenants) == 0 {
+			t.Fatalf("fairness=%v: merged result lost per-tenant outcomes", fairness)
+		}
+		want := tenantDigest(m, res)
+		for _, workers := range []int{2, 4, 8} {
+			cfg.Workers = workers
+			m, res = runCells(t, cfg, trace)
+			if got := tenantDigest(m, res); got != want {
+				t.Fatalf("fairness=%v workers=%d digest diverged from sequential reference:\n--- want ---\n%s--- got ---\n%s",
+					fairness, workers, want, got)
+			}
+		}
+	}
+}
+
+// TestClusterFairnessPreservesTrace: with no store pressure and no
+// contention shaping beyond the engine's own capacity, a fairness-on
+// run must still finish the whole trace and conserve decode tokens
+// against the fairness-off reference.
+func TestClusterFairnessPreservesTrace(t *testing.T) {
+	trace := trafficTrace(11)
+	var wantTokens int64
+	for _, r := range trace {
+		wantTokens += int64(r.OutputLen)
+	}
+	for _, fairness := range []bool{false, true} {
+		res, err := New(Config{
+			NumGPUs: 4,
+			Engine:  punicaEngineConfig(),
+			// No MigrationInterval: keep the run to pure admission.
+			Fairness: fairness,
+		}).Run(trace)
+		if err != nil {
+			t.Fatalf("fairness=%v: %v", fairness, err)
+		}
+		if res.Finished != int64(len(trace)) {
+			t.Fatalf("fairness=%v: finished %d/%d", fairness, res.Finished, len(trace))
+		}
+		if res.DecodeTokens != wantTokens {
+			t.Fatalf("fairness=%v: decode tokens %d, want %d", fairness, res.DecodeTokens, wantTokens)
+		}
+	}
+}

@@ -24,6 +24,11 @@ type Request struct {
 	OutputLen int
 	Arrival   time.Duration
 
+	// Tenant is the owning user (0 = untagged legacy traces). The
+	// scheduler's fairness layer keys virtual-token accounting and
+	// per-tenant stall attribution on it; the engine itself ignores it.
+	Tenant int64
+
 	// Generated counts tokens produced so far (survives migration; the
 	// destination GPU re-prefills prompt + generated, §5.3).
 	Generated int

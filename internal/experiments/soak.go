@@ -1,0 +1,239 @@
+// Soak scenario: hours of simulated live traffic against one elastic,
+// faulty cluster — diurnal background with seeded flash crowds, a
+// churning tenant population, popularity drift across rotating hot
+// sets, autoscaling between half and full capacity, and random GPU
+// faults — with the fairness layer on. It is the everything-at-once
+// stress the individual experiments isolate; the CI smoke runs a
+// minutes-long horizon under -race and punica_invariants.
+
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"punica/internal/cluster"
+	"punica/internal/core"
+	"punica/internal/dist"
+	"punica/internal/hw"
+	"punica/internal/models"
+	"punica/internal/workload"
+)
+
+// SoakOptions configures the soak run.
+type SoakOptions struct {
+	// Horizon is the simulated arrival window (default 2h).
+	Horizon time.Duration
+	// NumGPUs is the provisioned capacity ceiling (default 8); the
+	// autoscaler floats the fleet between half of it and all of it.
+	NumGPUs  int
+	MaxBatch int
+	// Base is the background request rate (default 6 req/s), swelling
+	// ±40% over a 1h diurnal period.
+	Base float64
+	// NumModels sizes each popularity phase (default 24); the hot set
+	// rotates by NumModels/2 each quarter of the horizon.
+	NumModels int
+	// StoreAdapters caps each GPU's adapter store (default 8).
+	StoreAdapters int
+	// FaultRate is GPU faults per GPU-hour (default 0.5).
+	FaultRate float64
+	// Fairness toggles the VTC admission layer (default on — use
+	// NoFairness to disable).
+	NoFairness bool
+	Seed       int64
+}
+
+func (o SoakOptions) withDefaults() SoakOptions {
+	if o.Horizon <= 0 {
+		o.Horizon = 2 * time.Hour
+	}
+	if o.NumGPUs <= 0 {
+		o.NumGPUs = 8
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 16
+	}
+	if o.Base <= 0 {
+		o.Base = 6
+	}
+	if o.NumModels <= 0 {
+		o.NumModels = 24
+	}
+	if o.StoreAdapters <= 0 {
+		o.StoreAdapters = 8
+	}
+	if o.FaultRate <= 0 {
+		o.FaultRate = 0.5
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Spec composes the soak's traffic: diurnal base, seeded flash crowds
+// (one per 20 minutes of horizon, at least two), a churning tenant
+// population, and a four-phase popularity drift whose hot set rotates.
+func (o SoakOptions) Spec() workload.TrafficSpec {
+	quarter := o.Horizon / 4
+	shift := o.NumModels / 2
+	var phases []dist.Phase
+	for i := 0; i < 4; i++ {
+		phases = append(phases, dist.Phase{
+			Length: quarter, Kind: dist.Skewed,
+			NumModels: o.NumModels, Offset: i * shift,
+		})
+	}
+	spikes := int(o.Horizon / (20 * time.Minute))
+	if spikes < 2 {
+		spikes = 2
+	}
+	return workload.TrafficSpec{
+		Horizon:       o.Horizon,
+		Base:          o.Base,
+		DiurnalAmp:    0.4,
+		DiurnalPeriod: time.Hour,
+		RandomSpikes: workload.RandomSpikes{
+			N: spikes, PeakMin: o.Base, PeakMax: 4 * o.Base,
+			Ramp: 30 * time.Second, Hold: 2 * time.Minute, Decay: time.Minute,
+		},
+		Tenants: workload.TenantSpec{
+			Population: 1 << 20, PerModel: 4, Churn: o.Horizon / 16,
+		},
+		Mix:  dist.Mix{Phases: phases},
+		Seed: o.Seed,
+	}
+}
+
+// SoakResult summarizes the run.
+type SoakResult struct {
+	Opts     SoakOptions
+	Requests int
+	Finished int64
+
+	Throughput float64
+	Makespan   time.Duration
+	P50        float64
+	P99        float64
+
+	Migrations    int64
+	Evictions     int64
+	AdapterStalls int64
+	QueuePeak     int
+
+	TenantCount  int
+	StallSkew    float64
+	JainFairness float64
+
+	Digest string
+}
+
+// Soak runs the scenario.
+func Soak(opts SoakOptions) (*SoakResult, error) {
+	o := opts.withDefaults()
+	gen := workload.NewGenerator(dist.Skewed, workload.ShareGPTLengths(), o.Seed)
+	trace := gen.Traffic(o.Spec())
+
+	sys := core.PunicaSystem()
+	sys.MaxBatch = o.MaxBatch
+	model := models.Llama2_7B()
+	faults := cluster.RandomFaultPlan(o.Seed, o.NumGPUs, o.Horizon, o.FaultRate)
+	cfg := cluster.Config{
+		NumGPUs: o.NumGPUs,
+		Engine: core.Config{
+			System:         sys,
+			GPU:            hw.A100(),
+			Model:          model,
+			Rank:           models.DefaultLoRARank,
+			LoRAStoreBytes: int64(o.StoreAdapters) * model.LoRABytes(models.DefaultLoRARank),
+		},
+		MigrationInterval: 30 * time.Second,
+		Autoscale: &cluster.AutoscaleConfig{
+			MinGPUs: (o.NumGPUs + 1) / 2, MaxGPUs: o.NumGPUs,
+			ProvisionDelay: 30 * time.Second, CheckInterval: 30 * time.Second,
+		},
+		Faults:   &faults,
+		Fairness: !o.NoFairness,
+	}
+	c := cluster.New(cfg)
+	res, err := c.Run(trace)
+	if err != nil {
+		return nil, fmt.Errorf("soak: %w", err)
+	}
+	if res.Finished != int64(len(trace)) {
+		return nil, fmt.Errorf("soak: finished %d of %d trace requests", res.Finished, len(trace))
+	}
+	return &SoakResult{
+		Opts:          o,
+		Requests:      len(trace),
+		Finished:      res.Finished,
+		Throughput:    res.Throughput,
+		Makespan:      res.Makespan,
+		P50:           res.EndToEnd.Percentile(50),
+		P99:           res.EndToEnd.Percentile(99),
+		Migrations:    res.Migrations,
+		Evictions:     res.Evictions,
+		AdapterStalls: res.AdapterStalls,
+		QueuePeak:     res.QueuePeak,
+		TenantCount:   len(res.Tenants),
+		StallSkew:     res.StallSkew,
+		JainFairness:  res.JainFairness,
+		Digest:        trafficDigest(res),
+	}, nil
+}
+
+// FormatSoak renders the result.
+func FormatSoak(r *SoakResult) string {
+	out := fmt.Sprintf("Soak — %s of live traffic, %d GPUs (autoscaled ≥%d), %.1f faults/GPU-hour, fairness %s:\n",
+		r.Opts.Horizon, r.Opts.NumGPUs, (r.Opts.NumGPUs+1)/2, r.Opts.FaultRate, onOff(!r.Opts.NoFairness))
+	t := newTable("requests", "finished", "tok/s", "makespan", "p50", "p99", "migrations", "evictions", "stalls", "queue peak", "tenants", "stall skew", "jain", "digest")
+	t.add(
+		fmt.Sprint(r.Requests),
+		fmt.Sprint(r.Finished),
+		fmt.Sprintf("%.0f", r.Throughput),
+		fmt.Sprintf("%.0fs", r.Makespan.Seconds()),
+		fmt.Sprintf("%.2fs", r.P50),
+		fmt.Sprintf("%.2fs", r.P99),
+		fmt.Sprint(r.Migrations),
+		fmt.Sprint(r.Evictions),
+		fmt.Sprint(r.AdapterStalls),
+		fmt.Sprint(r.QueuePeak),
+		fmt.Sprint(r.TenantCount),
+		fmt.Sprintf("%.1f", r.StallSkew),
+		fmt.Sprintf("%.3f", r.JainFairness),
+		r.Digest)
+	return out + t.String()
+}
+
+// SoakCSV writes the single-row summary as CSV.
+func SoakCSV(out io.Writer, r *SoakResult) error {
+	_, err := fmt.Fprintf(out,
+		"requests,finished,throughput_tok_s,makespan_s,p50_s,p99_s,migrations,evictions,adapter_stalls,queue_peak,tenants,stall_skew,jain,digest\n"+
+			"%d,%d,%.1f,%.1f,%.3f,%.3f,%d,%d,%d,%d,%d,%.2f,%.4f,%s\n",
+		r.Requests, r.Finished, r.Throughput, r.Makespan.Seconds(), r.P50, r.P99,
+		r.Migrations, r.Evictions, r.AdapterStalls, r.QueuePeak, r.TenantCount,
+		r.StallSkew, r.JainFairness, r.Digest)
+	return err
+}
+
+// SoakRecords flattens the result into bench records.
+func SoakRecords(r *SoakResult) []BenchRecord {
+	return []BenchRecord{{
+		Experiment: "soak",
+		Name:       fmt.Sprintf("%s/%dgpus", r.Opts.Horizon, r.Opts.NumGPUs),
+		Metrics: map[string]float64{
+			"throughput_tok_s": r.Throughput,
+			"p50_s":            r.P50,
+			"p99_s":            r.P99,
+			"adapter_stalls":   float64(r.AdapterStalls),
+			"queue_peak":       float64(r.QueuePeak),
+			"tenants":          float64(r.TenantCount),
+			"stall_skew":       r.StallSkew,
+			"jain":             r.JainFairness,
+			"migrations":       float64(r.Migrations),
+			"evictions":        float64(r.Evictions),
+		},
+	}}
+}

@@ -1,0 +1,360 @@
+// Traffic experiment: flash-crowd sweep with the fairness layer off and
+// on. Each sweep point replays the SAME open-loop trace twice — a
+// Skewed background population plus one whale tenant's spike on the hot
+// adapter — against a cluster whose adapter store is deliberately tight
+// (StoreAdapters slots per GPU), so the crowd forces adapter stalls.
+// Fairness off, the stalls concentrate on whichever tail tenant sits
+// behind the whale's backlog; fairness on, the VTC layer interleaves
+// tenants and the stall skew collapses. The committed
+// bench/BENCH_traffic.json baseline gates both throughput and the
+// off/on skew ratio.
+
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"strconv"
+	"time"
+
+	"punica/internal/cluster"
+	"punica/internal/core"
+	"punica/internal/dist"
+	"punica/internal/hw"
+	"punica/internal/models"
+	"punica/internal/workload"
+)
+
+// TrafficOptions configures the flash-crowd fairness sweep.
+type TrafficOptions struct {
+	// NumGPUs and MaxBatch size the cluster (defaults 2 GPUs × batch 8).
+	NumGPUs  int
+	MaxBatch int
+	// StoreAdapters caps each GPU's adapter store to that many resident
+	// adapters (default 4). The default geometry is deliberate: the
+	// background working set (NumModels adapters) exactly fits the
+	// store, and the whale's private adapter is the +1 that overflows
+	// it — so every adapter stall in the sweep is whale-induced.
+	StoreAdapters int
+	// NumModels is the Skewed background adapter population (default 4).
+	NumModels int
+	// Base and Horizon shape the background: Base req/s with a gentle
+	// diurnal swell over Horizon (defaults 2 req/s over 4m).
+	Base    float64
+	Horizon time.Duration
+	// SpikePeaks is the sweep: one flash crowd per peak rate (req/s,
+	// 0 = no spike), each run fairness-off then fairness-on over the
+	// identical trace. Default {0, 32, 40}.
+	SpikePeaks []float64
+	// SpikeModel and WhaleTenant target the crowd: every spike arrival
+	// hits that adapter tagged with that tenant. SpikeModel defaults to
+	// NumModels — the first id past the background set, the whale's
+	// private fine-tune.
+	SpikeModel  int
+	WhaleTenant int64
+	// Tenants is the background tenant population (default 64 tenants,
+	// 3 active per adapter, no churn — small enough that per-tenant
+	// outcomes are statistically meaningful over the horizon).
+	Tenants workload.TenantSpec
+	// Lengths samples request sizes (default ShareGPT log-normals).
+	Lengths workload.Lengths
+	// Seed drives both the arrival process and the spec's seeded parts.
+	Seed int64
+}
+
+func (o TrafficOptions) withDefaults() TrafficOptions {
+	if o.NumGPUs <= 0 {
+		o.NumGPUs = 2
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 8
+	}
+	if o.StoreAdapters <= 0 {
+		o.StoreAdapters = 4
+	}
+	if o.NumModels <= 0 {
+		o.NumModels = 4
+	}
+	if o.Base <= 0 {
+		o.Base = 2
+	}
+	if o.Horizon <= 0 {
+		o.Horizon = 4 * time.Minute
+	}
+	if len(o.SpikePeaks) == 0 {
+		o.SpikePeaks = []float64{0, 32, 40}
+	}
+	if o.SpikeModel <= 0 {
+		o.SpikeModel = o.NumModels
+	}
+	if o.WhaleTenant <= 0 {
+		o.WhaleTenant = 1
+	}
+	if o.Tenants.Population <= 0 {
+		o.Tenants = workload.TenantSpec{Population: 64, PerModel: 3}
+	}
+	if o.Lengths.PromptMax <= 0 {
+		o.Lengths = workload.ShareGPTLengths()
+	}
+	if o.Seed == 0 {
+		o.Seed = 2
+	}
+	return o
+}
+
+// Spec builds the sweep point's traffic spec: diurnal background over a
+// Skewed mix, plus (peak > 0) one whale flash crowd on the hot adapter.
+func (o TrafficOptions) Spec(peak float64) workload.TrafficSpec {
+	spec := workload.TrafficSpec{
+		Horizon:       o.Horizon,
+		Base:          o.Base,
+		DiurnalAmp:    0.3,
+		DiurnalPeriod: o.Horizon,
+		Tenants:       o.Tenants,
+		Mix: dist.Mix{Phases: []dist.Phase{{
+			Kind: dist.Skewed, NumModels: o.NumModels,
+		}}},
+		Seed: o.Seed,
+	}
+	if peak > 0 {
+		spec.Spikes = []workload.Spike{{
+			At:     o.Horizon / 4,
+			Peak:   peak,
+			Ramp:   15 * time.Second,
+			Hold:   o.Horizon / 2,
+			Decay:  20 * time.Second,
+			Model:  o.SpikeModel,
+			Tenant: o.WhaleTenant,
+		}}
+	}
+	return spec
+}
+
+// TrafficPoint is one (spike peak, fairness) run over the shared trace.
+type TrafficPoint struct {
+	SpikePeak float64
+	Fairness  bool
+
+	Requests   int
+	Finished   int64
+	Throughput float64 // decode tokens/s over the makespan
+	Makespan   time.Duration
+
+	// End-to-end latency (seconds): overall, and the tail tenants' p99
+	// with the whale excluded — the number the whale's crowd inflates.
+	P50     float64
+	P99     float64
+	TailP99 float64
+
+	// Fairness indices from Result: max/median per-tenant adapter
+	// stalls, and Jain's index over per-tenant decode tokens.
+	StallSkew    float64
+	JainFairness float64
+
+	AdapterStalls int64
+	QueuePeak     int
+	TenantCount   int
+	Digest        string
+}
+
+// trafficCell replays one trace against one cluster configuration.
+func trafficCell(o TrafficOptions, trace []workload.Request, peak float64, fair bool) (TrafficPoint, error) {
+	sys := core.PunicaSystem()
+	sys.MaxBatch = o.MaxBatch
+	model := models.Llama2_7B()
+	cfg := cluster.Config{
+		NumGPUs: o.NumGPUs,
+		Engine: core.Config{
+			System:         sys,
+			GPU:            hw.A100(),
+			Model:          model,
+			Rank:           models.DefaultLoRARank,
+			LoRAStoreBytes: int64(o.StoreAdapters) * model.LoRABytes(models.DefaultLoRARank),
+		},
+		MigrationInterval: 10 * time.Second,
+		Fairness:          fair,
+	}
+	c := cluster.New(cfg)
+	res, err := c.Run(trace)
+	if err != nil {
+		return TrafficPoint{}, fmt.Errorf("traffic peak%g/fair=%v: %w", peak, fair, err)
+	}
+	if res.Finished != int64(len(trace)) {
+		return TrafficPoint{}, fmt.Errorf("traffic peak%g/fair=%v: finished %d of %d trace requests",
+			peak, fair, res.Finished, len(trace))
+	}
+	p := TrafficPoint{
+		SpikePeak:     peak,
+		Fairness:      fair,
+		Requests:      len(trace),
+		Finished:      res.Finished,
+		Throughput:    res.Throughput,
+		Makespan:      res.Makespan,
+		P50:           res.EndToEnd.Percentile(50),
+		P99:           res.EndToEnd.Percentile(99),
+		TailP99:       cluster.TenantP99(res.Tenants, o.WhaleTenant),
+		StallSkew:     res.StallSkew,
+		JainFairness:  res.JainFairness,
+		AdapterStalls: res.AdapterStalls,
+		QueuePeak:     res.QueuePeak,
+		TenantCount:   len(res.Tenants),
+		Digest:        trafficDigest(res),
+	}
+	return p, nil
+}
+
+// trafficDigest fingerprints the run's simulated outcomes — the
+// determinism witness that fairness toggling is the only variable
+// between a sweep pair's two runs.
+func trafficDigest(res *cluster.Result) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "finished=%d decode=%d makespan=%d stalls=%d peak=%d tenants=%d e2e{%s}",
+		res.Finished, res.DecodeTokens, int64(res.Makespan),
+		res.AdapterStalls, res.QueuePeak, len(res.Tenants), res.EndToEnd.Summary())
+	for _, to := range res.Tenants {
+		fmt.Fprintf(h, " t%d:%d/%d/%d", to.Tenant, to.Finished, to.DecodeTokens, to.AdapterStalls)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Traffic runs the flash-crowd sweep: for each spike peak, fairness off
+// then fairness on over the identical trace.
+func Traffic(opts TrafficOptions) ([]TrafficPoint, error) {
+	o := opts.withDefaults()
+	var points []TrafficPoint
+	for _, peak := range o.SpikePeaks {
+		// One generator per peak: the off/on pair must replay the same
+		// arrivals, so the trace is drawn once and shared.
+		gen := workload.NewGenerator(dist.Skewed, o.Lengths, o.Seed)
+		trace := gen.Traffic(o.Spec(peak))
+		for _, fair := range []bool{false, true} {
+			p, err := trafficCell(o, trace, peak, fair)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, p)
+		}
+	}
+	return points, nil
+}
+
+// FormatTraffic renders the sweep as an aligned table, pairing each
+// peak's fairness-off and fairness-on rows.
+func FormatTraffic(points []TrafficPoint) string {
+	t := newTable("peak", "fairness", "requests", "tok/s", "p50", "p99", "tail p99", "stall skew", "jain", "stalls", "queue peak", "tenants", "digest")
+	for _, p := range points {
+		t.add(
+			fmt.Sprintf("%g", p.SpikePeak),
+			onOff(p.Fairness),
+			strconv.Itoa(p.Requests),
+			fmt.Sprintf("%.0f", p.Throughput),
+			fmt.Sprintf("%.2fs", p.P50),
+			fmt.Sprintf("%.2fs", p.P99),
+			fmt.Sprintf("%.2fs", p.TailP99),
+			fmt.Sprintf("%.1f", p.StallSkew),
+			fmt.Sprintf("%.3f", p.JainFairness),
+			strconv.FormatInt(p.AdapterStalls, 10),
+			strconv.Itoa(p.QueuePeak),
+			strconv.Itoa(p.TenantCount),
+			p.Digest)
+	}
+	return "Traffic — flash-crowd sweep, fairness off vs on over identical traces:\n" + t.String()
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+// TrafficCSV writes the sweep as CSV, one row per run.
+func TrafficCSV(out io.Writer, points []TrafficPoint) error {
+	w := csv.NewWriter(out)
+	if err := w.Write([]string{"spike_peak", "fairness", "requests", "finished",
+		"throughput_tok_s", "makespan_s", "p50_s", "p99_s", "tail_p99_s",
+		"stall_skew", "jain", "adapter_stalls", "queue_peak", "tenants",
+		"digest"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if err := w.Write([]string{
+			fmt.Sprintf("%g", p.SpikePeak),
+			onOff(p.Fairness),
+			strconv.Itoa(p.Requests),
+			strconv.FormatInt(p.Finished, 10),
+			fmt.Sprintf("%.1f", p.Throughput),
+			fmt.Sprintf("%.1f", p.Makespan.Seconds()),
+			fmt.Sprintf("%.3f", p.P50),
+			fmt.Sprintf("%.3f", p.P99),
+			fmt.Sprintf("%.3f", p.TailP99),
+			fmt.Sprintf("%.2f", p.StallSkew),
+			fmt.Sprintf("%.4f", p.JainFairness),
+			strconv.FormatInt(p.AdapterStalls, 10),
+			strconv.Itoa(p.QueuePeak),
+			strconv.Itoa(p.TenantCount),
+			p.Digest,
+		}); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// TrafficRecords flattens the sweep into bench records: one per run,
+// plus one off/on comparison record per spike peak carrying the skew
+// ratio and tail-p99 gain the fairness layer is accountable for.
+func TrafficRecords(points []TrafficPoint) []BenchRecord {
+	var recs []BenchRecord
+	byPeak := map[float64][2]*TrafficPoint{}
+	for i := range points {
+		p := &points[i]
+		recs = append(recs, BenchRecord{
+			Experiment: "traffic",
+			Name:       fmt.Sprintf("peak%g/fair=%s", p.SpikePeak, onOff(p.Fairness)),
+			Metrics: map[string]float64{
+				"throughput_tok_s": p.Throughput,
+				"p50_s":            p.P50,
+				"p99_s":            p.P99,
+				"tail_p99_s":       p.TailP99,
+				"stall_skew":       p.StallSkew,
+				"jain":             p.JainFairness,
+				"adapter_stalls":   float64(p.AdapterStalls),
+				"queue_peak":       float64(p.QueuePeak),
+				"tenants":          float64(p.TenantCount),
+			},
+		})
+		pair := byPeak[p.SpikePeak]
+		if p.Fairness {
+			pair[1] = p
+		} else {
+			pair[0] = p
+		}
+		byPeak[p.SpikePeak] = pair
+	}
+	for _, p := range points {
+		pair := byPeak[p.SpikePeak]
+		if p.Fairness || pair[0] == nil || pair[1] == nil {
+			continue // emit once per peak, from the off row
+		}
+		off, on := pair[0], pair[1]
+		m := map[string]float64{
+			"jain_gain": on.JainFairness - off.JainFairness,
+		}
+		if on.StallSkew > 0 {
+			m["skew_ratio"] = off.StallSkew / on.StallSkew
+		}
+		if on.TailP99 > 0 {
+			m["tail_p99_gain"] = off.TailP99 / on.TailP99
+		}
+		recs = append(recs, BenchRecord{
+			Experiment: "traffic",
+			Name:       fmt.Sprintf("peak%g/fairness-gain", p.SpikePeak),
+			Metrics:    m,
+		})
+	}
+	return recs
+}

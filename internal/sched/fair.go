@@ -1,0 +1,368 @@
+// Per-tenant fairness at admission: a virtual-token-counter (VTC)
+// layer over the FCFS wait queue, after "Fairness in Serving Large
+// Language Models" (Sheng et al.) and the CaraServe motivation that one
+// hot tenant's flash crowd must not starve interactive tenants.
+//
+// Each tenant carries a virtual token counter charged with every token
+// the scheduler places for it (prompt + predetermined output — the full
+// GPU bill of the request). Under contention the queue serves the
+// tenant with the lowest counter first — weighted round-robin where the
+// weights are token costs — and stays FCFS *within* each tenant. A
+// tenant becoming active is lifted to the current virtual-time frontier
+// so idle periods bank no credit. With fairness off none of this code
+// runs and the scheduler's byte-identical FCFS behaviour (golden
+// traces, zero-alloc dispatch) is untouched.
+
+package sched
+
+import (
+	"time"
+
+	"punica/internal/core"
+	"punica/internal/invariant"
+)
+
+// tenantQueue is one tenant's FCFS queue plus its virtual token
+// counter. Kept in the fairQueue map even while empty so the counter
+// survives idle periods.
+type tenantQueue struct {
+	tenant int64
+	reqs   []*core.Request // sorted by (Arrival, ID)
+	vt     float64
+	pos    int // index in fairQueue.heap, -1 while inactive
+}
+
+func (tq *tenantQueue) head() *core.Request { return tq.reqs[0] }
+
+// insert places r in FCFS position (binary search, one copy) — the
+// same discipline enqueueFCFS applies to the global queue, per tenant.
+func (tq *tenantQueue) insert(r *core.Request) {
+	lo, hi := 0, len(tq.reqs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		q := tq.reqs[mid]
+		if q.Arrival < r.Arrival || (q.Arrival == r.Arrival && q.ID < r.ID) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	tq.reqs = append(tq.reqs, nil)
+	copy(tq.reqs[lo+1:], tq.reqs[lo:])
+	tq.reqs[lo] = r
+}
+
+// fairQueue is the VTC admission queue: a min-heap of active tenants
+// keyed by (vt, tenant id — the deterministic tie-break), plus the
+// by-tenant counter memory.
+type fairQueue struct {
+	byTenant map[int64]*tenantQueue
+	heap     []*tenantQueue
+	count    int // queued requests across all tenants
+	// floor is the virtual-time frontier: the highest counter any
+	// placement has been charged to. Tenants (re)joining are lifted to
+	// it, so going idle banks no credit against the active set.
+	floor float64
+}
+
+func newFairQueue() *fairQueue {
+	return &fairQueue{byTenant: make(map[int64]*tenantQueue)}
+}
+
+// tokenCost is the virtual-token charge for placing r: its full token
+// footprint. OutputLen is predetermined in this simulation (length
+// replay), so unlike the VTC paper's serve-time accounting the whole
+// cost is knowable at admission.
+func tokenCost(r *core.Request) float64 { return float64(r.PromptLen + r.OutputLen) }
+
+// tenantOf returns r's accounting key; untagged legacy requests (no
+// traffic engine) all share tenant 0 and degrade to plain FCFS among
+// themselves.
+func tenantOf(r *core.Request) int64 { return r.Tenant }
+
+func (f *fairQueue) get(tenant int64) *tenantQueue {
+	tq := f.byTenant[tenant]
+	if tq == nil {
+		tq = &tenantQueue{tenant: tenant, pos: -1}
+		f.byTenant[tenant] = tq
+	}
+	return tq
+}
+
+// push queues r under its tenant, activating (and frontier-lifting) the
+// tenant if this is its first queued request.
+func (f *fairQueue) push(r *core.Request) {
+	tq := f.get(tenantOf(r))
+	tq.insert(r)
+	f.count++
+	if tq.pos < 0 {
+		if tq.vt < f.floor {
+			tq.vt = f.floor
+		}
+		f.heapPush(tq)
+	}
+}
+
+// top returns the active tenant with the lowest counter.
+func (f *fairQueue) top() *tenantQueue { return f.heap[0] }
+
+// served removes tq's head request after placement and charges its
+// cost, re-sorting or deactivating the tenant.
+func (f *fairQueue) served(tq *tenantQueue) {
+	r := tq.reqs[0]
+	copy(tq.reqs, tq.reqs[1:])
+	tq.reqs[len(tq.reqs)-1] = nil
+	tq.reqs = tq.reqs[:len(tq.reqs)-1]
+	f.count--
+	f.charge(tq, r)
+	if len(tq.reqs) == 0 {
+		f.heapRemove(tq)
+	} else if tq.pos >= 0 {
+		f.siftDown(tq.pos)
+	}
+}
+
+// charge bills cost(r) to tq and advances the frontier.
+func (f *fairQueue) charge(tq *tenantQueue, r *core.Request) {
+	tq.vt += tokenCost(r)
+	if tq.vt > f.floor {
+		f.floor = tq.vt
+	}
+	if tq.pos >= 0 {
+		f.siftDown(tq.pos)
+	}
+}
+
+// drain removes every queued request, in global (Arrival, ID) order —
+// the fairness-off transfer path.
+func (f *fairQueue) drain() []*core.Request {
+	var out []*core.Request
+	for len(f.heap) > 0 {
+		tq := f.heap[0]
+		out = append(out, tq.reqs...)
+		for i := range tq.reqs {
+			tq.reqs[i] = nil
+		}
+		tq.reqs = tq.reqs[:0]
+		f.heapRemove(tq)
+	}
+	f.count = 0
+	sortRequestsFCFS(out)
+	return out
+}
+
+func sortRequestsFCFS(reqs []*core.Request) {
+	// Insertion sort: transfer sets are tiny and almost sorted.
+	for i := 1; i < len(reqs); i++ {
+		r := reqs[i]
+		j := i - 1
+		for j >= 0 && (reqs[j].Arrival > r.Arrival ||
+			(reqs[j].Arrival == r.Arrival && reqs[j].ID > r.ID)) {
+			reqs[j+1] = reqs[j]
+			j--
+		}
+		reqs[j+1] = r
+	}
+}
+
+func (f *fairQueue) less(i, j int) bool {
+	a, b := f.heap[i], f.heap[j]
+	if a.vt != b.vt {
+		return a.vt < b.vt
+	}
+	return a.tenant < b.tenant
+}
+
+func (f *fairQueue) swap(i, j int) {
+	f.heap[i], f.heap[j] = f.heap[j], f.heap[i]
+	f.heap[i].pos = i
+	f.heap[j].pos = j
+}
+
+func (f *fairQueue) heapPush(tq *tenantQueue) {
+	tq.pos = len(f.heap)
+	f.heap = append(f.heap, tq)
+	f.siftUp(tq.pos)
+}
+
+func (f *fairQueue) heapRemove(tq *tenantQueue) {
+	i := tq.pos
+	last := len(f.heap) - 1
+	f.swap(i, last)
+	f.heap[last] = nil
+	f.heap = f.heap[:last]
+	tq.pos = -1
+	if i < last {
+		f.siftDown(i)
+		f.siftUp(i)
+	}
+}
+
+func (f *fairQueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !f.less(i, parent) {
+			return
+		}
+		f.swap(i, parent)
+		i = parent
+	}
+}
+
+func (f *fairQueue) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(f.heap) && f.less(l, min) {
+			min = l
+		}
+		if r < len(f.heap) && f.less(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		f.swap(i, min)
+		i = min
+	}
+}
+
+// SetFairness toggles the VTC admission layer. Turning it on moves any
+// FCFS-queued requests under their tenants; turning it off drains the
+// tenant queues back into global FCFS order. Counter memory does not
+// survive an off/on cycle.
+func (s *Scheduler) SetFairness(on bool) {
+	if on == (s.fair != nil) {
+		return
+	}
+	if on {
+		s.fair = newFairQueue()
+		for _, r := range s.queue {
+			s.fair.push(r)
+		}
+		s.queue = nil
+		return
+	}
+	for _, r := range s.fair.drain() {
+		s.queue = append(s.queue, r)
+	}
+	s.fair = nil
+}
+
+// FairnessEnabled reports whether the VTC layer is active.
+func (s *Scheduler) FairnessEnabled() bool { return s.fair != nil }
+
+// TenantStalls returns per-tenant adapter-stall counts (§5.2
+// backpressure attributed to the tenant whose placement stalled). The
+// returned map is the scheduler's own — callers must not mutate it,
+// and must sort keys before iterating anywhere determinism matters.
+func (s *Scheduler) TenantStalls() map[int64]int64 { return s.tenantStalls }
+
+// queuedLen is the admission-queue depth regardless of fairness mode.
+func (s *Scheduler) queuedLen() int {
+	if s.fair != nil {
+		return s.fair.count
+	}
+	return len(s.queue)
+}
+
+// enqueue routes a request onto whichever admission queue is active.
+func (s *Scheduler) enqueue(r *core.Request) {
+	if s.fair != nil {
+		s.fair.push(r)
+		s.stats.Queued++
+		s.noteFairDepth()
+		return
+	}
+	s.enqueueFCFS(r)
+}
+
+// dispatchFair is Dispatch with the VTC layer on: an uncontended
+// request places directly (and is charged, so heavy tenants carry
+// their history into the next contention window); a contended one
+// queues under its tenant.
+func (s *Scheduler) dispatchFair(r *core.Request, now time.Duration) (*GPU, error) {
+	if s.fair.count == 0 {
+		g, err := s.tryPlace(r, nil, now)
+		if err != nil {
+			return nil, err
+		}
+		if g != nil {
+			s.fair.charge(s.fair.get(tenantOf(r)), r)
+			s.prefetchDecodeAdapter(r, g, now)
+			return g, nil
+		}
+	}
+	s.fair.push(r)
+	s.stats.Queued++
+	s.noteFairDepth()
+	return nil, nil
+}
+
+// drainFair dispatches queued requests as capacity frees: repeatedly
+// serve the head request of the lowest-counter tenant. A tenant whose
+// head cannot place right now (no room, or its adapter store is
+// saturated) steps aside for this drain — other tenants' heads may
+// still fit — and rejoins afterwards with its counter untouched.
+//
+// Adapter-stall accounting mirrors the FCFS path, which charges only
+// the blocking queue head once per drain: here only the first (lowest
+// counter) tenant blocked on adapter-store room is charged. Later
+// skipped tenants are waiting behind it, not stalled — charging each of
+// them every pass would multiply the stall count by the active-tenant
+// count and make fairness-on runs incomparable with fairness-off ones.
+func (s *Scheduler) drainFair(now time.Duration) ([]Placement, error) {
+	var placed []Placement
+	var skipped []*tenantQueue
+	reinstate := func() {
+		for _, tq := range skipped {
+			if len(tq.reqs) > 0 {
+				s.fair.heapPush(tq)
+			}
+		}
+	}
+	stallCharged := false
+	for len(s.fair.heap) > 0 {
+		tq := s.fair.top()
+		r := tq.head()
+		g, stalled, err := s.place(r, nil, now)
+		if err != nil {
+			reinstate()
+			return placed, err
+		}
+		if g == nil {
+			if stalled && !stallCharged {
+				s.chargeStall(r)
+				stallCharged = true
+			}
+			s.fair.heapRemove(tq)
+			skipped = append(skipped, tq)
+			continue
+		}
+		s.fair.served(tq)
+		placed = append(placed, Placement{Request: r, GPU: g})
+	}
+	reinstate()
+	return placed, nil
+}
+
+// noteFairDepth mirrors noteQueueDepth for the VTC queue: peak
+// tracking, plus the per-tenant FCFS invariant — within every active
+// tenant the queue must stay (Arrival, ID)-ordered even though tenants
+// overtake each other.
+func (s *Scheduler) noteFairDepth() {
+	if s.fair.count > s.queuePeak {
+		s.queuePeak = s.fair.count
+	}
+	if invariant.Enabled {
+		for _, tq := range s.fair.heap {
+			for i := 1; i < len(tq.reqs); i++ {
+				p, q := tq.reqs[i-1], tq.reqs[i]
+				if p.Arrival > q.Arrival || (p.Arrival == q.Arrival && p.ID > q.ID) {
+					invariant.Failf("sched: tenant %d FCFS queue out of order at %d: (%v, id %d) before (%v, id %d)",
+						tq.tenant, i, p.Arrival, p.ID, q.Arrival, q.ID)
+				}
+			}
+		}
+	}
+}

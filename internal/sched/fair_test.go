@@ -1,0 +1,255 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"punica/internal/core"
+	"punica/internal/lora"
+	"punica/internal/sim"
+)
+
+func mkTenantReq(id, tenant int64) *core.Request {
+	return &core.Request{
+		ID: id, Model: lora.ModelID(id % 4), PromptLen: 64, OutputLen: 16,
+		Arrival: time.Duration(id) * time.Millisecond, Tenant: tenant,
+	}
+}
+
+// fairHarness drives a scheduler like the cluster does — dispatch,
+// complete (cancel), drain — recording every placement in order.
+type fairHarness struct {
+	t        *testing.T
+	s        *Scheduler
+	gpus     []*GPU
+	resident []*core.Request
+	placedBy map[*core.Request]*GPU
+	order    []*core.Request
+	now      time.Duration
+}
+
+func newFairHarness(t *testing.T, numGPUs, maxBatch int, fair bool) *fairHarness {
+	gpus := testGPUs(t, numGPUs, maxBatch)
+	s := New(gpus)
+	s.SetFairness(fair)
+	return &fairHarness{t: t, s: s, gpus: gpus, placedBy: map[*core.Request]*GPU{}}
+}
+
+func (h *fairHarness) dispatch(r *core.Request) {
+	h.now += time.Millisecond
+	g, err := h.s.Dispatch(r, h.now)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	if g != nil {
+		h.note(r, g)
+	}
+}
+
+func (h *fairHarness) note(r *core.Request, g *GPU) {
+	h.resident = append(h.resident, r)
+	h.placedBy[r] = g
+	h.order = append(h.order, r)
+}
+
+// completeOldest finishes the longest-resident request, freeing a batch
+// slot, then drains.
+func (h *fairHarness) completeOldest() {
+	if len(h.resident) == 0 {
+		h.t.Fatal("nothing resident to complete")
+	}
+	r := h.resident[0]
+	h.resident = h.resident[1:]
+	h.now += time.Millisecond
+	if got := h.placedBy[r].Engine.Cancel(r.ID, h.now); got == nil {
+		h.t.Fatalf("request %d not found on its GPU", r.ID)
+	}
+	placed, err := h.s.DrainQueue(h.now)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	for _, p := range placed {
+		h.note(p.Request, p.GPU)
+	}
+}
+
+// TestFairNoStarvation: one GPU, two batch slots, a sustained
+// hot-tenant arrival stream, and two tail tenants with one request
+// each. Under VTC the tail requests must dispatch within a handful of
+// service completions even though hot requests keep arriving and tens
+// of them queued first.
+func TestFairNoStarvation(t *testing.T) {
+	h := newFairHarness(t, 1, 2, true)
+	var id int64
+	next := func(tenant int64) *core.Request { id++; return mkTenantReq(id, tenant) }
+	for i := 0; i < 22; i++ { // 2 place, 20 queue
+		h.dispatch(next(1))
+	}
+	tailA, tailB := next(2), next(3)
+	h.dispatch(tailA)
+	h.dispatch(tailB)
+	servedTail := 0
+	for round := 0; round < 8 && servedTail < 2; round++ {
+		h.dispatch(next(1)) // the hot stream never lets up
+		before := len(h.order)
+		h.completeOldest()
+		for _, r := range h.order[before:] {
+			if r == tailA || r == tailB {
+				servedTail++
+			}
+		}
+	}
+	if servedTail != 2 {
+		t.Fatalf("tail tenants starved: %d of 2 served after 8 completions behind a 20-deep hot backlog", servedTail)
+	}
+}
+
+// TestFairConservation: fairness changes the order requests are served,
+// never the set. The same deterministic arrival/completion script must
+// serve the identical request multiset with fairness on and off.
+func TestFairConservation(t *testing.T) {
+	run := func(fair bool) map[int64]int {
+		h := newFairHarness(t, 2, 2, fair)
+		rng := sim.NewRNG(42)
+		for i := int64(1); i <= 60; i++ {
+			h.dispatch(mkTenantReq(i, 1+rng.Int63()%5))
+			if rng.Float64() < 0.5 && len(h.resident) > 0 {
+				h.completeOldest()
+			}
+		}
+		for round := 0; h.s.QueueLen() > 0; round++ {
+			if round > 200 {
+				t.Fatalf("fair=%v: queue never drained", fair)
+			}
+			h.completeOldest()
+		}
+		served := map[int64]int{}
+		for _, r := range h.order {
+			served[r.ID]++
+		}
+		return served
+	}
+	on, off := run(true), run(false)
+	if len(on) != 60 || len(off) != 60 {
+		t.Fatalf("not every request served: fair=%d plain=%d, want 60", len(on), len(off))
+	}
+	for id, n := range on {
+		if n != 1 {
+			t.Fatalf("fairness on served request %d %d times", id, n)
+		}
+		if off[id] != 1 {
+			t.Fatalf("fairness off served request %d %d times", id, off[id])
+		}
+	}
+}
+
+// TestFairPerTenantFCFS: tenants may overtake each other, but within a
+// tenant service order must stay arrival order.
+func TestFairPerTenantFCFS(t *testing.T) {
+	h := newFairHarness(t, 2, 2, true)
+	rng := sim.NewRNG(7)
+	for i := int64(1); i <= 80; i++ {
+		h.dispatch(mkTenantReq(i, 1+rng.Int63()%4))
+		if rng.Float64() < 0.4 && len(h.resident) > 0 {
+			h.completeOldest()
+		}
+	}
+	for round := 0; h.s.QueueLen() > 0; round++ {
+		if round > 200 {
+			t.Fatal("queue never drained")
+		}
+		h.completeOldest()
+	}
+	last := map[int64]*core.Request{}
+	for _, r := range h.order {
+		if p := last[r.Tenant]; p != nil {
+			if p.Arrival > r.Arrival || (p.Arrival == r.Arrival && p.ID > r.ID) {
+				t.Fatalf("tenant %d served out of order: id %d before id %d", r.Tenant, p.ID, r.ID)
+			}
+		}
+		last[r.Tenant] = r
+	}
+}
+
+// TestFairAlternatesUnderContention: two tenants with equal-cost
+// backlogs on a one-slot GPU must be served round-robin, not in
+// arrival blocks.
+func TestFairAlternatesUnderContention(t *testing.T) {
+	h := newFairHarness(t, 1, 1, true)
+	var id int64
+	next := func(tenant int64) *core.Request { id++; return mkTenantReq(id, tenant) }
+	h.dispatch(next(1)) // occupies the only slot
+	for i := 0; i < 5; i++ {
+		h.dispatch(next(1))
+	}
+	for i := 0; i < 5; i++ {
+		h.dispatch(next(2))
+	}
+	before := len(h.order)
+	for i := 0; i < 10; i++ {
+		h.completeOldest()
+	}
+	drained := h.order[before:]
+	if len(drained) != 10 {
+		t.Fatalf("drained %d, want 10", len(drained))
+	}
+	for i, r := range drained {
+		want := int64(1 + i%2) // t1 first (lower id breaks the vt tie)
+		if r.Tenant != want {
+			t.Fatalf("drain %d served tenant %d, want %d (round-robin)", i, r.Tenant, want)
+		}
+	}
+}
+
+// TestSetFairnessTransfersQueue: toggling fairness mid-flight moves the
+// backlog between queue disciplines without losing requests.
+func TestSetFairnessTransfersQueue(t *testing.T) {
+	h := newFairHarness(t, 1, 1, false)
+	var id int64
+	next := func(tenant int64) *core.Request { id++; return mkTenantReq(id, tenant) }
+	h.dispatch(next(1))
+	for i := 0; i < 6; i++ {
+		h.dispatch(next(int64(1 + i%3)))
+	}
+	if h.s.QueueLen() != 6 {
+		t.Fatalf("queued %d, want 6", h.s.QueueLen())
+	}
+	h.s.SetFairness(true)
+	if h.s.QueueLen() != 6 {
+		t.Fatalf("fairness-on transfer lost requests: %d, want 6", h.s.QueueLen())
+	}
+	h.completeOldest()
+	h.s.SetFairness(false)
+	if h.s.QueueLen() != 5 {
+		t.Fatalf("fairness-off transfer lost requests: %d, want 5", h.s.QueueLen())
+	}
+	for round := 0; h.s.QueueLen() > 0; round++ {
+		if round > 20 {
+			t.Fatal("queue never drained")
+		}
+		h.completeOldest()
+	}
+	if len(h.order) != 7 {
+		t.Fatalf("served %d, want all 7", len(h.order))
+	}
+}
+
+// TestFairUntaggedDegradesToFCFS: legacy traces (Tenant 0 everywhere)
+// under the fairness knob behave as one tenant — plain FCFS.
+func TestFairUntaggedDegradesToFCFS(t *testing.T) {
+	h := newFairHarness(t, 1, 1, true)
+	for i := int64(1); i <= 8; i++ {
+		h.dispatch(mkReq(i, 10, 5))
+	}
+	for round := 0; h.s.QueueLen() > 0; round++ {
+		if round > 20 {
+			t.Fatal("queue never drained")
+		}
+		h.completeOldest()
+	}
+	for i, r := range h.order {
+		if r.ID != int64(i+1) {
+			t.Fatalf("untagged service order broke FCFS at %d: id %d", i, r.ID)
+		}
+	}
+}

@@ -124,6 +124,16 @@ type Scheduler struct {
 	// tests pin §5.1 consolidation decisions through it.
 	TraceMigration func(r *core.Request, from, to *GPU)
 
+	// fair, when non-nil, replaces the global FCFS queue with the VTC
+	// per-tenant admission layer (fair.go). nil — the default — keeps
+	// every legacy code path byte-identical.
+	fair *fairQueue
+
+	// tenantStalls attributes AdapterStalls to the tenant whose
+	// placement stalled (allocated eagerly so the zero-alloc dispatch
+	// path never constructs it; written only on stall).
+	tenantStalls map[int64]int64
+
 	stats Stats
 }
 
@@ -172,7 +182,7 @@ func NewWithPolicy(gpus []*GPU, p Policy) *Scheduler {
 	if p == nil {
 		p = PaperPolicy{}
 	}
-	return &Scheduler{gpus: gpus, policy: p}
+	return &Scheduler{gpus: gpus, policy: p, tenantStalls: make(map[int64]int64)}
 }
 
 // Policy returns the active placement policy.
@@ -244,7 +254,7 @@ func (s *Scheduler) FailGPU(uuid string, now time.Duration) (g *GPU, lost []*cor
 // migration accounting — recoveries count under Stats.Recovered.
 func (s *Scheduler) Requeue(r *core.Request, now time.Duration) (*GPU, error) {
 	s.stats.Recovered++
-	if len(s.queue) == 0 {
+	if s.queuedLen() == 0 {
 		g, err := s.tryPlace(r, nil, now)
 		if err != nil {
 			return nil, err
@@ -253,7 +263,7 @@ func (s *Scheduler) Requeue(r *core.Request, now time.Duration) (*GPU, error) {
 			return g, nil
 		}
 	}
-	s.enqueueFCFS(r)
+	s.enqueue(r)
 	return nil, nil
 }
 
@@ -261,7 +271,7 @@ func (s *Scheduler) Requeue(r *core.Request, now time.Duration) (*GPU, error) {
 func (s *Scheduler) Stats() Stats { return s.stats }
 
 // QueueLen returns the number of requests waiting for capacity.
-func (s *Scheduler) QueueLen() int { return len(s.queue) }
+func (s *Scheduler) QueueLen() int { return s.queuedLen() }
 
 // QueuePeak returns the deepest the FCFS wait queue has been. Unlike a
 // caller sampling QueueLen at arrival time, it observes every growth
@@ -355,23 +365,41 @@ func (s *Scheduler) candidates(r *core.Request, exclude *GPU) []Candidate {
 // the request — the caller queues it — and counts an AdapterStall when
 // at least one GPU had batch and KvCache room but no adapter-store room.
 func (s *Scheduler) tryPlace(r *core.Request, exclude *GPU, now time.Duration) (*GPU, error) {
+	g, stalled, err := s.place(r, exclude, now)
+	if stalled {
+		s.chargeStall(r)
+	}
+	return g, err
+}
+
+// place is tryPlace without the stall accounting: it additionally
+// reports whether any GPU refused r solely for adapter-store room, and
+// leaves charging to the caller. The fairness drain needs the split —
+// it attempts every active tenant per pass, but only the first blocked
+// one is genuinely stalled (the rest are queued behind it), matching
+// the FCFS path where only the blocking head is ever charged.
+func (s *Scheduler) place(r *core.Request, exclude *GPU, now time.Duration) (*GPU, bool, error) {
 	stalled := false
 	for _, c := range s.candidates(r, exclude) {
 		err := c.GPU.Engine.Enqueue(r, now)
 		if err == nil {
 			s.stats.Dispatched++
-			return c.GPU, nil
+			return c.GPU, false, nil
 		}
 		if errors.Is(err, lora.ErrStoreFull) {
 			stalled = true
 			continue
 		}
-		return nil, err
+		return nil, false, err
 	}
-	if stalled {
-		s.stats.AdapterStalls++
-	}
-	return nil, nil
+	return nil, stalled, nil
+}
+
+// chargeStall books one adapter-stall backpressure event against r's
+// tenant.
+func (s *Scheduler) chargeStall(r *core.Request) {
+	s.stats.AdapterStalls++
+	s.tenantStalls[r.Tenant]++
 }
 
 // Dispatch routes a new request: to a GPU when one has capacity,
@@ -380,6 +408,9 @@ func (s *Scheduler) tryPlace(r *core.Request, exclude *GPU, now time.Duration) (
 //
 //punica:zeroalloc per-request routing must not allocate beyond amortised queue growth
 func (s *Scheduler) Dispatch(r *core.Request, now time.Duration) (*GPU, error) {
+	if s.fair != nil {
+		return s.dispatchFair(r, now)
+	}
 	// FCFS across the cluster: a new request may not overtake queued
 	// ones.
 	if len(s.queue) > 0 {
@@ -416,6 +447,9 @@ type Placement struct {
 // scheduled in a first-come-first-serve manner", §5.1). It returns the
 // placements made.
 func (s *Scheduler) DrainQueue(now time.Duration) ([]Placement, error) {
+	if s.fair != nil {
+		return s.drainFair(now)
+	}
 	var placed []Placement
 	for len(s.queue) > 0 {
 		g, err := s.tryPlace(s.queue[0], nil, now)
@@ -437,7 +471,7 @@ func (s *Scheduler) DrainQueue(now time.Duration) ([]Placement, error) {
 // for the evicted request is the same as adding a new request", except it
 // must not land back on the GPU it was just evicted from.
 func (s *Scheduler) Reschedule(r *core.Request, from *GPU, now time.Duration) (*GPU, error) {
-	if len(s.queue) == 0 {
+	if s.queuedLen() == 0 {
 		g, err := s.tryPlace(r, from, now)
 		if err != nil {
 			return nil, err
@@ -447,7 +481,7 @@ func (s *Scheduler) Reschedule(r *core.Request, from *GPU, now time.Duration) (*
 			return g, nil
 		}
 	}
-	s.enqueueFCFS(r)
+	s.enqueue(r)
 	return nil, nil
 }
 
@@ -458,6 +492,12 @@ func (s *Scheduler) Reschedule(r *core.Request, from *GPU, now time.Duration) (*
 // FCFS for everything that stays (the head keeps its place, and the
 // stolen requests are the ones that would have waited longest here).
 func (s *Scheduler) StealNewest(n int) []*core.Request {
+	if s.fair != nil {
+		// Under the VTC layer queue order is per-tenant, not global: a
+		// "newest" cut would silently bias which tenants spill. Cells
+		// keep their fairness-managed overflow local instead.
+		return nil
+	}
 	if n <= 0 || len(s.queue) == 0 {
 		return nil
 	}
@@ -481,7 +521,7 @@ func (s *Scheduler) StealNewest(n int) []*core.Request {
 // than the queue tail).
 func (s *Scheduler) AdmitSpill(r *core.Request, now time.Duration) (*GPU, error) {
 	s.stats.SpillsIn++
-	if len(s.queue) == 0 {
+	if s.queuedLen() == 0 {
 		g, err := s.tryPlace(r, nil, now)
 		if err != nil {
 			return nil, err
@@ -490,7 +530,7 @@ func (s *Scheduler) AdmitSpill(r *core.Request, now time.Duration) (*GPU, error)
 			return g, nil
 		}
 	}
-	s.enqueueFCFS(r)
+	s.enqueue(r)
 	return nil, nil
 }
 
@@ -586,8 +626,8 @@ func (s *Scheduler) Consolidate(now time.Duration) int {
 				if !errors.Is(err, lora.ErrStoreFull) {
 					panic("sched: re-enqueue on source failed: " + err.Error())
 				}
-				s.stats.AdapterStalls++
-				s.enqueueFCFS(victim)
+				s.chargeStall(victim)
+				s.enqueue(victim)
 			} else {
 				srcSnap.NoteEnqueued(victim)
 			}

@@ -20,6 +20,9 @@ type GenerateRequest struct {
 	PromptLen int `json:"prompt_len,omitempty"`
 	// MaxTokens is the response length limit (the stopping condition).
 	MaxTokens int `json:"max_tokens"`
+	// Tenant tags the request's owning user for the Config.Fairness
+	// admission layer. 0 (or omitted) is untagged.
+	Tenant int64 `json:"tenant,omitempty"`
 }
 
 // TokenEvent is one NDJSON line of the streamed response.
@@ -74,7 +77,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	if req.MaxTokens <= 0 {
 		req.MaxTokens = 128
 	}
-	id, stream, err := s.Submit(req.Model, promptLen, req.MaxTokens)
+	id, stream, err := s.SubmitTenant(req.Model, req.Tenant, promptLen, req.MaxTokens)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return

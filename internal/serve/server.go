@@ -33,6 +33,11 @@ type Config struct {
 	// Policy selects the placement policy by name ("" or "paper",
 	// "affinity", "rank" — see internal/sched).
 	Policy string
+	// Fairness enables the scheduler's per-tenant VTC admission layer:
+	// under contention, queued requests dispatch weighted-round-robin
+	// across tenants instead of globally FCFS (see internal/sched
+	// fair.go). Requests without a tenant tag share one bucket.
+	Fairness bool
 
 	// PrefillGPUs/DecodeGPUs, when both > 0, disaggregate the server:
 	// the fleet splits into a prefill pool (admits new requests) and a
@@ -109,6 +114,7 @@ func New(cfg Config) *Server {
 		panic("serve: " + err.Error())
 	}
 	s.sch = sched.NewWithPolicy(s.gpus, policy)
+	s.sch.SetFairness(cfg.Fairness)
 	for _, g := range s.gpus {
 		s.wg.Add(1)
 		go s.drive(g)
@@ -152,8 +158,18 @@ func (s *Server) onFinish(r *core.Request) {
 // stream. The stream is closed when generation completes or the request
 // is cancelled.
 func (s *Server) Submit(model int64, promptLen, outputLen int) (int64, <-chan core.Token, error) {
+	return s.SubmitTenant(model, 0, promptLen, outputLen)
+}
+
+// SubmitTenant is Submit with a tenant tag: under Config.Fairness the
+// scheduler's VTC layer keys admission fairness on it. Tenant 0 is
+// untagged (all untagged requests share one fairness bucket).
+func (s *Server) SubmitTenant(model, tenant int64, promptLen, outputLen int) (int64, <-chan core.Token, error) {
 	if promptLen <= 0 || outputLen <= 0 {
 		return 0, nil, fmt.Errorf("serve: prompt and output lengths must be positive")
+	}
+	if tenant < 0 {
+		return 0, nil, fmt.Errorf("serve: tenant id must be non-negative")
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -171,6 +187,7 @@ func (s *Server) Submit(model int64, promptLen, outputLen int) (int64, <-chan co
 		PromptLen: promptLen,
 		OutputLen: outputLen,
 		Arrival:   now,
+		Tenant:    tenant,
 	}
 	if _, err := s.sch.Dispatch(r, now); err != nil {
 		delete(s.streams, id)

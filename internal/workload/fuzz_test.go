@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"punica/internal/dist"
+	"punica/internal/sim"
+)
+
+// FuzzTrafficSpec throws arbitrary spec strings at the parser and, when
+// one parses, checks the invariants the rest of the stack relies on:
+// rates are finite and non-negative everywhere, MaxRate bounds Rate,
+// and generated arrivals are sorted, in-horizon, and tenant-tagged
+// in-range.
+func FuzzTrafficSpec(f *testing.F) {
+	f.Add("horizon=8m;base=5;diurnal=0.4/4m;spike=at:2m,peak:30,ramp:15s,hold:45s,decay:30s,model:0,tenant:1;tenants=1000000/4/20s;mix=Skewed/32;seed=7")
+	f.Add("horizon=2m;base=6;ramp=8/1m/30s/20s;rand-spikes=3/5/10;seed=3")
+	f.Add("horizon=1m;base=0;spike=peak:4,hold:10s")
+	f.Add("horizon=90s;base=1;diurnal=1/10s/0.5;tenants=3/1/1s")
+	f.Add("horizon=;base=nan;spike=peak:-1")
+	f.Fuzz(func(t *testing.T, s string) {
+		if len(s) > 512 {
+			return // parser is O(len); cap the corpus
+		}
+		spec, err := ParseTrafficSpec(s)
+		if err != nil {
+			return // rejected specs are fine; panics are not
+		}
+		if spec.Horizon <= 0 {
+			t.Fatalf("accepted spec with horizon %v", spec.Horizon)
+		}
+		spikes := spec.expandSpikes()
+		max := spec.maxRateOver(spikes)
+		if max <= 0 || math.IsNaN(max) || math.IsInf(max, 0) {
+			t.Fatalf("accepted spec with MaxRate %v", max)
+		}
+		step := spec.Horizon / 97
+		if step <= 0 {
+			step = 1
+		}
+		for at := time.Duration(0); at < spec.Horizon; at += step {
+			r := spec.rateOver(at, spikes)
+			if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+				t.Fatalf("rate(%v) = %v", at, r)
+			}
+			if r > max+1e-9 {
+				t.Fatalf("rate(%v) = %v exceeds MaxRate %v", at, r, max)
+			}
+		}
+		// Generate from a trimmed spec so fuzz iterations stay fast:
+		// cap the expected arrival count, keeping the shape logic.
+		if max*spec.Horizon.Seconds() > 5000 {
+			return
+		}
+		g := NewGenerator(dist.Skewed, Constant(64, 16), 11)
+		reqs := g.Traffic(spec)
+		pop := spec.Tenants.withDefaults().Population
+		prev := time.Duration(-1)
+		for _, r := range reqs {
+			if r.Arrival < 0 || r.Arrival >= spec.Horizon {
+				t.Fatalf("arrival %v out of horizon %v", r.Arrival, spec.Horizon)
+			}
+			if r.Arrival < prev {
+				t.Fatal("arrivals not sorted")
+			}
+			prev = r.Arrival
+			if r.Tenant < 1 || r.Tenant > pop {
+				// Spike whale tags may exceed the population by design.
+				if !spikeTenant(spikes, r.Tenant) {
+					t.Fatalf("tenant %d outside [1,%d]", r.Tenant, pop)
+				}
+			}
+		}
+	})
+}
+
+func spikeTenant(spikes []Spike, id int64) bool {
+	for _, sp := range spikes {
+		if sp.Tenant == id {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzTenantChurn drives the assigner with arbitrary spec parameters
+// and query points: ids must stay in [1, Population] (after
+// normalisation) no matter how degenerate the spec.
+func FuzzTenantChurn(f *testing.F) {
+	f.Add(int64(1_000_000), 4, int64(20*time.Second), int64(5), int64(30*time.Second), int64(3))
+	f.Add(int64(1), 1, int64(0), int64(0), int64(0), int64(0))
+	f.Add(int64(-7), -2, int64(-time.Hour), int64(99), int64(math.MaxInt64), int64(1))
+	f.Add(int64(math.MaxInt64), 1000, int64(math.MaxInt64), int64(-1), int64(-5), int64(2))
+	f.Fuzz(func(t *testing.T, pop int64, per int, churn, model, at, seed int64) {
+		a := NewTenantAssigner(TenantSpec{Population: pop, PerModel: per, Churn: time.Duration(churn)}, sim.NewRNG(seed))
+		wantPop := a.spec.Population
+		if wantPop < 1 {
+			t.Fatalf("normalised population %d < 1", wantPop)
+		}
+		for i := 0; i < 16; i++ {
+			id := a.TenantFor(model, time.Duration(at)+time.Duration(i)*time.Second)
+			if id < 1 || id > wantPop {
+				t.Fatalf("tenant %d outside [1,%d] (pop=%d per=%d churn=%d at=%d)",
+					id, wantPop, pop, per, churn, at)
+			}
+		}
+	})
+}

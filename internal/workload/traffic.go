@@ -1,0 +1,647 @@
+// Open-loop traffic engine: the live-traffic realism layer over the
+// paper's smooth Poisson arrivals. A TrafficSpec composes rate shapes —
+// a base rate, a diurnal sinusoid, a trapezoid overlay, and flash-crowd
+// spikes with ramp/hold/decay (explicit or seeded-random) — into one
+// inhomogeneous arrival process, and maps every arrival onto a seeded
+// tenant population with churn: millions of distinct tenant ids layered
+// over the dist.Mix adapter popularity, with the active tenants behind
+// each adapter rotating over the horizon.
+//
+// The engine is open-loop: arrival times are a pure function of the
+// spec and seed, independent of how fast the cluster serves them —
+// exactly the regime where one hot tenant's flash crowd can starve the
+// long tail, and what the scheduler's fairness layer exists to absorb.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"punica/internal/dist"
+	"punica/internal/sim"
+)
+
+// Spike is one flash-crowd event: an additive rate bump that ramps up
+// linearly over Ramp, holds at Peak for Hold, and decays linearly over
+// Decay — CaraServe's "load spike" shape with explicit edges.
+type Spike struct {
+	// At is the ramp start.
+	At time.Duration
+	// Peak is the added request rate (req/s) at the top.
+	Peak float64
+	// Ramp, Hold and Decay shape the bump.
+	Ramp  time.Duration
+	Hold  time.Duration
+	Decay time.Duration
+
+	// Model, when >= 0, targets every spike arrival at that adapter id
+	// (a crowd hitting one model). -1 draws from the background mix.
+	Model int
+	// Tenant, when > 0, tags every spike arrival with that tenant id —
+	// a single whale causing the crowd. 0 draws from the tenant
+	// population like background traffic.
+	Tenant int64
+}
+
+// Rate returns the spike's added request rate at time t.
+func (s Spike) Rate(t time.Duration) float64 {
+	dt := t - s.At
+	width := s.Ramp + s.Hold + s.Decay
+	switch {
+	case dt < 0 || dt >= width || s.Peak <= 0:
+		return 0
+	case dt < s.Ramp:
+		return s.Peak * float64(dt) / float64(s.Ramp)
+	case dt < s.Ramp+s.Hold:
+		return s.Peak
+	default:
+		return s.Peak * float64(width-dt) / float64(s.Decay)
+	}
+}
+
+// RandomSpikes seeds a batch of flash crowds with spec-chosen shape and
+// seeded-random onsets and magnitudes — the "you don't know when the
+// crowd comes" scenario. Expanded into concrete Spikes by TrafficSpec
+// from its Seed.
+type RandomSpikes struct {
+	// N is how many spikes to scatter over the middle 80% of the
+	// horizon.
+	N int
+	// PeakMin and PeakMax bound the uniform peak-rate draw (req/s).
+	PeakMin, PeakMax float64
+	// Ramp, Hold and Decay shape every seeded spike.
+	Ramp, Hold, Decay time.Duration
+}
+
+// TenantSpec describes the tenant population layered over the adapter
+// popularity distribution.
+type TenantSpec struct {
+	// Population is the distinct tenant-id space the horizon can
+	// realize (production fleets: millions). Ids are 1-based; 0 means
+	// untagged. Non-positive values fall back to DefaultTenantPopulation.
+	Population int64
+	// PerModel is the number of concurrently active tenants behind each
+	// adapter (default DefaultTenantsPerModel).
+	PerModel int
+	// Churn is the tenant-rotation cadence: every Churn of simulated
+	// time, one of a model's PerModel active slots is replaced by a
+	// fresh tenant id (staggered per slot, so each active tenant lives
+	// ~PerModel×Churn). 0 freezes the population.
+	Churn time.Duration
+}
+
+// Tenant population defaults: a million-tenant id space with four
+// concurrently active tenants per adapter.
+const (
+	DefaultTenantPopulation = 1 << 20
+	DefaultTenantsPerModel  = 4
+)
+
+func (ts TenantSpec) withDefaults() TenantSpec {
+	if ts.Population <= 0 {
+		ts.Population = DefaultTenantPopulation
+	}
+	if ts.PerModel <= 0 {
+		ts.PerModel = DefaultTenantsPerModel
+	}
+	if ts.Churn < 0 {
+		ts.Churn = 0
+	}
+	return ts
+}
+
+// TenantAssigner maps (model, time) pairs onto tenant ids under a
+// TenantSpec. Deterministic given its RNG: the slot draw consumes the
+// RNG, the slot→tenant mapping is a pure hash of (model, slot,
+// generation), and the generation advances with churn.
+type TenantAssigner struct {
+	spec TenantSpec
+	rng  *sim.RNG
+}
+
+// NewTenantAssigner builds an assigner; the spec is normalised so
+// arbitrary (fuzzed) values cannot escape the id range.
+func NewTenantAssigner(spec TenantSpec, rng *sim.RNG) *TenantAssigner {
+	return &TenantAssigner{spec: spec.withDefaults(), rng: rng}
+}
+
+// TenantFor draws the tenant behind a request for model arriving at t.
+// The result is always in [1, Population].
+func (a *TenantAssigner) TenantFor(model int64, t time.Duration) int64 {
+	slot := a.rng.Intn(a.spec.PerModel)
+	var gen int64
+	if a.spec.Churn > 0 {
+		// Each slot rotates every PerModel×Churn, phase-staggered by a
+		// hash of (model, slot) so the population turns over smoothly
+		// (~one slot per model per Churn) rather than in lockstep.
+		period := int64(a.spec.Churn) * int64(a.spec.PerModel)
+		if period > 0 { // overflow-guarded: huge Churn values wrap negative
+			phase := int64(tenantHash(model, int64(slot), 0) % uint64(period))
+			gen = (int64(t) + phase) / period
+		}
+	}
+	h := tenantHash(model, int64(slot), gen)
+	return 1 + int64(h%uint64(a.spec.Population))
+}
+
+// tenantHash mixes (model, slot, generation) into a uniform 64-bit id
+// with the splitmix64 finalizer — the same avalanche the cell ring uses.
+func tenantHash(model, slot, gen int64) uint64 {
+	x := uint64(model)*0x9E3779B97F4A7C15 ^ uint64(slot)*0xBF58476D1CE4E5B9 ^ uint64(gen)*0x94D049BB133111EB
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// TrafficSpec is one open-loop traffic scenario: composable rate shapes
+// plus a tenant population over a popularity mix. The zero spec is
+// invalid; Horizon and Base (or a Trapezoid) are the minimum.
+type TrafficSpec struct {
+	// Horizon is the arrival window [0, Horizon).
+	Horizon time.Duration
+	// Base is the background request rate floor (req/s).
+	Base float64
+
+	// DiurnalAmp modulates Base sinusoidally: rate(t) = Base × (1 +
+	// DiurnalAmp·sin(2π(t/DiurnalPeriod + DiurnalPhase))), clamped at
+	// zero. Amp in [0, 1] keeps the background non-negative by
+	// construction; larger values are legal and clamp.
+	DiurnalAmp    float64
+	DiurnalPeriod time.Duration
+	DiurnalPhase  float64 // fraction of a period, [0, 1)
+
+	// Ramp optionally overlays the Fig. 13 trapezoid on the background.
+	Ramp *Trapezoid
+
+	// Spikes are explicit flash crowds; RandomSpikes seeds more from
+	// Seed.
+	Spikes       []Spike
+	RandomSpikes RandomSpikes
+
+	// Tenants is the tenant population; Mix the adapter popularity
+	// schedule (empty: single Skewed phase sized for the expected
+	// arrival count).
+	Tenants TenantSpec
+	Mix     dist.Mix
+
+	// Seed drives the seeded-random parts owned by the spec itself —
+	// random spike placement and the tenant slot stream. The arrival
+	// process uses the Generator's own seed, so one spec replayed under
+	// two generator seeds yields different arrivals over the same
+	// shapes and population.
+	Seed int64
+}
+
+// backgroundRate is the non-spike rate at t: diurnal-modulated base
+// plus the trapezoid overlay, clamped non-negative.
+func (s TrafficSpec) backgroundRate(t time.Duration) float64 {
+	r := s.Base
+	if s.DiurnalAmp != 0 && s.DiurnalPeriod > 0 {
+		x := float64(t)/float64(s.DiurnalPeriod) + s.DiurnalPhase
+		r = s.Base * (1 + s.DiurnalAmp*math.Sin(2*math.Pi*x))
+	}
+	if r < 0 {
+		r = 0
+	}
+	if s.Ramp != nil {
+		r += s.Ramp.Rate(t)
+	}
+	return r
+}
+
+// Rate returns the total arrival rate at t over the given concrete
+// spike set (the spec's explicit spikes plus any expanded random ones).
+func (s TrafficSpec) rateOver(t time.Duration, spikes []Spike) float64 {
+	r := s.backgroundRate(t)
+	for i := range spikes {
+		r += spikes[i].Rate(t)
+	}
+	return r
+}
+
+// Rate returns the total arrival rate at time t (explicit spikes only;
+// use Generator.Traffic for the seeded-random expansion).
+func (s TrafficSpec) Rate(t time.Duration) float64 { return s.rateOver(t, s.Spikes) }
+
+// maxRateOver upper-bounds the rate for Poisson thinning.
+func (s TrafficSpec) maxRateOver(spikes []Spike) float64 {
+	amp := math.Abs(s.DiurnalAmp)
+	max := s.Base * (1 + amp)
+	if max < 0 {
+		max = 0
+	}
+	if s.Ramp != nil && s.Ramp.Peak > 0 {
+		max += s.Ramp.Peak
+	}
+	for _, sp := range spikes {
+		if sp.Peak > 0 {
+			max += sp.Peak
+		}
+	}
+	return max
+}
+
+// MaxRate upper-bounds Rate over the horizon (explicit spikes only).
+func (s TrafficSpec) MaxRate() float64 { return s.maxRateOver(s.Spikes) }
+
+// expandSpikes concatenates the explicit spikes with the seeded-random
+// batch. Random onsets land in the middle 80% of the horizon so ramps
+// fit; the draw order (time, then peak, per spike) is part of the
+// spec's determinism contract.
+func (s TrafficSpec) expandSpikes() []Spike {
+	spikes := append([]Spike(nil), s.Spikes...)
+	rs := s.RandomSpikes
+	if rs.N <= 0 || s.Horizon <= 0 {
+		return spikes
+	}
+	if rs.PeakMax < rs.PeakMin {
+		rs.PeakMax = rs.PeakMin
+	}
+	rng := sim.NewRNG(s.Seed ^ 0x7261_6e64_7370_6b21) // "randspk!"
+	window := float64(s.Horizon) * 0.8
+	for i := 0; i < rs.N; i++ {
+		at := time.Duration(float64(s.Horizon)*0.1 + rng.Float64()*window)
+		peak := rs.PeakMin + rng.Float64()*(rs.PeakMax-rs.PeakMin)
+		spikes = append(spikes, Spike{
+			At: at, Peak: peak,
+			Ramp: rs.Ramp, Hold: rs.Hold, Decay: rs.Decay,
+			Model: -1,
+		})
+	}
+	// Seeded spikes sort by onset so the trace reads chronologically;
+	// ties keep insertion order (sort.SliceStable).
+	sort.SliceStable(spikes, func(i, j int) bool { return spikes[i].At < spikes[j].At })
+	return spikes
+}
+
+// withMixDefault fills an empty popularity mix: one Skewed phase sized
+// like the paper's workloads for the expected arrival count.
+func (s TrafficSpec) withMixDefault(kind dist.Kind) TrafficSpec {
+	if len(s.Mix.Phases) > 0 {
+		return s
+	}
+	expected := int(s.MaxRate() * s.Horizon.Seconds())
+	if expected < 1 {
+		expected = 1
+	}
+	s.Mix = dist.Mix{Phases: []dist.Phase{{
+		Length: s.Horizon, Kind: kind, NumModels: dist.NumModels(kind, expected),
+	}}}
+	return s
+}
+
+// Traffic generates the spec's full open-loop trace: inhomogeneous
+// Poisson arrivals by thinning (the same process PoissonMix runs, with
+// the rate function composed from the spec's shapes), each arrival
+// attributed to the shape component that produced it — spike arrivals
+// can target a hot model and a single whale tenant — and every request
+// tagged with a tenant drawn from the churning population.
+func (g *Generator) Traffic(spec TrafficSpec) []Request {
+	spec = spec.withMixDefault(g.Kind)
+	spikes := spec.expandSpikes()
+	maxRate := spec.maxRateOver(spikes)
+	if maxRate <= 0 || spec.Horizon <= 0 {
+		return nil
+	}
+	assigner := dist.NewMixAssigner(spec.Mix, g.rng)
+	tenants := NewTenantAssigner(spec.Tenants, sim.NewRNG(spec.Seed^0x74_65_6e_61_6e_74)) // "tenant"
+	var reqs []Request
+	t := time.Duration(0)
+	for {
+		gap := g.rng.Exponential(1 / maxRate)
+		t += hwSeconds(gap)
+		if t >= spec.Horizon {
+			break
+		}
+		total := spec.rateOver(t, spikes)
+		if g.rng.Float64() > total/maxRate {
+			continue
+		}
+		// Attribute the arrival to background or one spike,
+		// proportionally to their instantaneous rates.
+		var sp *Spike
+		u := g.rng.Float64() * total
+		acc := spec.backgroundRate(t)
+		if u >= acc {
+			for i := range spikes {
+				acc += spikes[i].Rate(t)
+				if u < acc {
+					sp = &spikes[i]
+					break
+				}
+			}
+		}
+		var model int64
+		if sp != nil && sp.Model >= 0 {
+			model = int64(sp.Model)
+		} else {
+			model = int64(assigner.AssignAt(t))
+		}
+		var tenant int64
+		if sp != nil && sp.Tenant > 0 {
+			tenant = sp.Tenant
+		} else {
+			tenant = tenants.TenantFor(model, t)
+		}
+		r := g.sampleModel(model, t)
+		r.Tenant = tenant
+		reqs = append(reqs, r)
+	}
+	return reqs
+}
+
+// ParseTrafficSpec parses the punica-cluster -traffic format: clauses
+// separated by ';', each `key=value`, durations in Go syntax.
+//
+//	horizon=10m            arrival window (required)
+//	base=4                 background rate, req/s
+//	diurnal=0.5/30m        amplitude fraction / period [/ phase 0..1]
+//	ramp=8/2m/1m/2m        trapezoid overlay: peak/rampup/hold/rampdown
+//	spike=at:2m,peak:40,ramp:20s,hold:30s,decay:40s[,model:0][,tenant:1]
+//	rand-spikes=3/10/40    N seeded spikes with peaks in [10,40] req/s
+//	                       (optionally /ramp/hold/decay durations)
+//	tenants=1000000/4/30s  population / active-per-model / churn
+//	mix=Skewed/64          popularity kind / model population
+//	seed=7
+//
+// Example:
+//
+//	horizon=8m;base=5;diurnal=0.4/4m;spike=at:2m,peak:30,ramp:15s,hold:45s,decay:30s,model:0,tenant:1;tenants=1000000/4/20s;mix=Skewed/32;seed=7
+func ParseTrafficSpec(s string) (TrafficSpec, error) {
+	spec := TrafficSpec{}
+	for _, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			return spec, fmt.Errorf("traffic spec: clause %q is not key=value", clause)
+		}
+		var err error
+		switch key {
+		case "horizon":
+			spec.Horizon, err = parsePositiveDuration(val)
+		case "base":
+			spec.Base, err = parseNonNegRate(val)
+		case "diurnal":
+			err = parseDiurnal(&spec, val)
+		case "ramp":
+			err = parseRampClause(&spec, val)
+		case "spike":
+			err = parseSpikeClause(&spec, val)
+		case "rand-spikes":
+			err = parseRandSpikes(&spec, val)
+		case "tenants":
+			err = parseTenants(&spec, val)
+		case "mix":
+			err = parseMixClause(&spec, val)
+		case "seed":
+			spec.Seed, err = strconv.ParseInt(val, 10, 64)
+		default:
+			return spec, fmt.Errorf("traffic spec: unknown key %q", key)
+		}
+		if err != nil {
+			return spec, fmt.Errorf("traffic spec: %s=%s: %w", key, val, err)
+		}
+	}
+	if spec.Horizon <= 0 {
+		return spec, fmt.Errorf("traffic spec: horizon is required and must be positive")
+	}
+	if spec.MaxRate() <= 0 {
+		return spec, fmt.Errorf("traffic spec: rate shapes sum to zero (set base, ramp or a spike)")
+	}
+	return spec, nil
+}
+
+func parsePositiveDuration(s string) (time.Duration, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("must be positive, got %v", d)
+	}
+	return d, nil
+}
+
+func parseNonNegDuration(s string) (time.Duration, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("must be non-negative, got %v", d)
+	}
+	return d, nil
+}
+
+func parseNonNegRate(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("must be a finite non-negative rate, got %v", v)
+	}
+	return v, nil
+}
+
+func parseDiurnal(spec *TrafficSpec, val string) error {
+	parts := strings.Split(val, "/")
+	if len(parts) < 2 || len(parts) > 3 {
+		return fmt.Errorf("want amp/period[/phase]")
+	}
+	amp, err := strconv.ParseFloat(parts[0], 64)
+	if err != nil {
+		return err
+	}
+	if amp < 0 || amp > 1 || math.IsNaN(amp) {
+		return fmt.Errorf("amplitude must be in [0,1], got %v", amp)
+	}
+	period, err := parsePositiveDuration(parts[1])
+	if err != nil {
+		return err
+	}
+	phase := 0.0
+	if len(parts) == 3 {
+		phase, err = strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return err
+		}
+		if phase < 0 || phase >= 1 || math.IsNaN(phase) {
+			return fmt.Errorf("phase must be in [0,1), got %v", phase)
+		}
+	}
+	spec.DiurnalAmp, spec.DiurnalPeriod, spec.DiurnalPhase = amp, period, phase
+	return nil
+}
+
+func parseRampClause(spec *TrafficSpec, val string) error {
+	parts := strings.Split(val, "/")
+	if len(parts) != 4 {
+		return fmt.Errorf("want peak/rampup/hold/rampdown")
+	}
+	peak, err := parseNonNegRate(parts[0])
+	if err != nil {
+		return err
+	}
+	up, err := parseNonNegDuration(parts[1])
+	if err != nil {
+		return err
+	}
+	hold, err := parseNonNegDuration(parts[2])
+	if err != nil {
+		return err
+	}
+	down, err := parseNonNegDuration(parts[3])
+	if err != nil {
+		return err
+	}
+	spec.Ramp = &Trapezoid{Peak: peak, RampUp: up, Hold: hold, RampDown: down}
+	return nil
+}
+
+func parseSpikeClause(spec *TrafficSpec, val string) error {
+	sp := Spike{Model: -1}
+	for _, field := range strings.Split(val, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(field), ":")
+		if !ok {
+			return fmt.Errorf("spike field %q is not key:value", field)
+		}
+		var err error
+		switch k {
+		case "at":
+			sp.At, err = parseNonNegDuration(v)
+		case "peak":
+			sp.Peak, err = parseNonNegRate(v)
+		case "ramp":
+			sp.Ramp, err = parseNonNegDuration(v)
+		case "hold":
+			sp.Hold, err = parseNonNegDuration(v)
+		case "decay":
+			sp.Decay, err = parseNonNegDuration(v)
+		case "model":
+			var m int
+			m, err = strconv.Atoi(v)
+			if err == nil && m < 0 {
+				err = fmt.Errorf("model must be >= 0")
+			}
+			sp.Model = m
+		case "tenant":
+			sp.Tenant, err = strconv.ParseInt(v, 10, 64)
+			if err == nil && sp.Tenant <= 0 {
+				err = fmt.Errorf("tenant must be > 0")
+			}
+		default:
+			err = fmt.Errorf("unknown spike field %q", k)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if sp.Peak <= 0 {
+		return fmt.Errorf("spike needs peak > 0")
+	}
+	spec.Spikes = append(spec.Spikes, sp)
+	return nil
+}
+
+func parseRandSpikes(spec *TrafficSpec, val string) error {
+	parts := strings.Split(val, "/")
+	if len(parts) != 3 && len(parts) != 6 {
+		return fmt.Errorf("want n/peakmin/peakmax[/ramp/hold/decay]")
+	}
+	n, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return err
+	}
+	if n <= 0 {
+		return fmt.Errorf("n must be positive")
+	}
+	lo, err := parseNonNegRate(parts[1])
+	if err != nil {
+		return err
+	}
+	hi, err := parseNonNegRate(parts[2])
+	if err != nil {
+		return err
+	}
+	if hi < lo {
+		return fmt.Errorf("peakmax %v < peakmin %v", hi, lo)
+	}
+	rs := RandomSpikes{N: n, PeakMin: lo, PeakMax: hi,
+		Ramp: 15 * time.Second, Hold: 30 * time.Second, Decay: 30 * time.Second}
+	if len(parts) == 6 {
+		if rs.Ramp, err = parseNonNegDuration(parts[3]); err != nil {
+			return err
+		}
+		if rs.Hold, err = parseNonNegDuration(parts[4]); err != nil {
+			return err
+		}
+		if rs.Decay, err = parseNonNegDuration(parts[5]); err != nil {
+			return err
+		}
+	}
+	spec.RandomSpikes = rs
+	return nil
+}
+
+func parseTenants(spec *TrafficSpec, val string) error {
+	parts := strings.Split(val, "/")
+	if len(parts) < 1 || len(parts) > 3 {
+		return fmt.Errorf("want population[/per-model[/churn]]")
+	}
+	pop, err := strconv.ParseInt(parts[0], 10, 64)
+	if err != nil {
+		return err
+	}
+	if pop <= 0 {
+		return fmt.Errorf("population must be positive")
+	}
+	ts := TenantSpec{Population: pop}
+	if len(parts) >= 2 {
+		per, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return err
+		}
+		if per <= 0 {
+			return fmt.Errorf("per-model must be positive")
+		}
+		ts.PerModel = per
+	}
+	if len(parts) == 3 {
+		if ts.Churn, err = parseNonNegDuration(parts[2]); err != nil {
+			return err
+		}
+	}
+	spec.Tenants = ts
+	return nil
+}
+
+func parseMixClause(spec *TrafficSpec, val string) error {
+	parts := strings.Split(val, "/")
+	if len(parts) != 2 {
+		return fmt.Errorf("want kind/nummodels")
+	}
+	kind, err := dist.ParseKind(parts[0])
+	if err != nil {
+		return err
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return err
+	}
+	if n <= 0 {
+		return fmt.Errorf("nummodels must be positive")
+	}
+	spec.Mix = dist.Mix{Phases: []dist.Phase{{Kind: kind, NumModels: n}}}
+	return nil
+}

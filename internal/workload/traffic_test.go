@@ -1,0 +1,353 @@
+package workload
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"punica/internal/dist"
+	"punica/internal/sim"
+)
+
+// trafficDigest hashes a trace byte-for-byte: any drift in arrival
+// times, models, lengths or tenant tags changes the digest.
+func trafficDigest(reqs []Request) string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	for _, r := range reqs {
+		put(r.ID)
+		put(r.Model)
+		put(int64(r.PromptLen))
+		put(int64(r.OutputLen))
+		put(int64(r.Arrival))
+		put(r.Tenant)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func flashCrowdSpec() TrafficSpec {
+	return TrafficSpec{
+		Horizon:       8 * time.Minute,
+		Base:          4,
+		DiurnalAmp:    0.5,
+		DiurnalPeriod: 4 * time.Minute,
+		Spikes: []Spike{{
+			At: 2 * time.Minute, Peak: 30,
+			Ramp: 15 * time.Second, Hold: 45 * time.Second, Decay: 30 * time.Second,
+			Model: 0, Tenant: 1,
+		}},
+		RandomSpikes: RandomSpikes{N: 2, PeakMin: 5, PeakMax: 10,
+			Ramp: 10 * time.Second, Hold: 20 * time.Second, Decay: 20 * time.Second},
+		Tenants: TenantSpec{Population: 1 << 20, PerModel: 4, Churn: 20 * time.Second},
+		Mix:     dist.Mix{Phases: []dist.Phase{{Kind: dist.Skewed, NumModels: 32}}},
+		Seed:    7,
+	}
+}
+
+// TestTrafficGolden pins the full flash-crowd trace to a digest: the
+// traffic engine's arrival process is part of the repo's determinism
+// contract, like consolidate_golden.txt for the engine. Regenerate
+// deliberately (and note it in CHANGES.md) if the generator changes.
+const trafficGoldenDigest = "5cf8353e1944cbec3a7b8bde173b77d4fbc5491e084f3c59e7215d7a44329973"
+
+func genFlashCrowd(t *testing.T) []Request {
+	t.Helper()
+	g := NewGenerator(dist.Skewed, ShareGPTLengths(), 7)
+	reqs := g.Traffic(flashCrowdSpec())
+	if len(reqs) == 0 {
+		t.Fatal("flash-crowd spec produced no requests")
+	}
+	return reqs
+}
+
+func TestTrafficGolden(t *testing.T) {
+	got := trafficDigest(genFlashCrowd(t))
+	if got != trafficGoldenDigest {
+		t.Errorf("traffic golden digest drifted:\n got  %s\n want %s", got, trafficGoldenDigest)
+	}
+}
+
+func TestTrafficDeterministic(t *testing.T) {
+	a, b := genFlashCrowd(t), genFlashCrowd(t)
+	if len(a) != len(b) {
+		t.Fatalf("lengths diverged: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTrafficArrivalsWellFormed(t *testing.T) {
+	spec := flashCrowdSpec()
+	reqs := genFlashCrowd(t)
+	for i, r := range reqs {
+		if r.Arrival < 0 || r.Arrival >= spec.Horizon {
+			t.Fatalf("arrival %v out of horizon", r.Arrival)
+		}
+		if i > 0 && r.Arrival < reqs[i-1].Arrival {
+			t.Fatal("arrivals not sorted")
+		}
+		if r.Tenant <= 0 || r.Tenant > spec.Tenants.Population {
+			t.Fatalf("tenant %d out of [1, %d]", r.Tenant, spec.Tenants.Population)
+		}
+	}
+}
+
+func TestTrafficRateShapes(t *testing.T) {
+	spec := flashCrowdSpec()
+	spec.RandomSpikes = RandomSpikes{} // explicit shapes only
+	// Diurnal trough and peak around the sinusoid (7m is past the
+	// spike's decay, which runs until 3m30s).
+	trough := spec.Rate(7 * time.Minute) // sin(2π·1.75) = -1
+	peak := spec.Rate(1 * time.Minute)   // sin(2π·0.25) = +1
+	if math.Abs(trough-2) > 1e-9 {
+		t.Errorf("diurnal trough rate = %g, want 2", trough)
+	}
+	// The spike holds from 2m15s to 3m; at 1m only the diurnal peak.
+	if math.Abs(peak-6) > 1e-9 {
+		t.Errorf("diurnal peak rate = %g, want 6", peak)
+	}
+	hold := spec.Rate(2*time.Minute + 30*time.Second) // sin(2π·0.625)
+	wantHold := 4*(1+0.5*math.Sin(2*math.Pi*0.625)) + 30
+	if math.Abs(hold-wantHold) > 1e-9 {
+		t.Errorf("spike-hold rate = %g, want %g", hold, wantHold)
+	}
+	if max := spec.MaxRate(); max < hold || max < peak {
+		t.Errorf("MaxRate %g below realized rate", max)
+	}
+	// Rate never negative even with amp > 1.
+	spec.DiurnalAmp = 3
+	for s := 0; s < 480; s++ {
+		if r := spec.Rate(time.Duration(s) * time.Second); r < 0 || math.IsNaN(r) {
+			t.Fatalf("rate(%ds) = %g", s, r)
+		}
+	}
+}
+
+func TestTrafficSpikeTargeting(t *testing.T) {
+	// A pure spike (no background) with model+tenant targeting: every
+	// arrival must carry the whale's tags.
+	spec := TrafficSpec{
+		Horizon: 2 * time.Minute,
+		Spikes: []Spike{{
+			At: 10 * time.Second, Peak: 20,
+			Ramp: 5 * time.Second, Hold: 30 * time.Second, Decay: 10 * time.Second,
+			Model: 3, Tenant: 42,
+		}},
+		Seed: 1,
+	}
+	g := NewGenerator(dist.Skewed, ShareGPTLengths(), 1)
+	reqs := g.Traffic(spec)
+	if len(reqs) == 0 {
+		t.Fatal("spike produced no arrivals")
+	}
+	for _, r := range reqs {
+		if r.Model != 3 || r.Tenant != 42 {
+			t.Fatalf("spike arrival not targeted: model=%d tenant=%d", r.Model, r.Tenant)
+		}
+	}
+}
+
+func TestTrafficTenantChurn(t *testing.T) {
+	// With churn on, the tenant set behind one model must rotate over
+	// the horizon; with churn off it stays fixed at PerModel ids.
+	gather := func(churn time.Duration) map[int64]bool {
+		a := NewTenantAssigner(TenantSpec{Population: 1 << 30, PerModel: 4, Churn: churn}, sim.NewRNG(3))
+		seen := map[int64]bool{}
+		for s := 0; s < 600; s++ {
+			seen[a.TenantFor(5, time.Duration(s)*time.Second)] = true
+		}
+		return seen
+	}
+	static := gather(0)
+	if len(static) != 4 {
+		t.Errorf("churn off: %d distinct tenants, want 4", len(static))
+	}
+	churned := gather(20 * time.Second)
+	if len(churned) <= 8 {
+		t.Errorf("churn on: only %d distinct tenants over 10 min, want rotation", len(churned))
+	}
+}
+
+func TestTenantAssignerInRange(t *testing.T) {
+	a := NewTenantAssigner(TenantSpec{Population: 100, PerModel: 3, Churn: time.Second}, sim.NewRNG(4))
+	for s := 0; s < 1000; s++ {
+		id := a.TenantFor(int64(s%7), time.Duration(s)*33*time.Millisecond)
+		if id < 1 || id > 100 {
+			t.Fatalf("tenant %d out of [1,100]", id)
+		}
+	}
+}
+
+func TestTrafficDefaultsAndEmpty(t *testing.T) {
+	g := NewGenerator(dist.Skewed, ShareGPTLengths(), 5)
+	if got := g.Traffic(TrafficSpec{}); got != nil {
+		t.Fatal("zero spec should produce no requests")
+	}
+	if got := g.Traffic(TrafficSpec{Horizon: time.Minute}); got != nil {
+		t.Fatal("zero-rate spec should produce no requests")
+	}
+	// Default mix: models come from the generator's kind.
+	reqs := g.Traffic(TrafficSpec{Horizon: time.Minute, Base: 5, Seed: 2})
+	if len(reqs) == 0 {
+		t.Fatal("base-only spec produced no requests")
+	}
+	for _, r := range reqs {
+		if r.Tenant < 1 || r.Tenant > DefaultTenantPopulation {
+			t.Fatalf("default-population tenant %d out of range", r.Tenant)
+		}
+	}
+}
+
+func TestParseTrafficSpec(t *testing.T) {
+	spec, err := ParseTrafficSpec("horizon=8m;base=5;diurnal=0.4/4m;ramp=8/1m/2m/1m;" +
+		"spike=at:2m,peak:30,ramp:15s,hold:45s,decay:30s,model:0,tenant:1;" +
+		"rand-spikes=3/5/10;tenants=1000000/4/20s;mix=Skewed/32;seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Horizon != 8*time.Minute || spec.Base != 5 || spec.DiurnalAmp != 0.4 ||
+		spec.DiurnalPeriod != 4*time.Minute {
+		t.Fatalf("background misparsed: %+v", spec)
+	}
+	if spec.Ramp == nil || spec.Ramp.Peak != 8 || spec.Ramp.Hold != 2*time.Minute {
+		t.Fatalf("ramp misparsed: %+v", spec.Ramp)
+	}
+	if len(spec.Spikes) != 1 || spec.Spikes[0].Model != 0 || spec.Spikes[0].Tenant != 1 ||
+		spec.Spikes[0].Peak != 30 {
+		t.Fatalf("spike misparsed: %+v", spec.Spikes)
+	}
+	if spec.RandomSpikes.N != 3 || spec.RandomSpikes.PeakMax != 10 {
+		t.Fatalf("rand-spikes misparsed: %+v", spec.RandomSpikes)
+	}
+	if spec.Tenants.Population != 1_000_000 || spec.Tenants.PerModel != 4 ||
+		spec.Tenants.Churn != 20*time.Second {
+		t.Fatalf("tenants misparsed: %+v", spec.Tenants)
+	}
+	if len(spec.Mix.Phases) != 1 || spec.Mix.Phases[0].Kind != dist.Skewed ||
+		spec.Mix.Phases[0].NumModels != 32 {
+		t.Fatalf("mix misparsed: %+v", spec.Mix)
+	}
+	if spec.Seed != 7 {
+		t.Fatalf("seed misparsed: %d", spec.Seed)
+	}
+}
+
+func TestParseTrafficSpecErrors(t *testing.T) {
+	bad := []string{
+		"",                               // no horizon
+		"horizon=8m",                     // zero rate
+		"horizon=-1m;base=5",             // negative horizon
+		"horizon=8m;base=-3",             // negative rate
+		"horizon=8m;base=NaN",            // non-finite
+		"base",                           // not key=value
+		"horizon=8m;frob=1",              // unknown key
+		"horizon=8m;diurnal=2/4m;base=1", // amp > 1
+		"horizon=8m;base=1;spike=peak:0", // zero-peak spike
+		"horizon=8m;base=1;spike=tenant:-2,peak:5", // negative tenant
+		"horizon=8m;base=1;rand-spikes=0/1/2",      // zero count
+		"horizon=8m;base=1;rand-spikes=2/9/3",      // max < min
+		"horizon=8m;base=1;tenants=0",              // zero population
+		"horizon=8m;base=1;mix=Bogus/4",            // unknown kind
+	}
+	for _, s := range bad {
+		if _, err := ParseTrafficSpec(s); err == nil {
+			t.Errorf("ParseTrafficSpec(%q) should fail", s)
+		}
+	}
+}
+
+func TestParseTrafficSpecRoundTrips(t *testing.T) {
+	// A parsed spec must generate: parse → Traffic is the CLI path.
+	spec, err := ParseTrafficSpec("horizon=2m;base=6;tenants=1000/2/10s;mix=Uniform/8;seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(dist.Skewed, ShareGPTLengths(), 3)
+	reqs := g.Traffic(spec)
+	if len(reqs) == 0 {
+		t.Fatal("parsed spec generated no traffic")
+	}
+	for _, r := range reqs {
+		if r.Model < 0 || r.Model >= 8 {
+			t.Fatalf("model %d outside Uniform/8 population", r.Model)
+		}
+		if r.Tenant < 1 || r.Tenant > 1000 {
+			t.Fatalf("tenant %d outside population", r.Tenant)
+		}
+	}
+}
+
+func TestTrafficPoissonMixUntouched(t *testing.T) {
+	// The traffic engine must not perturb the PoissonMix rng stream:
+	// legacy golden traces replay byte-identically whether or not
+	// traffic.go exists. Guard by checking PoissonMix consumes the same
+	// draws as a hand-rolled thinning loop.
+	mkMix := func() dist.Mix {
+		return dist.Mix{Phases: []dist.Phase{{Length: time.Minute, Kind: dist.Skewed, NumModels: 8}}}
+	}
+	g := NewGenerator(dist.Skewed, ShareGPTLengths(), 21)
+	got := g.PoissonMix(func(time.Duration) float64 { return 4 }, 4, time.Minute, mkMix())
+
+	rng := sim.NewRNG(21)
+	assigner := dist.NewMixAssigner(mkMix(), rng)
+	var want []Request
+	var id int64
+	t0 := time.Duration(0)
+	for {
+		t0 += hwSeconds(rng.Exponential(1.0 / 4))
+		if t0 >= time.Minute {
+			break
+		}
+		if rng.Float64() <= 1 {
+			id++
+			l := ShareGPTLengths()
+			want = append(want, Request{
+				ID: id, Model: int64(assigner.AssignAt(t0)),
+				PromptLen: l.SamplePrompt(rng), OutputLen: l.SampleOutput(rng),
+				Arrival: t0,
+			})
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("PoissonMix stream drifted: %d vs %d arrivals", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("PoissonMix stream drifted at %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTrafficSpecStringless(t *testing.T) {
+	// Clause order must not matter for whitespace/empty clauses.
+	a, err := ParseTrafficSpec("horizon=2m; base=3 ;;seed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Horizon != 2*time.Minute || a.Base != 3 || a.Seed != 1 {
+		t.Fatalf("whitespace handling broke parse: %+v", a)
+	}
+	if !strings.Contains(mustErr(t, "horizon=2m;base=x").Error(), "base") {
+		t.Error("error should name the offending clause")
+	}
+}
+
+func mustErr(t *testing.T, s string) error {
+	t.Helper()
+	_, err := ParseTrafficSpec(s)
+	if err == nil {
+		t.Fatalf("ParseTrafficSpec(%q) should fail", s)
+	}
+	return err
+}

@@ -25,6 +25,12 @@ type Request struct {
 	PromptLen int
 	OutputLen int
 	Arrival   time.Duration
+
+	// Tenant identifies the user the request belongs to. Zero means
+	// untagged — the paper's workloads, which predate the multi-tenant
+	// traffic engine, leave it unset. Traffic-engine traces tag every
+	// request so per-tenant fairness and skew metrics can attribute it.
+	Tenant int64
 }
 
 // TotalTokens returns prompt plus response tokens.

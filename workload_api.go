@@ -71,3 +71,23 @@ func ConstantLengths(prompt, out int) Lengths { return workload.Constant(prompt,
 func NewGenerator(kind Distribution, lengths Lengths, seed int64) *Generator {
 	return workload.NewGenerator(kind, lengths, seed)
 }
+
+// TrafficSpec is the open-loop arrival engine (DESIGN.md §12): a
+// diurnal base rate plus flash-crowd spikes over a phase-scheduled
+// popularity mix, with a seeded, churning tenant population. Feed it
+// to Generator.Traffic; the trace is a pure function of (spec, seed).
+type TrafficSpec = workload.TrafficSpec
+
+// TrafficSpike is one flash crowd: a rate trapezoid (ramp/hold/decay)
+// optionally pinned to a single adapter and tenant.
+type TrafficSpike = workload.Spike
+
+// RandomSpikes draws a seeded plan of flash crowds over the horizon.
+type RandomSpikes = workload.RandomSpikes
+
+// TenantSpec maps adapters to a churning population of tenant ids.
+type TenantSpec = workload.TenantSpec
+
+// ParseTrafficSpec parses the CLI mini-language, e.g.
+// "horizon=8m;base=5;spike=at:2m,peak:30,model:0,tenant:1;mix=Skewed/32;seed=7".
+func ParseTrafficSpec(s string) (TrafficSpec, error) { return workload.ParseTrafficSpec(s) }
