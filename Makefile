@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fmt check bench experiments scale scale-check scale-baseline shuffle fuzz invariants soak traffic-check traffic-baseline
+.PHONY: all build test race vet lint fmt check bench experiments scale scale-check scale-baseline shuffle fuzz invariants soak traffic-check traffic-baseline coldstart-check coldstart-baseline
 
 all: check
 
@@ -20,7 +20,7 @@ shuffle:
 
 # fuzz runs a short smoke of every native fuzz target (segment shapes,
 # batch grouping, workload assignment, KV migration accounting, traffic
-# spec parsing, tenant churn).
+# spec parsing, tenant churn, tier specs).
 fuzz:
 	$(GO) test ./internal/sgmv -run '^$$' -fuzz FuzzSegmentSizes -fuzztime 10s
 	$(GO) test ./internal/sgmv -run '^$$' -fuzz FuzzGroupByModel -fuzztime 10s
@@ -29,6 +29,7 @@ fuzz:
 	$(GO) test ./internal/kvcache -run '^$$' -fuzz FuzzKVMigration -fuzztime 10s
 	$(GO) test ./internal/workload -run '^$$' -fuzz FuzzTrafficSpec -fuzztime 10s
 	$(GO) test ./internal/workload -run '^$$' -fuzz FuzzTenantChurn -fuzztime 10s
+	$(GO) test ./internal/lora -run '^$$' -fuzz FuzzTierSpec -fuzztime 10s
 
 # vet runs the standard toolchain vet plus punica-vet, the repo's own
 # analyzer suite (versionbump, scratchlife, detsim, lockorder,
@@ -108,3 +109,15 @@ traffic-check:
 # intentional scheduler or traffic-engine changes.
 traffic-baseline:
 	$(GO) run ./cmd/punica-bench -json bench/BENCH_traffic.json traffic
+
+# coldstart-check replays the tiered adapter-cache mitigation sweep and
+# fails if throughput or the naive-vs-predist cold-start p99 gain
+# regresses >20% against the committed baseline. The sweep is fully
+# deterministic, so the gate is exact up to the threshold.
+coldstart-check:
+	$(GO) run ./cmd/punica-bench -coldstart-baseline bench/BENCH_coldstart.json -regress-threshold 0.20 coldstart
+
+# coldstart-baseline regenerates the committed cold-start baseline after
+# intentional tier-model or pre-distribution changes.
+coldstart-baseline:
+	$(GO) run ./cmd/punica-bench -json bench/BENCH_coldstart.json coldstart

@@ -5,6 +5,7 @@ import (
 
 	"punica/internal/cluster"
 	"punica/internal/core"
+	"punica/internal/lora"
 	"punica/internal/sched"
 )
 
@@ -108,6 +109,43 @@ func TenantP99(tenants []TenantOutcome, exclude int64) float64 {
 
 // HottestTenant returns the tenant with the most decode tokens.
 func HottestTenant(tenants []TenantOutcome) int64 { return cluster.HottestTenant(tenants) }
+
+// TierSpec describes one staging tier of a tiered adapter store
+// (EngineConfig.Tiers / ClusterConfig.Tiers), bottom-up below HBM: a
+// capacity plus the link that fills it from the tier below. Misses
+// cascade registry → SSD → host RAM → HBM, and HBM evictions demote
+// into the top staging tier instead of being discarded.
+type TierSpec = lora.TierSpec
+
+// TierStats is one tier's hit/miss/promotion/demotion counters after a
+// run (ClusterResult.TierStats, bottom tier first, HBM row last).
+type TierStats = lora.TierStats
+
+// ParseTierSpec parses the CLI tier mini-language, e.g.
+// "ssd:64GiB@2GiB/s,ram:16GiB@8GiB/s+20us" — per tier a name, a
+// capacity, a fill bandwidth, and an optional link latency.
+func ParseTierSpec(s string) ([]TierSpec, error) { return lora.ParseTierSpec(s) }
+
+// FormatTierSpecs renders tier specs back into ParseTierSpec syntax.
+func FormatTierSpecs(specs []TierSpec) string { return lora.FormatTierSpecs(specs) }
+
+// MergeTierStats accumulates per-run tier counters index-wise — the
+// exact merge cells and multi-cluster rollups use.
+func MergeTierStats(a, b []TierStats) []TierStats { return lora.MergeTierStats(a, b) }
+
+// ParseBytes parses a byte size with a unit suffix ("64GiB", "500MB") —
+// the size syntax tier clauses and the pre-distribution budget use.
+func ParseBytes(s string) (int64, error) { return lora.ParseBytes(s) }
+
+// PreDistConfig enables the predictive pre-distribution daemon
+// (ClusterConfig.PreDist): a periodic tick that reads the workload's
+// popularity-drift and spike signals and stages the adapters predicted
+// to be hot into every GPU's host-RAM tier ahead of demand, within a
+// per-tick byte budget.
+type PreDistConfig = cluster.PreDistConfig
+
+// DefaultPreDistInterval paces the daemon when Interval is unset.
+const DefaultPreDistInterval = cluster.DefaultPreDistInterval
 
 // Scheduler is Punica's cluster scheduler (§5.1): largest-working-set
 // routing with FCFS queueing, migration and scale hints, behind a

@@ -8,7 +8,7 @@
 // Experiments: fig1 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 headline
 // loading ablation-norm ablation-maxbatch ablation-pagesize
 // ablation-prefill ablation-migration ablation-quant autoscale policies
-// faults disagg traffic soak scale all
+// faults disagg traffic coldstart soak scale all
 package main
 
 import (
@@ -45,6 +45,8 @@ var (
 	regressFlag  = flag.Float64("regress-threshold", 0.20, "scale: fractional events/sec drop vs -baseline that fails the run")
 
 	trafficBaselineFlag = flag.String("traffic-baseline", "", "traffic: committed BENCH_traffic.json to gate against; the run fails if throughput, the off/on stall-skew ratio, or the tail-p99 gain regresses past -regress-threshold")
+
+	coldstartBaselineFlag = flag.String("coldstart-baseline", "", "coldstart: committed BENCH_coldstart.json to gate against; the run fails if throughput or the naive-vs-predist cold-start p99 gain regresses past -regress-threshold")
 
 	soakHorizonFlag = flag.Duration("soak-horizon", 0, "soak: override the simulated horizon (default 2h)")
 )
@@ -344,6 +346,30 @@ func run(name string) error {
 		if err := checkTrafficBaseline(experiments.TrafficRecords(points)); err != nil {
 			return err
 		}
+	case "coldstart":
+		// The default sweep is pinned (seed and all) so the committed
+		// BENCH_coldstart.json baseline reproduces exactly; only an
+		// explicit -seed overrides it.
+		var copts experiments.ColdStartOptions
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "seed" {
+				copts.Seed = *seedFlag
+			}
+		})
+		points, err := experiments.ColdStart(copts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatColdStart(points))
+		benchRecords = append(benchRecords, experiments.ColdStartRecords(points)...)
+		if err := writeCSV(func(w io.Writer) error {
+			return experiments.ColdStartCSV(w, points)
+		}); err != nil {
+			return err
+		}
+		if err := checkColdStartBaseline(experiments.ColdStartRecords(points)); err != nil {
+			return err
+		}
 	case "soak":
 		res, err := experiments.Soak(experiments.SoakOptions{
 			Horizon: *soakHorizonFlag, Seed: *seedFlag,
@@ -407,6 +433,39 @@ func checkTrafficBaseline(current []experiments.BenchRecord) error {
 	}
 	fmt.Fprintf(os.Stderr, "baseline check passed: no throughput/skew-ratio/tail-p99-gain regression past %.0f%% vs %s\n",
 		100**regressFlag, *trafficBaselineFlag)
+	return nil
+}
+
+// checkColdStartBaseline gates the cold-start sweep against a committed
+// baseline when -coldstart-baseline is set. Two metrics gate: raw
+// throughput on every run row, and the naive-vs-predist cold-start p99
+// gain — the number pre-distribution + overlap are accountable for.
+func checkColdStartBaseline(current []experiments.BenchRecord) error {
+	if *coldstartBaselineFlag == "" {
+		return nil
+	}
+	f, err := os.Open(*coldstartBaselineFlag)
+	if err != nil {
+		return fmt.Errorf("-coldstart-baseline: %w", err)
+	}
+	defer f.Close()
+	baseline, err := experiments.ReadBenchJSON(f)
+	if err != nil {
+		return fmt.Errorf("-coldstart-baseline %s: %w", *coldstartBaselineFlag, err)
+	}
+	var errs []error
+	for _, metric := range []string{"throughput_tok_s", "cold_p99_gain"} {
+		errs = append(errs, experiments.CompareBaseline(baseline, current, metric, *regressFlag)...)
+	}
+	for _, e := range errs {
+		fmt.Fprintln(os.Stderr, "regression:", e)
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("%d coldstart metric(s) regressed past %.0f%% vs %s",
+			len(errs), 100**regressFlag, *coldstartBaselineFlag)
+	}
+	fmt.Fprintf(os.Stderr, "baseline check passed: no throughput/cold-p99-gain regression past %.0f%% vs %s\n",
+		100**regressFlag, *coldstartBaselineFlag)
 	return nil
 }
 
@@ -478,6 +537,7 @@ func usage() {
 		allExperiments)
 	fmt.Fprintf(os.Stderr, "plus: scale (control-plane scale sweep; excluded from 'all' — the full grid runs 1M-request traces)\n")
 	fmt.Fprintf(os.Stderr, "plus: traffic (flash-crowd fairness sweep, gated by -traffic-baseline) and soak (hours-long everything-at-once run; -soak-horizon shortens it) — both excluded from 'all'\n")
+	fmt.Fprintf(os.Stderr, "plus: coldstart (tiered adapter-cache mitigation sweep, gated by -coldstart-baseline) — excluded from 'all'\n")
 	flag.PrintDefaults()
 }
 

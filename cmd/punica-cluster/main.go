@@ -18,6 +18,7 @@ import (
 	"punica/internal/dist"
 	"punica/internal/experiments"
 	"punica/internal/hw"
+	"punica/internal/lora"
 	"punica/internal/models"
 	"punica/internal/sched"
 	"punica/internal/workload"
@@ -51,14 +52,31 @@ func main() {
 	storeAdapters := flag.Int("store-adapters", 0,
 		"with -traffic: cap each GPU's adapter store to this many resident adapters (0 = HBM-derived default)")
 	maxBatch := flag.Int("max-batch", 0, "with -traffic: batch-size cap (0 = paper default)")
+	tiers := flag.String("tiers", "",
+		"with -traffic: staged adapter tiers below HBM, bottom-up, e.g.\n\"ssd:64GiB@2GiB/s,ram:16GiB@8GiB/s+20us\" (empty = flat HBM store)")
+	overlap := flag.Bool("overlap", false,
+		"with -traffic: overlap a stalled queue head's adapter load with the running prefill")
+	predistBudget := flag.String("predist-budget", "",
+		"with -traffic and -tiers: enable predictive pre-distribution with this\nper-tick byte budget, e.g. \"1GiB\" (\"0B\" predicts but stages nothing)")
+	predistInterval := flag.Duration("predist-interval", cluster.DefaultPreDistInterval,
+		"pre-distribution tick interval")
 	flag.Parse()
 
 	if _, err := sched.PolicyByName(*policy, sched.PolicyConfig{}); err != nil {
 		log.Fatal(err)
 	}
+	if *traffic == "" && (*tiers != "" || *overlap || *predistBudget != "") {
+		log.Fatal("-tiers, -overlap and -predist-budget require -traffic")
+	}
 	start := time.Now()
 	if *traffic != "" {
-		if err := runTraffic(*traffic, *gpus, *maxBatch, *storeAdapters, *fairness, *seed); err != nil {
+		topts := tierOptions{
+			tiers:           *tiers,
+			overlap:         *overlap,
+			predistBudget:   *predistBudget,
+			predistInterval: *predistInterval,
+		}
+		if err := runTraffic(*traffic, *gpus, *maxBatch, *storeAdapters, *fairness, *seed, topts); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("(ran in %v of wall time)\n", time.Since(start).Round(time.Millisecond))
@@ -176,10 +194,19 @@ func main() {
 		res.Horizon.Round(time.Second), time.Since(start).Round(time.Millisecond))
 }
 
+// tierOptions bundles the tiered-adapter-cache flags runTraffic wires
+// into the cluster config.
+type tierOptions struct {
+	tiers           string
+	overlap         bool
+	predistBudget   string
+	predistInterval time.Duration
+}
+
 // runTraffic replays an open-loop traffic spec (-traffic) against a
 // fresh cluster and prints the run summary plus the per-tenant view the
 // fairness layer (-fairness) is accountable for.
-func runTraffic(specStr string, gpus, maxBatch, storeAdapters int, fairness bool, seed int64) error {
+func runTraffic(specStr string, gpus, maxBatch, storeAdapters int, fairness bool, seed int64, topts tierOptions) error {
 	spec, err := workload.ParseTrafficSpec(specStr)
 	if err != nil {
 		return err
@@ -212,6 +239,26 @@ func runTraffic(specStr string, gpus, maxBatch, storeAdapters int, fairness bool
 	if storeAdapters > 0 {
 		cfg.Engine.LoRAStoreBytes = int64(storeAdapters) * model.LoRABytes(models.DefaultLoRARank)
 	}
+	cfg.Tiers, err = lora.ParseTierSpec(topts.tiers)
+	if err != nil {
+		return err
+	}
+	cfg.Overlap = topts.overlap
+	if topts.predistBudget != "" {
+		if len(cfg.Tiers) == 0 {
+			return fmt.Errorf("-predist-budget requires -tiers")
+		}
+		budget, err := lora.ParseBytes(topts.predistBudget)
+		if err != nil {
+			return fmt.Errorf("-predist-budget: %w", err)
+		}
+		cfg.PreDist = &cluster.PreDistConfig{
+			Interval:    topts.predistInterval,
+			BudgetBytes: budget,
+			Mix:         spec.Mix,
+			Spikes:      spec.Spikes,
+		}
+	}
 	res, err := cluster.New(cfg).Run(trace)
 	if err != nil {
 		return err
@@ -228,6 +275,21 @@ func runTraffic(specStr string, gpus, maxBatch, storeAdapters int, fairness bool
 		res.EndToEnd.Percentile(50), res.EndToEnd.Percentile(99))
 	fmt.Printf("  adapter stalls %d  queue peak %d  migrations %d  evictions %d\n",
 		res.AdapterStalls, res.QueuePeak, res.Migrations, res.Evictions)
+	if len(res.TierStats) > 0 {
+		fmt.Println("  adapter tiers (tier hits misses promo demo bytes-in):")
+		for _, ts := range res.TierStats {
+			fmt.Printf("    %-5s %-8d %-8d %-6d %-6d %d\n",
+				ts.Tier, ts.Hits, ts.Misses, ts.Promotions, ts.Demotions, ts.BytesIn)
+		}
+		fmt.Printf("  cold starts %d  p50 %.1fms  p99 %.1fms",
+			res.ColdStart.Count(), res.ColdStart.Percentile(50)*1e3,
+			res.ColdStart.Percentile(99)*1e3)
+		if cfg.PreDist != nil {
+			fmt.Printf("  predist bytes %d  promotions %d",
+				res.PreDistBytes, res.PreDistPromotions)
+		}
+		fmt.Println()
+	}
 	if len(res.Tenants) == 0 {
 		return nil
 	}

@@ -16,6 +16,7 @@ import (
 
 	"punica/internal/core"
 	"punica/internal/hw"
+	"punica/internal/lora"
 	"punica/internal/models"
 	"punica/internal/remote"
 )
@@ -28,6 +29,8 @@ func main() {
 	rank := flag.Int("rank", models.DefaultLoRARank, "LoRA rank")
 	roleName := flag.String("role", "unified",
 		"disaggregation role: unified, prefill or decode")
+	tiers := flag.String("tiers", "",
+		"staged adapter tiers below HBM, bottom-up, e.g.\n\"ssd:64GiB@2GiB/s,ram:16GiB@8GiB/s+20us\" (empty = flat HBM store)")
 	flag.Parse()
 
 	model, err := models.ByName(*modelName)
@@ -38,12 +41,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	tierSpecs, err := lora.ParseTierSpec(*tiers)
+	if err != nil {
+		log.Fatal(err)
+	}
 	r := remote.NewRunner(*uuid, core.Config{
 		System: core.PunicaSystem(),
 		GPU:    hw.A100(),
 		Model:  model,
 		Rank:   *rank,
 		Role:   role,
+		Tiers:  tierSpecs,
 	}, *speedup)
 	defer r.Close()
 

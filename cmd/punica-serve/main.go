@@ -21,6 +21,7 @@ import (
 
 	"punica/internal/core"
 	"punica/internal/hw"
+	"punica/internal/lora"
 	"punica/internal/models"
 	"punica/internal/remote"
 	"punica/internal/sched"
@@ -43,9 +44,15 @@ func main() {
 		"disaggregate in-process serving: prefill-pool size (use with -decode-gpus)")
 	decodeGPUs := flag.Int("decode-gpus", 0,
 		"disaggregate in-process serving: decode-pool size (use with -prefill-gpus)")
+	tiers := flag.String("tiers", "",
+		"staged adapter tiers below HBM, bottom-up, e.g.\n\"ssd:64GiB@2GiB/s,ram:16GiB@8GiB/s+20us\" (empty = flat HBM store)")
 	flag.Parse()
 
 	model, err := models.ByName(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tierSpecs, err := lora.ParseTierSpec(*tiers)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,6 +84,7 @@ func main() {
 		Policy:      *policy,
 		PrefillGPUs: *prefillGPUs,
 		DecodeGPUs:  *decodeGPUs,
+		Tiers:       tierSpecs,
 	})
 	defer srv.Close()
 

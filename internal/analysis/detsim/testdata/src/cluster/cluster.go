@@ -1,0 +1,84 @@
+// Package cluster is a fixture inside the deterministic envelope
+// modeled on the pre-distribution daemon: the tick predicts a set of
+// adapters and stages them fleet-wide, and every part of that cycle
+// must replay bit-for-bit from a seed — prediction sets may not be
+// materialised in map order, budgets may not accumulate in float map
+// order, and the tick's notion of "now" comes from the virtual clock,
+// never the wall clock.
+package cluster
+
+import (
+	"sort"
+	"time"
+)
+
+// VClock is the injected virtual clock the tick reads.
+type VClock interface{ Now() time.Duration }
+
+// GPU is one runner the daemon stages adapters onto.
+type GPU struct{ Moved int64 }
+
+// Prewarm models engine.PrewarmAdapter.
+func (g *GPU) Prewarm(id int) int64 {
+	g.Moved++
+	return int64(id)
+}
+
+// BadPredictedFromMap materialises the predicted adapter set by
+// iterating a popularity map: staging order — and therefore which
+// adapters fit the byte budget — would vary per process.
+func BadPredictedFromMap(hot map[int]float64) []int {
+	var out []int
+	for id := range hot {
+		out = append(out, id) // want `append to out inside map iteration`
+	}
+	return out
+}
+
+// GoodPredictedSorted gathers then sorts: the staging order is fixed
+// regardless of map iteration order.
+func GoodPredictedSorted(hot map[int]float64) []int {
+	var out []int
+	for id := range hot {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// BadBudgetAccum charges a float byte budget in map order: rounding
+// differs run to run.
+func BadBudgetAccum(moved map[int]float64) float64 {
+	var spent float64
+	for _, m := range moved {
+		spent += m // want `floating-point accumulation inside map iteration`
+	}
+	return spent
+}
+
+// GoodTick is the deterministic tick shape: virtual clock for "now",
+// predictions as an ordered slice, GPUs walked in index order, and an
+// integer budget cut off at the same byte on every run.
+func GoodTick(clock VClock, predicted []int, gpus []*GPU, budget int64) int64 {
+	_ = clock.Now()
+	var staged int64
+	for _, id := range predicted {
+		if budget <= 0 {
+			break
+		}
+		for _, g := range gpus {
+			moved := g.Prewarm(id)
+			budget -= moved
+			staged += moved
+			if budget <= 0 {
+				break
+			}
+		}
+	}
+	return staged
+}
+
+// BadTickWallClock paces the daemon off the wall clock.
+func BadTickWallClock() time.Time {
+	return time.Now() // want `deterministic package calls time\.Now`
+}

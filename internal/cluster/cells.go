@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"punica/internal/core"
+	"punica/internal/lora"
 	"punica/internal/metrics"
 	"punica/internal/sim"
 	"punica/internal/workload"
@@ -316,6 +317,10 @@ func (m *MultiCluster) merge(results []*Result) *Result {
 		out.KVMigratedBytes += r.KVMigratedBytes
 		out.KVMigrationFallbacks += r.KVMigrationFallbacks
 		out.AdapterPrefetches += r.AdapterPrefetches
+		out.TierStats = lora.MergeTierStats(out.TierStats, r.TierStats)
+		out.ColdStart.Merge(&r.ColdStart)
+		out.PreDistBytes += r.PreDistBytes
+		out.PreDistPromotions += r.PreDistPromotions
 		if r.QueuePeak > out.QueuePeak {
 			out.QueuePeak = r.QueuePeak
 		}

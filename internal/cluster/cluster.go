@@ -59,6 +59,20 @@ type Config struct {
 	// to every engine and to rank-aware policy construction); nil keeps
 	// the paper's uniform Engine.Rank.
 	AdapterRank func(lora.ModelID) int
+
+	// Tiers places the staging hierarchy (node SSD, host RAM, …)
+	// between the adapter registry and every GPU's HBM store (forwarded
+	// to Engine.Tiers). Empty keeps the flat single-link adapter path.
+	Tiers []lora.TierSpec
+	// Overlap enables the scheduler's CaraServe-style prefetch: a
+	// stalled queue head's adapter stages on its best-ranked candidate
+	// while running requests compute (sched.Scheduler.OverlapPrefetch).
+	Overlap bool
+	// PreDist enables the predictive pre-distribution daemon: a
+	// periodic tick that promotes the adapters the popularity signals
+	// say are about to get hot into host RAM ahead of demand, within a
+	// per-tick byte budget. Requires Tiers; nil disables.
+	PreDist *PreDistConfig
 }
 
 // Result aggregates a run.
@@ -188,6 +202,22 @@ type Result struct {
 	// throughput: 1.0 is perfectly even, 1/n is one tenant taking
 	// everything.
 	JainFairness float64
+
+	// Tiered-adapter-path outcomes (Config.Tiers). All zero/empty for
+	// flat-store runs.
+	//
+	// TierStats aggregates per-tier hit/miss/promotion/demotion
+	// counters across the fleet, bottom tier first, ending with the
+	// synthetic "hbm" row. ColdStart is the distribution of adapter
+	// load completions relative to request admission (seconds), one
+	// sample per HBM-missing Acquire — staged registry/SSD/RAM hops
+	// included, so long-tail cold starts are priced honestly.
+	// PreDistBytes and PreDistPromotions account the pre-distribution
+	// daemon's work.
+	TierStats         []lora.TierStats
+	ColdStart         metrics.Histogram
+	PreDistBytes      int64
+	PreDistPromotions int64
 }
 
 // TenantOutcome aggregates one tenant's service over a run.
@@ -209,7 +239,10 @@ type Cluster struct {
 	gpus  []*runner
 	byGPU map[*sched.GPU]*runner
 
-	res          Result
+	res Result
+	// predistBuf is the pre-distribution daemon's reusable prediction
+	// list (predistTick).
+	predistBuf   []lora.ModelID
 	arrivalsLeft int
 	scale        *autoscaler
 	runErr       error
@@ -289,6 +322,7 @@ func New(cfg Config) *Cluster {
 		ec.OnToken = c.noteToken
 		ec.OnFinish = nil
 		ec.AdapterRank = cfg.AdapterRank
+		ec.Tiers = cfg.Tiers
 		ec.Role = cfg.roleOf(i)
 		eng := core.NewEngine(ec)
 		g := &sched.GPU{UUID: fmt.Sprintf("gpu-%02d", i), Engine: eng, Role: ec.Role}
@@ -307,6 +341,7 @@ func New(cfg Config) *Cluster {
 	}
 	c.sched = sched.NewWithPolicy(gpus, policy)
 	c.sched.SetFairness(cfg.Fairness)
+	c.sched.OverlapPrefetch = cfg.Overlap
 	c.res.BatchSeries = make([]metrics.TimeSeries, cfg.NumGPUs)
 	if cfg.Autoscale != nil {
 		c.setupAutoscale(*cfg.Autoscale)
@@ -375,6 +410,12 @@ func (c *Cluster) start(reqs []workload.Request) {
 	if c.cfg.Faults != nil {
 		c.scheduleFaults(c.cfg.Faults)
 	}
+	if c.cfg.PreDist != nil && len(c.cfg.Tiers) > 0 {
+		// First tick at t=0: the daemon warms the fleet at deployment
+		// time, before the first arrival, so the initial hot set is not
+		// charged a full registry cascade.
+		c.clock.Schedule(0, c.predistTick)
+	}
 }
 
 // finalize aggregates engine statistics into the Result, enforces the
@@ -399,6 +440,10 @@ func (c *Cluster) finalize() (*Result, error) {
 				return nil, fmt.Errorf("cluster: gpu %s leaked %d pinned adapter bytes",
 					r.gpu.UUID, store.PinnedBytes())
 			}
+		}
+		if tiers := r.eng.Tiers(); tiers != nil {
+			c.res.TierStats = lora.MergeTierStats(c.res.TierStats, tiers.Stats())
+			c.res.ColdStart.Merge(tiers.ColdStarts())
 		}
 		if kv := r.eng.KV(); kv.UsedPages() != 0 || kv.Sequences() != 0 {
 			return nil, fmt.Errorf("cluster: gpu %s leaked %d KvCache pages (%d sequences) at quiescence",

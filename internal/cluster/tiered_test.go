@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"punica/internal/dist"
+	"punica/internal/hw"
+	"punica/internal/lora"
+	"punica/internal/models"
+	"punica/internal/workload"
+)
+
+// tieredEngineConfig is punicaEngineConfig with an ssd+ram staging
+// hierarchy and an HBM store tight enough (4 adapters) that demotion
+// traffic actually happens under a Skewed trace.
+func tieredEngineConfig(hbmAdapters int) (cfg Config) {
+	bytes := models.Llama2_7B().LoRABytes(models.DefaultLoRARank)
+	cfg.Engine = punicaEngineConfig()
+	cfg.Engine.LoRAStoreBytes = int64(hbmAdapters) * bytes
+	cfg.Tiers = []lora.TierSpec{
+		{Name: "ssd", CapacityBytes: 64 * bytes,
+			Link: hw.Link{Name: "ssd", Bandwidth: 2e9, Latency: time.Millisecond}},
+		{Name: "ram", CapacityBytes: 24 * bytes,
+			Link: hw.Link{Name: "ram", Bandwidth: 8e9, Latency: 100 * time.Microsecond}},
+	}
+	return cfg
+}
+
+// driftTrace is an open-loop trace whose hot set rotates mid-run and
+// takes a model-targeted spike — the signals the pre-distribution
+// daemon predicts from.
+func driftTrace(seed int64) ([]workload.Request, workload.TrafficSpec) {
+	spec := workload.TrafficSpec{
+		Horizon: 60 * time.Second,
+		Base:    4,
+		Spikes: []workload.Spike{{
+			At: 30 * time.Second, Peak: 10,
+			Ramp: 3 * time.Second, Hold: 10 * time.Second, Decay: 5 * time.Second,
+			Model: 40, Tenant: 1,
+		}},
+		Mix: dist.Mix{Phases: []dist.Phase{
+			{Length: 30 * time.Second, Kind: dist.Skewed, NumModels: 16},
+			{Kind: dist.Skewed, NumModels: 16, Offset: 16},
+		}},
+		Tenants: workload.TenantSpec{Population: 16, PerModel: 2},
+		Seed:    seed,
+	}
+	gen := workload.NewGenerator(dist.Skewed, workload.ShareGPTLengths(), seed)
+	return gen.Traffic(spec), spec
+}
+
+func TestTieredClusterReportsStats(t *testing.T) {
+	cfg := tieredEngineConfig(4)
+	cfg.NumGPUs = 4
+	cfg.MigrationInterval = 10 * time.Second
+	trace, _ := driftTrace(3)
+	res, err := New(cfg).Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finished != int64(len(trace)) {
+		t.Fatalf("finished %d/%d", res.Finished, len(trace))
+	}
+	if len(res.TierStats) != 3 {
+		t.Fatalf("tier stats rows = %d, want ssd/ram/hbm", len(res.TierStats))
+	}
+	ssd, ram, hbm := res.TierStats[0], res.TierStats[1], res.TierStats[2]
+	if ssd.Tier != "ssd" || ram.Tier != "ram" || hbm.Tier != "hbm" {
+		t.Fatalf("tier order: %s,%s,%s", ssd.Tier, ram.Tier, hbm.Tier)
+	}
+	if ssd.Misses == 0 || ssd.BytesIn == 0 {
+		t.Fatalf("no registry pulls recorded: %+v", ssd)
+	}
+	if res.ColdStart.Count() == 0 {
+		t.Fatal("no cold starts recorded on a cold fleet")
+	}
+	if hbm.Demotions == 0 {
+		t.Fatalf("no HBM demotions under a 4-slot store: %+v", hbm)
+	}
+	if ram.Hits == 0 {
+		t.Fatal("demoted adapters never re-hit RAM")
+	}
+	// Flat-store runs must not report tier rows.
+	flat := cfg
+	flat.Tiers = nil
+	flatRes, err := New(flat).Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flatRes.TierStats) != 0 || flatRes.ColdStart.Count() != 0 {
+		t.Fatal("flat run reported tier stats")
+	}
+}
+
+func TestPreDistStagesAheadOfDemand(t *testing.T) {
+	trace, spec := driftTrace(5)
+	// HBM holds a whole phase's hot set: cold starts are then genuine
+	// first touches (registry-cold without pre-distribution) rather
+	// than thrash re-promotions, so the p99 comparison isolates what
+	// the daemon actually changes.
+	base := tieredEngineConfig(16)
+	base.NumGPUs = 4
+
+	run := func(pd *PreDistConfig) *Result {
+		cfg := base
+		cfg.PreDist = pd
+		res, err := New(cfg).Run(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	naive := run(nil)
+	predist := run(&PreDistConfig{
+		Interval:    500 * time.Millisecond,
+		Lead:        2 * time.Second,
+		BudgetBytes: 64 << 30,
+		TopK:        16,
+		Mix:         spec.Mix,
+		Spikes:      spec.Spikes,
+	})
+	if predist.PreDistBytes == 0 || predist.PreDistPromotions == 0 {
+		t.Fatalf("daemon moved nothing: bytes=%d promotions=%d",
+			predist.PreDistBytes, predist.PreDistPromotions)
+	}
+	// Pre-staged adapters turn registry+SSD cold starts into RAM hits.
+	ramHits := func(r *Result) int64 { return r.TierStats[1].Hits }
+	if ramHits(predist) <= ramHits(naive) {
+		t.Fatalf("pre-distribution did not raise RAM hits: %d vs naive %d",
+			ramHits(predist), ramHits(naive))
+	}
+	p99 := func(r *Result) float64 { return r.ColdStart.Percentile(99) }
+	if p99(predist) >= p99(naive) {
+		t.Fatalf("cold-start p99 did not improve: %.4fs vs naive %.4fs",
+			p99(predist), p99(naive))
+	}
+	// Budget 0 predicts but stages nothing — the naive baseline knob.
+	zero := run(&PreDistConfig{Interval: 500 * time.Millisecond, Mix: spec.Mix})
+	if zero.PreDistBytes != 0 {
+		t.Fatalf("zero-budget daemon moved %d bytes", zero.PreDistBytes)
+	}
+}
+
+// tieredDigest extends the cells digest with the tier counters the
+// merge must add exactly.
+func tieredDigest(m *MultiCluster, res *Result) string {
+	var b strings.Builder
+	b.WriteString(multiDigest(m, res))
+	for _, ts := range res.TierStats {
+		fmt.Fprintf(&b, "tier %s hits=%d misses=%d promo=%d demo=%d in=%d\n",
+			ts.Tier, ts.Hits, ts.Misses, ts.Promotions, ts.Demotions, ts.BytesIn)
+	}
+	fmt.Fprintf(&b, "coldstart{%s} predistBytes=%d predistPromos=%d prefetches=%d\n",
+		res.ColdStart.Summary(), res.PreDistBytes, res.PreDistPromotions, res.AdapterPrefetches)
+	return b.String()
+}
+
+// TestCellsTieredDeterministicAcrossWorkers: satellite guarantee that a
+// tiered + overlap + pre-distribution run merges byte-identically for
+// any worker count — TierStats counter addition and ColdStart histogram
+// merge included.
+func TestCellsTieredDeterministicAcrossWorkers(t *testing.T) {
+	trace, spec := driftTrace(9)
+	base := tieredEngineConfig(4)
+	base.NumGPUs = 8
+	base.Overlap = true
+	base.PreDist = &PreDistConfig{
+		Interval:    time.Second,
+		Lead:        2 * time.Second,
+		BudgetBytes: 16 << 30,
+		TopK:        8,
+		Mix:         spec.Mix,
+		Spikes:      spec.Spikes,
+	}
+	cfg := CellsConfig{Base: base, Cells: 4, Workers: 1, SpillThreshold: 4}
+	m, res := runCells(t, cfg, trace)
+	want := tieredDigest(m, res)
+	if len(res.TierStats) != 3 {
+		t.Fatalf("merged tier rows = %d", len(res.TierStats))
+	}
+	if res.ColdStart.Count() == 0 {
+		t.Fatal("merged cold-start histogram empty")
+	}
+	for _, workers := range []int{2, 4} {
+		cfg.Workers = workers
+		m, res = runCells(t, cfg, trace)
+		if got := tieredDigest(m, res); got != want {
+			t.Fatalf("workers=%d tiered digest diverged:\n--- want ---\n%s--- got ---\n%s",
+				workers, want, got)
+		}
+	}
+}

@@ -120,6 +120,13 @@ type Config struct {
 	PageSize int
 	// LoRAStoreBytes overrides the adapter cache size when > 0.
 	LoRAStoreBytes int64
+	// Tiers, when non-empty, places the staging hierarchy (node SSD,
+	// host RAM, …) between the adapter registry and the HBM store:
+	// cold adapters cascade down the tiers at each tier's link cost and
+	// HBM evictions demote into the top tier instead of discarding.
+	// Empty keeps the flat single-link store, byte-identical to before
+	// tiers existed.
+	Tiers []lora.TierSpec
 	// HostOverhead overrides the per-invocation host cost when > 0.
 	HostOverhead time.Duration
 

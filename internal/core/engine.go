@@ -31,6 +31,7 @@ type Engine struct {
 	costs layer.Costs
 	kv    *kvcache.Pool
 	store *lora.Store
+	tiers *lora.TieredStore // nil unless cfg.Tiers configured
 	reg   *lora.Registry
 
 	pending []*Request // FCFS queue (sorted by arrival, then id)
@@ -139,6 +140,9 @@ func NewEngine(cfg Config) *Engine {
 		e.reg = lora.NewRegistry(cfg.Model, cfg.Rank)
 		e.reg.RankFor = cfg.AdapterRank
 		e.store = lora.NewStore(e.reg, hw.PCIeGen4x16(), int64(cfg.tp())*cfg.loraStoreBytes())
+		if len(cfg.Tiers) > 0 {
+			e.tiers = lora.NewTieredStore(e.store, cfg.Tiers)
+		}
 	}
 	return e
 }
@@ -155,6 +159,20 @@ func (e *Engine) KV() *kvcache.Pool { return e.kv }
 
 // Store exposes the adapter store (nil for backbone-only systems).
 func (e *Engine) Store() *lora.Store { return e.store }
+
+// Tiers exposes the tiered staging hierarchy wrapping the store, or nil
+// when the engine runs the flat single-link adapter path.
+func (e *Engine) Tiers() *lora.TieredStore { return e.tiers }
+
+// acquireAdapter pins an adapter through the tiered hierarchy when one
+// is configured, or straight from the flat store otherwise. The
+// returned time includes every staging hop a cold adapter crossed.
+func (e *Engine) acquireAdapter(id lora.ModelID, now time.Duration) (time.Duration, error) {
+	if e.tiers != nil {
+		return e.tiers.Acquire(id, now)
+	}
+	return e.store.Acquire(id, now)
+}
 
 // Stats returns a snapshot of accumulated counters.
 func (e *Engine) Stats() Stats { return e.stats }
@@ -173,8 +191,27 @@ func (e *Engine) PrefetchAdapter(id lora.ModelID, now time.Duration) bool {
 		return false
 	}
 	e.version++
+	if e.tiers != nil {
+		_, ok := e.tiers.Prefetch(id, now)
+		return ok
+	}
 	_, ok := e.store.Prefetch(id, now)
 	return ok
+}
+
+// PrewarmAdapter stages an adapter into host RAM without touching HBM —
+// the pre-distribution daemon's hook. It returns the bytes moved across
+// tiers (the daemon's budget currency); 0 when the engine has no tiers
+// or the adapter is already warm.
+func (e *Engine) PrewarmAdapter(id lora.ModelID, now time.Duration) int64 {
+	if e.tiers == nil {
+		return 0
+	}
+	moved, ok := e.tiers.Prewarm(id, now)
+	if !ok {
+		return 0
+	}
+	return moved
 }
 
 // WorkingSet returns the number of requests assigned to this engine
@@ -277,7 +314,7 @@ func (e *Engine) Enqueue(r *Request, now time.Duration) error {
 		r.AdmittedAt = now
 	}
 	if e.cfg.System.LoRA != LoRANone && !r.hasLoRA {
-		ready, err := e.store.Acquire(r.Model, now)
+		ready, err := e.acquireAdapter(r.Model, now)
 		if err != nil {
 			return fmt.Errorf("core: adapter %d: %w", r.Model, err)
 		}

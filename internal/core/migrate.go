@@ -99,7 +99,7 @@ func (e *Engine) ImportKV(h KVHandle, now time.Duration) error {
 	}
 	var loraReady time.Duration
 	if e.cfg.System.LoRA != LoRANone && !r.hasLoRA {
-		ready, err := e.store.Acquire(r.Model, now)
+		ready, err := e.acquireAdapter(r.Model, now)
 		if err != nil {
 			return fmt.Errorf("core: adapter %d: %w", r.Model, err)
 		}

@@ -88,3 +88,20 @@ func (ma *MixAssigner) AssignAt(t time.Duration) int {
 	}
 	return ma.mix.Phases[i].Offset + ma.assigners[i].Assign()
 }
+
+// PhaseAt returns the phase covering simulated time t. Times past the
+// schedule fall into the final phase, mirroring AssignAt; ok is false
+// only for an empty (invalid) mix.
+func (m Mix) PhaseAt(t time.Duration) (Phase, bool) {
+	if len(m.Phases) == 0 {
+		return Phase{}, false
+	}
+	var at time.Duration
+	for i, p := range m.Phases {
+		at += p.Length
+		if t < at || i == len(m.Phases)-1 {
+			return p, true
+		}
+	}
+	return m.Phases[len(m.Phases)-1], true
+}

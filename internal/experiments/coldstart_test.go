@@ -1,0 +1,48 @@
+package experiments
+
+import "testing"
+
+// TestColdStartGain pins the headline acceptance claim: on the default
+// sweep, pre-distribution + overlap cut the long-tail cold-start p99 at
+// least 3x versus the naive tiered baseline over the same seeded trace.
+func TestColdStartGain(t *testing.T) {
+	points, err := ColdStart(ColdStartOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 5 {
+		t.Fatalf("sweep rows = %d, want naive + overlap + 3 budgets", len(points))
+	}
+	if points[0].Name != "naive" || points[1].Name != "overlap" {
+		t.Fatalf("row order: %s, %s", points[0].Name, points[1].Name)
+	}
+	for _, p := range points {
+		if p.ColdStarts == 0 {
+			t.Fatalf("%s: no cold starts on a cold tiered fleet", p.Name)
+		}
+	}
+	naive := points[0]
+	for _, p := range points[2:] {
+		if p.PreDistBytes == 0 {
+			t.Fatalf("%s: daemon moved nothing", p.Name)
+		}
+		if p.RAMHitRate <= naive.RAMHitRate {
+			t.Fatalf("%s: RAM hit rate %.2f did not beat naive %.2f",
+				p.Name, p.RAMHitRate, naive.RAMHitRate)
+		}
+	}
+	if gain := ColdStartGain(points); gain < 3 {
+		t.Fatalf("cold-start p99 gain %.2fx, want >= 3x (naive p99 %.1fms)",
+			gain, naive.ColdP99*1e3)
+	}
+	// Determinism: identical knobs replay to identical digests.
+	again, err := ColdStart(ColdStartOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range points {
+		if points[i].Digest != again[i].Digest {
+			t.Fatalf("%s: digest drifted across identical runs", points[i].Name)
+		}
+	}
+}

@@ -147,7 +147,9 @@ func TestStorePinnedAdaptersSurvive(t *testing.T) {
 		t.Fatal("acquire should fail when all residents are pinned")
 	}
 	s.Release(1)
-	if _, err := s.Acquire(3, 0); err != nil {
+	// Once adapter 1's load has completed it is evictable; mid-transfer
+	// it would not be (in-flight copies cannot be cancelled).
+	if _, err := s.Acquire(3, time.Second); err != nil {
 		t.Fatalf("acquire after release: %v", err)
 	}
 	if s.Resident(1) {

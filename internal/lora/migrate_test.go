@@ -104,7 +104,9 @@ func TestCanAcquireAgreesWithAcquireDuringMigration(t *testing.T) {
 	if !dst.CanAcquire(1) {
 		t.Fatal("CanAcquire false with an evictable resident")
 	}
-	if _, err := dst.Acquire(1, 0); err != nil {
+	// Evaluate after resident loads have completed: an in-flight entry
+	// is not evictable, and CanAcquire does not model transfer timing.
+	if _, err := dst.Acquire(1, time.Second); err != nil {
 		t.Fatalf("Acquire failed where CanAcquire said true: %v", err)
 	}
 	dst.Release(1)
@@ -157,11 +159,12 @@ func TestPrefetchLoadsWithoutPinning(t *testing.T) {
 	}
 	s.Release(5)
 
-	// Unpinned prefetched entries are evictable under pressure.
-	if _, err := s.Acquire(6, 0); err != nil {
+	// Unpinned prefetched entries are evictable under pressure once
+	// their transfer has completed.
+	if _, err := s.Acquire(6, time.Second); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Acquire(7, 0); err != nil {
+	if _, err := s.Acquire(7, 2*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	if s.Resident(5) {

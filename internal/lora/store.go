@@ -43,6 +43,14 @@ type Store struct {
 	adaptersCache []AdapterState
 	adaptersDirty bool
 
+	// OnEvict, when set, observes every capacity eviction after the
+	// victim has been removed: its id, rank and byte size. The tiered
+	// store registers a hook here to demote evicted adapters into host
+	// RAM instead of discarding them; nil (the default) discards
+	// silently — the flat §5.3 behaviour, byte-identical to before the
+	// hook existed.
+	OnEvict func(id ModelID, rank int, bytes int64)
+
 	// Stats observed since creation.
 	Hits      int64
 	Misses    int64
@@ -100,7 +108,7 @@ func (s *Store) Acquire(id ModelID, now time.Duration) (time.Duration, error) {
 	s.Misses++
 	m := s.reg.Ensure(id)
 	bytes := m.Bytes()
-	if err := s.makeRoom(bytes); err != nil {
+	if err := s.makeRoom(bytes, now); err != nil {
 		return 0, err
 	}
 	readyAt := now + s.link.TransferTime(bytes)
@@ -134,7 +142,7 @@ func (s *Store) Prefetch(id ModelID, now time.Duration) (time.Duration, bool) {
 	}
 	m := s.reg.Ensure(id)
 	bytes := m.Bytes()
-	if err := s.makeRoom(bytes); err != nil {
+	if err := s.makeRoom(bytes, now); err != nil {
 		return 0, false
 	}
 	readyAt := now + s.link.TransferTime(bytes)
@@ -235,12 +243,12 @@ func (s *Store) PinnedBytes() int64 { return s.pinned }
 // Len returns the number of resident adapters.
 func (s *Store) Len() int { return len(s.entries) }
 
-func (s *Store) makeRoom(need int64) error {
+func (s *Store) makeRoom(need int64, now time.Duration) error {
 	if need > s.capacity {
 		return fmt.Errorf("lora: adapter of %d bytes exceeds store capacity %d", need, s.capacity)
 	}
 	for s.used+need > s.capacity {
-		victim := s.oldestUnpinned()
+		victim := s.oldestEvictable(now)
 		if victim == nil {
 			return fmt.Errorf("lora: %w (%d/%d bytes resident, %d pinned)",
 				ErrStoreFull, s.used, s.capacity, s.pinned)
@@ -250,6 +258,9 @@ func (s *Store) makeRoom(need int64) error {
 		s.used -= victim.bytes
 		s.Evictions++
 		s.adaptersDirty = true
+		if s.OnEvict != nil {
+			s.OnEvict(victim.id, victim.rank, victim.bytes)
+		}
 	}
 	s.checkAccounting("makeRoom")
 	return nil
@@ -280,10 +291,16 @@ func (s *Store) checkAccounting(op string) {
 	}
 }
 
-func (s *Store) oldestUnpinned() *entry {
+// oldestEvictable returns the least recently used entry that is neither
+// pinned nor still loading. An in-flight copy cannot be cancelled, and
+// discarding it mid-transfer double-charges the link: a Prefetch
+// immediately followed by an Acquire of the same id must pay the
+// remaining load time, never a restarted full transfer — so entries with
+// readyAt in the future are not eviction victims.
+func (s *Store) oldestEvictable(now time.Duration) *entry {
 	for el := s.lru.Back(); el != nil; el = el.Prev() {
 		e := el.Value.(*entry)
-		if e.refs == 0 {
+		if e.refs == 0 && e.readyAt <= now {
 			return e
 		}
 	}

@@ -1,0 +1,387 @@
+package lora
+
+import (
+	"container/list"
+	"time"
+
+	"punica/internal/hw"
+	"punica/internal/invariant"
+	"punica/internal/metrics"
+)
+
+// TierSpec describes one staging tier between the adapter registry and
+// GPU HBM — node SSD and host RAM in the canonical deployment. Tiers
+// are listed bottom (nearest the registry) to top (adjacent to HBM).
+// Link models the cost of copying an adapter INTO this tier from the
+// tier below it; the registry itself is infinite and always warm, and
+// the final hop into HBM uses the wrapped Store's own (PCIe) link. So
+// `ssd:64GiB@2GiB/s,ram:16GiB@8GiB/s` prices a full registry pull at
+// ssd.Link + ram.Link + PCIe.
+type TierSpec struct {
+	Name          string
+	CapacityBytes int64
+	Link          hw.Link
+}
+
+// TierStats is the observable counter set for one tier, reported
+// bottom-to-top with a final synthetic "hbm" row for the wrapped Store.
+//
+//   - Hits/Misses: staging lookups resolved at this tier vs cascaded
+//     past it toward the registry.
+//   - Promotions: adapters copied up OUT of this tier because a lookup
+//     found them here (for the top tier this includes promotion into
+//     HBM).
+//   - Demotions: adapters pushed down OUT of this tier by capacity
+//     pressure (for the bottom tier the destination is the registry,
+//     i.e. the bytes are dropped; for the "hbm" row these are the
+//     Store evictions the tiered path caught and demoted).
+//   - BytesIn: bytes transferred into this tier from below (registry
+//     pulls and promotions; demotions from above are not charged — the
+//     copy already lives on the node).
+type TierStats struct {
+	Tier          string `json:"tier"`
+	Hits          int64  `json:"hits"`
+	Misses        int64  `json:"misses"`
+	Promotions    int64  `json:"promotions"`
+	Demotions     int64  `json:"demotions"`
+	BytesIn       int64  `json:"bytes_in"`
+	UsedBytes     int64  `json:"used_bytes"`
+	CapacityBytes int64  `json:"capacity_bytes"`
+}
+
+// Accumulate adds o's counters into s. Usage/capacity sum too: in a
+// fleet-wide aggregate they read as total fleet bytes per tier.
+func (s *TierStats) Accumulate(o TierStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Promotions += o.Promotions
+	s.Demotions += o.Demotions
+	s.BytesIn += o.BytesIn
+	s.UsedBytes += o.UsedBytes
+	s.CapacityBytes += o.CapacityBytes
+}
+
+// MergeTierStats accumulates b into a by tier position, growing a as
+// needed. Counter addition is exact (int64), so cell-sharded runs merge
+// to the same totals for any worker count.
+func MergeTierStats(a, b []TierStats) []TierStats {
+	for i, ts := range b {
+		if i < len(a) {
+			a[i].Accumulate(ts)
+		} else {
+			a = append(a, ts)
+		}
+	}
+	return a
+}
+
+type tierEntry struct {
+	id      ModelID
+	bytes   int64
+	readyAt time.Duration
+	elem    *list.Element
+}
+
+type tier struct {
+	spec    TierSpec
+	used    int64
+	entries map[ModelID]*tierEntry
+	lru     *list.List // front = most recently used
+	stats   TierStats
+}
+
+// TieredStore implements the full adapter path the paper's single-link
+// model elides: registry → node SSD → host RAM → GPU HBM. The wrapped
+// Store is the HBM tier and keeps sole authority over pinning; the
+// staging tiers below it hold unpinned copies with their own LRU
+// eviction. A miss cascades down the hierarchy, paying each tier's link
+// in sequence, so cold starts are priced honestly; an HBM eviction is
+// demoted into the top staging tier (free — the copy already crossed
+// PCIe once) instead of discarded, so the next touch pays one PCIe hop,
+// not a registry pull.
+//
+// Residency discipline: the top staging tier and HBM are exclusive (an
+// adapter promoted into HBM is removed from host RAM, matching a
+// move-based cudaMemcpy staging buffer), while lower tiers are
+// inclusive (the SSD keeps its copy when RAM is populated). Pinning
+// exists only in HBM, and the Store never evicts pinned entries, so
+// pinned adapters are structurally never demoted.
+type TieredStore struct {
+	hbm   *Store
+	reg   *Registry
+	tiers []*tier // bottom (index 0) → top (adjacent to HBM)
+
+	// hbmDemotions counts Store evictions caught by the demotion hook;
+	// it feeds the synthetic "hbm" row of Stats.
+	hbmDemotions int64
+
+	// coldStarts records (ready − now) in seconds for every Acquire
+	// that missed HBM — the cold-start latency distribution, staged
+	// cost included.
+	coldStarts metrics.Histogram
+}
+
+// NewTieredStore wraps hbm with the staging hierarchy specs, bottom to
+// top, and installs the demote-on-evict hook. Specs must be non-empty
+// with positive capacities.
+func NewTieredStore(hbm *Store, specs []TierSpec) *TieredStore {
+	if len(specs) == 0 {
+		panic("lora: tiered store needs at least one staging tier")
+	}
+	t := &TieredStore{hbm: hbm, reg: hbm.reg}
+	for _, sp := range specs {
+		if sp.CapacityBytes <= 0 {
+			panic("lora: tier capacity must be positive: " + sp.Name)
+		}
+		t.tiers = append(t.tiers, &tier{
+			spec:    sp,
+			entries: make(map[ModelID]*tierEntry),
+			lru:     list.New(),
+			stats:   TierStats{Tier: sp.Name, CapacityBytes: sp.CapacityBytes},
+		})
+	}
+	hbm.OnEvict = t.demoteFromHBM
+	return t
+}
+
+// HBM returns the wrapped GPU-resident Store.
+func (t *TieredStore) HBM() *Store { return t.hbm }
+
+// Acquire pins adapter id at simulation time now, staging it through
+// the hierarchy first if it is not already in HBM, and returns the time
+// the weights are usable on the GPU. The returned time includes every
+// tier hop the adapter had to cross, so a registry-cold long-tail
+// adapter reports its full multi-second cold start.
+func (t *TieredStore) Acquire(id ModelID, now time.Duration) (time.Duration, error) {
+	if t.hbm.Resident(id) {
+		return t.hbm.Acquire(id, now)
+	}
+	avail := t.stage(id, now)
+	ready, err := t.hbm.Acquire(id, avail)
+	if err != nil {
+		// HBM is pin-saturated; the adapter stays staged in the top
+		// tier, so the retry after backpressure clears is warm.
+		return 0, err
+	}
+	t.promoteOutOfTop(id)
+	t.coldStarts.Add((ready - now).Seconds())
+	t.checkTiers("Acquire")
+	return ready, nil
+}
+
+// Prefetch stages adapter id and starts its HBM load without pinning,
+// mirroring Store.Prefetch semantics: best-effort, no backpressure. It
+// reports acceptance only if the HBM tier took the weights; a refusal
+// still leaves the adapter staged in host RAM, which is harmless
+// warmth.
+func (t *TieredStore) Prefetch(id ModelID, now time.Duration) (time.Duration, bool) {
+	if t.hbm.Resident(id) {
+		return t.hbm.Prefetch(id, now)
+	}
+	avail := t.stage(id, now)
+	ready, ok := t.hbm.Prefetch(id, avail)
+	if ok {
+		t.promoteOutOfTop(id)
+	}
+	t.checkTiers("Prefetch")
+	return ready, ok
+}
+
+// Release unpins one HBM reference on adapter id.
+func (t *TieredStore) Release(id ModelID) { t.hbm.Release(id) }
+
+// Prewarm stages adapter id into the top tier (host RAM) without
+// touching HBM — the pre-distribution daemon's primitive. It returns
+// the total bytes transferred across tier hops (the daemon's budget
+// currency) and whether any staging happened; an adapter already warm
+// in the top tier or HBM costs nothing.
+func (t *TieredStore) Prewarm(id ModelID, now time.Duration) (int64, bool) {
+	if t.hbm.Resident(id) {
+		return 0, false
+	}
+	top := t.tiers[len(t.tiers)-1]
+	if _, ok := top.entries[id]; ok {
+		return 0, false
+	}
+	moved := t.stageBytes(id, now)
+	t.checkTiers("Prewarm")
+	return moved, moved > 0
+}
+
+// TierOf reports where adapter id currently resides: "hbm", a staging
+// tier's name (highest tier wins — lower inclusive copies are not
+// reported), or "" when only the registry holds it.
+func (t *TieredStore) TierOf(id ModelID) string {
+	if t.hbm.Resident(id) {
+		return "hbm"
+	}
+	for i := len(t.tiers) - 1; i >= 0; i-- {
+		if _, ok := t.tiers[i].entries[id]; ok {
+			return t.tiers[i].spec.Name
+		}
+	}
+	return ""
+}
+
+// Stats returns per-tier counters bottom-to-top, with a final synthetic
+// "hbm" row built from the wrapped Store's own counters.
+func (t *TieredStore) Stats() []TierStats {
+	out := make([]TierStats, 0, len(t.tiers)+1)
+	for _, ti := range t.tiers {
+		ts := ti.stats
+		ts.UsedBytes = ti.used
+		out = append(out, ts)
+	}
+	out = append(out, TierStats{
+		Tier:          "hbm",
+		Hits:          t.hbm.Hits,
+		Misses:        t.hbm.Misses,
+		Demotions:     t.hbmDemotions,
+		BytesIn:       t.hbm.BytesIn,
+		UsedBytes:     t.hbm.UsedBytes(),
+		CapacityBytes: t.hbm.CapacityBytes(),
+	})
+	return out
+}
+
+// ColdStarts returns the cold-start latency histogram: one sample, in
+// seconds, per Acquire that missed HBM.
+func (t *TieredStore) ColdStarts() *metrics.Histogram { return &t.coldStarts }
+
+// stage ensures adapter id is present in the top tier and returns the
+// time its bytes are available there (now if already staged and ready).
+func (t *TieredStore) stage(id ModelID, now time.Duration) time.Duration {
+	avail, _ := t.stageFrom(id, now)
+	return avail
+}
+
+// stageBytes is stage reporting transferred bytes instead of time.
+func (t *TieredStore) stageBytes(id ModelID, now time.Duration) int64 {
+	_, moved := t.stageFrom(id, now)
+	return moved
+}
+
+func (t *TieredStore) stageFrom(id ModelID, now time.Duration) (time.Duration, int64) {
+	bytes := t.reg.Ensure(id).Bytes()
+	// Find the highest tier already holding the adapter.
+	src := -1
+	avail := now // the registry is always warm
+	for i := len(t.tiers) - 1; i >= 0; i-- {
+		ti := t.tiers[i]
+		if e, ok := ti.entries[id]; ok {
+			ti.stats.Hits++
+			ti.lru.MoveToFront(e.elem)
+			if e.readyAt > avail {
+				avail = e.readyAt
+			}
+			src = i
+			break
+		}
+		ti.stats.Misses++
+	}
+	if src >= 0 && src < len(t.tiers)-1 {
+		// Found below the top: the copy is about to move up.
+		t.tiers[src].stats.Promotions++
+	}
+	var moved int64
+	for j := src + 1; j < len(t.tiers); j++ {
+		ti := t.tiers[j]
+		avail += ti.spec.Link.TransferTime(bytes)
+		if bytes > ti.spec.CapacityBytes {
+			// Oversized for this tier: streamed through, never resident.
+			continue
+		}
+		ti.insert(t, j, id, bytes, avail, true)
+		moved += bytes
+	}
+	return avail, moved
+}
+
+// promoteOutOfTop removes adapter id from the top staging tier after a
+// successful HBM load, keeping top-tier/HBM residency exclusive. A
+// missing entry is fine: the adapter may have been squeezed out by a
+// concurrent demotion cascade while its HBM copy was being admitted.
+func (t *TieredStore) promoteOutOfTop(id ModelID) {
+	top := t.tiers[len(t.tiers)-1]
+	e, ok := top.entries[id]
+	if !ok {
+		return
+	}
+	top.lru.Remove(e.elem)
+	delete(top.entries, id)
+	top.used -= e.bytes
+	top.stats.Promotions++
+}
+
+// demoteFromHBM is the Store.OnEvict hook: an HBM eviction lands in the
+// top staging tier instead of vanishing. The copy already exists on the
+// host side of PCIe, so the demotion is immediate (readyAt 0) and free
+// (no BytesIn charge).
+func (t *TieredStore) demoteFromHBM(id ModelID, _ int, bytes int64) {
+	t.hbmDemotions++
+	top := len(t.tiers) - 1
+	if bytes > t.tiers[top].spec.CapacityBytes {
+		return
+	}
+	t.tiers[top].insert(t, top, id, bytes, 0, false)
+}
+
+// insert places (or refreshes) id in tier idx, evicting LRU victims
+// down the hierarchy as needed. fromBelow marks an upward transfer
+// (charged to BytesIn); demotions from above are free.
+func (ti *tier) insert(t *TieredStore, idx int, id ModelID, bytes int64, readyAt time.Duration, fromBelow bool) {
+	if e, ok := ti.entries[id]; ok {
+		// Inclusive lower-tier copy already present: refresh recency,
+		// keep the earlier availability.
+		ti.lru.MoveToFront(e.elem)
+		if readyAt < e.readyAt {
+			e.readyAt = readyAt
+		}
+		return
+	}
+	for ti.used+bytes > ti.spec.CapacityBytes {
+		victim := ti.lru.Back().Value.(*tierEntry)
+		ti.lru.Remove(victim.elem)
+		delete(ti.entries, victim.id)
+		ti.used -= victim.bytes
+		ti.stats.Demotions++
+		if idx > 0 {
+			t.tiers[idx-1].insert(t, idx-1, victim.id, victim.bytes, victim.readyAt, false)
+		}
+	}
+	e := &tierEntry{id: id, bytes: bytes, readyAt: readyAt}
+	e.elem = ti.lru.PushFront(e)
+	ti.entries[id] = e
+	ti.used += bytes
+	if fromBelow {
+		ti.stats.BytesIn += bytes
+	}
+}
+
+// checkTiers verifies the tier conservation invariants under the
+// punica_invariants build: per-tier byte ledgers match the entry maps
+// and respect capacity, and the top tier never shares an adapter with
+// HBM. Compiled out otherwise.
+func (t *TieredStore) checkTiers(op string) {
+	if !invariant.Enabled {
+		return
+	}
+	for i, ti := range t.tiers {
+		var used int64
+		for _, e := range ti.entries {
+			used += e.bytes
+		}
+		if used != ti.used || ti.used > ti.spec.CapacityBytes || ti.used < 0 {
+			invariant.Failf("lora: tier %q ledger drift after %s: entries=%d used=%d capacity=%d",
+				ti.spec.Name, op, used, ti.used, ti.spec.CapacityBytes)
+		}
+		if i == len(t.tiers)-1 {
+			for id := range ti.entries {
+				if t.hbm.Resident(id) {
+					invariant.Failf("lora: adapter %d resident in both %q and hbm after %s",
+						id, ti.spec.Name, op)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,359 @@
+package lora
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"punica/internal/hw"
+	"punica/internal/models"
+)
+
+// testTiers builds an ssd+ram hierarchy with round-number links so the
+// staging arithmetic in assertions is exact.
+func testTiers(adapterBytes int64, ssdSlots, ramSlots int64) []TierSpec {
+	return []TierSpec{
+		{Name: "ssd", CapacityBytes: ssdSlots * adapterBytes,
+			Link: hw.Link{Name: "ssd", Bandwidth: 2e9, Latency: time.Millisecond}},
+		{Name: "ram", CapacityBytes: ramSlots * adapterBytes,
+			Link: hw.Link{Name: "ram", Bandwidth: 8e9, Latency: 100 * time.Microsecond}},
+	}
+}
+
+func newTieredForTest(t *testing.T, hbmSlots, ssdSlots, ramSlots int64) (*TieredStore, int64) {
+	t.Helper()
+	reg := NewRegistry(models.Llama2_7B(), 16)
+	bytes := reg.Ensure(0).Bytes()
+	hbm := NewStore(reg, hw.PCIeGen4x16(), hbmSlots*bytes)
+	return NewTieredStore(hbm, testTiers(bytes, ssdSlots, ramSlots)), bytes
+}
+
+// Satellite regression: a Prefetch immediately followed by an Acquire
+// of the same id before the load completes must return the remaining
+// load time, never restart the full transfer — even when capacity
+// pressure from other adapters would otherwise have evicted the
+// in-flight entry mid-copy.
+func TestPrefetchAcquireOverlapNotDoubleCharged(t *testing.T) {
+	reg := NewRegistry(models.Llama2_7B(), 16)
+	bytes := reg.Ensure(0).Bytes()
+	s := NewStore(reg, hw.PCIeGen4x16(), 2*bytes)
+
+	// Adapter 2 loads first and finishes.
+	r2, err := s.Acquire(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Release(2)
+
+	// Adapter 1 is prefetched after 2's load completes and is still in
+	// flight below.
+	start := r2
+	r1, ok := s.Prefetch(1, start)
+	if !ok {
+		t.Fatal("prefetch refused")
+	}
+	// Touch 2 so the in-flight adapter 1 sits at the LRU tail — the
+	// position the old code would have evicted from.
+	mid := start + (r1-start)/2
+	if _, err := s.Acquire(2, mid); err != nil {
+		t.Fatal(err)
+	}
+	s.Release(2)
+
+	// Adapter 3 needs room mid-flight: the victim must be the idle
+	// adapter 2, not the loading adapter 1.
+	if _, err := s.Acquire(3, mid); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Resident(1) {
+		t.Fatal("in-flight prefetched adapter was evicted mid-transfer")
+	}
+	if s.Resident(2) {
+		t.Fatal("expected the idle adapter to be the eviction victim")
+	}
+
+	// The Acquire overlapping the prefetch pays only the remainder.
+	got, err := s.Acquire(1, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r1 {
+		t.Fatalf("overlapped acquire ready at %v, want prefetch completion %v", got, r1)
+	}
+	if want := 3 * bytes; s.BytesIn != want {
+		t.Fatalf("BytesIn = %d, want %d (adapter 1 charged once)", s.BytesIn, want)
+	}
+}
+
+// When every potential victim is still loading, the store reports
+// transient backpressure instead of cancelling an in-flight copy.
+func TestInFlightEntriesNotEvictable(t *testing.T) {
+	reg := NewRegistry(models.Llama2_7B(), 16)
+	bytes := reg.Ensure(0).Bytes()
+	s := NewStore(reg, hw.PCIeGen4x16(), bytes)
+
+	if _, ok := s.Prefetch(1, 0); !ok {
+		t.Fatal("prefetch refused")
+	}
+	ready, _ := s.Prefetch(1, 0)
+	if _, err := s.Acquire(2, ready/2); !errors.Is(err, ErrStoreFull) {
+		t.Fatalf("acquire during sole in-flight load: err = %v, want ErrStoreFull", err)
+	}
+	// Once the load completes the entry is evictable again.
+	if _, err := s.Acquire(2, ready); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTieredColdStartStagesThroughHierarchy(t *testing.T) {
+	ts, bytes := newTieredForTest(t, 4, 8, 4)
+
+	ready, err := ts.Acquire(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Registry-cold: ssd hop + ram hop + PCIe hop, each latency+size/bw.
+	ssd := time.Millisecond + hw.Seconds(float64(bytes)/2e9)
+	ram := 100*time.Microsecond + hw.Seconds(float64(bytes)/8e9)
+	pcie := hw.PCIeGen4x16().TransferTime(bytes)
+	want := ssd + ram + pcie
+	if ready != want {
+		t.Fatalf("cold acquire ready at %v, want %v (ssd %v + ram %v + pcie %v)",
+			ready, want, ssd, ram, pcie)
+	}
+
+	// The adapter left an inclusive copy on SSD, moved out of RAM into
+	// HBM, and the cold start was recorded.
+	if got := ts.TierOf(1); got != "hbm" {
+		t.Fatalf("TierOf = %q, want hbm", got)
+	}
+	stats := ts.Stats()
+	if stats[0].Tier != "ssd" || stats[1].Tier != "ram" || stats[2].Tier != "hbm" {
+		t.Fatalf("stats order = %q,%q,%q", stats[0].Tier, stats[1].Tier, stats[2].Tier)
+	}
+	if stats[0].Misses != 1 || stats[0].BytesIn != bytes {
+		t.Fatalf("ssd stats = %+v", stats[0])
+	}
+	if stats[1].Promotions != 1 || stats[1].UsedBytes != 0 {
+		t.Fatalf("ram stats = %+v (adapter should have moved into hbm)", stats[1])
+	}
+	if ts.ColdStarts().Count() != 1 {
+		t.Fatalf("cold starts = %d, want 1", ts.ColdStarts().Count())
+	}
+
+	// Warm acquire: straight from HBM, no staging, no new cold sample.
+	ts.Release(1)
+	ready2, err := ts.Acquire(1, ready)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ready2 != ready {
+		t.Fatalf("warm acquire ready at %v, want %v", ready2, ready)
+	}
+	if ts.ColdStarts().Count() != 1 {
+		t.Fatal("warm acquire must not record a cold start")
+	}
+}
+
+func TestTieredEvictionDemotesToRAM(t *testing.T) {
+	ts, _ := newTieredForTest(t, 1, 8, 4)
+
+	if _, err := ts.Acquire(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	ts.Release(1)
+	// Adapter 2 forces adapter 1 out of the single-slot HBM: it must
+	// land in RAM, not evaporate.
+	if _, err := ts.Acquire(2, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := ts.TierOf(1); got != "ram" {
+		t.Fatalf("evicted adapter in %q, want ram", got)
+	}
+	stats := ts.Stats()
+	if hbm := stats[len(stats)-1]; hbm.Demotions != 1 {
+		t.Fatalf("hbm demotions = %d, want 1", hbm.Demotions)
+	}
+
+	// Re-acquiring 1 pays only the PCIe hop — the RAM copy is warm.
+	ts.Release(2)
+	now := 2 * time.Second
+	ready, err := ts.Acquire(1, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytes := ts.HBM().reg.Ensure(1).Bytes()
+	if want := now + hw.PCIeGen4x16().TransferTime(bytes); ready != want {
+		t.Fatalf("demoted re-acquire ready at %v, want %v (one PCIe hop)", ready, want)
+	}
+	if ram := ts.Stats()[1]; ram.Hits != 1 {
+		t.Fatalf("ram hits = %d, want 1", ram.Hits)
+	}
+}
+
+func TestTieredPrewarm(t *testing.T) {
+	ts, bytes := newTieredForTest(t, 4, 8, 4)
+
+	// Registry-cold prewarm moves bytes into ssd and ram.
+	moved, ok := ts.Prewarm(7, 0)
+	if !ok || moved != 2*bytes {
+		t.Fatalf("prewarm moved %d ok=%v, want %d", moved, ok, 2*bytes)
+	}
+	if got := ts.TierOf(7); got != "ram" {
+		t.Fatalf("prewarmed adapter in %q, want ram", got)
+	}
+	// Idempotent: already staged.
+	if moved, ok := ts.Prewarm(7, 0); ok || moved != 0 {
+		t.Fatalf("second prewarm moved %d ok=%v, want 0 false", moved, ok)
+	}
+
+	// An acquire after the prewarm completes pays only PCIe.
+	now := 10 * time.Second
+	ready, err := ts.Acquire(7, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := now + hw.PCIeGen4x16().TransferTime(bytes); ready != want {
+		t.Fatalf("prewarmed acquire ready at %v, want %v", ready, want)
+	}
+}
+
+func TestTieredPrefetchStagesAndPromotes(t *testing.T) {
+	ts, bytes := newTieredForTest(t, 4, 8, 4)
+
+	ready, ok := ts.Prefetch(3, 0)
+	if !ok {
+		t.Fatal("prefetch refused")
+	}
+	if got := ts.TierOf(3); got != "hbm" {
+		t.Fatalf("prefetched adapter in %q, want hbm", got)
+	}
+	// Acquire overlapping the staged prefetch pays the remainder only.
+	got, err := ts.Acquire(3, ready/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ready {
+		t.Fatalf("overlapped tiered acquire ready at %v, want %v", got, ready)
+	}
+	if ts.HBM().BytesIn != bytes {
+		t.Fatalf("hbm BytesIn = %d, want one adapter %d", ts.HBM().BytesIn, bytes)
+	}
+}
+
+func TestTieredStoreFullBackpressureKeepsStaging(t *testing.T) {
+	ts, _ := newTieredForTest(t, 1, 8, 4)
+
+	if _, err := ts.Acquire(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	// HBM pin-saturated: acquire fails with backpressure but the
+	// staging work is retained, so the retry is RAM-warm.
+	if _, err := ts.Acquire(2, time.Second); !errors.Is(err, ErrStoreFull) {
+		t.Fatalf("err = %v, want ErrStoreFull", err)
+	}
+	if got := ts.TierOf(2); got != "ram" {
+		t.Fatalf("backpressured adapter in %q, want ram", got)
+	}
+	ts.Release(1)
+	if _, err := ts.Acquire(2, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ram := ts.Stats()[1]; ram.Hits != 1 {
+		t.Fatalf("retry should hit ram, stats = %+v", ram)
+	}
+}
+
+func TestMergeTierStats(t *testing.T) {
+	a := []TierStats{{Tier: "ssd", Hits: 1, BytesIn: 10}, {Tier: "ram", Misses: 2}}
+	b := []TierStats{{Tier: "ssd", Hits: 2, Demotions: 1}, {Tier: "ram", Promotions: 3}, {Tier: "hbm", Hits: 5}}
+	got := MergeTierStats(a, b)
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	if got[0].Hits != 3 || got[0].BytesIn != 10 || got[0].Demotions != 1 {
+		t.Fatalf("ssd merge = %+v", got[0])
+	}
+	if got[1].Misses != 2 || got[1].Promotions != 3 {
+		t.Fatalf("ram merge = %+v", got[1])
+	}
+	if got[2].Hits != 5 {
+		t.Fatalf("hbm merge = %+v", got[2])
+	}
+}
+
+// Tier conservation property: under seeded random acquire / release /
+// prefetch / prewarm churn, an adapter is resident in at most one of
+// RAM (top tier) and HBM, per-tier bytes never exceed capacity, and
+// pinned adapters are never demoted out of HBM. Run with -race and
+// -tags punica_invariants for the full checking (checkTiers fires on
+// every operation there).
+func TestTierConservationProperty(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		rng := rand.New(rand.NewSource(seed))
+		ts, bytes := newTieredForTest(t, 3, 12, 5)
+		const adapters = 24
+		pins := map[ModelID]int{}
+		now := time.Duration(0)
+		for step := 0; step < 4000; step++ {
+			now += time.Duration(rng.Intn(3_000)) * time.Microsecond
+			id := ModelID(rng.Intn(adapters))
+			switch rng.Intn(4) {
+			case 0:
+				if _, err := ts.Acquire(id, now); err == nil {
+					pins[id]++
+				} else if !errors.Is(err, ErrStoreFull) {
+					t.Fatalf("seed %d step %d: %v", seed, step, err)
+				}
+			case 1:
+				if pins[id] > 0 {
+					ts.Release(id)
+					pins[id]--
+				}
+			case 2:
+				ts.Prefetch(id, now)
+			case 3:
+				ts.Prewarm(id, now)
+			}
+
+			// Pinned adapters stay in HBM: pinning is HBM-only and the
+			// store never evicts pinned entries, so a demotion of a
+			// pinned adapter is impossible.
+			for id, n := range pins {
+				if n > 0 && ts.TierOf(id) != "hbm" {
+					t.Fatalf("seed %d step %d: pinned adapter %d demoted to %q",
+						seed, step, id, ts.TierOf(id))
+				}
+			}
+			// Byte ledgers within capacity, exclusivity between top
+			// tier and HBM.
+			stats := ts.Stats()
+			for _, s := range stats {
+				if s.UsedBytes < 0 || s.UsedBytes > s.CapacityBytes {
+					t.Fatalf("seed %d step %d: tier %s used %d outside [0,%d]",
+						seed, step, s.Tier, s.UsedBytes, s.CapacityBytes)
+				}
+				if s.UsedBytes%bytes != 0 {
+					t.Fatalf("seed %d step %d: tier %s used %d not a multiple of adapter size",
+						seed, step, s.Tier, s.UsedBytes)
+				}
+			}
+			for id := ModelID(0); id < adapters; id++ {
+				inTop := ts.tiers[len(ts.tiers)-1].entries[id] != nil
+				if inTop && ts.HBM().Resident(id) {
+					t.Fatalf("seed %d step %d: adapter %d in both ram and hbm", seed, step, id)
+				}
+			}
+		}
+		// Drain pins; the hierarchy must quiesce with nothing pinned.
+		for id, n := range pins {
+			for ; n > 0; n-- {
+				ts.Release(id)
+			}
+		}
+		if ts.HBM().PinnedBytes() != 0 {
+			t.Fatalf("seed %d: pin leak: %d bytes", seed, ts.HBM().PinnedBytes())
+		}
+	}
+}

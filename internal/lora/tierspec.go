@@ -1,0 +1,213 @@
+package lora
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"punica/internal/hw"
+)
+
+// DefaultTierLatency is the per-hop issue latency assumed when a tier
+// clause does not specify one — a DMA setup / request dispatch cost on
+// the order of an NVMe read issue.
+const DefaultTierLatency = 100 * time.Microsecond
+
+// maxTiers bounds the hierarchy depth ParseTierSpec accepts; real
+// deployments have two to three staging tiers below HBM.
+const maxTiers = 8
+
+// ParseTierSpec parses the tier mini-language shared by punica-cluster
+// and punica-serve: comma-separated tiers listed bottom (nearest the
+// registry) to top (adjacent to HBM), each
+//
+//	name:capacity@bandwidth[+latency]
+//
+// e.g. "ssd:64GiB@2GiB/s,ram:16GiB@8GiB/s+20us". Sizes take B / KB /
+// KiB / MB / MiB / GB / GiB / TB / TiB suffixes (decimal = powers of
+// 1000, binary = powers of 1024; fractional values allowed), bandwidth
+// is a size per second, and latency is a Go duration (default
+// DefaultTierLatency). Tier names must be unique, lowercase
+// [a-z0-9_-]. An empty string yields nil, nil: tiers disabled.
+func ParseTierSpec(s string) ([]TierSpec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var specs []TierSpec
+	seen := map[string]bool{}
+	for _, clause := range strings.Split(s, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			return nil, fmt.Errorf("tierspec: empty tier clause in %q", s)
+		}
+		if len(specs) == maxTiers {
+			return nil, fmt.Errorf("tierspec: more than %d tiers", maxTiers)
+		}
+		name, rest, ok := strings.Cut(clause, ":")
+		if !ok {
+			return nil, fmt.Errorf("tierspec: tier %q needs name:capacity@bandwidth", clause)
+		}
+		if !validTierName(name) {
+			return nil, fmt.Errorf("tierspec: invalid tier name %q (want lowercase [a-z0-9_-])", name)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("tierspec: duplicate tier name %q", name)
+		}
+		seen[name] = true
+		capStr, linkStr, ok := strings.Cut(rest, "@")
+		if !ok {
+			return nil, fmt.Errorf("tierspec: tier %q needs capacity@bandwidth", clause)
+		}
+		capacity, err := parseBytes(capStr)
+		if err != nil {
+			return nil, fmt.Errorf("tierspec: tier %q capacity: %w", name, err)
+		}
+		if capacity <= 0 {
+			return nil, fmt.Errorf("tierspec: tier %q capacity must be positive", name)
+		}
+		bwStr, latStr, hasLat := strings.Cut(linkStr, "+")
+		bw, err := parseBandwidth(bwStr)
+		if err != nil {
+			return nil, fmt.Errorf("tierspec: tier %q bandwidth: %w", name, err)
+		}
+		lat := DefaultTierLatency
+		if hasLat {
+			lat, err = time.ParseDuration(latStr)
+			if err != nil {
+				return nil, fmt.Errorf("tierspec: tier %q latency: %w", name, err)
+			}
+			if lat < 0 {
+				return nil, fmt.Errorf("tierspec: tier %q latency must be non-negative", name)
+			}
+		}
+		specs = append(specs, TierSpec{
+			Name:          name,
+			CapacityBytes: capacity,
+			Link:          hw.Link{Name: name, Bandwidth: bw, Latency: lat},
+		})
+	}
+	return specs, nil
+}
+
+// FormatTierSpecs renders specs back into the ParseTierSpec language,
+// with ParseTierSpec(FormatTierSpecs(x)) equal to x.
+func FormatTierSpecs(specs []TierSpec) string {
+	var b strings.Builder
+	for i, sp := range specs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s:%s@%s/s+%s",
+			sp.Name, formatBytes(sp.CapacityBytes), formatFloatBytes(sp.Link.Bandwidth), sp.Link.Latency)
+	}
+	return b.String()
+}
+
+func validTierName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+var byteUnits = []struct {
+	suffix string
+	scale  float64
+}{
+	// Longest suffixes first so "GiB" is not cut as "B".
+	{"KiB", 1 << 10}, {"MiB", 1 << 20}, {"GiB", 1 << 30}, {"TiB", 1 << 40},
+	{"KB", 1e3}, {"MB", 1e6}, {"GB", 1e9}, {"TB", 1e12},
+	{"B", 1},
+}
+
+func splitByteValue(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	for _, u := range byteUnits {
+		if num, ok := strings.CutSuffix(s, u.suffix); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(num), 64)
+			if err != nil {
+				return 0, fmt.Errorf("bad size %q", s)
+			}
+			v *= u.scale
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return 0, fmt.Errorf("bad size %q", s)
+			}
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("size %q needs a unit suffix (B, KiB, MiB, GiB, TiB, KB, MB, GB, TB)", s)
+}
+
+// ParseBytes parses a byte size with an optional binary or decimal unit
+// suffix ("64GiB", "500MB", "1024B") — the size syntax tier clauses use,
+// exposed for CLI flags such as the pre-distribution byte budget.
+func ParseBytes(s string) (int64, error) { return parseBytes(s) }
+
+func parseBytes(s string) (int64, error) {
+	v, err := splitByteValue(s)
+	if err != nil {
+		return 0, err
+	}
+	if v >= math.MaxInt64 {
+		return 0, fmt.Errorf("size %q overflows", s)
+	}
+	return int64(v), nil
+}
+
+func parseBandwidth(s string) (float64, error) {
+	num, ok := strings.CutSuffix(strings.TrimSpace(s), "/s")
+	if !ok {
+		return 0, fmt.Errorf("bandwidth %q needs a /s suffix", s)
+	}
+	v, err := splitByteValue(num)
+	if err != nil {
+		return 0, err
+	}
+	if v <= 0 {
+		return 0, fmt.Errorf("bandwidth %q must be positive", s)
+	}
+	return v, nil
+}
+
+// formatBytes renders n with the largest binary unit that divides it
+// exactly, so FormatTierSpecs round-trips through ParseTierSpec.
+func formatBytes(n int64) string {
+	units := []struct {
+		suffix string
+		scale  int64
+	}{{"TiB", 1 << 40}, {"GiB", 1 << 30}, {"MiB", 1 << 20}, {"KiB", 1 << 10}}
+	for _, u := range units {
+		if n >= u.scale && n%u.scale == 0 {
+			return strconv.FormatInt(n/u.scale, 10) + u.suffix
+		}
+	}
+	return strconv.FormatInt(n, 10) + "B"
+}
+
+// formatFloatBytes renders a float byte count (bandwidth) losslessly:
+// scaled to a binary unit when exact, raw bytes otherwise.
+func formatFloatBytes(v float64) string {
+	units := []struct {
+		suffix string
+		scale  float64
+	}{{"TiB", 1 << 40}, {"GiB", 1 << 30}, {"MiB", 1 << 20}, {"KiB", 1 << 10}}
+	for _, u := range units {
+		scaled := v / u.scale
+		if scaled >= 1 && scaled == math.Trunc(scaled) && scaled*u.scale == v {
+			return strconv.FormatFloat(scaled, 'f', -1, 64) + u.suffix
+		}
+	}
+	// 'f' (never scientific notation): an exponent's '+' would collide
+	// with the latency separator on re-parse.
+	return strconv.FormatFloat(v, 'f', -1, 64) + "B"
+}

@@ -314,7 +314,7 @@ func (r *Runner) handleState(w http.ResponseWriter, req *http.Request) {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
-	st := stateOf(r.uuid, r.eng.Snapshot(), r.eng.Stats(), r.eng.Migratable())
+	st := stateOf(r.uuid, r.eng.Snapshot(), r.eng.Stats(), r.eng.Migratable(), r.eng.Tiers())
 	r.mu.Unlock()
 	w.Header().Set("ETag", etag)
 	writeJSON(w, st)

@@ -1,0 +1,76 @@
+package remote
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"punica/internal/core"
+	"punica/internal/hw"
+	"punica/internal/lora"
+)
+
+// TestRunnerStateReportsTiers: a tiered runner's /runner/state carries
+// the staging-tier counters; a flat runner's omits them.
+func TestRunnerStateReportsTiers(t *testing.T) {
+	cfg := runnerConfig()
+	bytes := cfg.Model.LoRABytes(cfg.Rank)
+	cfg.Tiers = []lora.TierSpec{
+		{Name: "ssd", CapacityBytes: 64 * bytes,
+			Link: hw.Link{Name: "ssd", Bandwidth: 2e9, Latency: time.Millisecond}},
+		{Name: "ram", CapacityBytes: 16 * bytes,
+			Link: hw.Link{Name: "ram", Bandwidth: 8e9, Latency: 100 * time.Microsecond}},
+	}
+	r := NewRunner("tiered-0", cfg, 5000)
+	srv := httptest.NewServer(r.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		r.Close()
+	})
+
+	client := NewClient(srv.URL)
+	if err := client.Enqueue(&core.Request{ID: 1, Model: 5, PromptLen: 32, OutputLen: 4}, 0); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(client.StreamURL(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	var st State
+	stateResp, err := http.Get(srv.URL + "/runner/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stateResp.Body.Close()
+	if err := json.NewDecoder(stateResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Tiers) != 3 {
+		t.Fatalf("tier rows = %d, want ssd/ram/hbm: %+v", len(st.Tiers), st.Tiers)
+	}
+	if st.Tiers[0].Tier != "ssd" || st.Tiers[2].Tier != "hbm" {
+		t.Fatalf("tier order: %+v", st.Tiers)
+	}
+	if st.Tiers[0].BytesIn == 0 || st.ColdStarts == 0 {
+		t.Fatalf("cold load not recorded: %+v coldstarts=%d", st.Tiers[0], st.ColdStarts)
+	}
+
+	// Flat runner: no tier rows on the wire.
+	_, flatSrv := startRunner(t, "flat-0", 0)
+	flatResp, err := http.Get(flatSrv.URL + "/runner/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer flatResp.Body.Close()
+	var flat State
+	if err := json.NewDecoder(flatResp.Body).Decode(&flat); err != nil {
+		t.Fatal(err)
+	}
+	if len(flat.Tiers) != 0 || flat.ColdStarts != 0 {
+		t.Fatalf("flat runner reported tiers: %+v", flat.Tiers)
+	}
+}

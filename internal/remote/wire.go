@@ -174,6 +174,13 @@ type State struct {
 	StoreUsedBytes     int64               `json:"store_used_bytes,omitempty"`
 	StorePinnedBytes   int64               `json:"store_pinned_bytes,omitempty"`
 
+	// Tiers carries the staging-hierarchy counters when the runner's
+	// engine is backed by a tiered adapter store (core.Config.Tiers),
+	// bottom tier first with the HBM row last; ColdStarts counts the
+	// staged HBM misses. Both empty on flat-store runners.
+	Tiers      []lora.TierStats `json:"tiers,omitempty"`
+	ColdStarts int              `json:"cold_starts,omitempty"`
+
 	Steps  int64 `json:"steps"`
 	Tokens int64 `json:"tokens_generated"`
 }
@@ -183,12 +190,20 @@ type State struct {
 // mutation), and the runner serialises State outside its lock — so the
 // adapter list is copied here. This is the wire path: one copy per 200
 // response, none on the 304 revalidation path.
-func stateOf(uuid string, snap core.Snapshot, stats core.Stats, migratable []int64) State {
+func stateOf(uuid string, snap core.Snapshot, stats core.Stats, migratable []int64, tiers *lora.TieredStore) State {
 	var adapters []lora.AdapterState
 	if len(snap.Adapters) > 0 {
 		adapters = append(adapters, snap.Adapters...)
 	}
 	snap.Adapters = adapters
+	var tierStats []lora.TierStats
+	coldStarts := 0
+	if tiers != nil {
+		// Stats() builds a fresh slice, so serialising outside the
+		// runner's lock is safe.
+		tierStats = tiers.Stats()
+		coldStarts = tiers.ColdStarts().Count()
+	}
 	return State{
 		UUID:               uuid,
 		Version:            snap.Version,
@@ -205,6 +220,8 @@ func stateOf(uuid string, snap core.Snapshot, stats core.Stats, migratable []int
 		StoreCapacityBytes: snap.StoreCapacityBytes,
 		StoreUsedBytes:     snap.StoreUsedBytes,
 		StorePinnedBytes:   snap.StorePinnedBytes,
+		Tiers:              tierStats,
+		ColdStarts:         coldStarts,
 		Steps:              stats.Steps,
 		Tokens:             stats.TokensGenerated,
 	}

@@ -296,6 +296,11 @@ func (s *Scheduler) dispatchFair(r *core.Request, now time.Duration) (*GPU, erro
 	s.fair.push(r)
 	s.stats.Queued++
 	s.noteFairDepth()
+	if s.fair.count == 1 {
+		// r is the only waiting request and is stalled: overlap its
+		// adapter staging with the prefills already running.
+		s.overlapPrefetchHead(now)
+	}
 	return nil, nil
 }
 
@@ -343,6 +348,7 @@ func (s *Scheduler) drainFair(now time.Duration) ([]Placement, error) {
 		placed = append(placed, Placement{Request: r, GPU: g})
 	}
 	reinstate()
+	s.overlapPrefetchHead(now)
 	return placed, nil
 }
 

@@ -124,6 +124,17 @@ type Scheduler struct {
 	// tests pin §5.1 consolidation decisions through it.
 	TraceMigration func(r *core.Request, from, to *GPU)
 
+	// OverlapPrefetch, when set, warms the adapter of the next waiting
+	// queue head on its best-ranked candidate GPU whenever admission
+	// leaves requests queued: a cold adapter's staging (the full
+	// registry → SSD → RAM → HBM cascade in tiered stores) overlaps the
+	// prefill of requests already running instead of starting only when
+	// the head is finally admitted — the CaraServe overlap rule,
+	// generalizing the disaggregation-only Prefetcher path to unified
+	// fleets. Off by default: prefetch touches placement-visible LRU
+	// state, so golden traces stay byte-identical unless opted in.
+	OverlapPrefetch bool
+
 	// fair, when non-nil, replaces the global FCFS queue with the VTC
 	// per-tenant admission layer (fair.go). nil — the default — keeps
 	// every legacy code path byte-identical.
@@ -427,6 +438,9 @@ func (s *Scheduler) Dispatch(r *core.Request, now time.Duration) (*GPU, error) {
 		s.queue = append(s.queue, r)
 		s.stats.Queued++
 		s.noteQueueDepth()
+		// r is the new queue head and is stalled: start its adapter
+		// staging now so the load overlaps the running prefills.
+		s.overlapPrefetchHead(now)
 		return nil, nil
 	}
 	// Disaggregated fleets overlap the decode-side adapter load with the
@@ -464,7 +478,52 @@ func (s *Scheduler) DrainQueue(now time.Duration) ([]Placement, error) {
 		placed = append(placed, Placement{Request: s.queue[0], GPU: g})
 		s.queue = s.queue[1:]
 	}
+	s.overlapPrefetchHead(now)
 	return placed, nil
+}
+
+// overlapPrefetchHead warms the next waiting request's adapter on its
+// best-ranked candidate GPU (falling through refusals in rank order,
+// like the decode-pool prefetch). No-op unless OverlapPrefetch is on
+// and a head is actually waiting.
+func (s *Scheduler) overlapPrefetchHead(now time.Duration) {
+	if !s.OverlapPrefetch {
+		return
+	}
+	var r *core.Request
+	if s.fair != nil {
+		if len(s.fair.heap) == 0 {
+			return
+		}
+		r = s.fair.top().head()
+	} else {
+		if len(s.queue) == 0 {
+			return
+		}
+		r = s.queue[0]
+	}
+	// A stalled head's candidates are full by definition, so scan every
+	// placement-eligible GPU (no CanAdmit filter) in policy rank order:
+	// the warm-up targets where admission will most likely land.
+	fit := s.candBuf[:0]
+	for _, g := range s.gpus {
+		if g.Role == core.RoleDecode {
+			continue
+		}
+		fit = append(fit, Candidate{GPU: g, Snap: s.snapshotOf(g)})
+	}
+	s.candBuf = fit
+	s.policy.RankPlacement(r, fit)
+	for _, c := range fit {
+		p, ok := c.GPU.Engine.(Prefetcher)
+		if !ok {
+			return
+		}
+		if p.PrefetchAdapter(r.Model, now) {
+			s.stats.AdapterPrefetches++
+			return
+		}
+	}
 }
 
 // Reschedule handles a request evicted for memory (§5.3): "The scheduling

@@ -311,11 +311,13 @@ func TestDispatchRequeuesOnAdapterStoreFull(t *testing.T) {
 	if s.QueueLen() != 1 || s.Stats().AdapterStalls != 1 {
 		t.Fatalf("queue=%d stalls=%d, want 1/1", s.QueueLen(), s.Stats().AdapterStalls)
 	}
-	// Finishing request 1 releases the pin; the drain places request 2.
+	// Finishing request 1 releases the pin; the drain places request 2
+	// once adapter 1's in-flight load has completed (a mid-transfer
+	// entry is not evictable).
 	if gpus[0].Engine.Cancel(1, 0) == nil {
 		t.Fatal("cancel failed")
 	}
-	placed, err := s.DrainQueue(time.Millisecond)
+	placed, err := s.DrainQueue(10 * time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,5 +351,45 @@ func TestDrainQueueStallsPreserveFCFS(t *testing.T) {
 	}
 	if s.QueueLen() != 2 {
 		t.Fatalf("queue = %d, want both requests still waiting", s.QueueLen())
+	}
+}
+
+// TestOverlapPrefetchWarmsQueueHead pins the CaraServe overlap rule: a
+// request stuck behind a full batch has its adapter loaded while the
+// running requests compute, so admission later finds the weights warm.
+// Off by default, nothing is touched.
+func TestOverlapPrefetchWarmsQueueHead(t *testing.T) {
+	for _, overlap := range []bool{false, true} {
+		gpus := tinyStoreGPUs(t, 1, 1, 4)
+		s := New(gpus)
+		s.OverlapPrefetch = overlap
+		r1 := &core.Request{ID: 1, Model: 1, PromptLen: 10, OutputLen: 5}
+		r2 := &core.Request{ID: 2, Model: 2, PromptLen: 10, OutputLen: 5, Arrival: time.Millisecond}
+		if g, err := s.Dispatch(r1, 0); err != nil || g == nil {
+			t.Fatalf("dispatch r1: g=%v err=%v", g, err)
+		}
+		if g, err := s.Dispatch(r2, time.Millisecond); err != nil || g != nil {
+			t.Fatalf("dispatch r2 should queue: g=%v err=%v", g, err)
+		}
+		eng := gpus[0].Engine.(*core.Engine)
+		if got := eng.Store().Resident(2); got != overlap {
+			t.Fatalf("overlap=%v: adapter 2 resident = %v", overlap, got)
+		}
+		if want := int64(0); overlap {
+			want = 1
+		} else if s.Stats().AdapterPrefetches != want {
+			t.Fatalf("overlap off counted prefetches: %d", s.Stats().AdapterPrefetches)
+		}
+		if overlap && s.Stats().AdapterPrefetches != 1 {
+			t.Fatalf("prefetches = %d, want 1", s.Stats().AdapterPrefetches)
+		}
+		if eng.Store().PinnedBytes() != eng.Store().UsedBytes()-func() int64 {
+			if overlap {
+				return models.Llama2_7B().LoRABytes(16)
+			}
+			return 0
+		}() {
+			t.Fatalf("overlap=%v: prefetched adapter must be unpinned", overlap)
+		}
 	}
 }

@@ -18,6 +18,7 @@ import (
 
 	"punica/internal/core"
 	"punica/internal/lora"
+	"punica/internal/metrics"
 	"punica/internal/sched"
 )
 
@@ -38,6 +39,13 @@ type Config struct {
 	// across tenants instead of globally FCFS (see internal/sched
 	// fair.go). Requests without a tenant tag share one bucket.
 	Fairness bool
+
+	// Tiers, when non-empty, backs every GPU's adapter store with the
+	// staged node-SSD → host-RAM hierarchy (lora.TieredStore): HBM
+	// misses cascade down the tiers instead of always paying a full
+	// registry pull, and HBM evictions demote to host RAM. Parse CLI
+	// syntax with lora.ParseTierSpec.
+	Tiers []lora.TierSpec
 
 	// PrefillGPUs/DecodeGPUs, when both > 0, disaggregate the server:
 	// the fleet splits into a prefill pool (admits new requests) and a
@@ -93,6 +101,7 @@ func New(cfg Config) *Server {
 		ec := cfg.Engine
 		ec.OnToken = s.onToken
 		ec.OnFinish = s.onFinish
+		ec.Tiers = cfg.Tiers
 		if disagg {
 			if i < cfg.PrefillGPUs {
 				ec.Role = core.RolePrefill
@@ -279,12 +288,19 @@ type Stats struct {
 	// prefill (both zero in unified mode).
 	KVMigrations      int64 `json:"kv_migrations"`
 	AdapterPrefetches int64 `json:"adapter_prefetches"`
+	// Tiers merges the per-GPU staging-tier counters (Config.Tiers);
+	// ColdStarts/ColdStartP99 summarise the staged HBM-miss latency they
+	// explain. All empty/zero on flat-store deployments.
+	Tiers        []lora.TierStats `json:"tiers,omitempty"`
+	ColdStarts   int              `json:"cold_starts,omitempty"`
+	ColdStartP99 float64          `json:"cold_start_p99_seconds,omitempty"`
 }
 
 // Snapshot returns the current cluster state.
 func (s *Server) Snapshot() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var cold metrics.Histogram
 	st := Stats{
 		QueueLen:          s.sch.QueueLen(),
 		Streams:           len(s.streams),
@@ -312,8 +328,14 @@ func (s *Server) Snapshot() Stats {
 		if store := eng.Store(); store != nil {
 			gs.Adapters = store.Len()
 		}
+		if tiers := eng.Tiers(); tiers != nil {
+			st.Tiers = lora.MergeTierStats(st.Tiers, tiers.Stats())
+			cold.Merge(tiers.ColdStarts())
+		}
 		st.GPUs = append(st.GPUs, gs)
 	}
+	st.ColdStarts = cold.Count()
+	st.ColdStartP99 = cold.Percentile(99)
 	return st
 }
 

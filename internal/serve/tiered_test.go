@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"punica/internal/core"
+	"punica/internal/hw"
+	"punica/internal/lora"
+	"punica/internal/models"
+)
+
+// TestTieredSnapshotReportsStats drives a tiered server through cold
+// adapter loads and checks the stats endpoint's merged tier view.
+func TestTieredSnapshotReportsStats(t *testing.T) {
+	model := models.Llama2_7B()
+	bytes := model.LoRABytes(models.DefaultLoRARank)
+	s := New(Config{
+		NumGPUs: 2,
+		Engine: core.Config{
+			System: core.PunicaSystem(),
+			GPU:    hw.A100(),
+			Model:  model,
+			Rank:   models.DefaultLoRARank,
+		},
+		Speedup: 5000,
+		Tiers: []lora.TierSpec{
+			{Name: "ssd", CapacityBytes: 64 * bytes,
+				Link: hw.Link{Name: "ssd", Bandwidth: 2e9, Latency: time.Millisecond}},
+			{Name: "ram", CapacityBytes: 16 * bytes,
+				Link: hw.Link{Name: "ram", Bandwidth: 8e9, Latency: 100 * time.Microsecond}},
+		},
+	})
+	t.Cleanup(s.Close)
+
+	for m := int64(1); m <= 3; m++ {
+		_, stream, err := s.Submit(m, 32, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		timeout := time.After(10 * time.Second)
+		for open := true; open; {
+			select {
+			case _, ok := <-stream:
+				open = ok
+			case <-timeout:
+				t.Fatal("stream stalled")
+			}
+		}
+	}
+
+	st := s.Snapshot()
+	if len(st.Tiers) != 3 {
+		t.Fatalf("tier rows = %d, want ssd/ram/hbm", len(st.Tiers))
+	}
+	if st.Tiers[0].Tier != "ssd" || st.Tiers[1].Tier != "ram" || st.Tiers[2].Tier != "hbm" {
+		t.Fatalf("tier order: %s,%s,%s", st.Tiers[0].Tier, st.Tiers[1].Tier, st.Tiers[2].Tier)
+	}
+	if st.Tiers[0].BytesIn == 0 {
+		t.Fatalf("no registry pulls recorded: %+v", st.Tiers[0])
+	}
+	if st.ColdStarts == 0 || st.ColdStartP99 <= 0 {
+		t.Fatalf("cold starts = %d p99 = %g on a cold fleet", st.ColdStarts, st.ColdStartP99)
+	}
+}
