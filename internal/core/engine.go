@@ -199,6 +199,13 @@ func (e *Engine) PrefetchAdapter(id lora.ModelID, now time.Duration) bool {
 	return ok
 }
 
+// AdapterResident reports whether the adapter is already in (or loading
+// into) this engine's HBM store. Read-only — no version bump — so
+// schedulers can probe warmth without invalidating cached snapshots.
+func (e *Engine) AdapterResident(id lora.ModelID) bool {
+	return e.store != nil && e.store.Resident(id)
+}
+
 // PrewarmAdapter stages an adapter into host RAM without touching HBM —
 // the pre-distribution daemon's hook. It returns the bytes moved across
 // tiers (the daemon's budget currency); 0 when the engine has no tiers

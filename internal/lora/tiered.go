@@ -330,6 +330,15 @@ func (t *TieredStore) demoteFromHBM(id ModelID, _ int, bytes int64) {
 // down the hierarchy as needed. fromBelow marks an upward transfer
 // (charged to BytesIn); demotions from above are free.
 func (ti *tier) insert(t *TieredStore, idx int, id ModelID, bytes int64, readyAt time.Duration, fromBelow bool) {
+	if bytes > ti.spec.CapacityBytes {
+		// Oversized for this tier: streamed through, never resident —
+		// the registry keeps the authoritative copy. Capacity-inverted
+		// hierarchies (a lower tier smaller than the one above) demote
+		// victims bigger than the receiving tier; without this guard the
+		// eviction loop below would drain the tier and dereference a nil
+		// LRU tail.
+		return
+	}
 	if e, ok := ti.entries[id]; ok {
 		// Inclusive lower-tier copy already present: refresh recency,
 		// keep the earlier availability.

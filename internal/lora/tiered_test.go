@@ -265,6 +265,40 @@ func TestTieredStoreFullBackpressureKeepsStaging(t *testing.T) {
 	}
 }
 
+// Review regression: a victim demoted from tier idx into a smaller tier
+// idx-1 (capacity-inverted hierarchy, e.g. ssd:1MiB under ram:16GiB)
+// used to drain the receiving tier's LRU in insert's eviction loop and
+// dereference its nil tail. The oversized victim must be dropped
+// instead — the registry keeps the authoritative copy.
+func TestTieredCascadeOversizedVictimDropped(t *testing.T) {
+	reg := NewRegistry(models.Llama2_7B(), 16)
+	bytes := reg.Ensure(0).Bytes()
+	hbm := NewStore(reg, hw.PCIeGen4x16(), 4*bytes)
+	ts := NewTieredStore(hbm, []TierSpec{
+		{Name: "ssd", CapacityBytes: 1 << 20, // smaller than one adapter
+			Link: hw.Link{Name: "ssd", Bandwidth: 2e9, Latency: time.Millisecond}},
+		{Name: "ram", CapacityBytes: 2 * bytes,
+			Link: hw.Link{Name: "ram", Bandwidth: 8e9, Latency: 100 * time.Microsecond}},
+	})
+
+	// Three prewarms overflow the two-slot RAM tier; the LRU victim
+	// cascades toward the 1MiB SSD, which cannot hold it.
+	for id := ModelID(1); id <= 3; id++ {
+		if _, ok := ts.Prewarm(id, 0); !ok {
+			t.Fatalf("prewarm %d refused", id)
+		}
+	}
+	if got := ts.TierOf(1); got != "" {
+		t.Fatalf("oversized demotion victim in %q, want dropped (registry only)", got)
+	}
+	if got := ts.TierOf(3); got != "ram" {
+		t.Fatalf("TierOf(3) = %q, want ram", got)
+	}
+	if ram := ts.Stats()[1]; ram.Demotions != 1 {
+		t.Fatalf("ram demotions = %d, want 1", ram.Demotions)
+	}
+}
+
 func TestMergeTierStats(t *testing.T) {
 	a := []TierStats{{Tier: "ssd", Hits: 1, BytesIn: 10}, {Tier: "ram", Misses: 2}}
 	b := []TierStats{{Tier: "ssd", Hits: 2, Demotions: 1}, {Tier: "ram", Promotions: 3}, {Tier: "hbm", Hits: 5}}

@@ -38,6 +38,16 @@ type Prefetcher interface {
 	PrefetchAdapter(id lora.ModelID, now time.Duration) bool
 }
 
+// AdapterWarmth is the optional companion to Prefetcher: report whether
+// an adapter is already resident (warm or mid-load) without mutating
+// engine state. Warm-up passes use it to skip re-issuing a hint for an
+// unchanged queue head — a redundant PrefetchAdapter on a resident
+// adapter succeeds, inflating the prefetch counter and churning the
+// engine's snapshot version once per drain pass.
+type AdapterWarmth interface {
+	AdapterResident(id lora.ModelID) bool
+}
+
 // HasDecodePool reports whether any managed GPU is a dedicated decode
 // engine — the switch that turns the two-pool routing on.
 func (s *Scheduler) HasDecodePool() bool {

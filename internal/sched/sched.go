@@ -517,6 +517,14 @@ func (s *Scheduler) overlapPrefetchHead(now time.Duration) {
 	for _, c := range fit {
 		p, ok := c.GPU.Engine.(Prefetcher)
 		if !ok {
+			// Mixed fleet: a lower-ranked candidate may still take hints.
+			continue
+		}
+		if w, ok := c.GPU.Engine.(AdapterWarmth); ok && w.AdapterResident(r.Model) {
+			// Already warm (or mid-load) on the best-ranked target: the
+			// overlap goal is met. Re-issuing the hint every drain pass
+			// would inflate AdapterPrefetches and invalidate cached
+			// snapshots for no state change.
 			return
 		}
 		if p.PrefetchAdapter(r.Model, now) {

@@ -393,3 +393,39 @@ func TestOverlapPrefetchWarmsQueueHead(t *testing.T) {
 		}
 	}
 }
+
+// Review regression: drain passes over an unchanged, already-warm queue
+// head must not re-issue the warm-up hint — a redundant PrefetchAdapter
+// on a resident adapter succeeds, so it inflated AdapterPrefetches and
+// bumped the engine's snapshot version once per pass.
+func TestOverlapPrefetchResidentHeadNotRecounted(t *testing.T) {
+	gpus := tinyStoreGPUs(t, 1, 1, 4)
+	s := New(gpus)
+	s.OverlapPrefetch = true
+	r1 := &core.Request{ID: 1, Model: 1, PromptLen: 10, OutputLen: 5}
+	r2 := &core.Request{ID: 2, Model: 2, PromptLen: 10, OutputLen: 5, Arrival: time.Millisecond}
+	if g, err := s.Dispatch(r1, 0); err != nil || g == nil {
+		t.Fatalf("dispatch r1: g=%v err=%v", g, err)
+	}
+	if g, err := s.Dispatch(r2, time.Millisecond); err != nil || g != nil {
+		t.Fatalf("dispatch r2 should queue: g=%v err=%v", g, err)
+	}
+	if s.Stats().AdapterPrefetches != 1 {
+		t.Fatalf("prefetches = %d, want 1", s.Stats().AdapterPrefetches)
+	}
+	eng := gpus[0].Engine.(*core.Engine)
+	version := eng.StateVersion()
+	// The batch stays full, so each drain leaves r2 at the head with its
+	// adapter already resident from the first hint.
+	for i := 2; i <= 4; i++ {
+		if placed, err := s.DrainQueue(time.Duration(i) * time.Millisecond); err != nil || len(placed) != 0 {
+			t.Fatalf("drain %d: placed=%v err=%v", i, placed, err)
+		}
+	}
+	if s.Stats().AdapterPrefetches != 1 {
+		t.Fatalf("resident head re-counted: prefetches = %d, want 1", s.Stats().AdapterPrefetches)
+	}
+	if got := eng.StateVersion(); got != version {
+		t.Fatalf("redundant hint churned snapshot version: %d -> %d", version, got)
+	}
+}
