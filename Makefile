@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fmt check bench experiments scale scale-check scale-baseline shuffle fuzz invariants soak traffic-check traffic-baseline coldstart-check coldstart-baseline
+.PHONY: all build test race vet lint fmt check bench experiments scale scale-check scale-baseline shuffle fuzz invariants soak traffic-check traffic-baseline coldstart-check coldstart-baseline overload-check overload-baseline
 
 all: check
 
@@ -30,6 +30,7 @@ fuzz:
 	$(GO) test ./internal/workload -run '^$$' -fuzz FuzzTrafficSpec -fuzztime 10s
 	$(GO) test ./internal/workload -run '^$$' -fuzz FuzzTenantChurn -fuzztime 10s
 	$(GO) test ./internal/lora -run '^$$' -fuzz FuzzTierSpec -fuzztime 10s
+	$(GO) test ./internal/remote -run '^$$' -fuzz FuzzNetFaultPlan -fuzztime 10s
 
 # vet runs the standard toolchain vet plus punica-vet, the repo's own
 # analyzer suite (versionbump, scratchlife, detsim, lockorder,
@@ -121,3 +122,16 @@ coldstart-check:
 # intentional tier-model or pre-distribution changes.
 coldstart-baseline:
 	$(GO) run ./cmd/punica-bench -json bench/BENCH_coldstart.json coldstart
+
+# overload-check replays open-loop traffic through the live HTTP stack
+# at 1-4x capacity with the admission layer off and on, and fails if the
+# shedding-on vs -off goodput retention regresses >50% against the
+# committed baseline. Unlike the simulated sweeps this one runs in wall
+# time (HTTP, goroutines, pacing sleeps), so the threshold is generous.
+overload-check:
+	$(GO) run ./cmd/punica-bench -overload-baseline bench/BENCH_overload.json -regress-threshold 0.50 overload
+
+# overload-baseline regenerates the committed overload baseline after
+# intentional admission/serving changes.
+overload-baseline:
+	$(GO) run ./cmd/punica-bench -json bench/BENCH_overload.json overload

@@ -48,6 +48,8 @@ var (
 
 	coldstartBaselineFlag = flag.String("coldstart-baseline", "", "coldstart: committed BENCH_coldstart.json to gate against; the run fails if throughput or the naive-vs-predist cold-start p99 gain regresses past -regress-threshold")
 
+	overloadBaselineFlag = flag.String("overload-baseline", "", "overload: committed BENCH_overload.json to gate against; the run fails if the shedding-on vs -off goodput retention regresses past -regress-threshold")
+
 	soakHorizonFlag = flag.Duration("soak-horizon", 0, "soak: override the simulated horizon (default 2h)")
 )
 
@@ -370,6 +372,31 @@ func run(name string) error {
 		if err := checkColdStartBaseline(experiments.ColdStartRecords(points)); err != nil {
 			return err
 		}
+	case "overload":
+		// The sweep replays open-loop traffic through the live HTTP
+		// stack in wall time; the defaults are pinned so the committed
+		// BENCH_overload.json baseline is comparable run-to-run. Only an
+		// explicit -seed overrides them.
+		var oopts experiments.OverloadOptions
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "seed" {
+				oopts.Seed = *seedFlag
+			}
+		})
+		points, err := experiments.Overload(oopts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatOverload(points))
+		benchRecords = append(benchRecords, experiments.OverloadRecords(points)...)
+		if err := writeCSV(func(w io.Writer) error {
+			return experiments.OverloadCSV(w, points)
+		}); err != nil {
+			return err
+		}
+		if err := checkOverloadBaseline(experiments.OverloadRecords(points)); err != nil {
+			return err
+		}
 	case "soak":
 		res, err := experiments.Soak(experiments.SoakOptions{
 			Horizon: *soakHorizonFlag, Seed: *seedFlag,
@@ -469,6 +496,39 @@ func checkColdStartBaseline(current []experiments.BenchRecord) error {
 	return nil
 }
 
+// checkOverloadBaseline gates the overload sweep against a committed
+// baseline when -overload-baseline is set. One metric gates: the
+// shedding-on vs -off goodput retention on the per-factor shedding-gain
+// rows — the number the admission layer is accountable for. The
+// per-run rows (latency percentiles, refusal counters) ride along as
+// informational data; they are wall-clock sensitive, so they do not
+// gate.
+func checkOverloadBaseline(current []experiments.BenchRecord) error {
+	if *overloadBaselineFlag == "" {
+		return nil
+	}
+	f, err := os.Open(*overloadBaselineFlag)
+	if err != nil {
+		return fmt.Errorf("-overload-baseline: %w", err)
+	}
+	defer f.Close()
+	baseline, err := experiments.ReadBenchJSON(f)
+	if err != nil {
+		return fmt.Errorf("-overload-baseline %s: %w", *overloadBaselineFlag, err)
+	}
+	errs := experiments.CompareBaseline(baseline, current, "goodput_retention", *regressFlag)
+	for _, e := range errs {
+		fmt.Fprintln(os.Stderr, "regression:", e)
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("%d overload metric(s) regressed past %.0f%% vs %s",
+			len(errs), 100**regressFlag, *overloadBaselineFlag)
+	}
+	fmt.Fprintf(os.Stderr, "baseline check passed: no goodput-retention regression past %.0f%% vs %s\n",
+		100**regressFlag, *overloadBaselineFlag)
+	return nil
+}
+
 // checkScaleBaseline gates the scale run against a committed baseline
 // when -baseline is set: any grid point whose events/sec fell more than
 // -regress-threshold below the baseline fails the command.
@@ -538,6 +598,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, "plus: scale (control-plane scale sweep; excluded from 'all' — the full grid runs 1M-request traces)\n")
 	fmt.Fprintf(os.Stderr, "plus: traffic (flash-crowd fairness sweep, gated by -traffic-baseline) and soak (hours-long everything-at-once run; -soak-horizon shortens it) — both excluded from 'all'\n")
 	fmt.Fprintf(os.Stderr, "plus: coldstart (tiered adapter-cache mitigation sweep, gated by -coldstart-baseline) — excluded from 'all'\n")
+	fmt.Fprintf(os.Stderr, "plus: overload (live-HTTP overload-protection sweep, gated by -overload-baseline) — excluded from 'all'\n")
 	flag.PrintDefaults()
 }
 

@@ -46,6 +46,20 @@ func main() {
 		"disaggregate in-process serving: decode-pool size (use with -prefill-gpus)")
 	tiers := flag.String("tiers", "",
 		"staged adapter tiers below HBM, bottom-up, e.g.\n\"ssd:64GiB@2GiB/s,ram:16GiB@8GiB/s+20us\" (empty = flat HBM store)")
+	maxQueue := flag.Int("max-queue", 0,
+		"admission cap on queued requests; arrivals past it answer HTTP 429 (0 = legacy unbounded queue)")
+	maxTenantQueue := flag.Int("max-tenant-queue", 0,
+		"admission cap on one tenant's queued requests (0 = unbounded)")
+	shedPolicy := flag.String("shed-policy", "reject",
+		"policy at the admission cap: reject (429 the arrival) or\nshed-best-effort (drop the lowest-priority queued request instead)")
+	retryAttempts := flag.Int("retry-attempts", 1,
+		"frontend mode: total tries per runner RPC with exponential backoff,\nhonoring Retry-After and idempotency keys (1 disables retries)")
+	breakerThreshold := flag.Int("breaker-threshold", 0,
+		"frontend mode: consecutive transport failures that open a runner's\ncircuit breaker (0 disables breakers)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 3*time.Second,
+		"frontend mode: open-breaker cooldown before half-open probing")
+	netFaults := flag.String("net-faults", "",
+		"frontend mode: seeded fault plan injected on frontend-runner links\n(chaos testing), e.g. \"seed=1; lat=at:10s,hold:5s,add:200ms; part=at:30s,hold:10s,link:1\"")
 	flag.Parse()
 
 	model, err := models.ByName(*modelName)
@@ -60,17 +74,43 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	shed, err := sched.ParseShedPolicy(*shedPolicy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	admission := sched.AdmissionConfig{
+		MaxQueue:     *maxQueue,
+		MaxPerTenant: *maxTenantQueue,
+		Policy:       shed,
+	}
 
 	if *runners != "" {
 		urls := strings.Split(*runners, ",")
-		f := remote.NewFrontendWithOptions(urls, remote.FrontendOptions{
+		opts := remote.FrontendOptions{
 			Policy:         pol,
 			HealthInterval: *health,
-		})
+			Admission:      admission,
+			Retry:          remote.RetryPolicy{MaxAttempts: *retryAttempts},
+			Breaker: remote.BreakerConfig{
+				Threshold: *breakerThreshold,
+				Cooldown:  *breakerCooldown,
+			},
+		}
+		if *netFaults != "" {
+			plan, err := remote.ParseNetFaultPlan(*netFaults)
+			if err != nil {
+				log.Fatal(err)
+			}
+			opts.NetFaults = remote.NewNetFaultInjector(plan)
+		}
+		f := remote.NewFrontendWithOptions(urls, opts)
 		defer f.Close()
 		fmt.Printf("punica-serve (frontend): scheduling across %d remote runners (%s policy, health probes every %v), listening on %s\n",
 			len(urls), *policy, *health, *addr)
 		log.Fatal(http.ListenAndServe(*addr, f.Handler()))
+	}
+	if *netFaults != "" {
+		log.Fatal("punica-serve: -net-faults requires frontend mode (-runners)")
 	}
 	srv := serve.New(serve.Config{
 		NumGPUs: *gpus,
@@ -82,6 +122,7 @@ func main() {
 		},
 		Speedup:     *speedup,
 		Policy:      *policy,
+		Admission:   admission,
 		PrefillGPUs: *prefillGPUs,
 		DecodeGPUs:  *decodeGPUs,
 		Tiers:       tierSpecs,

@@ -199,3 +199,48 @@ func TestQuantizedEngineFacade(t *testing.T) {
 		t.Fatal("quantized engine did not generate")
 	}
 }
+
+func TestOverloadFacade(t *testing.T) {
+	// Admission: policy names round-trip and the errors are exported.
+	pol, err := punica.ParseShedPolicy("shed-best-effort")
+	if err != nil || pol != punica.ShedBestEffort {
+		t.Fatalf("ParseShedPolicy: %v %v", pol, err)
+	}
+	if punica.ErrQueueFull == nil || punica.ErrTenantQueueFull == nil {
+		t.Fatal("admission errors missing through facade")
+	}
+	adm := punica.AdmissionConfig{MaxQueue: 8, MaxPerTenant: 2, Policy: pol}
+	if adm.MaxQueue != 8 {
+		t.Fatal("AdmissionConfig fields wrong through facade")
+	}
+
+	// Net faults: the plan mini-language parses and stringifies.
+	plan, err := punica.ParseNetFaultPlan("seed=3; part=at:1s,hold:2s,link:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Seed != 3 || len(plan.Events) != 1 || plan.Events[0].Kind != punica.NetFaultPartition {
+		t.Fatalf("plan wrong through facade: %+v", plan)
+	}
+	inj := punica.NewNetFaultInjector(plan)
+	if inj.Stats() != (punica.NetFaultStats{}) {
+		t.Fatal("fresh injector has non-zero stats")
+	}
+
+	// Breakers and retries: config types compile and defaults hold.
+	if (punica.RetryPolicy{MaxAttempts: 1}).Enabled() {
+		t.Fatal("single-attempt retry policy must be disabled")
+	}
+	if (punica.BreakerConfig{}).Threshold != 0 {
+		t.Fatal("zero breaker config must be disabled")
+	}
+	if punica.BreakerClosed.String() != "closed" || punica.BreakerHalfOpen.String() != "half-open" {
+		t.Fatal("breaker state names wrong through facade")
+	}
+
+	// The backpressure envelope and its codes.
+	bp := punica.Backpressure{Code: punica.BackpressureQueueFull}
+	if bp.Code != "queue_full" || punica.BackpressureShed != "shed" {
+		t.Fatal("backpressure codes wrong through facade")
+	}
+}

@@ -1,0 +1,156 @@
+package remote
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the classic three-state circuit breaker.
+type BreakerState int
+
+const (
+	// BreakerClosed passes traffic; consecutive failures count up.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen quarantines the link: placement is refused until the
+	// cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen lets probe traffic through; enough successes close
+	// the breaker, one failure re-opens it.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig tunes a per-runner circuit breaker. The zero value
+// disables breaking (Threshold 0).
+type BreakerConfig struct {
+	// Threshold is the consecutive transport-failure count that opens
+	// the breaker. 0 disables the breaker entirely.
+	Threshold int
+	// Cooldown is how long an open breaker quarantines the runner before
+	// letting probe traffic test it (default 3s).
+	Cooldown time.Duration
+	// HalfOpenSuccesses is how many consecutive successes in half-open
+	// close the breaker again (default 2).
+	HalfOpenSuccesses int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Cooldown <= 0 {
+		c.Cooldown = 3 * time.Second
+	}
+	if c.HalfOpenSuccesses <= 0 {
+		c.HalfOpenSuccesses = 2
+	}
+	return c
+}
+
+// Breaker quarantines a flapping runner instead of letting the
+// scheduler fail and re-attach it over and over: consecutive transport
+// failures open it, placement is refused while open, and the health
+// prober's continuing traffic walks it through half-open back to closed
+// once the link genuinely recovers. Only transport-level outcomes feed
+// it — an HTTP error status proves the link works.
+type Breaker struct {
+	cfg BreakerConfig
+	now func() time.Time // injectable clock for tests
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int
+	succs    int
+	openedAt time.Time
+	opens    int64
+}
+
+// NewBreaker builds a breaker; cfg.Threshold must be > 0 for it to ever
+// open.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults(), now: time.Now}
+}
+
+// Failure records one transport-level failure.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.stateLocked() {
+	case BreakerClosed:
+		b.fails++
+		if b.cfg.Threshold > 0 && b.fails >= b.cfg.Threshold {
+			b.openLocked()
+		}
+	case BreakerHalfOpen:
+		// The probe failed: the runner is still sick.
+		b.openLocked()
+	}
+}
+
+// Success records one transport-level success.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.stateLocked() {
+	case BreakerClosed:
+		b.fails = 0
+	case BreakerHalfOpen:
+		b.succs++
+		if b.succs >= b.cfg.HalfOpenSuccesses {
+			b.state = BreakerClosed
+			b.fails = 0
+		}
+	}
+	// Open: a straggling in-flight success says nothing about the link
+	// now — ignored; the half-open probes decide.
+}
+
+func (b *Breaker) openLocked() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.opens++
+	b.fails = 0
+	b.succs = 0
+}
+
+// stateLocked applies the lazy open→half-open transition. Callers hold
+// b.mu.
+func (b *Breaker) stateLocked() BreakerState {
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		b.state = BreakerHalfOpen
+		b.succs = 0
+	}
+	return b.state
+}
+
+// State returns the current state (applying cooldown expiry).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stateLocked()
+}
+
+// PlacementAllowed reports whether the scheduler may place new work on
+// this runner: only when closed. Half-open admits probe traffic, not
+// placements.
+func (b *Breaker) PlacementAllowed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stateLocked() == BreakerClosed
+}
+
+// Opens counts closed/half-open → open transitions.
+func (b *Breaker) Opens() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

@@ -1,0 +1,127 @@
+package remote
+
+import (
+	"testing"
+	"time"
+
+	"punica/internal/core"
+)
+
+// fakeClock drives a breaker deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func testBreaker(cfg BreakerConfig) (*Breaker, *fakeClock) {
+	b := NewBreaker(cfg)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	b, clk := testBreaker(BreakerConfig{Threshold: 3, Cooldown: time.Second, HalfOpenSuccesses: 2})
+	if b.State() != BreakerClosed || !b.PlacementAllowed() {
+		t.Fatal("new breaker must be closed")
+	}
+	// Interleaved success resets the consecutive count.
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("non-consecutive failures must not open")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen || b.PlacementAllowed() {
+		t.Fatalf("3 consecutive failures: state=%v", b.State())
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("opens = %d, want 1", b.Opens())
+	}
+	// Cooldown elapses: half-open, still no placements.
+	clk.advance(time.Second)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("after cooldown: state=%v, want half-open", b.State())
+	}
+	if b.PlacementAllowed() {
+		t.Fatal("half-open must not admit placements")
+	}
+	// Two probe successes re-close.
+	b.Success()
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("one success must not close")
+	}
+	b.Success()
+	if b.State() != BreakerClosed || !b.PlacementAllowed() {
+		t.Fatalf("after 2 successes: state=%v, want closed", b.State())
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, clk := testBreaker(BreakerConfig{Threshold: 2, Cooldown: time.Second})
+	b.Failure()
+	b.Failure()
+	clk.advance(time.Second)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state=%v, want half-open", b.State())
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("half-open failure: state=%v, want open", b.State())
+	}
+	if b.Opens() != 2 {
+		t.Fatalf("opens = %d, want 2", b.Opens())
+	}
+	// A straggling success while open is ignored.
+	b.Success()
+	if b.State() != BreakerOpen {
+		t.Fatal("open breaker must ignore stray successes")
+	}
+}
+
+func TestBreakerDisabledNeverOpens(t *testing.T) {
+	b := NewBreaker(BreakerConfig{})
+	for i := 0; i < 100; i++ {
+		b.Failure()
+	}
+	if b.State() != BreakerClosed || !b.PlacementAllowed() {
+		t.Fatal("zero-threshold breaker must never open")
+	}
+}
+
+// TestBreakerQuarantinesSnapshot: an open breaker zeroes the client's
+// scheduler-facing snapshot, so placement is refused without a wire
+// call; probes walking it back to closed restore the snapshot.
+func TestBreakerQuarantinesSnapshot(t *testing.T) {
+	_, srv := startRunner(t, "rBrk", 4)
+	c := NewClient(srv.URL)
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Millisecond, HalfOpenSuccesses: 1})
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b.now = clk.now
+	c.SetBreaker(b)
+
+	small := &core.Request{PromptLen: 16, OutputLen: 16}
+	if snap := c.Snapshot(); !snap.CanAdmit(small) {
+		t.Fatalf("healthy runner snapshot: %+v", snap)
+	}
+	b.Failure() // threshold 1: opens
+	if snap := c.Snapshot(); snap.CanAdmit(small) || snap.MaxBatch != 0 {
+		t.Fatalf("open breaker must zero the snapshot, got %+v", snap)
+	}
+	clk.advance(time.Millisecond) // half-open: probes may pass, placements not
+	if snap := c.Snapshot(); snap.CanAdmit(small) {
+		t.Fatal("half-open breaker must still refuse placement")
+	}
+	if err := c.Probe(time.Second); err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("probe success must close, state=%v", b.State())
+	}
+	if snap := c.Snapshot(); !snap.CanAdmit(small) {
+		t.Fatal("closed breaker must restore the snapshot")
+	}
+}

@@ -3,7 +3,9 @@ package remote
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"sort"
 	"sync"
@@ -41,6 +43,21 @@ type FrontendOptions struct {
 	// request to be re-placed before giving up (default 15 s). Only
 	// meaningful with health checking enabled.
 	RecoverWait time.Duration
+
+	// Admission bounds the frontend's FCFS queue (zero = unbounded,
+	// byte-identical legacy behavior). Rejections and sheds surface as
+	// 429 with the backpressure envelope.
+	Admission sched.AdmissionConfig
+	// Retry, when Enabled, retries transient per-runner call failures
+	// with exponential backoff; mutating calls carry idempotency keys.
+	Retry RetryPolicy
+	// Breaker, when Threshold > 0, gives every runner link a circuit
+	// breaker: consecutive transport failures quarantine the runner
+	// (zero Snapshot → no placements) until probes re-close it.
+	Breaker BreakerConfig
+	// NetFaults, when non-nil, injects the plan's link faults into every
+	// frontend↔runner transport (including probes and token streams).
+	NetFaults *NetFaultInjector
 }
 
 func (o FrontendOptions) withDefaults() FrontendOptions {
@@ -82,7 +99,9 @@ type Frontend struct {
 	nextID    int64
 	placed    map[int64]placement
 	waiters   map[int64]chan *sched.GPU
-	failed    []string // UUIDs of runners declared dead
+	shed      map[int64]bool // queued requests dropped by the admission layer
+	rejects   int64          // 429s answered by /v1/generate
+	failed    []string       // UUIDs of runners declared dead
 	failures  int64
 	recovered int64
 	start     time.Time
@@ -116,18 +135,31 @@ func NewFrontendWithOptions(runnerURLs []string, opts FrontendOptions) *Frontend
 		clients:   make(map[*sched.GPU]*Client),
 		placed:    make(map[int64]placement),
 		waiters:   make(map[int64]chan *sched.GPU),
+		shed:      make(map[int64]bool),
 		start:     time.Now(),
 		stop:      make(chan struct{}),
 		roleKnown: make(map[*sched.GPU]bool),
 	}
 	var gpus []*sched.GPU
 	for i, url := range runnerURLs {
-		client := NewClient(url)
+		var rt http.RoundTripper
+		if opts.NetFaults != nil {
+			rt = opts.NetFaults.Transport(i, nil)
+		}
+		client := NewClientWithTransport(url, rt)
+		if opts.Retry.Enabled() {
+			client.SetRetry(opts.Retry)
+		}
+		if opts.Breaker.Threshold > 0 {
+			client.SetBreaker(NewBreaker(opts.Breaker))
+		}
 		g := &sched.GPU{UUID: fmt.Sprintf("runner-%02d@%s", i, url), Engine: client}
 		f.clients[g] = client
 		gpus = append(gpus, g)
 	}
 	f.sch = sched.NewWithPolicy(gpus, opts.Policy)
+	f.sch.SetAdmission(opts.Admission)
+	f.sch.OnShed = f.onShed
 	f.wg.Add(1)
 	go f.drainLoop(opts.DrainInterval)
 	if opts.HealthInterval > 0 {
@@ -217,13 +249,39 @@ func (f *Frontend) migrateTick() {
 	}
 }
 
+// Probe outcome classes for the health loop's suspicion score.
+const (
+	probeOK   = iota // answered 200 in time
+	probeSlow        // deadline exceeded: possibly just slow
+	probeDead        // refused / reset / error status: hard evidence
+)
+
+// classifyProbe separates "didn't answer in time" from "actively
+// refused": a timeout might be a long batch or GC pause, a connection
+// refusal is a dead process.
+func classifyProbe(err error) int {
+	if err == nil {
+		return probeOK
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return probeSlow
+	}
+	return probeDead
+}
+
 // healthLoop probes every managed runner and fails the ones that stop
-// answering.
+// answering. Each runner carries a suspicion score with hysteresis:
+// refusals add 2, timeouts add 1, and a success decays the score by 1
+// instead of resetting it — so one slow probe cannot fail a healthy
+// runner, a cleanly dead one still fails after HealthThreshold probes,
+// and a flapping runner (alternating probe outcomes) accumulates
+// suspicion rather than being forgiven every other tick.
 func (f *Frontend) healthLoop() {
 	defer f.wg.Done()
 	ticker := time.NewTicker(f.opts.HealthInterval)
 	defer ticker.Stop()
-	fails := make(map[*sched.GPU]int)
+	scores := make(map[*sched.GPU]int)
 	for {
 		select {
 		case <-f.stop:
@@ -233,15 +291,20 @@ func (f *Frontend) healthLoop() {
 			gpus := append([]*sched.GPU(nil), f.sch.GPUs()...)
 			f.mu.Unlock()
 			for _, g := range gpus {
-				if f.clients[g].Probe(f.opts.HealthTimeout) != nil {
-					fails[g]++
-					if fails[g] >= f.opts.HealthThreshold {
-						delete(fails, g)
-						f.failRunner(g)
+				switch classifyProbe(f.clients[g].Probe(f.opts.HealthTimeout)) {
+				case probeOK:
+					if scores[g] > 0 {
+						scores[g]--
 					}
-					continue
+				case probeSlow:
+					scores[g]++
+				case probeDead:
+					scores[g] += 2
 				}
-				delete(fails, g)
+				if scores[g] >= 2*f.opts.HealthThreshold {
+					delete(scores, g)
+					f.failRunner(g)
+				}
 			}
 		}
 	}
@@ -307,9 +370,31 @@ func (f *Frontend) failRunner(g *sched.GPU) {
 	}
 }
 
+// ErrShed reports that a queued request was dropped by the admission
+// layer's best-effort shedding to make room for a higher-priority
+// arrival. The generate endpoint answers it with 429.
+var ErrShed = errors.New("remote: request shed under overload")
+
+// onShed marks a queued request dropped by the admission layer and
+// wakes its Submit waiter with a closed channel. Runs with f.mu held
+// (inside Dispatch inside Submit).
+func (f *Frontend) onShed(r *core.Request) {
+	f.shed[r.ID] = true
+	if ch, ok := f.waiters[r.ID]; ok {
+		close(ch)
+		delete(f.waiters, r.ID)
+	}
+}
+
 // Submit dispatches a request and returns the runner that owns it,
 // blocking while the request waits in the FCFS queue.
 func (f *Frontend) Submit(model int64, promptLen, outputLen int, timeout time.Duration) (int64, *Client, error) {
+	return f.SubmitTenant(model, 0, promptLen, outputLen, timeout)
+}
+
+// SubmitTenant is Submit with a tenant tag for the per-tenant admission
+// cap and the fairness layer.
+func (f *Frontend) SubmitTenant(model, tenant int64, promptLen, outputLen int, timeout time.Duration) (int64, *Client, error) {
 	f.mu.Lock()
 	f.nextID++
 	id := f.nextID
@@ -319,6 +404,7 @@ func (f *Frontend) Submit(model int64, promptLen, outputLen int, timeout time.Du
 		PromptLen: promptLen,
 		OutputLen: outputLen,
 		Arrival:   f.now(),
+		Tenant:    tenant,
 	}
 	g, err := f.sch.Dispatch(r, f.now())
 	if err != nil {
@@ -341,7 +427,12 @@ func (f *Frontend) Submit(model int64, promptLen, outputLen int, timeout time.Du
 	defer deadline.Stop()
 	for {
 		select {
-		case g := <-ch:
+		case g, ok := <-ch:
+			if !ok || g == nil {
+				// Channel closed without a placement: the admission
+				// layer shed this request while it waited.
+				return 0, nil, ErrShed
+			}
 			f.mu.Lock()
 			client := f.clients[g]
 			f.mu.Unlock()
@@ -479,12 +570,49 @@ func (f *Frontend) handleGenerate(w http.ResponseWriter, req *http.Request) {
 	if gr.MaxTokens <= 0 {
 		gr.MaxTokens = 128
 	}
-	id, client, err := f.Submit(gr.Model, promptLen, gr.MaxTokens, 2*time.Minute)
+	id, client, err := f.SubmitTenant(gr.Model, gr.Tenant, promptLen, gr.MaxTokens, 2*time.Minute)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		// The same backpressure envelope as the in-process server:
+		// admission refusals and sheds answer 429 with a drain-rate
+		// Retry-After; everything else stays a retryable 503.
+		switch {
+		case errors.Is(err, sched.ErrQueueFull):
+			f.note429()
+			serve.WriteBackpressure(w, http.StatusTooManyRequests, serve.CodeQueueFull, err.Error(), f.retryAfter())
+		case errors.Is(err, sched.ErrTenantQueueFull):
+			f.note429()
+			serve.WriteBackpressure(w, http.StatusTooManyRequests, serve.CodeTenantQueueFull, err.Error(), f.retryAfter())
+		case errors.Is(err, ErrShed):
+			f.note429()
+			serve.WriteBackpressure(w, http.StatusTooManyRequests, serve.CodeShed, err.Error(), f.retryAfter())
+		default:
+			serve.WriteBackpressure(w, http.StatusServiceUnavailable, serve.CodeUnavailable, err.Error(), f.retryAfter())
+		}
 		return
 	}
 	f.streamToUser(w, req, id, client)
+}
+
+// note429 counts one 429 answered by the generate endpoint.
+func (f *Frontend) note429() {
+	f.mu.Lock()
+	f.rejects++
+	f.mu.Unlock()
+}
+
+// retryAfter derives the advertised wait from the scheduler's drain
+// rate, clamped to [1s, 120s] (frontend time runs at wall speed).
+func (f *Frontend) retryAfter() time.Duration {
+	f.mu.Lock()
+	d := f.sch.RetryAfterHint(1)
+	f.mu.Unlock()
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > 120*time.Second {
+		d = 120 * time.Second
+	}
+	return d
 }
 
 // streamToUser proxies the runner's NDJSON token stream to the user.
@@ -517,7 +645,9 @@ func (f *Frontend) streamToUser(w http.ResponseWriter, req *http.Request, id int
 			fail(err.Error(), http.StatusInternalServerError)
 			return
 		}
-		resp, err := http.DefaultClient.Do(streamReq)
+		// The stream rides the link's own transport (StreamDo), so an
+		// injected partition severs it exactly like a real one.
+		resp, err := client.StreamDo(streamReq)
 		if err != nil || resp.StatusCode != http.StatusOK {
 			if resp != nil {
 				resp.Body.Close()
@@ -590,10 +720,19 @@ func (f *Frontend) streamToUser(w http.ResponseWriter, req *http.Request, id int
 func (f *Frontend) handleStats(w http.ResponseWriter, _ *http.Request) {
 	f.mu.Lock()
 	clients := make([]*Client, 0, len(f.clients))
-	for _, c := range f.clients {
+	breakers := make(map[string]string)
+	var retries int64
+	for g, c := range f.clients {
 		clients = append(clients, c)
+		retries += c.Retries()
+		if b := c.Breaker(); b != nil {
+			breakers[g.UUID] = b.State().String()
+		}
 	}
 	queueLen := f.sch.QueueLen()
+	queuePeak := f.sch.QueuePeak()
+	admStats := f.sch.AdmissionStats()
+	rejects := f.rejects
 	failed := append([]string(nil), f.failed...)
 	failures := f.failures
 	recovered := f.recovered
@@ -607,15 +746,31 @@ func (f *Frontend) handleStats(w http.ResponseWriter, _ *http.Request) {
 		}
 		states = append(states, st)
 	}
+	var faults *NetFaultStats
+	if f.opts.NetFaults != nil {
+		s := f.opts.NetFaults.Stats()
+		faults = &s
+	}
 	writeJSON(w, struct {
-		Runners       []State  `json:"runners"`
-		QueueLen      int      `json:"queue_len"`
-		FailedRunners []string `json:"failed_runners,omitempty"`
-		GPUFailures   int64    `json:"gpu_failures"`
-		Recovered     int64    `json:"recovered_requests"`
-		KVMigrations  int64    `json:"kv_migrations"`
-		KVPrefetches  int64    `json:"adapter_prefetches"`
-	}{Runners: states, QueueLen: queueLen, FailedRunners: failed,
+		Runners        []State           `json:"runners"`
+		QueueLen       int               `json:"queue_len"`
+		QueuePeak      int               `json:"queue_peak"`
+		FailedRunners  []string          `json:"failed_runners,omitempty"`
+		GPUFailures    int64             `json:"gpu_failures"`
+		Recovered      int64             `json:"recovered_requests"`
+		KVMigrations   int64             `json:"kv_migrations"`
+		KVPrefetches   int64             `json:"adapter_prefetches"`
+		Rejected       int64             `json:"admission_rejected,omitempty"`
+		TenantRejected int64             `json:"admission_tenant_rejected,omitempty"`
+		Shed           int64             `json:"admission_shed,omitempty"`
+		HTTP429        int64             `json:"http_429,omitempty"`
+		Retries        int64             `json:"retries,omitempty"`
+		Breakers       map[string]string `json:"breakers,omitempty"`
+		NetFaults      *NetFaultStats    `json:"net_faults,omitempty"`
+	}{Runners: states, QueueLen: queueLen, QueuePeak: queuePeak, FailedRunners: failed,
 		GPUFailures: failures, Recovered: recovered,
-		KVMigrations: schedStats.KVMigrations, KVPrefetches: schedStats.AdapterPrefetches})
+		KVMigrations: schedStats.KVMigrations, KVPrefetches: schedStats.AdapterPrefetches,
+		Rejected: admStats.Rejected, TenantRejected: admStats.TenantRejected,
+		Shed: admStats.Shed, HTTP429: rejects, Retries: retries,
+		Breakers: breakers, NetFaults: faults})
 }

@@ -1,0 +1,120 @@
+package remote
+
+import (
+	"bytes"
+	"net/http"
+	"sync"
+)
+
+// idemTableCapacity bounds the runner's replay table. Keys are evicted
+// FIFO; a retry arriving after its key fell out simply re-executes,
+// which is the pre-idempotency behavior — the table narrows the
+// double-apply window, correctness under normal retry spacing needs far
+// fewer than this many in-flight keys.
+const idemTableCapacity = 4096
+
+// idemEntry records one idempotent call's response for replay. done
+// closes when the first execution finishes; duplicates that arrive
+// while it is still running wait instead of re-executing.
+type idemEntry struct {
+	done   chan struct{}
+	status int
+	header http.Header
+	body   []byte
+}
+
+// idemTable deduplicates calls by X-Idempotency-Key: the first request
+// with a key executes the handler against a recorder, every duplicate —
+// concurrent or later — replays the recorded status and body
+// byte-for-byte. This is what makes client resubmission after a dropped
+// *response* safe: the runner-side effect happened once, and the retry
+// just fetches the answer it never received.
+type idemTable struct {
+	mu      sync.Mutex
+	entries map[string]*idemEntry
+	order   []string
+	limit   int
+}
+
+func newIdemTable(limit int) *idemTable {
+	return &idemTable{entries: make(map[string]*idemEntry), limit: limit}
+}
+
+// wrap makes a handler idempotent. Requests without a key pass through
+// untouched.
+func (t *idemTable) wrap(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		key := req.Header.Get(idemHeader)
+		if key == "" {
+			h(w, req)
+			return
+		}
+		t.mu.Lock()
+		if e, ok := t.entries[key]; ok {
+			t.mu.Unlock()
+			<-e.done
+			replayIdem(w, e)
+			return
+		}
+		e := &idemEntry{done: make(chan struct{})}
+		t.entries[key] = e
+		t.order = append(t.order, key)
+		// FIFO eviction; waiters hold the entry pointer, so evicting an
+		// in-flight key cannot strand them — its executor still closes
+		// done.
+		for len(t.order) > t.limit {
+			delete(t.entries, t.order[0])
+			t.order = t.order[1:]
+		}
+		t.mu.Unlock()
+
+		rec := &idemRecorder{header: make(http.Header)}
+		h(rec, req)
+		e.status = rec.status()
+		e.header = rec.header
+		e.body = rec.body.Bytes()
+		close(e.done)
+		replayIdem(w, e)
+	}
+}
+
+func replayIdem(w http.ResponseWriter, e *idemEntry) {
+	for k, vs := range e.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(e.status)
+	_, _ = w.Write(e.body)
+}
+
+// idemRecorder captures a handler's response. The wrapped handlers
+// write small JSON bodies; streaming/flushing handlers must not be
+// wrapped.
+type idemRecorder struct {
+	header http.Header
+	body   bytes.Buffer
+	code   int
+}
+
+func (r *idemRecorder) Header() http.Header { return r.header }
+
+func (r *idemRecorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+}
+
+func (r *idemRecorder) Write(b []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.body.Write(b)
+}
+
+func (r *idemRecorder) status() int {
+	if r.code == 0 {
+		return http.StatusOK
+	}
+	return r.code
+}

@@ -1,0 +1,498 @@
+package remote
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Network fault injection for the frontend↔runner links. A NetFaultPlan
+// describes a deterministic schedule of link faults — latency spikes,
+// request drops, response drops, and full partitions, each with a
+// ramp/hold/heal envelope — and NetFaultInjector applies it as an
+// http.RoundTripper wrapper, so neither the frontend nor the runner code
+// knows faults exist. All randomness is a pure hash of (seed, link,
+// event, per-link call sequence): the same plan replays the same faults.
+
+// NetFaultKind enumerates the injectable link faults.
+type NetFaultKind int
+
+const (
+	// FaultLatency adds wall latency to each call on the link.
+	FaultLatency NetFaultKind = iota
+	// FaultDropRequest drops the call before it reaches the runner.
+	FaultDropRequest
+	// FaultDropResponse delivers the call but drops the response on the
+	// way back — the runner-side effect happened, the caller sees a
+	// transport error. This is the fault idempotency keys exist for.
+	FaultDropResponse
+	// FaultPartition refuses everything on the link.
+	FaultPartition
+)
+
+// String returns the plan-grammar keyword for the kind.
+func (k NetFaultKind) String() string {
+	switch k {
+	case FaultLatency:
+		return "lat"
+	case FaultDropRequest:
+		return "drop"
+	case FaultDropResponse:
+		return "rsp-drop"
+	case FaultPartition:
+		return "part"
+	default:
+		return fmt.Sprintf("NetFaultKind(%d)", int(k))
+	}
+}
+
+// NetFaultEvent is one fault window with a trapezoid intensity envelope:
+// zero before At, ramping to full over Ramp, full for Hold, healing back
+// to zero over Heal.
+type NetFaultEvent struct {
+	Kind NetFaultKind
+	// At is the window start, measured from injector creation.
+	At time.Duration
+	// Ramp is the 0→full onset width (0 = instant).
+	Ramp time.Duration
+	// Hold is how long the fault stays at full intensity.
+	Hold time.Duration
+	// Heal is the full→0 recovery width (0 = instant).
+	Heal time.Duration
+	// P is the peak fault probability for drop/rsp-drop/part (default 1).
+	P float64
+	// Add is the peak added latency for lat events.
+	Add time.Duration
+	// Link targets one link index; -1 (the default) hits every link.
+	Link int
+}
+
+// scale returns the trapezoid intensity in [0, 1] at time t.
+func (e NetFaultEvent) scale(t time.Duration) float64 {
+	t -= e.At
+	if t < 0 {
+		return 0
+	}
+	if t < e.Ramp {
+		return float64(t) / float64(e.Ramp)
+	}
+	t -= e.Ramp
+	if t < e.Hold {
+		return 1
+	}
+	t -= e.Hold
+	if t < e.Heal {
+		return 1 - float64(t)/float64(e.Heal)
+	}
+	return 0
+}
+
+func (e NetFaultEvent) appliesTo(link int) bool {
+	return e.Link < 0 || e.Link == link
+}
+
+// clause renders the event in the plan grammar (String's inverse is
+// ParseNetFaultPlan).
+func (e NetFaultEvent) clause() string {
+	var b strings.Builder
+	b.WriteString(e.Kind.String())
+	b.WriteString("=at:")
+	b.WriteString(e.At.String())
+	if e.Ramp > 0 {
+		b.WriteString(",ramp:" + e.Ramp.String())
+	}
+	if e.Hold > 0 {
+		b.WriteString(",hold:" + e.Hold.String())
+	}
+	if e.Heal > 0 {
+		b.WriteString(",heal:" + e.Heal.String())
+	}
+	if e.Kind == FaultLatency {
+		b.WriteString(",add:" + e.Add.String())
+	} else if e.P != 1 {
+		b.WriteString(",p:" + strconv.FormatFloat(e.P, 'g', -1, 64))
+	}
+	if e.Link >= 0 {
+		b.WriteString(",link:" + strconv.Itoa(e.Link))
+	}
+	return b.String()
+}
+
+// NetFaultPlan is a seeded schedule of link faults.
+type NetFaultPlan struct {
+	Seed   int64
+	Events []NetFaultEvent
+}
+
+// Empty reports whether the plan injects nothing.
+func (p NetFaultPlan) Empty() bool { return len(p.Events) == 0 }
+
+// String renders the plan in the grammar ParseNetFaultPlan accepts.
+func (p NetFaultPlan) String() string {
+	parts := make([]string, 0, len(p.Events)+1)
+	if p.Seed != 0 {
+		parts = append(parts, "seed="+strconv.FormatInt(p.Seed, 10))
+	}
+	for _, e := range p.Events {
+		parts = append(parts, e.clause())
+	}
+	return strings.Join(parts, "; ")
+}
+
+// ParseNetFaultPlan parses the fault-plan mini-language: `;`-separated
+// `key=value` clauses in the same style as the traffic-spec grammar.
+//
+//	seed=42                                — hash seed for fault draws
+//	lat=at:10s,ramp:2s,hold:5s,heal:2s,add:200ms
+//	drop=at:0s,hold:5s,p:0.3               — drop 30% of requests
+//	rsp-drop=at:0s,hold:5s,p:0.2,link:1    — drop 20% of responses, link 1
+//	part=at:20s,hold:10s,link:0            — full partition of link 0
+//
+// Sub-fields: at (window start), ramp/hold/heal (trapezoid widths, at
+// least one > 0), p (peak probability, drop kinds only, default 1), add
+// (peak added latency, lat only, required), link (target link index,
+// default all links). The lat/drop/rsp-drop/part clauses repeat freely;
+// overlapping windows compose (latencies add, drop draws are
+// independent).
+func ParseNetFaultPlan(s string) (NetFaultPlan, error) {
+	plan := NetFaultPlan{}
+	for _, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			return plan, fmt.Errorf("net-fault plan: clause %q is not key=value", clause)
+		}
+		key = strings.TrimSpace(key)
+		var err error
+		switch key {
+		case "seed":
+			plan.Seed, err = strconv.ParseInt(strings.TrimSpace(val), 10, 64)
+		case "lat", "drop", "rsp-drop", "part":
+			var ev NetFaultEvent
+			ev, err = parseNetFaultEvent(key, val)
+			if err == nil {
+				plan.Events = append(plan.Events, ev)
+			}
+		default:
+			return plan, fmt.Errorf("net-fault plan: unknown key %q", key)
+		}
+		if err != nil {
+			return plan, fmt.Errorf("net-fault plan: %s=%s: %w", key, val, err)
+		}
+	}
+	return plan, nil
+}
+
+func parseNetFaultEvent(key, val string) (NetFaultEvent, error) {
+	kinds := map[string]NetFaultKind{
+		"lat":      FaultLatency,
+		"drop":     FaultDropRequest,
+		"rsp-drop": FaultDropResponse,
+		"part":     FaultPartition,
+	}
+	ev := NetFaultEvent{Kind: kinds[key], P: 1, Link: -1}
+	for _, field := range strings.Split(val, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(field, ":")
+		if !ok {
+			return ev, fmt.Errorf("field %q is not k:v", field)
+		}
+		var err error
+		switch k {
+		case "at":
+			ev.At, err = parseFaultDuration(v)
+		case "ramp":
+			ev.Ramp, err = parseFaultDuration(v)
+		case "hold":
+			ev.Hold, err = parseFaultDuration(v)
+		case "heal":
+			ev.Heal, err = parseFaultDuration(v)
+		case "p":
+			if ev.Kind == FaultLatency {
+				return ev, fmt.Errorf("p applies to drop/rsp-drop/part, not lat")
+			}
+			ev.P, err = strconv.ParseFloat(v, 64)
+			if err == nil && (ev.P < 0 || ev.P > 1) {
+				err = fmt.Errorf("probability %v outside [0, 1]", ev.P)
+			}
+		case "add":
+			if ev.Kind != FaultLatency {
+				return ev, fmt.Errorf("add applies to lat only")
+			}
+			ev.Add, err = parseFaultDuration(v)
+			if err == nil && ev.Add <= 0 {
+				err = fmt.Errorf("added latency must be positive")
+			}
+		case "link":
+			ev.Link, err = strconv.Atoi(v)
+			if err == nil && ev.Link < 0 {
+				err = fmt.Errorf("link index must be >= 0")
+			}
+		default:
+			return ev, fmt.Errorf("unknown field %q", k)
+		}
+		if err != nil {
+			return ev, fmt.Errorf("%s: %w", k, err)
+		}
+	}
+	if ev.Ramp+ev.Hold+ev.Heal <= 0 {
+		return ev, fmt.Errorf("zero-width window: set ramp, hold or heal")
+	}
+	if ev.Kind == FaultLatency && ev.Add <= 0 {
+		return ev, fmt.Errorf("lat requires add")
+	}
+	return ev, nil
+}
+
+func parseFaultDuration(s string) (time.Duration, error) {
+	d, err := time.ParseDuration(strings.TrimSpace(s))
+	if err != nil {
+		return 0, err
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("duration %v is negative", d)
+	}
+	return d, nil
+}
+
+// NetFaultError is the transport error surfaced for an injected fault.
+// Timeout() is false: an injected drop looks like a hard connection
+// failure, not a slow peer — probe classification treats it as refusal.
+type NetFaultError struct {
+	Kind NetFaultKind
+	Link int
+}
+
+func (e *NetFaultError) Error() string {
+	return fmt.Sprintf("netfault: injected %s on link %d", e.Kind, e.Link)
+}
+
+// Timeout implements net.Error.
+func (e *NetFaultError) Timeout() bool { return false }
+
+// Temporary implements net.Error (deprecated in net, but cheap to honor).
+func (e *NetFaultError) Temporary() bool { return true }
+
+// NetFaultStats counts injected faults.
+type NetFaultStats struct {
+	Delays            int64 `json:"delays"`
+	DroppedRequests   int64 `json:"dropped_requests"`
+	DroppedResponses  int64 `json:"dropped_responses"`
+	PartitionRefusals int64 `json:"partition_refusals"`
+}
+
+// NetFaultInjector applies a NetFaultPlan to HTTP links. One injector
+// covers a fleet: Transport(link, base) wraps the transport for one
+// frontend↔runner link, and fault draws are a pure hash of (plan seed,
+// link, event index, per-link call sequence) so a fixed plan replays the
+// same faults call-for-call.
+type NetFaultInjector struct {
+	plan  NetFaultPlan
+	start time.Time
+	// now returns elapsed plan time; tests override for determinism.
+	now func() time.Duration
+
+	mu  sync.Mutex
+	seq map[int]uint64
+
+	delays     atomic.Int64
+	droppedReq atomic.Int64
+	droppedRsp atomic.Int64
+	partitions atomic.Int64
+}
+
+// NewNetFaultInjector starts a plan's clock at call time.
+func NewNetFaultInjector(plan NetFaultPlan) *NetFaultInjector {
+	n := &NetFaultInjector{
+		plan:  plan,
+		start: time.Now(),
+		seq:   make(map[int]uint64),
+	}
+	n.now = func() time.Duration { return time.Since(n.start) }
+	return n
+}
+
+// Stats snapshots the injected-fault counters.
+func (n *NetFaultInjector) Stats() NetFaultStats {
+	return NetFaultStats{
+		Delays:            n.delays.Load(),
+		DroppedRequests:   n.droppedReq.Load(),
+		DroppedResponses:  n.droppedRsp.Load(),
+		PartitionRefusals: n.partitions.Load(),
+	}
+}
+
+// Plan returns the injector's schedule.
+func (n *NetFaultInjector) Plan() NetFaultPlan { return n.plan }
+
+// Transport wraps base (nil = http.DefaultTransport) with the plan's
+// faults for one link.
+func (n *NetFaultInjector) Transport(link int, base http.RoundTripper) http.RoundTripper {
+	return &faultTransport{inj: n, link: link, base: base}
+}
+
+func (n *NetFaultInjector) nextSeq(link int) uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.seq[link]++
+	return n.seq[link]
+}
+
+// faultMix64 is the splitmix64 finalizer: every fault draw is one of
+// these chains, never mutable PRNG state.
+func faultMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// draw returns a uniform [0, 1) decided purely by (seed, link, event,
+// seq).
+func (n *NetFaultInjector) draw(link, event int, seq uint64) float64 {
+	h := faultMix64(uint64(n.plan.Seed) ^ 0xd1b54a32d192ed03)
+	h = faultMix64(h ^ uint64(link)*0x9e3779b97f4a7c15)
+	h = faultMix64(h ^ uint64(event)*0xbf58476d1ce4e5b9)
+	h = faultMix64(h ^ seq)
+	return float64(h>>11) / (1 << 53)
+}
+
+type faultTransport struct {
+	inj  *NetFaultInjector
+	link int
+	base http.RoundTripper
+}
+
+func (ft *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	inj := ft.inj
+	t := inj.now()
+	seq := inj.nextSeq(ft.link)
+	var delay time.Duration
+	dropResponse := false
+	for i, e := range inj.plan.Events {
+		if !e.appliesTo(ft.link) {
+			continue
+		}
+		s := e.scale(t)
+		if s <= 0 {
+			continue
+		}
+		switch e.Kind {
+		case FaultLatency:
+			delay += time.Duration(float64(e.Add) * s)
+		case FaultDropRequest:
+			if p := e.P * s; p >= 1 || inj.draw(ft.link, i, seq) < p {
+				inj.droppedReq.Add(1)
+				closeRequestBody(req)
+				return nil, &NetFaultError{Kind: e.Kind, Link: ft.link}
+			}
+		case FaultPartition:
+			if p := e.P * s; p >= 1 || inj.draw(ft.link, i, seq) < p {
+				inj.partitions.Add(1)
+				closeRequestBody(req)
+				return nil, &NetFaultError{Kind: e.Kind, Link: ft.link}
+			}
+		case FaultDropResponse:
+			if p := e.P * s; p >= 1 || inj.draw(ft.link, i, seq) < p {
+				dropResponse = true
+			}
+		}
+	}
+	if delay > 0 {
+		inj.delays.Add(1)
+		select {
+		case <-time.After(delay):
+		case <-req.Context().Done():
+			closeRequestBody(req)
+			return nil, req.Context().Err()
+		}
+	}
+	base := ft.base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if inj.hasPartitionFor(ft.link) {
+		// A real partition kills established connections too: wrap the
+		// body so reads fail while a full partition is active — this is
+		// what severs a long-lived token stream mid-flight.
+		resp.Body = &faultBody{body: resp.Body, inj: inj, link: ft.link}
+	}
+	if dropResponse {
+		// The call executed on the runner; only its answer is lost. The
+		// caller must treat this like any transport failure — and must
+		// not blindly resubmit non-idempotent work.
+		resp.Body.Close()
+		inj.droppedRsp.Add(1)
+		return nil, &NetFaultError{Kind: FaultDropResponse, Link: ft.link}
+	}
+	return resp, nil
+}
+
+// closeRequestBody honors the RoundTripper contract: even on error the
+// transport owns and must close the request body.
+func closeRequestBody(req *http.Request) {
+	if req.Body != nil {
+		req.Body.Close()
+	}
+}
+
+// hasPartitionFor reports whether any partition event targets the link
+// (at any time) — the cheap gate for body wrapping.
+func (n *NetFaultInjector) hasPartitionFor(link int) bool {
+	for _, e := range n.plan.Events {
+		if e.Kind == FaultPartition && e.appliesTo(link) {
+			return true
+		}
+	}
+	return false
+}
+
+// partitionActive reports whether a full (p·scale >= 1) partition
+// covers the link right now. Partial drop probabilities affect new
+// calls only; severing established connections is a full partition's
+// behavior.
+func (n *NetFaultInjector) partitionActive(link int) bool {
+	t := n.now()
+	for _, e := range n.plan.Events {
+		if e.Kind == FaultPartition && e.appliesTo(link) && e.P*e.scale(t) >= 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// faultBody fails reads while a full partition covers the link.
+type faultBody struct {
+	body io.ReadCloser
+	inj  *NetFaultInjector
+	link int
+}
+
+func (b *faultBody) Read(p []byte) (int, error) {
+	if b.inj.partitionActive(b.link) {
+		b.body.Close()
+		b.inj.partitions.Add(1)
+		return 0, &NetFaultError{Kind: FaultPartition, Link: b.link}
+	}
+	return b.body.Read(p)
+}
+
+func (b *faultBody) Close() error { return b.body.Close() }

@@ -1,0 +1,248 @@
+package remote
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParseNetFaultPlan(t *testing.T) {
+	plan, err := ParseNetFaultPlan(
+		"seed=42; lat=at:10s,ramp:2s,hold:5s,heal:2s,add:200ms; " +
+			"drop=at:0s,hold:5s,p:0.3; rsp-drop=at:1s,hold:2s,p:0.2,link:1; " +
+			"part=at:20s,hold:10s,link:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Seed != 42 || len(plan.Events) != 4 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	lat := plan.Events[0]
+	if lat.Kind != FaultLatency || lat.At != 10*time.Second || lat.Ramp != 2*time.Second ||
+		lat.Hold != 5*time.Second || lat.Heal != 2*time.Second || lat.Add != 200*time.Millisecond ||
+		lat.Link != -1 {
+		t.Fatalf("lat event = %+v", lat)
+	}
+	if d := plan.Events[1]; d.Kind != FaultDropRequest || d.P != 0.3 {
+		t.Fatalf("drop event = %+v", d)
+	}
+	if rd := plan.Events[2]; rd.Kind != FaultDropResponse || rd.Link != 1 {
+		t.Fatalf("rsp-drop event = %+v", rd)
+	}
+	if pt := plan.Events[3]; pt.Kind != FaultPartition || pt.P != 1 || pt.Link != 0 {
+		t.Fatalf("part event = %+v", pt)
+	}
+
+	for _, bad := range []string{
+		"nope=1",                          // unknown key
+		"lat=at:1s,hold:1s",               // lat without add
+		"lat=at:1s,hold:1s,add:0s",        // non-positive add
+		"drop=p:0.5",                      // zero-width window
+		"drop=at:1s,hold:1s,p:1.5",        // p out of range
+		"drop=at:1s,hold:1s,p:0.5,add:1s", // add on non-lat
+		"lat=at:1s,hold:1s,add:1s,p:0.5",  // p on lat
+		"part=at:-1s,hold:1s",             // negative duration
+		"part=at:1s,hold:1s,link:-2",      // negative link
+		"drop=at:1s,hold:1s,bogus:3",      // unknown field
+		"drop at:1s",                      // not key=value
+	} {
+		if _, err := ParseNetFaultPlan(bad); err == nil {
+			t.Errorf("ParseNetFaultPlan(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNetFaultPlanStringRoundTrip(t *testing.T) {
+	in := "seed=7; lat=at:1s,ramp:500ms,hold:2s,heal:500ms,add:100ms; part=at:5s,hold:3s,link:2"
+	plan, err := ParseNetFaultPlan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseNetFaultPlan(plan.String())
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", plan.String(), err)
+	}
+	if !reflect.DeepEqual(plan, again) {
+		t.Fatalf("round trip changed the plan:\n  %+v\n  %+v", plan, again)
+	}
+}
+
+func TestNetFaultScaleTrapezoid(t *testing.T) {
+	e := NetFaultEvent{At: 10 * time.Second, Ramp: 2 * time.Second,
+		Hold: 4 * time.Second, Heal: 2 * time.Second}
+	cases := []struct {
+		t    time.Duration
+		want float64
+	}{
+		{9 * time.Second, 0},
+		{11 * time.Second, 0.5}, // mid-ramp
+		{13 * time.Second, 1},   // hold
+		{17 * time.Second, 0.5}, // mid-heal
+		{19 * time.Second, 0},   // healed
+	}
+	for _, c := range cases {
+		if got := e.scale(c.t); got != c.want {
+			t.Errorf("scale(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	// Instant on/off: no ramp/heal.
+	sq := NetFaultEvent{At: time.Second, Hold: time.Second}
+	if sq.scale(999*time.Millisecond) != 0 || sq.scale(1500*time.Millisecond) != 1 ||
+		sq.scale(2001*time.Millisecond) != 0 {
+		t.Fatal("square window wrong")
+	}
+}
+
+func TestNetFaultTransportPartitionWindow(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	t.Cleanup(srv.Close)
+
+	plan, err := ParseNetFaultPlan("part=at:1s,hold:1s,link:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := NewNetFaultInjector(plan)
+	var now atomic.Int64
+	inj.now = func() time.Duration { return time.Duration(now.Load()) }
+	client := &http.Client{Transport: inj.Transport(0, nil)}
+	other := &http.Client{Transport: inj.Transport(1, nil)}
+
+	get := func(c *http.Client) error {
+		resp, err := c.Get(srv.URL)
+		if err == nil {
+			resp.Body.Close()
+		}
+		return err
+	}
+
+	now.Store(int64(500 * time.Millisecond))
+	if err := get(client); err != nil {
+		t.Fatalf("before window: %v", err)
+	}
+	now.Store(int64(1500 * time.Millisecond))
+	if err := get(client); err == nil {
+		t.Fatal("inside window: call must fail")
+	}
+	if err := get(other); err != nil {
+		t.Fatalf("other link inside window: %v", err)
+	}
+	now.Store(int64(2500 * time.Millisecond))
+	if err := get(client); err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+	st := inj.Stats()
+	if st.PartitionRefusals != 1 {
+		t.Fatalf("stats = %+v, want 1 partition refusal", st)
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3 (partitioned call never arrives)", hits.Load())
+	}
+}
+
+func TestNetFaultResponseDropExecutesServerSide(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	t.Cleanup(srv.Close)
+
+	plan, _ := ParseNetFaultPlan("rsp-drop=at:0s,hold:10s")
+	inj := NewNetFaultInjector(plan)
+	inj.now = func() time.Duration { return time.Second }
+	client := &http.Client{Transport: inj.Transport(0, nil)}
+	_, err := client.Get(srv.URL)
+	if err == nil {
+		t.Fatal("dropped response must surface as an error")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d calls, want 1: the request side must deliver", hits.Load())
+	}
+	if st := inj.Stats(); st.DroppedResponses != 1 {
+		t.Fatalf("stats = %+v, want 1 dropped response", st)
+	}
+}
+
+// TestNetFaultDeterministicDraws: the same seed and call sequence yield
+// byte-identical fault decisions and counters; a different seed diverges.
+func TestNetFaultDeterministicDraws(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	t.Cleanup(srv.Close)
+
+	run := func(seed int64) ([]bool, NetFaultStats) {
+		plan, err := ParseNetFaultPlan("drop=at:0s,hold:1h,p:0.35; rsp-drop=at:0s,hold:1h,p:0.2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan.Seed = seed
+		inj := NewNetFaultInjector(plan)
+		inj.now = func() time.Duration { return time.Minute }
+		client := &http.Client{Transport: inj.Transport(3, nil)}
+		outcomes := make([]bool, 0, 200)
+		for i := 0; i < 200; i++ {
+			resp, err := client.Get(srv.URL)
+			if err == nil {
+				resp.Body.Close()
+			}
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes, inj.Stats()
+	}
+
+	o1, s1 := run(12345)
+	o2, s2 := run(12345)
+	if !reflect.DeepEqual(o1, o2) {
+		t.Fatal("same seed produced different fault sequences")
+	}
+	if s1 != s2 {
+		t.Fatalf("same seed produced different counters: %+v vs %+v", s1, s2)
+	}
+	if s1.DroppedRequests == 0 || s1.DroppedResponses == 0 {
+		t.Fatalf("faults never fired: %+v", s1)
+	}
+	o3, _ := run(54321)
+	if reflect.DeepEqual(o1, o3) {
+		t.Fatal("different seeds produced identical 200-call fault sequences")
+	}
+}
+
+func FuzzNetFaultPlan(f *testing.F) {
+	f.Add("seed=42; lat=at:10s,ramp:2s,hold:5s,heal:2s,add:200ms")
+	f.Add("drop=at:0s,hold:5s,p:0.3; rsp-drop=at:1s,hold:2s,p:0.2,link:1")
+	f.Add("part=at:20s,hold:10s,link:0")
+	f.Add("seed=-9223372036854775808")
+	f.Add("lat=at:1ns,ramp:1ns,add:1ns")
+	f.Add(";;;")
+	f.Fuzz(func(t *testing.T, s string) {
+		plan, err := ParseNetFaultPlan(s)
+		if err != nil {
+			return
+		}
+		// A parsed plan must round-trip through its String form.
+		again, err := ParseNetFaultPlan(plan.String())
+		if err != nil {
+			t.Fatalf("String %q of parsed plan does not reparse: %v", plan.String(), err)
+		}
+		if !reflect.DeepEqual(plan, again) {
+			t.Fatalf("round trip changed plan: %+v vs %+v", plan, again)
+		}
+		// Scales stay within [0, 1] at arbitrary probe times.
+		for _, e := range plan.Events {
+			for _, at := range []time.Duration{0, e.At, e.At + e.Ramp,
+				e.At + e.Ramp + e.Hold, e.At + e.Ramp + e.Hold + e.Heal, 1 << 40} {
+				if s := e.scale(at); s < 0 || s > 1 {
+					t.Fatalf("scale(%v) = %v out of [0,1] for %+v", at, s, e)
+				}
+			}
+		}
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"sync"
@@ -28,6 +29,11 @@ type Runner struct {
 	// incarnation would get a false 304 when the new engine reaches 42.
 	bootID string
 
+	// idem replays responses for retried idempotent calls (enqueue, KV
+	// import, prefetch) so a resubmission after a dropped response does
+	// not double-apply.
+	idem *idemTable
+
 	mu      sync.Mutex
 	cond    *sync.Cond
 	eng     *core.Engine
@@ -39,6 +45,10 @@ type Runner struct {
 	start      time.Time
 	closed     bool
 	wg         sync.WaitGroup
+	// lastFinishAt/finishGap track the EWMA inter-finish gap (sim
+	// seconds): the drain-rate estimate behind Retry-After on 503s.
+	lastFinishAt time.Duration
+	finishGap    float64
 }
 
 // BootEntropy fills b with the randomness behind the per-process boot
@@ -65,6 +75,7 @@ func NewRunner(uuid string, cfg core.Config, speedup float64) *Runner {
 		uuid:       uuid,
 		speedup:    speedup,
 		bootID:     hex.EncodeToString(nonce[:]),
+		idem:       newIdemTable(idemTableCapacity),
 		streams:    make(map[int64]chan core.Token),
 		streamDone: make(map[int64]bool),
 		start:      time.Now(),
@@ -119,9 +130,40 @@ func (r *Runner) onToken(tok core.Token) {
 
 // onFinish closes the stream but keeps it resident: a frontend that
 // connects after a fast generation completed must still be able to drain
-// the buffered tokens. handleStream removes the entry once served.
+// the buffered tokens. handleStream removes the entry once served. It
+// also folds the inter-finish gap into the drain-rate EWMA that prices
+// Retry-After on 503 refusals. Runs with r.mu held (engine callback).
 func (r *Runner) onFinish(req *core.Request) {
 	r.closeStream(req.ID)
+	now := r.simNow()
+	if r.lastFinishAt > 0 {
+		if gap := (now - r.lastFinishAt).Seconds(); gap > 0 {
+			const alpha = 0.2
+			if r.finishGap == 0 {
+				r.finishGap = gap
+			} else {
+				r.finishGap = (1-alpha)*r.finishGap + alpha*gap
+			}
+		}
+	}
+	r.lastFinishAt = now
+}
+
+// retryAfterSecs converts the EWMA inter-finish gap to wall seconds —
+// "one batch slot should free up in about this long" — clamped to
+// [1, 30]. Callers hold r.mu.
+func (r *Runner) retryAfterSecs() int {
+	if r.finishGap <= 0 {
+		return 1
+	}
+	secs := int(math.Ceil(r.finishGap / r.speedup))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
 }
 
 // drive runs invocations back-to-back, pacing simulated latency into
@@ -182,14 +224,14 @@ func (r *Runner) dropStream(id int64) {
 // frontend's stream proxy.
 func (r *Runner) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /runner/enqueue", r.handleEnqueue)
+	mux.HandleFunc("POST /runner/enqueue", r.idem.wrap(r.handleEnqueue))
 	mux.HandleFunc("POST /runner/can_admit", r.handleCanAdmit)
 	mux.HandleFunc("POST /runner/cancel", r.handleCancel)
 	mux.HandleFunc("POST /runner/evict", r.handleEvict)
 	mux.HandleFunc("POST /runner/drain", r.handleDrain)
-	mux.HandleFunc("POST /runner/kv", r.handleKVImport)
+	mux.HandleFunc("POST /runner/kv", r.idem.wrap(r.handleKVImport))
 	mux.HandleFunc("POST /runner/kv/export", r.handleKVExport)
-	mux.HandleFunc("POST /runner/prefetch", r.handlePrefetch)
+	mux.HandleFunc("POST /runner/prefetch", r.idem.wrap(r.handlePrefetch))
 	mux.HandleFunc("GET /runner/state", r.handleState)
 	mux.HandleFunc("GET /runner/stream", r.handleStream)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -217,10 +259,12 @@ func (r *Runner) handleEnqueue(w http.ResponseWriter, req *http.Request) {
 	if err := r.eng.Enqueue(cr, r.simNow()); err != nil {
 		r.dropStream(cr.ID)
 		// Adapter-store backpressure is transient: report 503 so the
-		// remote scheduler requeues instead of failing the request.
+		// remote scheduler requeues instead of failing the request, with
+		// a drain-rate-derived Retry-After for clients that back off.
 		status := http.StatusConflict
 		if errors.Is(err, lora.ErrStoreFull) {
 			status = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", strconv.Itoa(r.retryAfterSecs()))
 		}
 		http.Error(w, err.Error(), status)
 		return
@@ -375,6 +419,7 @@ func (r *Runner) handleKVImport(w http.ResponseWriter, req *http.Request) {
 		status := http.StatusConflict
 		if errors.Is(err, lora.ErrStoreFull) {
 			status = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", strconv.Itoa(r.retryAfterSecs()))
 		}
 		http.Error(w, err.Error(), status)
 		return

@@ -293,6 +293,9 @@ func (s *Scheduler) dispatchFair(r *core.Request, now time.Duration) (*GPU, erro
 			return g, nil
 		}
 	}
+	if err := s.admitQueued(r); err != nil {
+		return nil, err
+	}
 	s.fair.push(r)
 	s.stats.Queued++
 	s.noteFairDepth()

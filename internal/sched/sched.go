@@ -145,6 +145,23 @@ type Scheduler struct {
 	// path never constructs it; written only on stall).
 	tenantStalls map[int64]int64
 
+	// OnShed, when non-nil, observes every queued request dropped by the
+	// ShedBestEffort admission policy (admission.go). The serve layer
+	// uses it to fail the victim's stream so its HTTP handler can answer
+	// 429. Called while the scheduler is being mutated: observers must
+	// not re-enter the scheduler.
+	OnShed func(r *core.Request)
+
+	// admission bounds the admission queue (admission.go); the zero
+	// config — the default — disables every cap.
+	admission AdmissionConfig
+	admStats  AdmissionStats
+
+	// drainRate/lastPlaced feed the Retry-After estimator: an EWMA of
+	// the placement rate in requests per simulated second.
+	drainRate  float64
+	lastPlaced time.Duration
+
 	stats Stats
 }
 
@@ -395,6 +412,7 @@ func (s *Scheduler) place(r *core.Request, exclude *GPU, now time.Duration) (*GP
 		err := c.GPU.Engine.Enqueue(r, now)
 		if err == nil {
 			s.stats.Dispatched++
+			s.noteDrain(now)
 			return c.GPU, false, nil
 		}
 		if errors.Is(err, lora.ErrStoreFull) {
@@ -425,6 +443,9 @@ func (s *Scheduler) Dispatch(r *core.Request, now time.Duration) (*GPU, error) {
 	// FCFS across the cluster: a new request may not overtake queued
 	// ones.
 	if len(s.queue) > 0 {
+		if err := s.admitQueued(r); err != nil {
+			return nil, err
+		}
 		s.queue = append(s.queue, r)
 		s.stats.Queued++
 		s.noteQueueDepth()
@@ -435,6 +456,9 @@ func (s *Scheduler) Dispatch(r *core.Request, now time.Duration) (*GPU, error) {
 		return nil, err
 	}
 	if g == nil {
+		if err := s.admitQueued(r); err != nil {
+			return nil, err
+		}
 		s.queue = append(s.queue, r)
 		s.stats.Queued++
 		s.noteQueueDepth()

@@ -2,9 +2,13 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
+	"time"
+
+	"punica/internal/sched"
 )
 
 // GenerateRequest is the POST /v1/generate body. Either Prompt (token
@@ -32,6 +36,44 @@ type TokenEvent struct {
 	TokenID   int     `json:"token_id"`
 	SimTime   float64 `json:"sim_time_seconds"`
 	EOS       bool    `json:"eos"`
+}
+
+// Backpressure is the unified JSON envelope for every overload-shaped
+// refusal on the serving path: admission rejections and sheds (429) and
+// capacity refusals like a saturated adapter store (503). Clients key
+// off Code; RetryAfterSeconds mirrors the Retry-After header for
+// clients that prefer the body.
+type Backpressure struct {
+	Error             string  `json:"error"`
+	Code              string  `json:"code"`
+	RetryAfterSeconds float64 `json:"retry_after_seconds"`
+}
+
+// Backpressure codes.
+const (
+	CodeQueueFull       = "queue_full"        // server admission queue at cap
+	CodeTenantQueueFull = "tenant_queue_full" // per-tenant cap reached
+	CodeShed            = "shed"              // queued request shed for a higher-priority arrival
+	CodeStoreFull       = "store_full"        // adapter store saturated (ErrStoreFull)
+	CodeUnavailable     = "unavailable"       // other transient capacity failure
+)
+
+// WriteBackpressure sends one backpressure refusal: the Retry-After
+// header (whole seconds, rounded up, at least 1 — the HTTP resolution
+// floor) plus the JSON envelope.
+func WriteBackpressure(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
+	secs := int64((retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", fmt.Sprint(secs))
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(Backpressure{
+		Error:             msg,
+		Code:              code,
+		RetryAfterSeconds: retryAfter.Seconds(),
+	})
 }
 
 // EstimateTokens converts text to an approximate token count ("a token is
@@ -79,14 +121,29 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	}
 	id, stream, err := s.SubmitTenant(req.Model, req.Tenant, promptLen, req.MaxTokens)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		// Every refusal wears the same backpressure envelope: admission
+		// rejections answer 429 with a drain-rate-derived Retry-After,
+		// anything else a retryable 503.
+		switch {
+		case errors.Is(err, sched.ErrQueueFull):
+			s.note429()
+			WriteBackpressure(w, http.StatusTooManyRequests, CodeQueueFull, err.Error(), s.RetryAfter())
+		case errors.Is(err, sched.ErrTenantQueueFull):
+			s.note429()
+			WriteBackpressure(w, http.StatusTooManyRequests, CodeTenantQueueFull, err.Error(), s.RetryAfter())
+		default:
+			WriteBackpressure(w, http.StatusServiceUnavailable, CodeUnavailable, err.Error(), s.RetryAfter())
+		}
 		return
 	}
 
+	// The 200 header is written lazily at the first token: a request the
+	// admission layer sheds while still queued has produced nothing yet,
+	// so its handler can still answer 429 on the closed stream.
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Request-ID", fmt.Sprint(id))
-	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	started := false
 
 	enc := json.NewEncoder(w)
 	ctx := r.Context()
@@ -94,7 +151,23 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		select {
 		case tok, ok := <-stream:
 			if !ok {
+				if !started {
+					if s.WasShed(id) {
+						s.note429()
+						WriteBackpressure(w, http.StatusTooManyRequests, CodeShed,
+							"request shed under overload before first token", s.RetryAfter())
+					} else {
+						// Closed with no output and not shed: the request
+						// was dropped (recovery failure or server close).
+						WriteBackpressure(w, http.StatusServiceUnavailable, CodeUnavailable,
+							"request dropped before first token", s.RetryAfter())
+					}
+				}
 				return // generation complete (or cancelled)
+			}
+			if !started {
+				w.WriteHeader(http.StatusOK)
+				started = true
 			}
 			ev := TokenEvent{
 				RequestID: tok.RequestID,
@@ -118,6 +191,13 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// note429 counts one 429 answered by the generate endpoint.
+func (s *Server) note429() {
+	s.mu.Lock()
+	s.rejected429++
+	s.mu.Unlock()
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

@@ -40,6 +40,14 @@ type Config struct {
 	// fair.go). Requests without a tenant tag share one bucket.
 	Fairness bool
 
+	// Admission bounds the scheduler's wait queue (overload protection):
+	// arrivals over the caps are refused — HTTP 429 with a Retry-After
+	// derived from the measured drain rate — or, under
+	// sched.ShedBestEffort, admitted by shedding the lowest-priority
+	// queued request. The zero config (the default) disables every cap
+	// and keeps the legacy unbounded-queue behaviour byte-identical.
+	Admission sched.AdmissionConfig
+
 	// Tiers, when non-empty, backs every GPU's adapter store with the
 	// staged node-SSD → host-RAM hierarchy (lora.TieredStore): HBM
 	// misses cascade down the tiers instead of always paying a full
@@ -73,6 +81,15 @@ type Server struct {
 	// Fault accounting (FailGPU).
 	failures  int64
 	recovered int64
+
+	// shed marks request ids dropped by the ShedBestEffort admission
+	// policy between the scheduler callback and the HTTP handler
+	// observing the closed stream, so the handler can answer 429 rather
+	// than a generic failure. Entries are consumed by WasShed.
+	shed map[int64]bool
+	// rejected429 counts HTTP 429 responses sent by the generate
+	// endpoint (both queue-full rejections and shed victims).
+	rejected429 int64
 }
 
 // New builds and starts a server: one driver goroutine per GPU. With
@@ -93,6 +110,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		engines: make(map[*sched.GPU]*core.Engine),
 		streams: make(map[int64]chan core.Token),
+		shed:    make(map[int64]bool),
 		start:   time.Now(),
 		speedup: cfg.Speedup,
 	}
@@ -124,6 +142,8 @@ func New(cfg Config) *Server {
 	}
 	s.sch = sched.NewWithPolicy(s.gpus, policy)
 	s.sch.SetFairness(cfg.Fairness)
+	s.sch.SetAdmission(cfg.Admission)
+	s.sch.OnShed = s.onShed
 	for _, g := range s.gpus {
 		s.wg.Add(1)
 		go s.drive(g)
@@ -161,6 +181,50 @@ func (s *Server) onFinish(r *core.Request) {
 		close(ch)
 		delete(s.streams, r.ID)
 	}
+}
+
+// onShed runs inside Scheduler.Dispatch with s.mu held: the admission
+// layer dropped a queued request to admit a higher-priority arrival.
+// Closing the victim's stream wakes its HTTP handler, which consults
+// WasShed to answer 429 instead of a truncated 200.
+func (s *Server) onShed(r *core.Request) {
+	s.shed[r.ID] = true
+	if ch, ok := s.streams[r.ID]; ok {
+		close(ch)
+		delete(s.streams, r.ID)
+	}
+}
+
+// WasShed reports (and consumes) whether request id was dropped by the
+// admission layer's shed policy.
+func (s *Server) WasShed(id int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	was := s.shed[id]
+	delete(s.shed, id)
+	return was
+}
+
+// RetryAfter estimates, in wall time, when a rejected client should
+// retry: the simulated time the current drain rate needs to free one
+// queue slot, converted through the speedup factor and clamped to
+// [1s, 120s] — HTTP Retry-After has whole-second resolution and callers
+// should not be parked forever on a transient spike.
+func (s *Server) RetryAfter() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retryAfterLocked()
+}
+
+func (s *Server) retryAfterLocked() time.Duration {
+	w := s.wallDelay(s.sch.RetryAfterHint(1))
+	if w < time.Second {
+		w = time.Second
+	}
+	if w > 120*time.Second {
+		w = 120 * time.Second
+	}
+	return w
 }
 
 // Submit enqueues a generation request and returns its id and token
@@ -255,6 +319,14 @@ func (s *Server) Cancel(id int64) bool {
 		delete(s.streams, id)
 		found = true
 	}
+	if found {
+		// The cancel freed batch/KvCache room: give it to the queue now.
+		// Without this, a fleet whose drivers are all parked in cond.Wait
+		// (engines idle) strands queued requests until the next finish.
+		if _, err := s.sch.DrainQueue(now); err == nil {
+			s.cond.Broadcast()
+		}
+	}
 	return found
 }
 
@@ -294,6 +366,15 @@ type Stats struct {
 	Tiers        []lora.TierStats `json:"tiers,omitempty"`
 	ColdStarts   int              `json:"cold_starts,omitempty"`
 	ColdStartP99 float64          `json:"cold_start_p99_seconds,omitempty"`
+	// Overload-protection state (Config.Admission): the deepest the wait
+	// queue has been, the measured drain rate feeding Retry-After, and
+	// the admission outcome counters.
+	QueuePeak      int     `json:"queue_peak"`
+	DrainRate      float64 `json:"drain_rate_per_sec,omitempty"`
+	Rejected       int64   `json:"admission_rejected,omitempty"`
+	TenantRejected int64   `json:"admission_tenant_rejected,omitempty"`
+	Shed           int64   `json:"admission_shed,omitempty"`
+	HTTP429        int64   `json:"http_429,omitempty"`
 }
 
 // Snapshot returns the current cluster state.
@@ -311,6 +392,12 @@ func (s *Server) Snapshot() Stats {
 		Recovered:         s.recovered,
 		KVMigrations:      s.sch.Stats().KVMigrations,
 		AdapterPrefetches: s.sch.Stats().AdapterPrefetches,
+		QueuePeak:         s.sch.QueuePeak(),
+		DrainRate:         s.sch.DrainRate(),
+		Rejected:          s.sch.AdmissionStats().Rejected,
+		TenantRejected:    s.sch.AdmissionStats().TenantRejected,
+		Shed:              s.sch.AdmissionStats().Shed,
+		HTTP429:           s.rejected429,
 	}
 	for _, g := range s.gpus {
 		eng := s.engines[g]
